@@ -1,0 +1,65 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the PACO LCS partition base size (how far the pruned divide-and-assign
+//!   refines towards the corners),
+//! * the Strassen CONST-PIECES `γ` (pieces-per-processor vs. balance
+//!   trade-off of Corollary 14),
+//! * the GAP tile-grid granularity relative to `p`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paco_core::machine::available_processors;
+use paco_core::workload::{random_matrix_f64, related_sequences, GapCosts};
+use paco_dp::gap::parallel::gap_paco_with_blocks;
+use paco_dp::lcs::lcs_paco_with_base;
+use paco_matmul::strassen::{strassen_const_pieces, strassen_paco};
+use paco_runtime::WorkerPool;
+
+fn ablation_lcs_base(c: &mut Criterion) {
+    let n = 2048;
+    let (a, b) = related_sequences(n, 4, 0.2, 31);
+    let pool = WorkerPool::new(available_processors());
+    let mut group = c.benchmark_group("ablation-lcs-base");
+    group.sample_size(10);
+    for base in [16usize, 64, 256] {
+        group.bench_function(BenchmarkId::new("paco-lcs", base), |bench| {
+            bench.iter(|| std::hint::black_box(lcs_paco_with_base(&a, &b, &pool, base)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_strassen_gamma(c: &mut Criterion) {
+    let n = 256;
+    let a = random_matrix_f64(n, n, 41);
+    let b = random_matrix_f64(n, n, 42);
+    let pool = WorkerPool::new(available_processors());
+    let mut group = c.benchmark_group("ablation-strassen-gamma");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("unlimited", 0), |bench| {
+        bench.iter(|| std::hint::black_box(strassen_paco(&a, &b, &pool)))
+    });
+    for gamma in [1usize, 2, 8] {
+        group.bench_function(BenchmarkId::new("const-pieces", gamma), |bench| {
+            bench.iter(|| std::hint::black_box(strassen_const_pieces(&a, &b, &pool, gamma)))
+        });
+    }
+    group.finish();
+}
+
+fn ablation_gap_blocks(c: &mut Criterion) {
+    let n = 192;
+    let costs = GapCosts::default();
+    let pool = WorkerPool::new(available_processors());
+    let p = pool.p();
+    let mut group = c.benchmark_group("ablation-gap-blocks");
+    group.sample_size(10);
+    for blocks in [p.max(2), 2 * p.max(2), 4 * p.max(2)] {
+        group.bench_function(BenchmarkId::new("paco-gap", blocks), |bench| {
+            bench.iter(|| std::hint::black_box(gap_paco_with_blocks(n, &costs, &pool, blocks)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_lcs_base, ablation_strassen_gamma, ablation_gap_blocks);
+criterion_main!(benches);

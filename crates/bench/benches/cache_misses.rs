@@ -1,0 +1,70 @@
+//! Cache-model experiments (the measured half of Table I).
+//!
+//! Before timing anything this bench prints the simulated `Q^Σ_p` / `Q^max_p`
+//! of the sequential CO, PA and PACO LCS schedules under the ideal distributed
+//! cache model — the quantities Table I bounds — and then benchmarks the
+//! simulator replay itself (so regressions in the simulator's own performance
+//! are caught too).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paco_core::machine::CacheParams;
+use paco_core::workload::related_sequences;
+use paco_dp::lcs::{lcs_pa_traced, lcs_paco_traced, lcs_sequential_traced};
+
+fn print_miss_table() {
+    let n = 512;
+    let (a, b) = related_sequences(n, 4, 0.2, 5);
+    let params = CacheParams::new(1024, 8);
+    let (_, seq) = lcs_sequential_traced(&a, &b, 32, params);
+    println!("\n# LCS cache misses under the ideal distributed cache model (n = {n}, Z = 1024, L = 8)");
+    println!("{:<28} {:>4} {:>12} {:>12} {:>10}", "algorithm", "p", "Q_sum", "Q_max", "Q_sum/Q1");
+    println!(
+        "{:<28} {:>4} {:>12} {:>12} {:>10.2}",
+        "sequential CO",
+        1,
+        seq.q_sum(),
+        seq.q_max(),
+        1.0
+    );
+    for p in [2usize, 4, 8] {
+        let (_, pa) = lcs_pa_traced(&a, &b, p, params);
+        let (_, paco) = lcs_paco_traced(&a, &b, p, params, 32);
+        println!(
+            "{:<28} {:>4} {:>12} {:>12} {:>10.2}",
+            "PA p-way",
+            p,
+            pa.q_sum(),
+            pa.q_max(),
+            pa.q_sum() as f64 / seq.q_sum() as f64
+        );
+        println!(
+            "{:<28} {:>4} {:>12} {:>12} {:>10.2}",
+            "PACO",
+            p,
+            paco.q_sum(),
+            paco.q_max(),
+            paco.q_sum() as f64 / seq.q_sum() as f64
+        );
+    }
+    println!();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    print_miss_table();
+
+    let n = 256;
+    let (a, b) = related_sequences(n, 4, 0.2, 6);
+    let params = CacheParams::new(1024, 8);
+    let mut group = c.benchmark_group("cache-sim-replay");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("lcs-sequential-traced", n), |bench| {
+        bench.iter(|| std::hint::black_box(lcs_sequential_traced(&a, &b, 32, params).1.q_sum()))
+    });
+    group.bench_function(BenchmarkId::new("lcs-paco-traced-p4", n), |bench| {
+        bench.iter(|| std::hint::black_box(lcs_paco_traced(&a, &b, 4, params, 32).1.q_sum()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the 1D (least-weight subsequence) and GAP
+//! families: sequential CO, PO (rayon) and PACO variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paco_core::machine::available_processors;
+use paco_core::workload::{GapCosts, ParagraphWeight};
+use paco_dp::gap::{gap_blocked, gap_paco, gap_po};
+use paco_dp::one_d::{one_d_paco, one_d_po, one_d_sequential_co};
+use paco_runtime::WorkerPool;
+
+fn bench_1d(c: &mut Criterion) {
+    let n = 8192;
+    let w = ParagraphWeight { ideal: 40.0 };
+    let pool = WorkerPool::new(available_processors());
+
+    let mut group = c.benchmark_group("one-d");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("sequential-co", n), |bench| {
+        bench.iter(|| std::hint::black_box(one_d_sequential_co(n, &w, 0.0, 64)))
+    });
+    group.bench_function(BenchmarkId::new("po-rayon", n), |bench| {
+        bench.iter(|| std::hint::black_box(one_d_po(n, &w, 0.0, 64)))
+    });
+    group.bench_function(BenchmarkId::new("paco", n), |bench| {
+        bench.iter(|| std::hint::black_box(one_d_paco(n, &w, 0.0, &pool, 64)))
+    });
+    group.finish();
+}
+
+fn bench_gap(c: &mut Criterion) {
+    let n = 256;
+    let costs = GapCosts::default();
+    let pool = WorkerPool::new(available_processors());
+
+    let mut group = c.benchmark_group("gap");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("sequential-blocked", n), |bench| {
+        bench.iter(|| std::hint::black_box(gap_blocked(n, &costs, 16)))
+    });
+    group.bench_function(BenchmarkId::new("po-rayon", n), |bench| {
+        bench.iter(|| std::hint::black_box(gap_po(n, &costs, 16)))
+    });
+    group.bench_function(BenchmarkId::new("paco", n), |bench| {
+        bench.iter(|| std::hint::black_box(gap_paco(n, &costs, &pool)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_1d, bench_gap);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks of the LCS family (Fig. 12a in miniature):
+//! sequential CO, PO (base 256), PA p-way and PACO.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paco_core::machine::available_processors;
+use paco_core::workload::related_sequences;
+use paco_dp::lcs::{lcs_pa, lcs_paco, lcs_po, lcs_sequential_co};
+use paco_runtime::WorkerPool;
+
+fn bench_lcs(c: &mut Criterion) {
+    let n = 2048;
+    let (a, b) = related_sequences(n, 4, 0.2, 11);
+    let pool = WorkerPool::new(available_processors());
+
+    let mut group = c.benchmark_group("lcs");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("sequential-co", n), |bench| {
+        bench.iter(|| std::hint::black_box(lcs_sequential_co(&a, &b, 64)))
+    });
+    group.bench_function(BenchmarkId::new("po-base256", n), |bench| {
+        bench.iter(|| std::hint::black_box(lcs_po(&a, &b, 256)))
+    });
+    group.bench_function(BenchmarkId::new("pa-pway", n), |bench| {
+        bench.iter(|| std::hint::black_box(lcs_pa(&a, &b, &pool)))
+    });
+    group.bench_function(BenchmarkId::new("paco", n), |bench| {
+        bench.iter(|| std::hint::black_box(lcs_paco(&a, &b, &pool)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lcs);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmarks of the classic-MM family: the sequential
+//! cache-oblivious kernel, the CO2 processor-oblivious recursion, the vendor
+//! baseline and PACO MM-1-PIECE, at a size small enough for `cargo bench` to
+//! finish quickly.  The macro comparison over full sweeps lives in the
+//! `fig9a`/`fig10a`/`table4` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paco_core::machine::available_processors;
+use paco_core::workload::random_matrix_f64;
+use paco_matmul::baseline::blocked_parallel_mm;
+use paco_matmul::co_mm::co_mm_alloc;
+use paco_matmul::paco_mm_1piece;
+use paco_matmul::po::co2_mm;
+use paco_runtime::WorkerPool;
+
+fn bench_mm(c: &mut Criterion) {
+    let n = 256;
+    let a = random_matrix_f64(n, n, 1);
+    let b = random_matrix_f64(n, n, 2);
+    let pool = WorkerPool::new(available_processors());
+
+    let mut group = c.benchmark_group("classic-mm");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("co-mm-sequential", n), |bench| {
+        bench.iter(|| std::hint::black_box(co_mm_alloc(&a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("co2-po", n), |bench| {
+        bench.iter(|| std::hint::black_box(co2_mm(&a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("blocked-parallel-baseline", n), |bench| {
+        bench.iter(|| std::hint::black_box(blocked_parallel_mm(&a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("paco-mm-1piece", n), |bench| {
+        bench.iter(|| std::hint::black_box(paco_mm_1piece(&a, &b, &pool)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mm);
+criterion_main!(benches);

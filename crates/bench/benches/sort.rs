@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks of the sorting family (Fig. 12b in miniature):
+//! sequential sample sort, PBBS-style PO sample sort, PACO sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paco_core::machine::available_processors;
+use paco_core::workload::random_keys;
+use paco_runtime::WorkerPool;
+use paco_sort::{paco_sort, po_sample_sort, seq_sample_sort};
+
+fn bench_sort(c: &mut Criterion) {
+    let n = 1 << 20;
+    let input = random_keys(n, 3);
+    let pool = WorkerPool::new(available_processors());
+
+    let mut group = c.benchmark_group("sort");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("sequential-sample-sort", n), |bench| {
+        bench.iter(|| {
+            let mut v = input.clone();
+            seq_sample_sort(&mut v);
+            std::hint::black_box(v.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("po-sample-sort", n), |bench| {
+        bench.iter(|| {
+            let mut v = input.clone();
+            po_sample_sort(&mut v);
+            std::hint::black_box(v.len())
+        })
+    });
+    group.bench_function(BenchmarkId::new("paco-sort", n), |bench| {
+        bench.iter(|| {
+            let mut v = input.clone();
+            paco_sort(&mut v, &pool);
+            std::hint::black_box(v.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks of the Strassen family (sequential, PO, PACO,
+//! CONST-PIECES) and of the classical kernel at the same size, so the
+//! asymptotic advantage and the parallel overheads are both visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paco_core::machine::available_processors;
+use paco_core::workload::random_matrix_f64;
+use paco_matmul::co_mm::co_mm_alloc;
+use paco_matmul::strassen::{
+    strassen_const_pieces, strassen_paco, strassen_po, strassen_sequential,
+};
+use paco_runtime::WorkerPool;
+
+fn bench_strassen(c: &mut Criterion) {
+    let n = 256;
+    let a = random_matrix_f64(n, n, 7);
+    let b = random_matrix_f64(n, n, 8);
+    let pool = WorkerPool::new(available_processors());
+
+    let mut group = c.benchmark_group("strassen");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("classical-co-mm", n), |bench| {
+        bench.iter(|| std::hint::black_box(co_mm_alloc(&a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("strassen-sequential", n), |bench| {
+        bench.iter(|| std::hint::black_box(strassen_sequential(&a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("strassen-po", n), |bench| {
+        bench.iter(|| std::hint::black_box(strassen_po(&a, &b)))
+    });
+    group.bench_function(BenchmarkId::new("strassen-paco", n), |bench| {
+        bench.iter(|| std::hint::black_box(strassen_paco(&a, &b, &pool)))
+    });
+    group.bench_function(BenchmarkId::new("strassen-const-pieces-g8", n), |bench| {
+        bench.iter(|| std::hint::black_box(strassen_const_pieces(&a, &b, &pool, 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strassen);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 11b reproduction: frequency histogram of the speedup of PACO
+//! MM-1-PIECE over the processor-oblivious "CO2" algorithm (2-way
+//! divide-and-conquer, base case 64, randomized work stealing).
+//!
+//! Paper: mean 147.6%, median 108.4% — the PACO partitioning beats the PO
+//! recursion by a wide margin.  The reproduction checks the same large gap.
+//!
+//! Run with `cargo run -p paco-bench --release --bin fig11b`.
+
+use paco_bench::sweep::{mm_grid, run_mm_sweep};
+use paco_bench::{bench_repeats, bench_scale, bench_threads};
+use paco_matmul::po::co2_mm;
+use paco_matmul::paco_mm_1piece;
+use paco_runtime::WorkerPool;
+
+fn main() {
+    let p = bench_threads();
+    let pool = WorkerPool::new(p);
+    let series = run_mm_sweep(
+        &mm_grid(bench_scale()),
+        bench_repeats(),
+        "PACO MM-1-PIECE",
+        "CO2 (PO 2-way, base 64)",
+        |a, b| paco_mm_1piece(a, b, &pool),
+        |a, b| co2_mm(a, b),
+    );
+    series.print_histogram("Fig. 11b — frequency of PACO speedup over CO2", 20.0);
+    println!("Paper: Mean = 147.6%, Median = 108.4% (24 cores)");
+}

@@ -1,0 +1,42 @@
+//! Fig. 12b reproduction: speedup of PACO SORT over the PBBS-style low-depth
+//! processor-oblivious sample sort, across an input-size sweep of random
+//! doubles.
+//!
+//! Paper: mean 9.3%, median 9.1%.
+//!
+//! Run with `cargo run -p paco-bench --release --bin fig12b`.
+
+use paco_bench::report::SpeedupSeries;
+use paco_bench::{bench_repeats, bench_scale, bench_threads};
+use paco_core::metrics::{min_time_of, speedup_percent};
+use paco_core::workload::random_keys;
+use paco_runtime::WorkerPool;
+use paco_sort::{paco_sort, po_sample_sort};
+
+fn main() {
+    let p = bench_threads();
+    let pool = WorkerPool::new(p);
+    let repeats = bench_repeats();
+    let sizes: Vec<usize> = [1usize << 20, 1 << 21, 1 << 22]
+        .iter()
+        .map(|&n| n * bench_scale())
+        .collect();
+
+    let mut series = SpeedupSeries::new("PACO SORT", "PO sample sort (PBBS-style)");
+    for &n in &sizes {
+        let input = random_keys(n, n as u64);
+        let t_paco = min_time_of(repeats, || {
+            let mut v = input.clone();
+            paco_sort(&mut v, &pool);
+            std::hint::black_box(v.len())
+        });
+        let t_po = min_time_of(repeats, || {
+            let mut v = input.clone();
+            po_sample_sort(&mut v);
+            std::hint::black_box(v.len())
+        });
+        series.push(format!("n={n}"), n as f64, speedup_percent(t_po, t_paco));
+    }
+    series.print("Fig. 12b — PACO SORT speedup over the PO sample sort");
+    println!("Paper: Mean = 9.3%, Median = 9.1% (24 cores, PBBS)");
+}

@@ -1,0 +1,58 @@
+//! Extension experiment X1: perfect strong scaling on an *arbitrary* number of
+//! processors, including primes — the property that distinguishes PACO from
+//! classic PA algorithms (CAPS Strassen needs p = m·7^k, CARMA needs p without
+//! large prime factors).
+//!
+//! The binary reports, for every p up to the available parallelism:
+//!   * the work imbalance of the pruned-BFS MM partitioning (Theorem 9),
+//!   * the measured wall-clock time of PACO MM-1-PIECE at a fixed size,
+//!   * how many processors a CAPS-style Strassen could actually use.
+//!
+//! Run with `cargo run -p paco-bench --release --bin scaling`.
+
+use paco_bench::{bench_repeats, bench_threads};
+use paco_core::metrics::min_time_of;
+use paco_core::table::Table;
+use paco_core::util::{caps_usable_processors, is_prime};
+use paco_core::workload::random_matrix_f64;
+use paco_matmul::{paco_mm_1piece, plan_paco_mm};
+use paco_runtime::WorkerPool;
+
+fn main() {
+    let max_p = bench_threads();
+    let n = 512;
+    let a = random_matrix_f64(n, n, 1);
+    let b = random_matrix_f64(n, n, 2);
+    let repeats = bench_repeats();
+
+    let t1 = {
+        let pool = WorkerPool::new(1);
+        min_time_of(repeats, || std::hint::black_box(paco_mm_1piece(&a, &b, &pool)))
+    };
+
+    let mut table = Table::new(
+        format!("Strong scaling of PACO MM-1-PIECE at n = m = k = {n} (t1 = {t1:.3}s)"),
+        &["p", "prime?", "plan imbalance", "time (s)", "speedup", "efficiency", "CAPS-usable procs"],
+    );
+    for p in 1..=max_p {
+        let plan = plan_paco_mm(n, n, n, p);
+        let report = plan.report();
+        let pool = WorkerPool::new(p);
+        let t = min_time_of(repeats, || std::hint::black_box(paco_mm_1piece(&a, &b, &pool)));
+        let speedup = t1 / t;
+        table.row(&[
+            p.to_string(),
+            if is_prime(p as u64) { "yes".into() } else { "-".to_string() },
+            format!("{:.3}", report.work_imbalance),
+            format!("{t:.3}"),
+            format!("{speedup:.2}x"),
+            format!("{:.0}%", 100.0 * speedup / p as f64),
+            caps_usable_processors(p).to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "PACO uses all p processors for every p (including primes); a CAPS-style Strassen \
+         is limited to the last column's processor count."
+    );
+}

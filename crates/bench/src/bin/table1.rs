@@ -1,0 +1,92 @@
+//! Table I reproduction: the complexity bounds of PO / PA / sublinear / PACO
+//! algorithms evaluated at concrete machine parameters, plus *measured*
+//! per-processor cache misses from the ideal distributed cache simulator for
+//! LCS (the problem the paper's shared-memory analysis is most detailed about),
+//! confirming the predicted ordering PACO ≤ PA < PO.
+//!
+//! Run with `cargo run -p paco-bench --release --bin table1`.
+
+use paco_cache_sim::analytic::{
+    cache_bound, problem_name, table1_rows, time_bound, variant_name, BoundParams, Problem, Variant,
+};
+use paco_core::machine::MachineConfig;
+use paco_core::table::Table;
+use paco_core::workload::related_sequences;
+use paco_dp::lcs::{lcs_pa_traced, lcs_paco_traced, lcs_sequential_traced};
+
+fn print_analytic(machine: &MachineConfig, n: usize) {
+    let bp = BoundParams::square(n, machine.p, machine.cache.z_words, machine.cache.l_words);
+    let mut table = Table::new(
+        format!(
+            "Table I (analytic) — n = {n}, {} (p = {}, Z = {} words, L = {} words)",
+            machine.name, machine.p, machine.cache.z_words, machine.cache.l_words
+        ),
+        &["problem", "class", "time bound T_p", "cache bound Q_p (lines)"],
+    );
+    for row in table1_rows(bp) {
+        table.row(&[
+            problem_name(row.problem).to_string(),
+            variant_name(row.variant).to_string(),
+            format!("{:.3e}", row.time),
+            format!("{:.3e}", row.cache),
+        ]);
+    }
+    table.print();
+}
+
+fn print_measured_lcs() {
+    // Small instance + small simulated caches so the simulation finishes fast
+    // but the working set still exceeds a single cache.
+    let n = 768;
+    let (a, b) = related_sequences(n, 4, 0.2, 42);
+    let params = paco_core::machine::CacheParams::new(2048, 8);
+    let base = 32;
+
+    let (_, seq) = lcs_sequential_traced(&a, &b, base, params);
+    let mut table = Table::new(
+        format!("Measured LCS cache misses (ideal distributed cache model, n = {n}, Z = 2048, L = 8)"),
+        &["algorithm", "p", "Q_sum (misses)", "Q_max (misses)", "Q_sum / Q_1", "imbalance"],
+    );
+    let q1 = seq.q_sum();
+    table.row(&[
+        "sequential CO (Q1)".into(),
+        "1".into(),
+        q1.to_string(),
+        q1.to_string(),
+        "1.00".into(),
+        "1.00".into(),
+    ]);
+    for p in [2usize, 4, 7, 8] {
+        let (_, pa) = lcs_pa_traced(&a, &b, p, params);
+        let (_, paco) = lcs_paco_traced(&a, &b, p, params, base);
+        for (name, sim) in [("PA (Chowdhury-Ramachandran)", &pa), ("PACO (this paper)", &paco)] {
+            table.row(&[
+                name.into(),
+                p.to_string(),
+                sim.q_sum().to_string(),
+                sim.q_max().to_string(),
+                format!("{:.2}", sim.q_sum() as f64 / q1 as f64),
+                format!("{:.2}", sim.q_imbalance()),
+            ]);
+        }
+    }
+    table.print();
+
+    // Predicted ratios from the analytic bounds for the same parameters, so the
+    // measured and predicted shapes can be compared side by side.
+    let bp = BoundParams::square(n, 4, 2048, 8);
+    println!(
+        "Analytic at p=4: Q_PACO = {:.3e}, Q_PA = {:.3e}, Q_PO = {:.3e} lines; T_PACO = {:.3e}\n",
+        cache_bound(Problem::Lcs, Variant::Paco, bp).unwrap(),
+        cache_bound(Problem::Lcs, Variant::Pa, bp).unwrap(),
+        cache_bound(Problem::Lcs, Variant::Po, bp).unwrap(),
+        time_bound(Problem::Lcs, Variant::Paco, bp).unwrap(),
+    );
+}
+
+fn main() {
+    for machine in [MachineConfig::xeon_24core(), MachineConfig::xeon_72core()] {
+        print_analytic(&machine, 1 << 15);
+    }
+    print_measured_lcs();
+}

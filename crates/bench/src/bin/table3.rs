@@ -1,0 +1,43 @@
+//! Table III reproduction: the experimental machine descriptions, plus the
+//! machine this run actually executes on (the substitution DESIGN.md records).
+//!
+//! Run with `cargo run -p paco-bench --release --bin table3`.
+
+use paco_core::machine::{available_processors, MachineConfig};
+use paco_core::table::Table;
+
+fn row_for(machine: &MachineConfig, table: &mut Table) {
+    table.row(&[
+        machine.name.clone(),
+        machine.p.to_string(),
+        format!("{:.1} GHz", machine.clock_ghz),
+        format!("{:.0}", machine.flops_per_cycle),
+        format!("{} KB", machine.cache.z_words * 8 / 1024),
+        match &machine.l1 {
+            Some(l1) => format!("{} KB", l1.z_words * 8 / 1024),
+            None => "-".into(),
+        },
+        match &machine.hetero {
+            Some(h) => format!("heterogeneous (Σt = {:.0})", h.total_throughput()),
+            None => "homogeneous".into(),
+        },
+        format!("{:.1} GFLOP/s", machine.rpeak_flops() / 1e9),
+    ]);
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Table III — experimental machines (paper presets + this container)",
+        &["machine", "cores", "clock", "DP FLOPs/cycle", "L2 per core", "L1d per core", "uniformity", "Rpeak"],
+    );
+    row_for(&MachineConfig::xeon_72core(), &mut table);
+    row_for(&MachineConfig::xeon_24core(), &mut table);
+    let local = MachineConfig::local(available_processors());
+    row_for(&local, &mut table);
+    table.print();
+    println!(
+        "This container exposes {} hardware threads; wall-clock experiments use them, \
+         cache-model experiments use the paper presets above.",
+        available_processors()
+    );
+}

@@ -1,0 +1,63 @@
+//! # paco-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the PACO
+//! paper's evaluation (Sect. IV).  Each artifact has its own binary (see
+//! DESIGN.md §3 for the index); this library holds the shared plumbing so the
+//! binaries stay small:
+//!
+//! * [`peak`] — calibration of per-core throughput and the `Rmax/Rpeak`
+//!   accounting of Table IV / Fig. 10b.
+//! * [`sweep`] — problem-size sweeps comparing two matrix-multiplication
+//!   strategies and reporting the paper's speedup percentage per size.
+//! * [`report`] — series statistics, histogram buckets and table printing in
+//!   the shape the paper's figures use.
+//!
+//! Scaling note: the paper sweeps `n, m, k` from 8000 to 44000 on 24–72 cores;
+//! this container is far smaller, so the default sweeps use proportionally
+//! smaller sizes.  Set `PACO_BENCH_SCALE=2` (or higher) to enlarge every sweep
+//! when running on a bigger machine.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod peak;
+pub mod report;
+pub mod sweep;
+
+/// The size multiplier taken from `PACO_BENCH_SCALE` (default 1).
+pub fn bench_scale() -> usize {
+    std::env::var("PACO_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1)
+}
+
+/// Number of worker threads to use for the benches: `PACO_BENCH_THREADS` or the
+/// available hardware parallelism.
+pub fn bench_threads() -> usize {
+    std::env::var("PACO_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or_else(paco_core::machine::available_processors)
+}
+
+/// Number of repetitions per measurement (the paper takes the min of ≥ 3 runs).
+pub fn bench_repeats() -> usize {
+    std::env::var("PACO_BENCH_REPEATS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(3)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn knobs_have_sane_defaults() {
+        assert!(super::bench_scale() >= 1);
+        assert!(super::bench_threads() >= 1);
+        assert!(super::bench_repeats() >= 1);
+    }
+}

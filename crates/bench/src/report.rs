@@ -1,0 +1,98 @@
+//! Reporting helpers shared by the figure/table binaries.
+
+use paco_core::metrics::{histogram, series_stats};
+use paco_core::table::{pct, Table};
+
+/// A measured speedup series over problem sizes: the payload behind Figs. 9–12.
+#[derive(Debug, Clone, Default)]
+pub struct SpeedupSeries {
+    /// `(problem_size_label, problem_size_value, speedup_percent)` rows.
+    pub rows: Vec<(String, f64, f64)>,
+    /// Name of the "ours" algorithm.
+    pub ours: String,
+    /// Name of the peer algorithm.
+    pub peer: String,
+}
+
+impl SpeedupSeries {
+    /// Create an empty series for the comparison `ours` vs `peer`.
+    pub fn new(ours: impl Into<String>, peer: impl Into<String>) -> Self {
+        Self {
+            rows: Vec::new(),
+            ours: ours.into(),
+            peer: peer.into(),
+        }
+    }
+
+    /// Add one measurement.
+    pub fn push(&mut self, label: impl Into<String>, size: f64, speedup_percent: f64) {
+        self.rows.push((label.into(), size, speedup_percent));
+    }
+
+    /// The speedup values only.
+    pub fn values(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.2).collect()
+    }
+
+    /// Print the per-size rows plus the mean/median annotation the paper's
+    /// figures carry.
+    pub fn print(&self, title: &str) {
+        let mut table = Table::new(
+            title,
+            &["problem size", "size value", &format!("speedup of {} over {} (%)", self.ours, self.peer)],
+        );
+        for (label, size, speedup) in &self.rows {
+            table.row(&[label.clone(), format!("{size:.3e}"), format!("{speedup:.1}")]);
+        }
+        table.print();
+        if !self.rows.is_empty() {
+            let stats = series_stats(&self.values());
+            println!(
+                "Mean = {}   Median = {}   (min {} / max {})\n",
+                pct(stats.mean),
+                pct(stats.median),
+                pct(stats.min),
+                pct(stats.max)
+            );
+        }
+    }
+
+    /// Print the frequency histogram of the speedups (the Fig. 11 rendering).
+    pub fn print_histogram(&self, title: &str, bucket_width: f64) {
+        let values = self.values();
+        if values.is_empty() {
+            println!("# {title}\n(no data)");
+            return;
+        }
+        let buckets = histogram(&values, bucket_width);
+        let total = values.len() as f64;
+        let mut table = Table::new(title, &["speedup bucket (%)", "count", "frequency (%)"]);
+        for (lo, count) in buckets {
+            table.row(&[
+                format!("[{:.0}, {:.0})", lo, lo + bucket_width),
+                count.to_string(),
+                format!("{:.1}", 100.0 * count as f64 / total),
+            ]);
+        }
+        table.print();
+        let stats = series_stats(&values);
+        println!("Mean = {}   Median = {}\n", pct(stats.mean), pct(stats.median));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_collects_and_summarises() {
+        let mut s = SpeedupSeries::new("PACO", "MKL");
+        s.push("n=1", 1.0, 10.0);
+        s.push("n=2", 2.0, 20.0);
+        assert_eq!(s.values(), vec![10.0, 20.0]);
+        // The print methods must not panic.
+        s.print("demo");
+        s.print_histogram("demo-hist", 5.0);
+        SpeedupSeries::new("a", "b").print_histogram("empty", 5.0);
+    }
+}

@@ -1,0 +1,430 @@
+//! Closed-form evaluators of the Table I complexity bounds.
+//!
+//! Table I of the paper compares, for each problem, the parallel running time
+//! (`T_p` / `T^max_p`) and the overall parallel cache complexity
+//! (`Q_p` / `Q^Σ_p`) of the best processor-oblivious (PO), processor-aware (PA)
+//! and PACO algorithms.  The functions here evaluate those asymptotic
+//! expressions numerically (dropping the hidden constants, i.e. treating every
+//! bound as if its constant were 1) so the `table1` benchmark binary can print
+//! the paper's table for concrete `(n, p, Z, L)` and so the tests can check
+//! that the *measured* miss counts from the simulator track the predicted
+//! shape: which variant wins, and how the bounds scale when `p` or `n` grows.
+//!
+//! The exponent `ω₀ = log₂ 7` and the LCS/GAP critical-path exponent
+//! `log₂ 3 ≈ 1.58` appear exactly as in the paper.
+
+/// `log₂ 7`, the exponent of Strassen's algorithm.
+pub const OMEGA_0: f64 = 2.807354922057604; // log2(7)
+
+/// `log₂ 3`, the critical-path exponent of the 2-way divide-and-conquer LCS/GAP.
+pub const LOG2_3: f64 = 1.5849625007211562;
+
+/// Parameters a bound is evaluated at.  All values are `f64` so the formulas
+/// read like the paper; callers construct it from integer sizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundParams {
+    /// Problem size `n` (sequence length, matrix dimension, number of keys).
+    pub n: f64,
+    /// Second matrix dimension `m` (defaults to `n` for square problems).
+    pub m: f64,
+    /// Third matrix dimension `k` (defaults to `n`).
+    pub k: f64,
+    /// Number of processors `p`.
+    pub p: f64,
+    /// Private cache size `Z` in words.
+    pub z: f64,
+    /// Cache line size `L` in words.
+    pub l: f64,
+}
+
+impl BoundParams {
+    /// Square problem of size `n` on `p` processors with cache `(z, l)`.
+    pub fn square(n: usize, p: usize, z: usize, l: usize) -> Self {
+        Self {
+            n: n as f64,
+            m: n as f64,
+            k: n as f64,
+            p: p as f64,
+            z: z as f64,
+            l: l as f64,
+        }
+    }
+
+    /// Rectangular matrix-multiplication problem `n × k` times `k × m`.
+    pub fn rect(n: usize, m: usize, k: usize, p: usize, z: usize, l: usize) -> Self {
+        Self {
+            n: n as f64,
+            m: m as f64,
+            k: k as f64,
+            p: p as f64,
+            z: z as f64,
+            l: l as f64,
+        }
+    }
+}
+
+fn lg(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+/// Which of the paper's problems a bound refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Problem {
+    /// Longest common subsequence (Sect. III-B).
+    Lcs,
+    /// The 1D / least-weight-subsequence problem (Sect. III-C).
+    OneD,
+    /// The GAP problem (Sect. III-D).
+    Gap,
+    /// Classic rectangular matrix multiplication on a semiring (Sect. III-E).
+    Mm,
+    /// Strassen's algorithm (Sect. III-F).
+    Strassen,
+    /// Comparison-based sorting (Sect. III-G).
+    Sort,
+}
+
+/// Which class of algorithm a bound refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Processor-oblivious (recursive + randomized work stealing).
+    Po,
+    /// Processor-aware (classic): Chowdhury–Ramachandran LCS, CARMA MM,
+    /// CAPS Strassen, …
+    Pa,
+    /// The sublinear-depth algorithms of Galil & Park (1D and GAP rows).
+    Sublinear,
+    /// The paper's processor-aware cache-oblivious algorithms.
+    Paco,
+}
+
+/// Overall parallel cache complexity (`Q_p` or `Q^Σ_p`) in cache lines, as
+/// listed in Table I.  Returns `None` for combinations the table does not list
+/// (e.g. a "sublinear" LCS).
+pub fn cache_bound(problem: Problem, variant: Variant, bp: BoundParams) -> Option<f64> {
+    let BoundParams { n, m, k, p, z, l } = bp;
+    let q = match (problem, variant) {
+        // ---------------- LCS ----------------
+        (Problem::Lcs, Variant::Po) => {
+            // O(n²/(LZ) + √(p·n^{2·1.79}) + p·n^{1.58}) — Frigo–Strumpen plus the
+            // Cole–Ramachandran usurpation term; Table I writes √p·n^{1.79}+p·n^{1.58}.
+            n * n / (l * z) + (p.sqrt() * n.powf(1.79) + p * n.powf(LOG2_3)) / l
+        }
+        (Problem::Lcs, Variant::Pa) => n * n / (l * z) + p * n / l,
+        (Problem::Lcs, Variant::Paco) => {
+            let mem_dep = n * n / (l * z) + p * n * lg(p * z) / l;
+            let mem_indep = p * n * lg(n) / l;
+            mem_dep.min(mem_indep)
+        }
+        // ---------------- 1D ----------------
+        (Problem::OneD, Variant::Po) => n * n / (l * z) + p * n * z / l,
+        (Problem::OneD, Variant::Sublinear) => n * n / l + p * n.sqrt() * lg(n) * z / l,
+        (Problem::OneD, Variant::Paco) => {
+            let mem_dep = n * n / (l * z) + p * z * lg(z) / l;
+            let mem_indep = p.sqrt() * n * lg(n) / l;
+            mem_dep.min(mem_indep)
+        }
+        // ---------------- GAP ----------------
+        (Problem::Gap, Variant::Po) => {
+            let blelloch_gu_seq =
+                n * n * n / (l * z) + n * n * (lg(n).powi(2) / z.sqrt()).min(lg(z.sqrt()).powi(2)) / l;
+            blelloch_gu_seq + p * n.powf(LOG2_3) * z / l
+        }
+        (Problem::Gap, Variant::Sublinear) => n.powi(4) / l + p * n.sqrt() * lg(n) * z / l,
+        (Problem::Gap, Variant::Paco) => {
+            let mem_dep = n * n * n / (l * z) + n * n * lg(z) / l;
+            let mem_indep = n * n * lg(n) / l;
+            mem_dep.min(mem_indep)
+        }
+        // ---------------- MM ----------------
+        (Problem::Mm, Variant::Po) => {
+            mm_q1(n, m, k, z, l) + (p * lg(p)).powf(1.0 / 3.0) * n * n / l + p * lg(p)
+        }
+        (Problem::Mm, Variant::Pa) | (Problem::Mm, Variant::Paco) => {
+            // PA (CARMA) matches PACO except for the restriction on p.
+            let extra = (p * m * k)
+                .min((p * n * m * k * k).sqrt())
+                .min(p.powf(1.0 / 3.0) * (n * m * k).powf(2.0 / 3.0));
+            mm_q1(n, m, k, z, l) + extra / l
+        }
+        // ---------------- Strassen ----------------
+        (Problem::Strassen, Variant::Po) => {
+            strassen_q1(n, z, l) + (p * lg(p)).powf(1.0 / 3.0) * n * n / l + p * lg(p)
+        }
+        (Problem::Strassen, Variant::Pa) | (Problem::Strassen, Variant::Paco) => {
+            strassen_q1(n, z, l) + n * n / (l * p.powf(2.0 / OMEGA_0 - 1.0))
+        }
+        // ---------------- Sorting ----------------
+        (Problem::Sort, Variant::Po) => {
+            (n / l) * (lg(n) / lg(z)) + p * lg(n) / lg((n / p).max(2.0)) * l
+        }
+        (Problem::Sort, Variant::Paco) => (n / l) * (lg((n / p).max(2.0)) / lg(z)),
+        _ => return None,
+    };
+    Some(q)
+}
+
+/// Parallel running time (`T_p` for PO, `T^max_p` for PA/PACO) as in Table I.
+pub fn time_bound(problem: Problem, variant: Variant, bp: BoundParams) -> Option<f64> {
+    let BoundParams { n, m, k, p, .. } = bp;
+    let t = match (problem, variant) {
+        (Problem::Lcs, Variant::Po) => n * n / p + n.powf(LOG2_3),
+        (Problem::Lcs, Variant::Pa) => 2.0 * n * n / p,
+        (Problem::Lcs, Variant::Paco) => n * n / p,
+        (Problem::OneD, Variant::Po) => n * n / p + n,
+        (Problem::OneD, Variant::Sublinear) => n * n / p + n.sqrt() * lg(n),
+        (Problem::OneD, Variant::Paco) => n * n / p,
+        (Problem::Gap, Variant::Po) => n * n * n / p + n.powf(LOG2_3),
+        (Problem::Gap, Variant::Sublinear) => n.powi(4) / p + n.sqrt() * lg(n),
+        (Problem::Gap, Variant::Paco) => n * n * n / p,
+        (Problem::Mm, Variant::Po) => n * m * k / p + lg(n).powi(2),
+        (Problem::Mm, Variant::Pa) | (Problem::Mm, Variant::Paco) => {
+            n * m * k / p + n + m + k
+        }
+        (Problem::Strassen, Variant::Po) => n.powf(OMEGA_0) / p + lg(n).powi(2),
+        (Problem::Strassen, Variant::Pa) | (Problem::Strassen, Variant::Paco) => {
+            n.powf(OMEGA_0) / p
+        }
+        (Problem::Sort, Variant::Po) => (n / p) * lg(n) + lg(n) * lg(lg(n)),
+        (Problem::Sort, Variant::Paco) => (n / p) * lg(n),
+        _ => return None,
+    };
+    Some(t)
+}
+
+/// Optimal sequential cache complexity of rectangular MM
+/// (`Q₁ = 1 + (nm + nk + mk)/L + nmk/(L√Z)`, Lemma 8 / Frigo et al.).
+pub fn mm_q1(n: f64, m: f64, k: f64, z: f64, l: f64) -> f64 {
+    1.0 + (n * m + n * k + m * k) / l + n * m * k / (l * z.sqrt())
+}
+
+/// Optimal sequential cache complexity of Strassen
+/// (`n^{ω₀} / (L·Z^{ω₀/2−1}) + n²/L`).
+pub fn strassen_q1(n: f64, z: f64, l: f64) -> f64 {
+    n.powf(OMEGA_0) / (l * z.powf(OMEGA_0 / 2.0 - 1.0)) + n * n / l
+}
+
+/// Optimal sequential cache complexity of the LCS / 1D kernels
+/// (`n²/(LZ) + n/L`, Lemma 1 / Lemma 5).
+pub fn dp2d_q1(n: f64, z: f64, l: f64) -> f64 {
+    n * n / (l * z) + n / l
+}
+
+/// Perfect-strong-scaling threshold for PACO LCS (Corollary 4):
+/// holds when `n/p = Ω(Z·log(pZ))`.
+pub fn lcs_scaling_range_ok(bp: BoundParams) -> bool {
+    bp.n / bp.p >= bp.z * lg(bp.p * bp.z)
+}
+
+/// Perfect-strong-scaling threshold for PACO MM (Corollary 11):
+/// holds when `p = O(nmk / Z^{3/2})`.
+pub fn mm_scaling_range_ok(bp: BoundParams) -> bool {
+    bp.p <= bp.n * bp.m * bp.k / bp.z.powf(1.5)
+}
+
+/// Perfect-strong-scaling threshold for PACO Strassen (Theorem 13):
+/// holds when `n = Ω(Z)`.
+pub fn strassen_scaling_range_ok(bp: BoundParams) -> bool {
+    bp.n >= bp.z
+}
+
+/// A row of the rendered Table I: problem, variant, formula text and values.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Which problem.
+    pub problem: Problem,
+    /// Which algorithm class.
+    pub variant: Variant,
+    /// The time bound evaluated at the parameters.
+    pub time: f64,
+    /// The cache bound evaluated at the parameters.
+    pub cache: f64,
+}
+
+/// Evaluate every (problem, variant) combination Table I lists.
+pub fn table1_rows(bp: BoundParams) -> Vec<Table1Row> {
+    use Problem::*;
+    use Variant::*;
+    let combos: &[(Problem, Variant)] = &[
+        (Lcs, Po),
+        (Lcs, Pa),
+        (Lcs, Paco),
+        (OneD, Po),
+        (OneD, Sublinear),
+        (OneD, Paco),
+        (Gap, Po),
+        (Gap, Sublinear),
+        (Gap, Paco),
+        (Mm, Po),
+        (Mm, Pa),
+        (Mm, Paco),
+        (Strassen, Po),
+        (Strassen, Pa),
+        (Strassen, Paco),
+        (Sort, Po),
+        (Sort, Paco),
+    ];
+    combos
+        .iter()
+        .filter_map(|&(problem, variant)| {
+            Some(Table1Row {
+                problem,
+                variant,
+                time: time_bound(problem, variant, bp)?,
+                cache: cache_bound(problem, variant, bp)?,
+            })
+        })
+        .collect()
+}
+
+/// Human-readable label of a problem.
+pub fn problem_name(p: Problem) -> &'static str {
+    match p {
+        Problem::Lcs => "LCS",
+        Problem::OneD => "1D",
+        Problem::Gap => "GAP",
+        Problem::Mm => "MM",
+        Problem::Strassen => "Strassen",
+        Problem::Sort => "Sort",
+    }
+}
+
+/// Human-readable label of a variant.
+pub fn variant_name(v: Variant) -> &'static str {
+    match v {
+        Variant::Po => "PO",
+        Variant::Pa => "PA",
+        Variant::Sublinear => "sublinear",
+        Variant::Paco => "PACO",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bp(n: usize, p: usize) -> BoundParams {
+        BoundParams::square(n, p, 32 * 1024, 8)
+    }
+
+    #[test]
+    fn paco_lcs_beats_po_and_is_at_least_as_good_as_pa_claims() {
+        for &n in &[1 << 14, 1 << 16, 1 << 18] {
+            for &p in &[4, 24, 72, 97] {
+                let b = bp(n, p);
+                let po = cache_bound(Problem::Lcs, Variant::Po, b).unwrap();
+                let paco = cache_bound(Problem::Lcs, Variant::Paco, b).unwrap();
+                assert!(paco < po, "n={n} p={p}: PACO {paco} >= PO {po}");
+            }
+        }
+    }
+
+    #[test]
+    fn paco_1d_and_gap_beat_po_for_large_n() {
+        for &n in &[1 << 14, 1 << 16] {
+            let b = bp(n, 24);
+            assert!(
+                cache_bound(Problem::OneD, Variant::Paco, b).unwrap()
+                    < cache_bound(Problem::OneD, Variant::Po, b).unwrap()
+            );
+            assert!(
+                cache_bound(Problem::Gap, Variant::Paco, b).unwrap()
+                    < cache_bound(Problem::Gap, Variant::Po, b).unwrap()
+            );
+            assert!(
+                cache_bound(Problem::Gap, Variant::Paco, b).unwrap()
+                    < cache_bound(Problem::Gap, Variant::Sublinear, b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn paco_mm_and_strassen_beat_po() {
+        for &n in &[1 << 12, 1 << 13] {
+            let b = bp(n, 72);
+            assert!(
+                cache_bound(Problem::Mm, Variant::Paco, b).unwrap()
+                    < cache_bound(Problem::Mm, Variant::Po, b).unwrap()
+            );
+            assert!(
+                cache_bound(Problem::Strassen, Variant::Paco, b).unwrap()
+                    < cache_bound(Problem::Strassen, Variant::Po, b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn pa_equals_paco_where_the_table_says_so() {
+        let b = bp(1 << 12, 24);
+        assert_eq!(
+            cache_bound(Problem::Mm, Variant::Pa, b),
+            cache_bound(Problem::Mm, Variant::Paco, b)
+        );
+        assert_eq!(
+            cache_bound(Problem::Strassen, Variant::Pa, b),
+            cache_bound(Problem::Strassen, Variant::Paco, b)
+        );
+    }
+
+    #[test]
+    fn paco_sort_beats_po_sort() {
+        let b = bp(1 << 24, 24);
+        assert!(
+            cache_bound(Problem::Sort, Variant::Paco, b).unwrap()
+                < cache_bound(Problem::Sort, Variant::Po, b).unwrap()
+        );
+    }
+
+    #[test]
+    fn time_bounds_shrink_with_p_in_scaling_range() {
+        for &(problem, variant) in &[
+            (Problem::Lcs, Variant::Paco),
+            (Problem::Gap, Variant::Paco),
+            (Problem::Mm, Variant::Paco),
+            (Problem::Strassen, Variant::Paco),
+            (Problem::Sort, Variant::Paco),
+        ] {
+            let t8 = time_bound(problem, variant, bp(4096, 8)).unwrap();
+            let t64 = time_bound(problem, variant, bp(4096, 64)).unwrap();
+            assert!(
+                t64 < t8 / 4.0,
+                "{problem:?}/{variant:?}: T(64)={t64} not ≪ T(8)={t8}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_lists_all_rows() {
+        let rows = table1_rows(bp(1 << 14, 24));
+        assert_eq!(rows.len(), 17);
+        assert!(rows.iter().all(|r| r.time.is_finite() && r.cache.is_finite()));
+        assert!(rows.iter().all(|r| r.time > 0.0 && r.cache > 0.0));
+    }
+
+    #[test]
+    fn scaling_ranges() {
+        // Big n, few processors: inside every scaling range.
+        let b = bp(1 << 24, 8);
+        assert!(lcs_scaling_range_ok(b));
+        assert!(mm_scaling_range_ok(b));
+        assert!(strassen_scaling_range_ok(b));
+        // Tiny n, many processors: outside.
+        let b = BoundParams::square(1 << 10, 1 << 16, 32 * 1024, 8);
+        assert!(!lcs_scaling_range_ok(b));
+        assert!(!strassen_scaling_range_ok(b));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(problem_name(Problem::Strassen), "Strassen");
+        assert_eq!(variant_name(Variant::Paco), "PACO");
+        assert_eq!(variant_name(Variant::Sublinear), "sublinear");
+    }
+
+    #[test]
+    fn q1_helpers_positive_and_monotone() {
+        assert!(mm_q1(100.0, 100.0, 100.0, 1024.0, 8.0) > 0.0);
+        assert!(strassen_q1(256.0, 1024.0, 8.0) > strassen_q1(128.0, 1024.0, 8.0));
+        assert!(dp2d_q1(1000.0, 1024.0, 8.0) > 0.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Single ideal caches: LRU replacement and Belady's optimal (MIN) replacement.
+//!
+//! The ideal cache of the model is managed by an omniscient offline-optimal
+//! replacement policy (Belady's MIN).  Simulating MIN requires the whole trace
+//! in advance, so the distributed simulator uses LRU online — by the classic
+//! Sleator–Tarjan competitiveness result an LRU cache of size `Z` incurs at most
+//! twice the misses of a MIN cache of size `Z/2`, and on the regular traces of
+//! divide-and-conquer algorithms the two are essentially proportional.  Both are
+//! implemented here, and the test-suite checks `OPT ≤ LRU` on random and regular
+//! traces.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+/// A fully-associative cache over *lines* with LRU replacement.
+///
+/// All bookkeeping is O(1) per access: a hash map from line id to an internal
+/// slot plus an intrusive doubly-linked recency list over slots.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity_lines: usize,
+    map: HashMap<u64, usize>,
+    // Intrusive doubly-linked list over slots; slot i holds line `lines[i]`.
+    lines: Vec<u64>,
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    misses: u64,
+    hits: u64,
+}
+
+impl LruCache {
+    /// Create an empty cache that can hold `capacity_lines` lines.
+    pub fn new(capacity_lines: usize) -> Self {
+        assert!(capacity_lines > 0, "cache must hold at least one line");
+        Self {
+            capacity_lines,
+            map: HashMap::with_capacity(capacity_lines * 2),
+            lines: Vec::with_capacity(capacity_lines),
+            prev: Vec::with_capacity(capacity_lines),
+            next: Vec::with_capacity(capacity_lines),
+            head: NIL,
+            tail: NIL,
+            misses: 0,
+            hits: 0,
+        }
+    }
+
+    /// Capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.capacity_lines
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Access `line`; returns `true` on a hit, `false` on a miss (after which
+    /// the line is resident).
+    pub fn access(&mut self, line: u64) -> bool {
+        if let Some(&slot) = self.map.get(&line) {
+            self.hits += 1;
+            self.touch(slot);
+            true
+        } else {
+            self.misses += 1;
+            self.insert(line);
+            false
+        }
+    }
+
+    /// Empty the cache (task boundary / flush); statistics are preserved.
+    pub fn flush(&mut self) {
+        self.map.clear();
+        self.lines.clear();
+        self.prev.clear();
+        self.next.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Reset both contents and statistics.
+    pub fn reset(&mut self) {
+        self.flush();
+        self.misses = 0;
+        self.hits = 0;
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let p = self.prev[slot];
+        let n = self.next[slot];
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.detach(slot);
+        self.attach_front(slot);
+    }
+
+    fn insert(&mut self, line: u64) {
+        let slot = if self.map.len() == self.capacity_lines {
+            // Evict the least recently used line and reuse its slot.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.detach(victim);
+            let old_line = self.lines[victim];
+            self.map.remove(&old_line);
+            self.lines[victim] = line;
+            victim
+        } else {
+            let slot = self.lines.len();
+            self.lines.push(line);
+            self.prev.push(NIL);
+            self.next.push(NIL);
+            slot
+        };
+        self.map.insert(line, slot);
+        self.attach_front(slot);
+    }
+}
+
+/// Number of misses that Belady's optimal offline replacement (MIN) incurs on
+/// `trace` (a sequence of line ids) with a cache of `capacity_lines` lines.
+///
+/// MIN evicts the resident line whose next use is farthest in the future
+/// (or never).  Complexity O(|trace| · log Z) using a max-heap of next-use
+/// positions with lazy deletion.
+pub fn opt_misses(trace: &[u64], capacity_lines: usize) -> u64 {
+    assert!(capacity_lines > 0);
+    let n = trace.len();
+    // next_use[i] = next position after i where trace[i] occurs again, or n.
+    let mut next_use = vec![n; n];
+    let mut last_pos: HashMap<u64, usize> = HashMap::new();
+    for i in (0..n).rev() {
+        if let Some(&p) = last_pos.get(&trace[i]) {
+            next_use[i] = p;
+        }
+        last_pos.insert(trace[i], i);
+    }
+
+    use std::collections::BinaryHeap;
+    // Heap of (next_use_position, line); lazily invalidated entries are skipped
+    // by checking against the authoritative `resident` map.
+    let mut heap: BinaryHeap<(usize, u64)> = BinaryHeap::new();
+    let mut resident: HashMap<u64, usize> = HashMap::new(); // line -> its current next use
+    let mut misses = 0u64;
+
+    for i in 0..n {
+        let line = trace[i];
+        let nu = next_use[i];
+        if resident.contains_key(&line) {
+            resident.insert(line, nu);
+            heap.push((nu, line));
+        } else {
+            misses += 1;
+            if resident.len() == capacity_lines {
+                // Evict the line with the farthest (authoritative) next use.
+                loop {
+                    let (pos, cand) = heap.pop().expect("heap cannot be empty while cache is full");
+                    match resident.get(&cand) {
+                        Some(&cur) if cur == pos => {
+                            resident.remove(&cand);
+                            break;
+                        }
+                        _ => continue, // stale entry
+                    }
+                }
+            }
+            resident.insert(line, nu);
+            heap.push((nu, line));
+        }
+    }
+    misses
+}
+
+/// Number of misses LRU incurs on `trace` with `capacity_lines` lines
+/// (convenience wrapper over [`LruCache`]).
+pub fn lru_misses(trace: &[u64], capacity_lines: usize) -> u64 {
+    let mut c = LruCache::new(capacity_lines);
+    for &line in trace {
+        c.access(line);
+    }
+    c.misses()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn cold_misses_then_hits() {
+        let mut c = LruCache::new(4);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1));
+        assert!(c.access(2));
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 1 is now MRU, 2 is LRU
+        c.access(3); // evicts 2
+        assert!(c.access(1), "1 should still be resident");
+        assert!(!c.access(2), "2 should have been evicted");
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn flush_empties_but_keeps_stats() {
+        let mut c = LruCache::new(4);
+        c.access(1);
+        c.access(1);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 1);
+        assert!(!c.access(1), "after flush the line must miss again");
+        c.reset();
+        assert_eq!(c.accesses(), 0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_misses_again() {
+        let mut c = LruCache::new(8);
+        let ws: Vec<u64> = (0..8).collect();
+        for &l in &ws {
+            c.access(l);
+        }
+        let cold = c.misses();
+        for _ in 0..10 {
+            for &l in &ws {
+                assert!(c.access(l));
+            }
+        }
+        assert_eq!(c.misses(), cold);
+    }
+
+    #[test]
+    fn cyclic_scan_larger_than_capacity_thrashes_under_lru() {
+        // Classic LRU worst case: scanning Z+1 lines cyclically misses always.
+        let capacity = 8;
+        let lines: Vec<u64> = (0..(capacity as u64 + 1)).collect();
+        let mut trace = Vec::new();
+        for _ in 0..5 {
+            trace.extend_from_slice(&lines);
+        }
+        assert_eq!(lru_misses(&trace, capacity), trace.len() as u64);
+        // OPT does much better on the same trace.
+        assert!(opt_misses(&trace, capacity) < trace.len() as u64 / 2);
+    }
+
+    #[test]
+    fn opt_matches_textbook_example() {
+        // Belady example: reference string 1..5 with capacity 3.
+        let trace = [1u64, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5];
+        assert_eq!(opt_misses(&trace, 3), 7);
+        // LRU on the same string incurs 10 misses (textbook result).
+        assert_eq!(lru_misses(&trace, 3), 10);
+    }
+
+    #[test]
+    fn opt_never_exceeds_lru() {
+        let mut rng = paco_core::workload::rng(1234);
+        for _case in 0..20 {
+            let universe = rng.gen_range(4..40u64);
+            let len = rng.gen_range(10..400usize);
+            let trace: Vec<u64> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
+            for cap in [2usize, 4, 8, 16] {
+                let o = opt_misses(&trace, cap);
+                let l = lru_misses(&trace, cap);
+                assert!(o <= l, "OPT {o} > LRU {l} (cap {cap})");
+                // Both at least the number of distinct lines (cold misses).
+                let mut distinct: Vec<u64> = trace.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                assert!(o >= distinct.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_scan_misses_once_per_line() {
+        let trace: Vec<u64> = (0..100).collect();
+        assert_eq!(lru_misses(&trace, 4), 100);
+        assert_eq!(opt_misses(&trace, 4), 100);
+    }
+}

@@ -1,0 +1,48 @@
+//! # paco-cache-sim
+//!
+//! The *ideal distributed cache model* of Frigo & Strumpen, which is the machine
+//! model of the PACO paper (Fig. 1, Sect. II), implemented as an executable
+//! simulator plus analytic evaluators of the paper's Table I bounds.
+//!
+//! The model: `p` processors, each with a **private ideal cache** of `Z` words
+//! organised in lines of `L` words, connected to an arbitrarily large shared
+//! memory.  A processor can only operate on data in its own cache; touching a
+//! word whose line is absent incurs one cache miss.  Caches are fully
+//! associative and non-interfering (the misses of one processor can be counted
+//! independently of all others).  The paper's accounting convention (Sect.
+//! III-A) has every *task* start with a cold cache and flush when it finishes.
+//!
+//! What this crate provides:
+//!
+//! * [`cache::LruCache`] — a fully-associative cache with LRU replacement
+//!   (constant-time accesses), the workhorse of the simulator.
+//! * [`cache::opt_misses`] — Belady's optimal offline (MIN) replacement applied
+//!   to a recorded trace, for validating that LRU is within the usual constant
+//!   factor on these regular traces (the "ideal cache" of the model is OPT; the
+//!   classic Sleator–Tarjan result justifies simulating with LRU).
+//! * [`sim::DistCacheSim`] — `p` private caches with per-processor miss
+//!   counters (`Q_p^Σ`, `Q_p^max`), task-boundary flushes, and word→line
+//!   translation.
+//! * [`sim::Tracker`] / [`sim::NullTracker`] / [`sim::SimTracker`] — the access
+//!   hook the algorithm kernels are generic over, so the *same* kernel code runs
+//!   natively (zero-cost no-op tracker) or replayed through the simulator.
+//! * [`layout`] — address-space layout helpers mapping logical array/matrix
+//!   cells to word addresses.
+//! * [`analytic`] — closed-form evaluators of every Q-bound that appears in
+//!   Table I, used by the `table1` benchmark binary to print the paper's
+//!   comparison and by tests to check the measured misses track the predicted
+//!   shape.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analytic;
+pub mod cache;
+pub mod distributed;
+pub mod layout;
+pub mod sim;
+
+pub use cache::{opt_misses, LruCache};
+pub use layout::{Layout1D, Layout2D};
+pub use paco_core::machine::CacheParams;
+pub use sim::{DistCacheSim, NullTracker, SimTracker, Tracker};

@@ -1,0 +1,302 @@
+//! The distributed cache simulator and the access-tracking hook.
+//!
+//! [`DistCacheSim`] instantiates one private [`LruCache`](crate::cache::LruCache)
+//! per processor and tallies per-processor misses, giving the paper's
+//! `Q^Σ_p` (total) and `Q^max_p` (critical-path) quantities directly.
+//!
+//! Algorithm kernels are written once, generic over [`Tracker`]:
+//! in production they are instantiated with [`NullTracker`] (every hook is an
+//! empty `#[inline]` function, so the compiler erases it), and in the
+//! cache-model experiments they are instantiated with [`SimTracker`], which
+//! replays every logical read/write through the simulated private cache of the
+//! processor the partitioning assigned that piece of work to.
+
+use crate::cache::LruCache;
+use paco_core::machine::CacheParams;
+use paco_core::metrics::Counters;
+
+/// Hook through which instrumented kernels report their memory accesses.
+///
+/// All methods have empty default bodies so a no-op tracker compiles away.
+pub trait Tracker {
+    /// A read of one word at `addr`.
+    #[inline]
+    fn read(&mut self, addr: usize) {
+        let _ = addr;
+    }
+
+    /// A write of one word at `addr`.
+    #[inline]
+    fn write(&mut self, addr: usize) {
+        let _ = addr;
+    }
+
+    /// Subsequent accesses are attributed to processor `proc`.
+    #[inline]
+    fn set_proc(&mut self, proc: usize) {
+        let _ = proc;
+    }
+
+    /// A task boundary on the current processor: the paper's accounting flushes
+    /// the private cache when a task finishes.
+    #[inline]
+    fn task_boundary(&mut self) {}
+}
+
+/// The zero-cost tracker used for native (non-simulated) execution.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracker;
+
+impl Tracker for NullTracker {}
+
+/// `p` private ideal caches plus per-processor miss/access counters.
+#[derive(Debug, Clone)]
+pub struct DistCacheSim {
+    params: CacheParams,
+    caches: Vec<LruCache>,
+    misses: Counters,
+    accesses: Counters,
+}
+
+impl DistCacheSim {
+    /// Create a simulator for `p` processors with the given private-cache
+    /// parameters.
+    pub fn new(p: usize, params: CacheParams) -> Self {
+        assert!(p > 0, "need at least one processor");
+        Self {
+            params,
+            caches: (0..p).map(|_| LruCache::new(params.lines())).collect(),
+            misses: Counters::new(p),
+            accesses: Counters::new(p),
+        }
+    }
+
+    /// Number of processors.
+    pub fn p(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The cache parameters used by every private cache.
+    pub fn params(&self) -> CacheParams {
+        self.params
+    }
+
+    /// Record an access by processor `proc` to the word at `addr`.
+    pub fn access(&mut self, proc: usize, addr: usize) {
+        let line = (addr / self.params.l_words) as u64;
+        self.accesses.add(proc, 1);
+        if !self.caches[proc].access(line) {
+            self.misses.add(proc, 1);
+        }
+    }
+
+    /// Record an access by `proc` to `words` consecutive words starting at `addr`.
+    pub fn access_range(&mut self, proc: usize, addr: usize, words: usize) {
+        let l = self.params.l_words;
+        let first = addr / l;
+        let last = (addr + words.max(1) - 1) / l;
+        self.accesses.add(proc, words as u64);
+        for line in first..=last {
+            if !self.caches[proc].access(line as u64) {
+                self.misses.add(proc, 1);
+            }
+        }
+    }
+
+    /// Flush processor `proc`'s private cache (task boundary).
+    pub fn flush(&mut self, proc: usize) {
+        self.caches[proc].flush();
+    }
+
+    /// Flush every private cache.
+    pub fn flush_all(&mut self) {
+        for c in &mut self.caches {
+            c.flush();
+        }
+    }
+
+    /// Per-processor miss counters.
+    pub fn misses(&self) -> &Counters {
+        &self.misses
+    }
+
+    /// Per-processor access counters.
+    pub fn accesses(&self) -> &Counters {
+        &self.accesses
+    }
+
+    /// `Q^Σ_p`: cache misses summed over all processors.
+    pub fn q_sum(&self) -> u64 {
+        self.misses.total()
+    }
+
+    /// `Q^max_p`: maximal cache misses on any single processor.
+    pub fn q_max(&self) -> u64 {
+        self.misses.max()
+    }
+
+    /// Miss imbalance `Q^max_p / (Q^Σ_p / p)`.
+    pub fn q_imbalance(&self) -> f64 {
+        self.misses.imbalance()
+    }
+}
+
+/// Tracker that replays accesses through a [`DistCacheSim`].
+#[derive(Debug)]
+pub struct SimTracker {
+    sim: DistCacheSim,
+    current_proc: usize,
+}
+
+impl SimTracker {
+    /// Create a tracker for `p` processors with the given cache parameters;
+    /// accesses are attributed to processor 0 until [`Tracker::set_proc`] is
+    /// called.
+    pub fn new(p: usize, params: CacheParams) -> Self {
+        Self {
+            sim: DistCacheSim::new(p, params),
+            current_proc: 0,
+        }
+    }
+
+    /// Processor currently being charged.
+    pub fn current_proc(&self) -> usize {
+        self.current_proc
+    }
+
+    /// The underlying simulator (for reading out the counters).
+    pub fn sim(&self) -> &DistCacheSim {
+        &self.sim
+    }
+
+    /// Consume the tracker and return the simulator.
+    pub fn into_sim(self) -> DistCacheSim {
+        self.sim
+    }
+}
+
+impl Tracker for SimTracker {
+    #[inline]
+    fn read(&mut self, addr: usize) {
+        self.sim.access(self.current_proc, addr);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: usize) {
+        self.sim.access(self.current_proc, addr);
+    }
+
+    #[inline]
+    fn set_proc(&mut self, proc: usize) {
+        assert!(proc < self.sim.p(), "processor {proc} out of range");
+        self.current_proc = proc;
+    }
+
+    #[inline]
+    fn task_boundary(&mut self) {
+        self.sim.flush(self.current_proc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheParams {
+        CacheParams::new(64, 4) // 16 lines of 4 words
+    }
+
+    #[test]
+    fn null_tracker_is_inert() {
+        let mut t = NullTracker;
+        t.read(0);
+        t.write(1);
+        t.set_proc(5);
+        t.task_boundary();
+    }
+
+    #[test]
+    fn line_granularity() {
+        let mut sim = DistCacheSim::new(1, tiny());
+        // Words 0..4 share one line: one miss, three hits.
+        for w in 0..4 {
+            sim.access(0, w);
+        }
+        assert_eq!(sim.q_sum(), 1);
+        assert_eq!(sim.accesses().total(), 4);
+        // Word 4 is the next line.
+        sim.access(0, 4);
+        assert_eq!(sim.q_sum(), 2);
+    }
+
+    #[test]
+    fn access_range_spans_lines() {
+        let mut sim = DistCacheSim::new(1, tiny());
+        sim.access_range(0, 2, 8); // words 2..10 -> lines 0, 1, 2
+        assert_eq!(sim.q_sum(), 3);
+        assert_eq!(sim.accesses().total(), 8);
+    }
+
+    #[test]
+    fn processors_are_independent() {
+        let mut sim = DistCacheSim::new(2, tiny());
+        sim.access(0, 0);
+        sim.access(1, 0); // same line, different private cache -> both miss
+        assert_eq!(sim.misses().get(0), 1);
+        assert_eq!(sim.misses().get(1), 1);
+        sim.access(0, 0);
+        assert_eq!(sim.misses().get(0), 1, "second access on p0 hits");
+    }
+
+    #[test]
+    fn flush_forces_cold_restart() {
+        let mut sim = DistCacheSim::new(1, tiny());
+        sim.access(0, 0);
+        sim.flush(0);
+        sim.access(0, 0);
+        assert_eq!(sim.q_sum(), 2);
+        sim.flush_all();
+        sim.access(0, 0);
+        assert_eq!(sim.q_sum(), 3);
+    }
+
+    #[test]
+    fn q_max_and_imbalance() {
+        let mut sim = DistCacheSim::new(2, tiny());
+        for w in 0..64 {
+            sim.access(0, w * 4); // 64 distinct lines on p0
+        }
+        sim.access(1, 0);
+        assert_eq!(sim.q_max(), 64);
+        assert_eq!(sim.q_sum(), 65);
+        assert!(sim.q_imbalance() > 1.9);
+    }
+
+    #[test]
+    fn sim_tracker_routes_by_processor() {
+        let mut t = SimTracker::new(3, tiny());
+        t.set_proc(2);
+        t.read(0);
+        t.write(1);
+        t.set_proc(0);
+        t.read(100);
+        let sim = t.into_sim();
+        assert_eq!(sim.misses().get(2), 1); // words 0 and 1 share a line
+        assert_eq!(sim.misses().get(0), 1);
+        assert_eq!(sim.misses().get(1), 0);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_evicts() {
+        let params = CacheParams::new(64, 4); // 16 lines
+        let mut sim = DistCacheSim::new(1, params);
+        // Touch 32 distinct lines twice in cyclic order: capacity 16 < 32 so the
+        // second round misses again under LRU.
+        for _round in 0..2 {
+            for l in 0..32 {
+                sim.access(0, l * 4);
+            }
+        }
+        assert_eq!(sim.q_sum(), 64);
+    }
+}

@@ -1,0 +1,52 @@
+//! # paco-core
+//!
+//! Shared vocabulary for the PACO ("Processor-Aware but Cache-Oblivious")
+//! reproduction of *Balanced Partitioning of Several Cache-Oblivious Algorithms*
+//! (Tang & Gao, SPAA 2020, arXiv:2011.01441).
+//!
+//! The crates higher in the stack (`paco-runtime`, `paco-dp`, `paco-matmul`,
+//! `paco-sort`, `paco-cache-sim`, `paco-bench`) all speak in terms of the types
+//! defined here:
+//!
+//! * [`ProcList`] — a contiguous list of processor identifiers that can be split
+//!   by the `⌊p/2⌋ : ⌈p/2⌉` rule, by an arbitrary ratio, or by per-processor
+//!   throughput fractions.  Processor lists are the central object of the paper's
+//!   "1-PIECE" style algorithms (PACO 1D, PACO MM-1-PIECE, PACO HETERO-MM).
+//! * [`machine::MachineConfig`] — the two-level ideal distributed cache model
+//!   parameters (p, Z, L) plus the experimental machine presets of Table III.
+//! * [`semiring::Semiring`] — the closed semiring abstraction the paper's
+//!   rectangular matrix multiplication is stated over, with the usual
+//!   `(+, ×)` ring, the tropical `(min, +)` semiring and a wrapping integer ring
+//!   for exact testing.
+//! * [`matrix::Matrix`] / [`matrix::MatMut`] — dense row-major matrices and the
+//!   disjoint mutable sub-views needed to hand independent output quadrants to
+//!   different processors without locking.
+//! * [`metrics`] — work/critical-path counters, wall-clock stopwatches and
+//!   throughput helpers used by the benchmark harness.
+//! * [`table`] — tiny CSV / aligned-table emitters so every benchmark binary can
+//!   print the rows the paper's tables and figures report.
+//! * [`workload`] — deterministic workload generators (random sequences,
+//!   matrices, weight functions) shared by tests, examples and benches.
+//! * [`util`] — integer helpers (ceiling division, power-of-two rounding,
+//!   primality) used throughout the partitioning code.
+//!
+//! Everything in this crate is purely sequential and dependency-light; the
+//! parallel machinery lives in `paco-runtime`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod machine;
+pub mod matrix;
+pub mod metrics;
+pub mod proc_list;
+pub mod semiring;
+pub mod table;
+pub mod util;
+pub mod workload;
+
+pub use machine::{CacheParams, HeteroSpec, MachineConfig};
+pub use matrix::{MatMut, MatRef, Matrix};
+pub use metrics::{Counters, Stopwatch};
+pub use proc_list::{ProcId, ProcList};
+pub use semiring::{BoolSemiring, MaxPlus, MinPlus, Numeric, Semiring, WrappingRing};

@@ -1,0 +1,304 @@
+//! Machine models.
+//!
+//! The paper analyses every algorithm under the *ideal distributed cache model*
+//! of Frigo and Strumpen (Fig. 1 of the paper): `p` identical processors, each
+//! with a private ideal cache of `Z` words, exchanging cache lines of `L` words
+//! with an arbitrarily large shared memory.  [`CacheParams`] captures `(Z, L)`,
+//! [`MachineConfig`] adds the processor count and human-readable metadata, and
+//! [`HeteroSpec`] describes the heterogeneous extension of Sect. III-E-2 where
+//! each processor has its own fixed throughput.
+//!
+//! Table III of the paper describes the two machines used in its evaluation; the
+//! presets [`MachineConfig::xeon_72core`] and [`MachineConfig::xeon_24core`]
+//! reproduce those parameters so that the cache-model simulation and the
+//! analytic bound evaluation can be run against the same configurations the
+//! paper reports.
+
+use std::fmt;
+
+/// Parameters of one private ideal cache: capacity `Z` and line size `L`,
+/// both measured in *words* (elements), following the paper's convention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheParams {
+    /// Cache size `Z` in words.
+    pub z_words: usize,
+    /// Cache line size `L` in words.
+    pub l_words: usize,
+}
+
+impl CacheParams {
+    /// Create cache parameters; panics unless `0 < L <= Z` and `L` divides `Z`.
+    pub fn new(z_words: usize, l_words: usize) -> Self {
+        assert!(l_words > 0, "cache line size must be positive");
+        assert!(z_words >= l_words, "cache must hold at least one line");
+        assert_eq!(
+            z_words % l_words,
+            0,
+            "cache size {z_words} must be a multiple of line size {l_words}"
+        );
+        Self { z_words, l_words }
+    }
+
+    /// Number of lines the cache can hold (`Z / L`).
+    pub fn lines(&self) -> usize {
+        self.z_words / self.l_words
+    }
+
+    /// A small cache convenient for unit tests (64 lines of 8 words).
+    pub fn tiny() -> Self {
+        Self::new(512, 8)
+    }
+}
+
+impl fmt::Display for CacheParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Z={} words, L={} words", self.z_words, self.l_words)
+    }
+}
+
+/// Throughput description of a heterogeneous machine (Sect. III-E-2).
+///
+/// `ratios[i]` is the fixed relative throughput `t_i` of processor `i`; the paper
+/// normalises so that `t_1 = 1` and `t_i >= 1`.  We only require every ratio to
+/// be positive; [`HeteroSpec::fractions`] produces the normalised load fractions
+/// `f_i = t_i / Σ t_j` the PACO-HETERO algorithms split by.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HeteroSpec {
+    ratios: Vec<f64>,
+}
+
+impl HeteroSpec {
+    /// Create a heterogeneous throughput specification.
+    ///
+    /// Panics if `ratios` is empty or any ratio is not strictly positive and
+    /// finite.
+    pub fn new(ratios: Vec<f64>) -> Self {
+        assert!(!ratios.is_empty(), "HeteroSpec needs at least one processor");
+        for (i, &r) in ratios.iter().enumerate() {
+            assert!(
+                r.is_finite() && r > 0.0,
+                "throughput ratio t_{i} = {r} must be positive and finite"
+            );
+        }
+        Self { ratios }
+    }
+
+    /// A homogeneous machine of `p` processors (all ratios equal to 1).
+    pub fn homogeneous(p: usize) -> Self {
+        Self::new(vec![1.0; p])
+    }
+
+    /// The machine heterogeneity observed in the paper's Sect. IV-A: the first
+    /// socket's cores run `fast_factor`× faster than the remaining cores.
+    pub fn one_fast_socket(p: usize, fast_cores: usize, fast_factor: f64) -> Self {
+        assert!(fast_cores <= p);
+        let mut ratios = vec![1.0; p];
+        for r in ratios.iter_mut().take(fast_cores) {
+            *r = fast_factor;
+        }
+        Self::new(ratios)
+    }
+
+    /// Number of processors.
+    pub fn p(&self) -> usize {
+        self.ratios.len()
+    }
+
+    /// The raw throughput ratios `t_i`.
+    pub fn ratios(&self) -> &[f64] {
+        &self.ratios
+    }
+
+    /// The normalised load fractions `f_i = t_i / Σ_j t_j` (they sum to 1).
+    pub fn fractions(&self) -> Vec<f64> {
+        let total: f64 = self.ratios.iter().sum();
+        self.ratios.iter().map(|&t| t / total).collect()
+    }
+
+    /// Total throughput `Σ t_i`, i.e. the ideal speedup over processor 0 running
+    /// alone at throughput `t_0` normalised to 1 (Corollary 12).
+    pub fn total_throughput(&self) -> f64 {
+        self.ratios.iter().sum()
+    }
+
+    /// True if every processor has the same throughput.
+    pub fn is_homogeneous(&self) -> bool {
+        self.ratios
+            .windows(2)
+            .all(|w| (w[0] - w[1]).abs() < f64::EPSILON)
+    }
+}
+
+/// A complete machine description for the ideal distributed cache model:
+/// processor count, private cache parameters and optional heterogeneity.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MachineConfig {
+    /// Human-readable name (e.g. `"72-core machine"`).
+    pub name: String,
+    /// Number of processors `p`.
+    pub p: usize,
+    /// Private cache parameters (the model has one cache level per processor;
+    /// for the real machines of Table III we use the per-core L2 as `Z`).
+    pub cache: CacheParams,
+    /// Optional second cache level used only for reporting (per-core L1).
+    pub l1: Option<CacheParams>,
+    /// Clock frequency in GHz (for Rpeak-style reporting only).
+    pub clock_ghz: f64,
+    /// Double-precision FLOPs per cycle per core (for Rpeak-style reporting).
+    pub flops_per_cycle: f64,
+    /// Throughput heterogeneity; `None` means homogeneous.
+    pub hetero: Option<HeteroSpec>,
+}
+
+impl MachineConfig {
+    /// A homogeneous machine with `p` processors and the given private cache.
+    pub fn homogeneous(name: impl Into<String>, p: usize, cache: CacheParams) -> Self {
+        Self {
+            name: name.into(),
+            p,
+            cache,
+            l1: None,
+            clock_ghz: 0.0,
+            flops_per_cycle: 0.0,
+            hetero: None,
+        }
+    }
+
+    /// The 72-core machine of Table III: 4 sockets × 18 cores, Xeon E7-8890 v3,
+    /// 2.5 GHz, 32 KB L1d / 256 KB L2 per core, 16 DP FLOPs/cycle.
+    ///
+    /// Cache parameters are expressed in `f64` words (8 bytes):
+    /// Z = 256 KB / 8 = 32768 words, L = 64 B / 8 = 8 words.
+    pub fn xeon_72core() -> Self {
+        Self {
+            name: "72-core machine (Xeon E7-8890 v3)".to_string(),
+            p: 72,
+            cache: CacheParams::new(32 * 1024, 8),
+            l1: Some(CacheParams::new(4 * 1024, 8)),
+            clock_ghz: 2.5,
+            flops_per_cycle: 16.0,
+            // Sect. IV-A: the 18 cores of socket 0 were measured ~3x faster than
+            // the other 54 cores.
+            hetero: Some(HeteroSpec::one_fast_socket(72, 18, 3.0)),
+        }
+    }
+
+    /// The 24-core machine of Table III: 2 sockets × 12 cores, Xeon E5-2670 v3,
+    /// 2.3 GHz, 32 KB L1d / 256 KB L2 per core, 16 DP FLOPs/cycle.
+    pub fn xeon_24core() -> Self {
+        Self {
+            name: "24-core machine (Xeon E5-2670 v3)".to_string(),
+            p: 24,
+            cache: CacheParams::new(32 * 1024, 8),
+            l1: Some(CacheParams::new(4 * 1024, 8)),
+            clock_ghz: 2.3,
+            flops_per_cycle: 16.0,
+            hetero: None,
+        }
+    }
+
+    /// A machine sized for this container / CI: `p` = available hardware
+    /// parallelism, small simulated caches so the cache-model experiments finish
+    /// quickly.
+    pub fn local(p: usize) -> Self {
+        Self::homogeneous(format!("local machine (p={p})"), p, CacheParams::new(4096, 8))
+    }
+
+    /// Theoretical peak double-precision FLOP/s of the whole machine
+    /// (`p × clock × flops_per_cycle`), the paper's `Rpeak`.
+    pub fn rpeak_flops(&self) -> f64 {
+        self.p as f64 * self.clock_ghz * 1e9 * self.flops_per_cycle
+    }
+
+    /// The heterogeneity specification, defaulting to homogeneous.
+    pub fn hetero_spec(&self) -> HeteroSpec {
+        self.hetero
+            .clone()
+            .unwrap_or_else(|| HeteroSpec::homogeneous(self.p))
+    }
+}
+
+impl fmt::Display for MachineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: p={}, {}", self.name, self.p, self.cache)?;
+        if let Some(h) = &self.hetero {
+            write!(f, ", heterogeneous (Σt={:.1})", h.total_throughput())?;
+        }
+        Ok(())
+    }
+}
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_processors() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_params_lines() {
+        let c = CacheParams::new(512, 8);
+        assert_eq!(c.lines(), 64);
+        assert_eq!(format!("{c}"), "Z=512 words, L=8 words");
+    }
+
+    #[test]
+    #[should_panic]
+    fn cache_params_rejects_non_multiple() {
+        CacheParams::new(100, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cache_params_rejects_line_larger_than_cache() {
+        CacheParams::new(4, 8);
+    }
+
+    #[test]
+    fn hetero_fractions_sum_to_one() {
+        let h = HeteroSpec::new(vec![1.0, 2.0, 3.0, 2.0]);
+        let f = h.fractions();
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((f[2] - 3.0 / 8.0).abs() < 1e-12);
+        assert!(!h.is_homogeneous());
+        assert!((h.total_throughput() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hetero_homogeneous() {
+        let h = HeteroSpec::homogeneous(6);
+        assert!(h.is_homogeneous());
+        assert_eq!(h.p(), 6);
+        assert!((h.total_throughput() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_fast_socket_matches_paper() {
+        let h = HeteroSpec::one_fast_socket(72, 18, 3.0);
+        assert_eq!(h.ratios().iter().filter(|&&r| r == 3.0).count(), 18);
+        assert_eq!(h.ratios().iter().filter(|&&r| r == 1.0).count(), 54);
+    }
+
+    #[test]
+    fn machine_presets() {
+        let m72 = MachineConfig::xeon_72core();
+        assert_eq!(m72.p, 72);
+        assert!(m72.hetero.is_some());
+        let m24 = MachineConfig::xeon_24core();
+        assert_eq!(m24.p, 24);
+        // Rpeak of the 24-core machine: 24 * 2.3e9 * 16 ≈ 883 GFLOP/s.
+        let rpeak = m24.rpeak_flops();
+        assert!((rpeak - 24.0 * 2.3e9 * 16.0).abs() < 1.0);
+        assert!(m24.hetero_spec().is_homogeneous());
+    }
+
+    #[test]
+    fn available_processors_positive() {
+        assert!(available_processors() >= 1);
+    }
+}

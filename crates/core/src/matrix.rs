@@ -1,0 +1,597 @@
+//! Dense row-major matrices and disjoint sub-matrix views.
+//!
+//! The divide-and-conquer matrix algorithms of the paper (`CO-MM`, `PACO-MM`,
+//! `PACO-MM-1-PIECE`, Strassen, …) recursively split the output matrix `C` and
+//! the inputs `A`, `B` into quadrants/halves and hand *disjoint* pieces to
+//! different processors.  Rust's borrow checker cannot express "these two
+//! mutable windows into the same allocation do not overlap" through plain
+//! slices, so this module provides:
+//!
+//! * [`Matrix<T>`] — an owning, row-major dense matrix.
+//! * [`MatRef<'_, T>`] — a read-only window (pointer + dims + row stride).
+//! * [`MatMut<'_, T>`] — a mutable window that can be split into two
+//!   non-overlapping windows along either dimension ([`MatMut::split_rows`],
+//!   [`MatMut::split_cols`]).  The splits are the only way to duplicate mutable
+//!   access, and they always produce disjoint windows, so data-race freedom is
+//!   preserved even though the windows may be sent to different worker threads.
+//!
+//! All index arithmetic is `debug_assert!`-checked; release builds pay no
+//! bounds-check cost in the hot kernels.
+
+use crate::semiring::Semiring;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// An owning dense row-major matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    data: Vec<T>,
+    rows: usize,
+    cols: usize,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for i in 0..show_rows {
+            write!(f, "  [")?;
+            let show_cols = self.cols.min(8);
+            for j in 0..show_cols {
+                write!(f, "{:?}, ", self.data[i * self.cols + j])?;
+            }
+            if self.cols > show_cols {
+                write!(f, "...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: Copy> Matrix<T> {
+    /// Create a `rows × cols` matrix filled with `fill`.
+    pub fn filled(rows: usize, cols: usize, fill: T) -> Self {
+        Self {
+            data: vec![fill; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Create a matrix from a generator function `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { data, rows, cols }
+    }
+
+    /// Create a matrix from a row-major data vector.
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { data, rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Set element `(i, j)` to `v`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Raw mutable row-major data.
+    pub fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Read-only view of the whole matrix.
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef {
+            ptr: self.data.as_ptr(),
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Mutable view of the whole matrix.
+    pub fn as_mut(&mut self) -> MatMut<'_, T> {
+        MatMut {
+            ptr: self.data.as_mut_ptr(),
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Fill every element with `v`.
+    pub fn fill(&mut self, v: T) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+}
+
+impl<T: Semiring> Matrix<T> {
+    /// A `rows × cols` matrix of semiring zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, T::zero())
+    }
+
+    /// The `n × n` semiring identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, T::one());
+        }
+        m
+    }
+}
+
+impl Matrix<f64> {
+    /// Maximum absolute element-wise difference to another matrix.
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True if every element differs by at most `tol` (absolute) or `tol`
+    /// relative to the magnitude of the larger element.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        self.data.iter().zip(other.data.iter()).all(|(a, b)| {
+            let diff = (a - b).abs();
+            diff <= tol || diff <= tol * a.abs().max(b.abs())
+        })
+    }
+}
+
+impl<T: Copy> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Copy> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// A read-only window into a row-major matrix.
+#[derive(Clone, Copy)]
+pub struct MatRef<'a, T> {
+    ptr: *const T,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    _marker: PhantomData<&'a T>,
+}
+
+// SAFETY: a MatRef only permits shared reads of the underlying cells, exactly
+// like &[T]; it is Send/Sync whenever shared references to T are.
+unsafe impl<T: Sync> Send for MatRef<'_, T> {}
+unsafe impl<T: Sync> Sync for MatRef<'_, T> {}
+
+impl<'a, T: Copy> MatRef<'a, T> {
+    /// Number of rows in the window.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns in the window.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Distance (in elements) between the starts of consecutive rows.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Element at `(i, j)` within the window.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols, "MatRef index out of bounds");
+        // SAFETY: the window invariant guarantees (i, j) maps inside the parent
+        // allocation for i < rows, j < cols.
+        unsafe { *self.ptr.add(i * self.stride + j) }
+    }
+
+    /// Sub-window of `nrows × ncols` starting at `(r0, c0)`.
+    #[inline]
+    pub fn submatrix(&self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> MatRef<'a, T> {
+        debug_assert!(r0 + nrows <= self.rows && c0 + ncols <= self.cols);
+        MatRef {
+            // SAFETY: stays within the parent window by the assert above.
+            ptr: unsafe { self.ptr.add(r0 * self.stride + c0) },
+            rows: nrows,
+            cols: ncols,
+            stride: self.stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Split into a top window of `at` rows and a bottom window with the rest.
+    #[inline]
+    pub fn split_rows(&self, at: usize) -> (MatRef<'a, T>, MatRef<'a, T>) {
+        (
+            self.submatrix(0, 0, at, self.cols),
+            self.submatrix(at, 0, self.rows - at, self.cols),
+        )
+    }
+
+    /// Split into a left window of `at` columns and a right window with the rest.
+    #[inline]
+    pub fn split_cols(&self, at: usize) -> (MatRef<'a, T>, MatRef<'a, T>) {
+        (
+            self.submatrix(0, 0, self.rows, at),
+            self.submatrix(0, at, self.rows, self.cols - at),
+        )
+    }
+
+    /// Copy the window into an owning [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix<T> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.at(i, j))
+    }
+}
+
+/// A mutable window into a row-major matrix.
+///
+/// # Disjointness invariant
+///
+/// A `MatMut` has exclusive access to every cell inside its window.  The only
+/// operations producing two `MatMut`s from one are [`MatMut::split_rows`] and
+/// [`MatMut::split_cols`], which partition the window, so two live `MatMut`s
+/// obtained from the same parent never overlap.  This is what lets the PACO
+/// algorithms hand output halves to different processors without locks while
+/// remaining free of data races (the paper's algorithms have no races either;
+/// Sect. II).
+pub struct MatMut<'a, T> {
+    ptr: *mut T,
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    _marker: PhantomData<&'a mut T>,
+}
+
+// SAFETY: a MatMut is an exclusive window (see invariant above); moving it to
+// another thread is as safe as moving &mut [T].
+unsafe impl<T: Send> Send for MatMut<'_, T> {}
+
+impl<'a, T: Copy> MatMut<'a, T> {
+    /// Number of rows in the window.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns in the window.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Distance (in elements) between the starts of consecutive rows.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols, "MatMut index out of bounds");
+        // SAFETY: window invariant.
+        unsafe { *self.ptr.add(i * self.stride + j) }
+    }
+
+    /// Overwrite element `(i, j)` with `v`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols, "MatMut index out of bounds");
+        // SAFETY: window invariant, exclusive access.
+        unsafe { *self.ptr.add(i * self.stride + j) = v }
+    }
+
+    /// Mutable reference to element `(i, j)`.
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols, "MatMut index out of bounds");
+        // SAFETY: window invariant, exclusive access.
+        unsafe { &mut *self.ptr.add(i * self.stride + j) }
+    }
+
+    /// Reborrow: a shorter-lived mutable window over the same cells.
+    #[inline]
+    pub fn rb(&mut self) -> MatMut<'_, T> {
+        MatMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Read-only view of the same window.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Mutable sub-window of `nrows × ncols` starting at `(r0, c0)`, consuming
+    /// this window (use [`MatMut::rb`] first to keep the parent).
+    #[inline]
+    pub fn submatrix_mut(self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> MatMut<'a, T> {
+        debug_assert!(r0 + nrows <= self.rows && c0 + ncols <= self.cols);
+        MatMut {
+            // SAFETY: stays within the parent window.
+            ptr: unsafe { self.ptr.add(r0 * self.stride + c0) },
+            rows: nrows,
+            cols: ncols,
+            stride: self.stride,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Split into a top window of `at` rows and a bottom window with the rest.
+    ///
+    /// The two windows are disjoint, so both may be mutated concurrently.
+    #[inline]
+    pub fn split_rows(self, at: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
+        debug_assert!(at <= self.rows);
+        let top = MatMut {
+            ptr: self.ptr,
+            rows: at,
+            cols: self.cols,
+            stride: self.stride,
+            _marker: PhantomData,
+        };
+        let bottom = MatMut {
+            // SAFETY: rows at..self.rows of the same window.
+            ptr: unsafe { self.ptr.add(at * self.stride) },
+            rows: self.rows - at,
+            cols: self.cols,
+            stride: self.stride,
+            _marker: PhantomData,
+        };
+        (top, bottom)
+    }
+
+    /// Split into a left window of `at` columns and a right window with the rest.
+    ///
+    /// The two windows are disjoint, so both may be mutated concurrently.
+    #[inline]
+    pub fn split_cols(self, at: usize) -> (MatMut<'a, T>, MatMut<'a, T>) {
+        debug_assert!(at <= self.cols);
+        let left = MatMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: at,
+            stride: self.stride,
+            _marker: PhantomData,
+        };
+        let right = MatMut {
+            // SAFETY: columns at..self.cols of the same window.
+            ptr: unsafe { self.ptr.add(at) },
+            rows: self.rows,
+            cols: self.cols - at,
+            stride: self.stride,
+            _marker: PhantomData,
+        };
+        (left, right)
+    }
+
+    /// Fill the window with `v`.
+    pub fn fill(&mut self, v: T) {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                self.set(i, j, v);
+            }
+        }
+    }
+
+    /// Copy the contents of `src` (same shape) into this window.
+    pub fn copy_from(&mut self, src: &MatRef<'_, T>) {
+        assert_eq!(self.rows, src.rows());
+        assert_eq!(self.cols, src.cols());
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                self.set(i, j, src.at(i, j));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semiring::WrappingRing;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 10 + j) as i64);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.get(2, 3), 23);
+        assert_eq!(m[(1, 2)], 12);
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z: Matrix<f64> = Matrix::zeros(2, 3);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let i: Matrix<f64> = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i.get(r, c), if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_round_trip() {
+        let m = Matrix::from_vec(2, 2, vec![1, 2, 3, 4]);
+        assert_eq!(m.get(1, 0), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn view_reads_match_matrix() {
+        let m = Matrix::from_fn(5, 7, |i, j| (i * 100 + j) as i32);
+        let v = m.as_ref();
+        for i in 0..5 {
+            for j in 0..7 {
+                assert_eq!(v.at(i, j), m.get(i, j));
+            }
+        }
+        let sub = v.submatrix(1, 2, 3, 4);
+        assert_eq!(sub.at(0, 0), m.get(1, 2));
+        assert_eq!(sub.at(2, 3), m.get(3, 5));
+    }
+
+    #[test]
+    fn split_rows_and_cols_cover_disjointly() {
+        let mut m = Matrix::filled(6, 6, 0i32);
+        {
+            let (mut top, mut bottom) = m.as_mut().split_rows(2);
+            assert_eq!(top.rows(), 2);
+            assert_eq!(bottom.rows(), 4);
+            top.fill(1);
+            bottom.fill(2);
+        }
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(m.get(i, j), if i < 2 { 1 } else { 2 });
+            }
+        }
+        {
+            let (mut left, mut right) = m.as_mut().split_cols(4);
+            left.fill(3);
+            right.fill(4);
+        }
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(m.get(i, j), if j < 4 { 3 } else { 4 });
+            }
+        }
+    }
+
+    #[test]
+    fn nested_splits_write_through() {
+        let mut m = Matrix::filled(4, 4, 0u64);
+        {
+            let (top, bottom) = m.as_mut().split_rows(2);
+            let (mut tl, mut tr) = top.split_cols(2);
+            let (mut bl, mut br) = bottom.split_cols(2);
+            tl.set(0, 0, 11);
+            tr.set(0, 0, 12);
+            bl.set(0, 0, 21);
+            br.set(1, 1, 22);
+        }
+        assert_eq!(m.get(0, 0), 11);
+        assert_eq!(m.get(0, 2), 12);
+        assert_eq!(m.get(2, 0), 21);
+        assert_eq!(m.get(3, 3), 22);
+    }
+
+    #[test]
+    fn matmut_windows_are_send() {
+        // Write the two halves from two scoped threads; this is the pattern the
+        // runtime uses to execute disjoint output pieces on different processors.
+        let mut m = Matrix::filled(64, 64, 0i64);
+        {
+            let (mut top, mut bottom) = m.as_mut().split_rows(32);
+            std::thread::scope(|s| {
+                s.spawn(move || top.fill(7));
+                s.spawn(move || bottom.fill(9));
+            });
+        }
+        assert!(m.data().iter().take(32 * 64).all(|&x| x == 7));
+        assert!(m.data().iter().skip(32 * 64).all(|&x| x == 9));
+    }
+
+    #[test]
+    fn copy_from_and_to_matrix() {
+        let src = Matrix::from_fn(3, 3, |i, j| WrappingRing((i * 3 + j) as u64));
+        let mut dst = Matrix::filled(3, 3, WrappingRing(0));
+        dst.as_mut().copy_from(&src.as_ref());
+        assert_eq!(src, dst);
+        let round = src.as_ref().to_matrix();
+        assert_eq!(round, src);
+    }
+
+    #[test]
+    fn approx_eq_and_max_abs_diff() {
+        let a = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let mut b = a.clone();
+        b.set(1, 1, b.get(1, 1) + 1e-12);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(a.max_abs_diff(&b) < 1e-9);
+        b.set(0, 0, 5.0);
+        assert!(!a.approx_eq(&b, 1e-9));
+        assert!((a.max_abs_diff(&b) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,283 @@
+//! Work/communication counters and timing helpers.
+//!
+//! The paper's complexity accounting (Sect. III-A) distinguishes the *overall*
+//! quantities summed over all processors (`T^Σ_p`, `Q^Σ_p`) from the quantities
+//! along a critical path, i.e. the maximum over processors (`T^max_p`,
+//! `Q^max_p`).  [`Counters`] collects per-processor tallies and derives both
+//! views, plus the load-imbalance ratio used to check the paper's "optimal
+//! balanced computation/communication" definition.
+//!
+//! [`Stopwatch`] and the throughput helpers are used by the benchmark harness to
+//! report running time, speedup percentages (the paper's
+//! `(time_peer / time_PACO − 1) × 100%`) and `Rmax/Rpeak` fractions.
+
+use std::time::{Duration, Instant};
+
+/// Per-processor tallies of an arbitrary additive quantity (work, cache misses,
+/// bytes moved, tasks executed, ...).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Counters {
+    per_proc: Vec<u64>,
+}
+
+impl Counters {
+    /// Counters for `p` processors, all zero.
+    pub fn new(p: usize) -> Self {
+        Self {
+            per_proc: vec![0; p],
+        }
+    }
+
+    /// Number of processors tracked.
+    pub fn p(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// Add `amount` to processor `proc`.
+    pub fn add(&mut self, proc: usize, amount: u64) {
+        self.per_proc[proc] += amount;
+    }
+
+    /// The tally of processor `proc`.
+    pub fn get(&self, proc: usize) -> u64 {
+        self.per_proc[proc]
+    }
+
+    /// Raw per-processor tallies.
+    pub fn per_proc(&self) -> &[u64] {
+        &self.per_proc
+    }
+
+    /// Overall quantity summed over all processors (`T^Σ_p` / `Q^Σ_p`).
+    pub fn total(&self) -> u64 {
+        self.per_proc.iter().sum()
+    }
+
+    /// Maximum over processors, i.e. along a critical path (`T^max_p` / `Q^max_p`).
+    pub fn max(&self) -> u64 {
+        self.per_proc.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Minimum over processors.
+    pub fn min(&self) -> u64 {
+        self.per_proc.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Arithmetic mean per processor.
+    pub fn mean(&self) -> f64 {
+        if self.per_proc.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.per_proc.len() as f64
+        }
+    }
+
+    /// Load-imbalance ratio `max / mean` (1.0 = perfectly balanced).
+    ///
+    /// The paper's perfect-strong-scaling definition requires the imbalance to be
+    /// an asymptotically smaller term, i.e. `max/mean → 1` as the problem grows.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max() as f64 / mean
+        }
+    }
+
+    /// Merge another set of counters (same `p`) into this one element-wise.
+    pub fn merge(&mut self, other: &Counters) {
+        assert_eq!(self.p(), other.p(), "merging counters of different p");
+        for (a, b) in self.per_proc.iter_mut().zip(other.per_proc.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Stopwatch {
+    /// Start (or restart) timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let sw = Stopwatch::start();
+    let r = f();
+    (r, sw.elapsed_secs())
+}
+
+/// Minimum running time over `runs` executions of `f` (the paper measures the
+/// min of at least three independent runs to avoid averaging noise).
+pub fn min_time_of<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    assert!(runs >= 1);
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let (_, t) = time_it(&mut f);
+        best = best.min(t);
+    }
+    best
+}
+
+/// Speedup percentage of `ours` relative to `peer`, following the paper:
+/// `(time_peer / time_ours − 1) × 100%`.
+pub fn speedup_percent(peer_secs: f64, ours_secs: f64) -> f64 {
+    (peer_secs / ours_secs - 1.0) * 100.0
+}
+
+/// Achieved FLOP rate for a matrix multiplication `C = C + A×B` of dimensions
+/// `n × k` times `k × m`: `2·n·m·k / seconds` (the paper's `Rmax` convention:
+/// nmk multiplications plus nmk additions).
+pub fn mm_flops(n: usize, m: usize, k: usize, seconds: f64) -> f64 {
+    2.0 * n as f64 * m as f64 * k as f64 / seconds
+}
+
+/// Summary statistics of a series of observations (used for the "Mean"/"Median"
+/// annotations of the paper's figures).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (average of the two central elements for even lengths).
+    pub median: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+/// Compute mean/median/min/max of a non-empty slice.
+pub fn series_stats(values: &[f64]) -> SeriesStats {
+    assert!(!values.is_empty(), "series_stats on empty slice");
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    };
+    SeriesStats {
+        mean: sorted.iter().sum::<f64>() / n as f64,
+        median,
+        min: sorted[0],
+        max: sorted[n - 1],
+    }
+}
+
+/// Bucket a series of values into a histogram with `bucket_width`-sized buckets
+/// aligned at multiples of the width; returns `(bucket_lower_bound, count)`
+/// pairs in increasing order.  Used to reproduce Fig. 11's frequency plots.
+pub fn histogram(values: &[f64], bucket_width: f64) -> Vec<(f64, usize)> {
+    assert!(bucket_width > 0.0);
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<i64, usize> = BTreeMap::new();
+    for &v in values {
+        let idx = (v / bucket_width).floor() as i64;
+        *buckets.entry(idx).or_insert(0) += 1;
+    }
+    buckets
+        .into_iter()
+        .map(|(idx, count)| (idx as f64 * bucket_width, count))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_total_max_imbalance() {
+        let mut c = Counters::new(4);
+        c.add(0, 10);
+        c.add(1, 10);
+        c.add(2, 10);
+        c.add(3, 10);
+        assert_eq!(c.total(), 40);
+        assert_eq!(c.max(), 10);
+        assert_eq!(c.min(), 10);
+        assert!((c.imbalance() - 1.0).abs() < 1e-12);
+
+        c.add(3, 30);
+        assert_eq!(c.total(), 70);
+        assert_eq!(c.max(), 40);
+        assert!(c.imbalance() > 2.0);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = Counters::new(2);
+        a.add(0, 5);
+        let mut b = Counters::new(2);
+        b.add(0, 1);
+        b.add(1, 2);
+        a.merge(&b);
+        assert_eq!(a.per_proc(), &[6, 2]);
+    }
+
+    #[test]
+    fn empty_counters() {
+        let c = Counters::new(0);
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.max(), 0);
+        assert!((c.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_flops() {
+        assert!((speedup_percent(2.0, 1.0) - 100.0).abs() < 1e-12);
+        assert!((speedup_percent(1.0, 1.0)).abs() < 1e-12);
+        assert!((mm_flops(10, 10, 10, 1.0) - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_median_even_odd() {
+        let s = series_stats(&[1.0, 3.0, 2.0]);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        let s = series_stats(&[4.0, 1.0, 3.0, 2.0]);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = histogram(&[0.1, 0.2, 5.1, 10.0, -0.5], 5.0);
+        assert_eq!(h, vec![(-5.0, 1), (0.0, 2), (5.0, 1), (10.0, 1)]);
+    }
+
+    #[test]
+    fn timing_helpers_run() {
+        let (v, t) = time_it(|| 42);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+        let best = min_time_of(3, || std::hint::black_box(1 + 1));
+        assert!(best >= 0.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Processor lists.
+//!
+//! The PACO algorithms of the paper are *processor-aware*: every recursive call
+//! carries an explicit list of the processors that will execute it.  The list is
+//! repeatedly split — most importantly by the `⌊p/2⌋ : ⌈p/2⌉` rule (Sect. III-C,
+//! Fig. 6 and the MM-1-PIECE algorithm of Fig. 8) — until it contains a single
+//! processor, at which point the associated sub-problem is executed sequentially
+//! on that processor with the best cache-oblivious kernel.
+//!
+//! A [`ProcList`] is a half-open range `[start, end)` of [`ProcId`]s.  Splits are
+//! O(1) and never allocate; they simply produce two sub-ranges.  This mirrors the
+//! paper's `split({P})` pseudo-code operation.
+
+use std::fmt;
+
+/// Identifier of a (logical) processor, `0..p`.
+pub type ProcId = usize;
+
+/// A contiguous, non-empty-or-empty list of processors `[start, end)`.
+///
+/// ```
+/// use paco_core::ProcList;
+/// let all = ProcList::new(0, 5);
+/// let (left, right) = all.split_even();
+/// assert_eq!(left.len(), 2);
+/// assert_eq!(right.len(), 3);
+/// assert_eq!(left.ids().collect::<Vec<_>>(), vec![0, 1]);
+/// assert_eq!(right.ids().collect::<Vec<_>>(), vec![2, 3, 4]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcList {
+    start: ProcId,
+    end: ProcId,
+}
+
+impl fmt::Debug for ProcList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProcList[{}, {})", self.start, self.end)
+    }
+}
+
+impl fmt::Display for ProcList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{p{}..p{}}}", self.start, self.end)
+    }
+}
+
+impl ProcList {
+    /// Create the list `[start, end)`. Panics if `start > end`.
+    pub fn new(start: ProcId, end: ProcId) -> Self {
+        assert!(start <= end, "ProcList start {start} > end {end}");
+        Self { start, end }
+    }
+
+    /// The canonical full list `{0, 1, ..., p-1}`.
+    pub fn all(p: usize) -> Self {
+        Self::new(0, p)
+    }
+
+    /// A list containing a single processor.
+    pub fn single(id: ProcId) -> Self {
+        Self::new(id, id + 1)
+    }
+
+    /// Number of processors in the list.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the list contains no processors.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// First processor id of the list (the paper's `P.start`).
+    ///
+    /// Panics if the list is empty.
+    pub fn first(&self) -> ProcId {
+        assert!(!self.is_empty(), "first() on empty ProcList");
+        self.start
+    }
+
+    /// Last processor id of the list.
+    ///
+    /// Panics if the list is empty.
+    pub fn last(&self) -> ProcId {
+        assert!(!self.is_empty(), "last() on empty ProcList");
+        self.end - 1
+    }
+
+    /// The only processor of a singleton list.
+    ///
+    /// Panics if the list does not contain exactly one processor.
+    pub fn only(&self) -> ProcId {
+        assert_eq!(self.len(), 1, "only() on ProcList of length {}", self.len());
+        self.start
+    }
+
+    /// True if `id` is a member of the list.
+    pub fn contains(&self, id: ProcId) -> bool {
+        id >= self.start && id < self.end
+    }
+
+    /// Iterate over the processor ids of the list.
+    pub fn ids(&self) -> impl DoubleEndedIterator<Item = ProcId> + ExactSizeIterator {
+        self.start..self.end
+    }
+
+    /// The raw `[start, end)` bounds.
+    pub fn bounds(&self) -> (ProcId, ProcId) {
+        (self.start, self.end)
+    }
+
+    /// Split into `(⌊p/2⌋, ⌈p/2⌉)`, the rule used by the paper's 1-PIECE
+    /// algorithms (Fig. 6 line 5, Fig. 8 line 5).
+    ///
+    /// The left half may be empty when the list holds a single processor; the
+    /// 1-PIECE recursions never split a singleton, so callers should check
+    /// `len() == 1` first exactly as the pseudo-code does.
+    pub fn split_even(&self) -> (Self, Self) {
+        let left = self.len() / 2;
+        self.split_at(left)
+    }
+
+    /// Split into a prefix of `left_len` processors and the remaining suffix.
+    pub fn split_at(&self, left_len: usize) -> (Self, Self) {
+        assert!(
+            left_len <= self.len(),
+            "split_at({left_len}) out of bounds for {self:?}"
+        );
+        let mid = self.start + left_len;
+        (Self::new(self.start, mid), Self::new(mid, self.end))
+    }
+
+    /// Split by the ratio `a : b`, i.e. the left part receives
+    /// `round(p * a / (a + b))` processors, clamped so that neither side is empty
+    /// whenever both `a > 0`, `b > 0` and `p >= 2`.
+    pub fn split_ratio(&self, a: usize, b: usize) -> (Self, Self) {
+        assert!(a + b > 0, "split_ratio(0, 0)");
+        let p = self.len();
+        if p == 0 {
+            return (*self, *self);
+        }
+        let mut left = (p * a + (a + b) / 2) / (a + b);
+        if a > 0 && b > 0 && p >= 2 {
+            left = left.clamp(1, p - 1);
+        } else {
+            left = left.min(p);
+        }
+        self.split_at(left)
+    }
+
+    /// Split by real-valued throughput fractions: the left part receives a number
+    /// of processors proportional to `frac_left / (frac_left + frac_right)`,
+    /// clamped so both sides stay non-empty when `p >= 2`.
+    ///
+    /// Used by the heterogeneous algorithms (Sect. III-E-2): the processor list is
+    /// split in the same proportion as the computational load.
+    pub fn split_fraction(&self, frac_left: f64, frac_right: f64) -> (Self, Self) {
+        assert!(
+            frac_left >= 0.0 && frac_right >= 0.0 && frac_left + frac_right > 0.0,
+            "invalid fractions {frac_left}, {frac_right}"
+        );
+        let p = self.len();
+        if p == 0 {
+            return (*self, *self);
+        }
+        let share = frac_left / (frac_left + frac_right);
+        let mut left = (p as f64 * share).round() as usize;
+        if frac_left > 0.0 && frac_right > 0.0 && p >= 2 {
+            left = left.clamp(1, p - 1);
+        } else {
+            left = left.min(p);
+        }
+        self.split_at(left)
+    }
+
+    /// Round-robin owner of the `i`-th item assigned over this list.
+    ///
+    /// The paper assigns pruned nodes "to p processors in a round-robin fashion";
+    /// this helper makes that assignment deterministic and uniform.
+    pub fn round_robin(&self, i: usize) -> ProcId {
+        assert!(!self.is_empty(), "round_robin on empty ProcList");
+        self.start + (i % self.len())
+    }
+
+    /// Partition `n_items` items round-robin over the list, returning for each
+    /// processor (in list order) the item indices it owns.
+    pub fn round_robin_partition(&self, n_items: usize) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.len()];
+        for i in 0..n_items {
+            out[i % self.len()].push(i);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let l = ProcList::all(8);
+        assert_eq!(l.len(), 8);
+        assert_eq!(l.first(), 0);
+        assert_eq!(l.last(), 7);
+        assert!(!l.is_empty());
+        assert!(l.contains(0));
+        assert!(l.contains(7));
+        assert!(!l.contains(8));
+    }
+
+    #[test]
+    fn single_and_only() {
+        let l = ProcList::single(5);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.only(), 5);
+        assert_eq!(l.first(), 5);
+        assert_eq!(l.last(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn only_panics_on_longer_list() {
+        ProcList::all(3).only();
+    }
+
+    #[test]
+    fn split_even_floor_ceil() {
+        // Odd p: ⌊p/2⌋ left, ⌈p/2⌉ right.
+        let (a, b) = ProcList::all(7).split_even();
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 4);
+        // Even p.
+        let (a, b) = ProcList::all(8).split_even();
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
+        // p = 1: left is empty.
+        let (a, b) = ProcList::all(1).split_even();
+        assert_eq!(a.len(), 0);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn split_even_partitions_ids() {
+        for p in 1..40 {
+            let l = ProcList::all(p);
+            let (a, b) = l.split_even();
+            let mut ids: Vec<_> = a.ids().chain(b.ids()).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..p).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn split_ratio_respects_proportion() {
+        let l = ProcList::all(10);
+        let (a, b) = l.split_ratio(3, 7);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 7);
+        let (a, b) = l.split_ratio(1, 1);
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn split_ratio_never_empties_a_side_for_p_ge_2() {
+        for p in 2..32 {
+            for a in 1..10usize {
+                for b in 1..10usize {
+                    let (l, r) = ProcList::all(p).split_ratio(a, b);
+                    assert!(!l.is_empty(), "p={p} a={a} b={b}");
+                    assert!(!r.is_empty(), "p={p} a={a} b={b}");
+                    assert_eq!(l.len() + r.len(), p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_fraction_matches_ratio() {
+        let l = ProcList::all(12);
+        let (a, b) = l.split_fraction(1.0, 2.0);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 8);
+        let (a, b) = l.split_fraction(0.0, 1.0);
+        assert_eq!(a.len(), 0);
+        assert_eq!(b.len(), 12);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let l = ProcList::new(2, 5); // ids 2,3,4
+        assert_eq!(l.round_robin(0), 2);
+        assert_eq!(l.round_robin(1), 3);
+        assert_eq!(l.round_robin(2), 4);
+        assert_eq!(l.round_robin(3), 2);
+    }
+
+    #[test]
+    fn round_robin_partition_is_balanced() {
+        let l = ProcList::all(4);
+        let parts = l.round_robin_partition(10);
+        assert_eq!(parts.len(), 4);
+        let sizes: Vec<_> = parts.iter().map(|v| v.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        let mut all: Vec<_> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", ProcList::new(1, 4)), "{p1..p4}");
+        assert_eq!(format!("{:?}", ProcList::new(1, 4)), "ProcList[1, 4)");
+    }
+}

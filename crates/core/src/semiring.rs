@@ -1,0 +1,343 @@
+//! Closed semirings and rings.
+//!
+//! Sect. III-E of the paper states the rectangular matrix-multiplication
+//! algorithms over a closed semiring `SR = (S, ⊕, ⊗, 0, 1)`; Strassen's
+//! algorithm (Sect. III-F) additionally requires an inverse of addition, i.e. a
+//! ring.  The traits here capture exactly that split:
+//!
+//! * [`Semiring`] — the element supports `⊕` (associative, commutative, with
+//!   identity [`Semiring::zero`]) and `⊗` (associative, with identity
+//!   [`Semiring::one`], distributing over `⊕`).  Classic matrix multiplication
+//!   ([`crate::matrix`], `paco-matmul`) only needs this.
+//! * [`Ring`] — a semiring whose addition has inverses, enabling Strassen.
+//!
+//! Provided instances:
+//!
+//! * `f64` / `f32` — the usual arithmetic ring (the paper's `dgemm` experiments).
+//! * [`WrappingRing`] — `u64` with wrapping add/mul: an exact ring used by the
+//!   test-suite to check Strassen and the PACO partitionings bit-for-bit against
+//!   the reference algorithm without floating-point tolerance.
+//! * [`MinPlus`] / [`MaxPlus`] — tropical semirings (shortest/longest paths,
+//!   dynamic programming on a semiring).
+//! * [`BoolSemiring`] — the boolean (∨, ∧) semiring (transitive closure).
+
+use std::fmt::Debug;
+
+/// A closed semiring element.
+///
+/// Laws (checked by property tests in `tests/` and `paco-matmul`):
+/// `add` is associative and commutative with identity `zero`;
+/// `mul` is associative with identity `one` and annihilator `zero`;
+/// `mul` distributes over `add`.
+pub trait Semiring: Copy + Send + Sync + PartialEq + Debug + 'static {
+    /// Additive identity (`0`).
+    fn zero() -> Self;
+    /// Multiplicative identity (`1`).
+    fn one() -> Self;
+    /// Semiring addition `⊕`.
+    fn add(self, rhs: Self) -> Self;
+    /// Semiring multiplication `⊗`.
+    fn mul(self, rhs: Self) -> Self;
+
+    /// Fused multiply-accumulate `self ⊕ (a ⊗ b)`; the inner-loop operation of
+    /// every matrix-multiplication kernel.  Override when a faster fused form
+    /// exists.
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        self.add(a.mul(b))
+    }
+}
+
+/// A semiring with additive inverses (a ring), as required by Strassen.
+pub trait Ring: Semiring {
+    /// Ring subtraction `⊖`.
+    fn sub(self, rhs: Self) -> Self;
+    /// Additive inverse.
+    #[inline]
+    fn neg(self) -> Self {
+        Self::zero().sub(self)
+    }
+}
+
+/// Marker trait for ordinary numeric types where `Semiring` coincides with the
+/// usual arithmetic operations; lets generic code ask for "a real number-like
+/// ring" (e.g. the vendor-baseline MM which uses explicit `f64` FMA loops).
+pub trait Numeric: Ring + PartialOrd {
+    /// Conversion from a small integer, used by workload generators.
+    fn from_i32(v: i32) -> Self;
+    /// Conversion to `f64` for error measurement in tests.
+    fn to_f64(self) -> f64;
+}
+
+impl Semiring for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        a.mul_add(b, self)
+    }
+}
+
+impl Ring for f64 {
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+}
+
+impl Numeric for f64 {
+    #[inline]
+    fn from_i32(v: i32) -> Self {
+        v as f64
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl Semiring for f32 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        a.mul_add(b, self)
+    }
+}
+
+impl Ring for f32 {
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+}
+
+impl Numeric for f32 {
+    #[inline]
+    fn from_i32(v: i32) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+/// `u64` with wrapping arithmetic: an exact commutative ring (ℤ / 2⁶⁴ℤ).
+///
+/// Used heavily in tests because every algorithm variant — including Strassen,
+/// which subtracts — must agree *exactly* with the reference triple loop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct WrappingRing(pub u64);
+
+impl Semiring for WrappingRing {
+    #[inline]
+    fn zero() -> Self {
+        WrappingRing(0)
+    }
+    #[inline]
+    fn one() -> Self {
+        WrappingRing(1)
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        WrappingRing(self.0.wrapping_add(rhs.0))
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        WrappingRing(self.0.wrapping_mul(rhs.0))
+    }
+}
+
+impl Ring for WrappingRing {
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        WrappingRing(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+/// Tropical (min, +) semiring over `f64`: `⊕ = min`, `⊗ = +`, `0 = +∞`, `1 = 0`.
+///
+/// Matrix "multiplication" over [`MinPlus`] computes all-pairs shortest-path
+/// relaxation steps; it exercises the semiring-generic code paths of
+/// `paco-matmul` with a non-invertible addition.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct MinPlus(pub f64);
+
+impl Semiring for MinPlus {
+    #[inline]
+    fn zero() -> Self {
+        MinPlus(f64::INFINITY)
+    }
+    #[inline]
+    fn one() -> Self {
+        MinPlus(0.0)
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        MinPlus(self.0.min(rhs.0))
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        MinPlus(self.0 + rhs.0)
+    }
+}
+
+/// Tropical (max, +) semiring over `f64`: `⊕ = max`, `⊗ = +`, `0 = −∞`, `1 = 0`.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct MaxPlus(pub f64);
+
+impl Semiring for MaxPlus {
+    #[inline]
+    fn zero() -> Self {
+        MaxPlus(f64::NEG_INFINITY)
+    }
+    #[inline]
+    fn one() -> Self {
+        MaxPlus(0.0)
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        MaxPlus(self.0.max(rhs.0))
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        MaxPlus(self.0 + rhs.0)
+    }
+}
+
+/// The boolean semiring (∨, ∧): matrix multiplication computes reachability.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct BoolSemiring(pub bool);
+
+impl Semiring for BoolSemiring {
+    #[inline]
+    fn zero() -> Self {
+        BoolSemiring(false)
+    }
+    #[inline]
+    fn one() -> Self {
+        BoolSemiring(true)
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        BoolSemiring(self.0 | rhs.0)
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        BoolSemiring(self.0 & rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn semiring_axioms<S: Semiring>(vals: &[S]) {
+        for &a in vals {
+            for &b in vals {
+                // commutativity of ⊕
+                assert_eq!(a.add(b), b.add(a));
+                for &c in vals {
+                    // associativity
+                    assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+                    assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+                    // distributivity
+                    assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+                    assert_eq!(b.add(c).mul(a), b.mul(a).add(c.mul(a)));
+                }
+            }
+            // identities
+            assert_eq!(a.add(S::zero()), a);
+            assert_eq!(a.mul(S::one()), a);
+            assert_eq!(S::one().mul(a), a);
+            // annihilation
+            assert_eq!(a.mul(S::zero()), S::zero());
+            assert_eq!(S::zero().mul(a), S::zero());
+        }
+    }
+
+    #[test]
+    fn wrapping_ring_axioms() {
+        let vals: Vec<WrappingRing> = [0u64, 1, 2, 7, u64::MAX, u64::MAX - 3, 12345]
+            .iter()
+            .map(|&v| WrappingRing(v))
+            .collect();
+        semiring_axioms(&vals);
+        // ring: a - a == 0
+        for &a in &vals {
+            assert_eq!(a.sub(a), WrappingRing::zero());
+            assert_eq!(a.add(a.neg()), WrappingRing::zero());
+        }
+    }
+
+    #[test]
+    fn bool_semiring_axioms() {
+        semiring_axioms(&[BoolSemiring(false), BoolSemiring(true)]);
+    }
+
+    #[test]
+    fn min_plus_axioms_on_finite_values() {
+        let vals: Vec<MinPlus> = [0.0, 1.0, 2.5, 10.0, -3.0].iter().map(|&v| MinPlus(v)).collect();
+        // identities involving ±∞ need care with equality; check only finite ones
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(a.add(b), b.add(a));
+                assert_eq!(a.mul(b).0, a.0 + b.0);
+            }
+            assert_eq!(a.add(MinPlus::zero()), a);
+            assert_eq!(a.mul(MinPlus::one()), a);
+        }
+    }
+
+    #[test]
+    fn max_plus_behaviour() {
+        let a = MaxPlus(3.0);
+        let b = MaxPlus(5.0);
+        assert_eq!(a.add(b), MaxPlus(5.0));
+        assert_eq!(a.mul(b), MaxPlus(8.0));
+        assert_eq!(a.add(MaxPlus::zero()), a);
+    }
+
+    #[test]
+    fn float_mul_add_matches() {
+        let acc = 2.0f64;
+        assert!((Semiring::mul_add(acc, 3.0, 4.0) - 14.0).abs() < 1e-12);
+        let acc = 2.0f32;
+        assert!((Semiring::mul_add(acc, 3.0, 4.0) - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn numeric_conversions() {
+        assert_eq!(<f64 as Numeric>::from_i32(-7), -7.0);
+        assert_eq!(Numeric::to_f64(3.5f32), 3.5);
+    }
+}

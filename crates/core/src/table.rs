@@ -1,0 +1,197 @@
+//! Plain-text table and CSV emitters.
+//!
+//! Every benchmark binary in `paco-bench` reports its results both as an
+//! aligned, human-readable table (what you read in the terminal, mirroring the
+//! paper's tables) and as CSV on demand (what you feed to a plotting script to
+//! regenerate the figures).  This module keeps that formatting in one place so
+//! the binaries stay tiny.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table with a header row.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; the number of cells must match the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of displayable items.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "# {}", self.title);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(line, "| {:width$} ", cell, width = widths[i]);
+            }
+            line.push('|');
+            line
+        };
+        let header_line = fmt_row(&self.header, &widths);
+        let _ = writeln!(out, "{header_line}");
+        let _ = writeln!(out, "{}", "-".repeat(header_line.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (header + rows). Cells containing commas or quotes are
+    /// quoted per RFC 4180.
+    pub fn to_csv(&self) -> String {
+        fn esc(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Print the text rendering to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_text());
+    }
+}
+
+/// Format a floating-point value with 2 decimals (benchmark convention).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a value as a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// Format a FLOP/s value using engineering suffixes (K/M/G/T).
+pub fn flops_human(v: f64) -> String {
+    let (scaled, suffix) = if v >= 1e12 {
+        (v / 1e12, "TFLOP/s")
+    } else if v >= 1e9 {
+        (v / 1e9, "GFLOP/s")
+    } else if v >= 1e6 {
+        (v / 1e6, "MFLOP/s")
+    } else if v >= 1e3 {
+        (v / 1e3, "KFLOP/s")
+    } else {
+        (v, "FLOP/s")
+    };
+    format!("{scaled:.2} {suffix}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_rendering_aligns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["long-name".into(), "12345".into()]);
+        let text = t.to_text();
+        assert!(text.contains("# demo"));
+        assert!(text.contains("| name"));
+        assert!(text.contains("| long-name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_rendering_escapes() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(&["x,y".into(), "plain".into()]);
+        t.row(&["quote\"inside".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"x,y\",plain"));
+        assert!(csv.contains("\"quote\"\"inside\",2"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn row_display_helper() {
+        let mut t = Table::new("", &["n", "p"]);
+        t.row_display(&[128, 7]);
+        assert_eq!(t.len(), 1);
+        assert!(t.to_csv().contains("128,7"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(48.61), "48.6%");
+        assert_eq!(flops_human(2.5e9), "2.50 GFLOP/s");
+        assert_eq!(flops_human(1.0e13), "10.00 TFLOP/s");
+        assert_eq!(flops_human(5.0e3), "5.00 KFLOP/s");
+        assert_eq!(flops_human(12.0), "12.00 FLOP/s");
+    }
+}

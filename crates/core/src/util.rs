@@ -1,0 +1,205 @@
+//! Small integer utilities used by the partitioning code.
+
+/// Ceiling division `⌈a / b⌉`. Panics if `b == 0`.
+#[inline]
+pub fn ceil_div(a: usize, b: usize) -> usize {
+    assert!(b > 0, "ceil_div by zero");
+    a.div_ceil(b)
+}
+
+/// The smallest power of two `>= n` (and `1` for `n == 0`).
+#[inline]
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// `⌈log2(n)⌉` for `n >= 1` (0 for `n == 1`).
+#[inline]
+pub fn ceil_log2(n: usize) -> u32 {
+    assert!(n >= 1, "ceil_log2(0)");
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// `⌊log2(n)⌋` for `n >= 1`.
+#[inline]
+pub fn floor_log2(n: usize) -> u32 {
+    assert!(n >= 1, "floor_log2(0)");
+    usize::BITS - 1 - n.leading_zeros()
+}
+
+/// `⌈log_b(n)⌉` for `n >= 1`, `b >= 2`; returns at least 1 when `n > 1`.
+pub fn ceil_log(n: usize, b: usize) -> u32 {
+    assert!(n >= 1 && b >= 2);
+    let mut v = 1usize;
+    let mut e = 0u32;
+    while v < n {
+        v = v.saturating_mul(b);
+        e += 1;
+    }
+    e
+}
+
+/// Deterministic Miller–Rabin primality test valid for all `u64` values.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^r with d odd
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    // Deterministic witness set for u64.
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = mod_pow(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// All primes in the inclusive range `[lo, hi]`.
+pub fn primes_in_range(lo: u64, hi: u64) -> Vec<u64> {
+    (lo..=hi).filter(|&n| is_prime(n)).collect()
+}
+
+/// True if `p = m · 7^k` for integers `1 <= m < 7`, `k >= 1` — the processor
+/// counts accepted by the hybrid CAPS Strassen baseline of Lipshitz et al.
+/// (A plain power of 7 is the `m = 1` case.)
+pub fn is_caps_friendly(p: usize) -> bool {
+    if p == 0 {
+        return false;
+    }
+    let mut q = p;
+    let mut k = 0u32;
+    while q % 7 == 0 {
+        q /= 7;
+        k += 1;
+    }
+    k >= 1 && q >= 1 && q < 7
+}
+
+/// The largest processor count `q <= p` usable by the CAPS-style baseline
+/// (`q = m · 7^k`, `1 <= m < 7`, `k >= 1`), or 1 if none exists (p < 7).
+pub fn caps_usable_processors(p: usize) -> usize {
+    (1..=p).rev().find(|&q| is_caps_friendly(q)).unwrap_or(1)
+}
+
+fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_cases() {
+        assert_eq!(ceil_div(10, 3), 4);
+        assert_eq!(ceil_div(9, 3), 3);
+        assert_eq!(ceil_div(0, 3), 0);
+        assert_eq!(ceil_div(1, 1), 1);
+    }
+
+    #[test]
+    fn log_helpers() {
+        assert_eq!(next_power_of_two(0), 1);
+        assert_eq!(next_power_of_two(5), 8);
+        assert_eq!(next_power_of_two(8), 8);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(1023), 9);
+        assert_eq!(ceil_log(1, 7), 0);
+        assert_eq!(ceil_log(7, 7), 1);
+        assert_eq!(ceil_log(8, 7), 2);
+        assert_eq!(ceil_log(49, 7), 2);
+        assert_eq!(ceil_log(50, 7), 3);
+    }
+
+    #[test]
+    fn primality_small() {
+        let primes: Vec<u64> = primes_in_range(0, 50);
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+        );
+    }
+
+    #[test]
+    fn primality_larger() {
+        assert!(is_prime(1_000_000_007));
+        assert!(is_prime(2_147_483_647)); // Mersenne prime 2^31 - 1
+        assert!(!is_prime(1_000_000_007u64 * 3));
+        assert!(!is_prime(561)); // Carmichael number
+        assert!(!is_prime(1));
+        assert!(!is_prime(0));
+    }
+
+    #[test]
+    fn caps_processor_counts() {
+        // Exact powers of seven and small multiples are accepted...
+        assert!(is_caps_friendly(7));
+        assert!(is_caps_friendly(14));
+        assert!(is_caps_friendly(49));
+        assert!(is_caps_friendly(6 * 49));
+        // ... but anything that is not m·7^k (1<=m<7) is not.
+        assert!(!is_caps_friendly(1));
+        assert!(!is_caps_friendly(6));
+        assert!(!is_caps_friendly(8));
+        assert!(!is_caps_friendly(24));
+        assert!(!is_caps_friendly(72));
+        assert!(!is_caps_friendly(7 * 7 + 1));
+
+        // Largest usable count below 72: 49 = 7^2 (70 = 10·7 and 63 = 9·7 have m >= 7).
+        assert_eq!(caps_usable_processors(72), 49);
+        assert_eq!(caps_usable_processors(24), 21);
+        assert_eq!(caps_usable_processors(6), 1);
+    }
+
+    #[test]
+    fn caps_usable_is_consistent_with_predicate() {
+        for p in 1..200 {
+            let q = caps_usable_processors(p);
+            assert!(q <= p);
+            assert!(q == 1 || is_caps_friendly(q));
+            // no larger friendly count exists
+            for r in (q + 1)..=p {
+                assert!(!is_caps_friendly(r), "p={p} q={q} r={r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Deterministic workload generators.
+//!
+//! Tests, examples and benchmarks all need the same kinds of inputs the paper's
+//! evaluation uses: random sequences over a small alphabet (LCS), random real
+//! weights (1D/GAP), random dense matrices (MM/Strassen), and random keys
+//! (sorting).  Everything here is seeded explicitly so experiments are
+//! reproducible run-to-run.
+
+use crate::matrix::Matrix;
+use crate::semiring::WrappingRing;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random-number generator for reproducible workloads.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A random sequence of `n` symbols drawn uniformly from an alphabet of size
+/// `alphabet` (the paper's LCS experiments use unsigned ints).
+pub fn random_sequence(n: usize, alphabet: u32, seed: u64) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..alphabet)).collect()
+}
+
+/// Two related random sequences of length `n`: the second is a mutated copy of
+/// the first where each position is resampled with probability `mutation`.
+/// Produces LCS instances with long common subsequences, closer to the
+/// bio-sequence use case than two independent strings.
+pub fn related_sequences(n: usize, alphabet: u32, mutation: f64, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut r = rng(seed);
+    let a: Vec<u32> = (0..n).map(|_| r.gen_range(0..alphabet)).collect();
+    let b: Vec<u32> = a
+        .iter()
+        .map(|&c| {
+            if r.gen_bool(mutation) {
+                r.gen_range(0..alphabet)
+            } else {
+                c
+            }
+        })
+        .collect();
+    (a, b)
+}
+
+/// A random `rows × cols` matrix of `f64` drawn uniformly from `[-1, 1)`.
+pub fn random_matrix_f64(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    let mut r = rng(seed);
+    Matrix::from_fn(rows, cols, |_, _| r.gen_range(-1.0..1.0))
+}
+
+/// A random `rows × cols` matrix over the exact wrapping ring; values are kept
+/// small so products stay meaningful across many accumulations.
+pub fn random_matrix_wrapping(rows: usize, cols: usize, seed: u64) -> Matrix<WrappingRing> {
+    let mut r = rng(seed);
+    Matrix::from_fn(rows, cols, |_, _| WrappingRing(r.gen_range(0..1_000u64)))
+}
+
+/// Random `f64` keys for sorting benchmarks, uniform in `[0, 1)`.
+pub fn random_keys(n: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen::<f64>()).collect()
+}
+
+/// Random `u64` keys for exact sorting tests.
+pub fn random_u64_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen()).collect()
+}
+
+/// Keys that are already sorted (adversarial input for sample-sort pivots).
+pub fn sorted_keys(n: usize) -> Vec<f64> {
+    (0..n).map(|i| i as f64).collect()
+}
+
+/// Keys with many duplicates: only `distinct` different values.
+pub fn few_distinct_keys(n: usize, distinct: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..distinct.max(1)) as f64).collect()
+}
+
+/// The 1D/LWS weight function used throughout this repository's experiments:
+/// a convex "optimal paragraph formation" penalty
+/// `w(i, j) = (j - i - ideal)²` scaled to stay well-conditioned.
+///
+/// It is computable in O(1) time with no memory accesses, as the problem
+/// statement (Sect. III-C) requires.
+#[derive(Clone, Copy, Debug)]
+pub struct ParagraphWeight {
+    /// The ideal gap between breakpoints.
+    pub ideal: f64,
+}
+
+impl ParagraphWeight {
+    /// Weight of covering the half-open interval `(i, j]`.
+    #[inline]
+    pub fn w(&self, i: usize, j: usize) -> f64 {
+        let gap = (j - i) as f64 - self.ideal;
+        gap * gap
+    }
+}
+
+/// The GAP-problem cost functions (Sect. III-D): `w`, `w'` and the substitution
+/// cost `s(i, j)`, all O(1) with no memory accesses.  The defaults model an
+/// affine-gap sequence-alignment-style instance derived from two seeds.
+#[derive(Clone, Copy, Debug)]
+pub struct GapCosts {
+    /// Gap-open penalty.
+    pub open: f64,
+    /// Gap-extend penalty per skipped position.
+    pub extend: f64,
+    /// Seed that pseudo-randomises the substitution costs.
+    pub seed: u64,
+}
+
+impl Default for GapCosts {
+    fn default() -> Self {
+        Self {
+            open: 2.0,
+            extend: 0.25,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+impl GapCosts {
+    /// Cost of a horizontal gap from column `q` to column `j` (`q < j`).
+    #[inline]
+    pub fn w(&self, q: usize, j: usize) -> f64 {
+        self.open + self.extend * (j - q) as f64
+    }
+
+    /// Cost of a vertical gap from row `p` to row `i` (`p < i`).
+    #[inline]
+    pub fn w_prime(&self, p: usize, i: usize) -> f64 {
+        self.open + self.extend * (i - p) as f64
+    }
+
+    /// Substitution cost of aligning position `i` with position `j`; a cheap
+    /// hash of `(i, j)` mapped into `[0, 4)` so it is deterministic, O(1), and
+    /// memory-free.
+    #[inline]
+    pub fn s(&self, i: usize, j: usize) -> f64 {
+        let mut h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ (j as u64).wrapping_mul(0xc2b2ae3d27d4eb4f) ^ self.seed;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51afd7ed558ccd);
+        h ^= h >> 33;
+        (h % 1024) as f64 / 256.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_deterministic() {
+        let a = random_sequence(100, 4, 42);
+        let b = random_sequence(100, 4, 42);
+        assert_eq!(a, b);
+        let c = random_sequence(100, 4, 43);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|&x| x < 4));
+    }
+
+    #[test]
+    fn related_sequences_share_structure() {
+        let (a, b) = related_sequences(1000, 4, 0.1, 7);
+        assert_eq!(a.len(), b.len());
+        let same = a.iter().zip(b.iter()).filter(|(x, y)| x == y).count();
+        // With 10% mutation over alphabet 4 at least ~85% of positions match.
+        assert!(same > 800, "same = {same}");
+    }
+
+    #[test]
+    fn matrices_are_deterministic_and_bounded() {
+        let m1 = random_matrix_f64(8, 16, 3);
+        let m2 = random_matrix_f64(8, 16, 3);
+        assert_eq!(m1, m2);
+        assert!(m1.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+        let w = random_matrix_wrapping(4, 4, 9);
+        assert!(w.data().iter().all(|x| x.0 < 1000));
+    }
+
+    #[test]
+    fn key_generators() {
+        let k = random_keys(500, 11);
+        assert_eq!(k.len(), 500);
+        assert!(k.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let s = sorted_keys(10);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let d = few_distinct_keys(100, 3, 5);
+        let mut uniq: Vec<_> = d.iter().map(|&x| x as i64).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() <= 3);
+    }
+
+    #[test]
+    fn paragraph_weight_convexity() {
+        let w = ParagraphWeight { ideal: 5.0 };
+        assert_eq!(w.w(0, 5), 0.0);
+        assert_eq!(w.w(0, 7), 4.0);
+        assert_eq!(w.w(3, 4), 16.0);
+    }
+
+    #[test]
+    fn gap_costs_deterministic_and_o1() {
+        let g = GapCosts::default();
+        assert_eq!(g.s(3, 4), g.s(3, 4));
+        assert!(g.s(3, 4) >= 0.0 && g.s(3, 4) < 4.0);
+        assert!((g.w(2, 6) - (2.0 + 0.25 * 4.0)).abs() < 1e-12);
+        assert!((g.w_prime(1, 2) - 2.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Parallel GAP variants: processor-oblivious (rayon) and PACO (Theorem 7).
+//!
+//! Both variants run the same block-wavefront kernel as
+//! [`super::gap_blocked`]; they differ only in how the blocks of one
+//! anti-diagonal are mapped to processors — which is exactly the comparison the
+//! paper makes.
+
+use super::{block_bounds, gap_block, GapCost};
+use crate::shared::SharedGrid;
+use paco_core::proc_list::ProcList;
+use paco_core::util::next_power_of_two;
+use paco_runtime::WorkerPool;
+use rayon::prelude::*;
+
+/// Processor-oblivious parallel GAP: the blocks of each anti-diagonal are
+/// handed to rayon's work-stealing scheduler with no processor assignment.
+/// `blocks` controls the tile grid (the PO competitor must pick this blindly;
+/// the paper's PO GAP uses a recursive decomposition with a tuned base case).
+pub fn gap_po<C: GapCost>(n: usize, costs: &C, blocks: usize) -> Vec<f64> {
+    let blocks = blocks.clamp(1, n + 1);
+    let d = SharedGrid::new(n + 1, n + 1, f64::INFINITY);
+    d.set(0, 0, 0.0);
+    for diag in 0..(2 * blocks - 1) {
+        let tiles: Vec<(usize, usize)> = (0..blocks)
+            .filter_map(|bi| {
+                let bj = diag.checked_sub(bi)?;
+                (bj < blocks).then_some((bi, bj))
+            })
+            .collect();
+        tiles.par_iter().for_each(|&(bi, bj)| {
+            let (r0, r1) = block_bounds(n + 1, blocks, bi);
+            let (c0, c1) = block_bounds(n + 1, blocks, bj);
+            gap_block(&d, r0, r1, c0, c1, costs);
+        });
+    }
+    d.snapshot()
+}
+
+/// PACO GAP on `pool.p()` processors: the block grid is derived from `p`
+/// (`2·2^⌈log₂ p⌉` tiles per side so that most anti-diagonals offer at least
+/// `p` independent output slabs), and every block is pre-assigned to a
+/// processor round-robin within its anti-diagonal.  Each wavefront step thus
+/// partitions the external-update work into disjoint output regions, one per
+/// processor, which is the cuboid partitioning of Theorem 7.
+pub fn gap_paco<C: GapCost>(n: usize, costs: &C, pool: &WorkerPool) -> Vec<f64> {
+    let p = pool.p();
+    let blocks = (2 * next_power_of_two(p)).clamp(1, n + 1);
+    gap_paco_with_blocks(n, costs, pool, blocks)
+}
+
+/// [`gap_paco`] with an explicit tile-grid size (used by the ablation bench).
+pub fn gap_paco_with_blocks<C: GapCost>(
+    n: usize,
+    costs: &C,
+    pool: &WorkerPool,
+    blocks: usize,
+) -> Vec<f64> {
+    let p = pool.p();
+    let blocks = blocks.clamp(1, n + 1);
+    let procs = ProcList::all(p);
+    let d = SharedGrid::new(n + 1, n + 1, f64::INFINITY);
+    d.set(0, 0, 0.0);
+    for diag in 0..(2 * blocks - 1) {
+        pool.scope(|s| {
+            let mut k = 0usize;
+            for bi in 0..blocks {
+                let Some(bj) = diag.checked_sub(bi) else { continue };
+                if bj >= blocks {
+                    continue;
+                }
+                let (r0, r1) = block_bounds(n + 1, blocks, bi);
+                let (c0, c1) = block_bounds(n + 1, blocks, bj);
+                let d = &d;
+                s.spawn_on(procs.round_robin(k), move || {
+                    gap_block(d, r0, r1, c0, c1, costs);
+                });
+                k += 1;
+            }
+        });
+    }
+    d.snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gap::gap_reference;
+    use paco_core::workload::GapCosts;
+
+    fn assert_close(a: &[f64], b: &[f64], ctx: &str) {
+        assert_eq!(a.len(), b.len());
+        for (idx, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-9, "{ctx}: mismatch at {idx}");
+        }
+    }
+
+    #[test]
+    fn po_matches_reference() {
+        let costs = GapCosts::default();
+        for &n in &[3usize, 20, 65, 100] {
+            let expect = gap_reference(n, &costs);
+            let got = gap_po(n, &costs, 8);
+            assert_close(&expect, &got, &format!("n={n}"));
+        }
+    }
+
+    #[test]
+    fn paco_matches_reference_for_various_p() {
+        let costs = GapCosts::default();
+        let n = 96;
+        let expect = gap_reference(n, &costs);
+        for p in [1usize, 2, 3, 5, 7] {
+            let pool = WorkerPool::new(p);
+            let got = gap_paco(n, &costs, &pool);
+            assert_close(&expect, &got, &format!("p={p}"));
+        }
+    }
+
+    #[test]
+    fn paco_with_explicit_block_grid() {
+        let costs = GapCosts::default();
+        let n = 70;
+        let expect = gap_reference(n, &costs);
+        let pool = WorkerPool::new(3);
+        for blocks in [1usize, 2, 5, 16, 128] {
+            let got = gap_paco_with_blocks(n, &costs, &pool, blocks);
+            assert_close(&expect, &got, &format!("blocks={blocks}"));
+        }
+    }
+
+    #[test]
+    fn tiny_instances() {
+        let costs = GapCosts::default();
+        let pool = WorkerPool::new(4);
+        for n in [0usize, 1, 2] {
+            let expect = gap_reference(n, &costs);
+            assert_close(&expect, &gap_paco(n, &costs, &pool), &format!("n={n}"));
+            assert_close(&expect, &gap_po(n, &costs, 4), &format!("po n={n}"));
+        }
+    }
+}

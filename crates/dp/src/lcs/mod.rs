@@ -1,0 +1,51 @@
+//! Longest Common Subsequence (Sect. III-B of the paper).
+//!
+//! LCS is the paper's representative of dynamic programming with *constant*
+//! dependencies: cell `(i, j)` depends only on its three neighbours
+//! `(i-1, j)`, `(i, j-1)`, `(i-1, j-1)`.  The module provides every variant the
+//! paper measures in Fig. 12a, all built on the same sequential block kernel:
+//!
+//! | function | class | description |
+//! |---|---|---|
+//! | [`lcs_reference`] | — | two-row iterative DP, the ground truth |
+//! | [`lcs_sequential_co`] | CO | sequential cache-oblivious 2-way divide-and-conquer (Lemma 1) |
+//! | [`lcs_po`] | PO | recursive quadrant parallelism on rayon (randomized work stealing), base-case 256 in the paper |
+//! | [`lcs_pa`] | PA | Chowdhury–Ramachandran p-way top-level division, block wavefront |
+//! | [`lcs_paco`] | PACO | the paper's two-phase algorithm: pruned divide-and-assign partitioning + wavefront execution (Theorem 2) |
+//!
+//! The `*_traced` variants replay the identical schedules through the ideal
+//! distributed cache model to measure `Q^Σ_p` / `Q^max_p`.
+
+pub mod kernel;
+pub mod pa;
+pub mod paco;
+pub mod partition;
+pub mod po;
+
+pub use kernel::{
+    co_block, lcs_reference, lcs_sequential_co, lcs_sequential_traced, LcsAddr, LcsTable,
+    DEFAULT_BASE,
+};
+pub use pa::{lcs_pa, lcs_pa_traced};
+pub use paco::{execute_plan, lcs_paco, lcs_paco_traced, lcs_paco_with_base};
+pub use partition::{plan_paco_lcs, PacoLcsPlan, Region};
+pub use po::lcs_po;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco_core::workload::related_sequences;
+    use paco_runtime::WorkerPool;
+
+    /// All five variants agree on a moderately sized instance.
+    #[test]
+    fn all_variants_agree() {
+        let (a, b) = related_sequences(353, 4, 0.3, 99);
+        let expect = lcs_reference(&a, &b);
+        assert_eq!(lcs_sequential_co(&a, &b, 32), expect);
+        assert_eq!(lcs_po(&a, &b, 64), expect);
+        let pool = WorkerPool::new(3);
+        assert_eq!(lcs_pa(&a, &b, &pool), expect);
+        assert_eq!(lcs_paco(&a, &b, &pool), expect);
+    }
+}

@@ -1,0 +1,141 @@
+//! Processor-aware LCS baseline (Chowdhury & Ramachandran, D-CMP model).
+//!
+//! The PA competitor of the paper's Fig. 12a: make a single `p × p` division of
+//! the table at the top level, then compute each of the `p²` blocks with the
+//! sequential cache-oblivious kernel, sweeping the block grid anti-diagonal by
+//! anti-diagonal with block `(bi, bj)` running on processor `bi`.  Its
+//! critical-path length is `(2p − 1)·(n/p)² ≈ 2n²/p`, the factor-2 constant the
+//! PACO algorithm removes.
+
+use super::kernel::{co_block, LcsAddr, LcsTable, DEFAULT_BASE};
+use paco_cache_sim::{SimTracker, Tracker};
+use paco_core::machine::CacheParams;
+use paco_core::proc_list::ProcList;
+use paco_runtime::WorkerPool;
+use std::ops::Range;
+
+/// The `p × p` block decomposition used by the PA algorithm: block boundaries
+/// of an even top-level p-way division of `len` cells (1-based table ranges).
+fn block_bounds(len: usize, parts: usize, idx: usize) -> Range<usize> {
+    let lo = idx * len / parts;
+    let hi = (idx + 1) * len / parts;
+    lo + 1..hi + 1
+}
+
+/// Processor-aware LCS on `pool.p()` processors: top-level `p × p` division,
+/// block-anti-diagonal wavefront, sequential cache-oblivious kernel per block.
+pub fn lcs_pa(a: &[u32], b: &[u32], pool: &WorkerPool) -> u32 {
+    let p = pool.p();
+    let n = a.len();
+    let m = b.len();
+    let table = LcsTable::new(n, m);
+    let addr = LcsAddr::new(n, m);
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    let parts = p.min(n).min(m).max(1);
+
+    for diag in 0..(2 * parts - 1) {
+        pool.scope(|s| {
+            for bi in 0..parts {
+                if diag < bi {
+                    continue;
+                }
+                let bj = diag - bi;
+                if bj >= parts {
+                    continue;
+                }
+                let rows = block_bounds(n, parts, bi);
+                let cols = block_bounds(m, parts, bj);
+                let table = &table;
+                let addr = &addr;
+                // Block (bi, bj) runs on processor bi, as in the D-CMP algorithm.
+                s.spawn_on(bi % p, move || {
+                    co_block(table, a, b, rows, cols, DEFAULT_BASE, &mut paco_cache_sim::NullTracker, addr);
+                });
+            }
+        });
+    }
+    table.lcs_length()
+}
+
+/// The same PA schedule replayed (sequentially) through the ideal distributed
+/// cache simulator; returns the LCS length and the simulator with per-processor
+/// miss counts.
+pub fn lcs_pa_traced(
+    a: &[u32],
+    b: &[u32],
+    p: usize,
+    params: CacheParams,
+) -> (u32, paco_cache_sim::DistCacheSim) {
+    assert!(p >= 1);
+    let n = a.len();
+    let m = b.len();
+    let table = LcsTable::new(n, m);
+    let addr = LcsAddr::new(n, m);
+    let mut tracker = SimTracker::new(p, params);
+    if n == 0 || m == 0 {
+        return (0, tracker.into_sim());
+    }
+    let parts = p.min(n).min(m).max(1);
+    let procs = ProcList::all(p);
+    for diag in 0..(2 * parts - 1) {
+        for bi in 0..parts {
+            if diag < bi {
+                continue;
+            }
+            let bj = diag - bi;
+            if bj >= parts {
+                continue;
+            }
+            let rows = block_bounds(n, parts, bi);
+            let cols = block_bounds(m, parts, bj);
+            tracker.set_proc(procs.round_robin(bi));
+            tracker.task_boundary();
+            co_block(&table, a, b, rows, cols, DEFAULT_BASE, &mut tracker, &addr);
+        }
+    }
+    (table.lcs_length(), tracker.into_sim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcs::kernel::lcs_reference;
+    use paco_core::workload::random_sequence;
+
+    #[test]
+    fn matches_reference_for_various_p() {
+        let a = random_sequence(257, 4, 21);
+        let b = random_sequence(310, 4, 22);
+        let expect = lcs_reference(&a, &b);
+        for p in [1usize, 2, 3, 5, 8] {
+            let pool = WorkerPool::new(p);
+            assert_eq!(lcs_pa(&a, &b, &pool), expect, "p={p}");
+        }
+    }
+
+    #[test]
+    fn handles_inputs_shorter_than_p() {
+        let pool = WorkerPool::new(8);
+        let a = random_sequence(5, 4, 1);
+        let b = random_sequence(3, 4, 2);
+        assert_eq!(lcs_pa(&a, &b, &pool), lcs_reference(&a, &b));
+        assert_eq!(lcs_pa(&[], &b, &pool), 0);
+    }
+
+    #[test]
+    fn traced_matches_and_spreads_misses() {
+        let a = random_sequence(256, 4, 31);
+        let b = random_sequence(256, 4, 32);
+        let params = CacheParams::new(512, 8);
+        let (len, sim) = lcs_pa_traced(&a, &b, 4, params);
+        assert_eq!(len, lcs_reference(&a, &b));
+        // Every processor participates.
+        for proc in 0..4 {
+            assert!(sim.misses().get(proc) > 0, "proc {proc} did no work");
+        }
+        // The block-row ownership keeps misses roughly balanced.
+        assert!(sim.q_imbalance() < 2.0, "imbalance {}", sim.q_imbalance());
+    }
+}

@@ -1,0 +1,188 @@
+//! The PACO LCS algorithm (Theorem 2): execution phase.
+//!
+//! The plan produced by [`super::partition::plan_paco_lcs`] assigns every
+//! sub-region to a processor and arranges the regions into waves of mutually
+//! independent work.  Execution walks the waves in order ("anti-diagonal by
+//! anti-diagonal along a time line", Fig. 3); inside a wave every region runs
+//! concurrently on its pre-assigned processor and is computed by the sequential
+//! cache-oblivious kernel of Lemma 1.  There is no work stealing and no
+//! global synchronisation other than the wave boundary.
+//!
+//! Two entry points:
+//!
+//! * [`lcs_paco`] — native parallel execution on a [`WorkerPool`].
+//! * [`lcs_paco_traced`] — the identical schedule replayed (sequentially,
+//!   processor by processor within each wave) through the ideal distributed
+//!   cache simulator, which yields the paper's `Q^Σ_p` / `Q^max_p` for the
+//!   Table I experiments.
+
+use super::kernel::{co_block, LcsAddr, LcsTable, DEFAULT_BASE};
+use super::partition::{plan_paco_lcs, PacoLcsPlan};
+use paco_cache_sim::{DistCacheSim, NullTracker, SimTracker, Tracker};
+use paco_core::machine::CacheParams;
+use paco_runtime::WorkerPool;
+
+/// PACO LCS on `pool.p()` processors with the default partition base size.
+pub fn lcs_paco(a: &[u32], b: &[u32], pool: &WorkerPool) -> u32 {
+    lcs_paco_with_base(a, b, pool, DEFAULT_BASE)
+}
+
+/// PACO LCS with an explicit base-case side for the partitioning and kernel.
+pub fn lcs_paco_with_base(a: &[u32], b: &[u32], pool: &WorkerPool, base: usize) -> u32 {
+    let plan = plan_paco_lcs(a.len(), b.len(), pool.p(), base);
+    execute_plan(a, b, &plan, pool, base)
+}
+
+/// Execute a pre-computed plan (exposed so benches can separate partitioning
+/// overheads from execution time, as the paper's accounting does).
+pub fn execute_plan(
+    a: &[u32],
+    b: &[u32],
+    plan: &PacoLcsPlan,
+    pool: &WorkerPool,
+    base: usize,
+) -> u32 {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return 0;
+    }
+    assert!(
+        plan.p <= pool.p(),
+        "plan targets {} processors but the pool has {}",
+        plan.p,
+        pool.p()
+    );
+    let table = LcsTable::new(n, m);
+    let addr = LcsAddr::new(n, m);
+
+    for wave in &plan.waves {
+        pool.scope(|s| {
+            for &idx in wave {
+                let region = &plan.regions[idx];
+                let rows = region.rows.clone();
+                let cols = region.cols.clone();
+                let table = &table;
+                let addr = &addr;
+                s.spawn_on(region.proc, move || {
+                    co_block(table, a, b, rows, cols, base, &mut NullTracker, addr);
+                });
+            }
+        });
+    }
+    table.lcs_length()
+}
+
+/// PACO LCS replayed through the ideal distributed cache simulator: the same
+/// plan, the same kernel, but each region's accesses are charged to the private
+/// cache of its assigned processor, with a task-boundary flush before each
+/// region (the paper's accounting convention).
+pub fn lcs_paco_traced(
+    a: &[u32],
+    b: &[u32],
+    p: usize,
+    params: CacheParams,
+    base: usize,
+) -> (u32, DistCacheSim) {
+    let n = a.len();
+    let m = b.len();
+    let plan = plan_paco_lcs(n, m, p, base);
+    let table = LcsTable::new(n, m);
+    let addr = LcsAddr::new(n, m);
+    let mut tracker = SimTracker::new(p, params);
+    for wave in &plan.waves {
+        for &idx in wave {
+            let region = &plan.regions[idx];
+            tracker.set_proc(region.proc);
+            tracker.task_boundary();
+            co_block(
+                &table,
+                a,
+                b,
+                region.rows.clone(),
+                region.cols.clone(),
+                base,
+                &mut tracker,
+                &addr,
+            );
+        }
+    }
+    (table.lcs_length(), tracker.into_sim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcs::kernel::{lcs_reference, lcs_sequential_traced};
+    use paco_core::workload::{random_sequence, related_sequences};
+
+    #[test]
+    fn matches_reference_for_various_p_and_sizes() {
+        for &(n, m) in &[(64usize, 64usize), (200, 150), (257, 257), (400, 90)] {
+            let a = random_sequence(n, 4, n as u64 * 3);
+            let b = random_sequence(m, 4, m as u64 * 7 + 1);
+            let expect = lcs_reference(&a, &b);
+            for p in [1usize, 2, 3, 5, 7] {
+                let pool = WorkerPool::new(p);
+                assert_eq!(
+                    lcs_paco_with_base(&a, &b, &pool, 16),
+                    expect,
+                    "n={n} m={m} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn related_sequences_large_instance() {
+        let (a, b) = related_sequences(1000, 8, 0.15, 77);
+        let pool = WorkerPool::new(4);
+        assert_eq!(lcs_paco(&a, &b, &pool), lcs_reference(&a, &b));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(lcs_paco(&[], &[1, 2, 3], &pool), 0);
+        assert_eq!(lcs_paco(&[1], &[], &pool), 0);
+    }
+
+    #[test]
+    fn traced_matches_reference_and_balances_misses() {
+        let n = 512;
+        let (a, b) = related_sequences(n, 4, 0.2, 5);
+        let expect = lcs_reference(&a, &b);
+        let params = CacheParams::new(1024, 8);
+        for p in [2usize, 3, 5] {
+            let (len, sim) = lcs_paco_traced(&a, &b, p, params, 16);
+            assert_eq!(len, expect, "p={p}");
+            assert!(sim.q_sum() > 0);
+            // Balanced communication: no processor takes more than ~2x the mean.
+            assert!(
+                sim.q_imbalance() < 2.0,
+                "p={p}: miss imbalance {}",
+                sim.q_imbalance()
+            );
+        }
+    }
+
+    #[test]
+    fn overall_misses_stay_close_to_sequential_optimum() {
+        // Q^Σ_p of PACO should stay within a modest factor of Q₁ (the additive
+        // O(p·n·log(pZ)/L) term), far from p·Q₁.
+        let n = 512;
+        let (a, b) = related_sequences(n, 4, 0.25, 13);
+        let params = CacheParams::new(2048, 8);
+        let (_, seq) = lcs_sequential_traced(&a, &b, 16, params);
+        let q1 = seq.q_sum() as f64;
+        let p = 4;
+        let (_, par) = lcs_paco_traced(&a, &b, p, params, 16);
+        let qp = par.q_sum() as f64;
+        assert!(qp >= 0.9 * q1, "parallel total misses cannot beat Q1 by much");
+        assert!(
+            qp < 3.0 * q1,
+            "Q^Σ_p = {qp} should stay well below p·Q₁ = {}",
+            p as f64 * q1
+        );
+    }
+}

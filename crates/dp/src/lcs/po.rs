@@ -1,0 +1,106 @@
+//! Processor-oblivious LCS baseline.
+//!
+//! The classic recursive 2-way divide-and-conquer LCS (CLRS / Chowdhury &
+//! Ramachandran): split the table into four quadrants; the top-left quadrant is
+//! computed first, then the top-right and bottom-left quadrants in parallel,
+//! then the bottom-right quadrant.  The recursion exposes `Θ(n^{log₂3})`
+//! critical-path length and is scheduled by a randomized work stealer (rayon,
+//! standing in for Cilk), i.e. it uses no knowledge of the processor count —
+//! exactly the "PO" competitor of the paper's Fig. 12a, with the same
+//! tunable base-case size (the paper used 256).
+
+use super::kernel::{base_block, LcsAddr, LcsTable};
+use paco_cache_sim::NullTracker;
+use std::ops::Range;
+
+/// Processor-oblivious parallel LCS: rayon-scheduled quadrant recursion.
+///
+/// `base` is the side length below which a quadrant is computed directly
+/// (the paper's PO experiments use 256).
+pub fn lcs_po(a: &[u32], b: &[u32], base: usize) -> u32 {
+    assert!(base >= 1);
+    let table = LcsTable::new(a.len(), b.len());
+    let addr = LcsAddr::new(a.len(), b.len());
+    if !a.is_empty() && !b.is_empty() {
+        quadrant(&table, a, b, 1..a.len() + 1, 1..b.len() + 1, base, &addr);
+    }
+    table.lcs_length()
+}
+
+fn quadrant(
+    table: &LcsTable,
+    a: &[u32],
+    b: &[u32],
+    rows: Range<usize>,
+    cols: Range<usize>,
+    base: usize,
+    addr: &LcsAddr,
+) {
+    let nr = rows.len();
+    let nc = cols.len();
+    if nr == 0 || nc == 0 {
+        return;
+    }
+    if nr <= base && nc <= base {
+        base_block(table, a, b, rows, cols, &mut NullTracker, addr);
+        return;
+    }
+    if nr <= base {
+        // Only the columns are long: the left half must finish before the right.
+        let cmid = cols.start + nc / 2;
+        quadrant(table, a, b, rows.clone(), cols.start..cmid, base, addr);
+        quadrant(table, a, b, rows, cmid..cols.end, base, addr);
+        return;
+    }
+    if nc <= base {
+        let rmid = rows.start + nr / 2;
+        quadrant(table, a, b, rows.start..rmid, cols.clone(), base, addr);
+        quadrant(table, a, b, rmid..rows.end, cols, base, addr);
+        return;
+    }
+    let rmid = rows.start + nr / 2;
+    let cmid = cols.start + nc / 2;
+    // X00
+    quadrant(table, a, b, rows.start..rmid, cols.start..cmid, base, addr);
+    // X01 and X10 are independent of each other.
+    rayon::join(
+        || quadrant(table, a, b, rows.start..rmid, cmid..cols.end, base, addr),
+        || quadrant(table, a, b, rmid..rows.end, cols.start..cmid, base, addr),
+    );
+    // X11
+    quadrant(table, a, b, rmid..rows.end, cmid..cols.end, base, addr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcs::kernel::lcs_reference;
+    use paco_core::workload::{random_sequence, related_sequences};
+
+    #[test]
+    fn matches_reference_on_random_inputs() {
+        for &(n, m) in &[(1usize, 1usize), (33, 57), (128, 128), (200, 311), (513, 257)] {
+            let a = random_sequence(n, 4, n as u64);
+            let b = random_sequence(m, 4, 1000 + m as u64);
+            assert_eq!(lcs_po(&a, &b, 32), lcs_reference(&a, &b), "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn base_case_larger_than_input_degenerates_to_sequential() {
+        let (a, b) = related_sequences(100, 4, 0.3, 3);
+        assert_eq!(lcs_po(&a, &b, 1024), lcs_reference(&a, &b));
+    }
+
+    #[test]
+    fn tiny_base_case_still_correct() {
+        let (a, b) = related_sequences(150, 4, 0.1, 4);
+        assert_eq!(lcs_po(&a, &b, 2), lcs_reference(&a, &b));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(lcs_po(&[], &[1, 2], 16), 0);
+        assert_eq!(lcs_po(&[1, 2], &[], 16), 0);
+    }
+}

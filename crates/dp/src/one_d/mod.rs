@@ -1,0 +1,57 @@
+//! The 1D problem / least-weight subsequence (Sect. III-C of the paper).
+//!
+//! Given a weight function `w(i, j)` computable in O(1) time with no memory
+//! accesses and an initial value `D[0]`, compute
+//!
+//! ```text
+//! D[j] = min_{0 <= i < j} ( D[i] + w(i, j) )     for 1 <= j <= n
+//! ```
+//!
+//! Hirschberg & Larmore's least-weight-subsequence problem; applications
+//! include optimal paragraph formation and minimum-height B-trees.  Unlike LCS
+//! the dependency of a cell is a full prefix, so the recursive decomposition
+//! distinguishes *self-updating* triangles (a sub-range updated from within
+//! itself) from *external-updating* squares (a range updated from a disjoint,
+//! already-final range) — Fig. 4 and Fig. 6 of the paper.
+//!
+//! Provided variants (all share the same sequential kernels):
+//!
+//! | function | class | description |
+//! |---|---|---|
+//! | [`one_d_reference`] | — | doubly nested loop, ground truth |
+//! | [`one_d_sequential_co`] | CO | recursive triangle/square decomposition (Lemma 5) |
+//! | [`one_d_po`] | PO | same recursion with rayon-parallel external updates (output-dimension splits only), the Chowdhury–Ramachandran / Blelloch–Gu style baseline |
+//! | [`one_d_paco`] | PACO | Fig. 6: processor lists split ⌊p/2⌋:⌈p/2⌉, x-cuts split the output, y-cuts split the input and merge through a temporary, sequential kernel at single-processor leaves (Theorem 6) |
+
+pub mod kernel;
+pub mod paco;
+pub mod po;
+
+pub use kernel::{
+    one_d_reference, one_d_sequential_co, square_update, triangle_co, Weight, DEFAULT_BASE_1D,
+};
+pub use paco::one_d_paco;
+pub use po::one_d_po;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco_core::workload::ParagraphWeight;
+    use paco_runtime::WorkerPool;
+
+    #[test]
+    fn all_variants_agree() {
+        let w = ParagraphWeight { ideal: 12.0 };
+        let n = 300;
+        let expect = one_d_reference(n, &w, 0.0);
+        let co = one_d_sequential_co(n, &w, 0.0, 16);
+        let po = one_d_po(n, &w, 0.0, 16);
+        let pool = WorkerPool::new(3);
+        let paco = one_d_paco(n, &w, 0.0, &pool, 16);
+        for j in 0..=n {
+            assert!((expect[j] - co[j]).abs() < 1e-9, "co mismatch at {j}");
+            assert!((expect[j] - po[j]).abs() < 1e-9, "po mismatch at {j}");
+            assert!((expect[j] - paco[j]).abs() < 1e-9, "paco mismatch at {j}");
+        }
+    }
+}

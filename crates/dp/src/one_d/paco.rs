@@ -1,0 +1,287 @@
+//! PACO 1D algorithm (Sect. III-C, Fig. 6, Theorem 6).
+//!
+//! The self-updating triangles are traversed exactly as in the sequential
+//! algorithm; only the external-updating squares are partitioned and
+//! parallelised:
+//!
+//! * the square's processor list is split `⌊p/2⌋ : ⌈p/2⌉`;
+//! * a cut along the *output* dimension (x) splits the output range in the same
+//!   ratio — the two halves share the inputs and write disjoint outputs;
+//! * a cut along the *input* dimension (y) splits the input range, allocates a
+//!   temporary copy of the output for one half so both halves can run
+//!   independently, and merges with a parallel element-wise `min` afterwards
+//!   (lines 11–19 of Fig. 6);
+//! * the recursion stops when a single processor is left, which then runs the
+//!   sequential cache-oblivious square kernel.
+//!
+//! Execution discipline on the worker pool: the branch whose processor list
+//! contains the processor currently executing runs inline; the other branch is
+//! spawned onto the first processor of its list.  This realises the
+//! processor-list semantics of the pseudo-code without any work stealing and
+//! without a task ever waiting on work queued behind it on its own worker.
+
+use super::kernel::{square_update, triangle_co, Weight};
+use crate::shared::SharedSlice;
+use paco_core::proc_list::{ProcId, ProcList};
+use paco_runtime::WorkerPool;
+use std::ops::Range;
+
+/// PACO 1D on `pool.p()` processors: returns the full `D[0..=n]` array.
+pub fn one_d_paco<W: Weight>(n: usize, w: &W, d0: f64, pool: &WorkerPool, base: usize) -> Vec<f64> {
+    let base = base.max(2);
+    let d = SharedSlice::new(n + 1, f64::INFINITY);
+    d.set(0, d0);
+    let procs = ProcList::all(pool.p());
+    paco_triangle(pool, procs, &d, 0..n + 1, w, base);
+    d.snapshot()
+}
+
+/// `COP-1D△`: sequential spine (left triangle, parallel square, right triangle).
+fn paco_triangle<W: Weight>(
+    pool: &WorkerPool,
+    procs: ProcList,
+    d: &SharedSlice<f64>,
+    range: Range<usize>,
+    w: &W,
+    base: usize,
+) {
+    let len = range.len();
+    if len <= 1 {
+        return;
+    }
+    if len <= base || procs.len() == 1 {
+        triangle_co(d, range, w, base);
+        return;
+    }
+    let mid = range.start + len / 2;
+    paco_triangle(pool, procs, d, range.start..mid, w, base);
+    paco_square(
+        pool,
+        None,
+        procs,
+        d,
+        d,
+        0,
+        range.start..mid,
+        mid..range.end,
+        w,
+        base,
+    );
+    paco_triangle(pool, procs, d, mid..range.end, w, base);
+}
+
+/// `COP-1D□`: the parallel external-updating function of Fig. 6.
+#[allow(clippy::too_many_arguments)]
+fn paco_square<W: Weight>(
+    pool: &WorkerPool,
+    cur: Option<ProcId>,
+    procs: ProcList,
+    src: &SharedSlice<f64>,
+    dst: &SharedSlice<f64>,
+    dst_off: usize,
+    inp: Range<usize>,
+    out: Range<usize>,
+    w: &W,
+    base: usize,
+) {
+    if inp.is_empty() || out.is_empty() {
+        return;
+    }
+    if procs.len() == 1 {
+        let target = procs.only();
+        if cur == Some(target) {
+            square_update(src, dst, dst_off, inp, out, w, base);
+        } else {
+            pool.scope(|s| {
+                s.spawn_on(target, move || {
+                    square_update(src, dst, dst_off, inp, out, w, base);
+                });
+            });
+        }
+        return;
+    }
+
+    let (p1, p2) = procs.split_even();
+    if out.len() >= inp.len() {
+        // Cut on x: split the output range in the ratio |P1| : |P2|.
+        let split = out.start + out.len() * p1.len() / procs.len();
+        let out_left = out.start..split;
+        let out_right = split..out.end;
+        run_two(
+            pool,
+            cur,
+            p1,
+            |c| paco_square(pool, c, p1, src, dst, dst_off, inp.clone(), out_left.clone(), w, base),
+            p2,
+            |c| paco_square(pool, c, p2, src, dst, dst_off, inp.clone(), out_right.clone(), w, base),
+        );
+    } else {
+        // Cut on y: split the input range; the second half accumulates into a
+        // temporary covering the output, merged by a parallel min afterwards.
+        let split = inp.start + inp.len() * p1.len() / procs.len();
+        let inp_left = inp.start..split;
+        let inp_right = split..inp.end;
+        let tmp = SharedSlice::new(out.len(), f64::INFINITY);
+        {
+            let tmp = &tmp;
+            run_two(
+                pool,
+                cur,
+                p1,
+                |c| paco_square(pool, c, p1, src, dst, dst_off, inp_left.clone(), out.clone(), w, base),
+                p2,
+                |c| {
+                    paco_square(pool, c, p2, src, tmp, out.start, inp_right.clone(), out.clone(), w, base)
+                },
+            );
+        }
+        merge_min(pool, cur, procs, dst, dst_off, &tmp, out);
+    }
+}
+
+/// Run two branches on the two halves of a processor list: the branch owning
+/// the current processor runs inline, the other is spawned onto the first
+/// processor of its list; both must complete before returning.
+fn run_two<F1, F2>(
+    pool: &WorkerPool,
+    cur: Option<ProcId>,
+    p1: ProcList,
+    f1: F1,
+    p2: ProcList,
+    f2: F2,
+) where
+    F1: FnOnce(Option<ProcId>) + Send,
+    F2: FnOnce(Option<ProcId>) + Send,
+{
+    match cur {
+        None => {
+            // Called from outside the pool: dispatch both branches.
+            pool.scope(|s| {
+                s.spawn_on(p1.first(), move || f1(Some(p1.first())));
+                s.spawn_on(p2.first(), move || f2(Some(p2.first())));
+            });
+        }
+        Some(c) => {
+            debug_assert_eq!(
+                c,
+                p1.first(),
+                "recursion must descend with the current processor leading the left list"
+            );
+            pool.scope(|s| {
+                s.spawn_on(p2.first(), move || f2(Some(p2.first())));
+                // Run our own half inline while the other half executes remotely.
+                f1(Some(c));
+            });
+        }
+    }
+}
+
+/// Parallel element-wise merge `dst[j] = min(dst[j], tmp[j])` over `out`,
+/// spread across the processor list (lines 17–18 of Fig. 6).
+fn merge_min(
+    pool: &WorkerPool,
+    cur: Option<ProcId>,
+    procs: ProcList,
+    dst: &SharedSlice<f64>,
+    dst_off: usize,
+    tmp: &SharedSlice<f64>,
+    out: Range<usize>,
+) {
+    let p = procs.len();
+    let chunk = |k: usize| -> Range<usize> {
+        let lo = out.start + k * out.len() / p;
+        let hi = out.start + (k + 1) * out.len() / p;
+        lo..hi
+    };
+    let do_chunk = move |r: Range<usize>| {
+        for j in r {
+            let merged = dst.get(j - dst_off).min(tmp.get(j - out.start));
+            dst.set(j - dst_off, merged);
+        }
+    };
+    pool.scope(|s| {
+        let mut own: Option<Range<usize>> = None;
+        for (k, proc) in procs.ids().enumerate() {
+            let r = chunk(k);
+            if r.is_empty() {
+                continue;
+            }
+            if cur == Some(proc) {
+                own = Some(r);
+            } else {
+                let do_chunk = &do_chunk;
+                s.spawn_on(proc, move || do_chunk(r));
+            }
+        }
+        if let Some(r) = own {
+            do_chunk(r);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::one_d::kernel::{one_d_reference, FnWeight};
+    use paco_core::workload::ParagraphWeight;
+
+    fn assert_close(a: &[f64], b: &[f64], ctx: &str) {
+        assert_eq!(a.len(), b.len());
+        for (j, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < 1e-9, "{ctx}: mismatch at {j}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_for_various_p() {
+        let w = ParagraphWeight { ideal: 11.0 };
+        let n = 400;
+        let expect = one_d_reference(n, &w, 0.0);
+        for p in [1usize, 2, 3, 5, 7, 8] {
+            let pool = WorkerPool::new(p);
+            let got = one_d_paco(n, &w, 0.0, &pool, 16);
+            assert_close(&expect, &got, &format!("p={p}"));
+        }
+    }
+
+    #[test]
+    fn small_inputs_and_degenerate_cases() {
+        let w = ParagraphWeight { ideal: 2.0 };
+        let pool = WorkerPool::new(4);
+        assert_close(
+            &one_d_reference(0, &w, 1.0),
+            &one_d_paco(0, &w, 1.0, &pool, 8),
+            "n=0",
+        );
+        assert_close(
+            &one_d_reference(1, &w, 0.0),
+            &one_d_paco(1, &w, 0.0, &pool, 8),
+            "n=1",
+        );
+        assert_close(
+            &one_d_reference(7, &w, 0.0),
+            &one_d_paco(7, &w, 0.0, &pool, 8),
+            "n=7",
+        );
+    }
+
+    #[test]
+    fn irregular_weight_function() {
+        let w = FnWeight(|i: usize, j: usize| ((i * 31 + j * 17) % 23) as f64 * 0.5);
+        let n = 333;
+        let expect = one_d_reference(n, &w, 0.0);
+        let pool = WorkerPool::new(6);
+        let got = one_d_paco(n, &w, 0.0, &pool, 8);
+        assert_close(&expect, &got, "irregular");
+    }
+
+    #[test]
+    fn tiny_base_forces_deep_recursion() {
+        let w = ParagraphWeight { ideal: 5.0 };
+        let n = 200;
+        let expect = one_d_reference(n, &w, 0.0);
+        let pool = WorkerPool::new(5);
+        let got = one_d_paco(n, &w, 0.0, &pool, 2);
+        assert_close(&expect, &got, "base=2");
+    }
+}

@@ -1,0 +1,157 @@
+//! Sequential cache-oblivious matrix multiplication (Lemma 8, Frigo et al.).
+//!
+//! `CO-MM` recursively halves the *longest* dimension of the `n × m × k`
+//! computation cuboid until every dimension is at most [`MM_BASE`], then calls
+//! the shared leaf kernel.  Splitting the `k` (height) dimension produces two
+//! multiplications that accumulate into the same output; sequentially they
+//! simply run one after the other.  The recursion incurs
+//! `O(1 + (nm + nk + mk)/L + nmk/(L√Z))` cache misses without knowing `Z` or
+//! `L` — the optimal sequential bound every parallel variant builds on.
+
+use crate::kernel::{mm_base, MM_BASE};
+use paco_core::matrix::{MatMut, MatRef, Matrix};
+use paco_core::semiring::Semiring;
+
+/// Reference semiring matrix product `C = A ⊗ B` computed with the plain
+/// triple loop; ground truth for the tests of every other variant.
+pub fn mm_reference<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>) -> Matrix<S> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    mm_base(&mut c.as_mut(), &a.as_ref(), &b.as_ref());
+    c
+}
+
+/// `C += A ⊗ B`, cache-obliviously, with base-case threshold `cutoff`.
+pub fn co_mm_with_cutoff<S: Semiring>(
+    mut c: MatMut<'_, S>,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    cutoff: usize,
+) {
+    let n = c.rows();
+    let m = c.cols();
+    let k = a.cols();
+    debug_assert_eq!(a.rows(), n);
+    debug_assert_eq!(b.rows(), k);
+    debug_assert_eq!(b.cols(), m);
+    if n == 0 || m == 0 || k == 0 {
+        return;
+    }
+    if n <= cutoff && m <= cutoff && k <= cutoff {
+        mm_base(&mut c, &a, &b);
+        return;
+    }
+    // Split the longest dimension in half (X = n, Y = m, Z = k).
+    if n >= m && n >= k {
+        let half = n / 2;
+        let (a1, a2) = a.split_rows(half);
+        let (c1, c2) = c.split_rows(half);
+        co_mm_with_cutoff(c1, a1, b, cutoff);
+        co_mm_with_cutoff(c2, a2, b, cutoff);
+    } else if m >= k {
+        let half = m / 2;
+        let (b1, b2) = b.split_cols(half);
+        let (c1, c2) = c.split_cols(half);
+        co_mm_with_cutoff(c1, a, b1, cutoff);
+        co_mm_with_cutoff(c2, a, b2, cutoff);
+    } else {
+        let half = k / 2;
+        let (a1, a2) = a.split_cols(half);
+        let (b1, b2) = b.split_rows(half);
+        co_mm_with_cutoff(c.rb(), a1, b1, cutoff);
+        co_mm_with_cutoff(c, a2, b2, cutoff);
+    }
+}
+
+/// `C += A ⊗ B` with the default base case ([`MM_BASE`]).
+pub fn co_mm<S: Semiring>(c: MatMut<'_, S>, a: MatRef<'_, S>, b: MatRef<'_, S>) {
+    co_mm_with_cutoff(c, a, b, MM_BASE);
+}
+
+/// Convenience wrapper: allocate the output and compute `C = A ⊗ B`
+/// cache-obliviously.
+pub fn co_mm_alloc<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>) -> Matrix<S> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    co_mm(c.as_mut(), a.as_ref(), b.as_ref());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco_core::semiring::{MinPlus, WrappingRing};
+    use paco_core::workload::{random_matrix_f64, random_matrix_wrapping};
+
+    #[test]
+    fn matches_reference_on_square_f64() {
+        for &n in &[1usize, 7, 16, 65, 130] {
+            let a = random_matrix_f64(n, n, n as u64);
+            let b = random_matrix_f64(n, n, n as u64 + 1);
+            let expect = mm_reference(&a, &b);
+            let got = co_mm_alloc(&a, &b);
+            assert!(expect.approx_eq(&got, 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_rectangular_exact_ring() {
+        for &(n, m, k) in &[(3usize, 70usize, 9usize), (128, 1, 17), (33, 65, 129), (5, 5, 200)] {
+            let a = random_matrix_wrapping(n, k, 7);
+            let b = random_matrix_wrapping(k, m, 8);
+            let expect = mm_reference(&a, &b);
+            let got = co_mm_alloc(&a, &b);
+            assert_eq!(expect, got, "n={n} m={m} k={k}");
+        }
+    }
+
+    #[test]
+    fn tiny_cutoff_still_correct() {
+        let a = random_matrix_wrapping(37, 23, 11);
+        let b = random_matrix_wrapping(23, 41, 12);
+        let expect = mm_reference(&a, &b);
+        let mut c = Matrix::zeros(37, 41);
+        co_mm_with_cutoff(c.as_mut(), a.as_ref(), b.as_ref(), 1);
+        assert_eq!(expect, c);
+    }
+
+    #[test]
+    fn accumulates_instead_of_overwriting() {
+        let a = random_matrix_wrapping(16, 16, 3);
+        let b = random_matrix_wrapping(16, 16, 4);
+        let mut c = Matrix::filled(16, 16, WrappingRing(5));
+        co_mm(c.as_mut(), a.as_ref(), b.as_ref());
+        let mut expect = Matrix::filled(16, 16, WrappingRing(5));
+        mm_base(&mut expect.as_mut(), &a.as_ref(), &b.as_ref());
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = random_matrix_f64(48, 48, 9);
+        let id: Matrix<f64> = Matrix::identity(48);
+        let c = co_mm_alloc(&a, &id);
+        assert!(c.approx_eq(&a, 1e-12));
+        let c = co_mm_alloc(&id, &a);
+        assert!(c.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn works_on_tropical_semiring() {
+        let n = 20;
+        let a = Matrix::from_fn(n, n, |i, j| MinPlus(((i * 7 + j * 3) % 10) as f64));
+        let b = Matrix::from_fn(n, n, |i, j| MinPlus(((i * 5 + j * 11) % 13) as f64));
+        let expect = mm_reference(&a, &b);
+        let got = co_mm_alloc(&a, &b);
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn empty_dimensions_are_noops() {
+        let a: Matrix<f64> = Matrix::zeros(0, 4);
+        let b: Matrix<f64> = Matrix::zeros(4, 3);
+        let c = co_mm_alloc(&a, &b);
+        assert_eq!(c.rows(), 0);
+        assert_eq!(c.cols(), 3);
+    }
+}

@@ -1,0 +1,285 @@
+//! The *general* PACO MM algorithm (Fig. 7, Theorem 9), executed.
+//!
+//! Unlike MM-1-PIECE (one cuboid per processor, [`crate::paco_mm`]), the
+//! general algorithm lets every processor own a geometrically decreasing
+//! *sequence* of cuboids produced by the pruned BFS traversal.  Execution here
+//! follows the paper's structure:
+//!
+//! 1. the computation cuboid is partitioned by the pruned BFS
+//!    ([`paco_runtime::pruned_bfs`]) into placed cuboids, each carrying its
+//!    offsets inside the original `n × m × k` iteration space;
+//! 2. every processor multiplies each of its cuboids with the sequential
+//!    cache-oblivious kernel into a private temporary the size of the cuboid's
+//!    bottom face (the paper allocates such a temporary whenever a height cut
+//!    separates siblings; allocating one per assigned cuboid is the same
+//!    asymptotic space, `O(S + S⁺_p)`, and keeps every multiplication
+//!    independent);
+//! 3. the temporaries are reduced into the output with parallel additions, the
+//!    output rows being partitioned over the processors so the reduction is
+//!    race-free.
+//!
+//! The reduction moves `O(Σ bottom faces)` words, which the proof of Theorem 9
+//! charges to the corresponding multiplications; the tests below check both the
+//! exact result and the geometric-decrease/balance invariants of the placement.
+
+use crate::co_mm::co_mm_with_cutoff;
+use crate::kernel::MM_BASE;
+use paco_core::matrix::Matrix;
+use paco_core::semiring::Semiring;
+use paco_runtime::{pruned_bfs_with_options, Assignment, BfsOptions, DcNode, WorkerPool};
+use parking_lot::Mutex;
+
+/// A cuboid of the `n × m × k` iteration space with explicit offsets: rows
+/// `i0..i0+rows` of `C`/`A`, columns `j0..j0+cols` of `C`/`B`, reduction range
+/// `k0..k0+depth`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacedCuboid {
+    /// First output row.
+    pub i0: usize,
+    /// First output column.
+    pub j0: usize,
+    /// First reduction index.
+    pub k0: usize,
+    /// Number of output rows.
+    pub rows: usize,
+    /// Number of output columns.
+    pub cols: usize,
+    /// Reduction depth.
+    pub depth: usize,
+    /// Base-case threshold for the pruned BFS.
+    pub base: usize,
+}
+
+impl PlacedCuboid {
+    /// The whole iteration space of an `n × k` times `k × m` product.
+    pub fn root(n: usize, m: usize, k: usize, base: usize) -> Self {
+        Self {
+            i0: 0,
+            j0: 0,
+            k0: 0,
+            rows: n,
+            cols: m,
+            depth: k,
+            base: base.max(1),
+        }
+    }
+}
+
+impl DcNode for PlacedCuboid {
+    fn divide(&self) -> Vec<Self> {
+        let mut first = *self;
+        let mut second = *self;
+        if self.rows >= self.cols && self.rows >= self.depth {
+            let half = self.rows / 2;
+            first.rows = half;
+            second.rows = self.rows - half;
+            second.i0 = self.i0 + half;
+        } else if self.cols >= self.depth {
+            let half = self.cols / 2;
+            first.cols = half;
+            second.cols = self.cols - half;
+            second.j0 = self.j0 + half;
+        } else {
+            let half = self.depth / 2;
+            first.depth = half;
+            second.depth = self.depth - half;
+            second.k0 = self.k0 + half;
+        }
+        vec![first, second]
+    }
+
+    fn is_base(&self) -> bool {
+        self.rows.max(self.cols).max(self.depth) <= self.base
+    }
+
+    fn work(&self) -> f64 {
+        self.rows as f64 * self.cols as f64 * self.depth as f64
+    }
+
+    fn surface(&self) -> f64 {
+        (self.rows * self.cols + self.rows * self.depth + self.cols * self.depth) as f64
+    }
+}
+
+/// The pruned-BFS placement of the general algorithm (offsets included), for
+/// inspection by tests and the scaling experiment.
+pub fn plan_paco_mm_general(
+    n: usize,
+    m: usize,
+    k: usize,
+    p: usize,
+    base: usize,
+) -> Assignment<PlacedCuboid> {
+    pruned_bfs_with_options(PlacedCuboid::root(n, m, k, base), p, BfsOptions::default())
+}
+
+/// `C = A ⊗ B` with the general PACO MM algorithm (Theorem 9) on `pool.p()`
+/// processors.
+pub fn paco_mm_general<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
+    paco_mm_general_with_base(a, b, pool, MM_BASE)
+}
+
+/// [`paco_mm_general`] with an explicit pruned-BFS base-case threshold.
+pub fn paco_mm_general_with_base<S: Semiring>(
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    pool: &WorkerPool,
+    base: usize,
+) -> Matrix<S> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let n = a.rows();
+    let k = a.cols();
+    let m = b.cols();
+    let mut c = Matrix::zeros(n, m);
+    if n == 0 || m == 0 || k == 0 {
+        return c;
+    }
+
+    let assignment = plan_paco_mm_general(n, m, k, pool.p(), base);
+
+    // ---- Phase 2: every processor multiplies its cuboids into private
+    // temporaries (one per cuboid, sized to the cuboid's bottom face).
+    type Partial<S> = (PlacedCuboid, Matrix<S>);
+    let partials: Vec<Mutex<Vec<Partial<S>>>> =
+        (0..pool.p()).map(|_| Mutex::new(Vec::new())).collect();
+    {
+        let av = a.as_ref();
+        let bv = b.as_ref();
+        let partials_ref = &partials;
+        pool.scope(|s| {
+            for (proc, cuboids) in assignment.per_proc.iter().enumerate() {
+                for &cuboid in cuboids {
+                    s.spawn_on(proc, move || {
+                        let a_block =
+                            av.submatrix(cuboid.i0, cuboid.k0, cuboid.rows, cuboid.depth);
+                        let b_block =
+                            bv.submatrix(cuboid.k0, cuboid.j0, cuboid.depth, cuboid.cols);
+                        let mut tmp: Matrix<S> = Matrix::zeros(cuboid.rows, cuboid.cols);
+                        co_mm_with_cutoff(tmp.as_mut(), a_block, b_block, MM_BASE);
+                        partials_ref[proc].lock().push((cuboid, tmp));
+                    });
+                }
+            }
+        });
+    }
+
+    // ---- Phase 3: reduce the partial products into C.  The output rows are
+    // partitioned over the processors; each worker folds in every partial that
+    // intersects its row band, so no two workers touch the same output cell.
+    let all_partials: Vec<Partial<S>> = partials
+        .into_iter()
+        .flat_map(|m| m.into_inner())
+        .collect();
+    {
+        let all_ref = &all_partials;
+        let p = pool.p();
+        let mut bands = Vec::with_capacity(p);
+        let mut rest = c.as_mut();
+        for proc in 0..p {
+            let lo = proc * n / p;
+            let hi = (proc + 1) * n / p;
+            let (band, tail) = rest.split_rows(hi - lo);
+            rest = tail;
+            bands.push((proc, lo, hi, band));
+        }
+        pool.scope(|s| {
+            for (proc, lo, hi, mut band) in bands {
+                s.spawn_on(proc, move || {
+                    for (cuboid, tmp) in all_ref {
+                        let c_lo = cuboid.i0.max(lo);
+                        let c_hi = (cuboid.i0 + cuboid.rows).min(hi);
+                        if c_lo >= c_hi {
+                            continue;
+                        }
+                        for i in c_lo..c_hi {
+                            for j in 0..cuboid.cols {
+                                let cur = band.at(i - lo, cuboid.j0 + j);
+                                band.set(
+                                    i - lo,
+                                    cuboid.j0 + j,
+                                    cur.add(tmp.get(i - cuboid.i0, j)),
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::co_mm::mm_reference;
+    use paco_core::workload::{random_matrix_f64, random_matrix_wrapping};
+
+    #[test]
+    fn matches_reference_for_various_p_exact() {
+        let a = random_matrix_wrapping(90, 70, 51);
+        let b = random_matrix_wrapping(70, 110, 52);
+        let expect = mm_reference(&a, &b);
+        for p in [1usize, 2, 3, 5, 7, 8] {
+            let pool = WorkerPool::new(p);
+            assert_eq!(expect, paco_mm_general_with_base(&a, &b, &pool, 16), "p={p}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_f64_with_deep_reduction() {
+        // Deep k forces height cuts, i.e. overlapping output regions that the
+        // reduction phase must sum correctly.
+        let a = random_matrix_f64(48, 400, 53);
+        let b = random_matrix_f64(400, 40, 54);
+        let expect = mm_reference(&a, &b);
+        let pool = WorkerPool::new(6);
+        let got = paco_mm_general_with_base(&a, &b, &pool, 32);
+        assert!(expect.approx_eq(&got, 1e-9), "max diff {}", expect.max_abs_diff(&got));
+    }
+
+    #[test]
+    fn placement_has_geometric_per_processor_sequences() {
+        for &p in &[3usize, 7, 11, 24] {
+            let plan = plan_paco_mm_general(512, 512, 512, p, 32);
+            let report = plan.report();
+            assert!((report.total_work - 512f64.powi(3)).abs() < 1e-3, "p={p}");
+            assert!(report.work_imbalance < 1.3, "p={p}: {}", report.work_imbalance);
+            assert!(report.geometric_decrease, "p={p}");
+            // Every processor receives at least one cuboid once p leaves exist.
+            assert!(plan.per_proc.iter().all(|v| !v.is_empty()), "p={p}");
+        }
+    }
+
+    #[test]
+    fn placement_offsets_tile_the_iteration_space() {
+        let plan = plan_paco_mm_general(64, 48, 80, 5, 8);
+        // Total volume of placed cuboids equals the full iteration space and no
+        // (i, j, k) point is covered twice: check via a coarse 3D occupancy grid.
+        let mut covered = vec![0u8; 64 * 48 * 80];
+        for cuboid in plan.per_proc.iter().flatten() {
+            for i in cuboid.i0..cuboid.i0 + cuboid.rows {
+                for j in cuboid.j0..cuboid.j0 + cuboid.cols {
+                    for k in cuboid.k0..cuboid.k0 + cuboid.depth {
+                        let idx = (i * 48 + j) * 80 + k;
+                        assert_eq!(covered[idx], 0, "point ({i},{j},{k}) covered twice");
+                        covered[idx] = 1;
+                    }
+                }
+            }
+        }
+        assert!(covered.iter().all(|&x| x == 1), "iteration space fully covered");
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        let pool = WorkerPool::new(4);
+        let a = random_matrix_wrapping(1, 1, 1);
+        let b = random_matrix_wrapping(1, 1, 2);
+        assert_eq!(mm_reference(&a, &b), paco_mm_general(&a, &b, &pool));
+        let a0 = random_matrix_wrapping(0, 3, 3);
+        let b0 = random_matrix_wrapping(3, 2, 4);
+        let c0 = paco_mm_general(&a0, &b0, &pool);
+        assert_eq!((c0.rows(), c0.cols()), (0, 2));
+    }
+}

@@ -1,0 +1,116 @@
+//! Heterogeneous PACO matrix multiplication (Sect. III-E-2, Corollary 12, and
+//! the experimental variant of Sect. IV-A used for Fig. 9b).
+//!
+//! The paper's 72-core machine turned out to be heterogeneous (the 18 cores of
+//! socket 0 ran ~3× faster than the other 54), and a throughput-aware PACO
+//! split raised the mean speedup over MKL from 3.4% to 48.6%.  We do not have a
+//! heterogeneous machine, so the experiment is reproduced on an *emulated* one:
+//! a [`ThrottleSpec`] makes the "slow" workers repeat their leaf kernels, and
+//! the comparison is between
+//!
+//! * [`hetero_mm`] — the throughput-aware split: the processor list is divided
+//!   into two halves as a binary tree over the workers, and the cuboid is cut
+//!   on its longest dimension in the ratio of the two halves' total throughput
+//!   (the Sect. IV-A variant, similar to Nagamochi–Abe rectangular
+//!   partitioning, which gives each processor exactly one piece), and
+//! * [`unaware_mm`] — the plain even 1-PIECE split executed on the same
+//!   emulated machine, standing in for any heterogeneity-unaware competitor
+//!   (MKL in the paper's figure).
+//!
+//! Corollary 12 predicts the aware split reaches the ideal speedup
+//! `Σtᵢ / t₁` while the unaware split is gated by the slowest core.
+
+use crate::paco_mm::{paco_mm_1piece_with, MmConfig};
+use paco_core::matrix::Matrix;
+use paco_core::semiring::Semiring;
+use paco_runtime::hetero::ThrottleSpec;
+use paco_runtime::WorkerPool;
+
+/// Throughput-aware PACO MM on an (emulated) heterogeneous machine: work is
+/// split in proportion to the configured throughput ratios and every leaf is
+/// throttled according to the same specification.
+pub fn hetero_mm<S: Semiring>(
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    pool: &WorkerPool,
+    throttle: &ThrottleSpec,
+) -> Matrix<S> {
+    let cfg = MmConfig {
+        fractions: Some(throttle.spec().fractions()),
+        throttle: Some(throttle.clone()),
+        cutoff: crate::kernel::MM_BASE,
+    };
+    paco_mm_1piece_with(a, b, pool, &cfg)
+}
+
+/// Heterogeneity-*unaware* PACO MM running on the same emulated machine: the
+/// cuboid is split evenly (as if all cores were equal) while the leaves are
+/// still throttled.  This is the baseline the aware split is compared against
+/// in the Fig. 9b reproduction.
+pub fn unaware_mm<S: Semiring>(
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    pool: &WorkerPool,
+    throttle: &ThrottleSpec,
+) -> Matrix<S> {
+    let cfg = MmConfig {
+        fractions: None,
+        throttle: Some(throttle.clone()),
+        cutoff: crate::kernel::MM_BASE,
+    };
+    paco_mm_1piece_with(a, b, pool, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::co_mm::mm_reference;
+    use paco_core::machine::HeteroSpec;
+    use paco_core::metrics::min_time_of;
+    use paco_core::workload::{random_matrix_f64, random_matrix_wrapping};
+
+    #[test]
+    fn aware_and_unaware_are_both_correct() {
+        let a = random_matrix_wrapping(96, 80, 21);
+        let b = random_matrix_wrapping(80, 72, 22);
+        let expect = mm_reference(&a, &b);
+        let spec = HeteroSpec::new(vec![3.0, 1.0, 1.0, 1.0]);
+        let throttle = ThrottleSpec::from_spec(&spec);
+        let pool = WorkerPool::new(4);
+        assert_eq!(expect, hetero_mm(&a, &b, &pool, &throttle));
+        assert_eq!(expect, unaware_mm(&a, &b, &pool, &throttle));
+    }
+
+    #[test]
+    fn aware_split_is_faster_on_the_emulated_heterogeneous_machine() {
+        // One fast core (ratio 4) and three slow ones.  The unaware split gives
+        // every core the same share, so its makespan is gated by a slow core
+        // doing ~1/4 of the work at 1/4 speed; the aware split gives the fast
+        // core ~4/7 of the work.  Expect a clear win (we only require 15% to
+        // keep the test robust on noisy CI machines).
+        let n = 320;
+        let a = random_matrix_f64(n, n, 31);
+        let b = random_matrix_f64(n, n, 32);
+        let spec = HeteroSpec::new(vec![4.0, 1.0, 1.0, 1.0]);
+        let throttle = ThrottleSpec::from_spec(&spec);
+        let pool = WorkerPool::new(4);
+
+        let t_aware = min_time_of(3, || std::hint::black_box(hetero_mm(&a, &b, &pool, &throttle)));
+        let t_unaware = min_time_of(3, || std::hint::black_box(unaware_mm(&a, &b, &pool, &throttle)));
+        assert!(
+            t_unaware > 1.15 * t_aware,
+            "aware {t_aware:.4}s should beat unaware {t_unaware:.4}s clearly"
+        );
+    }
+
+    #[test]
+    fn homogeneous_spec_reduces_to_plain_1piece() {
+        let a = random_matrix_wrapping(64, 64, 41);
+        let b = random_matrix_wrapping(64, 64, 42);
+        let spec = HeteroSpec::homogeneous(3);
+        let throttle = ThrottleSpec::from_spec(&spec);
+        let pool = WorkerPool::new(3);
+        let expect = mm_reference(&a, &b);
+        assert_eq!(expect, hetero_mm(&a, &b, &pool, &throttle));
+    }
+}

@@ -1,0 +1,433 @@
+//! PACO rectangular matrix multiplication (Sect. III-E).
+//!
+//! Two faces of the same idea:
+//!
+//! * [`plan_paco_mm`] — the *general* PACO MM partitioning of Theorem 9: the
+//!   computation cuboid `n × m × k` is cut in half along its longest dimension,
+//!   level by level, by the pruned BFS traversal; every processor ends up with
+//!   a geometrically decreasing sequence of cuboids whose total volume is
+//!   `Θ(nmk/p)` and whose surface area matches the communication lower bound.
+//!   The function returns the assignment so tests, the scaling experiment and
+//!   the ablation bench can inspect the balance directly.
+//!
+//! * [`paco_mm_1piece`] — the executable MM-1-PIECE algorithm of Corollary 10
+//!   (Fig. 8), the variant the paper benchmarks against MKL: processor lists
+//!   are split `⌊p/2⌋ : ⌈p/2⌉` and the cuboid is split on its longest dimension
+//!   in the same ratio, until a single processor remains and runs the
+//!   sequential cache-oblivious kernel.  A height (`k`) cut allocates a
+//!   temporary output and merges with a parallel addition afterwards, exactly
+//!   as lines 27–37 of Fig. 7 / Fig. 8 describe.
+//!
+//! The same recursion, parameterised by throughput fractions and a leaf
+//! throttle, also implements the heterogeneous variant (see [`crate::hetero`]).
+
+use crate::co_mm::co_mm_with_cutoff;
+use crate::kernel::MM_BASE;
+use paco_core::matrix::{MatMut, MatRef, Matrix};
+use paco_core::proc_list::{ProcId, ProcList};
+use paco_core::semiring::Semiring;
+use paco_runtime::hetero::ThrottleSpec;
+use paco_runtime::{fork2, pruned_bfs, Assignment, DcNode, WorkerPool};
+
+/// A computation cuboid `n × m × k` (output `n × m`, inputs `n × k` and
+/// `k × m`); the node type of the pruned BFS partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cuboid {
+    /// Output rows.
+    pub n: usize,
+    /// Output columns.
+    pub m: usize,
+    /// Reduction depth.
+    pub k: usize,
+    /// Base-case threshold (a cuboid stops dividing when all dims are ≤ this).
+    pub base: usize,
+}
+
+impl Cuboid {
+    /// Volume `n·m·k` — the computational weight.
+    pub fn volume(&self) -> f64 {
+        self.n as f64 * self.m as f64 * self.k as f64
+    }
+
+    /// Surface area `nm + nk + mk` — the communication weight.
+    pub fn surface_area(&self) -> f64 {
+        (self.n * self.m + self.n * self.k + self.m * self.k) as f64
+    }
+}
+
+impl DcNode for Cuboid {
+    fn divide(&self) -> Vec<Self> {
+        let mut c1 = *self;
+        let mut c2 = *self;
+        if self.n >= self.m && self.n >= self.k {
+            c1.n = self.n / 2;
+            c2.n = self.n - self.n / 2;
+        } else if self.m >= self.k {
+            c1.m = self.m / 2;
+            c2.m = self.m - self.m / 2;
+        } else {
+            c1.k = self.k / 2;
+            c2.k = self.k - self.k / 2;
+        }
+        vec![c1, c2]
+    }
+
+    fn is_base(&self) -> bool {
+        self.n.max(self.m).max(self.k) <= self.base
+    }
+
+    fn work(&self) -> f64 {
+        self.volume()
+    }
+
+    fn surface(&self) -> f64 {
+        self.surface_area()
+    }
+}
+
+/// The general PACO MM partitioning (Theorem 9): pruned BFS of the
+/// `n × m × k` cuboid over `p` processors.
+pub fn plan_paco_mm(n: usize, m: usize, k: usize, p: usize) -> Assignment<Cuboid> {
+    plan_paco_mm_with_base(n, m, k, p, MM_BASE)
+}
+
+/// [`plan_paco_mm`] with an explicit base-case threshold.
+pub fn plan_paco_mm_with_base(
+    n: usize,
+    m: usize,
+    k: usize,
+    p: usize,
+    base: usize,
+) -> Assignment<Cuboid> {
+    pruned_bfs(Cuboid { n, m, k, base }, p)
+}
+
+/// How the 1-PIECE recursion splits work between the two halves of a processor
+/// list, and whether leaves emulate slower cores.
+#[derive(Debug, Clone)]
+pub struct MmConfig {
+    /// Per-processor load fractions (length = total `p`); `None` means split by
+    /// processor count (the homogeneous ⌊p/2⌋:⌈p/2⌉ rule).
+    pub fractions: Option<Vec<f64>>,
+    /// Leaf throttle emulating heterogeneous cores; `None` means no throttling.
+    pub throttle: Option<ThrottleSpec>,
+    /// Base-case threshold handed to the sequential kernel.
+    pub cutoff: usize,
+}
+
+impl Default for MmConfig {
+    fn default() -> Self {
+        Self {
+            fractions: None,
+            throttle: None,
+            cutoff: MM_BASE,
+        }
+    }
+}
+
+impl MmConfig {
+    /// The relative load share of processors `[lo, hi)`.
+    fn share(&self, list: ProcList) -> f64 {
+        match &self.fractions {
+            Some(f) => list.ids().map(|i| f[i]).sum(),
+            None => list.len() as f64,
+        }
+    }
+}
+
+/// PACO MM-1-PIECE (Corollary 10): `C = A ⊗ B` on `pool.p()` processors.
+pub fn paco_mm_1piece<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
+    paco_mm_1piece_with(a, b, pool, &MmConfig::default())
+}
+
+/// PACO MM-1-PIECE with an explicit configuration (fractions / throttle /
+/// cutoff); the entry point shared with the heterogeneous variant.
+pub fn paco_mm_1piece_with<S: Semiring>(
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    pool: &WorkerPool,
+    cfg: &MmConfig,
+) -> Matrix<S> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    if let Some(f) = &cfg.fractions {
+        assert_eq!(f.len(), pool.p(), "fractions must cover every processor");
+    }
+    if let Some(t) = &cfg.throttle {
+        assert_eq!(t.p(), pool.p(), "throttle must cover every processor");
+    }
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    let procs = ProcList::all(pool.p());
+    recurse(
+        pool,
+        None,
+        procs,
+        c.as_mut(),
+        a.as_ref(),
+        b.as_ref(),
+        cfg,
+    );
+    c
+}
+
+/// The 1-PIECE recursion of Fig. 8 (plus the Fig. 7 height-cut reduction).
+fn recurse<S: Semiring>(
+    pool: &WorkerPool,
+    cur: Option<ProcId>,
+    procs: ProcList,
+    mut c: MatMut<'_, S>,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    cfg: &MmConfig,
+) {
+    let n = c.rows();
+    let m = c.cols();
+    let k = a.cols();
+    if n == 0 || m == 0 || k == 0 {
+        return;
+    }
+    if procs.len() == 1 {
+        let target = procs.only();
+        let leaf = move || run_leaf(target, c, a, b, cfg);
+        if cur == Some(target) {
+            leaf();
+        } else {
+            pool.scope(|s| s.spawn_on(target, leaf));
+        }
+        return;
+    }
+
+    let (p1, p2) = procs.split_even();
+    let (share1, share2) = (cfg.share(p1), cfg.share(p2));
+    let ratio = |dim: usize| -> usize {
+        let cut = (dim as f64 * share1 / (share1 + share2)).round() as usize;
+        cut.min(dim)
+    };
+
+    if n >= m && n >= k {
+        // Cut on X (rows of A and C).
+        let cut = ratio(n);
+        let (a1, a2) = a.split_rows(cut);
+        let (c1, c2) = c.split_rows(cut);
+        fork2(
+            pool,
+            cur,
+            p1,
+            move |cc| recurse(pool, cc, p1, c1, a1, b, cfg),
+            p2,
+            move |cc| recurse(pool, cc, p2, c2, a2, b, cfg),
+        );
+    } else if m >= k {
+        // Cut on Y (columns of B and C).
+        let cut = ratio(m);
+        let (b1, b2) = b.split_cols(cut);
+        let (c1, c2) = c.split_cols(cut);
+        fork2(
+            pool,
+            cur,
+            p1,
+            move |cc| recurse(pool, cc, p1, c1, a, b1, cfg),
+            p2,
+            move |cc| recurse(pool, cc, p2, c2, a, b2, cfg),
+        );
+    } else {
+        // Cut on Z (the reduction dimension): the upper half accumulates into a
+        // temporary D which is then merged with a parallel addition.
+        let cut = ratio(k);
+        let (a1, a2) = a.split_cols(cut);
+        let (b1, b2) = b.split_rows(cut);
+        let mut d: Matrix<S> = Matrix::zeros(n, m);
+        {
+            let d_mut = d.as_mut();
+            fork2(
+                pool,
+                cur,
+                p1,
+                |cc| recurse(pool, cc, p1, c.rb(), a1, b1, cfg),
+                p2,
+                move |cc| recurse(pool, cc, p2, d_mut, a2, b2, cfg),
+            );
+        }
+        parallel_add(pool, cur, procs, c, d.as_ref());
+    }
+}
+
+/// Leaf execution: the sequential cache-oblivious kernel, optionally repeated
+/// into a scratch buffer to emulate a slower core (the heterogeneous machine
+/// substitution documented in DESIGN.md).
+fn run_leaf<S: Semiring>(
+    proc: ProcId,
+    mut c: MatMut<'_, S>,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    cfg: &MmConfig,
+) {
+    co_mm_with_cutoff(c.rb(), a, b, cfg.cutoff);
+    if let Some(throttle) = &cfg.throttle {
+        let repeats = throttle.slowdown(proc).saturating_sub(1);
+        if repeats > 0 {
+            // Redo the same multiplication into scratch space so the extra work
+            // is real but does not perturb the result.
+            let mut scratch: Matrix<S> = Matrix::zeros(c.rows(), c.cols());
+            for _ in 0..repeats {
+                co_mm_with_cutoff(scratch.as_mut(), a, b, cfg.cutoff);
+            }
+            std::hint::black_box(&scratch);
+        }
+    }
+}
+
+/// `C += D`, spread row-wise over the processor list (the "parallel for" of
+/// Fig. 7 lines 35–36).
+fn parallel_add<S: Semiring>(
+    pool: &WorkerPool,
+    cur: Option<ProcId>,
+    procs: ProcList,
+    c: MatMut<'_, S>,
+    d: MatRef<'_, S>,
+) {
+    let p = procs.len();
+    let rows = c.rows();
+    // Chop C and D into one row band per processor.
+    let mut bands: Vec<(ProcId, MatMut<'_, S>, MatRef<'_, S>)> = Vec::with_capacity(p);
+    let mut c_rest = c;
+    let mut d_rest = d;
+    for (idx, proc) in procs.ids().enumerate() {
+        let hi = (idx + 1) * rows / p;
+        let lo = idx * rows / p;
+        let take = hi - lo;
+        let (c_band, c_next) = c_rest.split_rows(take);
+        let (d_band, d_next) = d_rest.split_rows(take);
+        c_rest = c_next;
+        d_rest = d_next;
+        if take > 0 {
+            bands.push((proc, c_band, d_band));
+        }
+    }
+    pool.scope(|s| {
+        let mut own: Option<(MatMut<'_, S>, MatRef<'_, S>)> = None;
+        for (proc, mut c_band, d_band) in bands {
+            if cur == Some(proc) {
+                own = Some((c_band, d_band));
+            } else {
+                s.spawn_on(proc, move || {
+                    crate::kernel::mat_add_assign(&mut c_band, &d_band);
+                });
+            }
+        }
+        if let Some((mut c_band, d_band)) = own {
+            crate::kernel::mat_add_assign(&mut c_band, &d_band);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::co_mm::mm_reference;
+    use paco_core::semiring::WrappingRing;
+    use paco_core::workload::{random_matrix_f64, random_matrix_wrapping};
+
+    #[test]
+    fn matches_reference_for_various_p_exact() {
+        let a = random_matrix_wrapping(97, 61, 1);
+        let b = random_matrix_wrapping(61, 83, 2);
+        let expect = mm_reference(&a, &b);
+        for p in [1usize, 2, 3, 5, 7, 8] {
+            let pool = WorkerPool::new(p);
+            let got = paco_mm_1piece(&a, &b, &pool);
+            assert_eq!(expect, got, "p={p}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_f64_tall_and_wide() {
+        for &(n, m, k) in &[(200usize, 40usize, 40usize), (40, 200, 40), (40, 40, 260), (128, 128, 128)] {
+            let a = random_matrix_f64(n, k, 11);
+            let b = random_matrix_f64(k, m, 12);
+            let expect = mm_reference(&a, &b);
+            let pool = WorkerPool::new(4);
+            let got = paco_mm_1piece(&a, &b, &pool);
+            assert!(expect.approx_eq(&got, 1e-9), "n={n} m={m} k={k}");
+        }
+    }
+
+    #[test]
+    fn deep_k_dimension_exercises_temp_and_reduce() {
+        // k dominates, so the top cut is a Z cut with the temporary + merge path.
+        let a = random_matrix_wrapping(16, 30, 3);
+        let b = random_matrix_wrapping(30, 16, 4);
+        let big_k = 600;
+        let a_big = random_matrix_wrapping(16, big_k, 5);
+        let b_big = random_matrix_wrapping(big_k, 16, 6);
+        let pool = WorkerPool::new(6);
+        assert_eq!(mm_reference(&a, &b), paco_mm_1piece(&a, &b, &pool));
+        assert_eq!(mm_reference(&a_big, &b_big), paco_mm_1piece(&a_big, &b_big, &pool));
+    }
+
+    #[test]
+    fn small_matrices_with_many_processors() {
+        let a = random_matrix_wrapping(3, 2, 7);
+        let b = random_matrix_wrapping(2, 3, 8);
+        let pool = WorkerPool::new(8);
+        assert_eq!(mm_reference(&a, &b), paco_mm_1piece(&a, &b, &pool));
+    }
+
+    #[test]
+    fn custom_fractions_still_produce_correct_results() {
+        let a = random_matrix_wrapping(120, 64, 9);
+        let b = random_matrix_wrapping(64, 96, 10);
+        let pool = WorkerPool::new(4);
+        let cfg = MmConfig {
+            fractions: Some(vec![0.55, 0.15, 0.15, 0.15]),
+            throttle: None,
+            cutoff: 32,
+        };
+        let got = paco_mm_1piece_with(&a, &b, &pool, &cfg);
+        assert_eq!(mm_reference(&a, &b), got);
+    }
+
+    #[test]
+    fn plan_balances_volume_for_arbitrary_p() {
+        for &p in &[2usize, 3, 5, 7, 11, 24, 72, 97] {
+            let plan = plan_paco_mm(1024, 1024, 1024, p);
+            let report = plan.report();
+            assert!(
+                (report.total_work - 1024f64.powi(3)).abs() / 1024f64.powi(3) < 1e-9,
+                "p={p}: volume lost"
+            );
+            assert!(
+                report.work_imbalance < 1.3,
+                "p={p}: imbalance {}",
+                report.work_imbalance
+            );
+            assert!(report.geometric_decrease, "p={p}");
+        }
+    }
+
+    #[test]
+    fn plan_surface_area_tracks_the_theorem9_shape() {
+        // Case p <= n/m (tall cuboid): extra surface ~ p·m·k.
+        let n = 4096;
+        let m = 64;
+        let k = 64;
+        let p = 16; // p < n/m = 64
+        let plan = plan_paco_mm_with_base(n, m, k, p, 16);
+        let report = plan.report();
+        let initial_surface = (n * m + n * k + m * k) as f64;
+        let extra = report.total_surface - initial_surface;
+        let predicted = (p * m * k) as f64;
+        assert!(
+            extra < 4.0 * predicted,
+            "extra surface {extra} should be O(p·m·k) = {predicted}"
+        );
+    }
+
+    #[test]
+    fn wrapping_ring_zero_sized_inputs() {
+        let a: Matrix<WrappingRing> = Matrix::zeros(0, 0);
+        let b: Matrix<WrappingRing> = Matrix::zeros(0, 0);
+        let pool = WorkerPool::new(2);
+        let c = paco_mm_1piece(&a, &b, &pool);
+        assert_eq!(c.rows(), 0);
+    }
+}

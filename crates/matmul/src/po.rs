@@ -1,0 +1,100 @@
+//! The "CO2" processor-oblivious baseline (Fig. 11b).
+//!
+//! The depth-`n` 2-way divide-and-conquer MM of Frigo & Strumpen / Blelloch et
+//! al.: recursively split the longest dimension; splits of the two output
+//! dimensions run their halves in parallel (`rayon::join`, i.e. randomized work
+//! stealing with no processor knowledge), splits of the reduction dimension run
+//! sequentially to avoid temporaries.  The base-case size is a tuning knob; the
+//! paper used 64 after manual trials.
+
+use crate::kernel::{mm_base, MM_BASE};
+use paco_core::matrix::{MatMut, MatRef, Matrix};
+use paco_core::semiring::Semiring;
+
+/// `C += A ⊗ B` with the processor-oblivious 2-way recursion and base case
+/// `cutoff`.
+pub fn co2_mm_with_cutoff<S: Semiring>(
+    mut c: MatMut<'_, S>,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    cutoff: usize,
+) {
+    let n = c.rows();
+    let m = c.cols();
+    let k = a.cols();
+    if n == 0 || m == 0 || k == 0 {
+        return;
+    }
+    if n <= cutoff && m <= cutoff && k <= cutoff {
+        mm_base(&mut c, &a, &b);
+        return;
+    }
+    if n >= m && n >= k {
+        let half = n / 2;
+        let (a1, a2) = a.split_rows(half);
+        let (c1, c2) = c.split_rows(half);
+        rayon::join(
+            || co2_mm_with_cutoff(c1, a1, b, cutoff),
+            || co2_mm_with_cutoff(c2, a2, b, cutoff),
+        );
+    } else if m >= k {
+        let half = m / 2;
+        let (b1, b2) = b.split_cols(half);
+        let (c1, c2) = c.split_cols(half);
+        rayon::join(
+            || co2_mm_with_cutoff(c1, a, b1, cutoff),
+            || co2_mm_with_cutoff(c2, a, b2, cutoff),
+        );
+    } else {
+        // Reduction (Z) split: both halves write the same C, so they run in
+        // sequence — this is what makes the algorithm depth-n rather than
+        // depth-log²n, as in the paper's CO2 description.
+        let half = k / 2;
+        let (a1, a2) = a.split_cols(half);
+        let (b1, b2) = b.split_rows(half);
+        co2_mm_with_cutoff(c.rb(), a1, b1, cutoff);
+        co2_mm_with_cutoff(c, a2, b2, cutoff);
+    }
+}
+
+/// `C = A ⊗ B` with the default base case of 64 (allocating the output).
+pub fn co2_mm<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>) -> Matrix<S> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    co2_mm_with_cutoff(c.as_mut(), a.as_ref(), b.as_ref(), MM_BASE);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::co_mm::mm_reference;
+    use paco_core::workload::{random_matrix_f64, random_matrix_wrapping};
+
+    #[test]
+    fn matches_reference_square() {
+        for &n in &[1usize, 31, 64, 100, 200] {
+            let a = random_matrix_f64(n, n, 2 * n as u64);
+            let b = random_matrix_f64(n, n, 2 * n as u64 + 1);
+            assert!(mm_reference(&a, &b).approx_eq(&co2_mm(&a, &b), 1e-9), "n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_rectangular_exact() {
+        for &(n, m, k) in &[(10usize, 150usize, 20usize), (130, 40, 70), (1, 200, 1)] {
+            let a = random_matrix_wrapping(n, k, 5);
+            let b = random_matrix_wrapping(k, m, 6);
+            assert_eq!(mm_reference(&a, &b), co2_mm(&a, &b), "n={n} m={m} k={k}");
+        }
+    }
+
+    #[test]
+    fn small_cutoff_forces_deep_parallel_recursion() {
+        let a = random_matrix_wrapping(90, 33, 1);
+        let b = random_matrix_wrapping(33, 77, 2);
+        let mut c = Matrix::zeros(90, 77);
+        co2_mm_with_cutoff(c.as_mut(), a.as_ref(), b.as_ref(), 4);
+        assert_eq!(mm_reference(&a, &b), c);
+    }
+}

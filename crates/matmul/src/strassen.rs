@@ -1,0 +1,476 @@
+//! Strassen's algorithm (Sect. III-F): sequential, processor-oblivious and
+//! PACO variants, including STRASSEN-CONST-PIECES.
+//!
+//! Strassen reduces one `n × n` multiplication to seven `n/2 × n/2`
+//! multiplications plus a constant number of additions/subtractions (hence the
+//! [`Ring`] bound).  The paper's PACO STRASSEN is a pruned BFS traversal of the
+//! 7-ary tree of multiplications: all the `Sᵣ`, `Tᵣ` operand matrices of a
+//! level are materialised so that every node of the level is independent; as
+//! soon as a level holds at least `p` unassigned nodes, `p` of them are pruned
+//! and assigned round-robin; assigned nodes run the *sequential* Strassen
+//! kernel on their processor; afterwards the intermediate products are combined
+//! bottom-up.  STRASSEN-CONST-PIECES (Corollary 14) additionally stops pruning
+//! after `γ` super-rounds, trading an arbitrarily small load imbalance for a
+//! constant number of pieces per processor (and an `O(log p)` latency bound in
+//! a distributed-memory translation).
+//!
+//! Odd-sized (sub)problems fall back to the cache-oblivious classical kernel,
+//! so no padding is required; on power-of-two sizes the algorithms are pure
+//! Strassen.
+
+use crate::co_mm::co_mm_alloc;
+use crate::kernel::{mat_add_into, mat_copy_into, mat_sub_into};
+use paco_core::matrix::{MatRef, Matrix};
+use paco_core::proc_list::ProcList;
+use paco_core::semiring::Ring;
+use paco_runtime::WorkerPool;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// Default side length below which Strassen falls back to the classical
+/// cache-oblivious kernel.
+pub const STRASSEN_CUTOFF: usize = 64;
+
+fn quadrants<'a, R: Ring>(
+    m: &MatRef<'a, R>,
+    h: usize,
+) -> (MatRef<'a, R>, MatRef<'a, R>, MatRef<'a, R>, MatRef<'a, R>) {
+    (
+        m.submatrix(0, 0, h, h),
+        m.submatrix(0, h, h, h),
+        m.submatrix(h, 0, h, h),
+        m.submatrix(h, h, h, h),
+    )
+}
+
+/// The seven Strassen operand pairs `(Sᵣ, Tᵣ)` of one split.
+fn strassen_operands<R: Ring>(a: &Matrix<R>, b: &Matrix<R>) -> Vec<(Matrix<R>, Matrix<R>)> {
+    let n = a.rows();
+    debug_assert_eq!(n % 2, 0);
+    let h = n / 2;
+    let av = a.as_ref();
+    let bv = b.as_ref();
+    let (a00, a01, a10, a11) = quadrants(&av, h);
+    let (b00, b01, b10, b11) = quadrants(&bv, h);
+
+    let mut out = Vec::with_capacity(7);
+    let pair = |fill: &dyn Fn(&mut Matrix<R>, &mut Matrix<R>)| {
+        let mut s = Matrix::zeros(h, h);
+        let mut t = Matrix::zeros(h, h);
+        fill(&mut s, &mut t);
+        (s, t)
+    };
+
+    // M1 = (A00 ⊕ A11)(B00 ⊕ B11)
+    out.push(pair(&|s, t| {
+        mat_add_into(&mut s.as_mut(), &a00, &a11);
+        mat_add_into(&mut t.as_mut(), &b00, &b11);
+    }));
+    // M2 = (A10 ⊕ A11) B00
+    out.push(pair(&|s, t| {
+        mat_add_into(&mut s.as_mut(), &a10, &a11);
+        mat_copy_into(&mut t.as_mut(), &b00);
+    }));
+    // M3 = A00 (B01 ⊖ B11)
+    out.push(pair(&|s, t| {
+        mat_copy_into(&mut s.as_mut(), &a00);
+        mat_sub_into(&mut t.as_mut(), &b01, &b11);
+    }));
+    // M4 = A11 (B10 ⊖ B00)
+    out.push(pair(&|s, t| {
+        mat_copy_into(&mut s.as_mut(), &a11);
+        mat_sub_into(&mut t.as_mut(), &b10, &b00);
+    }));
+    // M5 = (A00 ⊕ A01) B11
+    out.push(pair(&|s, t| {
+        mat_add_into(&mut s.as_mut(), &a00, &a01);
+        mat_copy_into(&mut t.as_mut(), &b11);
+    }));
+    // M6 = (A10 ⊖ A00)(B00 ⊕ B01)
+    out.push(pair(&|s, t| {
+        mat_sub_into(&mut s.as_mut(), &a10, &a00);
+        mat_add_into(&mut t.as_mut(), &b00, &b01);
+    }));
+    // M7 = (A01 ⊖ A11)(B10 ⊕ B11)
+    out.push(pair(&|s, t| {
+        mat_sub_into(&mut s.as_mut(), &a01, &a11);
+        mat_add_into(&mut t.as_mut(), &b10, &b11);
+    }));
+    out
+}
+
+/// Combine the seven products `M₁..M₇` into the `2h × 2h` result:
+/// `C00 = M1 ⊕ M4 ⊖ M5 ⊕ M7`, `C01 = M3 ⊕ M5`, `C10 = M2 ⊕ M4`,
+/// `C11 = M1 ⊖ M2 ⊕ M3 ⊕ M6`.
+fn strassen_combine<R: Ring>(ms: &[Matrix<R>]) -> Matrix<R> {
+    debug_assert_eq!(ms.len(), 7);
+    let h = ms[0].rows();
+    let n = 2 * h;
+    let mut c = Matrix::zeros(n, n);
+    let (m1, m2, m3, m4, m5, m6, m7) = (&ms[0], &ms[1], &ms[2], &ms[3], &ms[4], &ms[5], &ms[6]);
+    for i in 0..h {
+        for j in 0..h {
+            c.set(
+                i,
+                j,
+                m1.get(i, j)
+                    .add(m4.get(i, j))
+                    .sub(m5.get(i, j))
+                    .add(m7.get(i, j)),
+            );
+            c.set(i, j + h, m3.get(i, j).add(m5.get(i, j)));
+            c.set(i + h, j, m2.get(i, j).add(m4.get(i, j)));
+            c.set(
+                i + h,
+                j + h,
+                m1.get(i, j)
+                    .sub(m2.get(i, j))
+                    .add(m3.get(i, j))
+                    .add(m6.get(i, j)),
+            );
+        }
+    }
+    c
+}
+
+fn check_square<R: Ring>(a: &Matrix<R>, b: &Matrix<R>) {
+    assert_eq!(a.rows(), a.cols(), "Strassen expects square matrices");
+    assert_eq!(b.rows(), b.cols(), "Strassen expects square matrices");
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+}
+
+/// Sequential Strassen with fallback to the cache-oblivious classical kernel
+/// below `cutoff` (or on odd sizes).
+pub fn strassen_sequential_with_cutoff<R: Ring>(
+    a: &Matrix<R>,
+    b: &Matrix<R>,
+    cutoff: usize,
+) -> Matrix<R> {
+    check_square(a, b);
+    let n = a.rows();
+    if n <= cutoff.max(1) || n % 2 != 0 {
+        return co_mm_alloc(a, b);
+    }
+    let products: Vec<Matrix<R>> = strassen_operands(a, b)
+        .iter()
+        .map(|(s, t)| strassen_sequential_with_cutoff(s, t, cutoff))
+        .collect();
+    strassen_combine(&products)
+}
+
+/// Sequential Strassen with the default cutoff.
+pub fn strassen_sequential<R: Ring>(a: &Matrix<R>, b: &Matrix<R>) -> Matrix<R> {
+    strassen_sequential_with_cutoff(a, b, STRASSEN_CUTOFF)
+}
+
+/// Processor-oblivious Strassen: the seven sub-products of every split are
+/// handed to rayon's randomized work stealer with no processor placement.
+pub fn strassen_po_with_cutoff<R: Ring>(a: &Matrix<R>, b: &Matrix<R>, cutoff: usize) -> Matrix<R> {
+    check_square(a, b);
+    let n = a.rows();
+    if n <= cutoff.max(1) || n % 2 != 0 {
+        return co_mm_alloc(a, b);
+    }
+    let operands = strassen_operands(a, b);
+    let products: Vec<Matrix<R>> = operands
+        .par_iter()
+        .map(|(s, t)| strassen_po_with_cutoff(s, t, cutoff))
+        .collect();
+    strassen_combine(&products)
+}
+
+/// [`strassen_po_with_cutoff`] with the default cutoff.
+pub fn strassen_po<R: Ring>(a: &Matrix<R>, b: &Matrix<R>) -> Matrix<R> {
+    strassen_po_with_cutoff(a, b, STRASSEN_CUTOFF)
+}
+
+// ---------------------------------------------------------------------------
+// PACO Strassen
+// ---------------------------------------------------------------------------
+
+/// One node of the 7-ary multiplication tree during the pruned BFS expansion.
+struct TreeNode<R: Ring> {
+    /// Operands; taken (set to `None`) when the node is expanded, since an
+    /// internal node only needs its children's products for the combine step.
+    operands: Option<(Matrix<R>, Matrix<R>)>,
+    /// Child node indices (empty for leaves).
+    children: Vec<usize>,
+    /// Problem side length at this node.
+    size: usize,
+}
+
+/// Tuning parameters of PACO Strassen.
+#[derive(Debug, Clone, Copy)]
+pub struct StrassenOptions {
+    /// Classical-kernel fallback threshold inside the sequential leaf kernel.
+    pub cutoff: usize,
+    /// Stop expanding the parallel tree once nodes reach this side length
+    /// (they are then assigned as-is).
+    pub parallel_base: usize,
+    /// `γ`: maximum number of assignment super-rounds before everything left is
+    /// dealt out round-robin (`None` = unlimited, the plain PACO STRASSEN;
+    /// `Some(γ)` = STRASSEN-CONST-PIECES).
+    pub gamma: Option<usize>,
+}
+
+impl Default for StrassenOptions {
+    fn default() -> Self {
+        Self {
+            cutoff: STRASSEN_CUTOFF,
+            parallel_base: 2 * STRASSEN_CUTOFF,
+            gamma: None,
+        }
+    }
+}
+
+/// PACO Strassen (Theorem 13) with default options.
+pub fn strassen_paco<R: Ring>(a: &Matrix<R>, b: &Matrix<R>, pool: &WorkerPool) -> Matrix<R> {
+    strassen_paco_with(a, b, pool, StrassenOptions::default())
+}
+
+/// PACO STRASSEN-CONST-PIECES (Corollary 14): at most `gamma` assignment
+/// super-rounds, hence a constant number of pieces per processor.
+pub fn strassen_const_pieces<R: Ring>(
+    a: &Matrix<R>,
+    b: &Matrix<R>,
+    pool: &WorkerPool,
+    gamma: usize,
+) -> Matrix<R> {
+    strassen_paco_with(
+        a,
+        b,
+        pool,
+        StrassenOptions {
+            gamma: Some(gamma),
+            ..StrassenOptions::default()
+        },
+    )
+}
+
+/// PACO Strassen with explicit options.
+pub fn strassen_paco_with<R: Ring>(
+    a: &Matrix<R>,
+    b: &Matrix<R>,
+    pool: &WorkerPool,
+    opts: StrassenOptions,
+) -> Matrix<R> {
+    check_square(a, b);
+    let p = pool.p();
+    let n = a.rows();
+    if p == 1 || n <= opts.parallel_base || n % 2 != 0 {
+        return strassen_sequential_with_cutoff(a, b, opts.cutoff);
+    }
+
+    // ---- Phase 1: pruned BFS expansion of the 7-ary tree. ----
+    let mut nodes: Vec<TreeNode<R>> = vec![TreeNode {
+        operands: Some((a.clone(), b.clone())),
+        children: Vec::new(),
+        size: n,
+    }];
+    let procs = ProcList::all(p);
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); p]; // node indices per proc
+    let mut frontier: Vec<usize> = vec![0];
+    let mut rr = 0usize;
+    let mut super_rounds = 0usize;
+
+    while !frontier.is_empty() {
+        let all_base = frontier
+            .iter()
+            .all(|&i| nodes[i].size <= opts.parallel_base || nodes[i].size % 2 != 0);
+        let gamma_reached = opts.gamma.is_some_and(|g| super_rounds >= g);
+
+        if frontier.len() >= p || all_base || gamma_reached {
+            let take = if !all_base && !gamma_reached && frontier.len() >= p {
+                p
+            } else {
+                frontier.len()
+            };
+            let rest = frontier.split_off(take);
+            for idx in frontier {
+                assignment[procs.round_robin(rr)].push(idx);
+                rr += 1;
+            }
+            super_rounds += 1;
+            frontier = rest;
+            if all_base || gamma_reached {
+                for idx in frontier.drain(..) {
+                    assignment[procs.round_robin(rr)].push(idx);
+                    rr += 1;
+                }
+            }
+            continue;
+        }
+
+        // Expand every frontier node one Strassen level.
+        let mut next = Vec::with_capacity(frontier.len() * 7);
+        for idx in frontier {
+            if nodes[idx].size <= opts.parallel_base || nodes[idx].size % 2 != 0 {
+                next.push(idx);
+                continue;
+            }
+            let (na, nb) = nodes[idx]
+                .operands
+                .take()
+                .expect("unexpanded node must still hold its operands");
+            let child_size = nodes[idx].size / 2;
+            for (s, t) in strassen_operands(&na, &nb) {
+                let child_idx = nodes.len();
+                nodes.push(TreeNode {
+                    operands: Some((s, t)),
+                    children: Vec::new(),
+                    size: child_size,
+                });
+                nodes[idx].children.push(child_idx);
+            }
+            // Only the (unexpanded) children are schedulable work; the parent
+            // waits for them in the combine phase.
+            next.extend(nodes[idx].children.iter().copied());
+        }
+        frontier = next;
+    }
+
+    // ---- Phase 2: execute every assigned leaf on its processor. ----
+    let results: Vec<Mutex<Option<Matrix<R>>>> =
+        (0..nodes.len()).map(|_| Mutex::new(None)).collect();
+    {
+        let nodes_ref = &nodes;
+        let results_ref = &results;
+        pool.scope(|s| {
+            for (proc, leaf_ids) in assignment.iter().enumerate() {
+                for &idx in leaf_ids {
+                    s.spawn_on(proc, move || {
+                        let (la, lb) = nodes_ref[idx]
+                            .operands
+                            .as_ref()
+                            .expect("assigned leaves keep their operands");
+                        let product = strassen_sequential_with_cutoff(la, lb, opts.cutoff);
+                        *results_ref[idx].lock() = Some(product);
+                    });
+                }
+            }
+        });
+    }
+
+    // ---- Phase 3: combine bottom-up.  Children always have larger indices
+    // than their parent, so a reverse index sweep combines every internal node
+    // after all of its children are ready. ----
+    for idx in (0..nodes.len()).rev() {
+        if nodes[idx].children.is_empty() {
+            continue;
+        }
+        let ms: Vec<Matrix<R>> = nodes[idx]
+            .children
+            .iter()
+            .map(|&c| {
+                results[c]
+                    .lock()
+                    .take()
+                    .expect("child product must be available before combining")
+            })
+            .collect();
+        *results[idx].lock() = Some(strassen_combine(&ms));
+    }
+
+    let root = results[0]
+        .lock()
+        .take()
+        .expect("root product must exist after combination");
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::co_mm::mm_reference;
+    use paco_core::util::is_prime;
+    use paco_core::workload::{random_matrix_f64, random_matrix_wrapping};
+
+    #[test]
+    fn sequential_matches_reference_exact_ring() {
+        for &n in &[1usize, 2, 8, 17, 64, 96, 128] {
+            let a = random_matrix_wrapping(n, n, n as u64);
+            let b = random_matrix_wrapping(n, n, n as u64 + 99);
+            let expect = mm_reference(&a, &b);
+            let got = strassen_sequential_with_cutoff(&a, &b, 8);
+            assert_eq!(expect, got, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sequential_matches_reference_f64_within_tolerance() {
+        let n = 128;
+        let a = random_matrix_f64(n, n, 1);
+        let b = random_matrix_f64(n, n, 2);
+        let expect = mm_reference(&a, &b);
+        let got = strassen_sequential_with_cutoff(&a, &b, 16);
+        assert!(expect.approx_eq(&got, 1e-9), "max diff {}", expect.max_abs_diff(&got));
+    }
+
+    #[test]
+    fn po_matches_reference() {
+        let n = 160; // divisible by 2 several times, ends at odd 5 -> fallback path
+        let a = random_matrix_wrapping(n, n, 5);
+        let b = random_matrix_wrapping(n, n, 6);
+        assert_eq!(mm_reference(&a, &b), strassen_po_with_cutoff(&a, &b, 16));
+    }
+
+    #[test]
+    fn paco_matches_reference_for_arbitrary_p_including_primes() {
+        let n = 256;
+        let a = random_matrix_wrapping(n, n, 7);
+        let b = random_matrix_wrapping(n, n, 8);
+        let expect = mm_reference(&a, &b);
+        for p in [1usize, 2, 3, 5, 7, 11] {
+            assert!(p == 1 || p == 2 || is_prime(p as u64) || p == 7 || true);
+            let pool = WorkerPool::new(p);
+            let opts = StrassenOptions {
+                cutoff: 16,
+                parallel_base: 32,
+                gamma: None,
+            };
+            let got = strassen_paco_with(&a, &b, &pool, opts);
+            assert_eq!(expect, got, "p={p}");
+        }
+    }
+
+    #[test]
+    fn const_pieces_matches_reference_and_limits_pieces() {
+        let n = 256;
+        let a = random_matrix_wrapping(n, n, 9);
+        let b = random_matrix_wrapping(n, n, 10);
+        let expect = mm_reference(&a, &b);
+        let pool = WorkerPool::new(5);
+        for gamma in [1usize, 2, 8] {
+            let got = strassen_const_pieces(&a, &b, &pool, gamma);
+            assert_eq!(expect, got, "gamma={gamma}");
+        }
+    }
+
+    #[test]
+    fn odd_and_non_power_of_two_sizes_fall_back_gracefully() {
+        for &n in &[63usize, 100, 130] {
+            let a = random_matrix_wrapping(n, n, 11);
+            let b = random_matrix_wrapping(n, n, 12);
+            let expect = mm_reference(&a, &b);
+            assert_eq!(expect, strassen_sequential_with_cutoff(&a, &b, 16), "seq n={n}");
+            let pool = WorkerPool::new(3);
+            let opts = StrassenOptions {
+                cutoff: 16,
+                parallel_base: 32,
+                gamma: None,
+            };
+            assert_eq!(expect, strassen_paco_with(&a, &b, &pool, opts), "paco n={n}");
+        }
+    }
+
+    #[test]
+    fn f64_paco_strassen_precision() {
+        let n = 256;
+        let a = random_matrix_f64(n, n, 21);
+        let b = random_matrix_f64(n, n, 22);
+        let expect = mm_reference(&a, &b);
+        let pool = WorkerPool::new(4);
+        let got = strassen_paco(&a, &b, &pool);
+        assert!(expect.approx_eq(&got, 1e-8), "max diff {}", expect.max_abs_diff(&got));
+    }
+}

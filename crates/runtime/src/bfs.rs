@@ -1,0 +1,418 @@
+//! The pruned breadth-first partitioning engine (Sect. III, Fig. 2).
+//!
+//! The paper's general PACO algorithm traverses the `c`-way divide-and-conquer
+//! tree of a cache-oblivious algorithm in a *pruned BFS* fashion: the tree is
+//! unfolded level by level; as soon as a level contains at least `p` ready
+//! nodes, exactly `p` of them are pruned and assigned to the `p` processors in
+//! round-robin order; the remaining nodes continue to the next level; when only
+//! base-case nodes are left, they are all assigned round-robin.
+//!
+//! [`pruned_bfs`] implements that traversal generically over [`DcNode`], and is
+//! what `paco-matmul` uses to place MM cuboids and Strassen multiplication
+//! cubes.  [`pruned_bfs_with_gamma`] implements the STRASSEN-CONST-PIECES
+//! refinement (Corollary 14): stop after `γ` *super-rounds* (assignment events)
+//! and hand out whatever is left round-robin, bounding the number of pieces per
+//! processor by a constant at the cost of an arbitrarily small load imbalance.
+//!
+//! [`AssignmentReport`] checks the paper's key structural invariant: the pieces
+//! assigned to any single processor form an (almost) geometrically decreasing
+//! sequence in work, so the top piece dominates and both computation and
+//! communication stay balanced.
+
+use paco_core::metrics::Counters;
+use paco_core::proc_list::ProcList;
+
+/// A node of a divide-and-conquer tree that the pruned BFS can partition.
+pub trait DcNode: Sized + Send {
+    /// The node's children (the `c`-way division).  Called only when
+    /// [`DcNode::is_base`] is false.
+    fn divide(&self) -> Vec<Self>;
+
+    /// True when the node is of base-case (constant) size and must not be
+    /// divided further.
+    fn is_base(&self) -> bool;
+
+    /// The computational weight of the node (e.g. cuboid volume `n·m·k`).
+    fn work(&self) -> f64;
+
+    /// The communication weight of the node (e.g. cuboid surface area).
+    /// Defaults to `work()^(2/3)` which is the right shape for 3D volumes.
+    fn surface(&self) -> f64 {
+        self.work().powf(2.0 / 3.0)
+    }
+}
+
+/// The result of a pruned-BFS partitioning: for every processor, the ordered
+/// list of nodes it must execute (largest first).
+#[derive(Debug, Clone)]
+pub struct Assignment<N> {
+    /// `per_proc[i]` is the ordered list of nodes assigned to processor `i`.
+    pub per_proc: Vec<Vec<N>>,
+    /// Number of tree levels that were expanded.
+    pub levels_expanded: usize,
+    /// Number of assignment events ("super-rounds", the paper's `i_j`).
+    pub super_rounds: usize,
+}
+
+impl<N: DcNode> Assignment<N> {
+    /// Number of processors.
+    pub fn p(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// Total number of assigned nodes.
+    pub fn total_nodes(&self) -> usize {
+        self.per_proc.iter().map(|v| v.len()).sum()
+    }
+
+    /// Per-processor total work as counters (scaled to integers for reporting).
+    pub fn work_counters(&self) -> Counters {
+        let mut c = Counters::new(self.p());
+        for (proc, nodes) in self.per_proc.iter().enumerate() {
+            let w: f64 = nodes.iter().map(|n| n.work()).sum();
+            c.add(proc, w.round() as u64);
+        }
+        c
+    }
+
+    /// Build the structural report (balance + geometric decrease).
+    pub fn report(&self) -> AssignmentReport {
+        let p = self.p();
+        let mut work_per_proc = vec![0.0f64; p];
+        let mut surface_per_proc = vec![0.0f64; p];
+        let mut max_nodes = 0usize;
+        let mut geometric_ok = true;
+        for (proc, nodes) in self.per_proc.iter().enumerate() {
+            work_per_proc[proc] = nodes.iter().map(|n| n.work()).sum();
+            surface_per_proc[proc] = nodes.iter().map(|n| n.surface()).sum();
+            max_nodes = max_nodes.max(nodes.len());
+            // The sequence of node works on one processor must never grow by
+            // more than a small constant factor from one piece to the next, and
+            // the first (largest) piece must dominate the tail within a
+            // constant factor.  We allow factor 8 of slack to absorb base-case
+            // rounding.
+            for w in nodes.windows(2) {
+                if w[1].work() > w[0].work() * 1.000_001 {
+                    geometric_ok = false;
+                }
+            }
+            if let Some(first) = nodes.first() {
+                let tail: f64 = nodes.iter().skip(1).map(|n| n.work()).sum();
+                if tail > 8.0 * first.work() {
+                    geometric_ok = false;
+                }
+            }
+        }
+        let total_work: f64 = work_per_proc.iter().sum();
+        let max_work = work_per_proc.iter().cloned().fold(0.0, f64::max);
+        let mean_work = if p > 0 { total_work / p as f64 } else { 0.0 };
+        let total_surface: f64 = surface_per_proc.iter().sum();
+        let max_surface = surface_per_proc.iter().cloned().fold(0.0, f64::max);
+        AssignmentReport {
+            p,
+            total_work,
+            max_work,
+            work_imbalance: if mean_work > 0.0 { max_work / mean_work } else { 1.0 },
+            total_surface,
+            max_surface,
+            max_nodes_per_proc: max_nodes,
+            geometric_decrease: geometric_ok,
+        }
+    }
+}
+
+/// Structural summary of an [`Assignment`], used by tests and the scaling
+/// experiment to check the paper's balance claims.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentReport {
+    /// Number of processors.
+    pub p: usize,
+    /// `T^Σ_p`-style total work over all processors.
+    pub total_work: f64,
+    /// `T^max_p`-style maximum work on any processor.
+    pub max_work: f64,
+    /// `max_work / mean_work`; 1.0 is perfect balance.
+    pub work_imbalance: f64,
+    /// Total communication weight (surface) over all processors.
+    pub total_surface: f64,
+    /// Maximum communication weight on any processor.
+    pub max_surface: f64,
+    /// Largest number of pieces any processor received.
+    pub max_nodes_per_proc: usize,
+    /// True if every processor's piece sequence is (almost) geometrically
+    /// decreasing with a dominating head.
+    pub geometric_decrease: bool,
+}
+
+/// Options controlling the pruned BFS traversal.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsOptions {
+    /// Stop pruning after this many super-rounds and assign every remaining
+    /// node round-robin (the STRASSEN-CONST-PIECES `γ`).  `None` means run to
+    /// completion as in the basic algorithm.
+    pub gamma: Option<usize>,
+    /// Safety valve: never expand more than this many levels (panics if
+    /// exceeded, which would indicate a [`DcNode::is_base`] bug).
+    pub max_levels: usize,
+}
+
+impl Default for BfsOptions {
+    fn default() -> Self {
+        Self {
+            gamma: None,
+            max_levels: 64,
+        }
+    }
+}
+
+/// Partition the divide-and-conquer tree rooted at `root` over `p` processors
+/// with the paper's pruned BFS traversal.
+pub fn pruned_bfs<N: DcNode>(root: N, p: usize) -> Assignment<N> {
+    pruned_bfs_with_options(root, p, BfsOptions::default())
+}
+
+/// [`pruned_bfs`] with a bounded number of super-rounds (`γ`), i.e. the
+/// STRASSEN-CONST-PIECES strategy of Corollary 14.
+pub fn pruned_bfs_with_gamma<N: DcNode>(root: N, p: usize, gamma: usize) -> Assignment<N> {
+    pruned_bfs_with_options(
+        root,
+        p,
+        BfsOptions {
+            gamma: Some(gamma),
+            ..BfsOptions::default()
+        },
+    )
+}
+
+/// The fully general pruned BFS.
+pub fn pruned_bfs_with_options<N: DcNode>(root: N, p: usize, opts: BfsOptions) -> Assignment<N> {
+    assert!(p >= 1, "need at least one processor");
+    let procs = ProcList::all(p);
+    let mut per_proc: Vec<Vec<N>> = (0..p).map(|_| Vec::new()).collect();
+    let mut frontier = vec![root];
+    let mut rr = 0usize; // rolling round-robin cursor across super-rounds
+    let mut levels = 0usize;
+    let mut super_rounds = 0usize;
+
+    loop {
+        if frontier.is_empty() {
+            break;
+        }
+
+        let all_base = frontier.iter().all(|n| n.is_base());
+        let gamma_reached = opts.gamma.is_some_and(|g| super_rounds >= g);
+
+        if frontier.len() >= p || all_base || gamma_reached {
+            // Assign: exactly p nodes when we have at least p and are not in a
+            // terminal state, otherwise everything that is left.
+            let assign_count = if !all_base && !gamma_reached && frontier.len() >= p {
+                p
+            } else {
+                frontier.len()
+            };
+            let rest = frontier.split_off(assign_count);
+            for node in frontier {
+                per_proc[procs.round_robin(rr)].push(node);
+                rr += 1;
+            }
+            super_rounds += 1;
+            frontier = rest;
+            if frontier.is_empty() {
+                break;
+            }
+            if all_base || gamma_reached {
+                // Terminal state: everything was assigned above.
+                debug_assert!(frontier.is_empty());
+                break;
+            }
+            continue;
+        }
+
+        // Not enough ready nodes: unfold one more level (base nodes carry over).
+        levels += 1;
+        assert!(
+            levels <= opts.max_levels,
+            "pruned BFS expanded more than {} levels; is_base() is likely wrong",
+            opts.max_levels
+        );
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for node in frontier {
+            if node.is_base() {
+                next.push(node);
+            } else {
+                next.extend(node.divide());
+            }
+        }
+        frontier = next;
+    }
+
+    Assignment {
+        per_proc,
+        levels_expanded: levels,
+        super_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic c-way node: splits its size into c equal parts.
+    #[derive(Debug, Clone, PartialEq)]
+    struct FakeNode {
+        size: f64,
+        arity: usize,
+        base: f64,
+    }
+
+    impl DcNode for FakeNode {
+        fn divide(&self) -> Vec<Self> {
+            (0..self.arity)
+                .map(|_| FakeNode {
+                    size: self.size / self.arity as f64,
+                    arity: self.arity,
+                    base: self.base,
+                })
+                .collect()
+        }
+        fn is_base(&self) -> bool {
+            self.size <= self.base
+        }
+        fn work(&self) -> f64 {
+            self.size
+        }
+    }
+
+    fn node(size: f64, arity: usize) -> FakeNode {
+        FakeNode {
+            size,
+            arity,
+            base: 1.0,
+        }
+    }
+
+    #[test]
+    fn binary_tree_p3_matches_paper_figure2() {
+        // Fig. 2: binary tree, p = 3.  Depth 2 has 4 nodes; 3 are pruned
+        // (label 1), the remaining one is divided further, its 2 children are
+        // below p so they divide again into 4, 3 pruned (label 2), etc.
+        let a = pruned_bfs(node(64.0, 2), 3);
+        assert_eq!(a.p(), 3);
+        // Every processor gets the same total work: 64/3 is not integral but the
+        // imbalance must be tiny.
+        let r = a.report();
+        assert!((r.total_work - 64.0).abs() < 1e-9, "work is conserved");
+        assert!(r.work_imbalance < 1.2, "imbalance {}", r.work_imbalance);
+        assert!(r.geometric_decrease);
+        // First super-round assigns exactly one depth-2 node (size 16) per proc.
+        for proc in 0..3 {
+            assert_eq!(a.per_proc[proc][0].size, 16.0);
+        }
+    }
+
+    #[test]
+    fn work_is_conserved_for_many_p_and_arities() {
+        for &arity in &[2usize, 3, 7] {
+            for p in 1..=24 {
+                let total = 7.0f64.powi(4) * 16.0;
+                let a = pruned_bfs(node(total, arity), p);
+                let r = a.report();
+                assert!(
+                    (r.total_work - total).abs() / total < 1e-9,
+                    "arity={arity} p={p}: lost work"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn balance_holds_for_prime_p() {
+        // The whole point of the paper: p need not divide the tree arity.
+        for &p in &[5usize, 7, 11, 13, 17, 23, 31, 37] {
+            let a = pruned_bfs(node(2048.0 * 2048.0, 2), p);
+            let r = a.report();
+            assert!(
+                r.work_imbalance < 1.25,
+                "p={p}: imbalance {}",
+                r.work_imbalance
+            );
+            assert!(r.geometric_decrease, "p={p}");
+        }
+    }
+
+    #[test]
+    fn seven_way_tree_balances_on_non_powers_of_seven() {
+        for &p in &[3usize, 5, 10, 24, 72, 97] {
+            let a = pruned_bfs(node(7f64.powi(6), 7), p);
+            let r = a.report();
+            assert!(
+                r.work_imbalance < 1.6,
+                "p={p}: imbalance {}",
+                r.work_imbalance
+            );
+        }
+    }
+
+    #[test]
+    fn single_processor_gets_the_root() {
+        let a = pruned_bfs(node(100.0, 2), 1);
+        assert_eq!(a.total_nodes(), 1);
+        assert_eq!(a.per_proc[0][0].size, 100.0);
+        assert_eq!(a.super_rounds, 1);
+    }
+
+    #[test]
+    fn base_case_root_is_assigned_directly() {
+        let a = pruned_bfs(node(0.5, 2), 8);
+        assert_eq!(a.total_nodes(), 1);
+        assert_eq!(a.levels_expanded, 0);
+    }
+
+    #[test]
+    fn gamma_limits_pieces_per_processor() {
+        let p = 5;
+        let unlimited = pruned_bfs(node(2.0f64.powi(20), 2), p);
+        let limited = pruned_bfs_with_gamma(node(2.0f64.powi(20), 2), p, 2);
+        let unlimited_max = unlimited.report().max_nodes_per_proc;
+        let limited_max = limited.report().max_nodes_per_proc;
+        assert!(limited_max <= unlimited_max);
+        assert!(limited.super_rounds <= 3); // γ rounds + the final flush
+        // Work is still conserved.
+        assert!(
+            (limited.report().total_work - unlimited.report().total_work).abs() < 1e-6
+        );
+        // With γ = 8 the imbalance is below 1% as the paper notes.
+        let g8 = pruned_bfs_with_gamma(node(2.0f64.powi(20), 2), p, 8);
+        assert!(g8.report().work_imbalance < 1.01);
+    }
+
+    #[test]
+    fn assignment_counters_match_report() {
+        let a = pruned_bfs(node(1024.0, 2), 4);
+        let c = a.work_counters();
+        let r = a.report();
+        assert_eq!(c.total(), r.total_work.round() as u64);
+        assert_eq!(c.max(), r.max_work.round() as u64);
+    }
+
+    #[test]
+    #[should_panic]
+    fn runaway_division_is_detected() {
+        #[derive(Debug)]
+        struct NeverBase;
+        impl DcNode for NeverBase {
+            fn divide(&self) -> Vec<Self> {
+                vec![NeverBase]
+            }
+            fn is_base(&self) -> bool {
+                false
+            }
+            fn work(&self) -> f64 {
+                1.0
+            }
+        }
+        // A 1-ary "tree" never reaches p=2 ready nodes and never hits a base
+        // case; the max_levels safety valve must fire.
+        let _ = pruned_bfs(NeverBase, 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! Heterogeneous execution support (Sect. III-E-2, Corollary 12).
+//!
+//! The paper extends PACO to machines whose processors have different (but
+//! fixed) throughputs `t_1 : t_2 : … : t_p`:
+//!
+//! * the partitioning assigns work *proportional to throughput* — either by the
+//!   fraction-tracking divide-and-assign of PACO-HETERO-MM
+//!   ([`hetero_pruned_bfs`]) or by the binary throughput-tree splitting used in
+//!   the paper's experiments (implemented in `paco-matmul::hetero`);
+//! * the runtime must *be* heterogeneous to demonstrate anything.  We do not
+//!   have a machine with a 3× faster socket, so [`ThrottleSpec`] emulates one:
+//!   each worker repeats its leaf kernels `slowdown(proc)` times, making a
+//!   worker with throughput ratio `t` behave like one `max_ratio / t` times
+//!   slower than the fastest.  The substitution is recorded in `DESIGN.md`.
+
+use crate::bfs::{Assignment, DcNode};
+use paco_core::machine::HeteroSpec;
+use paco_core::proc_list::ProcId;
+
+/// Emulation of heterogeneous cores on homogeneous hardware by repeating leaf
+/// work on the "slow" cores.
+#[derive(Debug, Clone)]
+pub struct ThrottleSpec {
+    repeats: Vec<u32>,
+    spec: HeteroSpec,
+}
+
+impl ThrottleSpec {
+    /// Build the throttle from a throughput specification: the fastest core
+    /// runs its leaf kernel once; a core with half its throughput runs it
+    /// twice, etc. (rounded to the nearest integer, minimum 1).
+    pub fn from_spec(spec: &HeteroSpec) -> Self {
+        let max = spec
+            .ratios()
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
+        let repeats = spec
+            .ratios()
+            .iter()
+            .map(|&t| ((max / t).round() as u32).max(1))
+            .collect();
+        Self {
+            repeats,
+            spec: spec.clone(),
+        }
+    }
+
+    /// A homogeneous (no-op) throttle for `p` processors.
+    pub fn homogeneous(p: usize) -> Self {
+        Self::from_spec(&HeteroSpec::homogeneous(p))
+    }
+
+    /// Number of processors.
+    pub fn p(&self) -> usize {
+        self.repeats.len()
+    }
+
+    /// How many times processor `proc` must repeat its leaf kernel.
+    pub fn slowdown(&self, proc: ProcId) -> u32 {
+        self.repeats[proc]
+    }
+
+    /// The underlying throughput specification.
+    pub fn spec(&self) -> &HeteroSpec {
+        &self.spec
+    }
+
+    /// Run `f` the required number of times on behalf of `proc` (the extra
+    /// repetitions model the slower core; only the first execution's results
+    /// matter, the rest re-do the same work).
+    pub fn throttled<F: FnMut()>(&self, proc: ProcId, mut f: F) {
+        for _ in 0..self.slowdown(proc) {
+            f();
+        }
+    }
+}
+
+/// Heterogeneous pruned BFS (the PACO HETERO-MM divide-and-assign of Sect.
+/// III-E-2): each node carries its fraction of the total work; whenever a
+/// node's fraction fits inside some processor's *remaining* fraction it is
+/// assigned to that processor; remaining constant-size nodes are dealt
+/// round-robin at the end.
+pub fn hetero_pruned_bfs<N: DcNode>(root: N, spec: &HeteroSpec) -> Assignment<N> {
+    let p = spec.p();
+    let total_work = root.work();
+    assert!(total_work > 0.0, "root must have positive work");
+    let mut remaining: Vec<f64> = spec.fractions();
+    let mut per_proc: Vec<Vec<N>> = (0..p).map(|_| Vec::new()).collect();
+    let mut frontier = vec![root];
+    let mut levels = 0usize;
+    let mut super_rounds = 0usize;
+    let mut rr = 0usize;
+
+    // Small tolerance so a node whose fraction exceeds the remaining share by a
+    // rounding hair still gets assigned.
+    const EPS: f64 = 1e-12;
+
+    while !frontier.is_empty() {
+        let all_base = frontier.iter().all(|n| n.is_base());
+        if all_base {
+            // Terminal: deal the constant-size leftovers round-robin.
+            for node in frontier {
+                per_proc[rr % p].push(node);
+                rr += 1;
+            }
+            super_rounds += 1;
+            break;
+        }
+
+        // Try to place every frontier node whose fraction fits some processor's
+        // remaining budget; prefer the processor with the largest remaining
+        // budget so fast processors fill up first.
+        let mut still_unassigned = Vec::with_capacity(frontier.len());
+        let mut assigned_any = false;
+        for node in frontier {
+            let frac = node.work() / total_work;
+            // Index of the processor with the largest remaining fraction.
+            let (best_proc, best_remaining) = remaining
+                .iter()
+                .cloned()
+                .enumerate()
+                .fold((0usize, f64::MIN), |acc, (i, r)| if r > acc.1 { (i, r) } else { acc });
+            if frac <= best_remaining + EPS {
+                remaining[best_proc] -= frac;
+                per_proc[best_proc].push(node);
+                assigned_any = true;
+            } else {
+                still_unassigned.push(node);
+            }
+        }
+        if assigned_any {
+            super_rounds += 1;
+        }
+        if still_unassigned.is_empty() {
+            break;
+        }
+
+        // Divide what is left one more level.
+        levels += 1;
+        assert!(levels <= 64, "hetero pruned BFS expanded more than 64 levels");
+        let mut next = Vec::with_capacity(still_unassigned.len() * 2);
+        for node in still_unassigned {
+            if node.is_base() {
+                next.push(node);
+            } else {
+                next.extend(node.divide());
+            }
+        }
+        frontier = next;
+    }
+
+    Assignment {
+        per_proc,
+        levels_expanded: levels,
+        super_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct FakeNode {
+        size: f64,
+    }
+
+    impl DcNode for FakeNode {
+        fn divide(&self) -> Vec<Self> {
+            vec![
+                FakeNode {
+                    size: self.size / 2.0,
+                },
+                FakeNode {
+                    size: self.size / 2.0,
+                },
+            ]
+        }
+        fn is_base(&self) -> bool {
+            self.size <= 1.0
+        }
+        fn work(&self) -> f64 {
+            self.size
+        }
+    }
+
+    #[test]
+    fn throttle_derives_integer_slowdowns() {
+        let spec = HeteroSpec::new(vec![3.0, 1.0, 1.0]);
+        let t = ThrottleSpec::from_spec(&spec);
+        assert_eq!(t.slowdown(0), 1);
+        assert_eq!(t.slowdown(1), 3);
+        assert_eq!(t.slowdown(2), 3);
+        assert_eq!(t.p(), 3);
+
+        let mut count = 0;
+        t.throttled(1, || count += 1);
+        assert_eq!(count, 3);
+
+        let homo = ThrottleSpec::homogeneous(4);
+        assert!((0..4).all(|p| homo.slowdown(p) == 1));
+    }
+
+    #[test]
+    fn hetero_assignment_tracks_throughput_fractions() {
+        // Processor 0 is 3x faster: it must receive ~3x the work.
+        let spec = HeteroSpec::new(vec![3.0, 1.0, 1.0, 1.0]);
+        let a = hetero_pruned_bfs(FakeNode { size: 4096.0 }, &spec);
+        let r = a.report();
+        assert!((r.total_work - 4096.0).abs() < 1e-6);
+        let works: Vec<f64> = a
+            .per_proc
+            .iter()
+            .map(|nodes| nodes.iter().map(|n| n.work()).sum())
+            .collect();
+        let expect: Vec<f64> = spec.fractions().iter().map(|f| f * 4096.0).collect();
+        for (got, want) in works.iter().zip(expect.iter()) {
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.15, "got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn homogeneous_spec_reduces_to_balanced_assignment() {
+        let spec = HeteroSpec::homogeneous(5);
+        let a = hetero_pruned_bfs(FakeNode { size: 1024.0 }, &spec);
+        let r = a.report();
+        assert!((r.total_work - 1024.0).abs() < 1e-6);
+        assert!(r.work_imbalance < 1.3, "imbalance {}", r.work_imbalance);
+    }
+
+    #[test]
+    fn extreme_ratio_single_fast_processor() {
+        let spec = HeteroSpec::new(vec![8.0, 1.0]);
+        let a = hetero_pruned_bfs(FakeNode { size: 512.0 }, &spec);
+        let works: Vec<f64> = a
+            .per_proc
+            .iter()
+            .map(|nodes| nodes.iter().map(|n| n.work()).sum())
+            .collect();
+        assert!(works[0] > works[1] * 5.0, "works = {works:?}");
+        assert!((works[0] + works[1] - 512.0).abs() < 1e-9);
+    }
+}

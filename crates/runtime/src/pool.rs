@@ -1,0 +1,486 @@
+//! A processor-aware worker pool.
+//!
+//! The PACO algorithms are *processor-aware*: the partitioning decides, ahead
+//! of time, which processor executes which sub-problem.  A randomized
+//! work-stealing pool (Cilk, rayon) deliberately hides that mapping, so this
+//! crate provides its own small executor:
+//!
+//! * [`WorkerPool::new(p)`](WorkerPool::new) starts `p` long-lived worker
+//!   threads, one per logical processor id `0..p`.
+//! * [`WorkerPool::scope`] opens a scope in which
+//!   [`PoolScope::spawn_on`] submits a closure **to a specific processor**.
+//!   Tasks submitted to the same processor run in submission order (each worker
+//!   drains a FIFO channel); tasks on different processors run concurrently.
+//!   The scope joins every spawned task before it returns, so closures may
+//!   borrow from the enclosing stack frame — the same guarantee as
+//!   `std::thread::scope`, but without spawning threads per call.
+//! * Panics inside tasks are captured and re-thrown from the scope on the
+//!   caller's thread after all tasks have finished.
+//!
+//! The pool makes no attempt at work stealing — that is the whole point: the
+//! PACO partitioning (not a scheduler) is responsible for balance, and the
+//! experiments measure how well it does.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use paco_core::proc_list::ProcId;
+
+type StaticJob = Box<dyn FnOnce() + Send + 'static>;
+
+enum Message {
+    Job(StaticJob),
+    Shutdown,
+}
+
+/// A pool of `p` pinned, long-lived workers addressed by processor id.
+pub struct WorkerPool {
+    senders: Vec<Sender<Message>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WorkerPool(p={})", self.p())
+    }
+}
+
+impl WorkerPool {
+    /// Start a pool with `p >= 1` workers.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "WorkerPool needs at least one worker");
+        let mut senders = Vec::with_capacity(p);
+        let mut handles = Vec::with_capacity(p);
+        for proc in 0..p {
+            let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
+            senders.push(tx);
+            let handle = std::thread::Builder::new()
+                .name(format!("paco-worker-{proc}"))
+                .spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Message::Job(job) => job(),
+                            Message::Shutdown => break,
+                        }
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+        Self { senders, handles }
+    }
+
+    /// A pool sized to the hardware parallelism available to this process.
+    pub fn with_available_parallelism() -> Self {
+        Self::new(paco_core::machine::available_processors())
+    }
+
+    /// Number of workers (processors) in the pool.
+    pub fn p(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Open a scope in which tasks can be spawned onto specific processors and
+    /// may borrow from the caller's stack.  Returns the closure's result after
+    /// every spawned task has completed.
+    ///
+    /// If any task panicked, the panic is re-thrown here (after all tasks have
+    /// finished, so no task is left running with dangling borrows).
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&PoolScope<'_, 'env>) -> R,
+    {
+        let scope = PoolScope {
+            pool: self,
+            state: Arc::new(ScopeState::default()),
+            _marker: std::marker::PhantomData,
+        };
+        let result = f(&scope);
+        scope.wait();
+        scope.rethrow_if_panicked();
+        result
+    }
+
+    /// Run `f(proc)` on every worker concurrently and wait for completion.
+    pub fn run_on_all<F>(&self, f: F)
+    where
+        F: Fn(ProcId) + Sync,
+    {
+        self.scope(|s| {
+            for proc in 0..self.p() {
+                let f = &f;
+                s.spawn_on(proc, move || f(proc));
+            }
+        });
+    }
+
+    /// Execute a pre-computed assignment: `tasks[i]` is the ordered list of
+    /// closures processor `i` must run.  Returns once every processor finished
+    /// its list.
+    pub fn run_assignment<'env, F>(&self, tasks: Vec<Vec<F>>)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        assert!(
+            tasks.len() <= self.p(),
+            "assignment uses {} processors but the pool has {}",
+            tasks.len(),
+            self.p()
+        );
+        self.scope(|s| {
+            for (proc, list) in tasks.into_iter().enumerate() {
+                for job in list {
+                    s.spawn_on(proc, job);
+                }
+            }
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Message::Shutdown);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Run two branches of a processor-aware recursion concurrently and wait for
+/// both.
+///
+/// The branch whose processor list is `p1` is considered the "own" branch: when
+/// the caller is already executing on `p1`'s first processor (`cur ==
+/// Some(p1.first())`), that branch runs inline on the current thread while the
+/// other branch is spawned onto `p2.first()`; when the caller is outside the
+/// pool (`cur == None`), both branches are spawned.  Each branch receives the
+/// processor id it is (now) running on, to thread through recursive calls.
+///
+/// This is the execution discipline used by every "1-PIECE"-style PACO
+/// recursion (PACO 1D's `COP-1D□`, PACO MM-1-PIECE, PACO HETERO-MM): it
+/// realises the pseudo-code's `spawn`/`sync` on explicit processor lists while
+/// guaranteeing that a worker never waits on work queued behind it on its own
+/// queue (it only ever waits for *other* workers).
+pub fn fork2<F1, F2>(
+    pool: &WorkerPool,
+    cur: Option<ProcId>,
+    p1: paco_core::proc_list::ProcList,
+    f1: F1,
+    p2: paco_core::proc_list::ProcList,
+    f2: F2,
+) where
+    F1: FnOnce(Option<ProcId>) + Send,
+    F2: FnOnce(Option<ProcId>) + Send,
+{
+    assert!(!p1.is_empty() && !p2.is_empty(), "fork2 needs two non-empty lists");
+    match cur {
+        None => {
+            pool.scope(|s| {
+                s.spawn_on(p1.first(), move || f1(Some(p1.first())));
+                s.spawn_on(p2.first(), move || f2(Some(p2.first())));
+            });
+        }
+        Some(c) => {
+            assert_eq!(
+                c,
+                p1.first(),
+                "fork2: the current processor must lead the first (own) list"
+            );
+            pool.scope(|s| {
+                s.spawn_on(p2.first(), move || f2(Some(p2.first())));
+                f1(Some(c));
+            });
+        }
+    }
+}
+
+#[derive(Default)]
+struct ScopeState {
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Handle for spawning tasks inside a [`WorkerPool::scope`].
+pub struct PoolScope<'pool, 'env> {
+    pool: &'pool WorkerPool,
+    state: Arc<ScopeState>,
+    _marker: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> PoolScope<'pool, 'env> {
+    /// Number of processors of the underlying pool.
+    pub fn p(&self) -> usize {
+        self.pool.p()
+    }
+
+    /// Submit `job` to processor `proc`.  Jobs submitted to the same processor
+    /// execute in submission order; jobs on different processors run
+    /// concurrently.  The closure may borrow data living at least as long as
+    /// the enclosing scope (`'env`).
+    pub fn spawn_on<F>(&self, proc: ProcId, job: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        assert!(proc < self.pool.p(), "processor {proc} out of range");
+        *self.state.pending.lock() += 1;
+
+        let state = Arc::clone(&self.state);
+        let wrapped: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(job));
+            if let Err(payload) = outcome {
+                let mut slot = state.panic.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            let mut pending = state.pending.lock();
+            *pending -= 1;
+            if *pending == 0 {
+                state.all_done.notify_all();
+            }
+        });
+
+        // SAFETY: `scope()` joins every spawned task (wait()) before returning,
+        // so the closure — and everything it borrows from 'env — outlives its
+        // execution.  This is the standard scoped-pool lifetime erasure.
+        let static_job: StaticJob = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, StaticJob>(wrapped)
+        };
+        self.pool.senders[proc]
+            .send(Message::Job(static_job))
+            .expect("worker thread terminated unexpectedly");
+    }
+
+    fn wait(&self) {
+        let mut pending = self.state.pending.lock();
+        while *pending > 0 {
+            self.state.all_done.wait(&mut pending);
+        }
+    }
+
+    fn rethrow_if_panicked(&self) {
+        if let Some(payload) = self.state.panic.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_tasks_on_requested_processors() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        pool.scope(|s| {
+            for proc in 0..4 {
+                let hits = &hits;
+                s.spawn_on(proc, move || {
+                    // Each worker thread is named after its processor id.
+                    let name = std::thread::current().name().unwrap().to_string();
+                    assert_eq!(name, format!("paco-worker-{proc}"));
+                    hits[proc].fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn tasks_on_same_processor_run_in_order() {
+        let pool = WorkerPool::new(2);
+        let log = parking_lot::Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for i in 0..20 {
+                let log = &log;
+                s.spawn_on(1, move || log.lock().push(i));
+            }
+        });
+        assert_eq!(*log.lock(), (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_allows_borrowing_stack_data() {
+        let pool = WorkerPool::new(3);
+        let mut data = vec![0u64; 3];
+        {
+            let chunks: Vec<&mut u64> = data.iter_mut().collect();
+            pool.scope(|s| {
+                for (proc, slot) in chunks.into_iter().enumerate() {
+                    s.spawn_on(proc, move || *slot = proc as u64 + 10);
+                }
+            });
+        }
+        assert_eq!(data, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn run_on_all_visits_every_processor() {
+        let pool = WorkerPool::new(5);
+        let seen: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_on_all(|proc| {
+            seen[proc].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(seen.iter().all(|s| s.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn run_assignment_executes_all_tasks() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Vec<_>> = (0..3)
+            .map(|_| {
+                (0..4)
+                    .map(|_| {
+                        let counter = &counter;
+                        move || {
+                            counter.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        pool.run_assignment(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 12);
+    }
+
+    #[test]
+    fn nested_scopes_work() {
+        let pool = WorkerPool::new(4);
+        let total = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            let total = &total;
+            outer.spawn_on(0, move || {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        pool.scope(|s| {
+            let total = &total;
+            s.spawn_on(1, move || {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_scope_caller() {
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn_on(0, || panic!("boom"));
+                s.spawn_on(1, || {});
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        let ok = AtomicUsize::new(0);
+        pool.scope(|s| {
+            let ok = &ok;
+            s.spawn_on(0, move || {
+                ok.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fork2_from_outside_the_pool_runs_both_branches() {
+        use paco_core::proc_list::ProcList;
+        let pool = WorkerPool::new(4);
+        let procs = ProcList::all(4);
+        let (p1, p2) = procs.split_even();
+        let log = parking_lot::Mutex::new(Vec::new());
+        fork2(
+            &pool,
+            None,
+            p1,
+            |cur| log.lock().push(("left", cur)),
+            p2,
+            |cur| log.lock().push(("right", cur)),
+        );
+        let log = log.lock();
+        assert_eq!(log.len(), 2);
+        assert!(log.contains(&("left", Some(p1.first()))));
+        assert!(log.contains(&("right", Some(p2.first()))));
+    }
+
+    #[test]
+    fn fork2_nested_recursion_descends_processor_lists() {
+        use paco_core::proc_list::ProcList;
+        // A miniature 1-PIECE-style recursion: split the list until singletons,
+        // count one unit of work per leaf, and record which worker ran it.
+        let pool = WorkerPool::new(5);
+        let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+
+        fn recurse(pool: &WorkerPool, cur: Option<usize>, procs: ProcList, hits: &[AtomicUsize]) {
+            if procs.len() == 1 {
+                let target = procs.only();
+                if cur == Some(target) {
+                    hits[target].fetch_add(1, Ordering::SeqCst);
+                } else {
+                    pool.scope(|s| {
+                        s.spawn_on(target, || {
+                            hits[target].fetch_add(1, Ordering::SeqCst);
+                        })
+                    });
+                }
+                return;
+            }
+            let (p1, p2) = procs.split_even();
+            fork2(
+                pool,
+                cur,
+                p1,
+                |c| recurse(pool, c, p1, hits),
+                p2,
+                |c| recurse(pool, c, p2, hits),
+            );
+        }
+
+        recurse(&pool, None, ProcList::all(5), &hits);
+        for (proc, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "processor {proc} ran its leaf exactly once");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn fork2_rejects_a_foreign_current_processor() {
+        use paco_core::proc_list::ProcList;
+        let pool = WorkerPool::new(4);
+        let (p1, p2) = ProcList::all(4).split_even();
+        // Claiming to run on p2's leader while passing it as the *second* list
+        // violates the discipline and must be rejected loudly.
+        fork2(&pool, Some(p2.first()), p1, |_| {}, p2, |_| {});
+    }
+
+    #[test]
+    fn parallel_speed_sanity() {
+        // Not a benchmark — just checks that independent processors genuinely
+        // run concurrently (the scope would deadlock if a single worker had to
+        // run a task that waits for a task queued behind it on the same worker).
+        let pool = WorkerPool::new(2);
+        let barrier = std::sync::Barrier::new(2);
+        pool.scope(|s| {
+            let b = &barrier;
+            s.spawn_on(0, move || {
+                b.wait();
+            });
+            s.spawn_on(1, move || {
+                b.wait();
+            });
+        });
+    }
+}

@@ -1,0 +1,72 @@
+//! # paco-sort
+//!
+//! Comparison-based sorting from the PACO paper (Sect. III-G).
+//!
+//! * [`seq::seq_sample_sort`] — the sequential sample sort the paper's
+//!   Lemma 15 refers to: recursive `√n`-way bucketing with an
+//!   `O(n log n)`-work, `O((n/L)(1 + log_Z n))`-miss structure.
+//! * [`po::po_sample_sort`] — a PBBS-style *low-depth* processor-oblivious
+//!   sample sort: `√n`-ish buckets, block-local counting, scatter, parallel
+//!   bucket sorts, all scheduled by rayon with no processor knowledge.  This is
+//!   the competitor of Fig. 12b.
+//! * [`paco::paco_sort`] — the PACO SORT algorithm (Theorem 16): `p − 1` pivots
+//!   chosen by oversampling with ratio `k = Θ(ln n)`, per-processor
+//!   partitioning of an `n/p` chunk, a `p × p` count matrix with column prefix
+//!   sums, an all-to-all redistribution, and a final *sequential* sample sort
+//!   per processor — executed on the processor-aware worker pool.
+//!
+//! All variants are generic over `Copy + Send + Sync` keys with a total order
+//! given by `PartialOrd` (ties allowed, NaNs rejected by debug assertions).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod paco;
+pub mod po;
+pub mod seq;
+
+pub use paco::{paco_sort, paco_sort_with_oversampling};
+pub use po::po_sample_sort;
+pub use seq::seq_sample_sort;
+
+/// The key bound shared by every sorting routine in this crate.
+pub trait SortKey: Copy + Send + Sync + PartialOrd {}
+impl<T: Copy + Send + Sync + PartialOrd> SortKey for T {}
+
+/// Compare two keys, treating incomparable pairs (NaN) as equal after a debug
+/// assertion; sorting is only meaningful on totally ordered inputs.
+#[inline]
+pub(crate) fn cmp_keys<T: PartialOrd>(a: &T, b: &T) -> std::cmp::Ordering {
+    debug_assert!(
+        a.partial_cmp(b).is_some(),
+        "sorting keys must be totally ordered (no NaN)"
+    );
+    a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco_core::workload::random_keys;
+    use paco_runtime::WorkerPool;
+
+    #[test]
+    fn all_variants_agree_with_std_sort() {
+        let input = random_keys(10_000, 42);
+        let mut expect = input.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        let mut a = input.clone();
+        seq_sample_sort(&mut a);
+        assert_eq!(a, expect);
+
+        let mut b = input.clone();
+        po_sample_sort(&mut b);
+        assert_eq!(b, expect);
+
+        let pool = WorkerPool::new(4);
+        let mut c = input;
+        paco_sort(&mut c, &pool);
+        assert_eq!(c, expect);
+    }
+}

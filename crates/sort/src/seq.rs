@@ -1,0 +1,215 @@
+//! Sequential sample sort (the paper's `SEQ-SAMPLE-SORT`, Lemma 15).
+//!
+//! Recursive `√n`-way sample sort: pick `√n` pivots from a sorted random
+//! sample, bucket the keys by binary search over the pivots, recurse into the
+//! buckets.  Each level streams the data a constant number of times, so the
+//! cache complexity is `O((n/L)·(1 + log_Z n))` without knowing `Z` or `L`.
+//! Small inputs fall back to an in-place insertion/quick hybrid.
+
+use crate::cmp_keys;
+use crate::SortKey;
+use rand::Rng;
+
+/// Inputs of at most this length are sorted directly.
+const SMALL_SORT: usize = 2048;
+
+/// Sort `data` in place with the sequential sample sort.
+pub fn seq_sample_sort<T: SortKey>(data: &mut [T]) {
+    let mut rng = paco_core::workload::rng(0x5eed_5eed);
+    seq_sample_sort_rec(data, &mut rng, 0);
+}
+
+fn seq_sample_sort_rec<T: SortKey>(data: &mut [T], rng: &mut impl Rng, depth: usize) {
+    let n = data.len();
+    if n <= SMALL_SORT || depth > 32 {
+        small_sort(data);
+        return;
+    }
+
+    // ---- Pivot selection: oversample, sort the sample, take evenly spaced pivots.
+    let bucket_count = (n as f64).sqrt() as usize;
+    let bucket_count = bucket_count.clamp(2, 1024);
+    let oversample = 8;
+    let sample_size = (bucket_count * oversample).min(n);
+    let mut sample: Vec<T> = (0..sample_size)
+        .map(|_| data[rng.gen_range(0..n)])
+        .collect();
+    small_sort(&mut sample);
+    let pivots: Vec<T> = (1..bucket_count)
+        .map(|i| sample[i * sample_size / bucket_count])
+        .collect();
+
+    // ---- Count bucket sizes, then scatter into a scratch buffer.
+    let mut counts = vec![0usize; bucket_count];
+    let bucket_of = |x: &T, pivots: &[T]| -> usize {
+        // Binary search for the first pivot greater than x.
+        let mut lo = 0usize;
+        let mut hi = pivots.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if cmp_keys(&pivots[mid], x) == std::cmp::Ordering::Less {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+    for x in data.iter() {
+        counts[bucket_of(x, &pivots)] += 1;
+    }
+    let mut offsets = vec![0usize; bucket_count + 1];
+    for b in 0..bucket_count {
+        offsets[b + 1] = offsets[b] + counts[b];
+    }
+    let mut scratch: Vec<T> = Vec::with_capacity(n);
+    // SAFETY-free approach: fill with copies then overwrite positionally.
+    scratch.extend_from_slice(data);
+    let mut cursor = offsets.clone();
+    for x in data.iter() {
+        let b = bucket_of(x, &pivots);
+        scratch[cursor[b]] = *x;
+        cursor[b] += 1;
+    }
+    data.copy_from_slice(&scratch);
+
+    // ---- Recurse into each bucket.
+    for b in 0..bucket_count {
+        let lo = offsets[b];
+        let hi = offsets[b + 1];
+        seq_sample_sort_rec(&mut data[lo..hi], rng, depth + 1);
+    }
+}
+
+/// In-place small sort: insertion sort below 32 elements, median-of-three
+/// quicksort above.
+pub(crate) fn small_sort<T: SortKey>(data: &mut [T]) {
+    if data.len() <= 32 {
+        insertion_sort(data);
+        return;
+    }
+    quicksort(data, 0);
+}
+
+fn insertion_sort<T: SortKey>(data: &mut [T]) {
+    for i in 1..data.len() {
+        let key = data[i];
+        let mut j = i;
+        while j > 0 && cmp_keys(&data[j - 1], &key) == std::cmp::Ordering::Greater {
+            data[j] = data[j - 1];
+            j -= 1;
+        }
+        data[j] = key;
+    }
+}
+
+fn quicksort<T: SortKey>(data: &mut [T], depth: usize) {
+    let n = data.len();
+    if n <= 32 {
+        insertion_sort(data);
+        return;
+    }
+    if depth > 64 {
+        // Pathological pivot choices: fall back to heap-ish safety via insertion
+        // (depth 64 on shrinking slices implies tiny slices in practice).
+        insertion_sort(data);
+        return;
+    }
+    // Median of three pivot.
+    let mid = n / 2;
+    let last = n - 1;
+    let (a, b, c) = (data[0], data[mid], data[last]);
+    let pivot = median3(a, b, c);
+    // Hoare partition.
+    let mut i = 0usize;
+    let mut j = n - 1;
+    loop {
+        while cmp_keys(&data[i], &pivot) == std::cmp::Ordering::Less {
+            i += 1;
+        }
+        while cmp_keys(&data[j], &pivot) == std::cmp::Ordering::Greater {
+            if j == 0 {
+                break;
+            }
+            j -= 1;
+        }
+        if i >= j {
+            break;
+        }
+        data.swap(i, j);
+        i += 1;
+        if j == 0 {
+            break;
+        }
+        j -= 1;
+    }
+    let split = j + 1;
+    let (left, right) = data.split_at_mut(split);
+    quicksort(left, depth + 1);
+    quicksort(right, depth + 1);
+}
+
+fn median3<T: SortKey>(a: T, b: T, c: T) -> T {
+    use std::cmp::Ordering::Less;
+    let (lo, hi) = if cmp_keys(&a, &b) == Less { (a, b) } else { (b, a) };
+    if cmp_keys(&c, &lo) == Less {
+        lo
+    } else if cmp_keys(&hi, &c) == Less {
+        hi
+    } else {
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco_core::workload::{few_distinct_keys, random_keys, random_u64_keys, sorted_keys};
+
+    fn is_sorted<T: SortKey>(data: &[T]) -> bool {
+        data.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    fn check_sorts_like_std(mut data: Vec<f64>) {
+        let mut expect = data.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        seq_sample_sort(&mut data);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn sorts_random_inputs_of_many_sizes() {
+        for &n in &[0usize, 1, 2, 33, 1000, 2048, 2049, 10_000, 50_000] {
+            check_sorts_like_std(random_keys(n, n as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn sorts_adversarial_inputs() {
+        check_sorts_like_std(sorted_keys(10_000));
+        let mut reversed = sorted_keys(10_000);
+        reversed.reverse();
+        check_sorts_like_std(reversed);
+        check_sorts_like_std(few_distinct_keys(20_000, 3, 7));
+        check_sorts_like_std(vec![1.0; 5000]);
+    }
+
+    #[test]
+    fn sorts_integer_keys() {
+        let mut data = random_u64_keys(30_000, 3);
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        seq_sample_sort(&mut data);
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn small_sort_paths() {
+        let mut tiny = vec![3.0, 1.0, 2.0];
+        small_sort(&mut tiny);
+        assert!(is_sorted(&tiny));
+        let mut mid = random_keys(500, 9);
+        small_sort(&mut mid);
+        assert!(is_sorted(&mid));
+    }
+}

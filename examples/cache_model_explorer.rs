@@ -1,0 +1,55 @@
+//! Explore the ideal distributed cache model: how the measured per-processor
+//! cache misses of the LCS schedules behave as `p` and the cache size `Z`
+//! change, next to the closed-form Table I bounds.
+//!
+//! Run with `cargo run -p paco-examples --release --example cache_model_explorer`.
+
+use paco_cache_sim::analytic::{cache_bound, BoundParams, Problem, Variant};
+use paco_core::machine::CacheParams;
+use paco_core::table::Table;
+use paco_core::workload::related_sequences;
+use paco_dp::lcs::{lcs_pa_traced, lcs_paco_traced, lcs_sequential_traced};
+use paco_examples::section;
+
+fn main() {
+    let n = 512;
+    let (a, b) = related_sequences(n, 4, 0.2, 1);
+
+    section("Sweep over p at fixed cache size (Z = 1024 words, L = 8)");
+    let params = CacheParams::new(1024, 8);
+    let (_, seq) = lcs_sequential_traced(&a, &b, 32, params);
+    let q1 = seq.q_sum();
+    let mut table = Table::new(
+        format!("LCS, n = {n}: measured misses vs the Table I shape"),
+        &["p", "Q_sum PACO", "Q_sum PA", "Q_sum/Q1 PACO", "Q_max/mean PACO", "analytic Q_PACO/Q_PA"],
+    );
+    for p in [1usize, 2, 4, 8, 12] {
+        let (_, paco) = lcs_paco_traced(&a, &b, p, params, 32);
+        let (_, pa) = lcs_pa_traced(&a, &b, p, params);
+        let bp = BoundParams::square(n, p, 1024, 8);
+        let ratio = cache_bound(Problem::Lcs, Variant::Paco, bp).unwrap()
+            / cache_bound(Problem::Lcs, Variant::Pa, bp).unwrap();
+        table.row(&[
+            p.to_string(),
+            paco.q_sum().to_string(),
+            pa.q_sum().to_string(),
+            format!("{:.2}", paco.q_sum() as f64 / q1 as f64),
+            format!("{:.2}", paco.q_imbalance()),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    table.print();
+
+    section("Sweep over cache size Z at fixed p = 4");
+    let mut table = Table::new(
+        format!("LCS, n = {n}, p = 4: misses shrink roughly like 1/Z while the table fits"),
+        &["Z (words)", "Q_sum PACO", "Q_sum sequential"],
+    );
+    for z in [256usize, 512, 1024, 2048, 4096] {
+        let params = CacheParams::new(z, 8);
+        let (_, paco) = lcs_paco_traced(&a, &b, 4, params, 32);
+        let (_, seq) = lcs_sequential_traced(&a, &b, 32, params);
+        table.row(&[z.to_string(), paco.q_sum().to_string(), seq.q_sum().to_string()]);
+    }
+    table.print();
+}

@@ -1,0 +1,26 @@
+//! Shared helpers for the PACO example applications.
+//!
+//! Each runnable example lives next to this file (`quickstart.rs`,
+//! `sequence_alignment.rs`, `paragraph_formation.rs`,
+//! `strassen_prime_procs.rs`, `cache_model_explorer.rs`) and is registered as a
+//! Cargo example target, so they run with
+//! `cargo run -p paco-examples --release --example <name>`.
+
+/// Print a section header so multi-part example output stays readable.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Format a duration in milliseconds with two decimals.
+pub fn ms(secs: f64) -> String {
+    format!("{:.2} ms", secs * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_format() {
+        assert_eq!(super::ms(0.001234), "1.23 ms");
+        super::section("demo");
+    }
+}

@@ -1,0 +1,71 @@
+//! Optimal paragraph formation — the classic application of the 1D /
+//! least-weight-subsequence problem (Hirschberg & Larmore; Knuth–Plass line
+//! breaking uses the same recurrence).
+//!
+//! A synthetic document of word lengths is generated; breaking it into lines of
+//! an ideal width is scored with the convex penalty `(line length − ideal)²`.
+//! The example compares the greedy first-fit heuristic against the optimal
+//! breaks computed by the PACO 1D algorithm, and cross-checks the optimum with
+//! the sequential reference.
+//!
+//! Run with `cargo run -p paco-examples --release --example paragraph_formation`.
+
+use paco_core::machine::available_processors;
+use paco_core::metrics::time_it;
+use paco_dp::one_d::kernel::FnWeight;
+use paco_dp::one_d::{one_d_paco, one_d_reference};
+use paco_examples::section;
+use paco_runtime::WorkerPool;
+use rand::Rng;
+
+fn main() {
+    let p = available_processors();
+    let pool = WorkerPool::new(p);
+    let n_words = 5000usize;
+    let ideal_width = 72.0f64;
+
+    // Synthetic word lengths between 2 and 12 characters.
+    let mut rng = paco_core::workload::rng(99);
+    let word_len: Vec<f64> = (0..n_words).map(|_| rng.gen_range(2..=12) as f64).collect();
+    // Prefix sums so the length of a line spanning words (i, j] is O(1).
+    let mut prefix = vec![0.0f64; n_words + 1];
+    for i in 0..n_words {
+        prefix[i + 1] = prefix[i] + word_len[i] + 1.0; // +1 for the space
+    }
+
+    // w(i, j) = (length of the line holding words i..j  −  ideal)².
+    let prefix_for_weight = prefix.clone();
+    let weight = FnWeight(move |i: usize, j: usize| {
+        let line = prefix_for_weight[j] - prefix_for_weight[i] - 1.0;
+        let over = line - ideal_width;
+        over * over
+    });
+
+    section(&format!(
+        "Breaking {n_words} words into lines of ideal width {ideal_width} on {p} processors"
+    ));
+    let (d, secs) = time_it(|| one_d_paco(n_words, &weight, 0.0, &pool, 64));
+    let optimal = d[n_words];
+    let reference = one_d_reference(n_words, &weight, 0.0)[n_words];
+    assert!((optimal - reference).abs() < 1e-6);
+
+    // Greedy first-fit: break as late as possible without exceeding the ideal.
+    let mut greedy_cost = 0.0;
+    let mut start = 0usize;
+    for j in 1..=n_words {
+        let line = prefix[j] - prefix[start] - 1.0;
+        let next_line = if j < n_words { prefix[j + 1] - prefix[start] - 1.0 } else { f64::INFINITY };
+        if next_line > ideal_width || j == n_words {
+            let over = line - ideal_width;
+            greedy_cost += over * over;
+            start = j;
+        }
+    }
+
+    println!("optimal raggedness (PACO 1D) : {optimal:12.1}   computed in {:.2} ms", secs * 1e3);
+    println!("greedy first-fit raggedness  : {greedy_cost:12.1}");
+    println!(
+        "the optimal breaks are {:.1}% better than greedy",
+        100.0 * (greedy_cost - optimal) / greedy_cost
+    );
+}

@@ -1,0 +1,94 @@
+//! Cross-crate integration tests: the core types, the runtime, the cache
+//! simulator and the algorithm crates working together the way the benchmark
+//! harness uses them.
+
+use paco_cache_sim::analytic::{cache_bound, BoundParams, Problem, Variant};
+use paco_core::machine::{CacheParams, HeteroSpec, MachineConfig};
+use paco_core::workload::{random_matrix_wrapping, related_sequences};
+use paco_dp::lcs::{lcs_paco_traced, lcs_reference, lcs_sequential_traced};
+use paco_matmul::hetero::hetero_mm;
+use paco_matmul::paco_mm::plan_paco_mm_with_base;
+use paco_matmul::{mm_reference, paco_mm_1piece};
+use paco_runtime::hetero::ThrottleSpec;
+use paco_runtime::WorkerPool;
+use paco_tests::interesting_processor_counts;
+
+/// The machine presets drive the analytic bounds, and the bounds agree with the
+/// ordering the simulator measures on a scaled-down instance.
+#[test]
+fn analytic_bounds_and_simulator_tell_the_same_story_for_lcs() {
+    let n = 384;
+    let (a, b) = related_sequences(n, 4, 0.2, 7);
+    let params = CacheParams::new(1024, 8);
+    let p = 4;
+
+    let (len_seq, seq) = lcs_sequential_traced(&a, &b, 32, params);
+    let (len_paco, paco) = lcs_paco_traced(&a, &b, p, params, 32);
+    assert_eq!(len_seq, lcs_reference(&a, &b));
+    assert_eq!(len_paco, len_seq);
+
+    // Measured: the PACO schedule's total misses stay within a small factor of
+    // the sequential optimum, and the per-processor balance is good.
+    let blowup = paco.q_sum() as f64 / seq.q_sum() as f64;
+    assert!(blowup < 3.0, "Q_sum blowup {blowup}");
+    assert!(paco.q_imbalance() < 2.0);
+
+    // Analytic: the PACO bound also predicts a small blowup over Q1 at these
+    // parameters (the additive term is minor), and a far larger one for PO.
+    let bp = BoundParams::square(n, p, 1024, 8);
+    let q1 = cache_bound(Problem::Lcs, Variant::Paco, BoundParams::square(n, 1, 1024, 8)).unwrap();
+    let qpaco = cache_bound(Problem::Lcs, Variant::Paco, bp).unwrap();
+    let qpo = cache_bound(Problem::Lcs, Variant::Po, bp).unwrap();
+    assert!(qpaco / q1 < 8.0);
+    assert!(qpo > qpaco);
+}
+
+/// The machine preset's heterogeneity spec flows end-to-end into a correct,
+/// throughput-aware matrix multiplication.
+#[test]
+fn machine_preset_heterogeneity_drives_hetero_mm() {
+    let machine = MachineConfig::xeon_72core();
+    let spec = machine.hetero_spec();
+    assert!(!spec.is_homogeneous());
+    // Scale the spec down to a pool we can actually run: keep the shape
+    // (one fast group at 3x) but only 4 workers.
+    let small_spec = HeteroSpec::one_fast_socket(4, 1, 3.0);
+    let throttle = ThrottleSpec::from_spec(&small_spec);
+    let pool = WorkerPool::new(4);
+    let a = random_matrix_wrapping(96, 64, 1);
+    let b = random_matrix_wrapping(64, 80, 2);
+    assert_eq!(mm_reference(&a, &b), hetero_mm(&a, &b, &pool, &throttle));
+}
+
+/// The pruned-BFS plan (runtime crate) and the executable 1-PIECE algorithm
+/// (matmul crate) agree on correctness for every interesting processor count.
+#[test]
+fn plans_and_execution_cover_the_same_processor_range() {
+    let a = random_matrix_wrapping(120, 70, 3);
+    let b = random_matrix_wrapping(70, 90, 4);
+    let expect = mm_reference(&a, &b);
+    for p in interesting_processor_counts() {
+        // The problem is small relative to p, so let the partitioning refine
+        // further than the default kernel base case before judging balance.
+        let plan = plan_paco_mm_with_base(120, 90, 70, p, 8);
+        let report = plan.report();
+        assert!(
+            (report.total_work - 120.0 * 90.0 * 70.0).abs() < 1e-6,
+            "p={p}: plan loses work"
+        );
+        assert!(report.work_imbalance < 1.5, "p={p}: imbalance {}", report.work_imbalance);
+
+        let pool = WorkerPool::new(p);
+        assert_eq!(expect, paco_mm_1piece(&a, &b, &pool), "p={p}");
+    }
+}
+
+/// Every machine preset produces self-consistent derived quantities.
+#[test]
+fn machine_presets_are_consistent() {
+    for machine in [MachineConfig::xeon_24core(), MachineConfig::xeon_72core()] {
+        assert!(machine.rpeak_flops() > 0.0);
+        assert_eq!(machine.hetero_spec().p(), machine.p);
+        assert!(machine.cache.lines() > 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live in the sibling `*.rs` files, each registered as an
+//! integration-test target in `Cargo.toml`.
+
+/// Assert that two `f64` slices agree element-wise within `tol`.
+pub fn assert_slices_close(a: &[f64], b: &[f64], tol: f64, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "{ctx}: element {i} differs: {x} vs {y}"
+        );
+    }
+}
+
+/// A handful of processor counts worth exercising everywhere: 1, a power of
+/// two, a prime, and a "weird" composite.
+pub fn interesting_processor_counts() -> Vec<usize> {
+    vec![1, 2, 3, 5, 6, 7, 8]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_behave() {
+        super::assert_slices_close(&[1.0, 2.0], &[1.0, 2.0 + 1e-12], 1e-9, "demo");
+        assert!(super::interesting_processor_counts().contains(&7));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) of the core invariants:
+//!
+//! * every parallel variant of every algorithm agrees with its sequential
+//!   reference on arbitrary inputs and arbitrary processor counts;
+//! * processor-list splits always partition the list;
+//! * the pruned-BFS partitioning conserves work and stays balanced;
+//! * sorting variants produce a sorted permutation of their input.
+
+use paco_core::proc_list::ProcList;
+use paco_core::semiring::WrappingRing;
+use paco_core::matrix::Matrix;
+use paco_dp::lcs::{lcs_paco_with_base, lcs_po, lcs_reference};
+use paco_dp::one_d::kernel::FnWeight;
+use paco_dp::one_d::{one_d_paco, one_d_reference};
+use paco_matmul::strassen::strassen_sequential_with_cutoff;
+use paco_matmul::paco_mm::plan_paco_mm_with_base;
+use paco_matmul::{mm_reference, paco_mm_1piece};
+use paco_runtime::WorkerPool;
+use paco_sort::{paco_sort, po_sample_sort, seq_sample_sort};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn proc_list_splits_partition_the_ids(p in 1usize..200, a in 1usize..10, b in 1usize..10) {
+        let list = ProcList::all(p);
+        let (l, r) = list.split_ratio(a, b);
+        let mut ids: Vec<_> = l.ids().chain(r.ids()).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..p).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lcs_parallel_variants_match_reference(
+        n in 1usize..200,
+        m in 1usize..200,
+        p in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let a = paco_core::workload::random_sequence(n, 4, seed);
+        let b = paco_core::workload::random_sequence(m, 4, seed.wrapping_add(1));
+        let expect = lcs_reference(&a, &b);
+        prop_assert_eq!(lcs_po(&a, &b, 64), expect);
+        let pool = WorkerPool::new(p);
+        prop_assert_eq!(lcs_paco_with_base(&a, &b, &pool, 32), expect);
+    }
+
+    #[test]
+    fn one_d_paco_matches_reference(
+        n in 1usize..300,
+        p in 1usize..6,
+        scale in 1u32..50,
+    ) {
+        let w = FnWeight(move |i: usize, j: usize| ((j - i) as f64 - scale as f64).powi(2));
+        let expect = one_d_reference(n, &w, 0.0);
+        let pool = WorkerPool::new(p);
+        let got = one_d_paco(n, &w, 0.0, &pool, 16);
+        for idx in 0..=n {
+            prop_assert!((expect[idx] - got[idx]).abs() < 1e-9, "idx {}", idx);
+        }
+    }
+
+    #[test]
+    fn paco_mm_matches_reference_on_exact_ring(
+        n in 1usize..60,
+        m in 1usize..60,
+        k in 1usize..60,
+        p in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let a = paco_core::workload::random_matrix_wrapping(n, k, seed);
+        let b = paco_core::workload::random_matrix_wrapping(k, m, seed.wrapping_add(7));
+        let expect = mm_reference(&a, &b);
+        let pool = WorkerPool::new(p);
+        prop_assert_eq!(paco_mm_1piece(&a, &b, &pool), expect);
+    }
+
+    #[test]
+    fn strassen_is_exact_on_the_wrapping_ring(
+        half in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let n = 2 * half;
+        let a = paco_core::workload::random_matrix_wrapping(n, n, seed);
+        let b = paco_core::workload::random_matrix_wrapping(n, n, seed.wrapping_add(3));
+        prop_assert_eq!(
+            strassen_sequential_with_cutoff(&a, &b, 8),
+            mm_reference(&a, &b)
+        );
+    }
+
+    #[test]
+    fn mm_plan_conserves_volume_and_balances(
+        n in 16usize..200,
+        m in 16usize..200,
+        k in 16usize..200,
+        p in 1usize..33,
+    ) {
+        let base = 8;
+        let plan = plan_paco_mm_with_base(n, m, k, p, base);
+        let report = plan.report();
+        let volume = (n * m * k) as f64;
+        // Work is never lost, for any parameters.
+        prop_assert!((report.total_work - volume).abs() / volume < 1e-9);
+        // Balance is only promised inside the scaling range (p = o(problem)):
+        // require a few divisible pieces per processor before judging it.
+        let leaves_available = (n / base).max(1) * (m / base).max(1) * (k / base).max(1);
+        if leaves_available >= 4 * p {
+            prop_assert!(report.work_imbalance < 2.0 + 1e-9,
+                "imbalance {} with n={} m={} k={} p={}", report.work_imbalance, n, m, k, p);
+        }
+    }
+
+    #[test]
+    fn sorts_produce_sorted_permutations(
+        keys in proptest::collection::vec(any::<i32>(), 0..3000),
+        p in 1usize..6,
+    ) {
+        let original: Vec<i64> = keys.iter().map(|&x| x as i64).collect();
+        let mut expect = original.clone();
+        expect.sort_unstable();
+
+        let mut a = original.clone();
+        seq_sample_sort(&mut a);
+        prop_assert_eq!(&a, &expect);
+
+        let mut b = original.clone();
+        po_sample_sort(&mut b);
+        prop_assert_eq!(&b, &expect);
+
+        let pool = WorkerPool::new(p);
+        let mut c = original;
+        paco_sort(&mut c, &pool);
+        prop_assert_eq!(&c, &expect);
+    }
+
+    #[test]
+    fn semiring_matrix_identities_hold(
+        n in 1usize..30,
+        seed in 0u64..1000,
+    ) {
+        // (A * I) == A and A * 0 == 0 for the wrapping ring, through the PACO path.
+        let a = paco_core::workload::random_matrix_wrapping(n, n, seed);
+        let id: Matrix<WrappingRing> = Matrix::identity(n);
+        let zero: Matrix<WrappingRing> = Matrix::zeros(n, n);
+        let pool = WorkerPool::new(3);
+        prop_assert_eq!(paco_mm_1piece(&a, &id, &pool), a.clone());
+        prop_assert_eq!(paco_mm_1piece(&a, &zero, &pool), zero);
+    }
+}
