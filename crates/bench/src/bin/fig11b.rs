@@ -22,7 +22,7 @@ fn main() {
         "PACO MM-1-PIECE",
         "CO2 (PO 2-way, base 64)",
         |a, b| paco_mm_1piece(a, b, &pool),
-        |a, b| co2_mm(a, b),
+        co2_mm,
     );
     series.print_histogram("Fig. 11b — frequency of PACO speedup over CO2", 20.0);
     println!("Paper: Mean = 147.6%, Median = 108.4% (24 cores)");

@@ -48,7 +48,7 @@ fn main() {
     add_row("PACO MM-1-PIECE", &paco);
     let vendor = run_mm_timing(&grid, repeats, blocked_parallel_mm);
     add_row("blocked parallel (MKL stand-in)", &vendor);
-    let co2 = run_mm_timing(&grid, repeats, |a, b| co2_mm(a, b));
+    let co2 = run_mm_timing(&grid, repeats, co2_mm);
     add_row("CO2 (PO 2-way, base 64)", &co2);
 
     table.print();

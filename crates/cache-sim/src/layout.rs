@@ -22,7 +22,7 @@ impl AddressSpace {
     /// share a cache line regardless of the simulated line size (≤ 64 words).
     pub fn alloc(&mut self, words: usize) -> usize {
         const ALIGN: usize = 64;
-        let base = (self.next_free + ALIGN - 1) / ALIGN * ALIGN;
+        let base = self.next_free.div_ceil(ALIGN) * ALIGN;
         self.next_free = base + words;
         base
     }

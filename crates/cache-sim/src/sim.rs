@@ -1,6 +1,6 @@
 //! The distributed cache simulator and the access-tracking hook.
 //!
-//! [`DistCacheSim`] instantiates one private [`LruCache`](crate::cache::LruCache)
+//! [`DistCacheSim`] instantiates one private [`LruCache`]
 //! per processor and tallies per-processor misses, giving the paper's
 //! `Q^Σ_p` (total) and `Q^max_p` (critical-path) quantities directly.
 //!

@@ -48,14 +48,14 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     // n - 1 = d * 2^r with d odd
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -90,11 +90,11 @@ pub fn is_caps_friendly(p: usize) -> bool {
     }
     let mut q = p;
     let mut k = 0u32;
-    while q % 7 == 0 {
+    while q.is_multiple_of(7) {
         q /= 7;
         k += 1;
     }
-    k >= 1 && q >= 1 && q < 7
+    k >= 1 && (1..7).contains(&q)
 }
 
 /// The largest processor count `q <= p` usable by the CAPS-style baseline

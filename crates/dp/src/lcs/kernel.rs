@@ -152,6 +152,7 @@ pub fn base_block<T: Tracker>(
 /// coordinates): recursively halve the longer dimension until both sides are at
 /// most `base`, then sweep.  The first half of a split is evaluated before the
 /// second, which keeps every intra-block dependency satisfied.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's COP-LCS signature
 pub fn co_block<T: Tracker>(
     table: &LcsTable,
     a: &[u32],

@@ -148,7 +148,7 @@ pub fn strassen_sequential_with_cutoff<R: Ring>(
 ) -> Matrix<R> {
     check_square(a, b);
     let n = a.rows();
-    if n <= cutoff.max(1) || n % 2 != 0 {
+    if n <= cutoff.max(1) || !n.is_multiple_of(2) {
         return co_mm_alloc(a, b);
     }
     let products: Vec<Matrix<R>> = strassen_operands(a, b)
@@ -168,7 +168,7 @@ pub fn strassen_sequential<R: Ring>(a: &Matrix<R>, b: &Matrix<R>) -> Matrix<R> {
 pub fn strassen_po_with_cutoff<R: Ring>(a: &Matrix<R>, b: &Matrix<R>, cutoff: usize) -> Matrix<R> {
     check_square(a, b);
     let n = a.rows();
-    if n <= cutoff.max(1) || n % 2 != 0 {
+    if n <= cutoff.max(1) || !n.is_multiple_of(2) {
         return co_mm_alloc(a, b);
     }
     let operands = strassen_operands(a, b);
@@ -257,7 +257,7 @@ pub fn strassen_paco_with<R: Ring>(
     check_square(a, b);
     let p = pool.p();
     let n = a.rows();
-    if p == 1 || n <= opts.parallel_base || n % 2 != 0 {
+    if p == 1 || n <= opts.parallel_base || !n.is_multiple_of(2) {
         return strassen_sequential_with_cutoff(a, b, opts.cutoff);
     }
 
@@ -276,7 +276,7 @@ pub fn strassen_paco_with<R: Ring>(
     while !frontier.is_empty() {
         let all_base = frontier
             .iter()
-            .all(|&i| nodes[i].size <= opts.parallel_base || nodes[i].size % 2 != 0);
+            .all(|&i| nodes[i].size <= opts.parallel_base || !nodes[i].size.is_multiple_of(2));
         let gamma_reached = opts.gamma.is_some_and(|g| super_rounds >= g);
 
         if frontier.len() >= p || all_base || gamma_reached {
@@ -304,7 +304,7 @@ pub fn strassen_paco_with<R: Ring>(
         // Expand every frontier node one Strassen level.
         let mut next = Vec::with_capacity(frontier.len() * 7);
         for idx in frontier {
-            if nodes[idx].size <= opts.parallel_base || nodes[idx].size % 2 != 0 {
+            if nodes[idx].size <= opts.parallel_base || !nodes[idx].size.is_multiple_of(2) {
                 next.push(idx);
                 continue;
             }
@@ -382,7 +382,6 @@ pub fn strassen_paco_with<R: Ring>(
 mod tests {
     use super::*;
     use crate::co_mm::mm_reference;
-    use paco_core::util::is_prime;
     use paco_core::workload::{random_matrix_f64, random_matrix_wrapping};
 
     #[test]
@@ -421,7 +420,6 @@ mod tests {
         let b = random_matrix_wrapping(n, n, 8);
         let expect = mm_reference(&a, &b);
         for p in [1usize, 2, 3, 5, 7, 11] {
-            assert!(p == 1 || p == 2 || is_prime(p as u64) || p == 7 || true);
             let pool = WorkerPool::new(p);
             let opts = StrassenOptions {
                 cutoff: 16,

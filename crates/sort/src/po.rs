@@ -70,6 +70,9 @@ pub fn po_sample_sort<T: SortKey>(data: &mut [T]) {
     {
         let scratch_ptr = SendPtr(scratch.as_mut_ptr());
         data.par_chunks(block_size).enumerate().for_each(|(blk, chunk)| {
+            // Rebind so the closure captures the whole `SendPtr` (which is
+            // Sync) rather than disjointly borrowing its raw-pointer field.
+            #[allow(clippy::redundant_locals)]
             let scratch_ptr = scratch_ptr;
             let mut cursors: Vec<usize> = (0..buckets).map(|b| offsets[b * nblocks + blk]).collect();
             for x in chunk {

@@ -1,0 +1,31 @@
+//! Offline stand-in for the subset of
+//! [`crossbeam`](https://crates.io/crates/crossbeam) that the PACO workspace
+//! uses: [`channel::unbounded`] MPSC channels.
+//!
+//! `std::sync::mpsc` provides the same semantics for this use case (senders
+//! are `Send + Sync + Clone` since Rust 1.72; each receiver is owned by a
+//! single worker thread), so the shim simply re-exports it under crossbeam's
+//! names.
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Create an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(41).unwrap());
+        tx.send(1).unwrap();
+        let sum: i32 = [rx.recv().unwrap(), rx.recv().unwrap()].iter().sum();
+        assert_eq!(sum, 42);
+    }
+}

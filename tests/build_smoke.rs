@@ -1,0 +1,40 @@
+//! Build smoke test: the cheapest end-to-end guarantee that the workspace
+//! not only compiles but computes the right answers.
+//!
+//! Asserts that the processor-oblivious (PO), processor-aware (PA) and
+//! processor-aware-cache-oblivious (PACO) variants of LCS and matrix
+//! multiplication all agree with their sequential references on small
+//! inputs, across several processor counts.  If a future manifest or
+//! refactoring change silently breaks a variant, this fails before any of
+//! the heavier suites run.
+
+use paco_core::workload::{random_matrix_wrapping, related_sequences};
+use paco_dp::lcs::{lcs_pa, lcs_paco, lcs_po, lcs_reference, lcs_sequential_co};
+use paco_matmul::po::co2_mm;
+use paco_matmul::{mm_reference, paco_mm_1piece};
+use paco_runtime::WorkerPool;
+
+#[test]
+fn lcs_variants_agree_on_small_inputs() {
+    let (a, b) = related_sequences(257, 4, 0.25, 0xC0DE);
+    let expect = lcs_reference(&a, &b);
+    assert_eq!(lcs_sequential_co(&a, &b, 32), expect, "sequential CO");
+    assert_eq!(lcs_po(&a, &b, 64), expect, "PO");
+    for p in paco_tests::interesting_processor_counts() {
+        let pool = WorkerPool::new(p);
+        assert_eq!(lcs_pa(&a, &b, &pool), expect, "PA with p={p}");
+        assert_eq!(lcs_paco(&a, &b, &pool), expect, "PACO with p={p}");
+    }
+}
+
+#[test]
+fn matmul_variants_agree_on_small_inputs() {
+    let a = random_matrix_wrapping(33, 17, 0xFEED);
+    let b = random_matrix_wrapping(17, 29, 0xBEEF);
+    let expect = mm_reference(&a, &b);
+    assert_eq!(co2_mm(&a, &b), expect, "PO (CO2)");
+    for p in paco_tests::interesting_processor_counts() {
+        let pool = WorkerPool::new(p);
+        assert_eq!(paco_mm_1piece(&a, &b, &pool), expect, "PACO with p={p}");
+    }
+}
