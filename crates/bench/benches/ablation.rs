@@ -61,5 +61,10 @@ fn ablation_gap_blocks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation_lcs_base, ablation_strassen_gamma, ablation_gap_blocks);
+criterion_group!(
+    benches,
+    ablation_lcs_base,
+    ablation_strassen_gamma,
+    ablation_gap_blocks
+);
 criterion_main!(benches);

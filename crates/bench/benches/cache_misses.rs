@@ -16,8 +16,13 @@ fn print_miss_table() {
     let (a, b) = related_sequences(n, 4, 0.2, 5);
     let params = CacheParams::new(1024, 8);
     let (_, seq) = lcs_sequential_traced(&a, &b, 32, params);
-    println!("\n# LCS cache misses under the ideal distributed cache model (n = {n}, Z = 1024, L = 8)");
-    println!("{:<28} {:>4} {:>12} {:>12} {:>10}", "algorithm", "p", "Q_sum", "Q_max", "Q_sum/Q1");
+    println!(
+        "\n# LCS cache misses under the ideal distributed cache model (n = {n}, Z = 1024, L = 8)"
+    );
+    println!(
+        "{:<28} {:>4} {:>12} {:>12} {:>10}",
+        "algorithm", "p", "Q_sum", "Q_max", "Q_sum/Q1"
+    );
     println!(
         "{:<28} {:>4} {:>12} {:>12} {:>10.2}",
         "sequential CO",

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the Floyd–Warshall family: sequential CO,
+//! PO and PACO, over both the tropical `(min, +)` semiring (APSP) and the
+//! boolean semiring (transitive closure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paco_core::machine::available_processors;
+use paco_core::workload::{random_adjacency, random_digraph};
+use paco_graph::{fw_paco, fw_po, fw_seq, DEFAULT_BASE};
+use paco_runtime::WorkerPool;
+
+fn bench_fw(c: &mut Criterion) {
+    let n = 256;
+    let apsp = random_digraph(n, 0.15, 100, 7);
+    let reach = random_adjacency(n, 0.05, 8);
+    let pool = WorkerPool::new(available_processors());
+
+    let mut group = c.benchmark_group("floyd-warshall");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("minplus-seq-co", n), |bench| {
+        bench.iter(|| std::hint::black_box(fw_seq(&apsp, DEFAULT_BASE)))
+    });
+    group.bench_function(BenchmarkId::new("minplus-po", n), |bench| {
+        bench.iter(|| std::hint::black_box(fw_po(&apsp, DEFAULT_BASE)))
+    });
+    group.bench_function(BenchmarkId::new("minplus-paco", n), |bench| {
+        bench.iter(|| std::hint::black_box(fw_paco(&apsp, &pool)))
+    });
+    group.bench_function(BenchmarkId::new("bool-seq-co", n), |bench| {
+        bench.iter(|| std::hint::black_box(fw_seq(&reach, DEFAULT_BASE)))
+    });
+    group.bench_function(BenchmarkId::new("bool-paco", n), |bench| {
+        bench.iter(|| std::hint::black_box(fw_paco(&reach, &pool)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fw);
+criterion_main!(benches);

@@ -31,6 +31,8 @@ fn main() {
         |a, b| paco_mm_1piece(a, b, &pool),
         |a, b| rayon_pool.install(|| blocked_parallel_mm(a, b)),
     );
-    series.print("Fig. 10a — speedup of PACO over the vendor baseline (half machine, '24-core style')");
+    series.print(
+        "Fig. 10a — speedup of PACO over the vendor baseline (half machine, '24-core style')",
+    );
     println!("Paper: Mean = 11.1%, Median = 6.4% (24 cores, MKL dgemm)");
 }

@@ -18,7 +18,10 @@ fn main() {
     let pool = WorkerPool::new(p);
     let peak = machine_peak_flops(p);
     let grid = mm_grid(bench_scale());
-    println!("workers = {p}, measured attainable peak = {:.2} GFLOP/s\n", peak / 1e9);
+    println!(
+        "workers = {p}, measured attainable peak = {:.2} GFLOP/s\n",
+        peak / 1e9
+    );
 
     let timings = run_mm_timing(&grid, bench_repeats(), |a, b| paco_mm_1piece(a, b, &pool));
     let mut table = Table::new(

@@ -9,8 +9,8 @@
 
 use paco_bench::sweep::{mm_grid, run_mm_sweep};
 use paco_bench::{bench_repeats, bench_scale, bench_threads};
-use paco_matmul::po::co2_mm;
 use paco_matmul::paco_mm_1piece;
+use paco_matmul::po::co2_mm;
 use paco_runtime::WorkerPool;
 
 fn main() {

@@ -39,6 +39,8 @@ fn main() {
         |a, b| hetero_mm(a, b, &pool, &throttle),
         |a, b| unaware_mm(a, b, &pool, &throttle),
     );
-    series.print("Fig. 9b — speedup of the throughput-aware split on the emulated heterogeneous machine");
+    series.print(
+        "Fig. 9b — speedup of the throughput-aware split on the emulated heterogeneous machine",
+    );
     println!("Paper: Mean = 48.6%, Median = 48.8% (PACO hetero over MKL on the 72-core machine)");
 }

@@ -20,7 +20,9 @@ fn main() {
     let n = 1 << 14;
     let gamma = 8;
     let mut table = Table::new(
-        format!("Parallel Strassen on arbitrary p (n = {n}, γ = {gamma}): PACO vs CAPS vs lower bounds"),
+        format!(
+            "Parallel Strassen on arbitrary p (n = {n}, γ = {gamma}): PACO vs CAPS vs lower bounds"
+        ),
         &[
             "p",
             "prime?",
@@ -38,7 +40,11 @@ fn main() {
         let bw_lb = strassen_bandwidth_lower_bound(n, p);
         table.row(&[
             p.to_string(),
-            if is_prime(p as u64) { "yes".into() } else { "-".to_string() },
+            if is_prime(p as u64) {
+                "yes".into()
+            } else {
+                "-".to_string()
+            },
             format!("{:.3}", paco.flops_per_proc / flop_lb),
             format!("{:.3}", caps.flops_per_proc / flop_lb),
             caps.processors_used.to_string(),

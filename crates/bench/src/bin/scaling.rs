@@ -27,22 +27,38 @@ fn main() {
 
     let t1 = {
         let pool = WorkerPool::new(1);
-        min_time_of(repeats, || std::hint::black_box(paco_mm_1piece(&a, &b, &pool)))
+        min_time_of(repeats, || {
+            std::hint::black_box(paco_mm_1piece(&a, &b, &pool))
+        })
     };
 
     let mut table = Table::new(
         format!("Strong scaling of PACO MM-1-PIECE at n = m = k = {n} (t1 = {t1:.3}s)"),
-        &["p", "prime?", "plan imbalance", "time (s)", "speedup", "efficiency", "CAPS-usable procs"],
+        &[
+            "p",
+            "prime?",
+            "plan imbalance",
+            "time (s)",
+            "speedup",
+            "efficiency",
+            "CAPS-usable procs",
+        ],
     );
     for p in 1..=max_p {
         let plan = plan_paco_mm(n, n, n, p);
         let report = plan.report();
         let pool = WorkerPool::new(p);
-        let t = min_time_of(repeats, || std::hint::black_box(paco_mm_1piece(&a, &b, &pool)));
+        let t = min_time_of(repeats, || {
+            std::hint::black_box(paco_mm_1piece(&a, &b, &pool))
+        });
         let speedup = t1 / t;
         table.row(&[
             p.to_string(),
-            if is_prime(p as u64) { "yes".into() } else { "-".to_string() },
+            if is_prime(p as u64) {
+                "yes".into()
+            } else {
+                "-".to_string()
+            },
             format!("{:.3}", report.work_imbalance),
             format!("{t:.3}"),
             format!("{speedup:.2}x"),

@@ -21,7 +21,12 @@ fn print_analytic(machine: &MachineConfig, n: usize) {
             "Table I (analytic) — n = {n}, {} (p = {}, Z = {} words, L = {} words)",
             machine.name, machine.p, machine.cache.z_words, machine.cache.l_words
         ),
-        &["problem", "class", "time bound T_p", "cache bound Q_p (lines)"],
+        &[
+            "problem",
+            "class",
+            "time bound T_p",
+            "cache bound Q_p (lines)",
+        ],
     );
     for row in table1_rows(bp) {
         table.row(&[
@@ -44,8 +49,17 @@ fn print_measured_lcs() {
 
     let (_, seq) = lcs_sequential_traced(&a, &b, base, params);
     let mut table = Table::new(
-        format!("Measured LCS cache misses (ideal distributed cache model, n = {n}, Z = 2048, L = 8)"),
-        &["algorithm", "p", "Q_sum (misses)", "Q_max (misses)", "Q_sum / Q_1", "imbalance"],
+        format!(
+            "Measured LCS cache misses (ideal distributed cache model, n = {n}, Z = 2048, L = 8)"
+        ),
+        &[
+            "algorithm",
+            "p",
+            "Q_sum (misses)",
+            "Q_max (misses)",
+            "Q_sum / Q_1",
+            "imbalance",
+        ],
     );
     let q1 = seq.q_sum();
     table.row(&[
@@ -59,7 +73,10 @@ fn print_measured_lcs() {
     for p in [2usize, 4, 7, 8] {
         let (_, pa) = lcs_pa_traced(&a, &b, p, params);
         let (_, paco) = lcs_paco_traced(&a, &b, p, params, base);
-        for (name, sim) in [("PA (Chowdhury-Ramachandran)", &pa), ("PACO (this paper)", &paco)] {
+        for (name, sim) in [
+            ("PA (Chowdhury-Ramachandran)", &pa),
+            ("PACO (this paper)", &paco),
+        ] {
             table.row(&[
                 name.into(),
                 p.to_string(),

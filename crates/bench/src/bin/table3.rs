@@ -28,7 +28,16 @@ fn row_for(machine: &MachineConfig, table: &mut Table) {
 fn main() {
     let mut table = Table::new(
         "Table III — experimental machines (paper presets + this container)",
-        &["machine", "cores", "clock", "DP FLOPs/cycle", "L2 per core", "L1d per core", "uniformity", "Rpeak"],
+        &[
+            "machine",
+            "cores",
+            "clock",
+            "DP FLOPs/cycle",
+            "L2 per core",
+            "L1d per core",
+            "uniformity",
+            "Rpeak",
+        ],
     );
     row_for(&MachineConfig::xeon_72core(), &mut table);
     row_for(&MachineConfig::xeon_24core(), &mut table);

@@ -14,8 +14,8 @@ use paco_bench::{bench_repeats, bench_scale, bench_threads};
 use paco_core::metrics::series_stats;
 use paco_core::table::Table;
 use paco_matmul::baseline::blocked_parallel_mm;
-use paco_matmul::po::co2_mm;
 use paco_matmul::paco_mm_1piece;
+use paco_matmul::po::co2_mm;
 use paco_runtime::WorkerPool;
 
 fn main() {
@@ -24,7 +24,10 @@ fn main() {
     let repeats = bench_repeats();
     let pool = WorkerPool::new(p);
     let peak = machine_peak_flops(p);
-    println!("workers = {p}, measured attainable peak = {:.2} GFLOP/s\n", peak / 1e9);
+    println!(
+        "workers = {p}, measured attainable peak = {:.2} GFLOP/s\n",
+        peak / 1e9
+    );
 
     let mut table = Table::new(
         "Table IV — Rmax/Rpeak of MM algorithms",

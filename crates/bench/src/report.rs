@@ -39,10 +39,18 @@ impl SpeedupSeries {
     pub fn print(&self, title: &str) {
         let mut table = Table::new(
             title,
-            &["problem size", "size value", &format!("speedup of {} over {} (%)", self.ours, self.peer)],
+            &[
+                "problem size",
+                "size value",
+                &format!("speedup of {} over {} (%)", self.ours, self.peer),
+            ],
         );
         for (label, size, speedup) in &self.rows {
-            table.row(&[label.clone(), format!("{size:.3e}"), format!("{speedup:.1}")]);
+            table.row(&[
+                label.clone(),
+                format!("{size:.3e}"),
+                format!("{speedup:.1}"),
+            ]);
         }
         table.print();
         if !self.rows.is_empty() {
@@ -76,7 +84,11 @@ impl SpeedupSeries {
         }
         table.print();
         let stats = series_stats(&values);
-        println!("Mean = {}   Median = {}\n", pct(stats.mean), pct(stats.median));
+        println!(
+            "Mean = {}   Median = {}\n",
+            pct(stats.mean),
+            pct(stats.median)
+        );
     }
 }
 

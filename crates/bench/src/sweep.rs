@@ -14,10 +14,7 @@ use paco_core::workload::random_matrix_f64;
 /// every dimension; scaled to this container we default to a handful of sizes
 /// whose product spans roughly two orders of magnitude.
 pub fn mm_grid(scale: usize) -> Vec<(usize, usize, usize)> {
-    let dims: Vec<usize> = [192usize, 320, 448]
-        .iter()
-        .map(|&d| d * scale)
-        .collect();
+    let dims: Vec<usize> = [192usize, 320, 448].iter().map(|&d| d * scale).collect();
     let mut grid = Vec::new();
     for &n in &dims {
         for &m in &dims {
@@ -31,7 +28,12 @@ pub fn mm_grid(scale: usize) -> Vec<(usize, usize, usize)> {
 
 /// A smaller grid for smoke tests and CI.
 pub fn mm_grid_small() -> Vec<(usize, usize, usize)> {
-    vec![(128, 128, 128), (128, 256, 128), (256, 128, 192), (256, 256, 256)]
+    vec![
+        (128, 128, 128),
+        (128, 256, 128),
+        (256, 128, 192),
+        (256, 256, 256),
+    ]
 }
 
 /// Measure `ours` vs `peer` over the grid; both closures compute `C = A·B` and
@@ -80,7 +82,11 @@ pub struct TimingPoint {
 }
 
 /// Time a single algorithm over the grid.
-pub fn run_mm_timing<F>(grid: &[(usize, usize, usize)], repeats: usize, mut algo: F) -> Vec<TimingPoint>
+pub fn run_mm_timing<F>(
+    grid: &[(usize, usize, usize)],
+    repeats: usize,
+    mut algo: F,
+) -> Vec<TimingPoint>
 where
     F: FnMut(&Matrix<f64>, &Matrix<f64>) -> Matrix<f64>,
 {

@@ -126,8 +126,8 @@ pub fn cache_bound(problem: Problem, variant: Variant, bp: BoundParams) -> Optio
         }
         // ---------------- GAP ----------------
         (Problem::Gap, Variant::Po) => {
-            let blelloch_gu_seq =
-                n * n * n / (l * z) + n * n * (lg(n).powi(2) / z.sqrt()).min(lg(z.sqrt()).powi(2)) / l;
+            let blelloch_gu_seq = n * n * n / (l * z)
+                + n * n * (lg(n).powi(2) / z.sqrt()).min(lg(z.sqrt()).powi(2)) / l;
             blelloch_gu_seq + p * n.powf(LOG2_3) * z / l
         }
         (Problem::Gap, Variant::Sublinear) => n.powi(4) / l + p * n.sqrt() * lg(n) * z / l,
@@ -178,9 +178,7 @@ pub fn time_bound(problem: Problem, variant: Variant, bp: BoundParams) -> Option
         (Problem::Gap, Variant::Sublinear) => n.powi(4) / p + n.sqrt() * lg(n),
         (Problem::Gap, Variant::Paco) => n * n * n / p,
         (Problem::Mm, Variant::Po) => n * m * k / p + lg(n).powi(2),
-        (Problem::Mm, Variant::Pa) | (Problem::Mm, Variant::Paco) => {
-            n * m * k / p + n + m + k
-        }
+        (Problem::Mm, Variant::Pa) | (Problem::Mm, Variant::Paco) => n * m * k / p + n + m + k,
         (Problem::Strassen, Variant::Po) => n.powf(OMEGA_0) / p + lg(n).powi(2),
         (Problem::Strassen, Variant::Pa) | (Problem::Strassen, Variant::Paco) => {
             n.powf(OMEGA_0) / p
@@ -397,7 +395,9 @@ mod tests {
     fn table1_lists_all_rows() {
         let rows = table1_rows(bp(1 << 14, 24));
         assert_eq!(rows.len(), 17);
-        assert!(rows.iter().all(|r| r.time.is_finite() && r.cache.is_finite()));
+        assert!(rows
+            .iter()
+            .all(|r| r.time.is_finite() && r.cache.is_finite()));
         assert!(rows.iter().all(|r| r.time > 0.0 && r.cache > 0.0));
     }
 

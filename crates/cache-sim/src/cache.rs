@@ -198,7 +198,9 @@ pub fn opt_misses(trace: &[u64], capacity_lines: usize) -> u64 {
             if resident.len() == capacity_lines {
                 // Evict the line with the farthest (authoritative) next use.
                 loop {
-                    let (pos, cand) = heap.pop().expect("heap cannot be empty while cache is full");
+                    let (pos, cand) = heap
+                        .pop()
+                        .expect("heap cannot be empty while cache is full");
                     match resident.get(&cand) {
                         Some(&cur) if cur == pos => {
                             resident.remove(&cand);

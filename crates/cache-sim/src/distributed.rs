@@ -165,7 +165,10 @@ mod tests {
         assert!(g1.flops_per_proc > g2.flops_per_proc);
         assert!(g2.flops_per_proc > g8.flops_per_proc);
         assert!(g8.flops_per_proc <= 1.01 * lb);
-        assert!(g1.flops_per_proc <= 1.5 * lb, "γ=1 is within 50% of optimal");
+        assert!(
+            g1.flops_per_proc <= 1.5 * lb,
+            "γ=1 is within 50% of optimal"
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl Layout1D {
     /// Word address of element `i`.
     #[inline]
     pub fn addr(&self, i: usize) -> usize {
-        debug_assert!(i < self.len, "Layout1D index {i} out of bounds {}", self.len);
+        debug_assert!(
+            i < self.len,
+            "Layout1D index {i} out of bounds {}",
+            self.len
+        );
         self.base + i
     }
 }

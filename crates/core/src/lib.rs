@@ -25,8 +25,12 @@
 //!   throughput helpers used by the benchmark harness.
 //! * [`table`] — tiny CSV / aligned-table emitters so every benchmark binary can
 //!   print the rows the paper's tables and figures report.
+//! * [`shared`] — `SharedGrid`/`SharedSlice`, the documented-unsafe shared
+//!   table wrappers the wavefront (`paco-dp`) and phase-recursive
+//!   (`paco-graph`) algorithms write from many processors at once.
 //! * [`workload`] — deterministic workload generators (random sequences,
-//!   matrices, weight functions) shared by tests, examples and benches.
+//!   matrices, digraphs, weight functions) shared by tests, examples and
+//!   benches.
 //! * [`util`] — integer helpers (ceiling division, power-of-two rounding,
 //!   primality) used throughout the partitioning code.
 //!
@@ -41,6 +45,7 @@ pub mod matrix;
 pub mod metrics;
 pub mod proc_list;
 pub mod semiring;
+pub mod shared;
 pub mod table;
 pub mod util;
 pub mod workload;
@@ -49,4 +54,6 @@ pub use machine::{CacheParams, HeteroSpec, MachineConfig};
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use metrics::{Counters, Stopwatch};
 pub use proc_list::{ProcId, ProcList};
-pub use semiring::{BoolSemiring, MaxPlus, MinPlus, Numeric, Semiring, WrappingRing};
+pub use semiring::{
+    BoolSemiring, IdempotentSemiring, MaxPlus, MinPlus, Numeric, Semiring, WrappingRing,
+};

@@ -73,7 +73,10 @@ impl HeteroSpec {
     /// Panics if `ratios` is empty or any ratio is not strictly positive and
     /// finite.
     pub fn new(ratios: Vec<f64>) -> Self {
-        assert!(!ratios.is_empty(), "HeteroSpec needs at least one processor");
+        assert!(
+            !ratios.is_empty(),
+            "HeteroSpec needs at least one processor"
+        );
         for (i, &r) in ratios.iter().enumerate() {
             assert!(
                 r.is_finite() && r > 0.0,
@@ -201,7 +204,11 @@ impl MachineConfig {
     /// parallelism, small simulated caches so the cache-model experiments finish
     /// quickly.
     pub fn local(p: usize) -> Self {
-        Self::homogeneous(format!("local machine (p={p})"), p, CacheParams::new(4096, 8))
+        Self::homogeneous(
+            format!("local machine (p={p})"),
+            p,
+            CacheParams::new(4096, 8),
+        )
     }
 
     /// Theoretical peak double-precision FLOP/s of the whole machine

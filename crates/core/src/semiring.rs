@@ -48,6 +48,21 @@ pub trait Semiring: Copy + Send + Sync + PartialEq + Debug + 'static {
     }
 }
 
+/// Marker trait for semirings whose addition is idempotent: `a ⊕ a = a`.
+///
+/// The tropical semirings (`min`/`max` absorb duplicates) and the boolean
+/// semiring (`∨` absorbs duplicates) qualify; ordinary arithmetic rings do
+/// not.  In-place path-closure algorithms — Floyd–Warshall in `paco-graph` —
+/// relax the same entries repeatedly and are only correct when duplicate
+/// contributions are absorbing, so they bound their element type on this
+/// trait and a non-idempotent instantiation fails to compile instead of
+/// silently computing garbage.
+pub trait IdempotentSemiring: Semiring {}
+
+impl IdempotentSemiring for MinPlus {}
+impl IdempotentSemiring for MaxPlus {}
+impl IdempotentSemiring for BoolSemiring {}
+
 /// A semiring with additive inverses (a ring), as required by Strassen.
 pub trait Ring: Semiring {
     /// Ring subtraction `⊖`.
@@ -305,8 +320,23 @@ mod tests {
     }
 
     #[test]
+    fn idempotent_markers_are_actually_idempotent() {
+        fn check<S: IdempotentSemiring>(vals: &[S]) {
+            for &a in vals {
+                assert_eq!(a.add(a), a);
+            }
+        }
+        check(&[MinPlus(0.0), MinPlus(3.5), MinPlus(-1.0), MinPlus::zero()]);
+        check(&[MaxPlus(-2.0), MaxPlus(7.0), MaxPlus::zero()]);
+        check(&[BoolSemiring(false), BoolSemiring(true)]);
+    }
+
+    #[test]
     fn min_plus_axioms_on_finite_values() {
-        let vals: Vec<MinPlus> = [0.0, 1.0, 2.5, 10.0, -3.0].iter().map(|&v| MinPlus(v)).collect();
+        let vals: Vec<MinPlus> = [0.0, 1.0, 2.5, 10.0, -3.0]
+            .iter()
+            .map(|&v| MinPlus(v))
+            .collect();
         // identities involving ±∞ need care with equality; check only finite ones
         for &a in &vals {
             for &b in &vals {

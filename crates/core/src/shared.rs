@@ -1,0 +1,240 @@
+//! Shared-memory wrappers for wavefront and in-place table algorithms.
+//!
+//! Several algorithm families write a single large table from many processors
+//! at once: every task owns a *disjoint* region of the table, but it also reads
+//! cells outside its region that were produced by tasks in earlier waves or
+//! phases (the LCS/1D/GAP wavefronts in `paco-dp`, the Floyd–Warshall phase
+//! recursion in `paco-graph`).  Rust's `&mut` slices cannot express "disjoint
+//! writes plus reads of already-finished neighbours", so this module provides
+//! two small pointer wrappers with explicitly documented safety contracts:
+//!
+//! * [`SharedGrid`] — a 2D table of `Copy` cells.
+//! * [`SharedSlice`] — a 1D array of `Copy` cells.
+//!
+//! # Safety contract
+//!
+//! A `get` may race with nothing; a `set` may race with nothing.  The callers
+//! (the wavefront/phase schedulers in the algorithm crates) guarantee it
+//! structurally:
+//!
+//! 1. every task writes only cells inside the region assigned to it, and
+//!    regions of concurrently running tasks are disjoint;
+//! 2. every cell a task reads outside its own region was written by a task in
+//!    an earlier wave or phase, and waves are separated by a barrier (the pool
+//!    scope or rayon join), which also provides the necessary happens-before
+//!    edge;
+//! 3. no cell is read and written concurrently.
+//!
+//! This mirrors the paper's observation (Sect. II) that all algorithms
+//! considered are free of data races, so no cache-coherence modelling is
+//! needed.
+
+use std::cell::UnsafeCell;
+use std::ops::Range;
+
+/// A 2D grid of `Copy` cells that can be shared across worker threads under the
+/// wavefront discipline documented at the module level.
+pub struct SharedGrid<T> {
+    cells: Vec<UnsafeCell<T>>,
+    rows: usize,
+    cols: usize,
+}
+
+// SAFETY: see the module-level safety contract; the grid itself adds no
+// synchronisation, it only makes the sharing explicit.
+unsafe impl<T: Send> Send for SharedGrid<T> {}
+unsafe impl<T: Send> Sync for SharedGrid<T> {}
+
+impl<T: Copy> SharedGrid<T> {
+    /// A `rows × cols` grid with every cell initialised to `fill`.
+    pub fn new(rows: usize, cols: usize, fill: T) -> Self {
+        Self {
+            cells: (0..rows * cols).map(|_| UnsafeCell::new(fill)).collect(),
+            rows,
+            cols,
+        }
+    }
+
+    /// A `rows × cols` grid initialised from a generator function `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut cells = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                cells.push(UnsafeCell::new(f(i, j)));
+            }
+        }
+        Self { cells, rows, cols }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read cell `(i, j)`.
+    ///
+    /// Caller must uphold the wavefront discipline (no concurrent writer).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols, "SharedGrid read OOB");
+        // SAFETY: module-level contract.
+        unsafe { *self.cells[i * self.cols + j].get() }
+    }
+
+    /// Write cell `(i, j)`.
+    ///
+    /// Caller must uphold the wavefront discipline (this task owns the cell).
+    #[inline]
+    pub fn set(&self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols, "SharedGrid write OOB");
+        // SAFETY: module-level contract.
+        unsafe { *self.cells[i * self.cols + j].get() = v }
+    }
+
+    /// Copy the grid into a plain vector (row-major); only call when no task is
+    /// running.
+    pub fn snapshot(&self) -> Vec<T> {
+        (0..self.rows * self.cols)
+            .map(|idx| unsafe { *self.cells[idx].get() })
+            .collect()
+    }
+}
+
+/// A 1D array of `Copy` cells shareable across worker threads under the same
+/// discipline as [`SharedGrid`].
+pub struct SharedSlice<T> {
+    cells: Vec<UnsafeCell<T>>,
+}
+
+// SAFETY: see the module-level safety contract.
+unsafe impl<T: Send> Send for SharedSlice<T> {}
+unsafe impl<T: Send> Sync for SharedSlice<T> {}
+
+impl<T: Copy> SharedSlice<T> {
+    /// An array of `len` cells initialised to `fill`.
+    pub fn new(len: usize, fill: T) -> Self {
+        Self {
+            cells: (0..len).map(|_| UnsafeCell::new(fill)).collect(),
+        }
+    }
+
+    /// Build from an existing vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        Self {
+            cells: v.into_iter().map(UnsafeCell::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if the array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Read element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> T {
+        debug_assert!(i < self.len(), "SharedSlice read OOB");
+        // SAFETY: module-level contract.
+        unsafe { *self.cells[i].get() }
+    }
+
+    /// Write element `i`.
+    #[inline]
+    pub fn set(&self, i: usize, v: T) {
+        debug_assert!(i < self.len(), "SharedSlice write OOB");
+        // SAFETY: module-level contract.
+        unsafe { *self.cells[i].get() = v }
+    }
+
+    /// Copy a range into a plain vector; only call when no task is running.
+    pub fn snapshot_range(&self, range: Range<usize>) -> Vec<T> {
+        range.map(|i| self.get(i)).collect()
+    }
+
+    /// Copy the whole array into a plain vector; only call when no task is
+    /// running.
+    pub fn snapshot(&self) -> Vec<T> {
+        self.snapshot_range(0..self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_read_write_round_trip() {
+        let g = SharedGrid::new(3, 4, 0i64);
+        g.set(2, 3, 42);
+        g.set(0, 0, -1);
+        assert_eq!(g.get(2, 3), 42);
+        assert_eq!(g.get(0, 0), -1);
+        assert_eq!(g.get(1, 1), 0);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 4);
+        let snap = g.snapshot();
+        assert_eq!(snap.len(), 12);
+        assert_eq!(snap[2 * 4 + 3], 42);
+    }
+
+    #[test]
+    fn grid_from_fn_matches_coordinates() {
+        let g = SharedGrid::from_fn(3, 5, |i, j| i * 10 + j);
+        for i in 0..3 {
+            for j in 0..5 {
+                assert_eq!(g.get(i, j), i * 10 + j);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_read_write_round_trip() {
+        let s = SharedSlice::new(5, f64::INFINITY);
+        s.set(3, 1.25);
+        assert_eq!(s.get(3), 1.25);
+        assert!(s.get(0).is_infinite());
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.snapshot_range(2..4), vec![f64::INFINITY, 1.25]);
+    }
+
+    #[test]
+    fn from_vec_preserves_contents() {
+        let s = SharedSlice::from_vec(vec![1u32, 2, 3]);
+        assert_eq!(s.snapshot(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn disjoint_parallel_writes_are_visible_after_join() {
+        let g = SharedGrid::new(4, 100, 0usize);
+        std::thread::scope(|scope| {
+            for row in 0..4 {
+                let g = &g;
+                scope.spawn(move || {
+                    for j in 0..100 {
+                        g.set(row, j, row * 1000 + j);
+                    }
+                });
+            }
+        });
+        for row in 0..4 {
+            for j in 0..100 {
+                assert_eq!(g.get(row, j), row * 1000 + j);
+            }
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! reproducible run-to-run.
 
 use crate::matrix::Matrix;
-use crate::semiring::WrappingRing;
+use crate::semiring::{BoolSemiring, MinPlus, Semiring, WrappingRing};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,7 +27,12 @@ pub fn random_sequence(n: usize, alphabet: u32, seed: u64) -> Vec<u32> {
 /// the first where each position is resampled with probability `mutation`.
 /// Produces LCS instances with long common subsequences, closer to the
 /// bio-sequence use case than two independent strings.
-pub fn related_sequences(n: usize, alphabet: u32, mutation: f64, seed: u64) -> (Vec<u32>, Vec<u32>) {
+pub fn related_sequences(
+    n: usize,
+    alphabet: u32,
+    mutation: f64,
+    seed: u64,
+) -> (Vec<u32>, Vec<u32>) {
     let mut r = rng(seed);
     let a: Vec<u32> = (0..n).map(|_| r.gen_range(0..alphabet)).collect();
     let b: Vec<u32> = a
@@ -56,6 +61,34 @@ pub fn random_matrix_wrapping(rows: usize, cols: usize, seed: u64) -> Matrix<Wra
     Matrix::from_fn(rows, cols, |_, _| WrappingRing(r.gen_range(0..1_000u64)))
 }
 
+/// A random weighted digraph on `n` vertices as a `(min, +)` adjacency matrix:
+/// each ordered pair `(i, j)`, `i ≠ j`, carries an edge with probability
+/// `density`; edge weights are *integer-valued* `f64`s drawn uniformly from
+/// `1..=max_weight` so that every path weight is computed exactly and all
+/// Floyd–Warshall variants agree bit-for-bit.  The diagonal is
+/// `MinPlus::one()` (distance 0) and non-edges are `MinPlus::zero()` (+∞).
+pub fn random_digraph(n: usize, density: f64, max_weight: u32, seed: u64) -> Matrix<MinPlus> {
+    assert!(max_weight >= 1, "need a positive weight range");
+    let mut r = rng(seed);
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            MinPlus::one()
+        } else if r.gen_bool(density) {
+            MinPlus(f64::from(r.gen_range(1..=max_weight)))
+        } else {
+            MinPlus::zero()
+        }
+    })
+}
+
+/// A random directed reachability instance on `n` vertices over the boolean
+/// semiring: each ordered pair `(i, j)`, `i ≠ j`, is an edge with probability
+/// `density`; the diagonal is `true` (every vertex reaches itself).
+pub fn random_adjacency(n: usize, density: f64, seed: u64) -> Matrix<BoolSemiring> {
+    let mut r = rng(seed);
+    Matrix::from_fn(n, n, |i, j| BoolSemiring(i == j || r.gen_bool(density)))
+}
+
 /// Random `f64` keys for sorting benchmarks, uniform in `[0, 1)`.
 pub fn random_keys(n: usize, seed: u64) -> Vec<f64> {
     let mut r = rng(seed);
@@ -76,7 +109,9 @@ pub fn sorted_keys(n: usize) -> Vec<f64> {
 /// Keys with many duplicates: only `distinct` different values.
 pub fn few_distinct_keys(n: usize, distinct: usize, seed: u64) -> Vec<f64> {
     let mut r = rng(seed);
-    (0..n).map(|_| r.gen_range(0..distinct.max(1)) as f64).collect()
+    (0..n)
+        .map(|_| r.gen_range(0..distinct.max(1)) as f64)
+        .collect()
 }
 
 /// The 1D/LWS weight function used throughout this repository's experiments:
@@ -141,7 +176,9 @@ impl GapCosts {
     /// memory-free.
     #[inline]
     pub fn s(&self, i: usize, j: usize) -> f64 {
-        let mut h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ (j as u64).wrapping_mul(0xc2b2ae3d27d4eb4f) ^ self.seed;
+        let mut h = (i as u64).wrapping_mul(0x9e3779b97f4a7c15)
+            ^ (j as u64).wrapping_mul(0xc2b2ae3d27d4eb4f)
+            ^ self.seed;
         h ^= h >> 33;
         h = h.wrapping_mul(0xff51afd7ed558ccd);
         h ^= h >> 33;
@@ -194,6 +231,27 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert!(uniq.len() <= 3);
+    }
+
+    #[test]
+    fn digraphs_are_deterministic_and_well_formed() {
+        let g1 = random_digraph(20, 0.3, 50, 7);
+        let g2 = random_digraph(20, 0.3, 50, 7);
+        assert_eq!(g1, g2);
+        for i in 0..20 {
+            assert_eq!(g1.get(i, i), MinPlus::one());
+            for j in 0..20 {
+                let w = g1.get(i, j).0;
+                // Finite weights are integers in [1, 50]; non-edges are +∞.
+                assert!(w == w.trunc() || w.is_infinite());
+                assert!(w.is_infinite() || (i == j && w == 0.0) || (1.0..=50.0).contains(&w));
+            }
+        }
+        let a = random_adjacency(16, 0.25, 9);
+        assert_eq!(a, random_adjacency(16, 0.25, 9));
+        for i in 0..16 {
+            assert!(a.get(i, i).0, "diagonal must be reflexive");
+        }
     }
 
     #[test]

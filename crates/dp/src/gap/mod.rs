@@ -211,14 +211,22 @@ mod tests {
 
     #[test]
     fn boundary_row_and_column_are_pure_gap_costs() {
-        let costs = GapCosts { open: 1.0, extend: 1.0, seed: 3 };
+        let costs = GapCosts {
+            open: 1.0,
+            extend: 1.0,
+            seed: 3,
+        };
         let n = 8;
         let d = gap_reference(n, &costs);
         let width = n + 1;
         // D[0][j] is the cheapest way to cover columns 0..j with horizontal gaps.
         // With affine costs one single gap is optimal: 1 + j.
         for j in 1..=n {
-            assert!((d[j] - (1.0 + j as f64)).abs() < 1e-9, "D[0][{j}] = {}", d[j]);
+            assert!(
+                (d[j] - (1.0 + j as f64)).abs() < 1e-9,
+                "D[0][{j}] = {}",
+                d[j]
+            );
             assert!((d[j * width] - (1.0 + j as f64)).abs() < 1e-9);
         }
     }

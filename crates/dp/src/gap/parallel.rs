@@ -64,7 +64,9 @@ pub fn gap_paco_with_blocks<C: GapCost>(
         pool.scope(|s| {
             let mut k = 0usize;
             for bi in 0..blocks {
-                let Some(bj) = diag.checked_sub(bi) else { continue };
+                let Some(bj) = diag.checked_sub(bi) else {
+                    continue;
+                };
                 if bj >= blocks {
                     continue;
                 }

@@ -174,11 +174,29 @@ pub fn co_block<T: Tracker>(
     }
     if nr >= nc {
         let mid = rows.start + nr / 2;
-        co_block(table, a, b, rows.start..mid, cols.clone(), base, tracker, addr);
+        co_block(
+            table,
+            a,
+            b,
+            rows.start..mid,
+            cols.clone(),
+            base,
+            tracker,
+            addr,
+        );
         co_block(table, a, b, mid..rows.end, cols, base, tracker, addr);
     } else {
         let mid = cols.start + nc / 2;
-        co_block(table, a, b, rows.clone(), cols.start..mid, base, tracker, addr);
+        co_block(
+            table,
+            a,
+            b,
+            rows.clone(),
+            cols.start..mid,
+            base,
+            tracker,
+            addr,
+        );
         co_block(table, a, b, rows, mid..cols.end, base, tracker, addr);
     }
 }
@@ -247,7 +265,13 @@ mod tests {
 
     #[test]
     fn co_kernel_matches_reference_on_random_inputs() {
-        for &(n, m, base) in &[(1usize, 1usize, 4usize), (7, 13, 4), (64, 64, 16), (100, 57, 8), (129, 200, 32)] {
+        for &(n, m, base) in &[
+            (1usize, 1usize, 4usize),
+            (7, 13, 4),
+            (64, 64, 16),
+            (100, 57, 8),
+            (129, 200, 32),
+        ] {
             let a = random_sequence(n, 4, 100 + n as u64);
             let b = random_sequence(m, 4, 200 + m as u64);
             assert_eq!(

@@ -51,7 +51,16 @@ pub fn lcs_pa(a: &[u32], b: &[u32], pool: &WorkerPool) -> u32 {
                 let addr = &addr;
                 // Block (bi, bj) runs on processor bi, as in the D-CMP algorithm.
                 s.spawn_on(bi % p, move || {
-                    co_block(table, a, b, rows, cols, DEFAULT_BASE, &mut paco_cache_sim::NullTracker, addr);
+                    co_block(
+                        table,
+                        a,
+                        b,
+                        rows,
+                        cols,
+                        DEFAULT_BASE,
+                        &mut paco_cache_sim::NullTracker,
+                        addr,
+                    );
                 });
             }
         });

@@ -178,7 +178,10 @@ mod tests {
         let p = 4;
         let (_, par) = lcs_paco_traced(&a, &b, p, params, 16);
         let qp = par.q_sum() as f64;
-        assert!(qp >= 0.9 * q1, "parallel total misses cannot beat Q1 by much");
+        assert!(
+            qp >= 0.9 * q1,
+            "parallel total misses cannot beat Q1 by much"
+        );
         assert!(
             qp < 3.0 * q1,
             "Q^Σ_p = {qp} should stay well below p·Q₁ = {}",

@@ -152,10 +152,22 @@ pub fn plan_paco_lcs(n: usize, m: usize, p: usize, base: usize) -> PacoLcsPlan {
             .into_iter()
             .flat_map(|sq| {
                 [
-                    Sq { bi: 2 * sq.bi, bj: 2 * sq.bj },
-                    Sq { bi: 2 * sq.bi, bj: 2 * sq.bj + 1 },
-                    Sq { bi: 2 * sq.bi + 1, bj: 2 * sq.bj },
-                    Sq { bi: 2 * sq.bi + 1, bj: 2 * sq.bj + 1 },
+                    Sq {
+                        bi: 2 * sq.bi,
+                        bj: 2 * sq.bj,
+                    },
+                    Sq {
+                        bi: 2 * sq.bi,
+                        bj: 2 * sq.bj + 1,
+                    },
+                    Sq {
+                        bi: 2 * sq.bi + 1,
+                        bj: 2 * sq.bj,
+                    },
+                    Sq {
+                        bi: 2 * sq.bi + 1,
+                        bj: 2 * sq.bj + 1,
+                    },
                 ]
             })
             .collect();
@@ -275,9 +287,9 @@ impl PacoLcsPlan {
         for r in &self.regions {
             per_proc[r.proc].push(r.area());
         }
-        per_proc.iter().all(|areas| {
-            areas.windows(2).all(|w| w[1] <= 2 * w[0])
-        })
+        per_proc
+            .iter()
+            .all(|areas| areas.windows(2).all(|w| w[1] <= 2 * w[0]))
     }
 }
 
@@ -288,7 +300,12 @@ mod tests {
 
     #[test]
     fn plan_tiles_the_whole_table_exactly() {
-        for &(n, m, p) in &[(64usize, 64usize, 4usize), (100, 100, 3), (257, 129, 5), (128, 128, 7)] {
+        for &(n, m, p) in &[
+            (64usize, 64usize, 4usize),
+            (100, 100, 3),
+            (257, 129, 5),
+            (128, 128, 7),
+        ] {
             let plan = plan_paco_lcs(n, m, p, 8);
             assert_eq!(plan.total_area(), n * m, "n={n} m={m} p={p}");
             // No two regions overlap: check by sampling cells.
@@ -296,7 +313,10 @@ mod tests {
             for (idx, r) in plan.regions.iter().enumerate() {
                 for i in r.rows.clone() {
                     for j in r.cols.clone() {
-                        assert!(covered.insert((i, j)), "cell ({i},{j}) covered twice (region {idx})");
+                        assert!(
+                            covered.insert((i, j)),
+                            "cell ({i},{j}) covered twice (region {idx})"
+                        );
                     }
                 }
             }
@@ -347,7 +367,10 @@ mod tests {
                 wave_of[idx] = w;
             }
         }
-        assert!(wave_of.iter().all(|&w| w != usize::MAX), "every region scheduled");
+        assert!(
+            wave_of.iter().all(|&w| w != usize::MAX),
+            "every region scheduled"
+        );
         // For every pair of adjacent regions (above / left), the dependency is in
         // an earlier wave.
         for (ia, a) in plan.regions.iter().enumerate() {

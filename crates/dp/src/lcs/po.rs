@@ -79,7 +79,13 @@ mod tests {
 
     #[test]
     fn matches_reference_on_random_inputs() {
-        for &(n, m) in &[(1usize, 1usize), (33, 57), (128, 128), (200, 311), (513, 257)] {
+        for &(n, m) in &[
+            (1usize, 1usize),
+            (33, 57),
+            (128, 128),
+            (200, 311),
+            (513, 257),
+        ] {
             let a = random_sequence(n, 4, n as u64);
             let b = random_sequence(m, 4, 1000 + m as u64);
             assert_eq!(lcs_po(&a, &b, 32), lcs_reference(&a, &b), "n={n} m={m}");

@@ -111,9 +111,35 @@ fn paco_square<W: Weight>(
             pool,
             cur,
             p1,
-            |c| paco_square(pool, c, p1, src, dst, dst_off, inp.clone(), out_left.clone(), w, base),
+            |c| {
+                paco_square(
+                    pool,
+                    c,
+                    p1,
+                    src,
+                    dst,
+                    dst_off,
+                    inp.clone(),
+                    out_left.clone(),
+                    w,
+                    base,
+                )
+            },
             p2,
-            |c| paco_square(pool, c, p2, src, dst, dst_off, inp.clone(), out_right.clone(), w, base),
+            |c| {
+                paco_square(
+                    pool,
+                    c,
+                    p2,
+                    src,
+                    dst,
+                    dst_off,
+                    inp.clone(),
+                    out_right.clone(),
+                    w,
+                    base,
+                )
+            },
         );
     } else {
         // Cut on y: split the input range; the second half accumulates into a
@@ -128,10 +154,34 @@ fn paco_square<W: Weight>(
                 pool,
                 cur,
                 p1,
-                |c| paco_square(pool, c, p1, src, dst, dst_off, inp_left.clone(), out.clone(), w, base),
+                |c| {
+                    paco_square(
+                        pool,
+                        c,
+                        p1,
+                        src,
+                        dst,
+                        dst_off,
+                        inp_left.clone(),
+                        out.clone(),
+                        w,
+                        base,
+                    )
+                },
                 p2,
                 |c| {
-                    paco_square(pool, c, p2, src, tmp, out.start, inp_right.clone(), out.clone(), w, base)
+                    paco_square(
+                        pool,
+                        c,
+                        p2,
+                        src,
+                        tmp,
+                        out.start,
+                        inp_right.clone(),
+                        out.clone(),
+                        w,
+                        base,
+                    )
                 },
             );
         }

@@ -49,7 +49,13 @@ fn triangle_po<W: Weight>(d: &SharedSlice<f64>, range: Range<usize>, w: &W, base
 /// Parallel external update: split the output range until it reaches the base
 /// size; the two output halves are independent because they only *read* the
 /// input range.
-fn square_po<W: Weight>(d: &SharedSlice<f64>, inp: Range<usize>, out: Range<usize>, w: &W, base: usize) {
+fn square_po<W: Weight>(
+    d: &SharedSlice<f64>,
+    inp: Range<usize>,
+    out: Range<usize>,
+    w: &W,
+    base: usize,
+) {
     if out.len() <= base {
         square_update(d, d, 0, inp, out, w, base);
         return;

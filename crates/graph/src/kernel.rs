@@ -1,0 +1,236 @@
+//! Sequential Floyd–Warshall kernels over a closed semiring.
+//!
+//! All-pairs path closure is the canonical "Gaussian-elimination paradigm"
+//! problem: given an `n × n` matrix `D` over a closed semiring, compute
+//!
+//! ```text
+//! D[i][j] ← D[i][j] ⊕ (D[i][k] ⊗ D[k][j])      for k, then i, then j
+//! ```
+//!
+//! Over [`MinPlus`](paco_core::semiring::MinPlus) this is all-pairs shortest
+//! paths; over [`BoolSemiring`](paco_core::semiring::BoolSemiring) it is
+//! transitive closure.  The update is *in-place*: the same matrix appears on
+//! both sides, which is what distinguishes Floyd–Warshall from the semiring
+//! matrix multiplication of `paco-matmul` and gives the recursion its
+//! A/B/C/D structure (see [`crate::seq`]).
+//!
+//! Every divide-and-conquer variant in this crate — sequential CO, PO and
+//! PACO — bottoms out in the single generalized kernel [`relax`]: a
+//! `k`-outermost sweep restricted to a `rows × cols` block with via-vertices
+//! `via`.  Because the whole computation lives in one table, the four roles of
+//! the recursion (diagonal self-closure, row-aligned, column-aligned and fully
+//! disjoint updates) are all instances of `relax` with different index ranges.
+//! The kernel is generic over [`Tracker`] so the identical code path can be
+//! replayed through the ideal distributed cache simulator.
+
+use paco_cache_sim::layout::{AddressSpace, Layout2D};
+use paco_cache_sim::Tracker;
+use paco_core::matrix::Matrix;
+use paco_core::semiring::{IdempotentSemiring, Semiring};
+use paco_core::shared::SharedGrid;
+use std::ops::Range;
+
+/// Default base-case side of the cache-oblivious recursion.
+pub const DEFAULT_BASE: usize = 32;
+
+/// Simulated-address-space placement of the Floyd–Warshall working set (the
+/// single `n × n` distance matrix); used only when replaying a kernel through
+/// the cache simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct FwAddr {
+    /// The `n × n` distance/closure matrix.
+    pub dist: Layout2D,
+}
+
+impl FwAddr {
+    /// Lay out the working set for an `n`-vertex instance.
+    pub fn new(n: usize) -> Self {
+        let mut space = AddressSpace::new();
+        Self {
+            dist: space.alloc_2d(n.max(1), n.max(1)),
+        }
+    }
+}
+
+/// The shared `n × n` distance matrix every task relaxes in place.
+///
+/// Concurrent tasks follow the [`paco_core::shared`] discipline: within one
+/// phase of the recursion each task writes a block no other running task
+/// touches, and only reads blocks finished in earlier phases (the diagonal
+/// block of the current `k`-range) or owned rows/columns of its own block.
+pub struct FwTable<S> {
+    grid: SharedGrid<S>,
+    n: usize,
+}
+
+impl<S: Semiring> FwTable<S> {
+    /// Copy a square adjacency/distance matrix into a shared table.
+    ///
+    /// Panics if the matrix is not square.
+    pub fn from_matrix(adj: &Matrix<S>) -> Self {
+        assert_eq!(
+            adj.rows(),
+            adj.cols(),
+            "Floyd–Warshall needs a square matrix"
+        );
+        let n = adj.rows();
+        Self {
+            grid: SharedGrid::from_fn(n, n, |i, j| adj.get(i, j)),
+            n,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The shared cell grid.
+    pub fn grid(&self) -> &SharedGrid<S> {
+        &self.grid
+    }
+
+    /// Snapshot the table into an owning matrix; only call when no task is
+    /// running.
+    pub fn to_matrix(&self) -> Matrix<S> {
+        Matrix::from_vec(self.n, self.n, self.grid.snapshot())
+    }
+}
+
+/// Reference implementation: the classic iterative Floyd–Warshall triple loop
+/// (`k` outermost), `O(n³)` semiring operations.  Ground truth for every other
+/// variant.
+pub fn fw_reference<S: IdempotentSemiring>(adj: &Matrix<S>) -> Matrix<S> {
+    assert_eq!(
+        adj.rows(),
+        adj.cols(),
+        "Floyd–Warshall needs a square matrix"
+    );
+    let n = adj.rows();
+    let mut d = adj.clone();
+    for k in 0..n {
+        for i in 0..n {
+            let d_ik = d.get(i, k);
+            for j in 0..n {
+                d.set(i, j, d.get(i, j).add(d_ik.mul(d.get(k, j))));
+            }
+        }
+    }
+    d
+}
+
+/// The generalized base kernel: relax every cell of the block `rows × cols`
+/// through every via-vertex `k ∈ via`, `k` outermost:
+///
+/// ```text
+/// D[i][j] ← D[i][j] ⊕ (D[i][k] ⊗ D[k][j])    for k ∈ via, i ∈ rows, j ∈ cols
+/// ```
+///
+/// The `k`-outermost order is what makes the in-place update correct when the
+/// block overlaps row `k` or column `k` of the table (the A/B/C roles of the
+/// recursion); for fully disjoint blocks (the D role) it is simply a blocked
+/// semiring matmul-accumulate.
+pub fn relax<S: IdempotentSemiring, T: Tracker + ?Sized>(
+    table: &FwTable<S>,
+    rows: Range<usize>,
+    cols: Range<usize>,
+    via: Range<usize>,
+    tracker: &mut T,
+    addr: &FwAddr,
+) {
+    let grid = table.grid();
+    for k in via {
+        for i in rows.clone() {
+            tracker.read(addr.dist.addr(i, k));
+            let d_ik = grid.get(i, k);
+            for j in cols.clone() {
+                tracker.read(addr.dist.addr(k, j));
+                tracker.read(addr.dist.addr(i, j));
+                let relaxed = grid.get(i, j).add(d_ik.mul(grid.get(k, j)));
+                grid.set(i, j, relaxed);
+                tracker.write(addr.dist.addr(i, j));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paco_cache_sim::NullTracker;
+    use paco_core::semiring::{BoolSemiring, MinPlus};
+    use paco_core::workload::{random_adjacency, random_digraph};
+
+    #[test]
+    fn reference_on_a_known_instance() {
+        // 0 →(3) 1 →(1) 2, plus a direct 0 →(7) 2 edge: shortest 0→2 is 4.
+        let inf = MinPlus::zero();
+        let one = MinPlus::one();
+        let adj = Matrix::from_vec(
+            3,
+            3,
+            vec![
+                one,
+                MinPlus(3.0),
+                MinPlus(7.0),
+                inf,
+                one,
+                MinPlus(1.0),
+                inf,
+                inf,
+                one,
+            ],
+        );
+        let d = fw_reference(&adj);
+        assert_eq!(d.get(0, 2), MinPlus(4.0));
+        assert_eq!(d.get(0, 1), MinPlus(3.0));
+        assert_eq!(d.get(1, 0), inf);
+        assert_eq!(d.get(2, 2), one);
+    }
+
+    #[test]
+    fn reference_transitive_closure_of_a_cycle() {
+        // A directed 4-cycle reaches everything.
+        let adj = Matrix::from_fn(4, 4, |i, j| BoolSemiring(i == j || (i + 1) % 4 == j));
+        let c = fw_reference(&adj);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(c.get(i, j).0, "{i} must reach {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_range_relax_equals_reference() {
+        let adj = random_digraph(24, 0.25, 20, 1);
+        let table = FwTable::from_matrix(&adj);
+        let addr = FwAddr::new(24);
+        relax(&table, 0..24, 0..24, 0..24, &mut NullTracker, &addr);
+        assert_eq!(table.to_matrix(), fw_reference(&adj));
+    }
+
+    #[test]
+    fn bool_full_range_relax_equals_reference() {
+        let adj = random_adjacency(20, 0.15, 2);
+        let table = FwTable::from_matrix(&adj);
+        let addr = FwAddr::new(20);
+        relax(&table, 0..20, 0..20, 0..20, &mut NullTracker, &addr);
+        assert_eq!(table.to_matrix(), fw_reference(&adj));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_square_input_is_rejected() {
+        let adj: Matrix<MinPlus> = Matrix::filled(2, 3, MinPlus::one());
+        let _ = FwTable::from_matrix(&adj);
+    }
+
+    #[test]
+    fn table_round_trip() {
+        let adj = random_digraph(8, 0.5, 9, 3);
+        let table = FwTable::from_matrix(&adj);
+        assert_eq!(table.n(), 8);
+        assert_eq!(table.to_matrix(), adj);
+    }
+}

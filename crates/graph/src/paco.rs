@@ -1,0 +1,688 @@
+//! Processor-aware cache-oblivious (PACO) Floyd–Warshall.
+//!
+//! The same A/B/C/D recursion as [`crate::seq`], executed with the 1-PIECE
+//! processor-list discipline of the paper (Sect. III-C/III-E, Fig. 6/8):
+//! every recursive call carries an explicit [`ProcList`]; each fork splits the
+//! list `⌊p/2⌋ : ⌈p/2⌉` via [`paco_runtime::fork2`], so the branch whose list
+//! the current worker leads runs inline while its sibling is spawned onto the
+//! sibling list's leader; when the list is a singleton (or the block reaches
+//! the base size), the entire sub-problem runs sequentially on that processor
+//! with the cache-oblivious kernels of [`crate::seq`].  The partitioning —
+//! not a work stealer — decides placement, and it never consults the cache
+//! parameters: processor-aware, cache-oblivious.
+//!
+//! Two entry points share the recursion through a tiny execution engine:
+//!
+//! * [`fw_paco`] — native parallel execution on a [`WorkerPool`].
+//! * [`fw_paco_traced`] — the *identical* recursion (same splits, same
+//!   leaf→processor assignment) replayed sequentially through the ideal
+//!   distributed cache simulator, charging every leaf to the private cache of
+//!   the processor the partitioning assigned it, with a task-boundary flush
+//!   per leaf (the paper's accounting convention).  This is the hook the
+//!   benches use to compare `Q^Σ_p` / `Q^max_p` against the sequential `Q₁`.
+
+use crate::kernel::{FwAddr, FwTable, DEFAULT_BASE};
+use crate::seq::{a_co, b_co, c_co, d_co, halves};
+use paco_cache_sim::{CacheParams, DistCacheSim, NullTracker, SimTracker, Tracker};
+use paco_core::matrix::Matrix;
+use paco_core::proc_list::{ProcId, ProcList};
+use paco_core::semiring::IdempotentSemiring;
+use paco_runtime::{fork2, WorkerPool};
+use parking_lot::Mutex;
+use std::ops::Range;
+
+/// PACO Floyd–Warshall on `pool.p()` processors with the default base size.
+pub fn fw_paco<S: IdempotentSemiring>(adj: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
+    fw_paco_with_base(adj, pool, DEFAULT_BASE)
+}
+
+/// PACO Floyd–Warshall with an explicit base-case side for the partitioning
+/// and the sequential leaf kernels.
+pub fn fw_paco_with_base<S: IdempotentSemiring>(
+    adj: &Matrix<S>,
+    pool: &WorkerPool,
+    base: usize,
+) -> Matrix<S> {
+    assert!(base >= 1);
+    let table = FwTable::from_matrix(adj);
+    let addr = FwAddr::new(table.n());
+    let engine = Engine::Pool(pool);
+    a_paco(
+        &engine,
+        &table,
+        &addr,
+        None,
+        ProcList::all(pool.p()),
+        0..table.n(),
+        base,
+    );
+    table.to_matrix()
+}
+
+/// PACO Floyd–Warshall replayed through the ideal distributed cache simulator:
+/// the same partitioning, the same kernels, but each leaf's accesses are
+/// charged to the private cache of its assigned processor, with a
+/// task-boundary flush before each leaf.
+pub fn fw_paco_traced<S: IdempotentSemiring>(
+    adj: &Matrix<S>,
+    p: usize,
+    base: usize,
+    params: CacheParams,
+) -> (Matrix<S>, DistCacheSim) {
+    assert!(base >= 1);
+    let table = FwTable::from_matrix(adj);
+    let addr = FwAddr::new(table.n());
+    let engine = Engine::Replay(Mutex::new(SimTracker::new(p, params)));
+    a_paco(
+        &engine,
+        &table,
+        &addr,
+        None,
+        ProcList::all(p),
+        0..table.n(),
+        base,
+    );
+    let sim = match engine {
+        Engine::Replay(tracker) => tracker.into_inner().into_sim(),
+        Engine::Pool(_) => unreachable!("engine was constructed as Replay"),
+    };
+    (table.to_matrix(), sim)
+}
+
+/// How the shared recursion executes forks and leaves: natively on a worker
+/// pool, or as a sequential replay through the cache simulator.  Keeping one
+/// recursion for both guarantees the traced leaf→processor assignment is
+/// exactly the one the native run uses.
+enum Engine<'a> {
+    /// Native execution: forks via [`fork2`], leaves run (or are spawned)
+    /// with the zero-cost [`NullTracker`].
+    Pool(&'a WorkerPool),
+    /// Sequential replay: forks run their branches in order, leaves are
+    /// charged to their assigned processor's simulated private cache.
+    Replay(Mutex<SimTracker>),
+}
+
+/// A pending leaf: which of the four roles to run on which block.
+///
+/// Carrying the call as data (rather than a boxed `FnOnce(&mut dyn Tracker)`)
+/// lets [`Engine::leaf`] invoke the hot kernels with a *concrete* tracker
+/// type on both paths — `NullTracker` natively (fully monomorphized, the
+/// per-cell tracker hooks compile away exactly as in `fw_seq`/`fw_po`) and
+/// `SimTracker` in the replay — instead of paying virtual dispatch per cell.
+enum LeafCall {
+    /// Diagonal self-closure of `r × r`.
+    A { r: Range<usize> },
+    /// Row-aligned closure of `v × cols`.
+    B { v: Range<usize>, cols: Range<usize> },
+    /// Column-aligned closure of `rows × v`.
+    C { v: Range<usize>, rows: Range<usize> },
+    /// Disjoint accumulate `rows × cols ⊕= (rows × via) ⊗ (via × cols)`.
+    D {
+        rows: Range<usize>,
+        cols: Range<usize>,
+        via: Range<usize>,
+    },
+}
+
+impl LeafCall {
+    /// Run the call sequentially with the cache-oblivious kernels of
+    /// [`crate::seq`].
+    fn run<S: IdempotentSemiring, T: Tracker + ?Sized>(
+        self,
+        table: &FwTable<S>,
+        base: usize,
+        tracker: &mut T,
+        addr: &FwAddr,
+    ) {
+        match self {
+            LeafCall::A { r } => a_co(table, r, base, tracker, addr),
+            LeafCall::B { v, cols } => b_co(table, v, cols, base, tracker, addr),
+            LeafCall::C { v, rows } => c_co(table, v, rows, base, tracker, addr),
+            LeafCall::D { rows, cols, via } => d_co(table, rows, cols, via, base, tracker, addr),
+        }
+    }
+}
+
+impl Engine<'_> {
+    /// Run two independent branches, each on its half of the processor list.
+    fn fork<F1, F2>(&self, cur: Option<ProcId>, p1: ProcList, f1: F1, p2: ProcList, f2: F2)
+    where
+        F1: FnOnce(Option<ProcId>) + Send,
+        F2: FnOnce(Option<ProcId>) + Send,
+    {
+        match self {
+            Engine::Pool(pool) => fork2(pool, cur, p1, f1, p2, f2),
+            Engine::Replay(_) => {
+                f1(Some(p1.first()));
+                f2(Some(p2.first()));
+            }
+        }
+    }
+
+    /// Execute a sequential leaf on processor `proc`.
+    fn leaf<S: IdempotentSemiring>(
+        &self,
+        table: &FwTable<S>,
+        addr: &FwAddr,
+        base: usize,
+        cur: Option<ProcId>,
+        proc: ProcId,
+        call: LeafCall,
+    ) {
+        match self {
+            Engine::Pool(pool) => {
+                if cur == Some(proc) {
+                    call.run(table, base, &mut NullTracker, addr);
+                } else {
+                    pool.scope(|s| {
+                        s.spawn_on(proc, move || call.run(table, base, &mut NullTracker, addr))
+                    });
+                }
+            }
+            Engine::Replay(tracker) => {
+                let mut t = tracker.lock();
+                t.set_proc(proc);
+                t.task_boundary();
+                call.run(table, base, &mut *t, addr);
+            }
+        }
+    }
+}
+
+/// The A role on a processor list: close the diagonal block `r × r`.
+fn a_paco<S: IdempotentSemiring>(
+    engine: &Engine<'_>,
+    table: &FwTable<S>,
+    addr: &FwAddr,
+    cur: Option<ProcId>,
+    procs: ProcList,
+    r: Range<usize>,
+    base: usize,
+) {
+    if r.is_empty() {
+        return;
+    }
+    if procs.len() == 1 || r.len() <= base {
+        let target = procs.first();
+        engine.leaf(table, addr, base, cur, target, LeafCall::A { r });
+        return;
+    }
+    let (r1, r2) = halves(&r);
+    let (p1, p2) = procs.split_even();
+    // Phase 1: via ∈ r1.  B and C write disjoint off-diagonal blocks.
+    a_paco(engine, table, addr, cur, procs, r1.clone(), base);
+    engine.fork(
+        cur,
+        p1,
+        |c| b_paco(engine, table, addr, c, p1, r1.clone(), r2.clone(), base),
+        p2,
+        |c| c_paco(engine, table, addr, c, p2, r1.clone(), r2.clone(), base),
+    );
+    d_paco(
+        engine,
+        table,
+        addr,
+        cur,
+        procs,
+        r2.clone(),
+        r2.clone(),
+        r1.clone(),
+        base,
+    );
+    // Phase 2: via ∈ r2.
+    a_paco(engine, table, addr, cur, procs, r2.clone(), base);
+    engine.fork(
+        cur,
+        p1,
+        |c| b_paco(engine, table, addr, c, p1, r2.clone(), r1.clone(), base),
+        p2,
+        |c| c_paco(engine, table, addr, c, p2, r2.clone(), r1.clone(), base),
+    );
+    d_paco(engine, table, addr, cur, procs, r1.clone(), r1, r2, base);
+}
+
+/// The B role on a processor list: close the row-aligned block `v × cols`.
+#[allow(clippy::too_many_arguments)] // mirrors the recursion's pseudo-code signature
+fn b_paco<S: IdempotentSemiring>(
+    engine: &Engine<'_>,
+    table: &FwTable<S>,
+    addr: &FwAddr,
+    cur: Option<ProcId>,
+    procs: ProcList,
+    v: Range<usize>,
+    cols: Range<usize>,
+    base: usize,
+) {
+    if v.is_empty() || cols.is_empty() {
+        return;
+    }
+    if procs.len() == 1 || (v.len() <= base && cols.len() <= base) {
+        let target = procs.first();
+        engine.leaf(table, addr, base, cur, target, LeafCall::B { v, cols });
+        return;
+    }
+    if v.len() <= base {
+        let (c1, c2) = halves(&cols);
+        let (p1, p2) = procs.split_even();
+        engine.fork(
+            cur,
+            p1,
+            |c| b_paco(engine, table, addr, c, p1, v.clone(), c1, base),
+            p2,
+            |c| b_paco(engine, table, addr, c, p2, v.clone(), c2, base),
+        );
+        return;
+    }
+    let (v1, v2) = halves(&v);
+    if cols.len() <= base {
+        b_paco(
+            engine,
+            table,
+            addr,
+            cur,
+            procs,
+            v1.clone(),
+            cols.clone(),
+            base,
+        );
+        d_paco(
+            engine,
+            table,
+            addr,
+            cur,
+            procs,
+            v2.clone(),
+            cols.clone(),
+            v1.clone(),
+            base,
+        );
+        b_paco(
+            engine,
+            table,
+            addr,
+            cur,
+            procs,
+            v2.clone(),
+            cols.clone(),
+            base,
+        );
+        d_paco(engine, table, addr, cur, procs, v1, cols, v2, base);
+        return;
+    }
+    let (c1, c2) = halves(&cols);
+    let (p1, p2) = procs.split_even();
+    // Phase 1: via ∈ v1.
+    engine.fork(
+        cur,
+        p1,
+        |c| b_paco(engine, table, addr, c, p1, v1.clone(), c1.clone(), base),
+        p2,
+        |c| b_paco(engine, table, addr, c, p2, v1.clone(), c2.clone(), base),
+    );
+    engine.fork(
+        cur,
+        p1,
+        |c| {
+            d_paco(
+                engine,
+                table,
+                addr,
+                c,
+                p1,
+                v2.clone(),
+                c1.clone(),
+                v1.clone(),
+                base,
+            )
+        },
+        p2,
+        |c| {
+            d_paco(
+                engine,
+                table,
+                addr,
+                c,
+                p2,
+                v2.clone(),
+                c2.clone(),
+                v1.clone(),
+                base,
+            )
+        },
+    );
+    // Phase 2: via ∈ v2.
+    engine.fork(
+        cur,
+        p1,
+        |c| b_paco(engine, table, addr, c, p1, v2.clone(), c1.clone(), base),
+        p2,
+        |c| b_paco(engine, table, addr, c, p2, v2.clone(), c2.clone(), base),
+    );
+    engine.fork(
+        cur,
+        p1,
+        |c| d_paco(engine, table, addr, c, p1, v1.clone(), c1, v2.clone(), base),
+        p2,
+        |c| d_paco(engine, table, addr, c, p2, v1.clone(), c2, v2.clone(), base),
+    );
+}
+
+/// The C role on a processor list: close the column-aligned block `rows × v`.
+#[allow(clippy::too_many_arguments)] // mirrors the recursion's pseudo-code signature
+fn c_paco<S: IdempotentSemiring>(
+    engine: &Engine<'_>,
+    table: &FwTable<S>,
+    addr: &FwAddr,
+    cur: Option<ProcId>,
+    procs: ProcList,
+    v: Range<usize>,
+    rows: Range<usize>,
+    base: usize,
+) {
+    if v.is_empty() || rows.is_empty() {
+        return;
+    }
+    if procs.len() == 1 || (v.len() <= base && rows.len() <= base) {
+        let target = procs.first();
+        engine.leaf(table, addr, base, cur, target, LeafCall::C { v, rows });
+        return;
+    }
+    if v.len() <= base {
+        let (r1, r2) = halves(&rows);
+        let (p1, p2) = procs.split_even();
+        engine.fork(
+            cur,
+            p1,
+            |c| c_paco(engine, table, addr, c, p1, v.clone(), r1, base),
+            p2,
+            |c| c_paco(engine, table, addr, c, p2, v.clone(), r2, base),
+        );
+        return;
+    }
+    let (v1, v2) = halves(&v);
+    if rows.len() <= base {
+        c_paco(
+            engine,
+            table,
+            addr,
+            cur,
+            procs,
+            v1.clone(),
+            rows.clone(),
+            base,
+        );
+        d_paco(
+            engine,
+            table,
+            addr,
+            cur,
+            procs,
+            rows.clone(),
+            v2.clone(),
+            v1.clone(),
+            base,
+        );
+        c_paco(
+            engine,
+            table,
+            addr,
+            cur,
+            procs,
+            v2.clone(),
+            rows.clone(),
+            base,
+        );
+        d_paco(engine, table, addr, cur, procs, rows, v1, v2, base);
+        return;
+    }
+    let (r1, r2) = halves(&rows);
+    let (p1, p2) = procs.split_even();
+    // Phase 1: via ∈ v1.
+    engine.fork(
+        cur,
+        p1,
+        |c| c_paco(engine, table, addr, c, p1, v1.clone(), r1.clone(), base),
+        p2,
+        |c| c_paco(engine, table, addr, c, p2, v1.clone(), r2.clone(), base),
+    );
+    engine.fork(
+        cur,
+        p1,
+        |c| {
+            d_paco(
+                engine,
+                table,
+                addr,
+                c,
+                p1,
+                r1.clone(),
+                v2.clone(),
+                v1.clone(),
+                base,
+            )
+        },
+        p2,
+        |c| {
+            d_paco(
+                engine,
+                table,
+                addr,
+                c,
+                p2,
+                r2.clone(),
+                v2.clone(),
+                v1.clone(),
+                base,
+            )
+        },
+    );
+    // Phase 2: via ∈ v2.
+    engine.fork(
+        cur,
+        p1,
+        |c| c_paco(engine, table, addr, c, p1, v2.clone(), r1.clone(), base),
+        p2,
+        |c| c_paco(engine, table, addr, c, p2, v2.clone(), r2.clone(), base),
+    );
+    engine.fork(
+        cur,
+        p1,
+        |c| d_paco(engine, table, addr, c, p1, r1, v1.clone(), v2.clone(), base),
+        p2,
+        |c| d_paco(engine, table, addr, c, p2, r2, v1.clone(), v2.clone(), base),
+    );
+}
+
+/// The D role on a processor list: disjoint accumulate, split on the longest
+/// dimension (row/column cuts fork; via cuts stay ordered).
+#[allow(clippy::too_many_arguments)] // mirrors the recursion's pseudo-code signature
+fn d_paco<S: IdempotentSemiring>(
+    engine: &Engine<'_>,
+    table: &FwTable<S>,
+    addr: &FwAddr,
+    cur: Option<ProcId>,
+    procs: ProcList,
+    rows: Range<usize>,
+    cols: Range<usize>,
+    via: Range<usize>,
+    base: usize,
+) {
+    if rows.is_empty() || cols.is_empty() || via.is_empty() {
+        return;
+    }
+    if procs.len() == 1 || (rows.len() <= base && cols.len() <= base && via.len() <= base) {
+        let target = procs.first();
+        engine.leaf(
+            table,
+            addr,
+            base,
+            cur,
+            target,
+            LeafCall::D { rows, cols, via },
+        );
+        return;
+    }
+    if rows.len() >= cols.len() && rows.len() >= via.len() {
+        let (r1, r2) = halves(&rows);
+        let (p1, p2) = procs.split_even();
+        engine.fork(
+            cur,
+            p1,
+            |c| {
+                d_paco(
+                    engine,
+                    table,
+                    addr,
+                    c,
+                    p1,
+                    r1,
+                    cols.clone(),
+                    via.clone(),
+                    base,
+                )
+            },
+            p2,
+            |c| {
+                d_paco(
+                    engine,
+                    table,
+                    addr,
+                    c,
+                    p2,
+                    r2,
+                    cols.clone(),
+                    via.clone(),
+                    base,
+                )
+            },
+        );
+    } else if cols.len() >= via.len() {
+        let (c1, c2) = halves(&cols);
+        let (p1, p2) = procs.split_even();
+        engine.fork(
+            cur,
+            p1,
+            |c| {
+                d_paco(
+                    engine,
+                    table,
+                    addr,
+                    c,
+                    p1,
+                    rows.clone(),
+                    c1,
+                    via.clone(),
+                    base,
+                )
+            },
+            p2,
+            |c| {
+                d_paco(
+                    engine,
+                    table,
+                    addr,
+                    c,
+                    p2,
+                    rows.clone(),
+                    c2,
+                    via.clone(),
+                    base,
+                )
+            },
+        );
+    } else {
+        // A via cut accumulates into the same cells: the halves stay ordered.
+        let (v1, v2) = halves(&via);
+        d_paco(
+            engine,
+            table,
+            addr,
+            cur,
+            procs,
+            rows.clone(),
+            cols.clone(),
+            v1,
+            base,
+        );
+        d_paco(engine, table, addr, cur, procs, rows, cols, v2, base);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::fw_reference;
+    use crate::seq::fw_seq_traced;
+    use paco_core::workload::{random_adjacency, random_digraph};
+
+    #[test]
+    fn matches_reference_for_various_p_and_sizes() {
+        for &(n, base) in &[(16usize, 4usize), (65, 8), (100, 16), (128, 32)] {
+            let adj = random_digraph(n, 0.2, 60, 3 * n as u64);
+            let expect = fw_reference(&adj);
+            for p in [1usize, 2, 3, 5, 7] {
+                let pool = WorkerPool::new(p);
+                assert_eq!(
+                    fw_paco_with_base(&adj, &pool, base),
+                    expect,
+                    "n={n} base={base} p={p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bool_transitive_closure_matches_reference() {
+        let adj = random_adjacency(96, 0.06, 21);
+        let expect = fw_reference(&adj);
+        for p in [2usize, 4, 6] {
+            let pool = WorkerPool::new(p);
+            assert_eq!(fw_paco_with_base(&adj, &pool, 16), expect, "p={p}");
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adj: Matrix<paco_core::semiring::MinPlus> =
+            Matrix::from_fn(0, 0, |_, _| unreachable!());
+        let pool = WorkerPool::new(3);
+        assert_eq!(fw_paco(&adj, &pool).rows(), 0);
+    }
+
+    #[test]
+    fn traced_matches_native_and_balances_misses() {
+        let n = 128;
+        let adj = random_digraph(n, 0.2, 40, 9);
+        let expect = fw_reference(&adj);
+        let params = CacheParams::new(1024, 8);
+        for p in [2usize, 3, 5] {
+            let (closed, sim) = fw_paco_traced(&adj, p, 16, params);
+            assert_eq!(closed, expect, "p={p}");
+            assert!(sim.q_sum() > 0);
+            // Every processor the partitioning used must have been charged.
+            assert!(sim.q_max() > 0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn overall_misses_stay_close_to_sequential_optimum() {
+        // Q^Σ_p of PACO should stay within a modest factor of Q₁, far from p·Q₁.
+        let n = 128;
+        let adj = random_digraph(n, 0.25, 30, 17);
+        let params = CacheParams::new(2048, 8);
+        let (_, seq) = fw_seq_traced(&adj, 16, params);
+        let q1 = seq.q_sum() as f64;
+        let p = 4;
+        let (_, par) = fw_paco_traced(&adj, p, 16, params);
+        let qp = par.q_sum() as f64;
+        assert!(
+            qp >= 0.9 * q1,
+            "parallel total misses cannot beat Q1 by much"
+        );
+        assert!(
+            qp < 3.0 * q1,
+            "Q^Σ_p = {qp} should stay well below p·Q₁ = {}",
+            p as f64 * q1
+        );
+    }
+}

@@ -101,7 +101,12 @@ mod tests {
 
     #[test]
     fn parallel_matches_reference() {
-        for &(n, m, k) in &[(1usize, 1usize, 1usize), (40, 70, 30), (96, 96, 96), (130, 33, 257)] {
+        for &(n, m, k) in &[
+            (1usize, 1usize, 1usize),
+            (40, 70, 30),
+            (96, 96, 96),
+            (130, 33, 257),
+        ] {
             let a = random_matrix_f64(n, k, 3);
             let b = random_matrix_f64(k, m, 4);
             let expect = mm_reference(&a, &b);

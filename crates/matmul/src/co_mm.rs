@@ -96,7 +96,12 @@ mod tests {
 
     #[test]
     fn matches_reference_on_rectangular_exact_ring() {
-        for &(n, m, k) in &[(3usize, 70usize, 9usize), (128, 1, 17), (33, 65, 129), (5, 5, 200)] {
+        for &(n, m, k) in &[
+            (3usize, 70usize, 9usize),
+            (128, 1, 17),
+            (33, 65, 129),
+            (5, 5, 200),
+        ] {
             let a = random_matrix_wrapping(n, k, 7);
             let b = random_matrix_wrapping(k, m, 8);
             let expect = mm_reference(&a, &b);

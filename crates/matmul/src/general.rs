@@ -150,10 +150,8 @@ pub fn paco_mm_general_with_base<S: Semiring>(
             for (proc, cuboids) in assignment.per_proc.iter().enumerate() {
                 for &cuboid in cuboids {
                     s.spawn_on(proc, move || {
-                        let a_block =
-                            av.submatrix(cuboid.i0, cuboid.k0, cuboid.rows, cuboid.depth);
-                        let b_block =
-                            bv.submatrix(cuboid.k0, cuboid.j0, cuboid.depth, cuboid.cols);
+                        let a_block = av.submatrix(cuboid.i0, cuboid.k0, cuboid.rows, cuboid.depth);
+                        let b_block = bv.submatrix(cuboid.k0, cuboid.j0, cuboid.depth, cuboid.cols);
                         let mut tmp: Matrix<S> = Matrix::zeros(cuboid.rows, cuboid.cols);
                         co_mm_with_cutoff(tmp.as_mut(), a_block, b_block, MM_BASE);
                         partials_ref[proc].lock().push((cuboid, tmp));
@@ -166,10 +164,7 @@ pub fn paco_mm_general_with_base<S: Semiring>(
     // ---- Phase 3: reduce the partial products into C.  The output rows are
     // partitioned over the processors; each worker folds in every partial that
     // intersects its row band, so no two workers touch the same output cell.
-    let all_partials: Vec<Partial<S>> = partials
-        .into_iter()
-        .flat_map(|m| m.into_inner())
-        .collect();
+    let all_partials: Vec<Partial<S>> = partials.into_iter().flat_map(|m| m.into_inner()).collect();
     {
         let all_ref = &all_partials;
         let p = pool.p();
@@ -194,11 +189,7 @@ pub fn paco_mm_general_with_base<S: Semiring>(
                         for i in c_lo..c_hi {
                             for j in 0..cuboid.cols {
                                 let cur = band.at(i - lo, cuboid.j0 + j);
-                                band.set(
-                                    i - lo,
-                                    cuboid.j0 + j,
-                                    cur.add(tmp.get(i - cuboid.i0, j)),
-                                );
+                                band.set(i - lo, cuboid.j0 + j, cur.add(tmp.get(i - cuboid.i0, j)));
                             }
                         }
                     }
@@ -222,7 +213,11 @@ mod tests {
         let expect = mm_reference(&a, &b);
         for p in [1usize, 2, 3, 5, 7, 8] {
             let pool = WorkerPool::new(p);
-            assert_eq!(expect, paco_mm_general_with_base(&a, &b, &pool, 16), "p={p}");
+            assert_eq!(
+                expect,
+                paco_mm_general_with_base(&a, &b, &pool, 16),
+                "p={p}"
+            );
         }
     }
 
@@ -235,7 +230,11 @@ mod tests {
         let expect = mm_reference(&a, &b);
         let pool = WorkerPool::new(6);
         let got = paco_mm_general_with_base(&a, &b, &pool, 32);
-        assert!(expect.approx_eq(&got, 1e-9), "max diff {}", expect.max_abs_diff(&got));
+        assert!(
+            expect.approx_eq(&got, 1e-9),
+            "max diff {}",
+            expect.max_abs_diff(&got)
+        );
     }
 
     #[test]
@@ -244,7 +243,11 @@ mod tests {
             let plan = plan_paco_mm_general(512, 512, 512, p, 32);
             let report = plan.report();
             assert!((report.total_work - 512f64.powi(3)).abs() < 1e-3, "p={p}");
-            assert!(report.work_imbalance < 1.3, "p={p}: {}", report.work_imbalance);
+            assert!(
+                report.work_imbalance < 1.3,
+                "p={p}: {}",
+                report.work_imbalance
+            );
             assert!(report.geometric_decrease, "p={p}");
             // Every processor receives at least one cuboid once p leaves exist.
             assert!(plan.per_proc.iter().all(|v| !v.is_empty()), "p={p}");
@@ -268,7 +271,10 @@ mod tests {
                 }
             }
         }
-        assert!(covered.iter().all(|&x| x == 1), "iteration space fully covered");
+        assert!(
+            covered.iter().all(|&x| x == 1),
+            "iteration space fully covered"
+        );
     }
 
     #[test]

@@ -95,8 +95,12 @@ mod tests {
         let throttle = ThrottleSpec::from_spec(&spec);
         let pool = WorkerPool::new(4);
 
-        let t_aware = min_time_of(3, || std::hint::black_box(hetero_mm(&a, &b, &pool, &throttle)));
-        let t_unaware = min_time_of(3, || std::hint::black_box(unaware_mm(&a, &b, &pool, &throttle)));
+        let t_aware = min_time_of(3, || {
+            std::hint::black_box(hetero_mm(&a, &b, &pool, &throttle))
+        });
+        let t_unaware = min_time_of(3, || {
+            std::hint::black_box(unaware_mm(&a, &b, &pool, &throttle))
+        });
         assert!(
             t_unaware > 1.15 * t_aware,
             "aware {t_aware:.4}s should beat unaware {t_unaware:.4}s clearly"

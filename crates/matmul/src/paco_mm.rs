@@ -157,15 +157,7 @@ pub fn paco_mm_1piece_with<S: Semiring>(
     }
     let mut c = Matrix::zeros(a.rows(), b.cols());
     let procs = ProcList::all(pool.p());
-    recurse(
-        pool,
-        None,
-        procs,
-        c.as_mut(),
-        a.as_ref(),
-        b.as_ref(),
-        cfg,
-    );
+    recurse(pool, None, procs, c.as_mut(), a.as_ref(), b.as_ref(), cfg);
     c
 }
 
@@ -341,7 +333,12 @@ mod tests {
 
     #[test]
     fn matches_reference_f64_tall_and_wide() {
-        for &(n, m, k) in &[(200usize, 40usize, 40usize), (40, 200, 40), (40, 40, 260), (128, 128, 128)] {
+        for &(n, m, k) in &[
+            (200usize, 40usize, 40usize),
+            (40, 200, 40),
+            (40, 40, 260),
+            (128, 128, 128),
+        ] {
             let a = random_matrix_f64(n, k, 11);
             let b = random_matrix_f64(k, m, 12);
             let expect = mm_reference(&a, &b);
@@ -361,7 +358,10 @@ mod tests {
         let b_big = random_matrix_wrapping(big_k, 16, 6);
         let pool = WorkerPool::new(6);
         assert_eq!(mm_reference(&a, &b), paco_mm_1piece(&a, &b, &pool));
-        assert_eq!(mm_reference(&a_big, &b_big), paco_mm_1piece(&a_big, &b_big, &pool));
+        assert_eq!(
+            mm_reference(&a_big, &b_big),
+            paco_mm_1piece(&a_big, &b_big, &pool)
+        );
     }
 
     #[test]

@@ -76,7 +76,10 @@ mod tests {
         for &n in &[1usize, 31, 64, 100, 200] {
             let a = random_matrix_f64(n, n, 2 * n as u64);
             let b = random_matrix_f64(n, n, 2 * n as u64 + 1);
-            assert!(mm_reference(&a, &b).approx_eq(&co2_mm(&a, &b), 1e-9), "n={n}");
+            assert!(
+                mm_reference(&a, &b).approx_eq(&co2_mm(&a, &b), 1e-9),
+                "n={n}"
+            );
         }
     }
 

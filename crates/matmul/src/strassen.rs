@@ -402,7 +402,11 @@ mod tests {
         let b = random_matrix_f64(n, n, 2);
         let expect = mm_reference(&a, &b);
         let got = strassen_sequential_with_cutoff(&a, &b, 16);
-        assert!(expect.approx_eq(&got, 1e-9), "max diff {}", expect.max_abs_diff(&got));
+        assert!(
+            expect.approx_eq(&got, 1e-9),
+            "max diff {}",
+            expect.max_abs_diff(&got)
+        );
     }
 
     #[test]
@@ -450,14 +454,22 @@ mod tests {
             let a = random_matrix_wrapping(n, n, 11);
             let b = random_matrix_wrapping(n, n, 12);
             let expect = mm_reference(&a, &b);
-            assert_eq!(expect, strassen_sequential_with_cutoff(&a, &b, 16), "seq n={n}");
+            assert_eq!(
+                expect,
+                strassen_sequential_with_cutoff(&a, &b, 16),
+                "seq n={n}"
+            );
             let pool = WorkerPool::new(3);
             let opts = StrassenOptions {
                 cutoff: 16,
                 parallel_base: 32,
                 gamma: None,
             };
-            assert_eq!(expect, strassen_paco_with(&a, &b, &pool, opts), "paco n={n}");
+            assert_eq!(
+                expect,
+                strassen_paco_with(&a, &b, &pool, opts),
+                "paco n={n}"
+            );
         }
     }
 
@@ -469,6 +481,10 @@ mod tests {
         let expect = mm_reference(&a, &b);
         let pool = WorkerPool::new(4);
         let got = strassen_paco(&a, &b, &pool);
-        assert!(expect.approx_eq(&got, 1e-8), "max diff {}", expect.max_abs_diff(&got));
+        assert!(
+            expect.approx_eq(&got, 1e-8),
+            "max diff {}",
+            expect.max_abs_diff(&got)
+        );
     }
 }

@@ -112,7 +112,11 @@ impl<N: DcNode> Assignment<N> {
             p,
             total_work,
             max_work,
-            work_imbalance: if mean_work > 0.0 { max_work / mean_work } else { 1.0 },
+            work_imbalance: if mean_work > 0.0 {
+                max_work / mean_work
+            } else {
+                1.0
+            },
             total_surface,
             max_surface,
             max_nodes_per_proc: max_nodes,
@@ -376,11 +380,9 @@ mod tests {
         let unlimited_max = unlimited.report().max_nodes_per_proc;
         let limited_max = limited.report().max_nodes_per_proc;
         assert!(limited_max <= unlimited_max);
-        assert!(limited.super_rounds <= 3); // γ rounds + the final flush
-        // Work is still conserved.
-        assert!(
-            (limited.report().total_work - unlimited.report().total_work).abs() < 1e-6
-        );
+        // γ rounds + the final flush; work is still conserved.
+        assert!(limited.super_rounds <= 3);
+        assert!((limited.report().total_work - unlimited.report().total_work).abs() < 1e-6);
         // With γ = 8 the imbalance is below 1% as the paper notes.
         let g8 = pruned_bfs_with_gamma(node(2.0f64.powi(20), 2), p, 8);
         assert!(g8.report().work_imbalance < 1.01);

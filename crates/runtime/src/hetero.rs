@@ -30,11 +30,7 @@ impl ThrottleSpec {
     /// runs its leaf kernel once; a core with half its throughput runs it
     /// twice, etc. (rounded to the nearest integer, minimum 1).
     pub fn from_spec(spec: &HeteroSpec) -> Self {
-        let max = spec
-            .ratios()
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max);
+        let max = spec.ratios().iter().cloned().fold(f64::MIN, f64::max);
         let repeats = spec
             .ratios()
             .iter()
@@ -116,11 +112,15 @@ pub fn hetero_pruned_bfs<N: DcNode>(root: N, spec: &HeteroSpec) -> Assignment<N>
         for node in frontier {
             let frac = node.work() / total_work;
             // Index of the processor with the largest remaining fraction.
-            let (best_proc, best_remaining) = remaining
-                .iter()
-                .cloned()
-                .enumerate()
-                .fold((0usize, f64::MIN), |acc, (i, r)| if r > acc.1 { (i, r) } else { acc });
+            let (best_proc, best_remaining) =
+                remaining
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .fold(
+                        (0usize, f64::MIN),
+                        |acc, (i, r)| if r > acc.1 { (i, r) } else { acc },
+                    );
             if frac <= best_remaining + EPS {
                 remaining[best_proc] -= frac;
                 per_proc[best_proc].push(node);
@@ -138,7 +138,10 @@ pub fn hetero_pruned_bfs<N: DcNode>(root: N, spec: &HeteroSpec) -> Assignment<N>
 
         // Divide what is left one more level.
         levels += 1;
-        assert!(levels <= 64, "hetero pruned BFS expanded more than 64 levels");
+        assert!(
+            levels <= 64,
+            "hetero pruned BFS expanded more than 64 levels"
+        );
         let mut next = Vec::with_capacity(still_unassigned.len() * 2);
         for node in still_unassigned {
             if node.is_base() {

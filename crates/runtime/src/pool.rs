@@ -90,6 +90,14 @@ impl WorkerPool {
     ///
     /// If any task panicked, the panic is re-thrown here (after all tasks have
     /// finished, so no task is left running with dangling borrows).
+    ///
+    /// The join is unconditional: even when the scope closure itself unwinds
+    /// after queueing borrowed jobs, `scope` waits for every spawned task
+    /// before propagating the panic — the same guarantee as
+    /// `std::thread::scope`.  Without the wait, a worker could still be
+    /// running a closure that borrows from the frame being unwound.  When both
+    /// the scope closure and a task panic, the closure's payload wins and the
+    /// task's is dropped.
     pub fn scope<'env, F, R>(&self, f: F) -> R
     where
         F: FnOnce(&PoolScope<'_, 'env>) -> R,
@@ -99,10 +107,15 @@ impl WorkerPool {
             state: Arc::new(ScopeState::default()),
             _marker: std::marker::PhantomData,
         };
-        let result = f(&scope);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
         scope.wait();
-        scope.rethrow_if_panicked();
-        result
+        match result {
+            Ok(r) => {
+                scope.rethrow_if_panicked();
+                r
+            }
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 
     /// Run `f(proc)` on every worker concurrently and wait for completion.
@@ -178,7 +191,10 @@ pub fn fork2<F1, F2>(
     F1: FnOnce(Option<ProcId>) + Send,
     F2: FnOnce(Option<ProcId>) + Send,
 {
-    assert!(!p1.is_empty() && !p2.is_empty(), "fork2 needs two non-empty lists");
+    assert!(
+        !p1.is_empty() && !p2.is_empty(),
+        "fork2 needs two non-empty lists"
+    );
     match cur {
         None => {
             pool.scope(|s| {
@@ -250,9 +266,8 @@ impl<'pool, 'env> PoolScope<'pool, 'env> {
         // SAFETY: `scope()` joins every spawned task (wait()) before returning,
         // so the closure — and everything it borrows from 'env — outlives its
         // execution.  This is the standard scoped-pool lifetime erasure.
-        let static_job: StaticJob = unsafe {
-            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, StaticJob>(wrapped)
-        };
+        let static_job: StaticJob =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, StaticJob>(wrapped) };
         self.pool.senders[proc]
             .send(Message::Job(static_job))
             .expect("worker thread terminated unexpectedly");
@@ -396,6 +411,70 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "scope closure dies")]
+    fn scope_closure_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        pool.scope(|s| {
+            s.spawn_on(0, || {});
+            panic!("scope closure dies");
+        });
+    }
+
+    #[test]
+    fn scope_closure_panic_still_joins_borrowed_jobs() {
+        // Regression test for the panic-unsafety fixed in `scope`: if the
+        // scope closure unwinds after queueing jobs that borrow the enclosing
+        // stack, the scope must still join them before propagating the panic —
+        // otherwise a worker races with the unwinding frame (UB).  Observable
+        // contract: by the time the panic escapes `scope`, every queued job
+        // has finished writing through its borrow.
+        let pool = WorkerPool::new(2);
+        let hits = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let hits = &hits;
+                for proc in 0..2 {
+                    s.spawn_on(proc, move || {
+                        // Give the closure time to unwind first.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                panic!("unwind with queued borrowed jobs");
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            2,
+            "all borrowed jobs must be joined before the scope unwinds"
+        );
+        // The pool must still be usable afterwards.
+        let ok = AtomicUsize::new(0);
+        pool.scope(|s| {
+            let ok = &ok;
+            s.spawn_on(1, move || {
+                ok.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn scope_closure_panic_wins_over_task_panic() {
+        let pool = WorkerPool::new(1);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn_on(0, || panic!("task payload"));
+                panic!("closure payload");
+            });
+        }));
+        let payload = result.expect_err("scope must panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "closure payload");
+    }
+
+    #[test]
     fn fork2_from_outside_the_pool_runs_both_branches() {
         use paco_core::proc_list::ProcList;
         let pool = WorkerPool::new(4);
@@ -451,7 +530,11 @@ mod tests {
 
         recurse(&pool, None, ProcList::all(5), &hits);
         for (proc, h) in hits.iter().enumerate() {
-            assert_eq!(h.load(Ordering::SeqCst), 1, "processor {proc} ran its leaf exactly once");
+            assert_eq!(
+                h.load(Ordering::SeqCst),
+                1,
+                "processor {proc} ran its leaf exactly once"
+            );
         }
     }
 

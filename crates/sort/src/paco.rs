@@ -64,9 +64,7 @@ pub fn paco_sort_with_oversampling<T: SortKey>(data: &mut [T], pool: &WorkerPool
 
     // ---- Step 2: every processor partitions its chunk; produces, per chunk,
     // the keys grouped by destination plus the count vector N[i][*].
-    let chunk_bounds: Vec<(usize, usize)> = (0..p)
-        .map(|i| (i * n / p, (i + 1) * n / p))
-        .collect();
+    let chunk_bounds: Vec<(usize, usize)> = (0..p).map(|i| (i * n / p, (i + 1) * n / p)).collect();
     let mut grouped: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::new()).collect();
     {
         let pivots = &pivots;
@@ -75,7 +73,8 @@ pub fn paco_sort_with_oversampling<T: SortKey>(data: &mut [T], pool: &WorkerPool
             for (i, slot) in grouped.iter_mut().enumerate() {
                 let (lo, hi) = chunk_bounds[i];
                 s.spawn_on(i, move || {
-                    let mut buckets: Vec<Vec<T>> = (0..pivots.len() + 1).map(|_| Vec::new()).collect();
+                    let mut buckets: Vec<Vec<T>> =
+                        (0..pivots.len() + 1).map(|_| Vec::new()).collect();
                     for x in &data_ref[lo..hi] {
                         buckets[bucket_of(x, pivots)].push(*x);
                     }

@@ -69,24 +69,27 @@ pub fn po_sample_sort<T: SortKey>(data: &mut [T]) {
     let mut scratch: Vec<T> = data.to_vec();
     {
         let scratch_ptr = SendPtr(scratch.as_mut_ptr());
-        data.par_chunks(block_size).enumerate().for_each(|(blk, chunk)| {
-            // Rebind so the closure captures the whole `SendPtr` (which is
-            // Sync) rather than disjointly borrowing its raw-pointer field.
-            #[allow(clippy::redundant_locals)]
-            let scratch_ptr = scratch_ptr;
-            let mut cursors: Vec<usize> = (0..buckets).map(|b| offsets[b * nblocks + blk]).collect();
-            for x in chunk {
-                let b = bucket_of(x, &pivots);
-                // SAFETY: cursor (b, blk) walks the half-open range
-                // [offsets[b*nblocks+blk], offsets[b*nblocks+blk+1]) which is
-                // disjoint from every other block's ranges, so no two rayon
-                // tasks ever write the same scratch slot.
-                unsafe {
-                    *scratch_ptr.0.add(cursors[b]) = *x;
+        data.par_chunks(block_size)
+            .enumerate()
+            .for_each(|(blk, chunk)| {
+                // Rebind so the closure captures the whole `SendPtr` (which is
+                // Sync) rather than disjointly borrowing its raw-pointer field.
+                #[allow(clippy::redundant_locals)]
+                let scratch_ptr = scratch_ptr;
+                let mut cursors: Vec<usize> =
+                    (0..buckets).map(|b| offsets[b * nblocks + blk]).collect();
+                for x in chunk {
+                    let b = bucket_of(x, &pivots);
+                    // SAFETY: cursor (b, blk) walks the half-open range
+                    // [offsets[b*nblocks+blk], offsets[b*nblocks+blk+1]) which is
+                    // disjoint from every other block's ranges, so no two rayon
+                    // tasks ever write the same scratch slot.
+                    unsafe {
+                        *scratch_ptr.0.add(cursors[b]) = *x;
+                    }
+                    cursors[b] += 1;
                 }
-                cursors[b] += 1;
-            }
-        });
+            });
     }
 
     // ---- Bucket boundaries in the scratch buffer, then parallel bucket sorts.
@@ -113,7 +116,9 @@ pub fn po_sample_sort<T: SortKey>(data: &mut [T]) {
             consumed = hi;
         }
     }
-    slices.into_par_iter().for_each(|bucket| seq_sample_sort(bucket));
+    slices
+        .into_par_iter()
+        .for_each(|bucket| seq_sample_sort(bucket));
 
     data.copy_from_slice(&scratch);
 }

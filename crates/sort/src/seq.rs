@@ -151,7 +151,11 @@ fn quicksort<T: SortKey>(data: &mut [T], depth: usize) {
 
 fn median3<T: SortKey>(a: T, b: T, c: T) -> T {
     use std::cmp::Ordering::Less;
-    let (lo, hi) = if cmp_keys(&a, &b) == Less { (a, b) } else { (b, a) };
+    let (lo, hi) = if cmp_keys(&a, &b) == Less {
+        (a, b)
+    } else {
+        (b, a)
+    };
     if cmp_keys(&c, &lo) == Less {
         lo
     } else if cmp_keys(&hi, &c) == Less {

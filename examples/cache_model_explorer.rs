@@ -21,7 +21,14 @@ fn main() {
     let q1 = seq.q_sum();
     let mut table = Table::new(
         format!("LCS, n = {n}: measured misses vs the Table I shape"),
-        &["p", "Q_sum PACO", "Q_sum PA", "Q_sum/Q1 PACO", "Q_max/mean PACO", "analytic Q_PACO/Q_PA"],
+        &[
+            "p",
+            "Q_sum PACO",
+            "Q_sum PA",
+            "Q_sum/Q1 PACO",
+            "Q_max/mean PACO",
+            "analytic Q_PACO/Q_PA",
+        ],
     );
     for p in [1usize, 2, 4, 8, 12] {
         let (_, paco) = lcs_paco_traced(&a, &b, p, params, 32);
@@ -49,7 +56,11 @@ fn main() {
         let params = CacheParams::new(z, 8);
         let (_, paco) = lcs_paco_traced(&a, &b, 4, params, 32);
         let (_, seq) = lcs_sequential_traced(&a, &b, 32, params);
-        table.row(&[z.to_string(), paco.q_sum().to_string(), seq.q_sum().to_string()]);
+        table.row(&[
+            z.to_string(),
+            paco.q_sum().to_string(),
+            seq.q_sum().to_string(),
+        ]);
     }
     table.print();
 }

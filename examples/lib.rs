@@ -1,6 +1,6 @@
 //! Shared helpers for the PACO example applications.
 //!
-//! Each runnable example lives next to this file (`quickstart.rs`,
+//! Each runnable example lives next to this file (`quickstart.rs`, `apsp.rs`,
 //! `sequence_alignment.rs`, `paragraph_formation.rs`,
 //! `strassen_prime_procs.rs`, `cache_model_explorer.rs`) and is registered as a
 //! Cargo example target, so they run with

@@ -54,7 +54,11 @@ fn main() {
     let mut start = 0usize;
     for j in 1..=n_words {
         let line = prefix[j] - prefix[start] - 1.0;
-        let next_line = if j < n_words { prefix[j + 1] - prefix[start] - 1.0 } else { f64::INFINITY };
+        let next_line = if j < n_words {
+            prefix[j + 1] - prefix[start] - 1.0
+        } else {
+            f64::INFINITY
+        };
         if next_line > ideal_width || j == n_words {
             let over = line - ideal_width;
             greedy_cost += over * over;
@@ -62,7 +66,10 @@ fn main() {
         }
     }
 
-    println!("optimal raggedness (PACO 1D) : {optimal:12.1}   computed in {:.2} ms", secs * 1e3);
+    println!(
+        "optimal raggedness (PACO 1D) : {optimal:12.1}   computed in {:.2} ms",
+        secs * 1e3
+    );
     println!("greedy first-fit raggedness  : {greedy_cost:12.1}");
     println!(
         "the optimal breaks are {:.1}% better than greedy",

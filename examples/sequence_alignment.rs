@@ -24,16 +24,29 @@ fn main() {
     // DNA-like alphabet of 4 symbols, 15% mutation rate.
     let (a, b) = related_sequences(n, 4, 0.15, 2024);
 
-    section(&format!("LCS of two length-{n} sequences on {p} processors"));
+    section(&format!(
+        "LCS of two length-{n} sequences on {p} processors"
+    ));
     let (seq_len, t_seq) = time_it(|| lcs_sequential_co(&a, &b, 64));
     let (po_len, t_po) = time_it(|| lcs_po(&a, &b, 256));
     let (pa_len, t_pa) = time_it(|| lcs_pa(&a, &b, &pool));
     let (paco_len, t_paco) = time_it(|| lcs_paco(&a, &b, &pool));
     assert!(seq_len == po_len && po_len == pa_len && pa_len == paco_len);
-    println!("LCS length = {paco_len} ({:.1}% of the sequence length)", 100.0 * paco_len as f64 / n as f64);
+    println!(
+        "LCS length = {paco_len} ({:.1}% of the sequence length)",
+        100.0 * paco_len as f64 / n as f64
+    );
     println!("  sequential CO : {}", ms(t_seq));
-    println!("  PO  (base 256): {}   speedup of PACO: {:+.1}%", ms(t_po), speedup_percent(t_po, t_paco));
-    println!("  PA  (p-way)   : {}   speedup of PACO: {:+.1}%", ms(t_pa), speedup_percent(t_pa, t_paco));
+    println!(
+        "  PO  (base 256): {}   speedup of PACO: {:+.1}%",
+        ms(t_po),
+        speedup_percent(t_po, t_paco)
+    );
+    println!(
+        "  PA  (p-way)   : {}   speedup of PACO: {:+.1}%",
+        ms(t_pa),
+        speedup_percent(t_pa, t_paco)
+    );
     println!("  PACO          : {}", ms(t_paco));
 
     section("GAP-model alignment scores for short fragments");
@@ -47,6 +60,9 @@ fn main() {
         let score = table[(m + 1) * (m + 1) - 1];
         let reference = gap_reference(m, &costs);
         assert!((score - reference[(m + 1) * (m + 1) - 1]).abs() < 1e-9);
-        println!("  fragment length {m:>4}: alignment cost {score:8.2}   ({})", ms(t));
+        println!(
+            "  fragment length {m:>4}: alignment cost {score:8.2}   ({})",
+            ms(t)
+        );
     }
 }

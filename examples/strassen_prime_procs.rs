@@ -24,9 +24,14 @@ fn main() {
     let reference = strassen_sequential(&a, &b);
     let max_p = available_processors();
 
-    section(&format!("PACO Strassen, n = {n}, processor counts 1..={max_p}"));
+    section(&format!(
+        "PACO Strassen, n = {n}, processor counts 1..={max_p}"
+    ));
     let (_, t1) = time_it(|| strassen_sequential(&a, &b));
-    println!("{:>3}  {:>6}  {:>9}  {:>8}  {:>9}  max |diff|", "p", "prime?", "time", "speedup", "CAPS uses");
+    println!(
+        "{:>3}  {:>6}  {:>9}  {:>8}  {:>9}  max |diff|",
+        "p", "prime?", "time", "speedup", "CAPS uses"
+    );
     for p in 1..=max_p {
         let pool = WorkerPool::new(p);
         let (c, t) = time_it(|| strassen_paco(&a, &b, &pool));

@@ -74,10 +74,7 @@ impl Condvar {
     /// re-acquired before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard taken during wait");
-        let reacquired = self
-            .0
-            .wait(std_guard)
-            .unwrap_or_else(|e| e.into_inner());
+        let reacquired = self.0.wait(std_guard).unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(reacquired);
     }
 

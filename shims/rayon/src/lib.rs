@@ -144,10 +144,9 @@ where
             .collect();
         // The caller's thread works on the first chunk while the spawned
         // threads handle the rest.
-        let head =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                first.into_iter().map(f).collect::<Vec<O>>()
-            }));
+        let head = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            first.into_iter().map(f).collect::<Vec<O>>()
+        }));
         let mut out = Vec::with_capacity(n);
         let mut panic = None;
         match head {

@@ -36,7 +36,12 @@ fn analytic_bounds_and_simulator_tell_the_same_story_for_lcs() {
     // Analytic: the PACO bound also predicts a small blowup over Q1 at these
     // parameters (the additive term is minor), and a far larger one for PO.
     let bp = BoundParams::square(n, p, 1024, 8);
-    let q1 = cache_bound(Problem::Lcs, Variant::Paco, BoundParams::square(n, 1, 1024, 8)).unwrap();
+    let q1 = cache_bound(
+        Problem::Lcs,
+        Variant::Paco,
+        BoundParams::square(n, 1, 1024, 8),
+    )
+    .unwrap();
     let qpaco = cache_bound(Problem::Lcs, Variant::Paco, bp).unwrap();
     let qpo = cache_bound(Problem::Lcs, Variant::Po, bp).unwrap();
     assert!(qpaco / q1 < 8.0);
@@ -76,7 +81,11 @@ fn plans_and_execution_cover_the_same_processor_range() {
             (report.total_work - 120.0 * 90.0 * 70.0).abs() < 1e-6,
             "p={p}: plan loses work"
         );
-        assert!(report.work_imbalance < 1.5, "p={p}: imbalance {}", report.work_imbalance);
+        assert!(
+            report.work_imbalance < 1.5,
+            "p={p}: imbalance {}",
+            report.work_imbalance
+        );
 
         let pool = WorkerPool::new(p);
         assert_eq!(expect, paco_mm_1piece(&a, &b, &pool), "p={p}");

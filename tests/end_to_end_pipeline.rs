@@ -35,7 +35,10 @@ fn similarity_pipeline_runs_end_to_end() {
     paco_sort(&mut sorted_scores, &pool);
     assert!(sorted_scores.windows(2).all(|w| w[0] <= w[1]));
     let median = sorted_scores[pairs / 2];
-    assert!(median > 0.5, "related sequences should stay similar, median {median}");
+    assert!(
+        median > 0.5,
+        "related sequences should stay similar, median {median}"
+    );
 
     // Step 3: a small similarity matrix (scores as weights) squared two ways.
     let sim = Matrix::from_fn(pairs, pairs, |i, j| {
@@ -50,7 +53,11 @@ fn similarity_pipeline_runs_end_to_end() {
 
     // Tropical variant: the cheapest two-hop "distance" (1 - similarity).
     let dist = Matrix::from_fn(pairs, pairs, |i, j| {
-        MinPlus(if i == j { 0.0 } else { 1.0 - (scores[i] * scores[j]).sqrt() })
+        MinPlus(if i == j {
+            0.0
+        } else {
+            1.0 - (scores[i] * scores[j]).sqrt()
+        })
     });
     let relaxed = paco_mm_1piece(&dist, &dist, &pool);
     let expect = mm_reference(&dist, &dist);

@@ -94,7 +94,13 @@ fn caps_style_strassen_wastes_processors_where_paco_does_not() {
         // Refine past the kernel base case so the tree has at least p leaves
         // even for p = 72 (the scaling range requires p = o(n)).
         let plan = paco_matmul::paco_mm::plan_paco_mm_with_base(256, 256, 256, p, 16);
-        assert_eq!(plan.per_proc.iter().filter(|nodes| !nodes.is_empty()).count(), p,
-            "every one of the {p} processors receives work under PACO");
+        assert_eq!(
+            plan.per_proc
+                .iter()
+                .filter(|nodes| !nodes.is_empty())
+                .count(),
+            p,
+            "every one of the {p} processors receives work under PACO"
+        );
     }
 }

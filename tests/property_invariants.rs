@@ -4,20 +4,61 @@
 //!   reference on arbitrary inputs and arbitrary processor counts;
 //! * processor-list splits always partition the list;
 //! * the pruned-BFS partitioning conserves work and stays balanced;
-//! * sorting variants produce a sorted permutation of their input.
+//! * sorting variants produce a sorted permutation of their input;
+//! * the closed-semiring laws hold for `MinPlus` / `MaxPlus` /
+//!   `BoolSemiring` on randomly drawn elements (exactly — the tropical
+//!   elements are integer-valued, so no floating-point slack is needed).
 
-use paco_core::proc_list::ProcList;
-use paco_core::semiring::WrappingRing;
 use paco_core::matrix::Matrix;
+use paco_core::proc_list::ProcList;
+use paco_core::semiring::{BoolSemiring, MaxPlus, MinPlus, Semiring, WrappingRing};
 use paco_dp::lcs::{lcs_paco_with_base, lcs_po, lcs_reference};
 use paco_dp::one_d::kernel::FnWeight;
 use paco_dp::one_d::{one_d_paco, one_d_reference};
-use paco_matmul::strassen::strassen_sequential_with_cutoff;
 use paco_matmul::paco_mm::plan_paco_mm_with_base;
+use paco_matmul::strassen::strassen_sequential_with_cutoff;
 use paco_matmul::{mm_reference, paco_mm_1piece};
 use paco_runtime::WorkerPool;
 use paco_sort::{paco_sort, po_sample_sort, seq_sample_sort};
 use proptest::prelude::*;
+
+/// Check every closed-semiring law on one drawn triple `(a, b, c)`.
+fn check_semiring_laws<S: Semiring>(a: S, b: S, c: S) {
+    // ⊕ is associative and commutative with identity `zero`.
+    assert_eq!(a.add(b), b.add(a));
+    assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+    assert_eq!(a.add(S::zero()), a);
+    // ⊗ is associative with identity `one` and annihilator `zero`.
+    assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+    assert_eq!(a.mul(S::one()), a);
+    assert_eq!(S::one().mul(a), a);
+    assert_eq!(a.mul(S::zero()), S::zero());
+    assert_eq!(S::zero().mul(a), S::zero());
+    // ⊗ distributes over ⊕ on both sides.
+    assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    assert_eq!(b.add(c).mul(a), b.mul(a).add(c.mul(a)));
+    // The fused form agrees with its definition.
+    assert_eq!(a.mul_add(b, c), a.add(b.mul(c)));
+}
+
+/// Map a raw integer to a `MinPlus` element: mostly finite *integer-valued*
+/// weights (so `⊗ = +` is exact in `f64`), occasionally the `+∞` zero.
+fn min_plus_from(raw: i32) -> MinPlus {
+    if raw % 13 == 0 {
+        MinPlus::zero()
+    } else {
+        MinPlus(f64::from(raw % 10_000))
+    }
+}
+
+/// Map a raw integer to a `MaxPlus` element (dually: occasionally `-∞`).
+fn max_plus_from(raw: i32) -> MaxPlus {
+    if raw % 13 == 0 {
+        MaxPlus::zero()
+    } else {
+        MaxPlus(f64::from(raw % 10_000))
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
@@ -133,6 +174,26 @@ proptest! {
         let mut c = original;
         paco_sort(&mut c, &pool);
         prop_assert_eq!(&c, &expect);
+    }
+
+    #[test]
+    fn min_plus_semiring_laws_hold(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
+        check_semiring_laws(min_plus_from(a), min_plus_from(b), min_plus_from(c));
+    }
+
+    #[test]
+    fn max_plus_semiring_laws_hold(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
+        check_semiring_laws(max_plus_from(a), max_plus_from(b), max_plus_from(c));
+    }
+
+    #[test]
+    fn bool_semiring_laws_hold(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        check_semiring_laws(BoolSemiring(a), BoolSemiring(b), BoolSemiring(c));
+    }
+
+    #[test]
+    fn wrapping_ring_semiring_laws_hold(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        check_semiring_laws(WrappingRing(a), WrappingRing(b), WrappingRing(c));
     }
 
     #[test]
