@@ -1,11 +1,15 @@
 //! Criterion micro-benchmarks of the Floyd–Warshall family: sequential CO,
 //! PO and PACO, over both the tropical `(min, +)` semiring (APSP) and the
-//! boolean semiring (transitive closure).
+//! boolean semiring (transitive closure), plus a batched many-small-instances
+//! case and the barrier gauges that make the wave-flattened schedule
+//! measurable on a 1-core container (wall-clock cannot show it; the counters
+//! can — they land in the `PACO_BENCH_JSON` report next to the timings).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paco_core::machine::available_processors;
+use paco_core::metrics::sched;
 use paco_core::workload::{random_adjacency, random_digraph};
-use paco_graph::{fw_paco, fw_po, fw_seq, DEFAULT_BASE};
+use paco_graph::{fw_paco, fw_paco_batch, fw_po, fw_seq, plan_fw, DEFAULT_BASE};
 use paco_runtime::WorkerPool;
 
 fn bench_fw(c: &mut Criterion) {
@@ -31,7 +35,48 @@ fn bench_fw(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("bool-paco", n), |bench| {
         bench.iter(|| std::hint::black_box(fw_paco(&reach, &pool)))
     });
+
+    // Batching: 16 small instances, individually vs through one pool pass.
+    let small: Vec<_> = (0..16)
+        .map(|i| random_digraph(48, 0.2, 50, 1000 + i))
+        .collect();
+    group.bench_function(
+        BenchmarkId::new("minplus-paco-16x48-individual", 48),
+        |bench| {
+            bench.iter(|| {
+                for adj in &small {
+                    std::hint::black_box(fw_paco(adj, &pool));
+                }
+            })
+        },
+    );
+    group.bench_function(
+        BenchmarkId::new("minplus-paco-16x48-batched", 48),
+        |bench| bench.iter(|| std::hint::black_box(fw_paco_batch(&small, &pool, DEFAULT_BASE))),
+    );
     group.finish();
+
+    // Structural gauges: the flattened plan's wave count vs the barrier count
+    // of the old fork-driven recursion.  Plan structure is machine-independent,
+    // so gauge a representative multi-processor plan even on a 1-core box
+    // (where the pool — and hence the executed run below — degenerates to
+    // p = 1).
+    let p_repr = pool.p().max(8);
+    let fw = plan_fw(n, p_repr, DEFAULT_BASE);
+    criterion::record_metric(
+        format!("fw/plan-waves-p{p_repr}"),
+        fw.plan.barriers() as f64,
+    );
+    criterion::record_metric(format!("fw/plan-steps-p{p_repr}"), fw.plan.steps() as f64);
+    criterion::record_metric(
+        format!("fw/recursive-fork-barriers-p{p_repr}"),
+        fw.fork_barriers as f64,
+    );
+    let before = sched::snapshot();
+    std::hint::black_box(fw_paco(&apsp, &pool));
+    let delta = sched::snapshot().since(&before);
+    criterion::record_metric("fw/executed-pool-barriers", delta.pool_barriers as f64);
+    criterion::record_metric("fw/executed-plan-waves", delta.plan_waves as f64);
 }
 
 criterion_group!(benches, bench_fw);

@@ -221,6 +221,28 @@ unsafe impl<T: Sync> Send for MatRef<'_, T> {}
 unsafe impl<T: Sync> Sync for MatRef<'_, T> {}
 
 impl<'a, T: Copy> MatRef<'a, T> {
+    /// Build a read-only window from raw parts.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point to a live allocation laid out row-major with row
+    /// stride `stride`, valid for reads of `rows × cols` cells for the
+    /// lifetime `'a`, and no cell of the window may be written concurrently.
+    /// Used by schedule interpreters that rebuild typed views over
+    /// `UnsafeCell`-backed shared tables (`SharedGrid`), whose wave discipline
+    /// provides exactly that guarantee.
+    #[inline]
+    pub unsafe fn from_raw_parts(ptr: *const T, rows: usize, cols: usize, stride: usize) -> Self {
+        debug_assert!(cols <= stride || rows <= 1);
+        MatRef {
+            ptr,
+            rows,
+            cols,
+            stride,
+            _marker: PhantomData,
+        }
+    }
+
     /// Number of rows in the window.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -310,6 +332,29 @@ pub struct MatMut<'a, T> {
 unsafe impl<T: Send> Send for MatMut<'_, T> {}
 
 impl<'a, T: Copy> MatMut<'a, T> {
+    /// Build a mutable window from raw parts.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point to a live allocation laid out row-major with row
+    /// stride `stride`, valid for reads and writes of `rows × cols` cells for
+    /// the lifetime `'a`, and the window must have *exclusive* access to every
+    /// cell while it is live (no other read or write may race with it).  Used
+    /// by schedule interpreters that rebuild typed views over
+    /// `UnsafeCell`-backed shared tables (`SharedGrid`), whose wave discipline
+    /// provides exactly that guarantee.
+    #[inline]
+    pub unsafe fn from_raw_parts(ptr: *mut T, rows: usize, cols: usize, stride: usize) -> Self {
+        debug_assert!(cols <= stride || rows <= 1);
+        MatMut {
+            ptr,
+            rows,
+            cols,
+            stride,
+            _marker: PhantomData,
+        }
+    }
+
     /// Number of rows in the window.
     #[inline]
     pub fn rows(&self) -> usize {

@@ -13,6 +13,114 @@
 
 use std::time::{Duration, Instant};
 
+pub mod sched {
+    //! Process-wide scheduling counters.
+    //!
+    //! The PACO runtime executes a `Plan` as one worker-pool barrier per wave,
+    //! and every `WorkerPool::scope` is exactly one barrier
+    //! (one full spawn/join round-trip).  These counters make the barrier
+    //! behaviour *measurable* — on a 1-core container wall-clock cannot show
+    //! whether a wave-flattened schedule really issues fewer barriers than the
+    //! per-fork recursion it replaced, but the counters can, and the benchmark
+    //! report records them next to the timings.
+    //!
+    //! The counters are **per-thread** (the pool and the plan executor live
+    //! in `paco-runtime`, which depends on this crate): a pool barrier is
+    //! recorded on the thread that opens the scope, and a plan execution on
+    //! the thread that drives it — which is the same thread that later reads
+    //! [`snapshot`], since `WorkerPool::scope` and `Plan::execute` both block
+    //! their caller.  Thread-locality is what makes [`snapshot`] deltas
+    //! *exact* even under a multi-threaded test harness: concurrent tests on
+    //! other threads cannot perturb this thread's delta.  The flip side: work
+    //! driven from a different thread (e.g. a scope opened inside a worker
+    //! task) is invisible to this thread's snapshot.
+
+    use std::cell::Cell;
+
+    thread_local! {
+        static POOL_BARRIERS: Cell<u64> = const { Cell::new(0) };
+        static PLAN_EXECUTIONS: Cell<u64> = const { Cell::new(0) };
+        static PLAN_WAVES: Cell<u64> = const { Cell::new(0) };
+        static PLAN_STEPS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// A point-in-time copy of every scheduling counter.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct SchedSnapshot {
+        /// Worker-pool scopes opened (each is one full spawn/join barrier).
+        pub pool_barriers: u64,
+        /// Plans executed end-to-end.
+        pub plan_executions: u64,
+        /// Plan waves executed (each wave costs exactly one pool barrier).
+        pub plan_waves: u64,
+        /// Plan steps (placed tasks) executed.
+        pub plan_steps: u64,
+    }
+
+    impl SchedSnapshot {
+        /// Counter deltas since an earlier snapshot.
+        pub fn since(&self, earlier: &SchedSnapshot) -> SchedSnapshot {
+            SchedSnapshot {
+                pool_barriers: self.pool_barriers - earlier.pool_barriers,
+                plan_executions: self.plan_executions - earlier.plan_executions,
+                plan_waves: self.plan_waves - earlier.plan_waves,
+                plan_steps: self.plan_steps - earlier.plan_steps,
+            }
+        }
+    }
+
+    /// Record one worker-pool scope (called by `WorkerPool::scope` on the
+    /// thread opening the scope).
+    #[inline]
+    pub fn record_pool_barrier() {
+        POOL_BARRIERS.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Record one executed plan with its wave and step counts (called by the
+    /// plan executor in `paco-runtime` on the driving thread).
+    pub fn record_plan_execution(waves: u64, steps: u64) {
+        PLAN_EXECUTIONS.with(|c| c.set(c.get() + 1));
+        PLAN_WAVES.with(|c| c.set(c.get() + waves));
+        PLAN_STEPS.with(|c| c.set(c.get() + steps));
+    }
+
+    /// Read the current thread's counters at once.
+    pub fn snapshot() -> SchedSnapshot {
+        SchedSnapshot {
+            pool_barriers: POOL_BARRIERS.with(Cell::get),
+            plan_executions: PLAN_EXECUTIONS.with(Cell::get),
+            plan_waves: PLAN_WAVES.with(Cell::get),
+            plan_steps: PLAN_STEPS.with(Cell::get),
+        }
+    }
+
+    /// Zero the current thread's counters.  Prefer [`snapshot`] deltas.
+    pub fn reset() {
+        POOL_BARRIERS.with(|c| c.set(0));
+        PLAN_EXECUTIONS.with(|c| c.set(0));
+        PLAN_WAVES.with(|c| c.set(0));
+        PLAN_STEPS.with(|c| c.set(0));
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn counters_accumulate_and_diff() {
+            let before = snapshot();
+            record_pool_barrier();
+            record_plan_execution(3, 12);
+            record_plan_execution(1, 2);
+            let delta = snapshot().since(&before);
+            assert_eq!(delta.pool_barriers, 1);
+            assert_eq!(delta.plan_executions, 2);
+            assert_eq!(delta.plan_waves, 4);
+            assert_eq!(delta.plan_steps, 14);
+        }
+    }
+}
+
 /// Per-processor tallies of an arbitrary additive quantity (work, cache misses,
 /// bytes moved, tasks executed, ...).
 #[derive(Clone, Debug, Default, PartialEq)]

@@ -105,6 +105,27 @@ impl<T: Copy> SharedGrid<T> {
             .map(|idx| unsafe { *self.cells[idx].get() })
             .collect()
     }
+
+    /// Raw pointer to cell `(i, j)` of the row-major storage (row stride =
+    /// [`SharedGrid::cols`]).
+    ///
+    /// This exists so schedule interpreters can rebuild typed window views
+    /// (`MatRef`/`MatMut` via their `from_raw_parts`) over a block of the
+    /// grid; all accesses through such views remain subject to the
+    /// module-level wavefront contract.  The pointer is derived from the
+    /// whole backing buffer, so it carries provenance for the *entire* grid —
+    /// a window built from it may stride across rows.
+    #[inline]
+    pub fn cell_ptr(&self, i: usize, j: usize) -> *mut T {
+        debug_assert!(i < self.rows && j < self.cols, "SharedGrid ptr OOB");
+        // Derive from the buffer base (not from one element's `UnsafeCell`)
+        // so the provenance spans the full allocation; `UnsafeCell<T>` is
+        // `repr(transparent)`, and writes through the shared reference are
+        // permitted because every cell is inside an `UnsafeCell`.
+        let base = self.cells.as_ptr() as *mut T;
+        // SAFETY: the index is in bounds by the debug_assert / construction.
+        unsafe { base.add(i * self.cols + j) }
+    }
 }
 
 /// A 1D array of `Copy` cells shareable across worker threads under the same
@@ -158,6 +179,32 @@ impl<T: Copy> SharedSlice<T> {
         debug_assert!(i < self.len(), "SharedSlice write OOB");
         // SAFETY: module-level contract.
         unsafe { *self.cells[i].get() = v }
+    }
+
+    /// A mutable slice over `range` of the underlying cells.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that, for as long as the returned slice is
+    /// live, no other access (read or write, through this wrapper or another
+    /// slice) touches any cell of `range` — i.e. the scheduling discipline of
+    /// the module-level contract, strengthened to exclusive access.  Used by
+    /// schedule interpreters whose steps own disjoint ranges (e.g. the sort
+    /// redistribution and per-destination local sorts).
+    #[allow(clippy::mut_from_ref)] // the UnsafeCell storage is the point
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(range.end <= self.len(), "SharedSlice slice_mut OOB");
+        if range.is_empty() {
+            return &mut [];
+        }
+        // Derive the pointer from the buffer base (not from one element's
+        // `UnsafeCell::get`) so it carries provenance for the whole
+        // allocation, then offset into the range.
+        let base = self.cells.as_ptr() as *mut T;
+        // SAFETY: `Vec<UnsafeCell<T>>` stores cells contiguously,
+        // `UnsafeCell<T>` is `repr(transparent)`, the range is in bounds, and
+        // exclusivity is the caller's contract above.
+        std::slice::from_raw_parts_mut(base.add(range.start), range.len())
     }
 
     /// Copy a range into a plain vector; only call when no task is running.

@@ -9,6 +9,7 @@ use super::{block_bounds, gap_block, GapCost};
 use crate::shared::SharedGrid;
 use paco_core::proc_list::ProcList;
 use paco_core::util::next_power_of_two;
+use paco_runtime::schedule::{Plan, Step};
 use paco_runtime::WorkerPool;
 use rayon::prelude::*;
 
@@ -60,26 +61,30 @@ pub fn gap_paco_with_blocks<C: GapCost>(
     let procs = ProcList::all(p);
     let d = SharedGrid::new(n + 1, n + 1, f64::INFINITY);
     d.set(0, 0, 0.0);
+    // The block wavefront as a plan: one wave per tile anti-diagonal, tiles
+    // assigned round-robin within their diagonal (the Theorem 7 placement).
+    let mut waves = Vec::with_capacity(2 * blocks - 1);
     for diag in 0..(2 * blocks - 1) {
-        pool.scope(|s| {
-            let mut k = 0usize;
-            for bi in 0..blocks {
-                let Some(bj) = diag.checked_sub(bi) else {
-                    continue;
-                };
-                if bj >= blocks {
-                    continue;
-                }
-                let (r0, r1) = block_bounds(n + 1, blocks, bi);
-                let (c0, c1) = block_bounds(n + 1, blocks, bj);
-                let d = &d;
-                s.spawn_on(procs.round_robin(k), move || {
-                    gap_block(d, r0, r1, c0, c1, costs);
-                });
-                k += 1;
+        let mut wave = Vec::new();
+        for bi in 0..blocks {
+            let Some(bj) = diag.checked_sub(bi) else {
+                continue;
+            };
+            if bj >= blocks {
+                continue;
             }
-        });
+            wave.push(Step {
+                proc: procs.round_robin(wave.len()),
+                job: (bi, bj),
+            });
+        }
+        waves.push(wave);
     }
+    Plan::from_waves(p, waves).execute(pool, |_, &(bi, bj)| {
+        let (r0, r1) = block_bounds(n + 1, blocks, bi);
+        let (c0, c1) = block_bounds(n + 1, blocks, bj);
+        gap_block(&d, r0, r1, c0, c1, costs);
+    });
     d.snapshot()
 }
 

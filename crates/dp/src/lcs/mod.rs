@@ -27,7 +27,7 @@ pub use kernel::{
     DEFAULT_BASE,
 };
 pub use pa::{lcs_pa, lcs_pa_traced};
-pub use paco::{execute_plan, lcs_paco, lcs_paco_traced, lcs_paco_with_base};
+pub use paco::{execute_plan, lcs_paco, lcs_paco_batch, lcs_paco_traced, lcs_paco_with_base};
 pub use partition::{plan_paco_lcs, PacoLcsPlan, Region};
 pub use po::lcs_po;
 

@@ -8,9 +8,10 @@
 //! PACO algorithm removes.
 
 use super::kernel::{co_block, LcsAddr, LcsTable, DEFAULT_BASE};
-use paco_cache_sim::{SimTracker, Tracker};
+use paco_cache_sim::{NullTracker, SimTracker, Tracker};
 use paco_core::machine::CacheParams;
 use paco_core::proc_list::ProcList;
+use paco_runtime::schedule::{Plan, Step};
 use paco_runtime::WorkerPool;
 use std::ops::Range;
 
@@ -22,49 +23,52 @@ fn block_bounds(len: usize, parts: usize, idx: usize) -> Range<usize> {
     lo + 1..hi + 1
 }
 
+/// The PA wavefront as a plan: one wave per block anti-diagonal, block
+/// `(bi, bj)` placed on processor `bi mod p` (the D-CMP ownership rule), jobs
+/// carrying the block's 1-based table ranges.
+fn plan_pa(n: usize, m: usize, p: usize) -> Plan<(Range<usize>, Range<usize>)> {
+    let parts = p.min(n).min(m).max(1);
+    let mut waves = Vec::with_capacity(2 * parts - 1);
+    for diag in 0..(2 * parts - 1) {
+        let mut wave = Vec::new();
+        for bi in 0..parts.min(diag + 1) {
+            let bj = diag - bi;
+            if bj >= parts {
+                continue;
+            }
+            wave.push(Step {
+                proc: bi % p,
+                job: (block_bounds(n, parts, bi), block_bounds(m, parts, bj)),
+            });
+        }
+        waves.push(wave);
+    }
+    Plan::from_waves(p, waves)
+}
+
 /// Processor-aware LCS on `pool.p()` processors: top-level `p × p` division,
 /// block-anti-diagonal wavefront, sequential cache-oblivious kernel per block.
 pub fn lcs_pa(a: &[u32], b: &[u32], pool: &WorkerPool) -> u32 {
-    let p = pool.p();
     let n = a.len();
     let m = b.len();
-    let table = LcsTable::new(n, m);
-    let addr = LcsAddr::new(n, m);
     if n == 0 || m == 0 {
         return 0;
     }
-    let parts = p.min(n).min(m).max(1);
-
-    for diag in 0..(2 * parts - 1) {
-        pool.scope(|s| {
-            for bi in 0..parts {
-                if diag < bi {
-                    continue;
-                }
-                let bj = diag - bi;
-                if bj >= parts {
-                    continue;
-                }
-                let rows = block_bounds(n, parts, bi);
-                let cols = block_bounds(m, parts, bj);
-                let table = &table;
-                let addr = &addr;
-                // Block (bi, bj) runs on processor bi, as in the D-CMP algorithm.
-                s.spawn_on(bi % p, move || {
-                    co_block(
-                        table,
-                        a,
-                        b,
-                        rows,
-                        cols,
-                        DEFAULT_BASE,
-                        &mut paco_cache_sim::NullTracker,
-                        addr,
-                    );
-                });
-            }
-        });
-    }
+    let table = LcsTable::new(n, m);
+    let addr = LcsAddr::new(n, m);
+    let plan = plan_pa(n, m, pool.p());
+    plan.execute(pool, |_, (rows, cols)| {
+        co_block(
+            &table,
+            a,
+            b,
+            rows.clone(),
+            cols.clone(),
+            DEFAULT_BASE,
+            &mut NullTracker,
+            &addr,
+        );
+    });
     table.lcs_length()
 }
 

@@ -1,25 +1,31 @@
 //! The PACO LCS algorithm (Theorem 2): execution phase.
 //!
-//! The plan produced by [`super::partition::plan_paco_lcs`] assigns every
-//! sub-region to a processor and arranges the regions into waves of mutually
-//! independent work.  Execution walks the waves in order ("anti-diagonal by
-//! anti-diagonal along a time line", Fig. 3); inside a wave every region runs
-//! concurrently on its pre-assigned processor and is computed by the sequential
-//! cache-oblivious kernel of Lemma 1.  There is no work stealing and no
-//! global synchronisation other than the wave boundary.
+//! [`super::partition::plan_paco_lcs`] assigns every sub-region to a processor
+//! and lowers the wavefront ("anti-diagonal by anti-diagonal along a time
+//! line", Fig. 3) into the runtime's wave-based
+//! [`Plan`] IR.  Execution is entirely generic:
+//! one pool barrier per wave, every region computed by the sequential
+//! cache-oblivious kernel of Lemma 1 on its pre-assigned processor.  Because a
+//! plan step carries the region *index* (plain data, not a boxed closure),
+//! both executors below invoke [`co_block`] with a concrete tracker type — the
+//! native path is fully monomorphized over [`NullTracker`] and pays zero
+//! virtual-dispatch overhead, the same `LeafCall` discipline as `paco-graph`.
 //!
-//! Two entry points:
+//! Entry points:
 //!
 //! * [`lcs_paco`] — native parallel execution on a [`WorkerPool`].
-//! * [`lcs_paco_traced`] — the identical schedule replayed (sequentially,
-//!   processor by processor within each wave) through the ideal distributed
-//!   cache simulator, which yields the paper's `Q^Σ_p` / `Q^max_p` for the
-//!   Table I experiments.
+//! * [`lcs_paco_traced`] — the identical plan replayed sequentially through
+//!   the ideal distributed cache simulator, which yields the paper's
+//!   `Q^Σ_p` / `Q^max_p` for the Table I experiments.
+//! * [`lcs_paco_batch`] — many independent instances through one pool pass
+//!   via [`Plan::batch`]; the barrier
+//!   count is the maximum of the per-instance wave counts, not the sum.
 
 use super::kernel::{co_block, LcsAddr, LcsTable, DEFAULT_BASE};
 use super::partition::{plan_paco_lcs, PacoLcsPlan};
 use paco_cache_sim::{DistCacheSim, NullTracker, SimTracker, Tracker};
 use paco_core::machine::CacheParams;
+use paco_runtime::schedule::Plan;
 use paco_runtime::WorkerPool;
 
 /// PACO LCS on `pool.p()` processors with the default partition base size.
@@ -47,30 +53,57 @@ pub fn execute_plan(
     if n == 0 || m == 0 {
         return 0;
     }
-    assert!(
-        plan.p <= pool.p(),
-        "plan targets {} processors but the pool has {}",
-        plan.p,
-        pool.p()
-    );
     let table = LcsTable::new(n, m);
     let addr = LcsAddr::new(n, m);
-
-    for wave in &plan.waves {
-        pool.scope(|s| {
-            for &idx in wave {
-                let region = &plan.regions[idx];
-                let rows = region.rows.clone();
-                let cols = region.cols.clone();
-                let table = &table;
-                let addr = &addr;
-                s.spawn_on(region.proc, move || {
-                    co_block(table, a, b, rows, cols, base, &mut NullTracker, addr);
-                });
-            }
-        });
-    }
+    plan.plan.execute(pool, |_, &idx| {
+        let region = &plan.regions[idx];
+        co_block(
+            &table,
+            a,
+            b,
+            region.rows.clone(),
+            region.cols.clone(),
+            base,
+            &mut NullTracker,
+            &addr,
+        );
+    });
     table.lcs_length()
+}
+
+/// Solve many independent LCS instances through **one** pool pass: the
+/// per-instance plans are merged wave-by-wave, so small instances — whose
+/// individual runs are dominated by spawn/join round-trips — share their
+/// barriers.  Returns the LCS lengths in input order.
+pub fn lcs_paco_batch(inputs: &[(Vec<u32>, Vec<u32>)], pool: &WorkerPool, base: usize) -> Vec<u32> {
+    let plans: Vec<PacoLcsPlan> = inputs
+        .iter()
+        .map(|(a, b)| plan_paco_lcs(a.len(), b.len(), pool.p(), base))
+        .collect();
+    let tables: Vec<LcsTable> = inputs
+        .iter()
+        .map(|(a, b)| LcsTable::new(a.len(), b.len()))
+        .collect();
+    let addrs: Vec<LcsAddr> = inputs
+        .iter()
+        .map(|(a, b)| LcsAddr::new(a.len(), b.len()))
+        .collect();
+    let batched = Plan::batch(plans.iter().map(|p| p.plan.clone()).collect());
+    batched.execute(pool, |_, &(inst, idx)| {
+        let region = &plans[inst].regions[idx];
+        let (a, b) = &inputs[inst];
+        co_block(
+            &tables[inst],
+            a,
+            b,
+            region.rows.clone(),
+            region.cols.clone(),
+            base,
+            &mut NullTracker,
+            &addrs[inst],
+        );
+    });
+    tables.iter().map(|t| t.lcs_length()).collect()
 }
 
 /// PACO LCS replayed through the ideal distributed cache simulator: the same
@@ -90,23 +123,21 @@ pub fn lcs_paco_traced(
     let table = LcsTable::new(n, m);
     let addr = LcsAddr::new(n, m);
     let mut tracker = SimTracker::new(p, params);
-    for wave in &plan.waves {
-        for &idx in wave {
-            let region = &plan.regions[idx];
-            tracker.set_proc(region.proc);
-            tracker.task_boundary();
-            co_block(
-                &table,
-                a,
-                b,
-                region.rows.clone(),
-                region.cols.clone(),
-                base,
-                &mut tracker,
-                &addr,
-            );
-        }
-    }
+    plan.plan.for_each(|_, proc, &idx| {
+        let region = &plan.regions[idx];
+        tracker.set_proc(proc);
+        tracker.task_boundary();
+        co_block(
+            &table,
+            a,
+            b,
+            region.rows.clone(),
+            region.cols.clone(),
+            base,
+            &mut tracker,
+            &addr,
+        );
+    });
     (table.lcs_length(), tracker.into_sim())
 }
 
@@ -145,6 +176,33 @@ mod tests {
         let pool = WorkerPool::new(4);
         assert_eq!(lcs_paco(&[], &[1, 2, 3], &pool), 0);
         assert_eq!(lcs_paco(&[1], &[], &pool), 0);
+    }
+
+    #[test]
+    fn batch_matches_individual_runs_and_shares_barriers() {
+        let pool = WorkerPool::new(3);
+        let inputs: Vec<(Vec<u32>, Vec<u32>)> = (0..6)
+            .map(|i| {
+                (
+                    random_sequence(40 + 17 * i, 4, i as u64),
+                    random_sequence(60 + 11 * i, 4, 100 + i as u64),
+                )
+            })
+            .collect();
+        let expect: Vec<u32> = inputs.iter().map(|(a, b)| lcs_reference(a, b)).collect();
+        assert_eq!(lcs_paco_batch(&inputs, &pool, 16), expect);
+
+        // Barrier sharing: the batched plan is as deep as the deepest
+        // constituent, not as deep as all of them stacked.
+        let plans: Vec<_> = inputs
+            .iter()
+            .map(|(a, b)| plan_paco_lcs(a.len(), b.len(), pool.p(), 16).plan)
+            .collect();
+        let sum: usize = plans.iter().map(|p| p.barriers()).sum();
+        let max = plans.iter().map(|p| p.barriers()).max().unwrap();
+        let batched = paco_runtime::schedule::Plan::batch(plans);
+        assert_eq!(batched.barriers(), max);
+        assert!(batched.barriers() < sum);
     }
 
     #[test]

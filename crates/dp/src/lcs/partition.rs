@@ -31,6 +31,7 @@
 //! computed by the sequential cache-oblivious kernel.
 
 use paco_core::proc_list::{ProcId, ProcList};
+use paco_runtime::schedule::{Plan, Step};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Range;
 
@@ -63,15 +64,21 @@ impl Region {
     }
 }
 
-/// The complete PACO LCS execution plan: regions plus the wavefront schedule.
+/// The complete PACO LCS execution plan: the assigned regions plus the
+/// wavefront schedule, lowered to the runtime's wave-based [`Plan`] IR.
+///
+/// `regions` is kept in *assignment* (round-robin) order — the order the
+/// paper's geometric-decrease invariant is stated in — while `plan` holds the
+/// executable schedule whose step jobs are indices into `regions` (plain data,
+/// so both the native and the traced executor call the kernel with a concrete
+/// tracker type).
 #[derive(Debug, Clone)]
 pub struct PacoLcsPlan {
-    /// All assigned regions.
+    /// All assigned regions, in assignment order.
     pub regions: Vec<Region>,
-    /// `waves[w]` holds indices into `regions` that run concurrently in wave `w`.
-    pub waves: Vec<Vec<usize>>,
-    /// Number of processors the plan targets.
-    pub p: usize,
+    /// The executable wavefront schedule; each step's job is an index into
+    /// [`PacoLcsPlan::regions`].
+    pub plan: Plan<usize>,
 }
 
 /// 1-based row (or column) range of block `b` out of `2^level` blocks over `len`
@@ -91,8 +98,7 @@ pub fn plan_paco_lcs(n: usize, m: usize, p: usize, base: usize) -> PacoLcsPlan {
     if n == 0 || m == 0 {
         return PacoLcsPlan {
             regions: Vec::new(),
-            waves: Vec::new(),
-            p,
+            plan: Plan::empty(p),
         };
     }
 
@@ -176,8 +182,22 @@ pub fn plan_paco_lcs(n: usize, m: usize, p: usize, base: usize) -> PacoLcsPlan {
 
     // ---- Phase 2: wavefront schedule (dependency depth layering). ----
     let waves = build_waves(&regions);
+    let plan = Plan::from_waves(
+        p,
+        waves
+            .into_iter()
+            .map(|wave| {
+                wave.into_iter()
+                    .map(|idx| Step {
+                        proc: regions[idx].proc,
+                        job: idx,
+                    })
+                    .collect()
+            })
+            .collect(),
+    );
 
-    PacoLcsPlan { regions, waves, p }
+    PacoLcsPlan { regions, plan }
 }
 
 /// Compute the wavefront schedule: wave `w` contains the regions whose longest
@@ -253,6 +273,16 @@ fn build_waves(regions: &[Region]) -> Vec<Vec<usize>> {
 }
 
 impl PacoLcsPlan {
+    /// Number of processors the plan targets.
+    pub fn p(&self) -> usize {
+        self.plan.p()
+    }
+
+    /// Number of pool barriers executing the plan will issue (= waves).
+    pub fn barriers(&self) -> usize {
+        self.plan.barriers()
+    }
+
     /// Total area covered by the plan's regions (must equal `n · m`).
     pub fn total_area(&self) -> usize {
         self.regions.iter().map(|r| r.area()).sum()
@@ -260,7 +290,7 @@ impl PacoLcsPlan {
 
     /// Per-processor total area (the plan's computational load distribution).
     pub fn area_per_proc(&self) -> Vec<usize> {
-        let mut out = vec![0usize; self.p];
+        let mut out = vec![0usize; self.p()];
         for r in &self.regions {
             out[r.proc] += r.area();
         }
@@ -275,7 +305,7 @@ impl PacoLcsPlan {
         if total == 0 {
             1.0
         } else {
-            max as f64 / (total as f64 / self.p as f64)
+            max as f64 / (total as f64 / self.p() as f64)
         }
     }
 
@@ -283,7 +313,7 @@ impl PacoLcsPlan {
     /// non-increasing up to a factor-of-two slack (the paper's "almost
     /// geometrically decreasing" invariant).
     pub fn per_proc_geometric(&self) -> bool {
-        let mut per_proc: Vec<Vec<usize>> = vec![Vec::new(); self.p];
+        let mut per_proc: Vec<Vec<usize>> = vec![Vec::new(); self.p()];
         for r in &self.regions {
             per_proc[r.proc].push(r.area());
         }
@@ -362,9 +392,9 @@ mod tests {
         let plan = plan_paco_lcs(128, 128, 3, 8);
         // Map region index -> wave.
         let mut wave_of = vec![usize::MAX; plan.regions.len()];
-        for (w, wave) in plan.waves.iter().enumerate() {
-            for &idx in wave {
-                wave_of[idx] = w;
+        for (w, wave) in plan.plan.waves().iter().enumerate() {
+            for step in wave {
+                wave_of[step.job] = w;
             }
         }
         assert!(
@@ -398,9 +428,10 @@ mod tests {
         // start exactly where another wave-mate's rows end while their column
         // spans touch (and symmetrically for columns) — that adjacency is
         // precisely the data dependency of the recurrence.
-        for wave in &plan.waves {
-            for &x in wave {
-                for &y in wave {
+        for wave in plan.plan.waves() {
+            for sx in wave {
+                for sy in wave {
+                    let (x, y) = (sx.job, sy.job);
                     if x == y {
                         continue;
                     }
@@ -429,14 +460,14 @@ mod tests {
         let plan = plan_paco_lcs(64, 64, 1, 64);
         // With p=1 every anti-diagonal qualifies immediately at level 0.
         assert_eq!(plan.regions.len(), 1);
-        assert_eq!(plan.waves.len(), 1);
+        assert_eq!(plan.barriers(), 1);
     }
 
     #[test]
     fn empty_inputs_produce_empty_plan() {
         let plan = plan_paco_lcs(0, 100, 4, 16);
         assert!(plan.regions.is_empty());
-        assert!(plan.waves.is_empty());
+        assert_eq!(plan.barriers(), 0);
     }
 
     #[test]

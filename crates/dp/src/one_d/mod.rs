@@ -30,7 +30,7 @@ pub mod po;
 pub use kernel::{
     one_d_reference, one_d_sequential_co, square_update, triangle_co, Weight, DEFAULT_BASE_1D,
 };
-pub use paco::one_d_paco;
+pub use paco::{one_d_paco, plan_one_d, Buf, OneDJob, OneDPlan};
 pub use po::one_d_po;
 
 #[cfg(test)]

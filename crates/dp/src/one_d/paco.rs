@@ -14,259 +14,273 @@
 //! * the recursion stops when a single processor is left, which then runs the
 //!   sequential cache-oblivious square kernel.
 //!
-//! Execution discipline on the worker pool: the branch whose processor list
-//! contains the processor currently executing runs inline; the other branch is
-//! spawned onto the first processor of its list.  This realises the
-//! processor-list semantics of the pseudo-code without any work stealing and
-//! without a task ever waiting on work queued behind it on its own worker.
+//! Since PR 3 the recursion is compiled by [`plan_one_d`] into the runtime's
+//! wave-based [`Plan`] IR instead of driving the pool directly: the recursion
+//! is replayed symbolically, every leaf becomes a [`OneDJob`] (plain data:
+//! ranges plus buffer ids into a temporary arena sized at plan time), and
+//! execution issues exactly one pool barrier per wave.  Sequential
+//! compositions that stay on one processor (the triangle spine) share waves
+//! through the pool's per-worker FIFO, and the processor-list semantics of
+//! the pseudo-code are preserved without any work stealing.
 
 use super::kernel::{square_update, triangle_co, Weight};
 use crate::shared::SharedSlice;
-use paco_core::proc_list::{ProcId, ProcList};
+use paco_core::proc_list::ProcList;
+use paco_runtime::schedule::{Front, Plan, PlanBuilder};
 use paco_runtime::WorkerPool;
 use std::ops::Range;
+
+/// Which array a [`OneDJob`] reads or writes: the main `D` array or one of the
+/// temporaries allocated for y-cuts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Buf {
+    /// The shared `D[0..=n]` array.
+    D,
+    /// Temporary `i` of the plan's arena (covers one y-cut's output range).
+    Tmp(usize),
+}
+
+/// One leaf of the compiled 1D schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OneDJob {
+    /// Self-updating triangle over `range` (the sequential CO spine).
+    Triangle {
+        /// The index range (half-open) the triangle finalises.
+        range: Range<usize>,
+    },
+    /// External update of `out` from the final range `inp`.
+    Square {
+        /// Source buffer (holds the final inputs).
+        src: Buf,
+        /// Destination buffer.
+        dst: Buf,
+        /// Offset translating output indices into `dst`.
+        dst_off: usize,
+        /// Input range (already final).
+        inp: Range<usize>,
+        /// Output range.
+        out: Range<usize>,
+    },
+    /// Element-wise `dst[j] = min(dst[j], tmp[j])` over `chunk ⊆ out`
+    /// (lines 17–18 of Fig. 6, one chunk per processor).
+    MergeMin {
+        /// Destination buffer being merged into.
+        dst: Buf,
+        /// Offset translating output indices into `dst`.
+        dst_off: usize,
+        /// The temporary holding the other half's contributions.
+        tmp: usize,
+        /// The full output range the temporary covers.
+        out: Range<usize>,
+        /// This step's slice of `out`.
+        chunk: Range<usize>,
+    },
+}
+
+/// The compiled PACO 1D schedule: the wave plan plus the lengths of the
+/// temporaries its y-cuts need (allocated fresh by the executor).
+#[derive(Debug, Clone)]
+pub struct OneDPlan {
+    /// The executable schedule.
+    pub plan: Plan<OneDJob>,
+    /// `tmp_len[i]` is the length of temporary `i`.
+    pub tmp_len: Vec<usize>,
+}
+
+/// Compile the PACO 1D recursion for `D[0..=n]` on `p` processors.
+pub fn plan_one_d(n: usize, p: usize, base: usize) -> OneDPlan {
+    let base = base.max(2);
+    let mut planner = OneDPlanner {
+        b: PlanBuilder::new(p),
+        tmp_len: Vec::new(),
+        base,
+    };
+    let front = planner.b.root();
+    planner.triangle(&front, ProcList::all(p), 0..n + 1);
+    OneDPlan {
+        plan: planner.b.finish(),
+        tmp_len: planner.tmp_len,
+    }
+}
+
+struct OneDPlanner {
+    b: PlanBuilder<OneDJob>,
+    tmp_len: Vec<usize>,
+    base: usize,
+}
+
+impl OneDPlanner {
+    /// `COP-1D△`: sequential spine (left triangle, parallel square, right
+    /// triangle).  The spine leaves run on the list's first processor.
+    fn triangle(&mut self, front: &Front, procs: ProcList, range: Range<usize>) -> Front {
+        let len = range.len();
+        if len <= 1 {
+            return front.clone();
+        }
+        if len <= self.base || procs.len() == 1 {
+            return self
+                .b
+                .step(front, procs.first(), OneDJob::Triangle { range });
+        }
+        let mid = range.start + len / 2;
+        let f = self.triangle(front, procs, range.start..mid);
+        let f = self.square(
+            &f,
+            procs,
+            Buf::D,
+            Buf::D,
+            0,
+            range.start..mid,
+            mid..range.end,
+        );
+        self.triangle(&f, procs, mid..range.end)
+    }
+
+    /// `COP-1D□`: the parallel external-updating function of Fig. 6.
+    #[allow(clippy::too_many_arguments)] // mirrors the pseudo-code signature
+    fn square(
+        &mut self,
+        front: &Front,
+        procs: ProcList,
+        src: Buf,
+        dst: Buf,
+        dst_off: usize,
+        inp: Range<usize>,
+        out: Range<usize>,
+    ) -> Front {
+        if inp.is_empty() || out.is_empty() {
+            return front.clone();
+        }
+        if procs.len() == 1 {
+            return self.b.step(
+                front,
+                procs.only(),
+                OneDJob::Square {
+                    src,
+                    dst,
+                    dst_off,
+                    inp,
+                    out,
+                },
+            );
+        }
+
+        let (p1, p2) = procs.split_even();
+        if out.len() >= inp.len() {
+            // Cut on x: split the output range in the ratio |P1| : |P2|.
+            let split = out.start + out.len() * p1.len() / procs.len();
+            let left = self.square(front, p1, src, dst, dst_off, inp.clone(), out.start..split);
+            let right = self.square(front, p2, src, dst, dst_off, inp, split..out.end);
+            left.join(&right)
+        } else {
+            // Cut on y: split the input range; the second half accumulates
+            // into a temporary covering the output, merged by a parallel min.
+            let split = inp.start + inp.len() * p1.len() / procs.len();
+            let tmp = self.tmp_len.len();
+            self.tmp_len.push(out.len());
+            let left = self.square(front, p1, src, dst, dst_off, inp.start..split, out.clone());
+            let right = self.square(
+                front,
+                p2,
+                src,
+                Buf::Tmp(tmp),
+                out.start,
+                split..inp.end,
+                out.clone(),
+            );
+            let f = left.join(&right);
+            self.merge_min(&f, procs, dst, dst_off, tmp, out)
+        }
+    }
+
+    /// Parallel element-wise merge, one chunk of `out` per processor.
+    fn merge_min(
+        &mut self,
+        front: &Front,
+        procs: ProcList,
+        dst: Buf,
+        dst_off: usize,
+        tmp: usize,
+        out: Range<usize>,
+    ) -> Front {
+        let p = procs.len();
+        let mut fronts = Vec::with_capacity(p);
+        for (k, proc) in procs.ids().enumerate() {
+            let lo = out.start + k * out.len() / p;
+            let hi = out.start + (k + 1) * out.len() / p;
+            if lo >= hi {
+                continue;
+            }
+            fronts.push(self.b.step(
+                front,
+                proc,
+                OneDJob::MergeMin {
+                    dst,
+                    dst_off,
+                    tmp,
+                    out: out.clone(),
+                    chunk: lo..hi,
+                },
+            ));
+        }
+        if fronts.is_empty() {
+            front.clone()
+        } else {
+            Front::join_all(&fronts)
+        }
+    }
+}
 
 /// PACO 1D on `pool.p()` processors: returns the full `D[0..=n]` array.
 pub fn one_d_paco<W: Weight>(n: usize, w: &W, d0: f64, pool: &WorkerPool, base: usize) -> Vec<f64> {
     let base = base.max(2);
+    let compiled = plan_one_d(n, pool.p(), base);
     let d = SharedSlice::new(n + 1, f64::INFINITY);
     d.set(0, d0);
-    let procs = ProcList::all(pool.p());
-    paco_triangle(pool, procs, &d, 0..n + 1, w, base);
-    d.snapshot()
-}
-
-/// `COP-1D△`: sequential spine (left triangle, parallel square, right triangle).
-fn paco_triangle<W: Weight>(
-    pool: &WorkerPool,
-    procs: ProcList,
-    d: &SharedSlice<f64>,
-    range: Range<usize>,
-    w: &W,
-    base: usize,
-) {
-    let len = range.len();
-    if len <= 1 {
-        return;
-    }
-    if len <= base || procs.len() == 1 {
-        triangle_co(d, range, w, base);
-        return;
-    }
-    let mid = range.start + len / 2;
-    paco_triangle(pool, procs, d, range.start..mid, w, base);
-    paco_square(
-        pool,
-        None,
-        procs,
-        d,
-        d,
-        0,
-        range.start..mid,
-        mid..range.end,
-        w,
-        base,
-    );
-    paco_triangle(pool, procs, d, mid..range.end, w, base);
-}
-
-/// `COP-1D□`: the parallel external-updating function of Fig. 6.
-#[allow(clippy::too_many_arguments)]
-fn paco_square<W: Weight>(
-    pool: &WorkerPool,
-    cur: Option<ProcId>,
-    procs: ProcList,
-    src: &SharedSlice<f64>,
-    dst: &SharedSlice<f64>,
-    dst_off: usize,
-    inp: Range<usize>,
-    out: Range<usize>,
-    w: &W,
-    base: usize,
-) {
-    if inp.is_empty() || out.is_empty() {
-        return;
-    }
-    if procs.len() == 1 {
-        let target = procs.only();
-        if cur == Some(target) {
-            square_update(src, dst, dst_off, inp, out, w, base);
-        } else {
-            pool.scope(|s| {
-                s.spawn_on(target, move || {
-                    square_update(src, dst, dst_off, inp, out, w, base);
-                });
-            });
-        }
-        return;
-    }
-
-    let (p1, p2) = procs.split_even();
-    if out.len() >= inp.len() {
-        // Cut on x: split the output range in the ratio |P1| : |P2|.
-        let split = out.start + out.len() * p1.len() / procs.len();
-        let out_left = out.start..split;
-        let out_right = split..out.end;
-        run_two(
-            pool,
-            cur,
-            p1,
-            |c| {
-                paco_square(
-                    pool,
-                    c,
-                    p1,
-                    src,
-                    dst,
-                    dst_off,
-                    inp.clone(),
-                    out_left.clone(),
-                    w,
-                    base,
-                )
-            },
-            p2,
-            |c| {
-                paco_square(
-                    pool,
-                    c,
-                    p2,
-                    src,
-                    dst,
-                    dst_off,
-                    inp.clone(),
-                    out_right.clone(),
-                    w,
-                    base,
-                )
-            },
-        );
-    } else {
-        // Cut on y: split the input range; the second half accumulates into a
-        // temporary covering the output, merged by a parallel min afterwards.
-        let split = inp.start + inp.len() * p1.len() / procs.len();
-        let inp_left = inp.start..split;
-        let inp_right = split..inp.end;
-        let tmp = SharedSlice::new(out.len(), f64::INFINITY);
-        {
-            let tmp = &tmp;
-            run_two(
-                pool,
-                cur,
-                p1,
-                |c| {
-                    paco_square(
-                        pool,
-                        c,
-                        p1,
-                        src,
-                        dst,
-                        dst_off,
-                        inp_left.clone(),
-                        out.clone(),
-                        w,
-                        base,
-                    )
-                },
-                p2,
-                |c| {
-                    paco_square(
-                        pool,
-                        c,
-                        p2,
-                        src,
-                        tmp,
-                        out.start,
-                        inp_right.clone(),
-                        out.clone(),
-                        w,
-                        base,
-                    )
-                },
-            );
-        }
-        merge_min(pool, cur, procs, dst, dst_off, &tmp, out);
-    }
-}
-
-/// Run two branches on the two halves of a processor list: the branch owning
-/// the current processor runs inline, the other is spawned onto the first
-/// processor of its list; both must complete before returning.
-fn run_two<F1, F2>(
-    pool: &WorkerPool,
-    cur: Option<ProcId>,
-    p1: ProcList,
-    f1: F1,
-    p2: ProcList,
-    f2: F2,
-) where
-    F1: FnOnce(Option<ProcId>) + Send,
-    F2: FnOnce(Option<ProcId>) + Send,
-{
-    match cur {
-        None => {
-            // Called from outside the pool: dispatch both branches.
-            pool.scope(|s| {
-                s.spawn_on(p1.first(), move || f1(Some(p1.first())));
-                s.spawn_on(p2.first(), move || f2(Some(p2.first())));
-            });
-        }
-        Some(c) => {
-            debug_assert_eq!(
-                c,
-                p1.first(),
-                "recursion must descend with the current processor leading the left list"
-            );
-            pool.scope(|s| {
-                s.spawn_on(p2.first(), move || f2(Some(p2.first())));
-                // Run our own half inline while the other half executes remotely.
-                f1(Some(c));
-            });
-        }
-    }
-}
-
-/// Parallel element-wise merge `dst[j] = min(dst[j], tmp[j])` over `out`,
-/// spread across the processor list (lines 17–18 of Fig. 6).
-fn merge_min(
-    pool: &WorkerPool,
-    cur: Option<ProcId>,
-    procs: ProcList,
-    dst: &SharedSlice<f64>,
-    dst_off: usize,
-    tmp: &SharedSlice<f64>,
-    out: Range<usize>,
-) {
-    let p = procs.len();
-    let chunk = |k: usize| -> Range<usize> {
-        let lo = out.start + k * out.len() / p;
-        let hi = out.start + (k + 1) * out.len() / p;
-        lo..hi
-    };
-    let do_chunk = move |r: Range<usize>| {
-        for j in r {
-            let merged = dst.get(j - dst_off).min(tmp.get(j - out.start));
-            dst.set(j - dst_off, merged);
+    let tmps: Vec<SharedSlice<f64>> = compiled
+        .tmp_len
+        .iter()
+        .map(|&len| SharedSlice::new(len, f64::INFINITY))
+        .collect();
+    let buf = |b: &Buf| -> &SharedSlice<f64> {
+        match b {
+            Buf::D => &d,
+            Buf::Tmp(i) => &tmps[*i],
         }
     };
-    pool.scope(|s| {
-        let mut own: Option<Range<usize>> = None;
-        for (k, proc) in procs.ids().enumerate() {
-            let r = chunk(k);
-            if r.is_empty() {
-                continue;
+    compiled.plan.execute(pool, |_, job| match job {
+        OneDJob::Triangle { range } => triangle_co(&d, range.clone(), w, base),
+        OneDJob::Square {
+            src,
+            dst,
+            dst_off,
+            inp,
+            out,
+        } => square_update(
+            buf(src),
+            buf(dst),
+            *dst_off,
+            inp.clone(),
+            out.clone(),
+            w,
+            base,
+        ),
+        OneDJob::MergeMin {
+            dst,
+            dst_off,
+            tmp,
+            out,
+            chunk,
+        } => {
+            let dst = buf(dst);
+            let t = &tmps[*tmp];
+            for j in chunk.clone() {
+                let merged = dst.get(j - dst_off).min(t.get(j - out.start));
+                dst.set(j - dst_off, merged);
             }
-            if cur == Some(proc) {
-                own = Some(r);
-            } else {
-                let do_chunk = &do_chunk;
-                s.spawn_on(proc, move || do_chunk(r));
-            }
-        }
-        if let Some(r) = own {
-            do_chunk(r);
         }
     });
+    d.snapshot()
 }
 
 #[cfg(test)]
@@ -333,5 +347,17 @@ mod tests {
         let pool = WorkerPool::new(5);
         let got = one_d_paco(n, &w, 0.0, &pool, 2);
         assert_close(&expect, &got, "base=2");
+    }
+
+    #[test]
+    fn plan_is_reusable_and_counts_barriers() {
+        // A plan is pure data: building it twice gives the same schedule, and
+        // its barrier count equals its wave count.
+        let a = plan_one_d(300, 4, 8);
+        let b = plan_one_d(300, 4, 8);
+        assert_eq!(a.plan.barriers(), b.plan.barriers());
+        assert_eq!(a.plan.steps(), b.plan.steps());
+        assert_eq!(a.tmp_len, b.tmp_len);
+        assert!(a.plan.barriers() >= 1);
     }
 }

@@ -50,7 +50,9 @@ use paco_core::semiring::{BoolSemiring, IdempotentSemiring, MinPlus};
 use paco_runtime::WorkerPool;
 
 pub use kernel::{fw_reference, relax, FwAddr, FwTable, DEFAULT_BASE};
-pub use paco::{fw_paco, fw_paco_traced, fw_paco_with_base};
+pub use paco::{
+    fw_paco, fw_paco_batch, fw_paco_traced, fw_paco_with_base, plan_fw, FwPlan, LeafCall,
+};
 pub use po::fw_po;
 pub use seq::{fw_seq, fw_seq_traced};
 

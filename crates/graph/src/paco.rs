@@ -1,25 +1,38 @@
 //! Processor-aware cache-oblivious (PACO) Floyd–Warshall.
 //!
-//! The same A/B/C/D recursion as [`crate::seq`], executed with the 1-PIECE
+//! The same A/B/C/D recursion as [`crate::seq`], with the 1-PIECE
 //! processor-list discipline of the paper (Sect. III-C/III-E, Fig. 6/8):
 //! every recursive call carries an explicit [`ProcList`]; each fork splits the
-//! list `⌊p/2⌋ : ⌈p/2⌉` via [`paco_runtime::fork2`], so the branch whose list
-//! the current worker leads runs inline while its sibling is spawned onto the
-//! sibling list's leader; when the list is a singleton (or the block reaches
-//! the base size), the entire sub-problem runs sequentially on that processor
-//! with the cache-oblivious kernels of [`crate::seq`].  The partitioning —
-//! not a work stealer — decides placement, and it never consults the cache
-//! parameters: processor-aware, cache-oblivious.
+//! list `⌊p/2⌋ : ⌈p/2⌉`; when the list is a singleton (or the block reaches
+//! the base size) the entire sub-problem becomes one sequential leaf on that
+//! processor.  The partitioning — not a work stealer — decides placement, and
+//! it never consults the cache parameters: processor-aware, cache-oblivious.
 //!
-//! Two entry points share the recursion through a tiny execution engine:
+//! Since PR 3 the recursion is no longer *executed* directly: [`plan_fw`]
+//! replays it **symbolically** and compiles it into a wave-based
+//! [`Plan`]`<`[`LeafCall`]`>` (see [`paco_runtime::schedule`]).  The old
+//! executor paid one full pool barrier per `fork2` and per off-processor leaf
+//! spawn — linear in the recursion depth per phase (the PR 2 ROADMAP item).
+//! The plan builder's [`Front`] only advances the wave clock on true
+//! cross-processor hand-offs, so the B/C forks and the following D phase of
+//! each A-phase collapse into a constant number of waves: sequential
+//! compositions on the *same* processor (e.g. the ordered via-cut halves of a
+//! D block) ride the pool's per-worker FIFO inside one wave for free.
+//! [`FwPlan::fork_barriers`] preserves the old executor's barrier count so the
+//! flattening is regression-testable.
 //!
-//! * [`fw_paco`] — native parallel execution on a [`WorkerPool`].
-//! * [`fw_paco_traced`] — the *identical* recursion (same splits, same
-//!   leaf→processor assignment) replayed sequentially through the ideal
-//!   distributed cache simulator, charging every leaf to the private cache of
-//!   the processor the partitioning assigned it, with a task-boundary flush
-//!   per leaf (the paper's accounting convention).  This is the hook the
-//!   benches use to compare `Q^Σ_p` / `Q^max_p` against the sequential `Q₁`.
+//! Entry points:
+//!
+//! * [`fw_paco`] — native parallel execution of the plan on a [`WorkerPool`];
+//!   leaves dispatch through the data-carrying [`LeafCall`] with a concrete
+//!   [`NullTracker`], so the hot kernels stay fully monomorphized.
+//! * [`fw_paco_traced`] — the *identical* plan replayed sequentially through
+//!   the ideal distributed cache simulator, charging every leaf to the private
+//!   cache of the processor the plan assigned it (task-boundary flush per
+//!   leaf, the paper's accounting convention).
+//! * [`fw_paco_batch`] — many independent instances batched through one
+//!   pinned-pool pass via [`Plan::batch`]: the barrier count is the *maximum*
+//!   of the per-instance wave counts, not the sum.
 
 use crate::kernel::{FwAddr, FwTable, DEFAULT_BASE};
 use crate::seq::{a_co, b_co, c_co, d_co, halves};
@@ -27,8 +40,8 @@ use paco_cache_sim::{CacheParams, DistCacheSim, NullTracker, SimTracker, Tracker
 use paco_core::matrix::Matrix;
 use paco_core::proc_list::{ProcId, ProcList};
 use paco_core::semiring::IdempotentSemiring;
-use paco_runtime::{fork2, WorkerPool};
-use parking_lot::Mutex;
+use paco_runtime::schedule::{Front, Plan, PlanBuilder};
+use paco_runtime::WorkerPool;
 use std::ops::Range;
 
 /// PACO Floyd–Warshall on `pool.p()` processors with the default base size.
@@ -46,23 +59,17 @@ pub fn fw_paco_with_base<S: IdempotentSemiring>(
     assert!(base >= 1);
     let table = FwTable::from_matrix(adj);
     let addr = FwAddr::new(table.n());
-    let engine = Engine::Pool(pool);
-    a_paco(
-        &engine,
-        &table,
-        &addr,
-        None,
-        ProcList::all(pool.p()),
-        0..table.n(),
-        base,
-    );
+    let plan = plan_fw(table.n(), pool.p(), base);
+    plan.plan.execute(pool, |_, call| {
+        call.run(&table, base, &mut NullTracker, &addr);
+    });
     table.to_matrix()
 }
 
 /// PACO Floyd–Warshall replayed through the ideal distributed cache simulator:
-/// the same partitioning, the same kernels, but each leaf's accesses are
-/// charged to the private cache of its assigned processor, with a
-/// task-boundary flush before each leaf.
+/// the same plan, the same kernels, but each leaf's accesses are charged to
+/// the private cache of its assigned processor, with a task-boundary flush
+/// before each leaf.
 pub fn fw_paco_traced<S: IdempotentSemiring>(
     adj: &Matrix<S>,
     p: usize,
@@ -72,54 +79,74 @@ pub fn fw_paco_traced<S: IdempotentSemiring>(
     assert!(base >= 1);
     let table = FwTable::from_matrix(adj);
     let addr = FwAddr::new(table.n());
-    let engine = Engine::Replay(Mutex::new(SimTracker::new(p, params)));
-    a_paco(
-        &engine,
-        &table,
-        &addr,
-        None,
-        ProcList::all(p),
-        0..table.n(),
-        base,
-    );
-    let sim = match engine {
-        Engine::Replay(tracker) => tracker.into_inner().into_sim(),
-        Engine::Pool(_) => unreachable!("engine was constructed as Replay"),
-    };
-    (table.to_matrix(), sim)
+    let plan = plan_fw(table.n(), p, base);
+    let mut tracker = SimTracker::new(p, params);
+    plan.plan.for_each(|_, proc, call| {
+        tracker.set_proc(proc);
+        tracker.task_boundary();
+        call.run(&table, base, &mut tracker, &addr);
+    });
+    (table.to_matrix(), tracker.into_sim())
 }
 
-/// How the shared recursion executes forks and leaves: natively on a worker
-/// pool, or as a sequential replay through the cache simulator.  Keeping one
-/// recursion for both guarantees the traced leaf→processor assignment is
-/// exactly the one the native run uses.
-enum Engine<'a> {
-    /// Native execution: forks via [`fork2`], leaves run (or are spawned)
-    /// with the zero-cost [`NullTracker`].
-    Pool(&'a WorkerPool),
-    /// Sequential replay: forks run their branches in order, leaves are
-    /// charged to their assigned processor's simulated private cache.
-    Replay(Mutex<SimTracker>),
+/// Close many independent instances through **one** pool pass: the
+/// per-instance plans are merged wave-by-wave with [`Plan::batch`], so small
+/// graphs — whose individual runs are dominated by spawn/join round-trips —
+/// share their barriers.  Returns the closed matrices in input order.
+pub fn fw_paco_batch<S: IdempotentSemiring>(
+    adjs: &[Matrix<S>],
+    pool: &WorkerPool,
+    base: usize,
+) -> Vec<Matrix<S>> {
+    assert!(base >= 1);
+    let tables: Vec<FwTable<S>> = adjs.iter().map(FwTable::from_matrix).collect();
+    let addrs: Vec<FwAddr> = tables.iter().map(|t| FwAddr::new(t.n())).collect();
+    let plans: Vec<Plan<LeafCall>> = tables
+        .iter()
+        .map(|t| plan_fw(t.n(), pool.p(), base).plan)
+        .collect();
+    let batched = Plan::batch(plans);
+    batched.execute(pool, |_, (idx, call)| {
+        call.run(&tables[*idx], base, &mut NullTracker, &addrs[*idx]);
+    });
+    tables.iter().map(|t| t.to_matrix()).collect()
 }
 
-/// A pending leaf: which of the four roles to run on which block.
+/// A pending leaf: which of the four A/B/C/D roles to run on which block.
 ///
 /// Carrying the call as data (rather than a boxed `FnOnce(&mut dyn Tracker)`)
-/// lets [`Engine::leaf`] invoke the hot kernels with a *concrete* tracker
-/// type on both paths — `NullTracker` natively (fully monomorphized, the
-/// per-cell tracker hooks compile away exactly as in `fw_seq`/`fw_po`) and
-/// `SimTracker` in the replay — instead of paying virtual dispatch per cell.
-enum LeafCall {
+/// lets every consumer invoke the hot kernels with a *concrete* tracker type —
+/// `NullTracker` natively (fully monomorphized, the per-cell tracker hooks
+/// compile away exactly as in `fw_seq`/`fw_po`) and `SimTracker` in the traced
+/// replay — instead of paying virtual dispatch per cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeafCall {
     /// Diagonal self-closure of `r × r`.
-    A { r: Range<usize> },
+    A {
+        /// The diagonal vertex range.
+        r: Range<usize>,
+    },
     /// Row-aligned closure of `v × cols`.
-    B { v: Range<usize>, cols: Range<usize> },
+    B {
+        /// The via-vertex range (the block's rows).
+        v: Range<usize>,
+        /// The block's columns.
+        cols: Range<usize>,
+    },
     /// Column-aligned closure of `rows × v`.
-    C { v: Range<usize>, rows: Range<usize> },
+    C {
+        /// The via-vertex range (the block's columns).
+        v: Range<usize>,
+        /// The block's rows.
+        rows: Range<usize>,
+    },
     /// Disjoint accumulate `rows × cols ⊕= (rows × via) ⊗ (via × cols)`.
     D {
+        /// The block's rows.
         rows: Range<usize>,
+        /// The block's columns.
         cols: Range<usize>,
+        /// The via-vertex range.
         via: Range<usize>,
     },
 }
@@ -127,484 +154,360 @@ enum LeafCall {
 impl LeafCall {
     /// Run the call sequentially with the cache-oblivious kernels of
     /// [`crate::seq`].
-    fn run<S: IdempotentSemiring, T: Tracker + ?Sized>(
-        self,
+    pub fn run<S: IdempotentSemiring, T: Tracker + ?Sized>(
+        &self,
         table: &FwTable<S>,
         base: usize,
         tracker: &mut T,
         addr: &FwAddr,
     ) {
         match self {
-            LeafCall::A { r } => a_co(table, r, base, tracker, addr),
-            LeafCall::B { v, cols } => b_co(table, v, cols, base, tracker, addr),
-            LeafCall::C { v, rows } => c_co(table, v, rows, base, tracker, addr),
-            LeafCall::D { rows, cols, via } => d_co(table, rows, cols, via, base, tracker, addr),
+            LeafCall::A { r } => a_co(table, r.clone(), base, tracker, addr),
+            LeafCall::B { v, cols } => b_co(table, v.clone(), cols.clone(), base, tracker, addr),
+            LeafCall::C { v, rows } => c_co(table, v.clone(), rows.clone(), base, tracker, addr),
+            LeafCall::D { rows, cols, via } => d_co(
+                table,
+                rows.clone(),
+                cols.clone(),
+                via.clone(),
+                base,
+                tracker,
+                addr,
+            ),
         }
     }
 }
 
-impl Engine<'_> {
-    /// Run two independent branches, each on its half of the processor list.
-    fn fork<F1, F2>(&self, cur: Option<ProcId>, p1: ProcList, f1: F1, p2: ProcList, f2: F2)
-    where
-        F1: FnOnce(Option<ProcId>) + Send,
-        F2: FnOnce(Option<ProcId>) + Send,
-    {
-        match self {
-            Engine::Pool(pool) => fork2(pool, cur, p1, f1, p2, f2),
-            Engine::Replay(_) => {
-                f1(Some(p1.first()));
-                f2(Some(p2.first()));
-            }
-        }
-    }
-
-    /// Execute a sequential leaf on processor `proc`.
-    fn leaf<S: IdempotentSemiring>(
-        &self,
-        table: &FwTable<S>,
-        addr: &FwAddr,
-        base: usize,
-        cur: Option<ProcId>,
-        proc: ProcId,
-        call: LeafCall,
-    ) {
-        match self {
-            Engine::Pool(pool) => {
-                if cur == Some(proc) {
-                    call.run(table, base, &mut NullTracker, addr);
-                } else {
-                    pool.scope(|s| {
-                        s.spawn_on(proc, move || call.run(table, base, &mut NullTracker, addr))
-                    });
-                }
-            }
-            Engine::Replay(tracker) => {
-                let mut t = tracker.lock();
-                t.set_proc(proc);
-                t.task_boundary();
-                call.run(table, base, &mut *t, addr);
-            }
-        }
-    }
+/// The compiled Floyd–Warshall schedule plus the barrier count of the
+/// pre-plan recursive executor, for regression tests and reports.
+#[derive(Debug, Clone)]
+pub struct FwPlan {
+    /// The wave-flattened schedule.
+    pub plan: Plan<LeafCall>,
+    /// Barriers the old `fork2`-driven executor would have issued for the
+    /// same recursion: one per fork plus one per leaf spawned onto a
+    /// processor other than the one already executing the recursion.
+    pub fork_barriers: usize,
 }
 
-/// The A role on a processor list: close the diagonal block `r × r`.
-fn a_paco<S: IdempotentSemiring>(
-    engine: &Engine<'_>,
-    table: &FwTable<S>,
-    addr: &FwAddr,
-    cur: Option<ProcId>,
-    procs: ProcList,
-    r: Range<usize>,
-    base: usize,
-) {
-    if r.is_empty() {
-        return;
-    }
-    if procs.len() == 1 || r.len() <= base {
-        let target = procs.first();
-        engine.leaf(table, addr, base, cur, target, LeafCall::A { r });
-        return;
-    }
-    let (r1, r2) = halves(&r);
-    let (p1, p2) = procs.split_even();
-    // Phase 1: via ∈ r1.  B and C write disjoint off-diagonal blocks.
-    a_paco(engine, table, addr, cur, procs, r1.clone(), base);
-    engine.fork(
-        cur,
-        p1,
-        |c| b_paco(engine, table, addr, c, p1, r1.clone(), r2.clone(), base),
-        p2,
-        |c| c_paco(engine, table, addr, c, p2, r1.clone(), r2.clone(), base),
-    );
-    d_paco(
-        engine,
-        table,
-        addr,
-        cur,
-        procs,
-        r2.clone(),
-        r2.clone(),
-        r1.clone(),
+/// Compile the PACO Floyd–Warshall recursion for an `n × n` instance on `p`
+/// processors into a wave-flattened [`Plan`].
+pub fn plan_fw(n: usize, p: usize, base: usize) -> FwPlan {
+    assert!(p >= 1);
+    assert!(base >= 1);
+    let mut planner = Planner {
+        b: PlanBuilder::new(p),
         base,
-    );
-    // Phase 2: via ∈ r2.
-    a_paco(engine, table, addr, cur, procs, r2.clone(), base);
-    engine.fork(
-        cur,
-        p1,
-        |c| b_paco(engine, table, addr, c, p1, r2.clone(), r1.clone(), base),
-        p2,
-        |c| c_paco(engine, table, addr, c, p2, r2.clone(), r1.clone(), base),
-    );
-    d_paco(engine, table, addr, cur, procs, r1.clone(), r1, r2, base);
+        fork_barriers: 0,
+    };
+    let front = planner.b.root();
+    planner.a(&front, None, ProcList::all(p), 0..n);
+    FwPlan {
+        plan: planner.b.finish(),
+        fork_barriers: planner.fork_barriers,
+    }
 }
 
-/// The B role on a processor list: close the row-aligned block `v × cols`.
-#[allow(clippy::too_many_arguments)] // mirrors the recursion's pseudo-code signature
-fn b_paco<S: IdempotentSemiring>(
-    engine: &Engine<'_>,
-    table: &FwTable<S>,
-    addr: &FwAddr,
-    cur: Option<ProcId>,
-    procs: ProcList,
-    v: Range<usize>,
-    cols: Range<usize>,
+/// Symbolic replay of the A/B/C/D recursion into a [`PlanBuilder`].
+///
+/// `cur` tracks which processor the old executor would have been running on
+/// (the 1-PIECE "own branch runs inline" rule) — it no longer influences the
+/// schedule, only the [`FwPlan::fork_barriers`] accounting.
+struct Planner {
+    b: PlanBuilder<LeafCall>,
     base: usize,
-) {
-    if v.is_empty() || cols.is_empty() {
-        return;
+    fork_barriers: usize,
+}
+
+impl Planner {
+    fn leaf(&mut self, front: &Front, cur: Option<ProcId>, proc: ProcId, call: LeafCall) -> Front {
+        if cur != Some(proc) {
+            // The old executor opened a scope to spawn a leaf it was not
+            // already running on.
+            self.fork_barriers += 1;
+        }
+        self.b.step(front, proc, call)
     }
-    if procs.len() == 1 || (v.len() <= base && cols.len() <= base) {
-        let target = procs.first();
-        engine.leaf(table, addr, base, cur, target, LeafCall::B { v, cols });
-        return;
+
+    /// Two parallel branches on the two halves of the processor list; the old
+    /// executor's `fork2` was one barrier regardless of `cur`.
+    fn fork(
+        &mut self,
+        front: &Front,
+        p1: ProcList,
+        f1: impl FnOnce(&mut Self, &Front, Option<ProcId>) -> Front,
+        p2: ProcList,
+        f2: impl FnOnce(&mut Self, &Front, Option<ProcId>) -> Front,
+    ) -> Front {
+        self.fork_barriers += 1;
+        let left = f1(self, front, Some(p1.first()));
+        let right = f2(self, front, Some(p2.first()));
+        left.join(&right)
     }
-    if v.len() <= base {
+
+    /// The A role: close the diagonal block `r × r`.
+    fn a(&mut self, front: &Front, cur: Option<ProcId>, procs: ProcList, r: Range<usize>) -> Front {
+        if r.is_empty() {
+            return front.clone();
+        }
+        if procs.len() == 1 || r.len() <= self.base {
+            return self.leaf(front, cur, procs.first(), LeafCall::A { r });
+        }
+        let (r1, r2) = halves(&r);
+        let (p1, p2) = procs.split_even();
+        // Phase 1: via ∈ r1.  B and C write disjoint off-diagonal blocks.
+        let f = self.a(front, cur, procs, r1.clone());
+        let f = {
+            let (r1b, r2b) = (r1.clone(), r2.clone());
+            let (r1c, r2c) = (r1.clone(), r2.clone());
+            self.fork(
+                &f,
+                p1,
+                |s, f, c| s.b_role(f, c, p1, r1b, r2b),
+                p2,
+                |s, f, c| s.c_role(f, c, p2, r1c, r2c),
+            )
+        };
+        let f = self.d(&f, cur, procs, r2.clone(), r2.clone(), r1.clone());
+        // Phase 2: via ∈ r2.
+        let f = self.a(&f, cur, procs, r2.clone());
+        let f = {
+            let (r2b, r1b) = (r2.clone(), r1.clone());
+            let (r2c, r1c) = (r2.clone(), r1.clone());
+            self.fork(
+                &f,
+                p1,
+                |s, f, c| s.b_role(f, c, p1, r2b, r1b),
+                p2,
+                |s, f, c| s.c_role(f, c, p2, r2c, r1c),
+            )
+        };
+        self.d(&f, cur, procs, r1.clone(), r1, r2)
+    }
+
+    /// The B role: close the row-aligned block `v × cols`.
+    fn b_role(
+        &mut self,
+        front: &Front,
+        cur: Option<ProcId>,
+        procs: ProcList,
+        v: Range<usize>,
+        cols: Range<usize>,
+    ) -> Front {
+        if v.is_empty() || cols.is_empty() {
+            return front.clone();
+        }
+        if procs.len() == 1 || (v.len() <= self.base && cols.len() <= self.base) {
+            return self.leaf(front, cur, procs.first(), LeafCall::B { v, cols });
+        }
+        if v.len() <= self.base {
+            let (c1, c2) = halves(&cols);
+            let (p1, p2) = procs.split_even();
+            let (va, vb) = (v.clone(), v);
+            return self.fork(
+                front,
+                p1,
+                |s, f, c| s.b_role(f, c, p1, va, c1),
+                p2,
+                |s, f, c| s.b_role(f, c, p2, vb, c2),
+            );
+        }
+        let (v1, v2) = halves(&v);
+        if cols.len() <= self.base {
+            let f = self.b_role(front, cur, procs, v1.clone(), cols.clone());
+            let f = self.d(&f, cur, procs, v2.clone(), cols.clone(), v1.clone());
+            let f = self.b_role(&f, cur, procs, v2.clone(), cols.clone());
+            return self.d(&f, cur, procs, v1, cols, v2);
+        }
         let (c1, c2) = halves(&cols);
         let (p1, p2) = procs.split_even();
-        engine.fork(
-            cur,
-            p1,
-            |c| b_paco(engine, table, addr, c, p1, v.clone(), c1, base),
-            p2,
-            |c| b_paco(engine, table, addr, c, p2, v.clone(), c2, base),
-        );
-        return;
-    }
-    let (v1, v2) = halves(&v);
-    if cols.len() <= base {
-        b_paco(
-            engine,
-            table,
-            addr,
-            cur,
-            procs,
-            v1.clone(),
-            cols.clone(),
-            base,
-        );
-        d_paco(
-            engine,
-            table,
-            addr,
-            cur,
-            procs,
-            v2.clone(),
-            cols.clone(),
-            v1.clone(),
-            base,
-        );
-        b_paco(
-            engine,
-            table,
-            addr,
-            cur,
-            procs,
-            v2.clone(),
-            cols.clone(),
-            base,
-        );
-        d_paco(engine, table, addr, cur, procs, v1, cols, v2, base);
-        return;
-    }
-    let (c1, c2) = halves(&cols);
-    let (p1, p2) = procs.split_even();
-    // Phase 1: via ∈ v1.
-    engine.fork(
-        cur,
-        p1,
-        |c| b_paco(engine, table, addr, c, p1, v1.clone(), c1.clone(), base),
-        p2,
-        |c| b_paco(engine, table, addr, c, p2, v1.clone(), c2.clone(), base),
-    );
-    engine.fork(
-        cur,
-        p1,
-        |c| {
-            d_paco(
-                engine,
-                table,
-                addr,
-                c,
+        // Phase 1: via ∈ v1.
+        let f = {
+            let (va, vb) = (v1.clone(), v1.clone());
+            let (ca, cb) = (c1.clone(), c2.clone());
+            self.fork(
+                front,
                 p1,
-                v2.clone(),
-                c1.clone(),
-                v1.clone(),
-                base,
-            )
-        },
-        p2,
-        |c| {
-            d_paco(
-                engine,
-                table,
-                addr,
-                c,
+                |s, f, c| s.b_role(f, c, p1, va, ca),
                 p2,
-                v2.clone(),
-                c2.clone(),
-                v1.clone(),
-                base,
+                |s, f, c| s.b_role(f, c, p2, vb, cb),
             )
-        },
-    );
-    // Phase 2: via ∈ v2.
-    engine.fork(
-        cur,
-        p1,
-        |c| b_paco(engine, table, addr, c, p1, v2.clone(), c1.clone(), base),
-        p2,
-        |c| b_paco(engine, table, addr, c, p2, v2.clone(), c2.clone(), base),
-    );
-    engine.fork(
-        cur,
-        p1,
-        |c| d_paco(engine, table, addr, c, p1, v1.clone(), c1, v2.clone(), base),
-        p2,
-        |c| d_paco(engine, table, addr, c, p2, v1.clone(), c2, v2.clone(), base),
-    );
-}
+        };
+        let f = {
+            let (ra, rb) = (v2.clone(), v2.clone());
+            let (ca, cb) = (c1.clone(), c2.clone());
+            let (wa, wb) = (v1.clone(), v1.clone());
+            self.fork(
+                &f,
+                p1,
+                |s, f, c| s.d(f, c, p1, ra, ca, wa),
+                p2,
+                |s, f, c| s.d(f, c, p2, rb, cb, wb),
+            )
+        };
+        // Phase 2: via ∈ v2.
+        let f = {
+            let (va, vb) = (v2.clone(), v2.clone());
+            let (ca, cb) = (c1.clone(), c2.clone());
+            self.fork(
+                &f,
+                p1,
+                |s, f, c| s.b_role(f, c, p1, va, ca),
+                p2,
+                |s, f, c| s.b_role(f, c, p2, vb, cb),
+            )
+        };
+        {
+            let (ra, rb) = (v1.clone(), v1);
+            let (wa, wb) = (v2.clone(), v2);
+            self.fork(
+                &f,
+                p1,
+                |s, f, c| s.d(f, c, p1, ra, c1, wa),
+                p2,
+                |s, f, c| s.d(f, c, p2, rb, c2, wb),
+            )
+        }
+    }
 
-/// The C role on a processor list: close the column-aligned block `rows × v`.
-#[allow(clippy::too_many_arguments)] // mirrors the recursion's pseudo-code signature
-fn c_paco<S: IdempotentSemiring>(
-    engine: &Engine<'_>,
-    table: &FwTable<S>,
-    addr: &FwAddr,
-    cur: Option<ProcId>,
-    procs: ProcList,
-    v: Range<usize>,
-    rows: Range<usize>,
-    base: usize,
-) {
-    if v.is_empty() || rows.is_empty() {
-        return;
-    }
-    if procs.len() == 1 || (v.len() <= base && rows.len() <= base) {
-        let target = procs.first();
-        engine.leaf(table, addr, base, cur, target, LeafCall::C { v, rows });
-        return;
-    }
-    if v.len() <= base {
+    /// The C role: close the column-aligned block `rows × v`.
+    fn c_role(
+        &mut self,
+        front: &Front,
+        cur: Option<ProcId>,
+        procs: ProcList,
+        v: Range<usize>,
+        rows: Range<usize>,
+    ) -> Front {
+        if v.is_empty() || rows.is_empty() {
+            return front.clone();
+        }
+        if procs.len() == 1 || (v.len() <= self.base && rows.len() <= self.base) {
+            return self.leaf(front, cur, procs.first(), LeafCall::C { v, rows });
+        }
+        if v.len() <= self.base {
+            let (r1, r2) = halves(&rows);
+            let (p1, p2) = procs.split_even();
+            let (va, vb) = (v.clone(), v);
+            return self.fork(
+                front,
+                p1,
+                |s, f, c| s.c_role(f, c, p1, va, r1),
+                p2,
+                |s, f, c| s.c_role(f, c, p2, vb, r2),
+            );
+        }
+        let (v1, v2) = halves(&v);
+        if rows.len() <= self.base {
+            let f = self.c_role(front, cur, procs, v1.clone(), rows.clone());
+            let f = self.d(&f, cur, procs, rows.clone(), v2.clone(), v1.clone());
+            let f = self.c_role(&f, cur, procs, v2.clone(), rows.clone());
+            return self.d(&f, cur, procs, rows, v1, v2);
+        }
         let (r1, r2) = halves(&rows);
         let (p1, p2) = procs.split_even();
-        engine.fork(
-            cur,
-            p1,
-            |c| c_paco(engine, table, addr, c, p1, v.clone(), r1, base),
-            p2,
-            |c| c_paco(engine, table, addr, c, p2, v.clone(), r2, base),
-        );
-        return;
-    }
-    let (v1, v2) = halves(&v);
-    if rows.len() <= base {
-        c_paco(
-            engine,
-            table,
-            addr,
-            cur,
-            procs,
-            v1.clone(),
-            rows.clone(),
-            base,
-        );
-        d_paco(
-            engine,
-            table,
-            addr,
-            cur,
-            procs,
-            rows.clone(),
-            v2.clone(),
-            v1.clone(),
-            base,
-        );
-        c_paco(
-            engine,
-            table,
-            addr,
-            cur,
-            procs,
-            v2.clone(),
-            rows.clone(),
-            base,
-        );
-        d_paco(engine, table, addr, cur, procs, rows, v1, v2, base);
-        return;
-    }
-    let (r1, r2) = halves(&rows);
-    let (p1, p2) = procs.split_even();
-    // Phase 1: via ∈ v1.
-    engine.fork(
-        cur,
-        p1,
-        |c| c_paco(engine, table, addr, c, p1, v1.clone(), r1.clone(), base),
-        p2,
-        |c| c_paco(engine, table, addr, c, p2, v1.clone(), r2.clone(), base),
-    );
-    engine.fork(
-        cur,
-        p1,
-        |c| {
-            d_paco(
-                engine,
-                table,
-                addr,
-                c,
+        // Phase 1: via ∈ v1.
+        let f = {
+            let (va, vb) = (v1.clone(), v1.clone());
+            let (ra, rb) = (r1.clone(), r2.clone());
+            self.fork(
+                front,
                 p1,
-                r1.clone(),
-                v2.clone(),
-                v1.clone(),
-                base,
-            )
-        },
-        p2,
-        |c| {
-            d_paco(
-                engine,
-                table,
-                addr,
-                c,
+                |s, f, c| s.c_role(f, c, p1, va, ra),
                 p2,
-                r2.clone(),
-                v2.clone(),
-                v1.clone(),
-                base,
+                |s, f, c| s.c_role(f, c, p2, vb, rb),
             )
-        },
-    );
-    // Phase 2: via ∈ v2.
-    engine.fork(
-        cur,
-        p1,
-        |c| c_paco(engine, table, addr, c, p1, v2.clone(), r1.clone(), base),
-        p2,
-        |c| c_paco(engine, table, addr, c, p2, v2.clone(), r2.clone(), base),
-    );
-    engine.fork(
-        cur,
-        p1,
-        |c| d_paco(engine, table, addr, c, p1, r1, v1.clone(), v2.clone(), base),
-        p2,
-        |c| d_paco(engine, table, addr, c, p2, r2, v1.clone(), v2.clone(), base),
-    );
-}
+        };
+        let f = {
+            let (ra, rb) = (r1.clone(), r2.clone());
+            let (ca, cb) = (v2.clone(), v2.clone());
+            let (wa, wb) = (v1.clone(), v1.clone());
+            self.fork(
+                &f,
+                p1,
+                |s, f, c| s.d(f, c, p1, ra, ca, wa),
+                p2,
+                |s, f, c| s.d(f, c, p2, rb, cb, wb),
+            )
+        };
+        // Phase 2: via ∈ v2.
+        let f = {
+            let (va, vb) = (v2.clone(), v2.clone());
+            let (ra, rb) = (r1.clone(), r2.clone());
+            self.fork(
+                &f,
+                p1,
+                |s, f, c| s.c_role(f, c, p1, va, ra),
+                p2,
+                |s, f, c| s.c_role(f, c, p2, vb, rb),
+            )
+        };
+        {
+            let (ca, cb) = (v1.clone(), v1);
+            let (wa, wb) = (v2.clone(), v2);
+            self.fork(
+                &f,
+                p1,
+                |s, f, c| s.d(f, c, p1, r1, ca, wa),
+                p2,
+                |s, f, c| s.d(f, c, p2, r2, cb, wb),
+            )
+        }
+    }
 
-/// The D role on a processor list: disjoint accumulate, split on the longest
-/// dimension (row/column cuts fork; via cuts stay ordered).
-#[allow(clippy::too_many_arguments)] // mirrors the recursion's pseudo-code signature
-fn d_paco<S: IdempotentSemiring>(
-    engine: &Engine<'_>,
-    table: &FwTable<S>,
-    addr: &FwAddr,
-    cur: Option<ProcId>,
-    procs: ProcList,
-    rows: Range<usize>,
-    cols: Range<usize>,
-    via: Range<usize>,
-    base: usize,
-) {
-    if rows.is_empty() || cols.is_empty() || via.is_empty() {
-        return;
-    }
-    if procs.len() == 1 || (rows.len() <= base && cols.len() <= base && via.len() <= base) {
-        let target = procs.first();
-        engine.leaf(
-            table,
-            addr,
-            base,
-            cur,
-            target,
-            LeafCall::D { rows, cols, via },
-        );
-        return;
-    }
-    if rows.len() >= cols.len() && rows.len() >= via.len() {
-        let (r1, r2) = halves(&rows);
-        let (p1, p2) = procs.split_even();
-        engine.fork(
-            cur,
-            p1,
-            |c| {
-                d_paco(
-                    engine,
-                    table,
-                    addr,
-                    c,
-                    p1,
-                    r1,
-                    cols.clone(),
-                    via.clone(),
-                    base,
-                )
-            },
-            p2,
-            |c| {
-                d_paco(
-                    engine,
-                    table,
-                    addr,
-                    c,
-                    p2,
-                    r2,
-                    cols.clone(),
-                    via.clone(),
-                    base,
-                )
-            },
-        );
-    } else if cols.len() >= via.len() {
-        let (c1, c2) = halves(&cols);
-        let (p1, p2) = procs.split_even();
-        engine.fork(
-            cur,
-            p1,
-            |c| {
-                d_paco(
-                    engine,
-                    table,
-                    addr,
-                    c,
-                    p1,
-                    rows.clone(),
-                    c1,
-                    via.clone(),
-                    base,
-                )
-            },
-            p2,
-            |c| {
-                d_paco(
-                    engine,
-                    table,
-                    addr,
-                    c,
-                    p2,
-                    rows.clone(),
-                    c2,
-                    via.clone(),
-                    base,
-                )
-            },
-        );
-    } else {
-        // A via cut accumulates into the same cells: the halves stay ordered.
-        let (v1, v2) = halves(&via);
-        d_paco(
-            engine,
-            table,
-            addr,
-            cur,
-            procs,
-            rows.clone(),
-            cols.clone(),
-            v1,
-            base,
-        );
-        d_paco(engine, table, addr, cur, procs, rows, cols, v2, base);
+    /// The D role: disjoint accumulate, split on the longest dimension
+    /// (row/column cuts fork; via cuts stay ordered — and, because both via
+    /// halves keep the same processor list, the ordered halves land on the
+    /// same workers and share waves through the per-worker FIFO).
+    #[allow(clippy::too_many_arguments)] // mirrors the recursion's pseudo-code signature
+    fn d(
+        &mut self,
+        front: &Front,
+        cur: Option<ProcId>,
+        procs: ProcList,
+        rows: Range<usize>,
+        cols: Range<usize>,
+        via: Range<usize>,
+    ) -> Front {
+        if rows.is_empty() || cols.is_empty() || via.is_empty() {
+            return front.clone();
+        }
+        if procs.len() == 1
+            || (rows.len() <= self.base && cols.len() <= self.base && via.len() <= self.base)
+        {
+            return self.leaf(front, cur, procs.first(), LeafCall::D { rows, cols, via });
+        }
+        if rows.len() >= cols.len() && rows.len() >= via.len() {
+            let (r1, r2) = halves(&rows);
+            let (p1, p2) = procs.split_even();
+            let (ca, cb) = (cols.clone(), cols);
+            let (wa, wb) = (via.clone(), via);
+            self.fork(
+                front,
+                p1,
+                |s, f, c| s.d(f, c, p1, r1, ca, wa),
+                p2,
+                |s, f, c| s.d(f, c, p2, r2, cb, wb),
+            )
+        } else if cols.len() >= via.len() {
+            let (c1, c2) = halves(&cols);
+            let (p1, p2) = procs.split_even();
+            let (ra, rb) = (rows.clone(), rows);
+            let (wa, wb) = (via.clone(), via);
+            self.fork(
+                front,
+                p1,
+                |s, f, c| s.d(f, c, p1, ra, c1, wa),
+                p2,
+                |s, f, c| s.d(f, c, p2, rb, c2, wb),
+            )
+        } else {
+            // A via cut accumulates into the same cells: the halves stay
+            // ordered (same procs ⇒ same leaves ⇒ in-wave FIFO ordering).
+            let (v1, v2) = halves(&via);
+            let f = self.d(front, cur, procs, rows.clone(), cols.clone(), v1);
+            self.d(&f, cur, procs, rows, cols, v2)
+        }
     }
 }
 
@@ -612,7 +515,7 @@ fn d_paco<S: IdempotentSemiring>(
 mod tests {
     use super::*;
     use crate::kernel::fw_reference;
-    use crate::seq::fw_seq_traced;
+    use crate::seq::{fw_seq, fw_seq_traced};
     use paco_core::workload::{random_adjacency, random_digraph};
 
     #[test]
@@ -684,5 +587,80 @@ mod tests {
             "Q^Σ_p = {qp} should stay well below p·Q₁ = {}",
             p as f64 * q1
         );
+    }
+
+    #[test]
+    fn flattened_plan_issues_far_fewer_barriers_than_the_fork_recursion() {
+        // The PR 2 ROADMAP item: the fork2-driven executor paid one barrier
+        // per fork and per off-processor leaf spawn; the wave-flattened plan
+        // must issue strictly fewer (in practice: several times fewer).
+        for &(n, base, p) in &[(128usize, 8usize, 4usize), (256, 16, 4), (128, 8, 7)] {
+            let fw = plan_fw(n, p, base);
+            assert!(
+                fw.plan.barriers() < fw.fork_barriers,
+                "n={n} base={base} p={p}: {} waves vs {} recursive barriers",
+                fw.plan.barriers(),
+                fw.fork_barriers
+            );
+        }
+    }
+
+    #[test]
+    fn plan_barriers_grow_linearly_with_n_not_faster() {
+        // Per A-phase the wave count is bounded by a constant in n (it only
+        // depends on p): doubling n doubles the A-chain, so barriers at most
+        // double (plus a constant).
+        let p = 4;
+        let base = 8;
+        let b128 = plan_fw(128, p, base).plan.barriers();
+        let b256 = plan_fw(256, p, base).plan.barriers();
+        assert!(
+            (b256 as f64) <= 2.3 * b128 as f64,
+            "barriers must scale with the A-chain: b(128)={b128}, b(256)={b256}"
+        );
+    }
+
+    #[test]
+    fn single_processor_plan_is_one_leaf_no_fork_barriers() {
+        let fw = plan_fw(512, 1, 16);
+        assert_eq!(fw.plan.barriers(), 1);
+        assert_eq!(fw.plan.steps(), 1);
+    }
+
+    #[test]
+    fn batch_matches_individual_runs_and_shares_barriers() {
+        let pool = WorkerPool::new(3);
+        let base = 8;
+        let adjs: Vec<_> = (0..5)
+            .map(|i| random_digraph(24 + 8 * i, 0.25, 30, 100 + i as u64))
+            .collect();
+        let expect: Vec<_> = adjs.iter().map(fw_reference).collect();
+        let got = fw_paco_batch(&adjs, &pool, base);
+        assert_eq!(got, expect);
+
+        // The batched plan's barrier count is the max of the constituents',
+        // not the sum.
+        let plans: Vec<_> = adjs
+            .iter()
+            .map(|a| plan_fw(a.rows(), pool.p(), base).plan)
+            .collect();
+        let sum: usize = plans.iter().map(|p| p.barriers()).sum();
+        let max = plans.iter().map(|p| p.barriers()).max().unwrap();
+        let batched = Plan::batch(plans);
+        assert_eq!(batched.barriers(), max);
+        assert!(batched.barriers() < sum);
+    }
+
+    #[test]
+    fn plan_agrees_with_seq_for_awkward_sizes() {
+        for &(n, p, base) in &[(33usize, 5usize, 4usize), (77, 3, 8), (64, 8, 4)] {
+            let adj = random_digraph(n, 0.3, 25, n as u64 * 7 + p as u64);
+            let pool = WorkerPool::new(p);
+            assert_eq!(
+                fw_paco_with_base(&adj, &pool, base),
+                fw_seq(&adj, base),
+                "n={n} p={p} base={base}"
+            );
+        }
     }
 }

@@ -26,6 +26,7 @@ use crate::co_mm::co_mm_with_cutoff;
 use crate::kernel::MM_BASE;
 use paco_core::matrix::Matrix;
 use paco_core::semiring::Semiring;
+use paco_runtime::schedule::{Plan, Step};
 use paco_runtime::{pruned_bfs_with_options, Assignment, BfsOptions, DcNode, WorkerPool};
 use parking_lot::Mutex;
 
@@ -138,7 +139,10 @@ pub fn paco_mm_general_with_base<S: Semiring>(
     let assignment = plan_paco_mm_general(n, m, k, pool.p(), base);
 
     // ---- Phase 2: every processor multiplies its cuboids into private
-    // temporaries (one per cuboid, sized to the cuboid's bottom face).
+    // temporaries (one per cuboid, sized to the cuboid's bottom face).  The
+    // pruned-BFS assignment lowers to a single-wave plan: one barrier, every
+    // cuboid spawned onto its processor, per-processor order preserved by the
+    // pool FIFO.
     type Partial<S> = (PlacedCuboid, Matrix<S>);
     let partials: Vec<Mutex<Vec<Partial<S>>>> =
         (0..pool.p()).map(|_| Mutex::new(Vec::new())).collect();
@@ -146,24 +150,19 @@ pub fn paco_mm_general_with_base<S: Semiring>(
         let av = a.as_ref();
         let bv = b.as_ref();
         let partials_ref = &partials;
-        pool.scope(|s| {
-            for (proc, cuboids) in assignment.per_proc.iter().enumerate() {
-                for &cuboid in cuboids {
-                    s.spawn_on(proc, move || {
-                        let a_block = av.submatrix(cuboid.i0, cuboid.k0, cuboid.rows, cuboid.depth);
-                        let b_block = bv.submatrix(cuboid.k0, cuboid.j0, cuboid.depth, cuboid.cols);
-                        let mut tmp: Matrix<S> = Matrix::zeros(cuboid.rows, cuboid.cols);
-                        co_mm_with_cutoff(tmp.as_mut(), a_block, b_block, MM_BASE);
-                        partials_ref[proc].lock().push((cuboid, tmp));
-                    });
-                }
-            }
+        assignment.into_plan().execute(pool, |proc, cuboid| {
+            let a_block = av.submatrix(cuboid.i0, cuboid.k0, cuboid.rows, cuboid.depth);
+            let b_block = bv.submatrix(cuboid.k0, cuboid.j0, cuboid.depth, cuboid.cols);
+            let mut tmp: Matrix<S> = Matrix::zeros(cuboid.rows, cuboid.cols);
+            co_mm_with_cutoff(tmp.as_mut(), a_block, b_block, MM_BASE);
+            partials_ref[proc].lock().push((*cuboid, tmp));
         });
     }
 
     // ---- Phase 3: reduce the partial products into C.  The output rows are
     // partitioned over the processors; each worker folds in every partial that
     // intersects its row band, so no two workers touch the same output cell.
+    // The bands are disjoint `MatMut` windows, moved into a one-wave plan.
     let all_partials: Vec<Partial<S>> = partials.into_iter().flat_map(|m| m.into_inner()).collect();
     {
         let all_ref = &all_partials;
@@ -175,25 +174,24 @@ pub fn paco_mm_general_with_base<S: Semiring>(
             let hi = (proc + 1) * n / p;
             let (band, tail) = rest.split_rows(hi - lo);
             rest = tail;
-            bands.push((proc, lo, hi, band));
+            bands.push(Step {
+                proc,
+                job: (lo, hi, band),
+            });
         }
-        pool.scope(|s| {
-            for (proc, lo, hi, mut band) in bands {
-                s.spawn_on(proc, move || {
-                    for (cuboid, tmp) in all_ref {
-                        let c_lo = cuboid.i0.max(lo);
-                        let c_hi = (cuboid.i0 + cuboid.rows).min(hi);
-                        if c_lo >= c_hi {
-                            continue;
-                        }
-                        for i in c_lo..c_hi {
-                            for j in 0..cuboid.cols {
-                                let cur = band.at(i - lo, cuboid.j0 + j);
-                                band.set(i - lo, cuboid.j0 + j, cur.add(tmp.get(i - cuboid.i0, j)));
-                            }
-                        }
+        Plan::single_wave(p, bands).execute_owned(pool, |_, (lo, hi, mut band)| {
+            for (cuboid, tmp) in all_ref {
+                let c_lo = cuboid.i0.max(lo);
+                let c_hi = (cuboid.i0 + cuboid.rows).min(hi);
+                if c_lo >= c_hi {
+                    continue;
+                }
+                for i in c_lo..c_hi {
+                    for j in 0..cuboid.cols {
+                        let cur = band.at(i - lo, cuboid.j0 + j);
+                        band.set(i - lo, cuboid.j0 + j, cur.add(tmp.get(i - cuboid.i0, j)));
                     }
-                });
+                }
             }
         });
     }

@@ -18,6 +18,16 @@
 //!   temporary output and merges with a parallel addition afterwards, exactly
 //!   as lines 27–37 of Fig. 7 / Fig. 8 describe.
 //!
+//! Since PR 3 the 1-PIECE recursion is compiled by [`plan_mm_1piece`] into the
+//! runtime's wave-based [`Plan`] IR instead of driving the pool with `fork2`:
+//! the recursion is replayed symbolically, leaves and reduction adds become
+//! [`MmJob`] descriptors (block coordinates into the output and a temporary
+//! arena sized at plan time), and the executor interprets them against
+//! `UnsafeCell`-backed [`SharedGrid`] storage, rebuilding `MatMut`/`MatRef`
+//! windows per job.  Jobs are plain data, so the leaf kernel call is fully
+//! monomorphized — no boxed closures, no virtual dispatch on the hot path —
+//! and the same plan could be replayed sequentially step by step.
+//!
 //! The same recursion, parameterised by throughput fractions and a leaf
 //! throttle, also implements the heterogeneous variant (see [`crate::hetero`]).
 
@@ -26,8 +36,10 @@ use crate::kernel::MM_BASE;
 use paco_core::matrix::{MatMut, MatRef, Matrix};
 use paco_core::proc_list::{ProcId, ProcList};
 use paco_core::semiring::Semiring;
+use paco_core::shared::SharedGrid;
 use paco_runtime::hetero::ThrottleSpec;
-use paco_runtime::{fork2, pruned_bfs, Assignment, DcNode, WorkerPool};
+use paco_runtime::schedule::{Front, Plan, PlanBuilder};
+use paco_runtime::{pruned_bfs, Assignment, DcNode, WorkerPool};
 
 /// A computation cuboid `n × m × k` (output `n × m`, inputs `n × k` and
 /// `k × m`); the node type of the pruned BFS partitioning.
@@ -135,6 +147,228 @@ impl MmConfig {
     }
 }
 
+/// A rectangular block: `rows × cols` cells starting at `(r0, c0)` of its
+/// parent matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// First row.
+    pub r0: usize,
+    /// First column.
+    pub c0: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Rect {
+    fn split_rows(self, at: usize) -> (Rect, Rect) {
+        (
+            Rect { rows: at, ..self },
+            Rect {
+                r0: self.r0 + at,
+                rows: self.rows - at,
+                ..self
+            },
+        )
+    }
+
+    fn split_cols(self, at: usize) -> (Rect, Rect) {
+        (
+            Rect { cols: at, ..self },
+            Rect {
+                c0: self.c0 + at,
+                cols: self.cols - at,
+                ..self
+            },
+        )
+    }
+}
+
+/// An output block: which buffer (`0` = the real output `C`, `i + 1` =
+/// temporary `i` of the plan's arena) and which rectangle of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRef {
+    /// Buffer id (`0` = `C`, else temporary `buf - 1`).
+    pub buf: usize,
+    /// The block's rectangle within that buffer.
+    pub rect: Rect,
+}
+
+/// One step of the compiled MM-1-PIECE schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmJob {
+    /// `c += A[a] ⊗ B[b]` with the sequential cache-oblivious kernel.
+    Leaf {
+        /// Output block.
+        c: BlockRef,
+        /// Block of the input matrix `A`.
+        a: Rect,
+        /// Block of the input matrix `B`.
+        b: Rect,
+    },
+    /// Element-wise reduction `c += d` (one row band of a height cut's
+    /// temporary, the "parallel for" of Fig. 7 lines 35–36).
+    Add {
+        /// Destination band.
+        c: BlockRef,
+        /// Source band (same shape).
+        d: BlockRef,
+    },
+}
+
+/// The compiled MM-1-PIECE schedule: the wave plan plus the shapes of the
+/// temporaries its height cuts need (allocated fresh by the executor).
+#[derive(Debug, Clone)]
+pub struct MmPlan {
+    /// The executable schedule.
+    pub plan: Plan<MmJob>,
+    /// `temps[i]` is the `(rows, cols)` shape of temporary `i`.
+    pub temps: Vec<(usize, usize)>,
+}
+
+/// Compile the 1-PIECE recursion of Fig. 8 (plus the Fig. 7 height-cut
+/// reduction) for a `C = A(n×k) ⊗ B(k×m)` product on `p` processors.
+///
+/// Only [`MmConfig::fractions`] influences the schedule (it decides the cut
+/// ratios); the cutoff and throttle are execution-time concerns.
+pub fn plan_mm_1piece(n: usize, m: usize, k: usize, p: usize, cfg: &MmConfig) -> MmPlan {
+    let mut planner = MmPlanner {
+        b: PlanBuilder::new(p),
+        temps: Vec::new(),
+        cfg,
+    };
+    let front = planner.b.root();
+    planner.recurse(
+        &front,
+        ProcList::all(p),
+        BlockRef {
+            buf: 0,
+            rect: Rect {
+                r0: 0,
+                c0: 0,
+                rows: n,
+                cols: m,
+            },
+        },
+        Rect {
+            r0: 0,
+            c0: 0,
+            rows: n,
+            cols: k,
+        },
+        Rect {
+            r0: 0,
+            c0: 0,
+            rows: k,
+            cols: m,
+        },
+    );
+    MmPlan {
+        plan: planner.b.finish(),
+        temps: planner.temps,
+    }
+}
+
+struct MmPlanner<'a> {
+    b: PlanBuilder<MmJob>,
+    temps: Vec<(usize, usize)>,
+    cfg: &'a MmConfig,
+}
+
+impl MmPlanner<'_> {
+    fn recurse(&mut self, front: &Front, procs: ProcList, c: BlockRef, a: Rect, b: Rect) -> Front {
+        let n = c.rect.rows;
+        let m = c.rect.cols;
+        let k = a.cols;
+        if n == 0 || m == 0 || k == 0 {
+            return front.clone();
+        }
+        if procs.len() == 1 {
+            return self.b.step(front, procs.only(), MmJob::Leaf { c, a, b });
+        }
+
+        let (p1, p2) = procs.split_even();
+        let (share1, share2) = (self.cfg.share(p1), self.cfg.share(p2));
+        let ratio = |dim: usize| -> usize {
+            let cut = (dim as f64 * share1 / (share1 + share2)).round() as usize;
+            cut.min(dim)
+        };
+
+        if n >= m && n >= k {
+            // Cut on X (rows of A and C).
+            let cut = ratio(n);
+            let (a1, a2) = a.split_rows(cut);
+            let (c1, c2) = c.rect.split_rows(cut);
+            let left = self.recurse(front, p1, BlockRef { rect: c1, ..c }, a1, b);
+            let right = self.recurse(front, p2, BlockRef { rect: c2, ..c }, a2, b);
+            left.join(&right)
+        } else if m >= k {
+            // Cut on Y (columns of B and C).
+            let cut = ratio(m);
+            let (b1, b2) = b.split_cols(cut);
+            let (c1, c2) = c.rect.split_cols(cut);
+            let left = self.recurse(front, p1, BlockRef { rect: c1, ..c }, a, b1);
+            let right = self.recurse(front, p2, BlockRef { rect: c2, ..c }, a, b2);
+            left.join(&right)
+        } else {
+            // Cut on Z (the reduction dimension): the upper half accumulates
+            // into a temporary D which is then merged with a parallel addition.
+            let cut = ratio(k);
+            let (a1, a2) = a.split_cols(cut);
+            let (b1, b2) = b.split_rows(cut);
+            let tmp = self.temps.len();
+            self.temps.push((n, m));
+            let d = BlockRef {
+                buf: tmp + 1,
+                rect: Rect {
+                    r0: 0,
+                    c0: 0,
+                    rows: n,
+                    cols: m,
+                },
+            };
+            let left = self.recurse(front, p1, c, a1, b1);
+            let right = self.recurse(front, p2, d, a2, b2);
+            let f = left.join(&right);
+            self.parallel_add(&f, procs, c, d)
+        }
+    }
+
+    /// `c += d`, spread row-wise over the processor list.
+    fn parallel_add(&mut self, front: &Front, procs: ProcList, c: BlockRef, d: BlockRef) -> Front {
+        let p = procs.len();
+        let rows = c.rect.rows;
+        let mut fronts = Vec::with_capacity(p);
+        let mut c_rest = c.rect;
+        let mut d_rest = d.rect;
+        for (idx, proc) in procs.ids().enumerate() {
+            let hi = (idx + 1) * rows / p;
+            let lo = idx * rows / p;
+            let take = hi - lo;
+            let (c_band, c_next) = c_rest.split_rows(take);
+            let (d_band, d_next) = d_rest.split_rows(take);
+            c_rest = c_next;
+            d_rest = d_next;
+            if take > 0 {
+                fronts.push(self.b.step(
+                    front,
+                    proc,
+                    MmJob::Add {
+                        c: BlockRef { rect: c_band, ..c },
+                        d: BlockRef { rect: d_band, ..d },
+                    },
+                ));
+            }
+        }
+        if fronts.is_empty() {
+            front.clone()
+        } else {
+            Front::join_all(&fronts)
+        }
+    }
+}
+
 /// PACO MM-1-PIECE (Corollary 10): `C = A ⊗ B` on `pool.p()` processors.
 pub fn paco_mm_1piece<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
     paco_mm_1piece_with(a, b, pool, &MmConfig::default())
@@ -155,92 +389,67 @@ pub fn paco_mm_1piece_with<S: Semiring>(
     if let Some(t) = &cfg.throttle {
         assert_eq!(t.p(), pool.p(), "throttle must cover every processor");
     }
-    let mut c = Matrix::zeros(a.rows(), b.cols());
-    let procs = ProcList::all(pool.p());
-    recurse(pool, None, procs, c.as_mut(), a.as_ref(), b.as_ref(), cfg);
-    c
-}
-
-/// The 1-PIECE recursion of Fig. 8 (plus the Fig. 7 height-cut reduction).
-fn recurse<S: Semiring>(
-    pool: &WorkerPool,
-    cur: Option<ProcId>,
-    procs: ProcList,
-    mut c: MatMut<'_, S>,
-    a: MatRef<'_, S>,
-    b: MatRef<'_, S>,
-    cfg: &MmConfig,
-) {
-    let n = c.rows();
-    let m = c.cols();
+    let n = a.rows();
+    let m = b.cols();
     let k = a.cols();
-    if n == 0 || m == 0 || k == 0 {
-        return;
-    }
-    if procs.len() == 1 {
-        let target = procs.only();
-        let leaf = move || run_leaf(target, c, a, b, cfg);
-        if cur == Some(target) {
-            leaf();
+    let compiled = plan_mm_1piece(n, m, k, pool.p(), cfg);
+
+    // The output and the height-cut temporaries live in UnsafeCell-backed
+    // grids; each job rebuilds its disjoint window views, and the plan's wave
+    // discipline provides the SharedGrid safety contract.
+    let c_grid: SharedGrid<S> = SharedGrid::new(n, m, S::zero());
+    let temps: Vec<SharedGrid<S>> = compiled
+        .temps
+        .iter()
+        .map(|&(r, c)| SharedGrid::new(r, c, S::zero()))
+        .collect();
+    let grid_of = |buf: usize| -> &SharedGrid<S> {
+        if buf == 0 {
+            &c_grid
         } else {
-            pool.scope(|s| s.spawn_on(target, leaf));
+            &temps[buf - 1]
         }
-        return;
-    }
-
-    let (p1, p2) = procs.split_even();
-    let (share1, share2) = (cfg.share(p1), cfg.share(p2));
-    let ratio = |dim: usize| -> usize {
-        let cut = (dim as f64 * share1 / (share1 + share2)).round() as usize;
-        cut.min(dim)
     };
-
-    if n >= m && n >= k {
-        // Cut on X (rows of A and C).
-        let cut = ratio(n);
-        let (a1, a2) = a.split_rows(cut);
-        let (c1, c2) = c.split_rows(cut);
-        fork2(
-            pool,
-            cur,
-            p1,
-            move |cc| recurse(pool, cc, p1, c1, a1, b, cfg),
-            p2,
-            move |cc| recurse(pool, cc, p2, c2, a2, b, cfg),
-        );
-    } else if m >= k {
-        // Cut on Y (columns of B and C).
-        let cut = ratio(m);
-        let (b1, b2) = b.split_cols(cut);
-        let (c1, c2) = c.split_cols(cut);
-        fork2(
-            pool,
-            cur,
-            p1,
-            move |cc| recurse(pool, cc, p1, c1, a, b1, cfg),
-            p2,
-            move |cc| recurse(pool, cc, p2, c2, a, b2, cfg),
-        );
-    } else {
-        // Cut on Z (the reduction dimension): the upper half accumulates into a
-        // temporary D which is then merged with a parallel addition.
-        let cut = ratio(k);
-        let (a1, a2) = a.split_cols(cut);
-        let (b1, b2) = b.split_rows(cut);
-        let mut d: Matrix<S> = Matrix::zeros(n, m);
-        {
-            let d_mut = d.as_mut();
-            fork2(
-                pool,
-                cur,
-                p1,
-                |cc| recurse(pool, cc, p1, c.rb(), a1, b1, cfg),
-                p2,
-                move |cc| recurse(pool, cc, p2, d_mut, a2, b2, cfg),
-            );
+    // SAFETY (both closures): the rectangle lies inside the grid by
+    // construction of the plan, and the plan's wave/FIFO ordering guarantees
+    // that a mutable window is never aliased by a concurrent access.
+    let block_mut = |blk: &BlockRef| -> MatMut<'_, S> {
+        let g = grid_of(blk.buf);
+        unsafe {
+            MatMut::from_raw_parts(
+                g.cell_ptr(blk.rect.r0, blk.rect.c0),
+                blk.rect.rows,
+                blk.rect.cols,
+                g.cols(),
+            )
         }
-        parallel_add(pool, cur, procs, c, d.as_ref());
-    }
+    };
+    let block_ref = |blk: &BlockRef| -> MatRef<'_, S> {
+        let g = grid_of(blk.buf);
+        unsafe {
+            MatRef::from_raw_parts(
+                g.cell_ptr(blk.rect.r0, blk.rect.c0),
+                blk.rect.rows,
+                blk.rect.cols,
+                g.cols(),
+            )
+        }
+    };
+    let av = a.as_ref();
+    let bv = b.as_ref();
+    compiled.plan.execute(pool, |proc, job| match job {
+        MmJob::Leaf { c, a, b } => {
+            let c_win = block_mut(c);
+            let a_win = av.submatrix(a.r0, a.c0, a.rows, a.cols);
+            let b_win = bv.submatrix(b.r0, b.c0, b.rows, b.cols);
+            run_leaf(proc, c_win, a_win, b_win, cfg);
+        }
+        MmJob::Add { c, d } => {
+            let mut c_win = block_mut(c);
+            crate::kernel::mat_add_assign(&mut c_win, &block_ref(d));
+        }
+    });
+    Matrix::from_vec(n, m, c_grid.snapshot())
 }
 
 /// Leaf execution: the sequential cache-oblivious kernel, optionally repeated
@@ -266,50 +475,6 @@ fn run_leaf<S: Semiring>(
             std::hint::black_box(&scratch);
         }
     }
-}
-
-/// `C += D`, spread row-wise over the processor list (the "parallel for" of
-/// Fig. 7 lines 35–36).
-fn parallel_add<S: Semiring>(
-    pool: &WorkerPool,
-    cur: Option<ProcId>,
-    procs: ProcList,
-    c: MatMut<'_, S>,
-    d: MatRef<'_, S>,
-) {
-    let p = procs.len();
-    let rows = c.rows();
-    // Chop C and D into one row band per processor.
-    let mut bands: Vec<(ProcId, MatMut<'_, S>, MatRef<'_, S>)> = Vec::with_capacity(p);
-    let mut c_rest = c;
-    let mut d_rest = d;
-    for (idx, proc) in procs.ids().enumerate() {
-        let hi = (idx + 1) * rows / p;
-        let lo = idx * rows / p;
-        let take = hi - lo;
-        let (c_band, c_next) = c_rest.split_rows(take);
-        let (d_band, d_next) = d_rest.split_rows(take);
-        c_rest = c_next;
-        d_rest = d_next;
-        if take > 0 {
-            bands.push((proc, c_band, d_band));
-        }
-    }
-    pool.scope(|s| {
-        let mut own: Option<(MatMut<'_, S>, MatRef<'_, S>)> = None;
-        for (proc, mut c_band, d_band) in bands {
-            if cur == Some(proc) {
-                own = Some((c_band, d_band));
-            } else {
-                s.spawn_on(proc, move || {
-                    crate::kernel::mat_add_assign(&mut c_band, &d_band);
-                });
-            }
-        }
-        if let Some((mut c_band, d_band)) = own {
-            crate::kernel::mat_add_assign(&mut c_band, &d_band);
-        }
-    });
 }
 
 #[cfg(test)]
@@ -362,6 +527,10 @@ mod tests {
             mm_reference(&a_big, &b_big),
             paco_mm_1piece(&a_big, &b_big, &pool)
         );
+        // The plan really allocated temporaries for the height cuts.
+        let plan = plan_mm_1piece(16, 16, big_k, 6, &MmConfig::default());
+        assert!(!plan.temps.is_empty());
+        assert!(plan.plan.iter().any(|s| matches!(s.job, MmJob::Add { .. })));
     }
 
     #[test]
@@ -384,6 +553,19 @@ mod tests {
         };
         let got = paco_mm_1piece_with(&a, &b, &pool, &cfg);
         assert_eq!(mm_reference(&a, &b), got);
+    }
+
+    #[test]
+    fn plan_assigns_every_processor_one_piece() {
+        // 1-PIECE: with no height cut every processor owns exactly one leaf.
+        let plan = plan_mm_1piece(256, 256, 64, 8, &MmConfig::default());
+        let leaves = plan
+            .plan
+            .iter()
+            .filter(|s| matches!(s.job, MmJob::Leaf { .. }))
+            .count();
+        assert_eq!(leaves, 8);
+        assert!(plan.plan.steps_per_proc().iter().all(|&c| c >= 1));
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::kernel::{mat_add_into, mat_copy_into, mat_sub_into};
 use paco_core::matrix::{MatRef, Matrix};
 use paco_core::proc_list::ProcList;
 use paco_core::semiring::Ring;
+use paco_runtime::schedule::{Plan, Step};
 use paco_runtime::WorkerPool;
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -329,25 +330,25 @@ pub fn strassen_paco_with<R: Ring>(
         frontier = next;
     }
 
-    // ---- Phase 2: execute every assigned leaf on its processor. ----
+    // ---- Phase 2: execute every assigned leaf on its processor, as a
+    // single-wave plan (the leaves are mutually independent). ----
     let results: Vec<Mutex<Option<Matrix<R>>>> =
         (0..nodes.len()).map(|_| Mutex::new(None)).collect();
     {
         let nodes_ref = &nodes;
         let results_ref = &results;
-        pool.scope(|s| {
-            for (proc, leaf_ids) in assignment.iter().enumerate() {
-                for &idx in leaf_ids {
-                    s.spawn_on(proc, move || {
-                        let (la, lb) = nodes_ref[idx]
-                            .operands
-                            .as_ref()
-                            .expect("assigned leaves keep their operands");
-                        let product = strassen_sequential_with_cutoff(la, lb, opts.cutoff);
-                        *results_ref[idx].lock() = Some(product);
-                    });
-                }
-            }
+        let steps: Vec<Step<usize>> = assignment
+            .iter()
+            .enumerate()
+            .flat_map(|(proc, leaf_ids)| leaf_ids.iter().map(move |&idx| Step { proc, job: idx }))
+            .collect();
+        Plan::single_wave(p, steps).execute(pool, |_, &idx| {
+            let (la, lb) = nodes_ref[idx]
+                .operands
+                .as_ref()
+                .expect("assigned leaves keep their operands");
+            let product = strassen_sequential_with_cutoff(la, lb, opts.cutoff);
+            *results_ref[idx].lock() = Some(product);
         });
     }
 

@@ -17,7 +17,12 @@
 //!    the `γ`-bounded variant used by STRASSEN-CONST-PIECES, plus the
 //!    structural invariant checks (geometrically decreasing per-processor
 //!    loads, bounded imbalance) the proofs rest on.
-//! 3. **Heterogeneity** — a throughput-proportional variant of the traversal
+//! 3. **Scheduling** — the wave-based [`schedule::Plan`] IR every PACO
+//!    front-end compiles its partitioning into: ordered waves of
+//!    processor-placed steps, executed with exactly one pool barrier per wave,
+//!    with [`schedule::Plan::concat`]/[`schedule::Plan::batch`] to run many
+//!    problem instances through one pool pass.
+//! 4. **Heterogeneity** — a throughput-proportional variant of the traversal
 //!    and a way to *emulate* a machine with faster and slower cores on
 //!    homogeneous hardware ([`hetero`]).
 //!
@@ -32,6 +37,7 @@
 pub mod bfs;
 pub mod hetero;
 pub mod pool;
+pub mod schedule;
 
 pub use bfs::{
     pruned_bfs, pruned_bfs_with_gamma, pruned_bfs_with_options, Assignment, AssignmentReport,
@@ -39,3 +45,4 @@ pub use bfs::{
 };
 pub use hetero::{hetero_pruned_bfs, ThrottleSpec};
 pub use pool::{fork2, PoolScope, WorkerPool};
+pub use schedule::{Front, Plan, PlanBuilder, Step};

@@ -102,6 +102,7 @@ impl WorkerPool {
     where
         F: FnOnce(&PoolScope<'_, 'env>) -> R,
     {
+        paco_core::metrics::sched::record_pool_barrier();
         let scope = PoolScope {
             pool: self,
             state: Arc::new(ScopeState::default()),

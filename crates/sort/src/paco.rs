@@ -22,13 +22,21 @@
 //!    received range; ranges are contiguous and ordered by pivot, so the
 //!    concatenation is sorted.
 //!
-//! Steps 2, 4 and 5 run on the processor-aware pool with one task per
-//! processor; steps 1 and 3 are the `O(kp·log(kp))`/`O(p²)` sequential
-//! fractions the theorem charges to the partitioning overhead.
+//! Step 1 is host-side sequential work; steps 2–5 are compiled into **one**
+//! wave-based [`Plan`]: a wave of `p` partition
+//! steps, a single-step wave for the count-matrix/prefix-sum reduction (the
+//! `O(p²)` sequential fraction the theorem charges to the partitioning
+//! overhead, placed on processor 0), a wave of `p` redistribution steps and a
+//! wave of `p` local sorts.  Jobs are plain descriptors interpreted against a
+//! shared state struct, the waves are the only synchronisation, and the whole
+//! sort is a single four-barrier pool pass.
 
 use crate::seq::{seq_sample_sort, small_sort};
 use crate::{cmp_keys, SortKey};
+use paco_core::shared::SharedSlice;
+use paco_runtime::schedule::{Plan, Step};
 use paco_runtime::WorkerPool;
+use parking_lot::Mutex;
 use rand::Rng;
 
 /// Below this size the parallel machinery is pure overhead.
@@ -42,6 +50,39 @@ pub fn paco_sort<T: SortKey>(data: &mut [T], pool: &WorkerPool) {
     paco_sort_with_oversampling(data, pool, k);
 }
 
+/// One step of the compiled sort schedule, interpreted against [`SortState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SortJob {
+    /// Step 2: partition source chunk `i` (`lo..hi` of the input) by the
+    /// pivots into `p` destination buckets.
+    Partition { i: usize, lo: usize, hi: usize },
+    /// Step 3: reduce the `p × p` count matrix with column prefix sums into
+    /// exact destination offsets (sequential, on processor 0).
+    Offsets,
+    /// Step 4: destination `j` copies every sub-chunk addressed to it into
+    /// its contiguous scratch range.
+    Scatter { j: usize },
+    /// Step 5: destination `j` sorts its scratch range with the sequential
+    /// sample sort.
+    LocalSort { j: usize },
+}
+
+/// Shared state the sort plan's jobs communicate through.  Each slot is
+/// written by exactly one step and only read by steps in later waves; the
+/// mutexes exist to keep the interpreter safe code, and the only read-side
+/// sharing (every scatter step reads every `grouped[i]`) is staggered so the
+/// wave stays parallel.
+struct SortState<T> {
+    /// `grouped[i][j]`: keys of source chunk `i` destined for processor `j`.
+    grouped: Vec<Mutex<Vec<Vec<T>>>>,
+    /// `(dest_start, offsets)`: destination ranges and per-(source,
+    /// destination) scatter offsets, produced by [`SortJob::Offsets`].
+    layout: Mutex<(Vec<usize>, Vec<Vec<usize>>)>,
+    /// The redistribution target; scatter/local-sort steps own disjoint
+    /// ranges of it.
+    scratch: SharedSlice<T>,
+}
+
 /// [`paco_sort`] with an explicit oversampling ratio `k`.
 pub fn paco_sort_with_oversampling<T: SortKey>(data: &mut [T], pool: &WorkerPool, k: usize) {
     let n = data.len();
@@ -51,7 +92,7 @@ pub fn paco_sort_with_oversampling<T: SortKey>(data: &mut [T], pool: &WorkerPool
         return;
     }
 
-    // ---- Step 1: pivots from an oversampled random sample.
+    // ---- Step 1 (host side): pivots from an oversampled random sample.
     let mut rng = paco_core::workload::rng(0xc0de_5eed ^ n as u64);
     let sample_size = (k * p).min(n);
     let mut sample: Vec<T> = (0..sample_size)
@@ -62,95 +103,106 @@ pub fn paco_sort_with_oversampling<T: SortKey>(data: &mut [T], pool: &WorkerPool
         .map(|i| sample[(i * sample_size / p).min(sample_size - 1)])
         .collect();
 
-    // ---- Step 2: every processor partitions its chunk; produces, per chunk,
-    // the keys grouped by destination plus the count vector N[i][*].
-    let chunk_bounds: Vec<(usize, usize)> = (0..p).map(|i| (i * n / p, (i + 1) * n / p)).collect();
-    let mut grouped: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::new()).collect();
-    {
-        let pivots = &pivots;
-        let data_ref: &[T] = data;
-        pool.scope(|s| {
-            for (i, slot) in grouped.iter_mut().enumerate() {
-                let (lo, hi) = chunk_bounds[i];
-                s.spawn_on(i, move || {
-                    let mut buckets: Vec<Vec<T>> =
-                        (0..pivots.len() + 1).map(|_| Vec::new()).collect();
-                    for x in &data_ref[lo..hi] {
-                        buckets[bucket_of(x, pivots)].push(*x);
-                    }
-                    *slot = buckets;
-                });
-            }
-        });
-    }
+    // ---- Steps 2–5 as one four-wave plan.
+    let plan = Plan::from_waves(
+        p,
+        vec![
+            (0..p)
+                .map(|i| Step {
+                    proc: i,
+                    job: SortJob::Partition {
+                        i,
+                        lo: i * n / p,
+                        hi: (i + 1) * n / p,
+                    },
+                })
+                .collect(),
+            vec![Step {
+                proc: 0,
+                job: SortJob::Offsets,
+            }],
+            (0..p)
+                .map(|j| Step {
+                    proc: j,
+                    job: SortJob::Scatter { j },
+                })
+                .collect(),
+            (0..p)
+                .map(|j| Step {
+                    proc: j,
+                    job: SortJob::LocalSort { j },
+                })
+                .collect(),
+        ],
+    );
 
-    // ---- Step 3: the p×p count matrix and its column prefix sums give every
-    // (source, destination) sub-chunk an exact offset in the output.
-    let mut dest_len = vec![0usize; p];
-    for row in &grouped {
-        for (j, bucket) in row.iter().enumerate() {
-            dest_len[j] += bucket.len();
+    let state = SortState {
+        grouped: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+        layout: Mutex::new((Vec::new(), Vec::new())),
+        scratch: SharedSlice::new(n, data[0]),
+    };
+    let pivots = &pivots;
+    let data_ref: &[T] = data;
+    plan.execute(pool, |_, &job| match job {
+        SortJob::Partition { i, lo, hi } => {
+            let mut buckets: Vec<Vec<T>> = (0..pivots.len() + 1).map(|_| Vec::new()).collect();
+            for x in &data_ref[lo..hi] {
+                buckets[bucket_of(x, pivots)].push(*x);
+            }
+            *state.grouped[i].lock() = buckets;
         }
-    }
-    let mut dest_start = vec![0usize; p + 1];
-    for j in 0..p {
-        dest_start[j + 1] = dest_start[j] + dest_len[j];
-    }
-    debug_assert_eq!(dest_start[p], n);
-    // offset[i][j] = where chunk i's bucket j lands inside destination j.
-    let mut offsets = vec![vec![0usize; p]; p];
-    for j in 0..p {
-        let mut acc = dest_start[j];
-        for (i, row) in grouped.iter().enumerate() {
-            offsets[i][j] = acc;
-            acc += row[j].len();
+        SortJob::Offsets => {
+            // The p×p count matrix and its column prefix sums give every
+            // (source, destination) sub-chunk an exact offset in the output.
+            let mut dest_start = vec![0usize; p + 1];
+            let mut offsets = vec![vec![0usize; p]; p];
+            let grouped: Vec<_> = state.grouped.iter().map(|g| g.lock()).collect();
+            for j in 0..p {
+                dest_start[j + 1] =
+                    dest_start[j] + grouped.iter().map(|row| row[j].len()).sum::<usize>();
+            }
+            debug_assert_eq!(dest_start[p], n);
+            for j in 0..p {
+                let mut acc = dest_start[j];
+                for (i, row) in grouped.iter().enumerate() {
+                    offsets[i][j] = acc;
+                    acc += row[j].len();
+                }
+            }
+            *state.layout.lock() = (dest_start, offsets);
         }
-    }
-
-    // ---- Step 4: all-to-all redistribution into a scratch buffer.  Each
-    // destination processor copies every sub-chunk addressed to it, so writes
-    // are disjoint by construction.
-    let mut scratch: Vec<T> = data.to_vec();
-    {
-        let grouped_ref = &grouped;
-        let offsets_ref = &offsets;
-        let scratch_parts = split_by_lengths(&mut scratch, &dest_len);
-        pool.scope(|s| {
-            for (j, part) in scratch_parts.into_iter().enumerate() {
-                let base = dest_start[j];
-                s.spawn_on(j, move || {
-                    for i in 0..grouped_ref.len() {
-                        let bucket = &grouped_ref[i][j];
-                        let start = offsets_ref[i][j] - base;
-                        part[start..start + bucket.len()].copy_from_slice(bucket);
-                    }
-                });
+        SortJob::Scatter { j } => {
+            // Copy the (small) layout data out and release the lock before
+            // the O(n/p) copy loop — holding it would serialize the wave.
+            let (lo, hi, my_offsets) = {
+                let layout = state.layout.lock();
+                let offs: Vec<usize> = layout.1.iter().map(|row| row[j]).collect();
+                (layout.0[j], layout.0[j + 1], offs)
+            };
+            // SAFETY: destination ranges are disjoint across the wave's steps
+            // and no other step touches the scratch this wave.
+            let part = unsafe { state.scratch.slice_mut(lo..hi) };
+            // Stagger the source traversal (classic all-to-all) so the p
+            // scatter steps do not convoy on the same `grouped[i]` mutex.
+            for di in 0..p {
+                let i = (j + di) % p;
+                let row = state.grouped[i].lock();
+                let bucket = &row[j];
+                let start = my_offsets[i] - lo;
+                part[start..start + bucket.len()].copy_from_slice(bucket);
             }
-        });
-    }
+        }
+        SortJob::LocalSort { j } => {
+            let (lo, hi) = {
+                let layout = state.layout.lock();
+                (layout.0[j], layout.0[j + 1])
+            };
+            // SAFETY: as above — this step exclusively owns its range.
+            seq_sample_sort(unsafe { state.scratch.slice_mut(lo..hi) });
+        }
+    });
 
-    // ---- Step 5: local sequential sample sort per destination range.
-    {
-        let parts = split_by_lengths(&mut scratch, &dest_len);
-        pool.scope(|s| {
-            for (j, part) in parts.into_iter().enumerate() {
-                s.spawn_on(j, move || seq_sample_sort(part));
-            }
-        });
-    }
-
-    data.copy_from_slice(&scratch);
-}
-
-/// Split a mutable slice into consecutive parts of the given lengths.
-fn split_by_lengths<'a, T>(mut data: &'a mut [T], lens: &[usize]) -> Vec<&'a mut [T]> {
-    let mut out = Vec::with_capacity(lens.len());
-    for &len in lens {
-        let (head, tail) = data.split_at_mut(len);
-        out.push(head);
-        data = tail;
-    }
-    out
+    data.copy_from_slice(&state.scratch.snapshot());
 }
 
 fn bucket_of<T: SortKey>(x: &T, pivots: &[T]) -> usize {

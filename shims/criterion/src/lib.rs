@@ -8,11 +8,111 @@
 //! the mean / minimum wall-clock times are printed.  There is no outlier
 //! analysis, plotting or state persistence — the goal is that `cargo bench`
 //! compiles and produces honest, readable timings in an offline container.
+//!
+//! # JSON report (shim extension)
+//!
+//! When the `PACO_BENCH_JSON` environment variable names a file, every result
+//! is additionally **appended** to it as one JSON object per line
+//! (JSON Lines), written by the `criterion_main!`-generated `main` when the
+//! run finishes:
+//!
+//! ```json
+//! {"bench":"floyd-warshall/minplus-paco/256","mean_ns":123456,"min_ns":120000,"samples":10}
+//! {"metric":"fw/paco-plan-waves","value":110.0}
+//! ```
+//!
+//! The `metric` lines come from [`record_metric`], a shim-only hook that lets
+//! benchmarks attach counter gauges (e.g. the runtime's plan-wave/barrier
+//! counters) next to the timings, so structural properties stay measurable on
+//! machines where wall-clock says nothing (a 1-core container).
 
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One timed benchmark outcome collected for the JSON report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    label: String,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: usize,
+}
+
+fn bench_records() -> &'static Mutex<Vec<BenchRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn metric_records() -> &'static Mutex<Vec<(String, f64)>> {
+    static METRICS: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    METRICS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Attach a named gauge to the current benchmark run (shim extension; the
+/// real criterion has no equivalent).  The value lands in the JSON report as
+/// a `{"metric": .., "value": ..}` line.
+pub fn record_metric(key: impl Into<String>, value: f64) {
+    metric_records().lock().unwrap().push((key.into(), value));
+}
+
+/// Minimal JSON string escaping for benchmark labels.
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Append every collected result to `$PACO_BENCH_JSON` (JSON Lines), if set.
+/// Called by the `criterion_main!`-generated `main`; harmless to call twice
+/// (records are drained).
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("PACO_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let mut out = String::new();
+    for r in bench_records().lock().unwrap().drain(..) {
+        out.push_str(&format!(
+            "{{\"bench\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}\n",
+            json_escape(&r.label),
+            r.mean_ns,
+            r.min_ns,
+            r.samples
+        ));
+    }
+    for (key, value) in metric_records().lock().unwrap().drain(..) {
+        out.push_str(&format!(
+            "{{\"metric\":\"{}\",\"value\":{}}}\n",
+            json_escape(&key),
+            if value.is_finite() {
+                format!("{value}")
+            } else {
+                "null".to_string()
+            }
+        ));
+    }
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path);
+    match file {
+        Ok(mut f) => {
+            let _ = f.write_all(out.as_bytes());
+        }
+        Err(e) => eprintln!("criterion shim: cannot write {path}: {e}"),
+    }
+}
 
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
 #[derive(Debug)]
@@ -104,6 +204,12 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
         "{label}: mean {:>12?}   min {:>12?}   ({} samples)",
         mean, bencher.min, bencher.iters
     );
+    bench_records().lock().unwrap().push(BenchRecord {
+        label: label.to_string(),
+        mean_ns: mean.as_nanos(),
+        min_ns: bencher.min.as_nanos(),
+        samples: bencher.iters,
+    });
 }
 
 /// Passed to benchmark closures; `iter` times the supplied routine.
@@ -179,12 +285,14 @@ macro_rules! criterion_group {
 }
 
 /// Generate a `main` that runs the given groups, mirroring
-/// `criterion::criterion_main!`.
+/// `criterion::criterion_main!`.  The shim's `main` additionally flushes the
+/// JSON report (see the module docs) before exiting.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report();
         }
     };
 }
