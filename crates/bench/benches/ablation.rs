@@ -7,22 +7,32 @@
 //! * the GAP tile-grid granularity relative to `p`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use paco_core::machine::available_processors;
 use paco_core::workload::{random_matrix_f64, related_sequences, GapCosts};
-use paco_dp::gap::parallel::gap_paco_with_blocks;
-use paco_dp::lcs::lcs_paco_with_base;
-use paco_matmul::strassen::{strassen_const_pieces, strassen_paco};
-use paco_runtime::WorkerPool;
+use paco_service::{Gap, Lcs, Session, Strassen, Tuning};
+
+/// One session per knob setting: the ablation sweeps are exactly what the
+/// session builder's tuning override exists for.
+fn session_with(tuning: Tuning) -> Session {
+    Session::builder().tuning(tuning).build()
+}
 
 fn ablation_lcs_base(c: &mut Criterion) {
     let n = 2048;
     let (a, b) = related_sequences(n, 4, 0.2, 31);
-    let pool = WorkerPool::new(available_processors());
     let mut group = c.benchmark_group("ablation-lcs-base");
     group.sample_size(10);
     for base in [16usize, 64, 256] {
+        let session = session_with(Tuning {
+            lcs_base: base,
+            ..Tuning::default()
+        });
         group.bench_function(BenchmarkId::new("paco-lcs", base), |bench| {
-            bench.iter(|| std::hint::black_box(lcs_paco_with_base(&a, &b, &pool, base)))
+            bench.iter(|| {
+                std::hint::black_box(session.run(Lcs {
+                    a: a.clone(),
+                    b: b.clone(),
+                }))
+            })
         });
     }
     group.finish();
@@ -32,15 +42,29 @@ fn ablation_strassen_gamma(c: &mut Criterion) {
     let n = 256;
     let a = random_matrix_f64(n, n, 41);
     let b = random_matrix_f64(n, n, 42);
-    let pool = WorkerPool::new(available_processors());
     let mut group = c.benchmark_group("ablation-strassen-gamma");
     group.sample_size(10);
+    let unlimited = session_with(Tuning::default());
     group.bench_function(BenchmarkId::new("unlimited", 0), |bench| {
-        bench.iter(|| std::hint::black_box(strassen_paco(&a, &b, &pool)))
+        bench.iter(|| {
+            std::hint::black_box(unlimited.run(Strassen {
+                a: a.clone(),
+                b: b.clone(),
+            }))
+        })
     });
     for gamma in [1usize, 2, 8] {
+        let session = session_with(Tuning {
+            strassen_gamma: Some(gamma),
+            ..Tuning::default()
+        });
         group.bench_function(BenchmarkId::new("const-pieces", gamma), |bench| {
-            bench.iter(|| std::hint::black_box(strassen_const_pieces(&a, &b, &pool, gamma)))
+            bench.iter(|| {
+                std::hint::black_box(session.run(Strassen {
+                    a: a.clone(),
+                    b: b.clone(),
+                }))
+            })
         });
     }
     group.finish();
@@ -49,13 +73,16 @@ fn ablation_strassen_gamma(c: &mut Criterion) {
 fn ablation_gap_blocks(c: &mut Criterion) {
     let n = 192;
     let costs = GapCosts::default();
-    let pool = WorkerPool::new(available_processors());
-    let p = pool.p();
+    let p = paco_core::machine::available_processors();
     let mut group = c.benchmark_group("ablation-gap-blocks");
     group.sample_size(10);
     for blocks in [p.max(2), 2 * p.max(2), 4 * p.max(2)] {
+        let session = session_with(Tuning {
+            gap_blocks: Some(blocks),
+            ..Tuning::default()
+        });
         group.bench_function(BenchmarkId::new("paco-gap", blocks), |bench| {
-            bench.iter(|| std::hint::black_box(gap_paco_with_blocks(n, &costs, &pool, blocks)))
+            bench.iter(|| std::hint::black_box(session.run(Gap { n, costs })))
         });
     }
     group.finish();

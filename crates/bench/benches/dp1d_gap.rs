@@ -2,16 +2,20 @@
 //! families: sequential CO, PO (rayon) and PACO variants.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use paco_core::machine::available_processors;
 use paco_core::workload::{GapCosts, ParagraphWeight};
-use paco_dp::gap::{gap_blocked, gap_paco, gap_po};
-use paco_dp::one_d::{one_d_paco, one_d_po, one_d_sequential_co};
-use paco_runtime::WorkerPool;
+use paco_dp::gap::{gap_blocked, gap_po};
+use paco_dp::one_d::{one_d_po, one_d_sequential_co};
+use paco_service::{Gap, OneD, Session, Tuning};
 
 fn bench_1d(c: &mut Criterion) {
     let n = 8192;
     let w = ParagraphWeight { ideal: 40.0 };
-    let pool = WorkerPool::new(available_processors());
+    let session = Session::builder()
+        .tuning(Tuning {
+            one_d_base: 64,
+            ..Tuning::from_env()
+        })
+        .build();
 
     let mut group = c.benchmark_group("one-d");
     group.sample_size(10);
@@ -22,7 +26,13 @@ fn bench_1d(c: &mut Criterion) {
         bench.iter(|| std::hint::black_box(one_d_po(n, &w, 0.0, 64)))
     });
     group.bench_function(BenchmarkId::new("paco", n), |bench| {
-        bench.iter(|| std::hint::black_box(one_d_paco(n, &w, 0.0, &pool, 64)))
+        bench.iter(|| {
+            std::hint::black_box(session.run(OneD {
+                n,
+                weight: w,
+                d0: 0.0,
+            }))
+        })
     });
     group.finish();
 }
@@ -30,7 +40,7 @@ fn bench_1d(c: &mut Criterion) {
 fn bench_gap(c: &mut Criterion) {
     let n = 256;
     let costs = GapCosts::default();
-    let pool = WorkerPool::new(available_processors());
+    let session = Session::with_available_parallelism();
 
     let mut group = c.benchmark_group("gap");
     group.sample_size(10);
@@ -41,7 +51,7 @@ fn bench_gap(c: &mut Criterion) {
         bench.iter(|| std::hint::black_box(gap_po(n, &costs, 16)))
     });
     group.bench_function(BenchmarkId::new("paco", n), |bench| {
-        bench.iter(|| std::hint::black_box(gap_paco(n, &costs, &pool)))
+        bench.iter(|| std::hint::black_box(session.run(Gap { n, costs })))
     });
     group.finish();
 }

@@ -4,13 +4,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paco_core::machine::available_processors;
 use paco_core::workload::related_sequences;
-use paco_dp::lcs::{lcs_pa, lcs_paco, lcs_po, lcs_sequential_co};
+use paco_dp::lcs::{lcs_pa, lcs_po, lcs_sequential_co};
 use paco_runtime::WorkerPool;
+use paco_service::{Lcs, Session};
 
 fn bench_lcs(c: &mut Criterion) {
     let n = 2048;
     let (a, b) = related_sequences(n, 4, 0.2, 11);
+    // The PA variant takes the raw pool; the PACO variant goes through the
+    // service session (same worker count).
     let pool = WorkerPool::new(available_processors());
+    let session = Session::with_available_parallelism();
 
     let mut group = c.benchmark_group("lcs");
     group.sample_size(10);
@@ -24,7 +28,12 @@ fn bench_lcs(c: &mut Criterion) {
         bench.iter(|| std::hint::black_box(lcs_pa(&a, &b, &pool)))
     });
     group.bench_function(BenchmarkId::new("paco", n), |bench| {
-        bench.iter(|| std::hint::black_box(lcs_paco(&a, &b, &pool)))
+        bench.iter(|| {
+            std::hint::black_box(session.run(Lcs {
+                a: a.clone(),
+                b: b.clone(),
+            }))
+        })
     });
     group.finish();
 }

@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks and gauges of the service front door
+//! (`paco_service`): what does routing a workload through `Session::run`
+//! cost, and what does `run_batch`/`flush` save?
+//!
+//! Wall-clock alone cannot answer the second question on a 1-core container,
+//! so — like the `fw` bench — this bench also records structural gauges from
+//! the `paco_core::metrics::sched` counters into the `PACO_BENCH_JSON`
+//! report:
+//!
+//! * `service/batch-waves` — plan waves of one `run_batch` over the standard
+//!   mixed bag of requests (the barrier cost of the merged pass);
+//! * `service/run-overhead` — the *extra* waves the same requests cost when
+//!   run one `Session::run` at a time, i.e. the barriers batching removes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paco_core::workload::{random_digraph, random_keys, random_matrix_wrapping};
+use paco_service::{Apsp, Lcs, MatMul, Session, Solve, Sort};
+
+type MixedBag = (
+    Vec<Apsp>,
+    Vec<Lcs>,
+    Vec<MatMul<paco_core::semiring::WrappingRing>>,
+    Vec<Sort<f64>>,
+);
+
+fn mixed_bag() -> MixedBag {
+    let apsps = (0..6)
+        .map(|i| Apsp {
+            adj: random_digraph(48, 0.2, 50, i),
+        })
+        .collect();
+    let lcss = (0..6)
+        .map(|i| Lcs {
+            a: paco_core::workload::random_sequence(160, 4, 40 + i),
+            b: paco_core::workload::random_sequence(120, 4, 80 + i),
+        })
+        .collect();
+    let mms = (0..4)
+        .map(|i| MatMul {
+            a: random_matrix_wrapping(48, 32, 200 + i),
+            b: random_matrix_wrapping(32, 40, 300 + i),
+        })
+        .collect();
+    let sorts = (0..4)
+        .map(|i| Sort {
+            keys: random_keys(20_000, 400 + i),
+        })
+        .collect();
+    (apsps, lcss, mms, sorts)
+}
+
+/// Submit the whole bag and flush it in one pool pass; returns the waves.
+fn flush_bag(session: &Session) -> u64 {
+    let (apsps, lcss, mms, sorts) = mixed_bag();
+    let tickets_a: Vec<_> = apsps.into_iter().map(|r| session.submit(r)).collect();
+    let tickets_l: Vec<_> = lcss.into_iter().map(|r| session.submit(r)).collect();
+    let tickets_m: Vec<_> = mms.into_iter().map(|r| session.submit(r)).collect();
+    let tickets_s: Vec<_> = sorts.into_iter().map(|r| session.submit(r)).collect();
+    session.flush();
+    for t in &tickets_a {
+        std::hint::black_box(t.take());
+    }
+    for t in &tickets_l {
+        std::hint::black_box(t.take());
+    }
+    for t in &tickets_m {
+        std::hint::black_box(t.take());
+    }
+    for t in &tickets_s {
+        std::hint::black_box(t.take());
+    }
+    session.last_stats().plan_waves
+}
+
+/// Run the whole bag one request at a time; returns the summed waves.
+fn run_bag_individually(session: &Session) -> u64 {
+    let (apsps, lcss, mms, sorts) = mixed_bag();
+    let mut waves = 0;
+    fn drain<R: Solve>(session: &Session, reqs: Vec<R>, waves: &mut u64) {
+        for r in reqs {
+            std::hint::black_box(session.run(r));
+            *waves += session.last_stats().plan_waves;
+        }
+    }
+    drain(session, apsps, &mut waves);
+    drain(session, lcss, &mut waves);
+    drain(session, mms, &mut waves);
+    drain(session, sorts, &mut waves);
+    waves
+}
+
+fn bench_service(c: &mut Criterion) {
+    let session = Session::with_available_parallelism();
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    let count = {
+        let (a, l, m, s) = mixed_bag();
+        a.len() + l.len() + m.len() + s.len()
+    };
+    group.bench_function(BenchmarkId::new("mixed-individual", count), |bench| {
+        bench.iter(|| std::hint::black_box(run_bag_individually(&session)))
+    });
+    group.bench_function(BenchmarkId::new("mixed-flush", count), |bench| {
+        bench.iter(|| std::hint::black_box(flush_bag(&session)))
+    });
+    group.finish();
+
+    // Structural gauges: batching pays max-of-waves, per-request runs pay the
+    // sum.  The difference is the scheduling overhead the front door removes.
+    let batch_waves = flush_bag(&session);
+    let individual_waves = run_bag_individually(&session);
+    criterion::record_metric("service/batch-waves", batch_waves as f64);
+    criterion::record_metric(
+        "service/run-overhead",
+        individual_waves.saturating_sub(batch_waves) as f64,
+    );
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

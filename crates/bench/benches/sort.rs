@@ -2,15 +2,14 @@
 //! sequential sample sort, PBBS-style PO sample sort, PACO sort.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use paco_core::machine::available_processors;
 use paco_core::workload::random_keys;
-use paco_runtime::WorkerPool;
-use paco_sort::{paco_sort, po_sample_sort, seq_sample_sort};
+use paco_service::{Session, Sort};
+use paco_sort::{po_sample_sort, seq_sample_sort};
 
 fn bench_sort(c: &mut Criterion) {
     let n = 1 << 20;
     let input = random_keys(n, 3);
-    let pool = WorkerPool::new(available_processors());
+    let session = Session::with_available_parallelism();
 
     let mut group = c.benchmark_group("sort");
     group.sample_size(10);
@@ -30,8 +29,9 @@ fn bench_sort(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("paco-sort", n), |bench| {
         bench.iter(|| {
-            let mut v = input.clone();
-            paco_sort(&mut v, &pool);
+            let v = session.run(Sort {
+                keys: input.clone(),
+            });
             std::hint::black_box(v.len())
         })
     });

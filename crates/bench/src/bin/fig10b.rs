@@ -10,12 +10,11 @@ use paco_bench::sweep::{mm_grid, run_mm_timing};
 use paco_bench::{bench_repeats, bench_scale, bench_threads};
 use paco_core::metrics::series_stats;
 use paco_core::table::Table;
-use paco_matmul::paco_mm_1piece;
-use paco_runtime::WorkerPool;
+use paco_service::{MatMul, Session};
 
 fn main() {
     let p = bench_threads();
-    let pool = WorkerPool::new(p);
+    let session = Session::new(p);
     let peak = machine_peak_flops(p);
     let grid = mm_grid(bench_scale());
     println!(
@@ -23,7 +22,12 @@ fn main() {
         peak / 1e9
     );
 
-    let timings = run_mm_timing(&grid, bench_repeats(), |a, b| paco_mm_1piece(a, b, &pool));
+    let timings = run_mm_timing(&grid, bench_repeats(), |a, b| {
+        session.run(MatMul {
+            a: a.clone(),
+            b: b.clone(),
+        })
+    });
     let mut table = Table::new(
         "Fig. 10b — Rmax/Rpeak of PACO MM-1-PIECE per problem size",
         &["problem", "size (n*m*k)", "time (s)", "Rmax/Rpeak (%)"],

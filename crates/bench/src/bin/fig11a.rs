@@ -9,12 +9,11 @@
 use paco_bench::sweep::{mm_grid, run_mm_sweep};
 use paco_bench::{bench_repeats, bench_scale, bench_threads};
 use paco_matmul::baseline::blocked_parallel_mm;
-use paco_matmul::paco_mm_1piece;
-use paco_runtime::WorkerPool;
+use paco_service::{MatMul, Session};
 
 fn main() {
     let p = (bench_threads() / 2).max(1);
-    let pool = WorkerPool::new(p);
+    let session = Session::new(p);
     let rayon_pool = rayon::ThreadPoolBuilder::new()
         .num_threads(p)
         .build()
@@ -24,7 +23,12 @@ fn main() {
         bench_repeats(),
         "PACO MM-1-PIECE",
         "blocked parallel (MKL stand-in)",
-        |a, b| paco_mm_1piece(a, b, &pool),
+        |a, b| {
+            session.run(MatMul {
+                a: a.clone(),
+                b: b.clone(),
+            })
+        },
         |a, b| rayon_pool.install(|| blocked_parallel_mm(a, b)),
     );
     series.print_histogram(

@@ -9,19 +9,23 @@
 
 use paco_bench::sweep::{mm_grid, run_mm_sweep};
 use paco_bench::{bench_repeats, bench_scale, bench_threads};
-use paco_matmul::paco_mm_1piece;
 use paco_matmul::po::co2_mm;
-use paco_runtime::WorkerPool;
+use paco_service::{MatMul, Session};
 
 fn main() {
     let p = bench_threads();
-    let pool = WorkerPool::new(p);
+    let session = Session::new(p);
     let series = run_mm_sweep(
         &mm_grid(bench_scale()),
         bench_repeats(),
         "PACO MM-1-PIECE",
         "CO2 (PO 2-way, base 64)",
-        |a, b| paco_mm_1piece(a, b, &pool),
+        |a, b| {
+            session.run(MatMul {
+                a: a.clone(),
+                b: b.clone(),
+            })
+        },
         co2_mm,
     );
     series.print_histogram("Fig. 11b — frequency of PACO speedup over CO2", 20.0);

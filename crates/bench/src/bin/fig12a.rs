@@ -10,12 +10,15 @@ use paco_bench::report::SpeedupSeries;
 use paco_bench::{bench_repeats, bench_scale, bench_threads};
 use paco_core::metrics::{min_time_of, speedup_percent};
 use paco_core::workload::related_sequences;
-use paco_dp::lcs::{lcs_pa, lcs_paco, lcs_po};
+use paco_dp::lcs::{lcs_pa, lcs_po};
 use paco_runtime::WorkerPool;
+use paco_service::{Lcs, Session};
 
 fn main() {
     let p = bench_threads();
+    // The PA competitor takes the raw pool; PACO goes through the session.
     let pool = WorkerPool::new(p);
+    let session = Session::new(p);
     let repeats = bench_repeats();
     let sizes: Vec<usize> = [2048usize, 4096, 6144, 8192]
         .iter()
@@ -27,7 +30,12 @@ fn main() {
 
     for &n in &sizes {
         let (a, b) = related_sequences(n, 4, 0.2, n as u64);
-        let t_paco = min_time_of(repeats, || std::hint::black_box(lcs_paco(&a, &b, &pool)));
+        let t_paco = min_time_of(repeats, || {
+            std::hint::black_box(session.run(Lcs {
+                a: a.clone(),
+                b: b.clone(),
+            }))
+        });
         let t_po = min_time_of(repeats, || std::hint::black_box(lcs_po(&a, &b, 256)));
         let t_pa = min_time_of(repeats, || std::hint::black_box(lcs_pa(&a, &b, &pool)));
         vs_po.push(format!("n={n}"), n as f64, speedup_percent(t_po, t_paco));

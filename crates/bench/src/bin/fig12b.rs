@@ -10,12 +10,12 @@ use paco_bench::report::SpeedupSeries;
 use paco_bench::{bench_repeats, bench_scale, bench_threads};
 use paco_core::metrics::{min_time_of, speedup_percent};
 use paco_core::workload::random_keys;
-use paco_runtime::WorkerPool;
-use paco_sort::{paco_sort, po_sample_sort};
+use paco_service::{Session, Sort};
+use paco_sort::po_sample_sort;
 
 fn main() {
     let p = bench_threads();
-    let pool = WorkerPool::new(p);
+    let session = Session::new(p);
     let repeats = bench_repeats();
     let sizes: Vec<usize> = [1usize << 20, 1 << 21, 1 << 22]
         .iter()
@@ -26,8 +26,9 @@ fn main() {
     for &n in &sizes {
         let input = random_keys(n, n as u64);
         let t_paco = min_time_of(repeats, || {
-            let mut v = input.clone();
-            paco_sort(&mut v, &pool);
+            let v = session.run(Sort {
+                keys: input.clone(),
+            });
             std::hint::black_box(v.len())
         });
         let t_po = min_time_of(repeats, || {

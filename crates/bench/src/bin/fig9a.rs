@@ -12,12 +12,11 @@
 use paco_bench::sweep::{mm_grid, run_mm_sweep};
 use paco_bench::{bench_repeats, bench_scale, bench_threads};
 use paco_matmul::baseline::blocked_parallel_mm;
-use paco_matmul::paco_mm_1piece;
-use paco_runtime::WorkerPool;
+use paco_service::{MatMul, Session};
 
 fn main() {
     let p = bench_threads();
-    let pool = WorkerPool::new(p);
+    let session = Session::new(p);
     let grid = mm_grid(bench_scale());
     println!("workers = {p}, grid points = {}\n", grid.len());
     let series = run_mm_sweep(
@@ -25,7 +24,12 @@ fn main() {
         bench_repeats(),
         "PACO MM-1-PIECE",
         "blocked parallel (MKL stand-in)",
-        |a, b| paco_mm_1piece(a, b, &pool),
+        |a, b| {
+            session.run(MatMul {
+                a: a.clone(),
+                b: b.clone(),
+            })
+        },
         blocked_parallel_mm,
     );
     series.print("Fig. 9a — speedup of PACO over the vendor baseline (full machine)");

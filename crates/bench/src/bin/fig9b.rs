@@ -12,13 +12,12 @@
 use paco_bench::sweep::{mm_grid_small, run_mm_sweep};
 use paco_bench::{bench_repeats, bench_threads};
 use paco_core::machine::HeteroSpec;
-use paco_matmul::hetero::{hetero_mm, unaware_mm};
 use paco_runtime::hetero::ThrottleSpec;
-use paco_runtime::WorkerPool;
+use paco_service::{HeteroMatMul, Session};
 
 fn main() {
     let p = bench_threads();
-    let pool = WorkerPool::new(p);
+    let session = Session::new(p);
     // One quarter of the cores are 3x faster, mirroring the paper's machine.
     let fast = (p / 4).max(1);
     let spec = HeteroSpec::one_fast_socket(p, fast, 3.0);
@@ -36,8 +35,22 @@ fn main() {
         bench_repeats(),
         "PACO HETERO-MM (throughput-aware)",
         "heterogeneity-unaware even split",
-        |a, b| hetero_mm(a, b, &pool, &throttle),
-        |a, b| unaware_mm(a, b, &pool, &throttle),
+        |a, b| {
+            session.run(HeteroMatMul {
+                a: a.clone(),
+                b: b.clone(),
+                throttle: throttle.clone(),
+                aware: true,
+            })
+        },
+        |a, b| {
+            session.run(HeteroMatMul {
+                a: a.clone(),
+                b: b.clone(),
+                throttle: throttle.clone(),
+                aware: false,
+            })
+        },
     );
     series.print(
         "Fig. 9b — speedup of the throughput-aware split on the emulated heterogeneous machine",

@@ -15,8 +15,8 @@ use paco_core::metrics::min_time_of;
 use paco_core::table::Table;
 use paco_core::util::{caps_usable_processors, is_prime};
 use paco_core::workload::random_matrix_f64;
-use paco_matmul::{paco_mm_1piece, plan_paco_mm};
-use paco_runtime::WorkerPool;
+use paco_matmul::plan_paco_mm;
+use paco_service::{MatMul, Session};
 
 fn main() {
     let max_p = bench_threads();
@@ -26,9 +26,12 @@ fn main() {
     let repeats = bench_repeats();
 
     let t1 = {
-        let pool = WorkerPool::new(1);
+        let session = Session::new(1);
         min_time_of(repeats, || {
-            std::hint::black_box(paco_mm_1piece(&a, &b, &pool))
+            std::hint::black_box(session.run(MatMul {
+                a: a.clone(),
+                b: b.clone(),
+            }))
         })
     };
 
@@ -47,9 +50,12 @@ fn main() {
     for p in 1..=max_p {
         let plan = plan_paco_mm(n, n, n, p);
         let report = plan.report();
-        let pool = WorkerPool::new(p);
+        let session = Session::new(p);
         let t = min_time_of(repeats, || {
-            std::hint::black_box(paco_mm_1piece(&a, &b, &pool))
+            std::hint::black_box(session.run(MatMul {
+                a: a.clone(),
+                b: b.clone(),
+            }))
         });
         let speedup = t1 / t;
         table.row(&[

@@ -14,15 +14,14 @@ use paco_bench::{bench_repeats, bench_scale, bench_threads};
 use paco_core::metrics::series_stats;
 use paco_core::table::Table;
 use paco_matmul::baseline::blocked_parallel_mm;
-use paco_matmul::paco_mm_1piece;
 use paco_matmul::po::co2_mm;
-use paco_runtime::WorkerPool;
+use paco_service::{MatMul, Session};
 
 fn main() {
     let p = bench_threads();
     let grid = mm_grid(bench_scale());
     let repeats = bench_repeats();
-    let pool = WorkerPool::new(p);
+    let session = Session::new(p);
     let peak = machine_peak_flops(p);
     println!(
         "workers = {p}, measured attainable peak = {:.2} GFLOP/s\n",
@@ -47,7 +46,12 @@ fn main() {
         ]);
     };
 
-    let paco = run_mm_timing(&grid, repeats, |a, b| paco_mm_1piece(a, b, &pool));
+    let paco = run_mm_timing(&grid, repeats, |a, b| {
+        session.run(MatMul {
+            a: a.clone(),
+            b: b.clone(),
+        })
+    });
     add_row("PACO MM-1-PIECE", &paco);
     let vendor = run_mm_timing(&grid, repeats, blocked_parallel_mm);
     add_row("blocked parallel (MKL stand-in)", &vendor);

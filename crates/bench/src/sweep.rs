@@ -39,6 +39,12 @@ pub fn mm_grid_small() -> Vec<(usize, usize, usize)> {
 /// Measure `ours` vs `peer` over the grid; both closures compute `C = A·B` and
 /// return it (the result is black-boxed, only time matters).  `repeats` runs
 /// are taken per point and the minimum is kept, as in the paper.
+///
+/// Closures that route through the service API own their inputs, so they pay
+/// one `O(n·k + k·m)` operand copy per repetition next to the `O(n·m·k)`
+/// multiply — a ≤1–2% systematic cost at the smallest grid points, accepted
+/// so the sweeps measure the same front door users call (and the committed
+/// baseline is regenerated with the identical code path).
 pub fn run_mm_sweep<FO, FP>(
     grid: &[(usize, usize, usize)],
     repeats: usize,

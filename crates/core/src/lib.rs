@@ -28,6 +28,9 @@
 //! * [`shared`] — `SharedGrid`/`SharedSlice`, the documented-unsafe shared
 //!   table wrappers the wavefront (`paco-dp`) and phase-recursive
 //!   (`paco-graph`) algorithms write from many processors at once.
+//! * [`tuning`] — every base/grain-size knob of the workloads (LCS/FW/1D/MM
+//!   bases, Strassen cutoffs, GAP tile grid, sort oversampling) hoisted into
+//!   one [`Tuning`] struct with a `PACO_BASE` environment override.
 //! * [`workload`] — deterministic workload generators (random sequences,
 //!   matrices, digraphs, weight functions) shared by tests, examples and
 //!   benches.
@@ -47,6 +50,7 @@ pub mod proc_list;
 pub mod semiring;
 pub mod shared;
 pub mod table;
+pub mod tuning;
 pub mod util;
 pub mod workload;
 
@@ -57,3 +61,4 @@ pub use proc_list::{ProcId, ProcList};
 pub use semiring::{
     BoolSemiring, IdempotentSemiring, MaxPlus, MinPlus, Numeric, Semiring, WrappingRing,
 };
+pub use tuning::Tuning;

@@ -39,7 +39,8 @@
 
 pub mod parallel;
 
-pub use parallel::{gap_paco, gap_po};
+#[allow(deprecated)]
+pub use parallel::{gap_paco, gap_paco_with_blocks, gap_po, plan_gap, GapRun};
 
 use crate::shared::SharedGrid;
 

@@ -8,7 +8,6 @@
 use super::{block_bounds, gap_block, GapCost};
 use crate::shared::SharedGrid;
 use paco_core::proc_list::ProcList;
-use paco_core::util::next_power_of_two;
 use paco_runtime::schedule::{Plan, Step};
 use paco_runtime::WorkerPool;
 use rayon::prelude::*;
@@ -37,32 +36,13 @@ pub fn gap_po<C: GapCost>(n: usize, costs: &C, blocks: usize) -> Vec<f64> {
     d.snapshot()
 }
 
-/// PACO GAP on `pool.p()` processors: the block grid is derived from `p`
-/// (`2·2^⌈log₂ p⌉` tiles per side so that most anti-diagonals offer at least
-/// `p` independent output slabs), and every block is pre-assigned to a
-/// processor round-robin within its anti-diagonal.  Each wavefront step thus
-/// partitions the external-update work into disjoint output regions, one per
-/// processor, which is the cuboid partitioning of Theorem 7.
-pub fn gap_paco<C: GapCost>(n: usize, costs: &C, pool: &WorkerPool) -> Vec<f64> {
-    let p = pool.p();
-    let blocks = (2 * next_power_of_two(p)).clamp(1, n + 1);
-    gap_paco_with_blocks(n, costs, pool, blocks)
-}
-
-/// [`gap_paco`] with an explicit tile-grid size (used by the ablation bench).
-pub fn gap_paco_with_blocks<C: GapCost>(
-    n: usize,
-    costs: &C,
-    pool: &WorkerPool,
-    blocks: usize,
-) -> Vec<f64> {
-    let p = pool.p();
+/// Compile the GAP block wavefront for an `(n+1) × (n+1)` table on `p`
+/// processors into a plan: one wave per tile anti-diagonal, tiles assigned
+/// round-robin within their diagonal (the Theorem 7 placement).  Jobs are
+/// `(block_row, block_col)` tile coordinates.
+pub fn plan_gap(n: usize, p: usize, blocks: usize) -> Plan<(usize, usize)> {
     let blocks = blocks.clamp(1, n + 1);
     let procs = ProcList::all(p);
-    let d = SharedGrid::new(n + 1, n + 1, f64::INFINITY);
-    d.set(0, 0, 0.0);
-    // The block wavefront as a plan: one wave per tile anti-diagonal, tiles
-    // assigned round-robin within their diagonal (the Theorem 7 placement).
     let mut waves = Vec::with_capacity(2 * blocks - 1);
     for diag in 0..(2 * blocks - 1) {
         let mut wave = Vec::new();
@@ -80,15 +60,85 @@ pub fn gap_paco_with_blocks<C: GapCost>(
         }
         waves.push(wave);
     }
-    Plan::from_waves(p, waves).execute(pool, |_, &(bi, bj)| {
-        let (r0, r1) = block_bounds(n + 1, blocks, bi);
-        let (c0, c1) = block_bounds(n + 1, blocks, bj);
-        gap_block(&d, r0, r1, c0, c1, costs);
-    });
-    d.snapshot()
+    Plan::from_waves(p, waves)
+}
+
+/// A prepared PACO GAP instance: the block-wavefront plan plus the shared
+/// table its tile jobs fill.  This is the unit the service layer's `Session`
+/// schedules — alone, in batches, or mixed with other workloads — and the
+/// deprecated free functions below are thin wrappers over it.
+pub struct GapRun<C> {
+    costs: C,
+    d: SharedGrid<f64>,
+    plan: Plan<(usize, usize)>,
+    n: usize,
+    blocks: usize,
+}
+
+impl<C: GapCost> GapRun<C> {
+    /// Compile an instance for `p` processors with an explicit tile-grid side
+    /// (clamped to `[1, n + 1]`).
+    pub fn prepare(n: usize, costs: C, p: usize, blocks: usize) -> Self {
+        let blocks = blocks.clamp(1, n + 1);
+        let d = SharedGrid::new(n + 1, n + 1, f64::INFINITY);
+        d.set(0, 0, 0.0);
+        Self {
+            costs,
+            d,
+            plan: plan_gap(n, p, blocks),
+            n,
+            blocks,
+        }
+    }
+
+    /// The compiled wave schedule.
+    pub fn plan(&self) -> &Plan<(usize, usize)> {
+        &self.plan
+    }
+
+    /// Fill tile `(bi, bj)` of the table.
+    pub fn step(&self, _proc: paco_core::proc_list::ProcId, &(bi, bj): &(usize, usize)) {
+        let (r0, r1) = block_bounds(self.n + 1, self.blocks, bi);
+        let (c0, c1) = block_bounds(self.n + 1, self.blocks, bj);
+        gap_block(&self.d, r0, r1, c0, c1, &self.costs);
+    }
+
+    /// Read the completed table in row-major order.
+    pub fn finish(self) -> Vec<f64> {
+        self.d.snapshot()
+    }
+}
+
+/// PACO GAP on `pool.p()` processors: the block grid is derived from `p`
+/// (`2·2^⌈log₂ p⌉` tiles per side so that most anti-diagonals offer at least
+/// `p` independent output slabs), and every block is pre-assigned to a
+/// processor round-robin within its anti-diagonal.  Each wavefront step thus
+/// partitions the external-update work into disjoint output regions, one per
+/// processor, which is the cuboid partitioning of Theorem 7.
+#[deprecated(note = "run the `Gap` request through a `paco_service::Session` instead")]
+pub fn gap_paco<C: GapCost + Clone>(n: usize, costs: &C, pool: &WorkerPool) -> Vec<f64> {
+    let blocks = paco_core::tuning::Tuning::default().gap_grid(pool.p());
+    #[allow(deprecated)]
+    gap_paco_with_blocks(n, costs, pool, blocks)
+}
+
+/// [`gap_paco`] with an explicit tile-grid size (used by the ablation bench).
+#[deprecated(
+    note = "run the `Gap` request through a `paco_service::Session` (set `Tuning::gap_blocks` for the knob) instead"
+)]
+pub fn gap_paco_with_blocks<C: GapCost + Clone>(
+    n: usize,
+    costs: &C,
+    pool: &WorkerPool,
+    blocks: usize,
+) -> Vec<f64> {
+    let run = GapRun::prepare(n, costs.clone(), pool.p(), blocks);
+    run.plan.execute(pool, |proc, job| run.step(proc, job));
+    run.finish()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::gap::gap_reference;

@@ -30,8 +30,9 @@ use paco_cache_sim::layout::{AddressSpace, Layout1D, Layout2D};
 use paco_cache_sim::Tracker;
 use std::ops::Range;
 
-/// Default base-case side of the cache-oblivious recursion.
-pub const DEFAULT_BASE: usize = 64;
+/// Default base-case side of the cache-oblivious recursion (an alias of the
+/// hoisted workspace default in [`paco_core::tuning`]).
+pub const DEFAULT_BASE: usize = paco_core::tuning::LCS_BASE;
 
 /// Simulated-address-space placement of the LCS working set (table + both
 /// input sequences); used only when replaying a kernel through the cache

@@ -27,11 +27,15 @@ pub use kernel::{
     DEFAULT_BASE,
 };
 pub use pa::{lcs_pa, lcs_pa_traced};
-pub use paco::{execute_plan, lcs_paco, lcs_paco_batch, lcs_paco_traced, lcs_paco_with_base};
+#[allow(deprecated)]
+pub use paco::{
+    execute_plan, lcs_paco, lcs_paco_batch, lcs_paco_traced, lcs_paco_with_base, LcsRun,
+};
 pub use partition::{plan_paco_lcs, PacoLcsPlan, Region};
 pub use po::lcs_po;
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use paco_core::workload::related_sequences;

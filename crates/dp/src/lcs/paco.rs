@@ -13,30 +13,104 @@
 //!
 //! Entry points:
 //!
-//! * [`lcs_paco`] — native parallel execution on a [`WorkerPool`].
+//! * [`LcsRun`] — the prepared instance (plan + shared state) the service
+//!   layer's `Session` schedules; everything else is sugar over it.
+//! * [`lcs_paco`] / [`lcs_paco_with_base`] / [`lcs_paco_batch`] — deprecated
+//!   pool-threading wrappers kept for migration; prefer
+//!   `paco_service::Session` with the `Lcs` request.
 //! * [`lcs_paco_traced`] — the identical plan replayed sequentially through
 //!   the ideal distributed cache simulator, which yields the paper's
 //!   `Q^Σ_p` / `Q^max_p` for the Table I experiments.
-//! * [`lcs_paco_batch`] — many independent instances through one pool pass
-//!   via [`Plan::batch`]; the barrier
-//!   count is the maximum of the per-instance wave counts, not the sum.
 
 use super::kernel::{co_block, LcsAddr, LcsTable, DEFAULT_BASE};
-use super::partition::{plan_paco_lcs, PacoLcsPlan};
+use super::partition::{plan_paco_lcs, PacoLcsPlan, Region};
 use paco_cache_sim::{DistCacheSim, NullTracker, SimTracker, Tracker};
 use paco_core::machine::CacheParams;
+use paco_core::proc_list::ProcId;
 use paco_runtime::schedule::Plan;
 use paco_runtime::WorkerPool;
 
+/// A prepared PACO LCS instance: the compiled wave plan plus the shared state
+/// (DP table, inputs) its steps interpret.  This is the unit the service
+/// layer's `Session` schedules — alone, in homogeneous batches, or mixed with
+/// other workloads — and the deprecated free functions below are thin
+/// wrappers over it.
+pub struct LcsRun {
+    a: Vec<u32>,
+    b: Vec<u32>,
+    plan: Plan<usize>,
+    regions: Vec<Region>,
+    table: LcsTable,
+    addr: LcsAddr,
+    base: usize,
+}
+
+impl LcsRun {
+    /// Partition an instance for `p` processors with base-case side `base`.
+    pub fn prepare(a: Vec<u32>, b: Vec<u32>, p: usize, base: usize) -> Self {
+        let (n, m) = (a.len(), b.len());
+        let (plan, regions) = if n == 0 || m == 0 {
+            (Plan::empty(p.max(1)), Vec::new())
+        } else {
+            let compiled = plan_paco_lcs(n, m, p, base);
+            (compiled.plan, compiled.regions)
+        };
+        Self {
+            table: LcsTable::new(n, m),
+            addr: LcsAddr::new(n, m),
+            a,
+            b,
+            plan,
+            regions,
+            base,
+        }
+    }
+
+    /// The compiled wave schedule (jobs are region indices).
+    pub fn plan(&self) -> &Plan<usize> {
+        &self.plan
+    }
+
+    /// Compute region `idx` with the sequential cache-oblivious kernel.
+    pub fn step(&self, _proc: ProcId, idx: &usize) {
+        let region = &self.regions[*idx];
+        co_block(
+            &self.table,
+            &self.a,
+            &self.b,
+            region.rows.clone(),
+            region.cols.clone(),
+            self.base,
+            &mut NullTracker,
+            &self.addr,
+        );
+    }
+
+    /// Read the LCS length off the completed table.
+    pub fn finish(self) -> u32 {
+        if self.a.is_empty() || self.b.is_empty() {
+            0
+        } else {
+            self.table.lcs_length()
+        }
+    }
+}
+
 /// PACO LCS on `pool.p()` processors with the default partition base size.
+#[deprecated(note = "run the `Lcs` request through a `paco_service::Session` instead")]
 pub fn lcs_paco(a: &[u32], b: &[u32], pool: &WorkerPool) -> u32 {
+    #[allow(deprecated)]
     lcs_paco_with_base(a, b, pool, DEFAULT_BASE)
 }
 
 /// PACO LCS with an explicit base-case side for the partitioning and kernel.
+#[deprecated(
+    note = "run the `Lcs` request through a `paco_service::Session` (set `Tuning::lcs_base` for the knob) instead"
+)]
 pub fn lcs_paco_with_base(a: &[u32], b: &[u32], pool: &WorkerPool, base: usize) -> u32 {
-    let plan = plan_paco_lcs(a.len(), b.len(), pool.p(), base);
-    execute_plan(a, b, &plan, pool, base)
+    let run = LcsRun::prepare(a.to_vec(), b.to_vec(), pool.p(), base);
+    run.plan.execute(pool, |proc, idx| run.step(proc, idx));
+    run.finish()
 }
 
 /// Execute a pre-computed plan (exposed so benches can separate partitioning
@@ -75,35 +149,17 @@ pub fn execute_plan(
 /// per-instance plans are merged wave-by-wave, so small instances — whose
 /// individual runs are dominated by spawn/join round-trips — share their
 /// barriers.  Returns the LCS lengths in input order.
+#[deprecated(
+    note = "run `Lcs` requests through `paco_service::Session::run_batch` (or `submit`/`flush`) instead"
+)]
 pub fn lcs_paco_batch(inputs: &[(Vec<u32>, Vec<u32>)], pool: &WorkerPool, base: usize) -> Vec<u32> {
-    let plans: Vec<PacoLcsPlan> = inputs
+    let runs: Vec<LcsRun> = inputs
         .iter()
-        .map(|(a, b)| plan_paco_lcs(a.len(), b.len(), pool.p(), base))
+        .map(|(a, b)| LcsRun::prepare(a.clone(), b.clone(), pool.p(), base))
         .collect();
-    let tables: Vec<LcsTable> = inputs
-        .iter()
-        .map(|(a, b)| LcsTable::new(a.len(), b.len()))
-        .collect();
-    let addrs: Vec<LcsAddr> = inputs
-        .iter()
-        .map(|(a, b)| LcsAddr::new(a.len(), b.len()))
-        .collect();
-    let batched = Plan::batch(plans.iter().map(|p| p.plan.clone()).collect());
-    batched.execute(pool, |_, &(inst, idx)| {
-        let region = &plans[inst].regions[idx];
-        let (a, b) = &inputs[inst];
-        co_block(
-            &tables[inst],
-            a,
-            b,
-            region.rows.clone(),
-            region.cols.clone(),
-            base,
-            &mut NullTracker,
-            &addrs[inst],
-        );
-    });
-    tables.iter().map(|t| t.lcs_length()).collect()
+    let batched = Plan::batch(runs.iter().map(|r| r.plan.clone()).collect());
+    batched.execute(pool, |proc, &(inst, idx)| runs[inst].step(proc, &idx));
+    runs.into_iter().map(LcsRun::finish).collect()
 }
 
 /// PACO LCS replayed through the ideal distributed cache simulator: the same
@@ -142,6 +198,7 @@ pub fn lcs_paco_traced(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::lcs::kernel::{lcs_reference, lcs_sequential_traced};

@@ -4,8 +4,9 @@
 use crate::shared::SharedSlice;
 use std::ops::Range;
 
-/// Default base-case length of the recursive decomposition.
-pub const DEFAULT_BASE_1D: usize = 32;
+/// Default base-case length of the recursive decomposition (an alias of the
+/// hoisted workspace default in [`paco_core::tuning`]).
+pub const DEFAULT_BASE_1D: usize = paco_core::tuning::ONE_D_BASE;
 
 /// The 1D weight function: `w(i, j)` must be computable in O(1) time with no
 /// memory accesses (the problem statement's requirement).

@@ -231,59 +231,112 @@ impl OneDPlanner {
     }
 }
 
-/// PACO 1D on `pool.p()` processors: returns the full `D[0..=n]` array.
-pub fn one_d_paco<W: Weight>(n: usize, w: &W, d0: f64, pool: &WorkerPool, base: usize) -> Vec<f64> {
-    let base = base.max(2);
-    let compiled = plan_one_d(n, pool.p(), base);
-    let d = SharedSlice::new(n + 1, f64::INFINITY);
-    d.set(0, d0);
-    let tmps: Vec<SharedSlice<f64>> = compiled
-        .tmp_len
-        .iter()
-        .map(|&len| SharedSlice::new(len, f64::INFINITY))
-        .collect();
-    let buf = |b: &Buf| -> &SharedSlice<f64> {
-        match b {
-            Buf::D => &d,
-            Buf::Tmp(i) => &tmps[*i],
-        }
-    };
-    compiled.plan.execute(pool, |_, job| match job {
-        OneDJob::Triangle { range } => triangle_co(&d, range.clone(), w, base),
-        OneDJob::Square {
-            src,
-            dst,
-            dst_off,
-            inp,
-            out,
-        } => square_update(
-            buf(src),
-            buf(dst),
-            *dst_off,
-            inp.clone(),
-            out.clone(),
+/// A prepared PACO 1D instance: the compiled wave plan plus the shared `D`
+/// array and temporary arena its jobs interpret.  This is the unit the
+/// service layer's `Session` schedules — alone, in batches, or mixed with
+/// other workloads — and the deprecated [`one_d_paco`] is a thin wrapper
+/// over it.
+pub struct OneDRun<W> {
+    w: W,
+    d: SharedSlice<f64>,
+    tmps: Vec<SharedSlice<f64>>,
+    plan: Plan<OneDJob>,
+    base: usize,
+}
+
+impl<W: Weight> OneDRun<W> {
+    /// Compile an instance for `p` processors with base-case length `base`.
+    pub fn prepare(n: usize, w: W, d0: f64, p: usize, base: usize) -> Self {
+        let base = base.max(2);
+        let compiled = plan_one_d(n, p, base);
+        let d = SharedSlice::new(n + 1, f64::INFINITY);
+        d.set(0, d0);
+        let tmps = compiled
+            .tmp_len
+            .iter()
+            .map(|&len| SharedSlice::new(len, f64::INFINITY))
+            .collect();
+        Self {
             w,
+            d,
+            tmps,
+            plan: compiled.plan,
             base,
-        ),
-        OneDJob::MergeMin {
-            dst,
-            dst_off,
-            tmp,
-            out,
-            chunk,
-        } => {
-            let dst = buf(dst);
-            let t = &tmps[*tmp];
-            for j in chunk.clone() {
-                let merged = dst.get(j - dst_off).min(t.get(j - out.start));
-                dst.set(j - dst_off, merged);
+        }
+    }
+
+    /// The compiled wave schedule.
+    pub fn plan(&self) -> &Plan<OneDJob> {
+        &self.plan
+    }
+
+    fn buf(&self, b: &Buf) -> &SharedSlice<f64> {
+        match b {
+            Buf::D => &self.d,
+            Buf::Tmp(i) => &self.tmps[*i],
+        }
+    }
+
+    /// Interpret one job against the shared buffers.
+    pub fn step(&self, _proc: paco_core::proc_list::ProcId, job: &OneDJob) {
+        match job {
+            OneDJob::Triangle { range } => triangle_co(&self.d, range.clone(), &self.w, self.base),
+            OneDJob::Square {
+                src,
+                dst,
+                dst_off,
+                inp,
+                out,
+            } => square_update(
+                self.buf(src),
+                self.buf(dst),
+                *dst_off,
+                inp.clone(),
+                out.clone(),
+                &self.w,
+                self.base,
+            ),
+            OneDJob::MergeMin {
+                dst,
+                dst_off,
+                tmp,
+                out,
+                chunk,
+            } => {
+                let dst = self.buf(dst);
+                let t = &self.tmps[*tmp];
+                for j in chunk.clone() {
+                    let merged = dst.get(j - dst_off).min(t.get(j - out.start));
+                    dst.set(j - dst_off, merged);
+                }
             }
         }
-    });
-    d.snapshot()
+    }
+
+    /// Read the full `D[0..=n]` array off the completed run.
+    pub fn finish(self) -> Vec<f64> {
+        self.d.snapshot()
+    }
+}
+
+/// PACO 1D on `pool.p()` processors: returns the full `D[0..=n]` array.
+#[deprecated(
+    note = "run the `OneD` request through a `paco_service::Session` (set `Tuning::one_d_base` for the knob) instead"
+)]
+pub fn one_d_paco<W: Weight + Clone>(
+    n: usize,
+    w: &W,
+    d0: f64,
+    pool: &WorkerPool,
+    base: usize,
+) -> Vec<f64> {
+    let run = OneDRun::prepare(n, w.clone(), d0, pool.p(), base);
+    run.plan.execute(pool, |proc, job| run.step(proc, job));
+    run.finish()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::one_d::kernel::{one_d_reference, FnWeight};

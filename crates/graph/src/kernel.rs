@@ -30,8 +30,9 @@ use paco_core::semiring::{IdempotentSemiring, Semiring};
 use paco_core::shared::SharedGrid;
 use std::ops::Range;
 
-/// Default base-case side of the cache-oblivious recursion.
-pub const DEFAULT_BASE: usize = 32;
+/// Default base-case side of the cache-oblivious recursion (an alias of the
+/// hoisted workspace default in [`paco_core::tuning`]).
+pub const DEFAULT_BASE: usize = paco_core::tuning::FW_BASE;
 
 /// Simulated-address-space placement of the Floyd–Warshall working set (the
 /// single `n × n` distance matrix); used only when replaying a kernel through

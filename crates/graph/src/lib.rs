@@ -50,8 +50,9 @@ use paco_core::semiring::{BoolSemiring, IdempotentSemiring, MinPlus};
 use paco_runtime::WorkerPool;
 
 pub use kernel::{fw_reference, relax, FwAddr, FwTable, DEFAULT_BASE};
+#[allow(deprecated)]
 pub use paco::{
-    fw_paco, fw_paco_batch, fw_paco_traced, fw_paco_with_base, plan_fw, FwPlan, LeafCall,
+    fw_paco, fw_paco_batch, fw_paco_traced, fw_paco_with_base, plan_fw, FwPlan, FwRun, LeafCall,
 };
 pub use po::fw_po;
 pub use seq::{fw_seq, fw_seq_traced};
@@ -63,7 +64,9 @@ pub use seq::{fw_seq, fw_seq_traced};
 /// Entry `(i, j)` of the result is the weight of the shortest directed path
 /// from `i` to `j` (`+∞` if `j` is unreachable).  Weights should be
 /// non-negative (the one-pass closure does not detect negative cycles).
+#[deprecated(note = "run the `Apsp` request through a `paco_service::Session` instead")]
 pub fn apsp(adj: &Matrix<MinPlus>, pool: &WorkerPool) -> Matrix<MinPlus> {
+    #[allow(deprecated)]
     fw_paco(adj, pool)
 }
 
@@ -72,7 +75,11 @@ pub fn apsp(adj: &Matrix<MinPlus>, pool: &WorkerPool) -> Matrix<MinPlus> {
 /// `true` iff `j` is reachable from `i` (including `i` itself when the
 /// diagonal is reflexive, as [`paco_core::workload::random_adjacency`]
 /// produces).
+#[deprecated(
+    note = "run the `Closure` request over `BoolSemiring` through a `paco_service::Session` instead"
+)]
 pub fn transitive_closure(adj: &Matrix<BoolSemiring>, pool: &WorkerPool) -> Matrix<BoolSemiring> {
+    #[allow(deprecated)]
     fw_paco(adj, pool)
 }
 
@@ -84,11 +91,14 @@ pub fn transitive_closure(adj: &Matrix<BoolSemiring>, pool: &WorkerPool) -> Matr
 /// addition (e.g. the `WrappingRing`) would double-count contributions and
 /// produce neither the algebraic closure nor the triple-loop result — which
 /// is why such semirings do not carry the marker and fail to compile here.
+#[deprecated(note = "run the `Closure` request through a `paco_service::Session` instead")]
 pub fn semiring_closure<S: IdempotentSemiring>(adj: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
+    #[allow(deprecated)]
     fw_paco(adj, pool)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use paco_core::semiring::Semiring;

@@ -23,16 +23,17 @@
 //!
 //! Entry points:
 //!
-//! * [`fw_paco`] — native parallel execution of the plan on a [`WorkerPool`];
-//!   leaves dispatch through the data-carrying [`LeafCall`] with a concrete
-//!   [`NullTracker`], so the hot kernels stay fully monomorphized.
+//! * [`FwRun`] — the prepared instance (plan + shared closure table) the
+//!   service layer's `Session` schedules; leaves dispatch through the
+//!   data-carrying [`LeafCall`] with a concrete [`NullTracker`], so the hot
+//!   kernels stay fully monomorphized.
+//! * [`fw_paco`] / [`fw_paco_with_base`] / [`fw_paco_batch`] — deprecated
+//!   pool-threading wrappers kept for migration; prefer
+//!   `paco_service::Session` with the `Apsp`/`Closure` request.
 //! * [`fw_paco_traced`] — the *identical* plan replayed sequentially through
 //!   the ideal distributed cache simulator, charging every leaf to the private
 //!   cache of the processor the plan assigned it (task-boundary flush per
 //!   leaf, the paper's accounting convention).
-//! * [`fw_paco_batch`] — many independent instances batched through one
-//!   pinned-pool pass via [`Plan::batch`]: the barrier count is the *maximum*
-//!   of the per-instance wave counts, not the sum.
 
 use crate::kernel::{FwAddr, FwTable, DEFAULT_BASE};
 use crate::seq::{a_co, b_co, c_co, d_co, halves};
@@ -44,26 +45,69 @@ use paco_runtime::schedule::{Front, Plan, PlanBuilder};
 use paco_runtime::WorkerPool;
 use std::ops::Range;
 
+/// A prepared PACO Floyd–Warshall instance: the wave-flattened plan plus the
+/// shared closure table its leaves relax.  This is the unit the service
+/// layer's `Session` schedules — alone, in homogeneous batches, or mixed with
+/// other workloads — and the deprecated free functions below are thin
+/// wrappers over it.
+pub struct FwRun<S: IdempotentSemiring> {
+    table: FwTable<S>,
+    addr: FwAddr,
+    plan: Plan<LeafCall>,
+    base: usize,
+}
+
+impl<S: IdempotentSemiring> FwRun<S> {
+    /// Compile an instance for `p` processors with base-case side `base`.
+    pub fn prepare(adj: &Matrix<S>, p: usize, base: usize) -> Self {
+        assert!(base >= 1);
+        let table = FwTable::from_matrix(adj);
+        let addr = FwAddr::new(table.n());
+        let plan = plan_fw(table.n(), p, base).plan;
+        Self {
+            table,
+            addr,
+            plan,
+            base,
+        }
+    }
+
+    /// The compiled wave schedule.
+    pub fn plan(&self) -> &Plan<LeafCall> {
+        &self.plan
+    }
+
+    /// Run one leaf with the sequential cache-oblivious kernels.
+    pub fn step(&self, _proc: ProcId, call: &LeafCall) {
+        call.run(&self.table, self.base, &mut NullTracker, &self.addr);
+    }
+
+    /// Read the closed matrix off the completed table.
+    pub fn finish(self) -> Matrix<S> {
+        self.table.to_matrix()
+    }
+}
+
 /// PACO Floyd–Warshall on `pool.p()` processors with the default base size.
+#[deprecated(note = "run the `Apsp`/`Closure` request through a `paco_service::Session` instead")]
 pub fn fw_paco<S: IdempotentSemiring>(adj: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
+    #[allow(deprecated)]
     fw_paco_with_base(adj, pool, DEFAULT_BASE)
 }
 
 /// PACO Floyd–Warshall with an explicit base-case side for the partitioning
 /// and the sequential leaf kernels.
+#[deprecated(
+    note = "run the `Apsp`/`Closure` request through a `paco_service::Session` (set `Tuning::fw_base` for the knob) instead"
+)]
 pub fn fw_paco_with_base<S: IdempotentSemiring>(
     adj: &Matrix<S>,
     pool: &WorkerPool,
     base: usize,
 ) -> Matrix<S> {
-    assert!(base >= 1);
-    let table = FwTable::from_matrix(adj);
-    let addr = FwAddr::new(table.n());
-    let plan = plan_fw(table.n(), pool.p(), base);
-    plan.plan.execute(pool, |_, call| {
-        call.run(&table, base, &mut NullTracker, &addr);
-    });
-    table.to_matrix()
+    let run = FwRun::prepare(adj, pool.p(), base);
+    run.plan.execute(pool, |proc, call| run.step(proc, call));
+    run.finish()
 }
 
 /// PACO Floyd–Warshall replayed through the ideal distributed cache simulator:
@@ -93,23 +137,21 @@ pub fn fw_paco_traced<S: IdempotentSemiring>(
 /// per-instance plans are merged wave-by-wave with [`Plan::batch`], so small
 /// graphs — whose individual runs are dominated by spawn/join round-trips —
 /// share their barriers.  Returns the closed matrices in input order.
+#[deprecated(
+    note = "run `Apsp`/`Closure` requests through `paco_service::Session::run_batch` (or `submit`/`flush`) instead"
+)]
 pub fn fw_paco_batch<S: IdempotentSemiring>(
     adjs: &[Matrix<S>],
     pool: &WorkerPool,
     base: usize,
 ) -> Vec<Matrix<S>> {
-    assert!(base >= 1);
-    let tables: Vec<FwTable<S>> = adjs.iter().map(FwTable::from_matrix).collect();
-    let addrs: Vec<FwAddr> = tables.iter().map(|t| FwAddr::new(t.n())).collect();
-    let plans: Vec<Plan<LeafCall>> = tables
+    let runs: Vec<FwRun<S>> = adjs
         .iter()
-        .map(|t| plan_fw(t.n(), pool.p(), base).plan)
+        .map(|adj| FwRun::prepare(adj, pool.p(), base))
         .collect();
-    let batched = Plan::batch(plans);
-    batched.execute(pool, |_, (idx, call)| {
-        call.run(&tables[*idx], base, &mut NullTracker, &addrs[*idx]);
-    });
-    tables.iter().map(|t| t.to_matrix()).collect()
+    let batched = Plan::batch(runs.iter().map(|r| r.plan.clone()).collect());
+    batched.execute(pool, |proc, (inst, call)| runs[*inst].step(proc, call));
+    runs.into_iter().map(FwRun::finish).collect()
 }
 
 /// A pending leaf: which of the four A/B/C/D roles to run on which block.
@@ -512,6 +554,7 @@ impl Planner {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::kernel::fw_reference;

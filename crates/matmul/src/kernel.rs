@@ -10,8 +10,9 @@ use paco_core::matrix::{MatMut, MatRef};
 use paco_core::semiring::{Ring, Semiring};
 
 /// Base-case threshold: recursions stop splitting a dimension once it is at
-/// most this many elements (the paper's CO2 baseline uses 64 as well).
-pub const MM_BASE: usize = 64;
+/// most this many elements (the paper's CO2 baseline uses 64 as well).  An
+/// alias of the hoisted workspace default in [`paco_core::tuning`].
+pub const MM_BASE: usize = paco_core::tuning::MM_BASE;
 
 /// `C += A ⊗ B` with a straightforward i-k-j loop nest (good spatial locality
 /// on row-major data).  This is the only place element arithmetic happens for

@@ -39,6 +39,10 @@ pub use baseline::blocked_parallel_mm;
 pub use co_mm::{co_mm, mm_reference};
 pub use general::{paco_mm_general, plan_paco_mm_general, PlacedCuboid};
 pub use hetero::hetero_mm;
-pub use paco_mm::{paco_mm_1piece, plan_mm_1piece, plan_paco_mm, Cuboid, MmJob, MmPlan};
+#[allow(deprecated)]
+pub use paco_mm::{
+    paco_mm_1piece, plan_mm_1piece, plan_paco_mm, Cuboid, MmConfig, MmJob, MmPlan, MmRun,
+};
 pub use po::co2_mm;
-pub use strassen::{strassen_paco, strassen_po, strassen_sequential};
+#[allow(deprecated)]
+pub use strassen::{strassen_paco, strassen_po, strassen_sequential, StrassenOptions, StrassenRun};

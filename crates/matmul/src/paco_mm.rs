@@ -369,52 +369,54 @@ impl MmPlanner<'_> {
     }
 }
 
-/// PACO MM-1-PIECE (Corollary 10): `C = A ⊗ B` on `pool.p()` processors.
-pub fn paco_mm_1piece<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
-    paco_mm_1piece_with(a, b, pool, &MmConfig::default())
+/// A prepared MM-1-PIECE instance: the compiled schedule plus the
+/// `UnsafeCell`-backed output/temporary grids its jobs interpret.  Each job
+/// rebuilds its disjoint window views, and the plan's wave discipline
+/// provides the `SharedGrid` safety contract.  This is the unit the service
+/// layer's `Session` schedules — alone, in batches, or mixed with other
+/// workloads — and the free functions below are thin wrappers over it.
+pub struct MmRun<S: Semiring> {
+    a: Matrix<S>,
+    b: Matrix<S>,
+    cfg: MmConfig,
+    compiled: MmPlan,
+    buffers: MmBuffers<S>,
 }
 
-/// PACO MM-1-PIECE with an explicit configuration (fractions / throttle /
-/// cutoff); the entry point shared with the heterogeneous variant.
-pub fn paco_mm_1piece_with<S: Semiring>(
-    a: &Matrix<S>,
-    b: &Matrix<S>,
-    pool: &WorkerPool,
-    cfg: &MmConfig,
-) -> Matrix<S> {
-    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    if let Some(f) = &cfg.fractions {
-        assert_eq!(f.len(), pool.p(), "fractions must cover every processor");
-    }
-    if let Some(t) = &cfg.throttle {
-        assert_eq!(t.p(), pool.p(), "throttle must cover every processor");
-    }
-    let n = a.rows();
-    let m = b.cols();
-    let k = a.cols();
-    let compiled = plan_mm_1piece(n, m, k, pool.p(), cfg);
+/// The `UnsafeCell`-backed output and height-cut temporaries of one compiled
+/// MM-1-PIECE schedule, with the job interpreter over them — shared between
+/// the owning [`MmRun`] and the borrowing [`paco_mm_1piece_with`] path so
+/// neither pays for the other's ownership model.
+struct MmBuffers<S> {
+    c_grid: SharedGrid<S>,
+    temps: Vec<SharedGrid<S>>,
+}
 
-    // The output and the height-cut temporaries live in UnsafeCell-backed
-    // grids; each job rebuilds its disjoint window views, and the plan's wave
-    // discipline provides the SharedGrid safety contract.
-    let c_grid: SharedGrid<S> = SharedGrid::new(n, m, S::zero());
-    let temps: Vec<SharedGrid<S>> = compiled
-        .temps
-        .iter()
-        .map(|&(r, c)| SharedGrid::new(r, c, S::zero()))
-        .collect();
-    let grid_of = |buf: usize| -> &SharedGrid<S> {
-        if buf == 0 {
-            &c_grid
-        } else {
-            &temps[buf - 1]
+impl<S: Semiring> MmBuffers<S> {
+    fn new(n: usize, m: usize, compiled: &MmPlan) -> Self {
+        Self {
+            c_grid: SharedGrid::new(n, m, S::zero()),
+            temps: compiled
+                .temps
+                .iter()
+                .map(|&(r, c)| SharedGrid::new(r, c, S::zero()))
+                .collect(),
         }
-    };
-    // SAFETY (both closures): the rectangle lies inside the grid by
+    }
+
+    fn grid_of(&self, buf: usize) -> &SharedGrid<S> {
+        if buf == 0 {
+            &self.c_grid
+        } else {
+            &self.temps[buf - 1]
+        }
+    }
+
+    // SAFETY (both helpers): the rectangle lies inside the grid by
     // construction of the plan, and the plan's wave/FIFO ordering guarantees
     // that a mutable window is never aliased by a concurrent access.
-    let block_mut = |blk: &BlockRef| -> MatMut<'_, S> {
-        let g = grid_of(blk.buf);
+    fn block_mut(&self, blk: &BlockRef) -> MatMut<'_, S> {
+        let g = self.grid_of(blk.buf);
         unsafe {
             MatMut::from_raw_parts(
                 g.cell_ptr(blk.rect.r0, blk.rect.c0),
@@ -423,9 +425,10 @@ pub fn paco_mm_1piece_with<S: Semiring>(
                 g.cols(),
             )
         }
-    };
-    let block_ref = |blk: &BlockRef| -> MatRef<'_, S> {
-        let g = grid_of(blk.buf);
+    }
+
+    fn block_ref(&self, blk: &BlockRef) -> MatRef<'_, S> {
+        let g = self.grid_of(blk.buf);
         unsafe {
             MatRef::from_raw_parts(
                 g.cell_ptr(blk.rect.r0, blk.rect.c0),
@@ -434,22 +437,108 @@ pub fn paco_mm_1piece_with<S: Semiring>(
                 g.cols(),
             )
         }
-    };
-    let av = a.as_ref();
-    let bv = b.as_ref();
-    compiled.plan.execute(pool, |proc, job| match job {
-        MmJob::Leaf { c, a, b } => {
-            let c_win = block_mut(c);
-            let a_win = av.submatrix(a.r0, a.c0, a.rows, a.cols);
-            let b_win = bv.submatrix(b.r0, b.c0, b.rows, b.cols);
-            run_leaf(proc, c_win, a_win, b_win, cfg);
+    }
+
+    /// Interpret one job against the grids, reading inputs from `av`/`bv`.
+    fn run_job(
+        &self,
+        proc: ProcId,
+        job: &MmJob,
+        av: &MatRef<'_, S>,
+        bv: &MatRef<'_, S>,
+        cfg: &MmConfig,
+    ) {
+        match job {
+            MmJob::Leaf { c, a, b } => {
+                let c_win = self.block_mut(c);
+                let a_win = av.submatrix(a.r0, a.c0, a.rows, a.cols);
+                let b_win = bv.submatrix(b.r0, b.c0, b.rows, b.cols);
+                run_leaf(proc, c_win, a_win, b_win, cfg);
+            }
+            MmJob::Add { c, d } => {
+                let mut c_win = self.block_mut(c);
+                crate::kernel::mat_add_assign(&mut c_win, &self.block_ref(d));
+            }
         }
-        MmJob::Add { c, d } => {
-            let mut c_win = block_mut(c);
-            crate::kernel::mat_add_assign(&mut c_win, &block_ref(d));
+    }
+
+    fn into_output(self) -> Matrix<S> {
+        Matrix::from_vec(
+            self.c_grid.rows(),
+            self.c_grid.cols(),
+            self.c_grid.snapshot(),
+        )
+    }
+}
+
+fn check_mm_config(a_cols: usize, b_rows: usize, p: usize, cfg: &MmConfig) {
+    assert_eq!(a_cols, b_rows, "inner dimensions must agree");
+    if let Some(f) = &cfg.fractions {
+        assert_eq!(f.len(), p, "fractions must cover every processor");
+    }
+    if let Some(t) = &cfg.throttle {
+        assert_eq!(t.p(), p, "throttle must cover every processor");
+    }
+}
+
+impl<S: Semiring> MmRun<S> {
+    /// Compile `C = A ⊗ B` for `p` processors with an explicit configuration.
+    pub fn prepare(a: Matrix<S>, b: Matrix<S>, p: usize, cfg: MmConfig) -> Self {
+        check_mm_config(a.cols(), b.rows(), p, &cfg);
+        let (n, m, k) = (a.rows(), b.cols(), a.cols());
+        let compiled = plan_mm_1piece(n, m, k, p, &cfg);
+        let buffers = MmBuffers::new(n, m, &compiled);
+        Self {
+            a,
+            b,
+            cfg,
+            compiled,
+            buffers,
         }
-    });
-    Matrix::from_vec(n, m, c_grid.snapshot())
+    }
+
+    /// The compiled wave schedule.
+    pub fn plan(&self) -> &Plan<MmJob> {
+        &self.compiled.plan
+    }
+
+    /// Interpret one job against the shared grids.
+    pub fn step(&self, proc: ProcId, job: &MmJob) {
+        self.buffers
+            .run_job(proc, job, &self.a.as_ref(), &self.b.as_ref(), &self.cfg);
+    }
+
+    /// Read the completed product off the output grid.
+    pub fn finish(self) -> Matrix<S> {
+        self.buffers.into_output()
+    }
+}
+
+/// PACO MM-1-PIECE (Corollary 10): `C = A ⊗ B` on `pool.p()` processors.
+#[deprecated(note = "run the `MatMul` request through a `paco_service::Session` instead")]
+pub fn paco_mm_1piece<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
+    paco_mm_1piece_with(a, b, pool, &MmConfig::default())
+}
+
+/// PACO MM-1-PIECE with an explicit configuration (fractions / throttle /
+/// cutoff); the borrowing entry point shared with the heterogeneous variant
+/// (no operand copies — the service layer's owning [`MmRun`] exists for
+/// requests that bring their own matrices).
+pub fn paco_mm_1piece_with<S: Semiring>(
+    a: &Matrix<S>,
+    b: &Matrix<S>,
+    pool: &WorkerPool,
+    cfg: &MmConfig,
+) -> Matrix<S> {
+    check_mm_config(a.cols(), b.rows(), pool.p(), cfg);
+    let (n, m, k) = (a.rows(), b.cols(), a.cols());
+    let compiled = plan_mm_1piece(n, m, k, pool.p(), cfg);
+    let buffers = MmBuffers::new(n, m, &compiled);
+    let (av, bv) = (a.as_ref(), b.as_ref());
+    compiled
+        .plan
+        .execute(pool, |proc, job| buffers.run_job(proc, job, &av, &bv, cfg));
+    buffers.into_output()
 }
 
 /// Leaf execution: the sequential cache-oblivious kernel, optionally repeated
@@ -478,6 +567,7 @@ fn run_leaf<S: Semiring>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::co_mm::mm_reference;

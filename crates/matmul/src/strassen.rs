@@ -29,8 +29,9 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 
 /// Default side length below which Strassen falls back to the classical
-/// cache-oblivious kernel.
-pub const STRASSEN_CUTOFF: usize = 64;
+/// cache-oblivious kernel (an alias of the hoisted workspace default in
+/// [`paco_core::tuning`]).
+pub const STRASSEN_CUTOFF: usize = paco_core::tuning::STRASSEN_CUTOFF;
 
 fn quadrants<'a, R: Ring>(
     m: &MatRef<'a, R>,
@@ -224,19 +225,180 @@ impl Default for StrassenOptions {
     }
 }
 
+/// A prepared PACO Strassen instance: the 7-ary tree already expanded and
+/// assigned by the pruned BFS traversal (phase 1), the leaf products compiled
+/// into a single-wave plan (phase 2, the only parallel part), and the
+/// bottom-up combine (phase 3) deferred to [`StrassenRun::finish`].  This is
+/// the unit the service layer's `Session` schedules — alone, in batches, or
+/// mixed with other workloads — and the deprecated free functions below are
+/// thin wrappers over it.  Degenerate instances (`p == 1`, small or odd `n`)
+/// compile to a one-step plan running the sequential algorithm.
+pub struct StrassenRun<R: Ring> {
+    nodes: Vec<TreeNode<R>>,
+    results: Vec<Mutex<Option<Matrix<R>>>>,
+    plan: Plan<usize>,
+    cutoff: usize,
+}
+
+impl<R: Ring> StrassenRun<R> {
+    /// Expand and assign `C = A ⊗ B` for `p` processors.
+    pub fn prepare(a: Matrix<R>, b: Matrix<R>, p: usize, opts: StrassenOptions) -> Self {
+        check_square(&a, &b);
+        let n = a.rows();
+        let mut nodes: Vec<TreeNode<R>> = vec![TreeNode {
+            operands: Some((a, b)),
+            children: Vec::new(),
+            size: n,
+        }];
+        if p == 1 || n <= opts.parallel_base || !n.is_multiple_of(2) {
+            // Degenerate: the root is the single leaf, run sequentially.
+            return Self {
+                results: vec![Mutex::new(None)],
+                nodes,
+                plan: Plan::single_wave(p.max(1), vec![Step { proc: 0, job: 0 }]),
+                cutoff: opts.cutoff,
+            };
+        }
+
+        // ---- Phase 1: pruned BFS expansion of the 7-ary tree. ----
+        let procs = ProcList::all(p);
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); p]; // node indices per proc
+        let mut frontier: Vec<usize> = vec![0];
+        let mut rr = 0usize;
+        let mut super_rounds = 0usize;
+
+        while !frontier.is_empty() {
+            let all_base = frontier
+                .iter()
+                .all(|&i| nodes[i].size <= opts.parallel_base || !nodes[i].size.is_multiple_of(2));
+            let gamma_reached = opts.gamma.is_some_and(|g| super_rounds >= g);
+
+            if frontier.len() >= p || all_base || gamma_reached {
+                let take = if !all_base && !gamma_reached && frontier.len() >= p {
+                    p
+                } else {
+                    frontier.len()
+                };
+                let rest = frontier.split_off(take);
+                for idx in frontier {
+                    assignment[procs.round_robin(rr)].push(idx);
+                    rr += 1;
+                }
+                super_rounds += 1;
+                frontier = rest;
+                if all_base || gamma_reached {
+                    for idx in frontier.drain(..) {
+                        assignment[procs.round_robin(rr)].push(idx);
+                        rr += 1;
+                    }
+                }
+                continue;
+            }
+
+            // Expand every frontier node one Strassen level.
+            let mut next = Vec::with_capacity(frontier.len() * 7);
+            for idx in frontier {
+                if nodes[idx].size <= opts.parallel_base || !nodes[idx].size.is_multiple_of(2) {
+                    next.push(idx);
+                    continue;
+                }
+                let (na, nb) = nodes[idx]
+                    .operands
+                    .take()
+                    .expect("unexpanded node must still hold its operands");
+                let child_size = nodes[idx].size / 2;
+                for (s, t) in strassen_operands(&na, &nb) {
+                    let child_idx = nodes.len();
+                    nodes.push(TreeNode {
+                        operands: Some((s, t)),
+                        children: Vec::new(),
+                        size: child_size,
+                    });
+                    nodes[idx].children.push(child_idx);
+                }
+                // Only the (unexpanded) children are schedulable work; the
+                // parent waits for them in the combine phase.
+                next.extend(nodes[idx].children.iter().copied());
+            }
+            frontier = next;
+        }
+
+        // ---- Phase 2 compiles to a single-wave plan (the leaves are
+        // mutually independent; per-processor order rides the pool FIFO). ----
+        let steps: Vec<Step<usize>> = assignment
+            .iter()
+            .enumerate()
+            .flat_map(|(proc, leaf_ids)| leaf_ids.iter().map(move |&idx| Step { proc, job: idx }))
+            .collect();
+        Self {
+            results: (0..nodes.len()).map(|_| Mutex::new(None)).collect(),
+            nodes,
+            plan: Plan::single_wave(p, steps),
+            cutoff: opts.cutoff,
+        }
+    }
+
+    /// The compiled (single-wave) schedule; jobs are leaf node indices.
+    pub fn plan(&self) -> &Plan<usize> {
+        &self.plan
+    }
+
+    /// Multiply leaf `idx` with the sequential Strassen kernel.
+    pub fn step(&self, _proc: paco_core::proc_list::ProcId, idx: &usize) {
+        let (la, lb) = self.nodes[*idx]
+            .operands
+            .as_ref()
+            .expect("assigned leaves keep their operands");
+        let product = strassen_sequential_with_cutoff(la, lb, self.cutoff);
+        *self.results[*idx].lock() = Some(product);
+    }
+
+    /// Phase 3: combine bottom-up.  Children always have larger indices than
+    /// their parent, so a reverse index sweep combines every internal node
+    /// after all of its children are ready.
+    pub fn finish(self) -> Matrix<R> {
+        for idx in (0..self.nodes.len()).rev() {
+            if self.nodes[idx].children.is_empty() {
+                continue;
+            }
+            let ms: Vec<Matrix<R>> = self.nodes[idx]
+                .children
+                .iter()
+                .map(|&c| {
+                    self.results[c]
+                        .lock()
+                        .take()
+                        .expect("child product must be available before combining")
+                })
+                .collect();
+            *self.results[idx].lock() = Some(strassen_combine(&ms));
+        }
+        self.results[0]
+            .lock()
+            .take()
+            .expect("root product must exist after combination")
+    }
+}
+
 /// PACO Strassen (Theorem 13) with default options.
+#[deprecated(note = "run the `Strassen` request through a `paco_service::Session` instead")]
 pub fn strassen_paco<R: Ring>(a: &Matrix<R>, b: &Matrix<R>, pool: &WorkerPool) -> Matrix<R> {
+    #[allow(deprecated)]
     strassen_paco_with(a, b, pool, StrassenOptions::default())
 }
 
 /// PACO STRASSEN-CONST-PIECES (Corollary 14): at most `gamma` assignment
 /// super-rounds, hence a constant number of pieces per processor.
+#[deprecated(
+    note = "run the `Strassen` request through a `paco_service::Session` (set `Tuning::strassen_gamma` for the knob) instead"
+)]
 pub fn strassen_const_pieces<R: Ring>(
     a: &Matrix<R>,
     b: &Matrix<R>,
     pool: &WorkerPool,
     gamma: usize,
 ) -> Matrix<R> {
+    #[allow(deprecated)]
     strassen_paco_with(
         a,
         b,
@@ -249,137 +411,22 @@ pub fn strassen_const_pieces<R: Ring>(
 }
 
 /// PACO Strassen with explicit options.
+#[deprecated(
+    note = "run the `Strassen` request through a `paco_service::Session` (the `Tuning` strassen knobs replace `StrassenOptions`) instead"
+)]
 pub fn strassen_paco_with<R: Ring>(
     a: &Matrix<R>,
     b: &Matrix<R>,
     pool: &WorkerPool,
     opts: StrassenOptions,
 ) -> Matrix<R> {
-    check_square(a, b);
-    let p = pool.p();
-    let n = a.rows();
-    if p == 1 || n <= opts.parallel_base || !n.is_multiple_of(2) {
-        return strassen_sequential_with_cutoff(a, b, opts.cutoff);
-    }
-
-    // ---- Phase 1: pruned BFS expansion of the 7-ary tree. ----
-    let mut nodes: Vec<TreeNode<R>> = vec![TreeNode {
-        operands: Some((a.clone(), b.clone())),
-        children: Vec::new(),
-        size: n,
-    }];
-    let procs = ProcList::all(p);
-    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); p]; // node indices per proc
-    let mut frontier: Vec<usize> = vec![0];
-    let mut rr = 0usize;
-    let mut super_rounds = 0usize;
-
-    while !frontier.is_empty() {
-        let all_base = frontier
-            .iter()
-            .all(|&i| nodes[i].size <= opts.parallel_base || !nodes[i].size.is_multiple_of(2));
-        let gamma_reached = opts.gamma.is_some_and(|g| super_rounds >= g);
-
-        if frontier.len() >= p || all_base || gamma_reached {
-            let take = if !all_base && !gamma_reached && frontier.len() >= p {
-                p
-            } else {
-                frontier.len()
-            };
-            let rest = frontier.split_off(take);
-            for idx in frontier {
-                assignment[procs.round_robin(rr)].push(idx);
-                rr += 1;
-            }
-            super_rounds += 1;
-            frontier = rest;
-            if all_base || gamma_reached {
-                for idx in frontier.drain(..) {
-                    assignment[procs.round_robin(rr)].push(idx);
-                    rr += 1;
-                }
-            }
-            continue;
-        }
-
-        // Expand every frontier node one Strassen level.
-        let mut next = Vec::with_capacity(frontier.len() * 7);
-        for idx in frontier {
-            if nodes[idx].size <= opts.parallel_base || !nodes[idx].size.is_multiple_of(2) {
-                next.push(idx);
-                continue;
-            }
-            let (na, nb) = nodes[idx]
-                .operands
-                .take()
-                .expect("unexpanded node must still hold its operands");
-            let child_size = nodes[idx].size / 2;
-            for (s, t) in strassen_operands(&na, &nb) {
-                let child_idx = nodes.len();
-                nodes.push(TreeNode {
-                    operands: Some((s, t)),
-                    children: Vec::new(),
-                    size: child_size,
-                });
-                nodes[idx].children.push(child_idx);
-            }
-            // Only the (unexpanded) children are schedulable work; the parent
-            // waits for them in the combine phase.
-            next.extend(nodes[idx].children.iter().copied());
-        }
-        frontier = next;
-    }
-
-    // ---- Phase 2: execute every assigned leaf on its processor, as a
-    // single-wave plan (the leaves are mutually independent). ----
-    let results: Vec<Mutex<Option<Matrix<R>>>> =
-        (0..nodes.len()).map(|_| Mutex::new(None)).collect();
-    {
-        let nodes_ref = &nodes;
-        let results_ref = &results;
-        let steps: Vec<Step<usize>> = assignment
-            .iter()
-            .enumerate()
-            .flat_map(|(proc, leaf_ids)| leaf_ids.iter().map(move |&idx| Step { proc, job: idx }))
-            .collect();
-        Plan::single_wave(p, steps).execute(pool, |_, &idx| {
-            let (la, lb) = nodes_ref[idx]
-                .operands
-                .as_ref()
-                .expect("assigned leaves keep their operands");
-            let product = strassen_sequential_with_cutoff(la, lb, opts.cutoff);
-            *results_ref[idx].lock() = Some(product);
-        });
-    }
-
-    // ---- Phase 3: combine bottom-up.  Children always have larger indices
-    // than their parent, so a reverse index sweep combines every internal node
-    // after all of its children are ready. ----
-    for idx in (0..nodes.len()).rev() {
-        if nodes[idx].children.is_empty() {
-            continue;
-        }
-        let ms: Vec<Matrix<R>> = nodes[idx]
-            .children
-            .iter()
-            .map(|&c| {
-                results[c]
-                    .lock()
-                    .take()
-                    .expect("child product must be available before combining")
-            })
-            .collect();
-        *results[idx].lock() = Some(strassen_combine(&ms));
-    }
-
-    let root = results[0]
-        .lock()
-        .take()
-        .expect("root product must exist after combination");
-    root
+    let run = StrassenRun::prepare(a.clone(), b.clone(), pool.p(), opts);
+    run.plan().execute(pool, |proc, idx| run.step(proc, idx));
+    run.finish()
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::co_mm::mm_reference;

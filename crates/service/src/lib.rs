@@ -1,0 +1,70 @@
+//! # paco-service
+//!
+//! The front door of the PACO workspace: one typed request API over every
+//! workload.
+//!
+//! The paper's central claim is that processor-aware (PACO) schedules beat
+//! processor-oblivious ones *when the runtime knows `p` up front*.  Before
+//! this crate that knowledge was scattered across five per-crate function
+//! families, each hand-threading a `WorkerPool` and its own magic tuning
+//! knob (`lcs_paco_with_base`, `fw_paco_batch`, `paco_sort_with_oversampling`,
+//! `gap_paco_with_blocks`, `one_d_paco`, …).  Here the same capability is one
+//! surface:
+//!
+//! * a [`Session`] owns the [`WorkerPool`](paco_runtime::WorkerPool) and a
+//!   [`Tuning`] config (processor count, base/grain sizes, oversampling,
+//!   trace mode) — construct it once, reuse it for every request;
+//! * a [`Solve`] trait is implemented by typed request structs — [`Lcs`],
+//!   [`Apsp`]/[`Closure`], [`MatMul`], [`Strassen`], [`Sort`], [`OneD`],
+//!   [`Gap`] — each compiling itself into the runtime's wave-based
+//!   [`Plan`](paco_runtime::schedule::Plan) IR;
+//! * three verbs run everything:
+//!   [`Session::run`] (one request),
+//!   [`Session::run_batch`] (a homogeneous batch through **one** pool pass via
+//!   `Plan::batch`, so the barrier count is the *maximum* of the constituent
+//!   wave counts, not the sum — now for every workload, including MM, Strassen
+//!   and sort), and
+//!   [`Session::submit`]/[`Session::flush`] (a deferred front-end that
+//!   coalesces queued submissions — including *heterogeneous mixes* of
+//!   workload types — into one pool pass and resolves them through
+//!   [`Ticket`]s).
+//!
+//! The old free functions survive as `#[deprecated]` shims delegating to the
+//! same per-workload `*Run` machinery this crate schedules; see the README's
+//! migration table.
+//!
+//! ```
+//! use paco_service::{Lcs, MatMul, Session, Sort};
+//! use paco_core::workload::{random_keys, random_matrix_wrapping, related_sequences};
+//!
+//! let session = Session::new(2);
+//!
+//! // One request.
+//! let (a, b) = related_sequences(200, 4, 0.2, 7);
+//! let len = session.run(Lcs { a, b });
+//!
+//! // A homogeneous batch: one pool pass, max-of-waves barriers.
+//! let sorted = session.run_batch((0..4).map(|i| Sort { keys: random_keys(100, i) }));
+//! assert_eq!(sorted.len(), 4);
+//!
+//! // A deferred heterogeneous mix: queued, then one pool pass.
+//! let t1 = session.submit(Lcs { a: vec![1, 2, 3], b: vec![2, 3, 4] });
+//! let m = random_matrix_wrapping(16, 16, 1);
+//! let t2 = session.submit(MatMul { a: m.clone(), b: m });
+//! session.flush();
+//! assert_eq!(t1.take(), 2);
+//! assert_eq!(t2.take().rows(), 16);
+//! # let _ = len;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod requests;
+pub mod session;
+pub mod solve;
+
+pub use paco_core::tuning::Tuning;
+pub use requests::{Apsp, Closure, Gap, HeteroMatMul, Lcs, MatMul, OneD, Sort, Strassen};
+pub use session::{RunStats, Session, SessionBuilder, Ticket};
+pub use solve::{Compiled, Prepared, Solve};

@@ -1,0 +1,374 @@
+//! The typed request structs — one per workload — and their [`Solve`]
+//! wiring onto the workload crates' prepared-run machinery.
+
+use crate::solve::{Compiled, Solve, WorkloadRun};
+use paco_core::matrix::Matrix;
+use paco_core::proc_list::ProcId;
+use paco_core::semiring::{IdempotentSemiring, MinPlus, Ring, Semiring};
+use paco_core::tuning::Tuning;
+use paco_dp::gap::{GapCost, GapRun};
+use paco_dp::lcs::LcsRun;
+use paco_dp::one_d::{OneDJob, OneDRun, Weight};
+use paco_graph::{FwRun, LeafCall};
+use paco_matmul::{MmConfig, MmJob, MmRun, StrassenOptions, StrassenRun};
+use paco_runtime::hetero::ThrottleSpec;
+use paco_runtime::schedule::Plan;
+use paco_sort::{SortJob, SortKey, SortRun};
+
+/// Longest common subsequence of two sequences (Sect. III-B); resolves to
+/// the LCS length.
+#[derive(Debug, Clone)]
+pub struct Lcs {
+    /// First sequence.
+    pub a: Vec<u32>,
+    /// Second sequence.
+    pub b: Vec<u32>,
+}
+
+impl WorkloadRun for LcsRun {
+    type Job = usize;
+    type Out = u32;
+    fn typed_plan(&self) -> &Plan<usize> {
+        self.plan()
+    }
+    fn step(&self, proc: ProcId, job: &usize) {
+        LcsRun::step(self, proc, job)
+    }
+    fn finish(self) -> u32 {
+        LcsRun::finish(self)
+    }
+}
+
+impl Solve for Lcs {
+    type Output = u32;
+    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
+        Compiled::new(LcsRun::prepare(self.a, self.b, p, tuning.lcs_base))
+    }
+}
+
+/// Path closure of a square matrix over a closed semiring with idempotent
+/// `⊕` (the Floyd–Warshall A/B/C/D recursion, Sect. III-E applied to graphs);
+/// resolves to the closed matrix.
+#[derive(Debug, Clone)]
+pub struct Closure<S: IdempotentSemiring> {
+    /// The adjacency matrix to close; it is left untouched and the closed
+    /// matrix is returned as the output.
+    pub adj: Matrix<S>,
+}
+
+/// All-pairs shortest paths: [`Closure`] over the tropical `(min, +)`
+/// semiring.  Entry `(i, j)` of the result is the weight of the shortest
+/// directed path from `i` to `j`.
+pub type Apsp = Closure<MinPlus>;
+
+impl<S: IdempotentSemiring> WorkloadRun for FwRun<S> {
+    type Job = LeafCall;
+    type Out = Matrix<S>;
+    fn typed_plan(&self) -> &Plan<LeafCall> {
+        self.plan()
+    }
+    fn step(&self, proc: ProcId, job: &LeafCall) {
+        FwRun::step(self, proc, job)
+    }
+    fn finish(self) -> Matrix<S> {
+        FwRun::finish(self)
+    }
+}
+
+impl<S: IdempotentSemiring> Solve for Closure<S> {
+    type Output = Matrix<S>;
+    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
+        Compiled::new(FwRun::prepare(&self.adj, p, tuning.fw_base))
+    }
+}
+
+/// Rectangular semiring matrix multiplication `C = A ⊗ B` with the
+/// MM-1-PIECE partitioning (Corollary 10); resolves to the product matrix.
+#[derive(Debug, Clone)]
+pub struct MatMul<S: Semiring> {
+    /// Left operand (`n × k`).
+    pub a: Matrix<S>,
+    /// Right operand (`k × m`).
+    pub b: Matrix<S>,
+}
+
+impl<S: Semiring> WorkloadRun for MmRun<S> {
+    type Job = MmJob;
+    type Out = Matrix<S>;
+    fn typed_plan(&self) -> &Plan<MmJob> {
+        self.plan()
+    }
+    fn step(&self, proc: ProcId, job: &MmJob) {
+        MmRun::step(self, proc, job)
+    }
+    fn finish(self) -> Matrix<S> {
+        MmRun::finish(self)
+    }
+}
+
+impl<S: Semiring> Solve for MatMul<S> {
+    type Output = Matrix<S>;
+    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
+        let cfg = MmConfig {
+            cutoff: tuning.mm_cutoff,
+            ..MmConfig::default()
+        };
+        Compiled::new(MmRun::prepare(self.a, self.b, p, cfg))
+    }
+}
+
+/// Matrix multiplication on an (emulated) heterogeneous machine
+/// (Corollary 12 / Sect. IV-A): work is split in proportion to the
+/// throttle's throughput ratios when `aware`, evenly when not — both run on
+/// the same emulated slow/fast cores, which is the Fig. 9b comparison.
+///
+/// The throttle must cover exactly the session's `p` processors.
+#[derive(Debug, Clone)]
+pub struct HeteroMatMul<S: Semiring> {
+    /// Left operand (`n × k`).
+    pub a: Matrix<S>,
+    /// Right operand (`k × m`).
+    pub b: Matrix<S>,
+    /// The emulated machine: per-processor slowdown factors.
+    pub throttle: ThrottleSpec,
+    /// `true` = throughput-aware split ([`paco_matmul::hetero_mm`]'s
+    /// behaviour), `false` = heterogeneity-unaware even split.
+    pub aware: bool,
+}
+
+impl<S: Semiring> Solve for HeteroMatMul<S> {
+    type Output = Matrix<S>;
+    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
+        let cfg = MmConfig {
+            fractions: self.aware.then(|| self.throttle.spec().fractions()),
+            throttle: Some(self.throttle),
+            cutoff: tuning.mm_cutoff,
+        };
+        Compiled::new(MmRun::prepare(self.a, self.b, p, cfg))
+    }
+}
+
+/// Square ring matrix multiplication with Strassen's algorithm placed by the
+/// pruned BFS of the 7-ary tree (Theorem 13; set
+/// [`Tuning::strassen_gamma`] for CONST-PIECES); resolves to the product.
+#[derive(Debug, Clone)]
+pub struct Strassen<R: Ring> {
+    /// Left operand (`n × n`).
+    pub a: Matrix<R>,
+    /// Right operand (`n × n`).
+    pub b: Matrix<R>,
+}
+
+impl<R: Ring> WorkloadRun for StrassenRun<R> {
+    type Job = usize;
+    type Out = Matrix<R>;
+    fn typed_plan(&self) -> &Plan<usize> {
+        self.plan()
+    }
+    fn step(&self, proc: ProcId, job: &usize) {
+        StrassenRun::step(self, proc, job)
+    }
+    fn finish(self) -> Matrix<R> {
+        StrassenRun::finish(self)
+    }
+}
+
+impl<R: Ring> Solve for Strassen<R> {
+    type Output = Matrix<R>;
+    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
+        let opts = StrassenOptions {
+            cutoff: tuning.strassen_cutoff,
+            parallel_base: tuning.strassen_parallel_base,
+            gamma: tuning.strassen_gamma,
+        };
+        Compiled::new(StrassenRun::prepare(self.a, self.b, p, opts))
+    }
+}
+
+/// Comparison sort of a key vector with PACO SORT (Theorem 16); resolves to
+/// the sorted vector.
+#[derive(Debug, Clone)]
+pub struct Sort<T: SortKey> {
+    /// The keys to sort.
+    pub keys: Vec<T>,
+}
+
+impl<T: SortKey + 'static> WorkloadRun for SortRun<T> {
+    type Job = SortJob;
+    type Out = Vec<T>;
+    fn typed_plan(&self) -> &Plan<SortJob> {
+        self.plan()
+    }
+    fn step(&self, proc: ProcId, job: &SortJob) {
+        SortRun::step(self, proc, job)
+    }
+    fn finish(self) -> Vec<T> {
+        SortRun::finish(self)
+    }
+}
+
+impl<T: SortKey + 'static> Solve for Sort<T> {
+    type Output = Vec<T>;
+    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
+        let k = tuning.sort_k(self.keys.len());
+        Compiled::new(SortRun::prepare(self.keys, p, k))
+    }
+}
+
+/// The 1D / least-weight-subsequence problem (Sect. III-C): compute
+/// `D[j] = min_i D[i] + w(i, j)` for `j = 1..=n` from `D[0] = d0`; resolves
+/// to the full `D[0..=n]` array.
+#[derive(Debug, Clone)]
+pub struct OneD<W: Weight> {
+    /// Number of breakpoints (the table has `n + 1` entries).
+    pub n: usize,
+    /// The O(1), memory-free weight function.
+    pub weight: W,
+    /// The initial value `D[0]`.
+    pub d0: f64,
+}
+
+impl<W: Weight + Send + 'static> WorkloadRun for OneDRun<W> {
+    type Job = OneDJob;
+    type Out = Vec<f64>;
+    fn typed_plan(&self) -> &Plan<OneDJob> {
+        self.plan()
+    }
+    fn step(&self, proc: ProcId, job: &OneDJob) {
+        OneDRun::step(self, proc, job)
+    }
+    fn finish(self) -> Vec<f64> {
+        OneDRun::finish(self)
+    }
+}
+
+impl<W: Weight + Send + 'static> Solve for OneD<W> {
+    type Output = Vec<f64>;
+    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
+        Compiled::new(OneDRun::prepare(
+            self.n,
+            self.weight,
+            self.d0,
+            p,
+            tuning.one_d_base,
+        ))
+    }
+}
+
+/// The GAP problem (Sect. III-D): edit distance with general gap penalties
+/// over an `(n+1) × (n+1)` table; resolves to the table in row-major order.
+#[derive(Debug, Clone)]
+pub struct Gap<C: GapCost> {
+    /// The table is `(n + 1) × (n + 1)`.
+    pub n: usize,
+    /// The O(1), memory-free cost functions.
+    pub costs: C,
+}
+
+impl<C: GapCost + Send + 'static> WorkloadRun for GapRun<C> {
+    type Job = (usize, usize);
+    type Out = Vec<f64>;
+    fn typed_plan(&self) -> &Plan<(usize, usize)> {
+        self.plan()
+    }
+    fn step(&self, proc: ProcId, job: &(usize, usize)) {
+        GapRun::step(self, proc, job)
+    }
+    fn finish(self) -> Vec<f64> {
+        GapRun::finish(self)
+    }
+}
+
+impl<C: GapCost + Send + 'static> Solve for Gap<C> {
+    type Output = Vec<f64>;
+    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
+        let blocks = tuning.gap_grid(p);
+        Compiled::new(GapRun::prepare(self.n, self.costs, p, blocks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+    use paco_core::workload::{
+        random_digraph, random_keys, random_matrix_wrapping, related_sequences, GapCosts,
+        ParagraphWeight,
+    };
+    use paco_dp::gap::gap_reference;
+    use paco_dp::lcs::lcs_reference;
+    use paco_dp::one_d::one_d_reference;
+    use paco_graph::fw_reference;
+    use paco_matmul::mm_reference;
+
+    #[test]
+    fn every_request_type_matches_its_reference() {
+        let session = Session::new(3);
+
+        let (a, b) = related_sequences(150, 4, 0.25, 11);
+        assert_eq!(
+            session.run(Lcs {
+                a: a.clone(),
+                b: b.clone()
+            }),
+            lcs_reference(&a, &b)
+        );
+
+        let g = random_digraph(48, 0.2, 40, 5);
+        assert_eq!(session.run(Apsp { adj: g.clone() }), fw_reference(&g));
+
+        let ma = random_matrix_wrapping(40, 24, 1);
+        let mb = random_matrix_wrapping(24, 32, 2);
+        assert_eq!(
+            session.run(MatMul {
+                a: ma.clone(),
+                b: mb.clone()
+            }),
+            mm_reference(&ma, &mb)
+        );
+
+        let sa = random_matrix_wrapping(96, 96, 3);
+        let sb = random_matrix_wrapping(96, 96, 4);
+        assert_eq!(
+            session.run(Strassen {
+                a: sa.clone(),
+                b: sb.clone()
+            }),
+            mm_reference(&sa, &sb)
+        );
+
+        let keys = random_keys(500, 9);
+        let mut expect = keys.clone();
+        expect.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(session.run(Sort { keys }), expect);
+
+        let w = ParagraphWeight { ideal: 9.0 };
+        let got = session.run(OneD {
+            n: 130,
+            weight: w,
+            d0: 0.0,
+        });
+        let expect = one_d_reference(130, &w, 0.0);
+        assert!(got.iter().zip(&expect).all(|(x, y)| (x - y).abs() < 1e-9));
+
+        let costs = GapCosts::default();
+        let got = session.run(Gap { n: 40, costs });
+        let expect = gap_reference(40, &costs);
+        assert!(got.iter().zip(&expect).all(|(x, y)| (x - y).abs() < 1e-9));
+    }
+
+    #[test]
+    fn degenerate_requests_resolve() {
+        let session = Session::new(2);
+        assert_eq!(
+            session.run(Lcs {
+                a: vec![],
+                b: vec![1, 2]
+            }),
+            0
+        );
+        assert_eq!(session.run(Sort::<f64> { keys: vec![] }), Vec::<f64>::new());
+        let empty: Matrix<MinPlus> = Matrix::from_fn(0, 0, |_, _| unreachable!());
+        assert_eq!(session.run(Apsp { adj: empty }).rows(), 0);
+    }
+}

@@ -1,0 +1,393 @@
+//! The [`Session`]: one worker pool, one tuning config, three verbs.
+
+use crate::solve::{Prepared, Solve};
+use paco_core::machine::available_processors;
+use paco_core::metrics::sched;
+use paco_core::tuning::Tuning;
+use paco_runtime::schedule::Plan;
+use paco_runtime::WorkerPool;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Scheduling cost of the most recent [`Session::run`],
+/// [`Session::run_batch`] or [`Session::flush`], read off the
+/// [`paco_core::metrics::sched`] counters (recorded while
+/// [`Tuning::trace`] is on, the default).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Requests executed by the pass.
+    pub requests: u64,
+    /// Plan waves executed — for a batch this is the *maximum* of the
+    /// constituent wave counts, the whole point of batching.
+    pub plan_waves: u64,
+    /// Plan steps (placed tasks) executed.
+    pub plan_steps: u64,
+    /// Worker-pool barriers (spawn/join round-trips) issued.
+    pub pool_barriers: u64,
+}
+
+/// Lifecycle of a submitted request's output slot.
+enum SlotState {
+    /// Submitted, not yet flushed.
+    Pending,
+    /// Flushed successfully; the output is waiting.
+    Done(Box<dyn Any + Send>),
+    /// The output was taken.
+    Taken,
+    /// The flush panicked mid-pass: the request's shared state may be
+    /// half-written, so the output is unrecoverable.
+    Poisoned,
+}
+
+type Slot = Arc<Mutex<SlotState>>;
+
+struct PendingRequest {
+    prepared: Box<dyn Prepared>,
+    slot: Slot,
+}
+
+/// A handle to the output of a [`Session::submit`]ted request; resolved by
+/// the next [`Session::flush`].
+pub struct Ticket<O> {
+    slot: Slot,
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<O: Send + 'static> Ticket<O> {
+    /// Whether the request has been flushed (and the output not yet taken).
+    pub fn ready(&self) -> bool {
+        matches!(*self.slot.lock(), SlotState::Done(_))
+    }
+
+    /// Take the output if the request has been flushed (and neither taken
+    /// before nor lost to a panicking flush).
+    pub fn try_take(&self) -> Option<O> {
+        let mut slot = self.slot.lock();
+        match std::mem::replace(&mut *slot, SlotState::Taken) {
+            SlotState::Done(out) => Some(decode(out)),
+            other => {
+                *slot = other;
+                None
+            }
+        }
+    }
+
+    /// Take the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session has not been flushed since the submission, if
+    /// the output was already taken, or if the flush panicked (the request
+    /// was lost with it).
+    pub fn take(&self) -> O {
+        let mut slot = self.slot.lock();
+        match std::mem::replace(&mut *slot, SlotState::Taken) {
+            SlotState::Done(out) => decode(out),
+            SlotState::Pending => {
+                panic!("ticket not resolved: call Session::flush() before Ticket::take()")
+            }
+            SlotState::Taken => panic!("ticket output already taken"),
+            SlotState::Poisoned => {
+                panic!("ticket lost: the flush executing this request panicked")
+            }
+        }
+    }
+}
+
+fn decode<O: Send + 'static>(out: Box<dyn Any + Send>) -> O {
+    *out.downcast::<O>()
+        .expect("request output type mismatch — Solve::Output is wired to the wrong run type")
+}
+
+/// The front door: owns one pinned [`WorkerPool`] plus a [`Tuning`] config,
+/// and executes every PACO workload through three verbs — [`Session::run`],
+/// [`Session::run_batch`] and [`Session::submit`]/[`Session::flush`].
+///
+/// ```
+/// use paco_service::{Session, Sort};
+///
+/// let session = Session::builder().procs(2).build();
+/// let sorted = session.run(Sort { keys: vec![3.0, 1.0, 2.0] });
+/// assert_eq!(sorted, vec![1.0, 2.0, 3.0]);
+/// ```
+pub struct Session {
+    pool: WorkerPool,
+    tuning: Tuning,
+    queue: Mutex<Vec<PendingRequest>>,
+    last: Mutex<RunStats>,
+}
+
+impl Session {
+    /// A session on `p` pinned processors with environment-derived tuning
+    /// ([`Tuning::from_env`]).
+    pub fn new(p: usize) -> Self {
+        Self::builder().procs(p).build()
+    }
+
+    /// A session sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        Self::builder().build()
+    }
+
+    /// Start configuring a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The processor count every request is compiled for.
+    pub fn p(&self) -> usize {
+        self.pool.p()
+    }
+
+    /// The tuning config every request is compiled with.
+    pub fn tuning(&self) -> &Tuning {
+        &self.tuning
+    }
+
+    /// Scheduling counters of the most recent `run`/`run_batch`/`flush`
+    /// (all-zero until one executed with [`Tuning::trace`] on).
+    pub fn last_stats(&self) -> RunStats {
+        *self.last.lock()
+    }
+
+    /// Execute one request and return its output.
+    pub fn run<R: Solve>(&self, req: R) -> R::Output {
+        let mut prepared = req.compile(self.p(), &self.tuning).inner;
+        self.record(1, || {
+            prepared
+                .skeleton()
+                .execute(&self.pool, |proc, &idx| prepared.run_step(proc, idx));
+        });
+        decode(prepared.take_output())
+    }
+
+    /// Execute a homogeneous batch of requests through **one** pool pass.
+    ///
+    /// The compiled plans are merged wave-by-wave
+    /// ([`Plan::batch`]), so the pass costs as many
+    /// barriers as the *deepest* constituent — not the sum — across every
+    /// workload type, including the MM, Strassen and sort paths that had no
+    /// batched entry point before this crate.  Outputs come back in request
+    /// order.
+    pub fn run_batch<R: Solve>(&self, reqs: impl IntoIterator<Item = R>) -> Vec<R::Output> {
+        let mut prepared: Vec<Box<dyn Prepared>> = reqs
+            .into_iter()
+            .map(|r| r.compile(self.p(), &self.tuning).inner)
+            .collect();
+        self.execute_merged(&prepared);
+        prepared
+            .iter_mut()
+            .map(|p| decode(p.take_output()))
+            .collect()
+    }
+
+    /// Queue a request for the next [`Session::flush`]; the request is
+    /// compiled now (under the current tuning) and executed later.  Queued
+    /// submissions may mix workload types freely.
+    pub fn submit<R: Solve>(&self, req: R) -> Ticket<R::Output> {
+        let prepared = req.compile(self.p(), &self.tuning).inner;
+        let slot = Arc::new(Mutex::new(SlotState::Pending));
+        self.queue.lock().push(PendingRequest {
+            prepared,
+            slot: slot.clone(),
+        });
+        Ticket {
+            slot,
+            _out: PhantomData,
+        }
+    }
+
+    /// Number of submissions waiting for a flush.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Execute every queued submission — a heterogeneous mix compiles to one
+    /// merged wave plan — through one pool pass, resolving their
+    /// [`Ticket`]s.  Returns the number of requests flushed.
+    ///
+    /// If a workload step panics mid-pass, every request of the pass is
+    /// *poisoned* (their shared state may be half-written, so no output can
+    /// be salvaged): the tickets report the loss explicitly instead of
+    /// pretending the flush never happened, and the panic is re-thrown.
+    pub fn flush(&self) -> usize {
+        let mut pending = std::mem::take(&mut *self.queue.lock());
+        if pending.is_empty() {
+            return 0;
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let prepared: Vec<&dyn Prepared> = pending.iter().map(|p| &*p.prepared).collect();
+            self.execute_merged_refs(&prepared);
+        }));
+        if let Err(payload) = outcome {
+            for p in &pending {
+                *p.slot.lock() = SlotState::Poisoned;
+            }
+            std::panic::resume_unwind(payload);
+        }
+        for p in &mut pending {
+            *p.slot.lock() = SlotState::Done(p.prepared.take_output());
+        }
+        pending.len()
+    }
+
+    fn execute_merged(&self, prepared: &[Box<dyn Prepared>]) {
+        let refs: Vec<&dyn Prepared> = prepared.iter().map(|p| &**p).collect();
+        self.execute_merged_refs(&refs);
+    }
+
+    /// One pool pass over many compiled requests: zip their skeletons
+    /// wave-by-wave and tag every step with its request index.
+    fn execute_merged_refs(&self, prepared: &[&dyn Prepared]) {
+        let plans: Vec<Plan<usize>> = prepared.iter().map(|p| p.skeleton().clone()).collect();
+        let merged = Plan::batch(plans);
+        self.record(prepared.len() as u64, || {
+            merged.execute(&self.pool, |proc, &(inst, idx)| {
+                prepared[inst].run_step(proc, idx);
+            });
+        });
+    }
+
+    fn record(&self, requests: u64, execute: impl FnOnce()) {
+        if !self.tuning.trace {
+            execute();
+            return;
+        }
+        let before = sched::snapshot();
+        execute();
+        let delta = sched::snapshot().since(&before);
+        *self.last.lock() = RunStats {
+            requests,
+            plan_waves: delta.plan_waves,
+            plan_steps: delta.plan_steps,
+            pool_barriers: delta.pool_barriers,
+        };
+    }
+}
+
+/// Configures and builds a [`Session`].
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    procs: Option<usize>,
+    tuning: Option<Tuning>,
+    base: Option<usize>,
+}
+
+impl SessionBuilder {
+    /// Pin the session to `p` processors (default: the machine's available
+    /// parallelism).
+    pub fn procs(mut self, p: usize) -> Self {
+        assert!(p >= 1, "a session needs at least one processor");
+        self.procs = Some(p);
+        self
+    }
+
+    /// Use an explicit tuning config (default: [`Tuning::from_env`], which
+    /// honours the `PACO_BASE` override).
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = Some(tuning);
+        self
+    }
+
+    /// Convenience: set every base/grain-size knob at once
+    /// ([`Tuning::with_base`]) on top of whatever tuning the builder ends up
+    /// with.
+    pub fn base(mut self, base: usize) -> Self {
+        self.base = Some(base);
+        self
+    }
+
+    /// Spin up the worker pool and finish the session.
+    pub fn build(self) -> Session {
+        let mut tuning = self.tuning.unwrap_or_else(Tuning::from_env);
+        if let Some(base) = self.base {
+            tuning = tuning.with_base(base);
+        }
+        let p = self.procs.unwrap_or_else(available_processors);
+        Session {
+            pool: WorkerPool::new(p),
+            tuning,
+            queue: Mutex::new(Vec::new()),
+            last: Mutex::new(RunStats::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::Compiled;
+    use crate::Lcs;
+    use paco_runtime::schedule::{Plan, Step};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A request whose single step panics, for exercising the flush
+    /// poisoning path.
+    struct Exploding {
+        skeleton: Plan<usize>,
+    }
+
+    impl Prepared for Exploding {
+        fn skeleton(&self) -> &Plan<usize> {
+            &self.skeleton
+        }
+        fn run_step(&self, _proc: usize, _idx: usize) {
+            panic!("exploding step");
+        }
+        fn take_output(&mut self) -> Box<dyn Any + Send> {
+            Box::new(())
+        }
+    }
+
+    struct ExplodingReq;
+
+    impl Solve for ExplodingReq {
+        type Output = ();
+        fn compile(self, p: usize, _tuning: &Tuning) -> Compiled<()> {
+            Compiled::from_prepared(Box::new(Exploding {
+                skeleton: Plan::single_wave(p, vec![Step { proc: 0, job: 0 }]),
+            }))
+        }
+    }
+
+    #[test]
+    fn panicking_flush_poisons_every_ticket_of_the_pass() {
+        let session = Session::new(2);
+        let good = session.submit(Lcs {
+            a: vec![1, 2, 3],
+            b: vec![2, 3],
+        });
+        let bad = session.submit(ExplodingReq);
+
+        // The flush re-throws the step panic...
+        let outcome = catch_unwind(AssertUnwindSafe(|| session.flush()));
+        assert!(outcome.is_err(), "the step panic must propagate");
+        // ...the queue is drained (nothing half-executed can be re-driven)...
+        assert_eq!(session.pending(), 0);
+        // ...and both tickets report the loss instead of "flush me first".
+        assert!(!good.ready());
+        assert_eq!(good.try_take(), None);
+        let take = catch_unwind(AssertUnwindSafe(|| good.take()));
+        let payload = take.expect_err("poisoned take must panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .expect("panic message is a str literal");
+        assert!(
+            msg.contains("flush executing this request panicked"),
+            "{msg}"
+        );
+        let take = catch_unwind(AssertUnwindSafe(|| bad.take()));
+        assert!(take.is_err());
+
+        // The session stays usable for new work.
+        assert_eq!(
+            session.run(Lcs {
+                a: vec![7],
+                b: vec![7]
+            }),
+            1
+        );
+    }
+}

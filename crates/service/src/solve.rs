@@ -1,0 +1,202 @@
+//! The [`Solve`] trait and the type-erased compiled form the session
+//! schedules.
+//!
+//! A request compiles into a [`Compiled`] value: an *index skeleton* (the
+//! workload's wave plan with every job replaced by its position in schedule
+//! order) plus the shared state the steps interpret.  Erasing the job type at
+//! the step level — rather than forcing every workload into one giant job
+//! enum — lets the session batch arbitrary mixes of workloads with the stock
+//! [`Plan::batch`] wave-zip while each workload keeps its own typed plan and
+//! fully monomorphized kernels.
+
+use paco_core::proc_list::ProcId;
+use paco_core::tuning::Tuning;
+use paco_runtime::schedule::{Plan, Step};
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// A typed request the [`Session`](crate::Session) can execute.
+///
+/// Implementations compile the request (partitioning, pivot selection, plan
+/// building — everything except touching the pool) into a
+/// [`Compiled<Self::Output>`]; the session then executes the skeleton alone
+/// or batched with others and hands the output back as [`Solve::Output`].
+pub trait Solve {
+    /// The result type of the request.
+    type Output: Send + 'static;
+
+    /// Compile for `p` processors under the session's tuning.
+    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output>;
+}
+
+/// A compiled request: schedule skeleton + step interpreter + deferred
+/// output.  All methods except [`Prepared::take_output`] take `&self` because
+/// steps run concurrently from the pool's workers; the shared state inside
+/// uses the same wave-discipline interior mutability as the workload crates.
+pub trait Prepared: Send + Sync {
+    /// The wave schedule; jobs are indices into the compiled step list.
+    fn skeleton(&self) -> &Plan<usize>;
+
+    /// Interpret step `idx` on processor `proc`.
+    fn run_step(&self, proc: ProcId, idx: usize);
+
+    /// Extract the output after the skeleton has executed.  Panics if called
+    /// twice.
+    fn take_output(&mut self) -> Box<dyn Any + Send>;
+}
+
+/// A type-erased compiled request whose output type is still tracked at the
+/// type level, so [`Solve::Output`] cannot be wired to the wrong run: the
+/// in-crate constructor requires a run whose `finish` really returns `O`.
+pub struct Compiled<O> {
+    pub(crate) inner: Box<dyn Prepared>,
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<O: Send + 'static> Compiled<O> {
+    /// Wrap a workload run; the `Out = O` bound is the compile-time tie
+    /// between the request's output type and the run's.
+    pub(crate) fn new<R: WorkloadRun<Out = O>>(run: R) -> Self {
+        Self::from_prepared(PreparedRun::boxed(run))
+    }
+
+    /// Wrap an already-erased prepared request.
+    ///
+    /// Escape hatch for [`Solve`] implementations outside this crate: the
+    /// caller must guarantee that `take_output` yields a boxed `O` — a
+    /// mismatch is only caught at runtime (the session panics when decoding
+    /// the output).
+    pub fn from_prepared(inner: Box<dyn Prepared>) -> Self {
+        Self {
+            inner,
+            _out: PhantomData,
+        }
+    }
+}
+
+/// The uniform shape of a per-workload prepared run (`LcsRun`, `FwRun`, …):
+/// a typed plan, a step interpreter, and a consuming finisher.  Implemented
+/// in [`crate::requests`] by delegation to the workload crates' inherent
+/// methods.
+pub(crate) trait WorkloadRun: Send + Sync + 'static {
+    /// The workload's plain-data job type.
+    type Job: Send + Sync;
+    /// The workload's result type.
+    type Out: Send + 'static;
+
+    fn typed_plan(&self) -> &Plan<Self::Job>;
+    fn step(&self, proc: ProcId, job: &Self::Job);
+    fn finish(self) -> Self::Out;
+}
+
+/// The generic [`Prepared`] adapter over any [`WorkloadRun`]: the skeleton
+/// mirrors the typed plan with flat step indices, and a small index table
+/// maps each flat index back to its `(wave, position)` in the run's own plan
+/// — jobs are interpreted in place, never copied.
+pub(crate) struct PreparedRun<R: WorkloadRun> {
+    skeleton: Plan<usize>,
+    /// `index[flat] = (wave, position)` into the run's typed plan.
+    index: Vec<(usize, usize)>,
+    run: Option<R>,
+}
+
+impl<R: WorkloadRun> PreparedRun<R> {
+    pub(crate) fn boxed(run: R) -> Box<dyn Prepared> {
+        let plan = run.typed_plan();
+        let mut index = Vec::with_capacity(plan.steps());
+        let waves = plan
+            .waves()
+            .iter()
+            .enumerate()
+            .map(|(w, wave)| {
+                wave.iter()
+                    .enumerate()
+                    .map(|(i, step)| {
+                        let flat = index.len();
+                        index.push((w, i));
+                        Step {
+                            proc: step.proc,
+                            job: flat,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Box::new(Self {
+            skeleton: Plan::from_waves(plan.p(), waves),
+            index,
+            run: Some(run),
+        })
+    }
+}
+
+impl<R: WorkloadRun> Prepared for PreparedRun<R> {
+    fn skeleton(&self) -> &Plan<usize> {
+        &self.skeleton
+    }
+
+    fn run_step(&self, proc: ProcId, idx: usize) {
+        let run = self.run.as_ref().expect("request already finished");
+        let (w, i) = self.index[idx];
+        run.step(proc, &run.typed_plan().waves()[w][i].job);
+    }
+
+    fn take_output(&mut self) -> Box<dyn Any + Send> {
+        Box::new(
+            self.run
+                .take()
+                .expect("request output already taken")
+                .finish(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        plan: Plan<char>,
+        seen: parking_lot::Mutex<Vec<char>>,
+    }
+
+    impl WorkloadRun for Dummy {
+        type Job = char;
+        type Out = Vec<char>;
+        fn typed_plan(&self) -> &Plan<char> {
+            &self.plan
+        }
+        fn step(&self, _proc: ProcId, job: &char) {
+            self.seen.lock().push(*job);
+        }
+        fn finish(self) -> Vec<char> {
+            self.seen.into_inner()
+        }
+    }
+
+    #[test]
+    fn skeleton_indices_line_up_with_the_typed_plan() {
+        let plan = Plan::from_waves(
+            2,
+            vec![
+                vec![Step { proc: 0, job: 'a' }, Step { proc: 1, job: 'b' }],
+                vec![Step { proc: 1, job: 'c' }],
+            ],
+        );
+        let mut prepared = PreparedRun::boxed(Dummy {
+            plan,
+            seen: parking_lot::Mutex::new(Vec::new()),
+        });
+        assert_eq!(prepared.skeleton().barriers(), 2);
+        assert_eq!(prepared.skeleton().steps(), 3);
+        // Replay the skeleton sequentially: index i must map back to step i.
+        let mut order = Vec::new();
+        prepared.skeleton().for_each(|_, _, &idx| order.push(idx));
+        assert_eq!(order, vec![0, 1, 2]);
+        for idx in order {
+            prepared.run_step(0, idx);
+        }
+        let out = prepared.take_output();
+        assert_eq!(*out.downcast::<Vec<char>>().unwrap(), vec!['a', 'b', 'c']);
+    }
+}

@@ -22,17 +22,20 @@
 //!    received range; ranges are contiguous and ordered by pivot, so the
 //!    concatenation is sorted.
 //!
-//! Step 1 is host-side sequential work; steps 2–5 are compiled into **one**
-//! wave-based [`Plan`]: a wave of `p` partition
-//! steps, a single-step wave for the count-matrix/prefix-sum reduction (the
-//! `O(p²)` sequential fraction the theorem charges to the partitioning
-//! overhead, placed on processor 0), a wave of `p` redistribution steps and a
-//! wave of `p` local sorts.  Jobs are plain descriptors interpreted against a
-//! shared state struct, the waves are the only synchronisation, and the whole
-//! sort is a single four-barrier pool pass.
+//! Step 1 is host-side work done by [`SortRun::prepare`]; steps 2–5 are
+//! compiled into **one** wave-based [`Plan`]: a wave of `p` partition steps, a
+//! single-step wave for the count-matrix/prefix-sum reduction (the `O(p²)`
+//! sequential fraction the theorem charges to the partitioning overhead,
+//! placed on processor 0), a wave of `p` redistribution steps and a wave of
+//! `p` local sorts.  Jobs are plain descriptors interpreted against the run's
+//! shared state, the waves are the only synchronisation, and the whole sort
+//! is a single four-barrier pool pass — which also means independent sorts
+//! batch wave-by-wave (`Plan::batch`): a batch of `k` sorts still costs four
+//! barriers, not `4k`.
 
 use crate::seq::{seq_sample_sort, small_sort};
 use crate::{cmp_keys, SortKey};
+use paco_core::proc_list::ProcId;
 use paco_core::shared::SharedSlice;
 use paco_runtime::schedule::{Plan, Step};
 use paco_runtime::WorkerPool;
@@ -42,167 +45,256 @@ use rand::Rng;
 /// Below this size the parallel machinery is pure overhead.
 const SMALL_SORT: usize = 1 << 14;
 
-/// Sort `data` in place on `pool.p()` processors with the default
-/// oversampling ratio `k = max(16, ⌈2·ln n⌉)`.
-pub fn paco_sort<T: SortKey>(data: &mut [T], pool: &WorkerPool) {
-    let n = data.len();
-    let k = ((2.0 * (n.max(2) as f64).ln()).ceil() as usize).max(16);
-    paco_sort_with_oversampling(data, pool, k);
-}
-
-/// One step of the compiled sort schedule, interpreted against [`SortState`].
+/// One step of the compiled sort schedule, interpreted by [`SortRun::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SortJob {
+pub enum SortJob {
     /// Step 2: partition source chunk `i` (`lo..hi` of the input) by the
     /// pivots into `p` destination buckets.
-    Partition { i: usize, lo: usize, hi: usize },
+    Partition {
+        /// Source chunk index.
+        i: usize,
+        /// First input index of the chunk.
+        lo: usize,
+        /// One past the last input index of the chunk.
+        hi: usize,
+    },
     /// Step 3: reduce the `p × p` count matrix with column prefix sums into
     /// exact destination offsets (sequential, on processor 0).
     Offsets,
     /// Step 4: destination `j` copies every sub-chunk addressed to it into
     /// its contiguous scratch range.
-    Scatter { j: usize },
+    Scatter {
+        /// Destination processor index.
+        j: usize,
+    },
     /// Step 5: destination `j` sorts its scratch range with the sequential
     /// sample sort.
-    LocalSort { j: usize },
+    LocalSort {
+        /// Destination processor index.
+        j: usize,
+    },
+    /// Degenerate instance (tiny input or `p == 1`): sort the whole scratch
+    /// buffer sequentially in one step.
+    Seq,
 }
 
-/// Shared state the sort plan's jobs communicate through.  Each slot is
-/// written by exactly one step and only read by steps in later waves; the
-/// mutexes exist to keep the interpreter safe code, and the only read-side
-/// sharing (every scatter step reads every `grouped[i]`) is staggered so the
-/// wave stays parallel.
-struct SortState<T> {
+/// A prepared PACO SORT instance: pivots already selected, the four-wave plan
+/// compiled, and the shared state (buckets, layout, scratch) its jobs
+/// communicate through.  Each state slot is written by exactly one step and
+/// only read by steps in later waves; the mutexes keep the interpreter safe
+/// code, and the only read-side sharing (every scatter step reads every
+/// `grouped[i]`) is staggered so the wave stays parallel.  This is the unit
+/// the service layer's `Session` schedules — alone, in batches, or mixed with
+/// other workloads — and the deprecated free functions below are thin
+/// wrappers over it.
+pub struct SortRun<T> {
+    input: Vec<T>,
+    pivots: Vec<T>,
     /// `grouped[i][j]`: keys of source chunk `i` destined for processor `j`.
     grouped: Vec<Mutex<Vec<Vec<T>>>>,
     /// `(dest_start, offsets)`: destination ranges and per-(source,
     /// destination) scatter offsets, produced by [`SortJob::Offsets`].
-    layout: Mutex<(Vec<usize>, Vec<Vec<usize>>)>,
+    layout: Mutex<(Vec<usize>, Vec<usize>)>,
     /// The redistribution target; scatter/local-sort steps own disjoint
     /// ranges of it.
     scratch: SharedSlice<T>,
+    plan: Plan<SortJob>,
+    p: usize,
+}
+
+impl<T: SortKey> SortRun<T> {
+    /// Select pivots and compile the four-wave schedule for `p` processors
+    /// with oversampling ratio `k`.
+    pub fn prepare(data: Vec<T>, p: usize, k: usize) -> Self {
+        let n = data.len();
+        if n == 0 {
+            return Self::degenerate(data, p, Plan::empty(p.max(1)));
+        }
+        if n <= SMALL_SORT || p == 1 {
+            let plan = Plan::single_wave(
+                p.max(1),
+                vec![Step {
+                    proc: 0,
+                    job: SortJob::Seq,
+                }],
+            );
+            return Self::degenerate(data, p, plan);
+        }
+
+        // ---- Step 1 (host side): pivots from an oversampled random sample.
+        let mut rng = paco_core::workload::rng(0xc0de_5eed ^ n as u64);
+        let sample_size = (k.max(1) * p).min(n);
+        let mut sample: Vec<T> = (0..sample_size)
+            .map(|_| data[rng.gen_range(0..n)])
+            .collect();
+        small_sort(&mut sample);
+        let pivots: Vec<T> = (1..p)
+            .map(|i| sample[(i * sample_size / p).min(sample_size - 1)])
+            .collect();
+
+        // ---- Steps 2–5 as one four-wave plan.
+        let plan = Plan::from_waves(
+            p,
+            vec![
+                (0..p)
+                    .map(|i| Step {
+                        proc: i,
+                        job: SortJob::Partition {
+                            i,
+                            lo: i * n / p,
+                            hi: (i + 1) * n / p,
+                        },
+                    })
+                    .collect(),
+                vec![Step {
+                    proc: 0,
+                    job: SortJob::Offsets,
+                }],
+                (0..p)
+                    .map(|j| Step {
+                        proc: j,
+                        job: SortJob::Scatter { j },
+                    })
+                    .collect(),
+                (0..p)
+                    .map(|j| Step {
+                        proc: j,
+                        job: SortJob::LocalSort { j },
+                    })
+                    .collect(),
+            ],
+        );
+
+        let scratch = SharedSlice::new(n, data[0]);
+        Self {
+            input: data,
+            pivots,
+            grouped: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+            layout: Mutex::new((Vec::new(), Vec::new())),
+            scratch,
+            plan,
+            p,
+        }
+    }
+
+    /// A run whose plan needs no partition/scatter state: the input moves
+    /// straight into the scratch buffer and is sorted there (or is empty).
+    fn degenerate(data: Vec<T>, p: usize, plan: Plan<SortJob>) -> Self {
+        Self {
+            input: Vec::new(),
+            pivots: Vec::new(),
+            grouped: Vec::new(),
+            layout: Mutex::new((Vec::new(), Vec::new())),
+            scratch: SharedSlice::from_vec(data),
+            plan,
+            p: p.max(1),
+        }
+    }
+
+    /// The compiled wave schedule.
+    pub fn plan(&self) -> &Plan<SortJob> {
+        &self.plan
+    }
+
+    /// Interpret one job against the shared state.
+    pub fn step(&self, _proc: ProcId, job: &SortJob) {
+        let p = self.p;
+        let n = self.scratch.len();
+        match *job {
+            SortJob::Partition { i, lo, hi } => {
+                let mut buckets: Vec<Vec<T>> =
+                    (0..self.pivots.len() + 1).map(|_| Vec::new()).collect();
+                for x in &self.input[lo..hi] {
+                    buckets[bucket_of(x, &self.pivots)].push(*x);
+                }
+                *self.grouped[i].lock() = buckets;
+            }
+            SortJob::Offsets => {
+                // The p×p count matrix and its column prefix sums give every
+                // (source, destination) sub-chunk an exact offset in the
+                // output; the flat `offsets` vector is indexed `[i * p + j]`.
+                let mut dest_start = vec![0usize; p + 1];
+                let mut offsets = vec![0usize; p * p];
+                let grouped: Vec<_> = self.grouped.iter().map(|g| g.lock()).collect();
+                for j in 0..p {
+                    dest_start[j + 1] =
+                        dest_start[j] + grouped.iter().map(|row| row[j].len()).sum::<usize>();
+                }
+                debug_assert_eq!(dest_start[p], n);
+                for j in 0..p {
+                    let mut acc = dest_start[j];
+                    for (i, row) in grouped.iter().enumerate() {
+                        offsets[i * p + j] = acc;
+                        acc += row[j].len();
+                    }
+                }
+                *self.layout.lock() = (dest_start, offsets);
+            }
+            SortJob::Scatter { j } => {
+                // Copy the (small) layout data out and release the lock before
+                // the O(n/p) copy loop — holding it would serialize the wave.
+                let (lo, hi, my_offsets) = {
+                    let layout = self.layout.lock();
+                    let offs: Vec<usize> = (0..p).map(|i| layout.1[i * p + j]).collect();
+                    (layout.0[j], layout.0[j + 1], offs)
+                };
+                // SAFETY: destination ranges are disjoint across the wave's
+                // steps and no other step touches the scratch this wave.
+                let part = unsafe { self.scratch.slice_mut(lo..hi) };
+                // Stagger the source traversal (classic all-to-all) so the p
+                // scatter steps do not convoy on the same `grouped[i]` mutex.
+                for di in 0..p {
+                    let i = (j + di) % p;
+                    let row = self.grouped[i].lock();
+                    let bucket = &row[j];
+                    let start = my_offsets[i] - lo;
+                    part[start..start + bucket.len()].copy_from_slice(bucket);
+                }
+            }
+            SortJob::LocalSort { j } => {
+                let (lo, hi) = {
+                    let layout = self.layout.lock();
+                    (layout.0[j], layout.0[j + 1])
+                };
+                // SAFETY: as above — this step exclusively owns its range.
+                seq_sample_sort(unsafe { self.scratch.slice_mut(lo..hi) });
+            }
+            SortJob::Seq => {
+                // SAFETY: the degenerate plan has exactly this one step.
+                seq_sample_sort(unsafe { self.scratch.slice_mut(0..n) });
+            }
+        }
+    }
+
+    /// Read the sorted keys off the completed run.
+    pub fn finish(self) -> Vec<T> {
+        self.scratch.snapshot()
+    }
+}
+
+/// Sort `data` in place on `pool.p()` processors with the default
+/// oversampling ratio `k = max(16, ⌈2·ln n⌉)`.
+#[deprecated(note = "run the `Sort` request through a `paco_service::Session` instead")]
+pub fn paco_sort<T: SortKey>(data: &mut [T], pool: &WorkerPool) {
+    let k = paco_core::tuning::Tuning::default().sort_k(data.len());
+    #[allow(deprecated)]
+    paco_sort_with_oversampling(data, pool, k);
 }
 
 /// [`paco_sort`] with an explicit oversampling ratio `k`.
+#[deprecated(
+    note = "run the `Sort` request through a `paco_service::Session` (set `Tuning::sort_oversampling` for the knob) instead"
+)]
 pub fn paco_sort_with_oversampling<T: SortKey>(data: &mut [T], pool: &WorkerPool, k: usize) {
-    let n = data.len();
-    let p = pool.p();
-    if n <= SMALL_SORT || p == 1 {
+    // Keep the old shim's zero-copy path: tiny inputs never touched the pool
+    // or any scratch buffer.
+    if data.len() <= SMALL_SORT || pool.p() == 1 {
         seq_sample_sort(data);
         return;
     }
-
-    // ---- Step 1 (host side): pivots from an oversampled random sample.
-    let mut rng = paco_core::workload::rng(0xc0de_5eed ^ n as u64);
-    let sample_size = (k * p).min(n);
-    let mut sample: Vec<T> = (0..sample_size)
-        .map(|_| data[rng.gen_range(0..n)])
-        .collect();
-    small_sort(&mut sample);
-    let pivots: Vec<T> = (1..p)
-        .map(|i| sample[(i * sample_size / p).min(sample_size - 1)])
-        .collect();
-
-    // ---- Steps 2–5 as one four-wave plan.
-    let plan = Plan::from_waves(
-        p,
-        vec![
-            (0..p)
-                .map(|i| Step {
-                    proc: i,
-                    job: SortJob::Partition {
-                        i,
-                        lo: i * n / p,
-                        hi: (i + 1) * n / p,
-                    },
-                })
-                .collect(),
-            vec![Step {
-                proc: 0,
-                job: SortJob::Offsets,
-            }],
-            (0..p)
-                .map(|j| Step {
-                    proc: j,
-                    job: SortJob::Scatter { j },
-                })
-                .collect(),
-            (0..p)
-                .map(|j| Step {
-                    proc: j,
-                    job: SortJob::LocalSort { j },
-                })
-                .collect(),
-        ],
-    );
-
-    let state = SortState {
-        grouped: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
-        layout: Mutex::new((Vec::new(), Vec::new())),
-        scratch: SharedSlice::new(n, data[0]),
-    };
-    let pivots = &pivots;
-    let data_ref: &[T] = data;
-    plan.execute(pool, |_, &job| match job {
-        SortJob::Partition { i, lo, hi } => {
-            let mut buckets: Vec<Vec<T>> = (0..pivots.len() + 1).map(|_| Vec::new()).collect();
-            for x in &data_ref[lo..hi] {
-                buckets[bucket_of(x, pivots)].push(*x);
-            }
-            *state.grouped[i].lock() = buckets;
-        }
-        SortJob::Offsets => {
-            // The p×p count matrix and its column prefix sums give every
-            // (source, destination) sub-chunk an exact offset in the output.
-            let mut dest_start = vec![0usize; p + 1];
-            let mut offsets = vec![vec![0usize; p]; p];
-            let grouped: Vec<_> = state.grouped.iter().map(|g| g.lock()).collect();
-            for j in 0..p {
-                dest_start[j + 1] =
-                    dest_start[j] + grouped.iter().map(|row| row[j].len()).sum::<usize>();
-            }
-            debug_assert_eq!(dest_start[p], n);
-            for j in 0..p {
-                let mut acc = dest_start[j];
-                for (i, row) in grouped.iter().enumerate() {
-                    offsets[i][j] = acc;
-                    acc += row[j].len();
-                }
-            }
-            *state.layout.lock() = (dest_start, offsets);
-        }
-        SortJob::Scatter { j } => {
-            // Copy the (small) layout data out and release the lock before
-            // the O(n/p) copy loop — holding it would serialize the wave.
-            let (lo, hi, my_offsets) = {
-                let layout = state.layout.lock();
-                let offs: Vec<usize> = layout.1.iter().map(|row| row[j]).collect();
-                (layout.0[j], layout.0[j + 1], offs)
-            };
-            // SAFETY: destination ranges are disjoint across the wave's steps
-            // and no other step touches the scratch this wave.
-            let part = unsafe { state.scratch.slice_mut(lo..hi) };
-            // Stagger the source traversal (classic all-to-all) so the p
-            // scatter steps do not convoy on the same `grouped[i]` mutex.
-            for di in 0..p {
-                let i = (j + di) % p;
-                let row = state.grouped[i].lock();
-                let bucket = &row[j];
-                let start = my_offsets[i] - lo;
-                part[start..start + bucket.len()].copy_from_slice(bucket);
-            }
-        }
-        SortJob::LocalSort { j } => {
-            let (lo, hi) = {
-                let layout = state.layout.lock();
-                (layout.0[j], layout.0[j + 1])
-            };
-            // SAFETY: as above — this step exclusively owns its range.
-            seq_sample_sort(unsafe { state.scratch.slice_mut(lo..hi) });
-        }
-    });
-
-    data.copy_from_slice(&state.scratch.snapshot());
+    let run = SortRun::prepare(data.to_vec(), pool.p(), k);
+    run.plan.execute(pool, |proc, job| run.step(proc, job));
+    data.copy_from_slice(&run.finish());
 }
 
 fn bucket_of<T: SortKey>(x: &T, pivots: &[T]) -> usize {
@@ -220,6 +312,7 @@ fn bucket_of<T: SortKey>(x: &T, pivots: &[T]) -> usize {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use paco_core::workload::{few_distinct_keys, random_keys, sorted_keys};
@@ -265,6 +358,20 @@ mod tests {
         let pool = WorkerPool::new(4);
         paco_sort_with_oversampling(&mut data, &pool, 2);
         assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn big_instance_plan_is_four_waves_regardless_of_size() {
+        // The whole sort is one four-barrier pool pass, so batches of sorts
+        // merge into four waves total.
+        for &n in &[SMALL_SORT + 1, 100_000] {
+            let run = SortRun::prepare(random_keys(n, 3), 4, 8);
+            assert_eq!(run.plan().barriers(), 4, "n={n}");
+        }
+        let tiny = SortRun::prepare(random_keys(64, 4), 4, 8);
+        assert_eq!(tiny.plan().barriers(), 1);
+        let empty = SortRun::prepare(Vec::<f64>::new(), 4, 8);
+        assert_eq!(empty.plan().barriers(), 0);
     }
 
     #[test]

@@ -5,32 +5,32 @@
 //! against the naive triple loop), runs the boolean transitive closure, and
 //! finishes with the cache-simulator comparison: `Q₁` of the sequential
 //! cache-oblivious recursion vs `Q^Σ_p`/`Q^max_p` of the PACO partitioning.
+//! The PACO runs go through the service layer's `Session` (the `Apsp` and
+//! `Closure` requests); the base-case knob comes from its `Tuning`.
 //!
 //! Run with `cargo run -p paco_examples --release --example apsp`.
 
-use paco_core::machine::{available_processors, CacheParams};
+use paco_core::machine::CacheParams;
 use paco_core::metrics::time_it;
-use paco_core::semiring::{MinPlus, Semiring};
+use paco_core::semiring::{BoolSemiring, MinPlus, Semiring};
 use paco_core::workload::{random_adjacency, random_digraph};
 use paco_examples::{ms, section};
-use paco_graph::{
-    apsp, fw_paco_traced, fw_po, fw_reference, fw_seq, fw_seq_traced, transitive_closure,
-    DEFAULT_BASE,
-};
-use paco_runtime::WorkerPool;
+use paco_graph::{fw_paco_traced, fw_po, fw_reference, fw_seq, fw_seq_traced};
+use paco_service::{Apsp, Closure, Session};
 
 fn main() {
-    let p = available_processors();
-    let pool = WorkerPool::new(p);
+    let session = Session::with_available_parallelism();
+    let p = session.p();
+    let base = session.tuning().fw_base;
     let n = 384;
     println!("PACO Floyd–Warshall quickstart on {p} processors, n = {n}");
 
     section("All-pairs shortest paths over (min, +)");
     let graph = random_digraph(n, 0.1, 100, 42);
     let reference = fw_reference(&graph);
-    let (seq, seq_secs) = time_it(|| fw_seq(&graph, DEFAULT_BASE));
-    let (po, po_secs) = time_it(|| fw_po(&graph, DEFAULT_BASE));
-    let (paco, paco_secs) = time_it(|| apsp(&graph, &pool));
+    let (seq, seq_secs) = time_it(|| fw_seq(&graph, base));
+    let (po, po_secs) = time_it(|| fw_po(&graph, base));
+    let (paco, paco_secs) = time_it(|| session.run(Apsp { adj: graph.clone() }));
     println!(
         "seq CO {} | PO {} | PACO {} — agree with the triple loop: {}",
         ms(seq_secs),
@@ -46,7 +46,11 @@ fn main() {
 
     section("Transitive closure over the boolean semiring");
     let adjacency = random_adjacency(n, 0.004, 7);
-    let (closure, secs) = time_it(|| transitive_closure(&adjacency, &pool));
+    let (closure, secs) = time_it(|| {
+        session.run(Closure::<BoolSemiring> {
+            adj: adjacency.clone(),
+        })
+    });
     let edges = adjacency.data().iter().filter(|b| b.0).count();
     let closed = closure.data().iter().filter(|b| b.0).count();
     println!(
@@ -59,11 +63,12 @@ fn main() {
     let sim_n = 192;
     let sim_graph = random_digraph(sim_n, 0.1, 50, 11);
     let params = CacheParams::new(2048, 8);
-    let (_, q1_sim) = fw_seq_traced(&sim_graph, 16, params);
+    let sim_base = 16;
+    let (_, q1_sim) = fw_seq_traced(&sim_graph, sim_base, params);
     let q1 = q1_sim.q_sum();
     println!("n = {sim_n}, Z = 2048 words, L = 8 words — sequential CO Q1 = {q1} misses");
     for procs in [2usize, 4, 7] {
-        let (_, sim) = fw_paco_traced(&sim_graph, procs, 16, params);
+        let (_, sim) = fw_paco_traced(&sim_graph, procs, sim_base, params);
         println!(
             "PACO p = {procs}: Q_sum = {} ({:.2}x Q1), Q_max = {} ({:.2}x Q1/p), imbalance {:.2}",
             sim.q_sum(),

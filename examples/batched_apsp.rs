@@ -1,24 +1,24 @@
 //! Batched all-pairs shortest paths: many small graphs through one pool pass.
 //!
 //! Every PACO front-end compiles its partitioning into the wave-based
-//! `paco_runtime::schedule::Plan` IR, and independent plans can be merged
-//! wave-by-wave with `Plan::batch`.  For small instances — whose individual
-//! runs are dominated by spawn/join barriers rather than by work — the merged
-//! schedule needs only as many barriers as the *deepest* instance, not the
-//! sum, which is exactly what the runtime's scheduling counters show below.
+//! `paco_runtime::schedule::Plan` IR, and the service layer's
+//! `Session::run_batch` merges independent plans wave-by-wave with
+//! `Plan::batch`.  For small instances — whose individual runs are dominated
+//! by spawn/join barriers rather than by work — the merged schedule needs
+//! only as many barriers as the *deepest* instance, not the sum, which is
+//! exactly what the session's scheduling stats show below.
 //!
 //! Run with `cargo run -p paco_examples --release --example batched_apsp`.
 
-use paco_core::machine::available_processors;
-use paco_core::metrics::{sched, time_it};
+use paco_core::metrics::time_it;
 use paco_core::workload::random_digraph;
 use paco_examples::{ms, section};
-use paco_graph::{fw_paco, fw_paco_batch, fw_reference, plan_fw, DEFAULT_BASE};
-use paco_runtime::WorkerPool;
+use paco_graph::{fw_reference, plan_fw};
+use paco_service::{Apsp, Session};
 
 fn main() {
-    let p = available_processors();
-    let pool = WorkerPool::new(p);
+    let session = Session::with_available_parallelism();
+    let p = session.p();
     let count = 24;
     let n = 48;
     println!("Batched PACO APSP: {count} graphs of {n} vertices on {p} processors");
@@ -29,33 +29,34 @@ fn main() {
 
     section("Correctness: batch vs per-instance reference");
     let expect: Vec<_> = graphs.iter().map(fw_reference).collect();
-    let (batched, t_batch) = time_it(|| fw_paco_batch(&graphs, &pool, DEFAULT_BASE));
+    let (batched, t_batch) =
+        time_it(|| session.run_batch(graphs.iter().map(|g| Apsp { adj: g.clone() })));
     assert_eq!(batched, expect, "batched closure must match the references");
     println!("all {count} closures match the triple-loop reference");
 
     section("Barrier accounting (the point of batching)");
-    let per_instance = plan_fw(n, p, DEFAULT_BASE).plan.barriers();
-    let before = sched::snapshot();
+    let per_instance = plan_fw(n, p, session.tuning().fw_base).plan.barriers();
+    let mut indiv_waves = 0u64;
     let (_, t_indiv) = time_it(|| {
         for g in &graphs {
-            std::hint::black_box(fw_paco(g, &pool));
+            std::hint::black_box(session.run(Apsp { adj: g.clone() }));
+            indiv_waves += session.last_stats().plan_waves;
         }
     });
-    let indiv = sched::snapshot().since(&before);
-    let before = sched::snapshot();
-    std::hint::black_box(fw_paco_batch(&graphs, &pool, DEFAULT_BASE));
-    let batch = sched::snapshot().since(&before);
+    std::hint::black_box(session.run_batch(graphs.iter().map(|g| Apsp { adj: g.clone() })));
+    let batch = session.last_stats();
     println!("plan waves per instance     : {per_instance}");
+    println!("executed waves, individually: {indiv_waves} ({count} session runs)");
     println!(
-        "executed waves, individually: {} ({} plan executions)",
-        indiv.plan_waves, indiv.plan_executions
+        "executed waves, batched     : {} (1 batched pass over {} requests)",
+        batch.plan_waves, batch.requests
     );
-    println!(
-        "executed waves, batched     : {} (1 plan execution)",
-        batch.plan_waves
+    assert_eq!(
+        batch.plan_waves, per_instance as u64,
+        "a batch of equal-size instances costs max-of-waves, i.e. one instance's waves"
     );
     assert!(
-        batch.plan_waves < indiv.plan_waves,
+        batch.plan_waves < indiv_waves,
         "batching must cut the barrier count (p = {p})"
     );
     println!(

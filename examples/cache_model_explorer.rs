@@ -14,10 +14,13 @@ use paco_examples::section;
 fn main() {
     let n = 512;
     let (a, b) = related_sequences(n, 4, 0.2, 1);
+    // The cache-sim replays take no worker pool and pin the partitioning
+    // grain: the sweeps compare p and Z at one fixed base size.
+    let base = 32;
 
     section("Sweep over p at fixed cache size (Z = 1024 words, L = 8)");
     let params = CacheParams::new(1024, 8);
-    let (_, seq) = lcs_sequential_traced(&a, &b, 32, params);
+    let (_, seq) = lcs_sequential_traced(&a, &b, base, params);
     let q1 = seq.q_sum();
     let mut table = Table::new(
         format!("LCS, n = {n}: measured misses vs the Table I shape"),
@@ -31,7 +34,7 @@ fn main() {
         ],
     );
     for p in [1usize, 2, 4, 8, 12] {
-        let (_, paco) = lcs_paco_traced(&a, &b, p, params, 32);
+        let (_, paco) = lcs_paco_traced(&a, &b, p, params, base);
         let (_, pa) = lcs_pa_traced(&a, &b, p, params);
         let bp = BoundParams::square(n, p, 1024, 8);
         let ratio = cache_bound(Problem::Lcs, Variant::Paco, bp).unwrap()
@@ -54,8 +57,8 @@ fn main() {
     );
     for z in [256usize, 512, 1024, 2048, 4096] {
         let params = CacheParams::new(z, 8);
-        let (_, paco) = lcs_paco_traced(&a, &b, 4, params, 32);
-        let (_, seq) = lcs_sequential_traced(&a, &b, 32, params);
+        let (_, paco) = lcs_paco_traced(&a, &b, 4, params, base);
+        let (_, seq) = lcs_sequential_traced(&a, &b, base, params);
         table.row(&[
             z.to_string(),
             paco.q_sum().to_string(),

@@ -10,17 +10,16 @@
 //!
 //! Run with `cargo run -p paco-examples --release --example paragraph_formation`.
 
-use paco_core::machine::available_processors;
 use paco_core::metrics::time_it;
 use paco_dp::one_d::kernel::FnWeight;
-use paco_dp::one_d::{one_d_paco, one_d_reference};
+use paco_dp::one_d::one_d_reference;
 use paco_examples::section;
-use paco_runtime::WorkerPool;
+use paco_service::{OneD, Session};
 use rand::Rng;
 
 fn main() {
-    let p = available_processors();
-    let pool = WorkerPool::new(p);
+    let session = Session::with_available_parallelism();
+    let p = session.p();
     let n_words = 5000usize;
     let ideal_width = 72.0f64;
 
@@ -44,7 +43,13 @@ fn main() {
     section(&format!(
         "Breaking {n_words} words into lines of ideal width {ideal_width} on {p} processors"
     ));
-    let (d, secs) = time_it(|| one_d_paco(n_words, &weight, 0.0, &pool, 64));
+    let (d, secs) = time_it(|| {
+        session.run(OneD {
+            n: n_words,
+            weight: weight.clone(),
+            d0: 0.0,
+        })
+    });
     let optimal = d[n_words];
     let reference = one_d_reference(n_words, &weight, 0.0)[n_words];
     assert!((optimal - reference).abs() < 1e-6);

@@ -1,32 +1,30 @@
 //! Quickstart: the three-minute tour of the PACO library.
 //!
-//! Creates a processor-aware worker pool sized to the machine, then runs one
-//! representative problem from each family — matrix multiplication, Strassen,
-//! LCS, the 1D problem and sorting — with its PACO algorithm, checking each
-//! result against the reference implementation.
+//! Opens a [`paco_service::Session`] sized to the machine — the session owns
+//! the processor-aware worker pool and the tuning config — then runs one
+//! representative request from each family — matrix multiplication, Strassen,
+//! LCS, the 1D problem and sorting — checking each result against the
+//! reference implementation.
 //!
-//! Run with `cargo run -p paco-examples --release --example quickstart`.
+//! Run with `cargo run -p paco_examples --release --example quickstart`.
 
-use paco_core::machine::available_processors;
 use paco_core::metrics::time_it;
 use paco_core::workload::{random_keys, random_matrix_f64, related_sequences, ParagraphWeight};
-use paco_dp::lcs::{lcs_paco, lcs_reference};
-use paco_dp::one_d::{one_d_paco, one_d_reference};
+use paco_dp::lcs::lcs_reference;
+use paco_dp::one_d::one_d_reference;
 use paco_examples::{ms, section};
-use paco_matmul::{co_mm, mm_reference, paco_mm_1piece, strassen_paco};
-use paco_runtime::WorkerPool;
-use paco_sort::paco_sort;
+use paco_matmul::co_mm;
+use paco_service::{Lcs, MatMul, OneD, Session, Sort, Strassen};
 
 fn main() {
-    let p = available_processors();
-    let pool = WorkerPool::new(p);
-    println!("PACO quickstart on {p} processors");
+    let session = Session::with_available_parallelism();
+    println!("PACO quickstart on {} processors", session.p());
 
     section("Rectangular matrix multiplication (PACO MM-1-PIECE)");
     let a = random_matrix_f64(384, 256, 1);
     let b = random_matrix_f64(256, 320, 2);
-    let (c, secs) = time_it(|| paco_mm_1piece(&a, &b, &pool));
-    let reference = mm_reference(&a, &b);
+    let reference = paco_matmul::mm_reference(&a, &b);
+    let (c, secs) = time_it(|| session.run(MatMul { a, b }));
     println!(
         "384x256 * 256x320 in {} — max |diff| vs reference = {:.2e}",
         ms(secs),
@@ -36,9 +34,9 @@ fn main() {
     section("Strassen's algorithm (PACO, pruned BFS of the 7-ary tree)");
     let sa = random_matrix_f64(512, 512, 3);
     let sb = random_matrix_f64(512, 512, 4);
-    let (sc, secs) = time_it(|| strassen_paco(&sa, &sb, &pool));
     let mut sref = paco_core::matrix::Matrix::zeros(512, 512);
     co_mm(sref.as_mut(), sa.as_ref(), sb.as_ref());
+    let (sc, secs) = time_it(|| session.run(Strassen { a: sa, b: sb }));
     println!(
         "512x512 Strassen in {} — max |diff| vs classical = {:.2e}",
         ms(secs),
@@ -47,16 +45,22 @@ fn main() {
 
     section("Longest common subsequence (PACO LCS)");
     let (x, y) = related_sequences(4096, 4, 0.2, 5);
-    let (len, secs) = time_it(|| lcs_paco(&x, &y, &pool));
+    let expect = lcs_reference(&x, &y);
+    let (len, secs) = time_it(|| session.run(Lcs { a: x, b: y }));
     println!(
-        "n = 4096 in {} — LCS length {len} (reference {})",
-        ms(secs),
-        lcs_reference(&x, &y)
+        "n = 4096 in {} — LCS length {len} (reference {expect})",
+        ms(secs)
     );
 
     section("Least-weight subsequence / 1D problem (PACO 1D)");
     let w = ParagraphWeight { ideal: 60.0 };
-    let (d, secs) = time_it(|| one_d_paco(4096, &w, 0.0, &pool, 64));
+    let (d, secs) = time_it(|| {
+        session.run(OneD {
+            n: 4096,
+            weight: w,
+            d0: 0.0,
+        })
+    });
     println!(
         "n = 4096 in {} — optimal cost {:.1} (reference {:.1})",
         ms(secs),
@@ -65,11 +69,11 @@ fn main() {
     );
 
     section("Comparison sorting (PACO SORT)");
-    let mut keys = random_keys(1 << 20, 9);
-    let (_, secs) = time_it(|| paco_sort(&mut keys, &pool));
+    let keys = random_keys(1 << 20, 9);
+    let (sorted, secs) = time_it(|| session.run(Sort { keys }));
     println!(
         "2^20 doubles in {} — sorted: {}",
         ms(secs),
-        keys.windows(2).all(|w| w[0] <= w[1])
+        sorted.windows(2).all(|w| w[0] <= w[1])
     );
 }

@@ -2,24 +2,25 @@
 //! motivated by (molecular-biology-style sequence comparison).
 //!
 //! Generates a pair of long, related DNA-like sequences (one is a mutated copy
-//! of the other), computes their LCS length with every implemented variant —
-//! sequential cache-oblivious, processor-oblivious, processor-aware, PACO —
-//! compares running times, and then scores a batch of shorter fragment pairs
-//! with the GAP (affine/general gap cost) model.
+//! of the other), computes their LCS length with the sequential
+//! cache-oblivious, processor-oblivious and PACO variants (the PA p-way
+//! variant is exercised by the `fig12a` figure binary), compares running
+//! times, and then scores a batch of shorter fragment pairs with the GAP
+//! (affine/general gap cost) model — submitted together and flushed through
+//! one pool pass.
 //!
-//! Run with `cargo run -p paco-examples --release --example sequence_alignment`.
+//! Run with `cargo run -p paco_examples --release --example sequence_alignment`.
 
-use paco_core::machine::available_processors;
 use paco_core::metrics::{speedup_percent, time_it};
 use paco_core::workload::{related_sequences, GapCosts};
-use paco_dp::gap::{gap_paco, gap_reference};
-use paco_dp::lcs::{lcs_pa, lcs_paco, lcs_po, lcs_sequential_co};
+use paco_dp::gap::gap_reference;
+use paco_dp::lcs::{lcs_po, lcs_sequential_co};
 use paco_examples::{ms, section};
-use paco_runtime::WorkerPool;
+use paco_service::{Gap, Lcs, Session};
 
 fn main() {
-    let p = available_processors();
-    let pool = WorkerPool::new(p);
+    let session = Session::with_available_parallelism();
+    let p = session.p();
     let n = 6000;
     // DNA-like alphabet of 4 symbols, 15% mutation rate.
     let (a, b) = related_sequences(n, 4, 0.15, 2024);
@@ -27,11 +28,10 @@ fn main() {
     section(&format!(
         "LCS of two length-{n} sequences on {p} processors"
     ));
-    let (seq_len, t_seq) = time_it(|| lcs_sequential_co(&a, &b, 64));
+    let (seq_len, t_seq) = time_it(|| lcs_sequential_co(&a, &b, session.tuning().lcs_base));
     let (po_len, t_po) = time_it(|| lcs_po(&a, &b, 256));
-    let (pa_len, t_pa) = time_it(|| lcs_pa(&a, &b, &pool));
-    let (paco_len, t_paco) = time_it(|| lcs_paco(&a, &b, &pool));
-    assert!(seq_len == po_len && po_len == pa_len && pa_len == paco_len);
+    let (paco_len, t_paco) = time_it(|| session.run(Lcs { a, b }));
+    assert!(seq_len == po_len && po_len == paco_len);
     println!(
         "LCS length = {paco_len} ({:.1}% of the sequence length)",
         100.0 * paco_len as f64 / n as f64
@@ -42,27 +42,31 @@ fn main() {
         ms(t_po),
         speedup_percent(t_po, t_paco)
     );
-    println!(
-        "  PA  (p-way)   : {}   speedup of PACO: {:+.1}%",
-        ms(t_pa),
-        speedup_percent(t_pa, t_paco)
-    );
     println!("  PACO          : {}", ms(t_paco));
 
-    section("GAP-model alignment scores for short fragments");
+    section("GAP-model alignment scores for short fragments (submit + flush)");
     let costs = GapCosts {
         open: 2.0,
         extend: 0.5,
         seed: 7,
     };
-    for &m in &[64usize, 96, 128] {
-        let (table, t) = time_it(|| gap_paco(m, &costs, &pool));
+    let fragments = [64usize, 96, 128];
+    let tickets: Vec<_> = fragments
+        .iter()
+        .map(|&m| session.submit(Gap { n: m, costs }))
+        .collect();
+    let (flushed, t_flush) = time_it(|| session.flush());
+    assert_eq!(flushed, fragments.len());
+    for (&m, ticket) in fragments.iter().zip(&tickets) {
+        let table = ticket.take();
         let score = table[(m + 1) * (m + 1) - 1];
         let reference = gap_reference(m, &costs);
         assert!((score - reference[(m + 1) * (m + 1) - 1]).abs() < 1e-9);
-        println!(
-            "  fragment length {m:>4}: alignment cost {score:8.2}   ({})",
-            ms(t)
-        );
+        println!("  fragment length {m:>4}: alignment cost {score:8.2}");
     }
+    println!(
+        "  all {flushed} fragments flushed through one pool pass in {} ({} waves)",
+        ms(t_flush),
+        session.last_stats().plan_waves
+    );
 }

@@ -1,0 +1,115 @@
+//! The service front end: a heterogeneous mix of PACO workloads submitted to
+//! one `Session` and flushed through **one** pool pass.
+//!
+//! This is the ROADMAP's "collect requests into batches" item end-to-end: an
+//! LCS query, an all-pairs-shortest-paths query, a matrix product, a sort, a
+//! 1D least-weight subsequence and a GAP alignment are queued with
+//! `Session::submit` — each compiled to its wave plan immediately — then
+//! `Session::flush` zips all six plans wave-by-wave (`Plan::batch`) and runs
+//! them in one pass, so the pool pays max-of-waves barriers instead of the
+//! sum.  Every output is cross-checked against its reference implementation.
+//!
+//! Run with `cargo run -p paco_examples --release --example service_front_end`.
+
+use paco_core::metrics::time_it;
+use paco_core::workload::{
+    random_digraph, random_keys, random_matrix_wrapping, related_sequences, GapCosts,
+    ParagraphWeight,
+};
+use paco_examples::{ms, section};
+use paco_service::{Apsp, Gap, Lcs, MatMul, OneD, Session, Sort};
+
+fn main() {
+    let session = Session::with_available_parallelism();
+    println!(
+        "Service front end on {} processors (tuning: lcs_base={}, fw_base={})",
+        session.p(),
+        session.tuning().lcs_base,
+        session.tuning().fw_base
+    );
+
+    // ---- Queue a mixed bag of work. -------------------------------------
+    section("Submitting a heterogeneous mix");
+    let (sa, sb) = related_sequences(600, 4, 0.2, 1);
+    let lcs_ticket = session.submit(Lcs {
+        a: sa.clone(),
+        b: sb.clone(),
+    });
+
+    let graph = random_digraph(96, 0.15, 50, 2);
+    let apsp_ticket = session.submit(Apsp { adj: graph.clone() });
+
+    let ma = random_matrix_wrapping(128, 96, 3);
+    let mb = random_matrix_wrapping(96, 112, 4);
+    let mm_ticket = session.submit(MatMul {
+        a: ma.clone(),
+        b: mb.clone(),
+    });
+
+    let keys = random_keys(50_000, 5);
+    let sort_ticket = session.submit(Sort { keys: keys.clone() });
+
+    let weight = ParagraphWeight { ideal: 11.0 };
+    let oned_ticket = session.submit(OneD {
+        n: 500,
+        weight,
+        d0: 0.0,
+    });
+
+    let costs = GapCosts::default();
+    let gap_ticket = session.submit(Gap { n: 96, costs });
+
+    println!(
+        "queued {} requests across 6 workload types",
+        session.pending()
+    );
+    assert!(!lcs_ticket.ready(), "nothing resolves before the flush");
+
+    // ---- One pool pass for everything. ----------------------------------
+    section("Flushing");
+    let (flushed, secs) = time_it(|| session.flush());
+    let stats = session.last_stats();
+    println!(
+        "flushed {flushed} requests in {} — one merged pass: {} waves, {} steps, {} pool barriers",
+        ms(secs),
+        stats.plan_waves,
+        stats.plan_steps,
+        stats.pool_barriers
+    );
+    assert_eq!(
+        stats.pool_barriers, stats.plan_waves,
+        "one barrier per merged wave, nothing else"
+    );
+
+    // ---- Cross-check every output. ---------------------------------------
+    section("Cross-checking outputs against references");
+    assert_eq!(
+        lcs_ticket.take(),
+        paco_dp::lcs::lcs_reference(&sa, &sb),
+        "LCS"
+    );
+    assert_eq!(apsp_ticket.take(), paco_graph::fw_reference(&graph), "APSP");
+    assert_eq!(
+        mm_ticket.take(),
+        paco_matmul::mm_reference(&ma, &mb),
+        "MatMul"
+    );
+    let mut expect_sorted = keys;
+    expect_sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(sort_ticket.take(), expect_sorted, "Sort");
+    let oned = oned_ticket.take();
+    let oned_ref = paco_dp::one_d::one_d_reference(500, &weight, 0.0);
+    assert!(
+        oned.iter()
+            .zip(&oned_ref)
+            .all(|(x, y)| (x - y).abs() < 1e-9),
+        "OneD"
+    );
+    let gap = gap_ticket.take();
+    let gap_ref = paco_dp::gap::gap_reference(96, &costs);
+    assert!(
+        gap.iter().zip(&gap_ref).all(|(x, y)| (x - y).abs() < 1e-9),
+        "Gap"
+    );
+    println!("all six outputs match their reference implementations");
+}

@@ -14,8 +14,8 @@ use paco_core::metrics::time_it;
 use paco_core::util::{caps_usable_processors, is_prime};
 use paco_core::workload::random_matrix_f64;
 use paco_examples::section;
-use paco_matmul::strassen::{strassen_paco, strassen_sequential};
-use paco_runtime::WorkerPool;
+use paco_matmul::strassen::strassen_sequential;
+use paco_service::{Session, Strassen};
 
 fn main() {
     let n = 512;
@@ -33,8 +33,13 @@ fn main() {
         "p", "prime?", "time", "speedup", "CAPS uses"
     );
     for p in 1..=max_p {
-        let pool = WorkerPool::new(p);
-        let (c, t) = time_it(|| strassen_paco(&a, &b, &pool));
+        let session = Session::new(p);
+        let (c, t) = time_it(|| {
+            session.run(Strassen {
+                a: a.clone(),
+                b: b.clone(),
+            })
+        });
         println!(
             "{:>3}  {:>6}  {:>8.3}s  {:>7.2}x  {:>9}  {:.1e}",
             p,

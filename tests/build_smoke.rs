@@ -4,15 +4,17 @@
 //! Asserts that the processor-oblivious (PO), processor-aware (PA) and
 //! processor-aware-cache-oblivious (PACO) variants of LCS and matrix
 //! multiplication all agree with their sequential references on small
-//! inputs, across several processor counts.  If a future manifest or
-//! refactoring change silently breaks a variant, this fails before any of
-//! the heavier suites run.
+//! inputs, across several processor counts.  The PACO runs go through the
+//! service layer's `Session` — the front door every downstream consumer
+//! uses.  If a future manifest or refactoring change silently breaks a
+//! variant, this fails before any of the heavier suites run.
 
+use paco_core::machine::CacheParams;
 use paco_core::workload::{random_matrix_wrapping, related_sequences};
-use paco_dp::lcs::{lcs_pa, lcs_paco, lcs_po, lcs_reference, lcs_sequential_co};
+use paco_dp::lcs::{lcs_pa_traced, lcs_po, lcs_reference, lcs_sequential_co};
+use paco_matmul::mm_reference;
 use paco_matmul::po::co2_mm;
-use paco_matmul::{mm_reference, paco_mm_1piece};
-use paco_runtime::WorkerPool;
+use paco_service::{Lcs, MatMul, Session};
 
 #[test]
 fn lcs_variants_agree_on_small_inputs() {
@@ -21,9 +23,18 @@ fn lcs_variants_agree_on_small_inputs() {
     assert_eq!(lcs_sequential_co(&a, &b, 32), expect, "sequential CO");
     assert_eq!(lcs_po(&a, &b, 64), expect, "PO");
     for p in paco_tests::interesting_processor_counts() {
-        let pool = WorkerPool::new(p);
-        assert_eq!(lcs_pa(&a, &b, &pool), expect, "PA with p={p}");
-        assert_eq!(lcs_paco(&a, &b, &pool), expect, "PACO with p={p}");
+        let session = Session::new(p);
+        // The PA variant is exercised through its pool-free traced twin.
+        let params = CacheParams::new(1024, 8);
+        assert_eq!(lcs_pa_traced(&a, &b, p, params).0, expect, "PA with p={p}");
+        assert_eq!(
+            session.run(Lcs {
+                a: a.clone(),
+                b: b.clone()
+            }),
+            expect,
+            "PACO with p={p}"
+        );
     }
 }
 
@@ -34,7 +45,14 @@ fn matmul_variants_agree_on_small_inputs() {
     let expect = mm_reference(&a, &b);
     assert_eq!(co2_mm(&a, &b), expect, "PO (CO2)");
     for p in paco_tests::interesting_processor_counts() {
-        let pool = WorkerPool::new(p);
-        assert_eq!(paco_mm_1piece(&a, &b, &pool), expect, "PACO with p={p}");
+        let session = Session::new(p);
+        assert_eq!(
+            session.run(MatMul {
+                a: a.clone(),
+                b: b.clone()
+            }),
+            expect,
+            "PACO with p={p}"
+        );
     }
 }

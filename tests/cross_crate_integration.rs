@@ -6,11 +6,10 @@ use paco_cache_sim::analytic::{cache_bound, BoundParams, Problem, Variant};
 use paco_core::machine::{CacheParams, HeteroSpec, MachineConfig};
 use paco_core::workload::{random_matrix_wrapping, related_sequences};
 use paco_dp::lcs::{lcs_paco_traced, lcs_reference, lcs_sequential_traced};
-use paco_matmul::hetero::hetero_mm;
+use paco_matmul::mm_reference;
 use paco_matmul::paco_mm::plan_paco_mm_with_base;
-use paco_matmul::{mm_reference, paco_mm_1piece};
 use paco_runtime::hetero::ThrottleSpec;
-use paco_runtime::WorkerPool;
+use paco_service::{HeteroMatMul, MatMul, Session};
 use paco_tests::interesting_processor_counts;
 
 /// The machine presets drive the analytic bounds, and the bounds agree with the
@@ -59,10 +58,19 @@ fn machine_preset_heterogeneity_drives_hetero_mm() {
     // (one fast group at 3x) but only 4 workers.
     let small_spec = HeteroSpec::one_fast_socket(4, 1, 3.0);
     let throttle = ThrottleSpec::from_spec(&small_spec);
-    let pool = WorkerPool::new(4);
+    let session = Session::new(4);
     let a = random_matrix_wrapping(96, 64, 1);
     let b = random_matrix_wrapping(64, 80, 2);
-    assert_eq!(mm_reference(&a, &b), hetero_mm(&a, &b, &pool, &throttle));
+    let expect = mm_reference(&a, &b);
+    assert_eq!(
+        expect,
+        session.run(HeteroMatMul {
+            a: a.clone(),
+            b: b.clone(),
+            throttle,
+            aware: true,
+        })
+    );
 }
 
 /// The pruned-BFS plan (runtime crate) and the executable 1-PIECE algorithm
@@ -87,8 +95,15 @@ fn plans_and_execution_cover_the_same_processor_range() {
             report.work_imbalance
         );
 
-        let pool = WorkerPool::new(p);
-        assert_eq!(expect, paco_mm_1piece(&a, &b, &pool), "p={p}");
+        let session = Session::new(p);
+        assert_eq!(
+            expect,
+            session.run(MatMul {
+                a: a.clone(),
+                b: b.clone()
+            }),
+            "p={p}"
+        );
     }
 }
 

@@ -1,7 +1,9 @@
 //! An end-to-end "application" exercising several PACO algorithms in one
-//! pipeline, the way a downstream user would compose the library:
+//! pipeline, the way a downstream user would compose the library — through
+//! one `paco_service::Session`:
 //!
-//! 1. generate a batch of noisy sequence pairs and score them with PACO LCS;
+//! 1. generate a batch of noisy sequence pairs and score them with PACO LCS
+//!    (one batched pool pass);
 //! 2. sort the similarity scores with PACO SORT to find the median pair;
 //! 3. build a similarity matrix from the scores and square it (two-hop
 //!    similarity) with PACO MM over the (min,+) and (+,*) semirings;
@@ -10,29 +12,34 @@
 use paco_core::matrix::Matrix;
 use paco_core::semiring::MinPlus;
 use paco_core::workload::related_sequences;
-use paco_dp::lcs::{lcs_paco, lcs_reference};
-use paco_matmul::{mm_reference, paco_mm_1piece};
-use paco_runtime::WorkerPool;
-use paco_sort::paco_sort;
+use paco_dp::lcs::lcs_reference;
+use paco_matmul::mm_reference;
+use paco_service::{Lcs, MatMul, Session, Sort};
 
 #[test]
 fn similarity_pipeline_runs_end_to_end() {
-    let pool = WorkerPool::new(4);
+    let session = Session::new(4);
     let pairs = 12usize;
     let seq_len = 300usize;
 
-    // Step 1: similarity scores via LCS.
+    // Step 1: similarity scores via LCS — the whole batch in one pool pass.
+    let inputs: Vec<_> = (0..pairs)
+        .map(|i| related_sequences(seq_len, 4, 0.05 + 0.05 * i as f64 / pairs as f64, i as u64))
+        .collect();
+    let lengths = session.run_batch(inputs.iter().map(|(a, b)| Lcs {
+        a: a.clone(),
+        b: b.clone(),
+    }));
     let mut scores = Vec::with_capacity(pairs);
-    for i in 0..pairs {
-        let (a, b) = related_sequences(seq_len, 4, 0.05 + 0.05 * i as f64 / pairs as f64, i as u64);
-        let len = lcs_paco(&a, &b, &pool);
-        assert_eq!(len, lcs_reference(&a, &b), "pair {i}");
-        scores.push(len as f64 / seq_len as f64);
+    for (i, ((a, b), len)) in inputs.iter().zip(&lengths).enumerate() {
+        assert_eq!(*len, lcs_reference(a, b), "pair {i}");
+        scores.push(*len as f64 / seq_len as f64);
     }
 
     // Step 2: sort the scores and pick the median.
-    let mut sorted_scores = scores.clone();
-    paco_sort(&mut sorted_scores, &pool);
+    let sorted_scores = session.run(Sort {
+        keys: scores.clone(),
+    });
     assert!(sorted_scores.windows(2).all(|w| w[0] <= w[1]));
     let median = sorted_scores[pairs / 2];
     assert!(
@@ -48,7 +55,10 @@ fn similarity_pipeline_runs_end_to_end() {
             (scores[i] * scores[j]).sqrt()
         }
     });
-    let two_hop = paco_mm_1piece(&sim, &sim, &pool);
+    let two_hop = session.run(MatMul {
+        a: sim.clone(),
+        b: sim.clone(),
+    });
     assert!(mm_reference(&sim, &sim).approx_eq(&two_hop, 1e-9));
 
     // Tropical variant: the cheapest two-hop "distance" (1 - similarity).
@@ -59,7 +69,10 @@ fn similarity_pipeline_runs_end_to_end() {
             1.0 - (scores[i] * scores[j]).sqrt()
         })
     });
-    let relaxed = paco_mm_1piece(&dist, &dist, &pool);
+    let relaxed = session.run(MatMul {
+        a: dist.clone(),
+        b: dist.clone(),
+    });
     let expect = mm_reference(&dist, &dist);
     for i in 0..pairs {
         for j in 0..pairs {
@@ -70,16 +83,29 @@ fn similarity_pipeline_runs_end_to_end() {
     }
 }
 
-/// The pipeline still works when the pool is larger than any single dimension
-/// of the work items (oversubscription edge case).
+/// The pipeline still works when the session is larger than any single
+/// dimension of the work items (oversubscription edge case).
 #[test]
-fn oversubscribed_pool_is_harmless() {
-    let pool = WorkerPool::new(8);
+fn oversubscribed_session_is_harmless() {
+    let session = Session::new(8);
     let (a, b) = related_sequences(64, 4, 0.2, 5);
-    assert_eq!(lcs_paco(&a, &b, &pool), lcs_reference(&a, &b));
+    assert_eq!(
+        session.run(Lcs {
+            a: a.clone(),
+            b: b.clone()
+        }),
+        lcs_reference(&a, &b)
+    );
     let m = Matrix::from_fn(5, 5, |i, j| (i * 5 + j) as f64);
-    assert!(mm_reference(&m, &m).approx_eq(&paco_mm_1piece(&m, &m, &pool), 1e-12));
-    let mut keys = vec![3.0, 1.0, 2.0];
-    paco_sort(&mut keys, &pool);
-    assert_eq!(keys, vec![1.0, 2.0, 3.0]);
+    let mm = session.run(MatMul {
+        a: m.clone(),
+        b: m.clone(),
+    });
+    assert!(mm_reference(&m, &m).approx_eq(&mm, 1e-12));
+    assert_eq!(
+        session.run(Sort {
+            keys: vec![3.0, 1.0, 2.0]
+        }),
+        vec![1.0, 2.0, 3.0]
+    );
 }

@@ -11,12 +11,20 @@
 
 use paco_core::machine::CacheParams;
 use paco_core::workload::{random_adjacency, random_digraph};
-use paco_graph::{
-    apsp, fw_paco_traced, fw_paco_with_base, fw_po, fw_reference, fw_seq, fw_seq_traced,
-    transitive_closure,
-};
-use paco_runtime::WorkerPool;
+use paco_graph::{fw_paco_traced, fw_po, fw_reference, fw_seq, fw_seq_traced};
+use paco_service::{Apsp, Closure, Session, Tuning};
 use proptest::prelude::*;
+
+/// A session whose Floyd–Warshall base-case side is pinned to `base`.
+fn fw_session(p: usize, base: usize) -> Session {
+    Session::builder()
+        .procs(p)
+        .tuning(Tuning {
+            fw_base: base,
+            ..Tuning::default()
+        })
+        .build()
+}
 
 #[test]
 fn all_variants_agree_on_min_plus_digraphs() {
@@ -26,9 +34,9 @@ fn all_variants_agree_on_min_plus_digraphs() {
         assert_eq!(fw_seq(&graph, base), expect, "seq n={n} base={base}");
         assert_eq!(fw_po(&graph, base), expect, "po n={n} base={base}");
         for p in [1usize, 2, 3, 4, 5, 7, 8] {
-            let pool = WorkerPool::new(p);
+            let session = fw_session(p, base);
             assert_eq!(
-                fw_paco_with_base(&graph, &pool, base),
+                session.run(Apsp { adj: graph.clone() }),
                 expect,
                 "paco n={n} base={base} p={p}"
             );
@@ -44,8 +52,12 @@ fn all_variants_agree_on_boolean_adjacency() {
         assert_eq!(fw_seq(&adj, 16), expect, "seq n={n}");
         assert_eq!(fw_po(&adj, 16), expect, "po n={n}");
         for p in [2usize, 5, 11] {
-            let pool = WorkerPool::new(p);
-            assert_eq!(transitive_closure(&adj, &pool), expect, "paco n={n} p={p}");
+            let session = Session::new(p);
+            assert_eq!(
+                session.run(Closure { adj: adj.clone() }),
+                expect,
+                "paco n={n} p={p}"
+            );
         }
     }
 }
@@ -56,8 +68,8 @@ fn prime_processor_counts_are_first_class() {
     let graph = random_digraph(128, 0.2, 60, 1234);
     let expect = fw_reference(&graph);
     for p in [3usize, 5, 7, 11, 13] {
-        let pool = WorkerPool::new(p);
-        assert_eq!(apsp(&graph, &pool), expect, "p={p}");
+        let session = Session::new(p);
+        assert_eq!(session.run(Apsp { adj: graph.clone() }), expect, "p={p}");
     }
 }
 
@@ -69,9 +81,13 @@ fn traced_replays_reproduce_native_results_exactly() {
     assert_eq!(seq_traced, fw_seq(&graph, 16));
     assert!(q1_sim.q_sum() > 0);
     for p in [2usize, 5] {
-        let pool = WorkerPool::new(p);
+        let session = fw_session(p, 16);
         let (paco_traced, sim) = fw_paco_traced(&graph, p, 16, params);
-        assert_eq!(paco_traced, fw_paco_with_base(&graph, &pool, 16), "p={p}");
+        assert_eq!(
+            paco_traced,
+            session.run(Apsp { adj: graph.clone() }),
+            "p={p}"
+        );
         assert!(sim.q_sum() > 0, "p={p}");
     }
 }
@@ -116,8 +132,8 @@ proptest! {
         let expect = fw_reference(&graph);
         prop_assert_eq!(fw_seq(&graph, base), expect.clone());
         prop_assert_eq!(fw_po(&graph, base), expect.clone());
-        let pool = WorkerPool::new(p);
-        prop_assert_eq!(fw_paco_with_base(&graph, &pool, base), expect);
+        let session = fw_session(p, base);
+        prop_assert_eq!(session.run(Apsp { adj: graph }), expect);
     }
 
     #[test]
@@ -131,7 +147,7 @@ proptest! {
         let expect = fw_reference(&adj);
         prop_assert_eq!(fw_seq(&adj, 8), expect.clone());
         prop_assert_eq!(fw_po(&adj, 8), expect.clone());
-        let pool = WorkerPool::new(p);
-        prop_assert_eq!(fw_paco_with_base(&adj, &pool, 8), expect);
+        let session = fw_session(p, 8);
+        prop_assert_eq!(session.run(Closure { adj }), expect);
     }
 }

@@ -12,17 +12,25 @@
 //! * batching properties: a batched plan is as deep as its deepest
 //!   constituent and produces the same results as individual runs.
 
-use paco_core::metrics::sched;
-use paco_dp::lcs::{lcs_paco_batch, lcs_paco_with_base, lcs_reference};
+use paco_dp::lcs::lcs_reference;
 use paco_dp::one_d::kernel::FnWeight;
-use paco_dp::one_d::{one_d_paco, one_d_reference, plan_one_d};
-use paco_graph::{fw_paco_batch, fw_paco_with_base, fw_seq, plan_fw};
+use paco_dp::one_d::{one_d_reference, plan_one_d};
+use paco_graph::{fw_seq, plan_fw};
+use paco_matmul::mm_reference;
 use paco_matmul::paco_mm::{plan_mm_1piece, MmConfig};
-use paco_matmul::{mm_reference, paco_mm_1piece};
 use paco_runtime::schedule::Plan;
-use paco_runtime::WorkerPool;
-use paco_sort::{paco_sort_with_oversampling, seq_sample_sort};
+use paco_service::{Apsp, Lcs, MatMul, OneD, Session, Sort, Tuning};
+use paco_sort::seq_sample_sort;
 use proptest::prelude::*;
+
+/// A session with every base-style knob pinned to `base` (deterministic
+/// regardless of the `PACO_BASE` environment).
+fn session_with_base(p: usize, base: usize) -> Session {
+    Session::builder()
+        .procs(p)
+        .tuning(Tuning::default().with_base(base))
+        .build()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
@@ -36,8 +44,8 @@ proptest! {
     ) {
         let base = [4usize, 8, 16][base_sel];
         let adj = paco_core::workload::random_digraph(n, 0.25, 40, seed);
-        let pool = WorkerPool::new(p);
-        prop_assert_eq!(fw_paco_with_base(&adj, &pool, base), fw_seq(&adj, base));
+        let session = session_with_base(p, base);
+        prop_assert_eq!(session.run(Apsp { adj: adj.clone() }), fw_seq(&adj, base));
     }
 
     #[test]
@@ -49,8 +57,9 @@ proptest! {
     ) {
         let a = paco_core::workload::random_sequence(n, 4, seed);
         let b = paco_core::workload::random_sequence(m, 4, seed.wrapping_add(1));
-        let pool = WorkerPool::new(p);
-        prop_assert_eq!(lcs_paco_with_base(&a, &b, &pool, 8), lcs_reference(&a, &b));
+        let session = session_with_base(p, 8);
+        let expect = lcs_reference(&a, &b);
+        prop_assert_eq!(session.run(Lcs { a, b }), expect);
     }
 
     #[test]
@@ -66,8 +75,8 @@ proptest! {
             ((i as u64 * 31 + j as u64 * 17 + seed) % 41) as f64
         });
         let expect = one_d_reference(n, &w, 0.0);
-        let pool = WorkerPool::new(p);
-        let got = one_d_paco(n, &w, 0.0, &pool, base);
+        let session = session_with_base(p, base);
+        let got = session.run(OneD { n, weight: w, d0: 0.0 });
         prop_assert_eq!(expect, got);
     }
 
@@ -84,8 +93,9 @@ proptest! {
         // bit for bit.
         let a = paco_core::workload::random_matrix_wrapping(n, k, seed);
         let b = paco_core::workload::random_matrix_wrapping(k, m, seed.wrapping_add(7));
-        let pool = WorkerPool::new(p);
-        prop_assert_eq!(paco_mm_1piece(&a, &b, &pool), mm_reference(&a, &b));
+        let session = Session::new(p);
+        let expect = mm_reference(&a, &b);
+        prop_assert_eq!(session.run(MatMul { a, b }), expect);
     }
 
     #[test]
@@ -97,12 +107,14 @@ proptest! {
     ) {
         // Force the parallel path for most lengths by using a low oversampling
         // ratio and letting the small-input cutoff handle the rest.
-        let mut data = paco_core::workload::random_keys(len + 20_000, seed);
+        let data = paco_core::workload::random_keys(len + 20_000, seed);
         let mut expect = data.clone();
         seq_sample_sort(&mut expect);
-        let pool = WorkerPool::new(p);
-        paco_sort_with_oversampling(&mut data, &pool, k);
-        prop_assert_eq!(data, expect);
+        let session = Session::builder()
+            .procs(p)
+            .tuning(Tuning { sort_oversampling: Some(k), ..Tuning::default() })
+            .build();
+        prop_assert_eq!(session.run(Sort { keys: data }), expect);
     }
 
     #[test]
@@ -111,12 +123,13 @@ proptest! {
         p in 1usize..6,
         seed in 0u64..1000,
     ) {
-        let pool = WorkerPool::new(p);
+        let session = session_with_base(p, 8);
         let adjs: Vec<_> = (0..count)
             .map(|i| paco_core::workload::random_digraph(8 + 9 * i, 0.3, 20, seed + i as u64))
             .collect();
         let individually: Vec<_> = adjs.iter().map(|a| fw_seq(a, 8)).collect();
-        prop_assert_eq!(fw_paco_batch(&adjs, &pool, 8), individually);
+        let batched = session.run_batch(adjs.into_iter().map(|adj| Apsp { adj }));
+        prop_assert_eq!(batched, individually);
     }
 }
 
@@ -161,23 +174,22 @@ fn executed_barriers_match_the_plan_wave_count() {
     let base = 8;
     let p = 4;
     let adj = paco_core::workload::random_digraph(n, 0.2, 30, 5);
-    let pool = WorkerPool::new(p);
+    let session = session_with_base(p, base);
     let planned = plan_fw(n, p, base).plan.barriers() as u64;
 
-    let before = sched::snapshot();
-    let _ = fw_paco_with_base(&adj, &pool, base);
-    let delta = sched::snapshot().since(&before);
-    assert_eq!(delta.plan_executions, 1);
-    assert_eq!(delta.plan_waves, planned);
+    let _ = session.run(Apsp { adj });
+    let stats = session.last_stats();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.plan_waves, planned);
     assert!(
-        delta.pool_barriers >= planned,
+        stats.pool_barriers >= planned,
         "each wave opens one pool scope"
     );
 }
 
 #[test]
 fn batched_lcs_shares_barriers_and_matches_reference() {
-    let pool = WorkerPool::new(4);
+    let session = session_with_base(4, 16);
     let inputs: Vec<(Vec<u32>, Vec<u32>)> = (0..8)
         .map(|i| {
             (
@@ -188,9 +200,11 @@ fn batched_lcs_shares_barriers_and_matches_reference() {
         .collect();
     let expect: Vec<u32> = inputs.iter().map(|(a, b)| lcs_reference(a, b)).collect();
 
-    let before = sched::snapshot();
-    let got = lcs_paco_batch(&inputs, &pool, 16);
-    let delta = sched::snapshot().since(&before);
+    let got = session.run_batch(inputs.iter().map(|(a, b)| Lcs {
+        a: a.clone(),
+        b: b.clone(),
+    }));
+    let stats = session.last_stats();
     assert_eq!(got, expect);
 
     // One pool pass for all eight instances: the executed wave count is the
@@ -198,16 +212,16 @@ fn batched_lcs_shares_barriers_and_matches_reference() {
     let per_instance: Vec<u64> = inputs
         .iter()
         .map(|(a, b)| {
-            paco_dp::lcs::plan_paco_lcs(a.len(), b.len(), pool.p(), 16)
+            paco_dp::lcs::plan_paco_lcs(a.len(), b.len(), session.p(), 16)
                 .plan
                 .barriers() as u64
         })
         .collect();
     let max = *per_instance.iter().max().unwrap();
     let sum: u64 = per_instance.iter().sum();
-    assert_eq!(delta.plan_executions, 1);
-    assert_eq!(delta.plan_waves, max);
-    assert!(delta.plan_waves < sum);
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.plan_waves, max);
+    assert!(stats.plan_waves < sum);
 }
 
 #[test]

@@ -4,12 +4,10 @@
 
 use paco_core::util::{caps_usable_processors, is_caps_friendly, is_prime};
 use paco_core::workload::{random_keys, random_matrix_wrapping, related_sequences, GapCosts};
-use paco_dp::gap::{gap_paco, gap_reference};
-use paco_dp::lcs::{lcs_paco, lcs_reference, plan_paco_lcs};
-use paco_matmul::strassen::{strassen_paco_with, StrassenOptions};
-use paco_matmul::{mm_reference, paco_mm_1piece, plan_paco_mm};
-use paco_runtime::WorkerPool;
-use paco_sort::paco_sort;
+use paco_dp::gap::gap_reference;
+use paco_dp::lcs::{lcs_reference, plan_paco_lcs};
+use paco_matmul::{mm_reference, plan_paco_mm};
+use paco_service::{Gap, Lcs, MatMul, Session, Sort, Strassen, Tuning};
 
 const PRIMES: &[usize] = &[2, 3, 5, 7, 11, 13];
 
@@ -35,27 +33,48 @@ fn every_paco_algorithm_is_correct_on_prime_processor_counts() {
 
     for &p in PRIMES {
         assert!(is_prime(p as u64));
-        let pool = WorkerPool::new(p);
-
-        assert_eq!(lcs_paco(&a_seq, &b_seq, &pool), lcs_expect, "LCS p={p}");
-        assert_eq!(paco_mm_1piece(&a, &b, &pool), mm_expect, "MM p={p}");
-        let opts = StrassenOptions {
-            cutoff: 16,
-            parallel_base: 32,
-            gamma: None,
+        // A small Strassen grain so the 7-ary tree is deep enough to give
+        // every prime p a balanced share.
+        let tuning = Tuning {
+            strassen_cutoff: 16,
+            strassen_parallel_base: 32,
+            ..Tuning::default()
         };
+        let session = Session::builder().procs(p).tuning(tuning).build();
+
         assert_eq!(
-            strassen_paco_with(&sa, &sb, &pool, opts),
+            session.run(Lcs {
+                a: a_seq.clone(),
+                b: b_seq.clone()
+            }),
+            lcs_expect,
+            "LCS p={p}"
+        );
+        assert_eq!(
+            session.run(MatMul {
+                a: a.clone(),
+                b: b.clone()
+            }),
+            mm_expect,
+            "MM p={p}"
+        );
+        assert_eq!(
+            session.run(Strassen {
+                a: sa.clone(),
+                b: sb.clone()
+            }),
             strassen_expect,
             "Strassen p={p}"
         );
-        let gap = gap_paco(48, &costs, &pool);
+        let gap = session.run(Gap { n: 48, costs });
         for (x, y) in gap.iter().zip(gap_expect.iter()) {
             assert!((x - y).abs() < 1e-9, "GAP p={p}");
         }
-        let mut keys_run = keys.clone();
-        paco_sort(&mut keys_run, &pool);
-        assert_eq!(keys_run, sorted_expect, "sort p={p}");
+        assert_eq!(
+            session.run(Sort { keys: keys.clone() }),
+            sorted_expect,
+            "sort p={p}"
+        );
     }
 }
 

@@ -12,14 +12,14 @@
 use paco_core::matrix::Matrix;
 use paco_core::proc_list::ProcList;
 use paco_core::semiring::{BoolSemiring, MaxPlus, MinPlus, Semiring, WrappingRing};
-use paco_dp::lcs::{lcs_paco_with_base, lcs_po, lcs_reference};
+use paco_dp::lcs::{lcs_po, lcs_reference};
 use paco_dp::one_d::kernel::FnWeight;
-use paco_dp::one_d::{one_d_paco, one_d_reference};
+use paco_dp::one_d::one_d_reference;
+use paco_matmul::mm_reference;
 use paco_matmul::paco_mm::plan_paco_mm_with_base;
 use paco_matmul::strassen::strassen_sequential_with_cutoff;
-use paco_matmul::{mm_reference, paco_mm_1piece};
-use paco_runtime::WorkerPool;
-use paco_sort::{paco_sort, po_sample_sort, seq_sample_sort};
+use paco_service::{Lcs, MatMul, OneD, Session, Sort, Tuning};
+use paco_sort::{po_sample_sort, seq_sample_sort};
 use proptest::prelude::*;
 
 /// Check every closed-semiring law on one drawn triple `(a, b, c)`.
@@ -83,8 +83,11 @@ proptest! {
         let b = paco_core::workload::random_sequence(m, 4, seed.wrapping_add(1));
         let expect = lcs_reference(&a, &b);
         prop_assert_eq!(lcs_po(&a, &b, 64), expect);
-        let pool = WorkerPool::new(p);
-        prop_assert_eq!(lcs_paco_with_base(&a, &b, &pool, 32), expect);
+        let session = Session::builder()
+            .procs(p)
+            .tuning(Tuning { lcs_base: 32, ..Tuning::default() })
+            .build();
+        prop_assert_eq!(session.run(Lcs { a, b }), expect);
     }
 
     #[test]
@@ -95,8 +98,11 @@ proptest! {
     ) {
         let w = FnWeight(move |i: usize, j: usize| ((j - i) as f64 - scale as f64).powi(2));
         let expect = one_d_reference(n, &w, 0.0);
-        let pool = WorkerPool::new(p);
-        let got = one_d_paco(n, &w, 0.0, &pool, 16);
+        let session = Session::builder()
+            .procs(p)
+            .tuning(Tuning { one_d_base: 16, ..Tuning::default() })
+            .build();
+        let got = session.run(OneD { n, weight: w, d0: 0.0 });
         for idx in 0..=n {
             prop_assert!((expect[idx] - got[idx]).abs() < 1e-9, "idx {}", idx);
         }
@@ -113,8 +119,8 @@ proptest! {
         let a = paco_core::workload::random_matrix_wrapping(n, k, seed);
         let b = paco_core::workload::random_matrix_wrapping(k, m, seed.wrapping_add(7));
         let expect = mm_reference(&a, &b);
-        let pool = WorkerPool::new(p);
-        prop_assert_eq!(paco_mm_1piece(&a, &b, &pool), expect);
+        let session = Session::new(p);
+        prop_assert_eq!(session.run(MatMul { a, b }), expect);
     }
 
     #[test]
@@ -170,9 +176,8 @@ proptest! {
         po_sample_sort(&mut b);
         prop_assert_eq!(&b, &expect);
 
-        let pool = WorkerPool::new(p);
-        let mut c = original;
-        paco_sort(&mut c, &pool);
+        let session = Session::new(p);
+        let c = session.run(Sort { keys: original });
         prop_assert_eq!(&c, &expect);
     }
 
@@ -205,8 +210,8 @@ proptest! {
         let a = paco_core::workload::random_matrix_wrapping(n, n, seed);
         let id: Matrix<WrappingRing> = Matrix::identity(n);
         let zero: Matrix<WrappingRing> = Matrix::zeros(n, n);
-        let pool = WorkerPool::new(3);
-        prop_assert_eq!(paco_mm_1piece(&a, &id, &pool), a.clone());
-        prop_assert_eq!(paco_mm_1piece(&a, &zero, &pool), zero);
+        let session = Session::new(3);
+        prop_assert_eq!(session.run(MatMul { a: a.clone(), b: id }), a.clone());
+        prop_assert_eq!(session.run(MatMul { a, b: zero.clone() }), zero);
     }
 }
