@@ -10,11 +10,19 @@
 //! * `service/batch-waves` — plan waves of one `run_batch` over the standard
 //!   mixed bag of requests (the barrier cost of the merged pass);
 //! * `service/run-overhead` — the *extra* waves the same requests cost when
-//!   run one `Session::run` at a time, i.e. the barriers batching removes.
+//!   run one `Session::run` at a time, i.e. the barriers batching removes;
+//! * `service/ingress-throughput` — requests/second through the concurrent
+//!   `Engine` front door with 4 producer threads (submission to resolution,
+//!   including the coalescing windows);
+//! * `service/coalesce-ratio` — mean requests per executor pass of that same
+//!   run (1.0 would mean the ingress never merged anything).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paco_core::workload::{random_digraph, random_keys, random_matrix_wrapping};
-use paco_service::{Apsp, Lcs, MatMul, Session, Solve, Sort};
+use paco_service::{
+    Apsp, BatchPolicy, Engine, EngineStats, Lcs, MatMul, Routing, Session, Solve, Sort,
+};
+use std::time::Duration;
 
 type MixedBag = (
     Vec<Apsp>,
@@ -89,6 +97,48 @@ fn run_bag_individually(session: &Session) -> u64 {
     waves
 }
 
+/// Push the whole mixed bag through an `Engine` from 4 producer threads —
+/// open-loop (submit everything, then wait every ticket), so the gauge
+/// measures coalesced ingress capacity rather than the gathering window —
+/// and return `(seconds, requests, final stats)`.
+fn drive_engine() -> (f64, u64, EngineStats) {
+    fn producer<R: Solve>(client: &paco_service::Client, reqs: Vec<R>) {
+        let tickets: Vec<_> = reqs.into_iter().map(|r| client.submit(r)).collect();
+        for t in tickets {
+            std::hint::black_box(t.wait().unwrap());
+        }
+    }
+    let engine = Engine::builder()
+        .policy(BatchPolicy {
+            max_batch: 32,
+            max_wait: Duration::from_millis(5),
+            shards: 1,
+            routing: Routing::RoundRobin,
+        })
+        .build();
+    let (apsps, lcss, mms, sorts) = mixed_bag();
+    let requests = (apsps.len() + lcss.len() + mms.len() + sorts.len()) as u64;
+    let sw = paco_core::metrics::Stopwatch::start();
+    std::thread::scope(|scope| {
+        let client = engine.client();
+        scope.spawn({
+            let client = client.clone();
+            move || producer(&client, apsps)
+        });
+        scope.spawn({
+            let client = client.clone();
+            move || producer(&client, lcss)
+        });
+        scope.spawn({
+            let client = client.clone();
+            move || producer(&client, mms)
+        });
+        scope.spawn(move || producer(&client, sorts));
+    });
+    let secs = sw.elapsed_secs();
+    (secs, requests, engine.shutdown())
+}
+
 fn bench_service(c: &mut Criterion) {
     let session = Session::with_available_parallelism();
 
@@ -104,6 +154,10 @@ fn bench_service(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("mixed-flush", count), |bench| {
         bench.iter(|| std::hint::black_box(flush_bag(&session)))
     });
+    group.bench_function(
+        BenchmarkId::new("mixed-engine-4-producers", count),
+        |bench| bench.iter(|| std::hint::black_box(drive_engine())),
+    );
     group.finish();
 
     // Structural gauges: batching pays max-of-waves, per-request runs pay the
@@ -115,6 +169,13 @@ fn bench_service(c: &mut Criterion) {
         "service/run-overhead",
         individual_waves.saturating_sub(batch_waves) as f64,
     );
+
+    // Concurrent-ingress gauges: end-to-end requests/second through the
+    // engine under producer concurrency, and how many requests the executors
+    // merged per pass while doing it.
+    let (secs, requests, stats) = drive_engine();
+    criterion::record_metric("service/ingress-throughput", requests as f64 / secs);
+    criterion::record_metric("service/coalesce-ratio", stats.coalesce_ratio());
 }
 
 criterion_group!(benches, bench_service);

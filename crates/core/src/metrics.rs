@@ -102,6 +102,148 @@ pub mod sched {
         PLAN_STEPS.with(|c| c.set(0));
     }
 
+    pub mod ingress {
+        //! Process-wide concurrent-ingress counters.
+        //!
+        //! Unlike the barrier/wave counters above, the service layer's
+        //! concurrent front door (`paco_service::Engine`) spans threads by
+        //! design: producers enqueue from arbitrary threads while executor
+        //! threads drain and run passes.  Thread-local cells would make the
+        //! two sides invisible to each other, so these counters are global
+        //! atomics.  The trade-off is the mirror image of the one above:
+        //! deltas are exact for the *process*, not per test — concurrent
+        //! engines add to the same tally.  Every source preserves
+        //! `passes <= enqueued` (a pass executes at least one enqueued
+        //! request), so "passes strictly below enqueued" — the signature of
+        //! coalescing — survives aggregation.
+
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// Number of shard slots tracked by the occupancy tally; shards
+        /// beyond this fold onto slot `id % MAX_SHARD_SLOTS`.
+        pub const MAX_SHARD_SLOTS: usize = 64;
+
+        static ENQUEUED: AtomicU64 = AtomicU64::new(0);
+        static PASSES: AtomicU64 = AtomicU64::new(0);
+        static EXECUTED: AtomicU64 = AtomicU64::new(0);
+        static COALESCED: AtomicU64 = AtomicU64::new(0);
+        static POISONED: AtomicU64 = AtomicU64::new(0);
+        static MAX_PASS: AtomicU64 = AtomicU64::new(0);
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        static SHARD_REQUESTS: [AtomicU64; MAX_SHARD_SLOTS] = [ZERO; MAX_SHARD_SLOTS];
+
+        /// A point-in-time copy of the ingress counters.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct IngressSnapshot {
+            /// Requests accepted into an executor queue.
+            pub enqueued: u64,
+            /// Executor passes run (each drains one coalesced batch).
+            pub passes: u64,
+            /// Requests executed by passes (resolved or poisoned).
+            pub executed: u64,
+            /// Requests that shared their pass with at least one other
+            /// request — the coalescing win, request-weighted.
+            pub coalesced: u64,
+            /// Requests lost to a panicking pass.
+            pub poisoned: u64,
+            /// Largest single pass observed (a high-watermark, not a delta:
+            /// `since` keeps the later snapshot's value).
+            pub max_pass: u64,
+        }
+
+        impl IngressSnapshot {
+            /// Counter deltas since an earlier snapshot (`max_pass` is a
+            /// high-watermark and is carried over, not subtracted).
+            pub fn since(&self, earlier: &IngressSnapshot) -> IngressSnapshot {
+                IngressSnapshot {
+                    enqueued: self.enqueued - earlier.enqueued,
+                    passes: self.passes - earlier.passes,
+                    executed: self.executed - earlier.executed,
+                    coalesced: self.coalesced - earlier.coalesced,
+                    poisoned: self.poisoned - earlier.poisoned,
+                    max_pass: self.max_pass,
+                }
+            }
+        }
+
+        /// Record one request accepted into an executor queue.
+        #[inline]
+        pub fn record_enqueued() {
+            ENQUEUED.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Record one executor pass over `requests` coalesced requests on
+        /// shard `shard`.  Call *before* resolving the pass's tickets, so a
+        /// producer that observed its ticket resolve also observes the pass
+        /// counted.
+        pub fn record_pass(shard: usize, requests: u64) {
+            PASSES.fetch_add(1, Ordering::Relaxed);
+            EXECUTED.fetch_add(requests, Ordering::Relaxed);
+            if requests > 1 {
+                COALESCED.fetch_add(requests, Ordering::Relaxed);
+            }
+            MAX_PASS.fetch_max(requests, Ordering::Relaxed);
+            SHARD_REQUESTS[shard % MAX_SHARD_SLOTS].fetch_add(requests, Ordering::Relaxed);
+        }
+
+        /// Record `requests` requests lost to a panicking pass.
+        pub fn record_poisoned(requests: u64) {
+            POISONED.fetch_add(requests, Ordering::Relaxed);
+        }
+
+        /// Read the current process-wide ingress counters at once.
+        pub fn snapshot() -> IngressSnapshot {
+            IngressSnapshot {
+                enqueued: ENQUEUED.load(Ordering::Relaxed),
+                passes: PASSES.load(Ordering::Relaxed),
+                executed: EXECUTED.load(Ordering::Relaxed),
+                coalesced: COALESCED.load(Ordering::Relaxed),
+                poisoned: POISONED.load(Ordering::Relaxed),
+                max_pass: MAX_PASS.load(Ordering::Relaxed),
+            }
+        }
+
+        /// Requests executed per shard slot, trailing zeros trimmed — the
+        /// occupancy picture across every engine this process ran.
+        pub fn shard_occupancy() -> Vec<u64> {
+            let mut occ: Vec<u64> = SHARD_REQUESTS
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect();
+            while occ.last() == Some(&0) {
+                occ.pop();
+            }
+            occ
+        }
+
+        #[cfg(test)]
+        mod tests {
+            use super::*;
+
+            #[test]
+            fn ingress_counters_accumulate_and_diff() {
+                let before = snapshot();
+                record_enqueued();
+                record_enqueued();
+                record_enqueued();
+                record_pass(0, 2);
+                record_pass(1, 1);
+                record_poisoned(1);
+                let delta = snapshot().since(&before);
+                assert_eq!(delta.enqueued, 3);
+                assert_eq!(delta.passes, 2);
+                assert_eq!(delta.executed, 3);
+                assert_eq!(delta.coalesced, 2);
+                assert_eq!(delta.poisoned, 1);
+                assert!(delta.max_pass >= 2);
+                let occ = shard_occupancy();
+                assert!(occ.len() >= 2);
+                assert!(occ[0] >= 2 && occ[1] >= 1);
+            }
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;

@@ -38,10 +38,24 @@ enum Message {
 }
 
 /// A pool of `p` pinned, long-lived workers addressed by processor id.
+///
+/// The pool is `Send`: the thread that builds it need not be the thread that
+/// drives it.  The service layer's concurrent front door relies on this —
+/// each executor shard builds (or receives) its own pool and owns it for the
+/// engine's lifetime, while producer threads never touch the pool at all.
+/// The pool is deliberately *not* `Sync`-driven from many threads at once:
+/// one owning thread opens scopes; everyone else talks to that thread.
 pub struct WorkerPool {
     senders: Vec<Sender<Message>>,
     handles: Vec<JoinHandle<()>>,
 }
+
+// The handoff contract above, checked at compile time: a pool built on one
+// thread can be moved into the executor thread that will own it.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<WorkerPool>();
+};
 
 impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -130,6 +144,35 @@ impl WorkerPool {
                 s.spawn_on(proc, move || f(proc));
             }
         });
+    }
+
+    /// Gracefully shut the pool down: deliver a shutdown message behind any
+    /// queued work, then join every worker.
+    ///
+    /// `Drop` does the same, but swallows worker-thread join failures (it
+    /// must not double-panic); the explicit form is for owners that want the
+    /// drain to be loud — an engine shard shutting down calls this so a
+    /// worker that died outside a scope (which "cannot happen": every job is
+    /// wrapped in `catch_unwind`) surfaces instead of vanishing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panicked (as opposed to a *job*,
+    /// whose panics are captured and re-thrown by the scope that spawned it).
+    pub fn shutdown(mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Message::Shutdown);
+        }
+        let mut dead = Vec::new();
+        for (proc, handle) in self.handles.drain(..).enumerate() {
+            if handle.join().is_err() {
+                dead.push(proc);
+            }
+        }
+        assert!(
+            dead.is_empty(),
+            "worker thread(s) {dead:?} panicked outside any scope"
+        );
     }
 
     /// Execute a pre-computed assignment: `tasks[i]` is the ordered list of
@@ -369,6 +412,40 @@ mod tests {
             .collect();
         pool.run_assignment(tasks);
         assert_eq!(counter.load(Ordering::SeqCst), 12);
+    }
+
+    #[test]
+    fn pool_can_be_handed_to_an_owning_thread_and_shut_down() {
+        // The engine handoff pattern: build the pool here, move it into the
+        // thread that will own and drive it, and shut it down explicitly when
+        // that thread is done.
+        let pool = WorkerPool::new(3);
+        let handle = std::thread::spawn(move || {
+            let total = AtomicUsize::new(0);
+            pool.scope(|s| {
+                let total = &total;
+                for proc in 0..3 {
+                    s.spawn_on(proc, move || {
+                        total.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            pool.shutdown();
+            total.load(Ordering::SeqCst)
+        });
+        assert_eq!(handle.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn shutdown_after_a_job_panic_is_clean() {
+        // A *job* panic is captured by the scope; the worker thread survives,
+        // so the explicit shutdown must see every worker exit cleanly.
+        let pool = WorkerPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| s.spawn_on(0, || panic!("job dies, worker survives")));
+        }));
+        assert!(result.is_err());
+        pool.shutdown();
     }
 
     #[test]

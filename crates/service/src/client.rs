@@ -1,0 +1,87 @@
+//! The [`Client`]: a cheap, thread-safe submission handle onto an
+//! [`Engine`](crate::Engine).
+
+use crate::engine::EngineShared;
+use crate::exec::PendingRequest;
+use crate::solve::Solve;
+use crate::ticket::{self, Ticket};
+use std::sync::Arc;
+
+/// A `Clone + Send + Sync` handle for submitting requests to an
+/// [`Engine`](crate::Engine) from any thread at any time — including while a
+/// pass is in flight.
+///
+/// `submit` compiles the request on the *calling* thread (partitioning,
+/// pivot selection, plan building — everything except touching a pool), so
+/// producers pay their own compilation cost and the executor threads spend
+/// their time purely on passes.  The returned [`Ticket`] resolves when an
+/// executor pass completes the request; block on it with
+/// [`Ticket::wait`] or poll with [`Ticket::try_wait`] — no `flush` call
+/// exists or is needed on this path.
+///
+/// ```
+/// use paco_service::{Engine, Lcs};
+///
+/// let engine = Engine::builder().procs(2).build();
+/// let client = engine.client();
+///
+/// // Hand clones to as many producer threads as you like.
+/// let worker = {
+///     let client = client.clone();
+///     std::thread::spawn(move || {
+///         client.submit(Lcs { a: vec![1, 2, 3], b: vec![2, 3, 4] }).wait()
+///     })
+/// };
+/// let here = client.submit(Lcs { a: vec![5, 6], b: vec![6, 5] });
+/// assert_eq!(worker.join().unwrap().unwrap(), 2);
+/// assert_eq!(here.wait().unwrap(), 1);
+/// engine.shutdown();
+/// ```
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<EngineShared>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Client(p={})", self.shared.p())
+    }
+}
+
+impl Client {
+    pub(crate) fn new(shared: Arc<EngineShared>) -> Self {
+        Self { shared }
+    }
+
+    /// The processor count requests are compiled for (each shard's pool
+    /// width).
+    pub fn p(&self) -> usize {
+        self.shared.p()
+    }
+
+    /// Submit a request: compile it here, route it to a shard under the
+    /// engine's [`BatchPolicy`](crate::BatchPolicy), and hand back the
+    /// ticket its output will arrive through.
+    ///
+    /// Never blocks on execution (only briefly on the shard queue lock).
+    /// If the engine has shut down, the ticket resolves immediately to
+    /// [`TicketError::Rejected`](crate::TicketError::Rejected) — a client
+    /// outliving its engine degrades loudly, it does not hang.
+    pub fn submit<R: Solve>(&self, req: R) -> Ticket<R::Output> {
+        let slot = ticket::new_slot();
+        // Advisory fast path: don't pay compilation for a request a
+        // shut-down engine would reject anyway.  The authoritative check
+        // stays inside `enqueue` (under the shard queue lock), so a racing
+        // shutdown is still caught there.
+        if self.shared.is_shutting_down() {
+            self.shared.reject(&slot);
+            return Ticket::new(slot);
+        }
+        let prepared = req.compile(self.shared.p(), self.shared.tuning()).inner;
+        self.shared.enqueue(PendingRequest {
+            prepared,
+            slot: slot.clone(),
+        });
+        Ticket::new(slot)
+    }
+}

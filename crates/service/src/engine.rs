@@ -1,0 +1,489 @@
+//! The [`Engine`]: concurrent ingress over the PACO executor core.
+//!
+//! Where a [`Session`](crate::Session) queues submissions on its owner's
+//! thread and executes nothing until that same thread calls `flush()`, an
+//! engine accepts requests **from any thread at any time** — including while
+//! a pass is in flight — through cheap [`Client`] handles,
+//! and executes them on its own dedicated executor threads.  Each *shard*
+//! owns a pinned [`WorkerPool`](paco_runtime::WorkerPool) plus the engine's
+//! [`Tuning`] (one pass core per shard, the same core `Session::flush`
+//! drives synchronously), drains its multi-producer queue under the
+//! engine's [`BatchPolicy`], merges whatever it gathered through
+//! [`Plan::batch`](paco_runtime::schedule::Plan::batch) (max-of-waves
+//! barriers), and resolves tickets as passes complete — producers never call
+//! `flush`; they [`Ticket::wait`](crate::Ticket::wait).
+
+use crate::client::Client;
+use crate::exec::{PassCore, PendingRequest};
+use crate::policy::{BatchPolicy, Routing};
+use crate::ticket::{self, SlotState};
+use paco_core::machine::available_processors;
+use paco_core::metrics::sched::ingress;
+use paco_core::tuning::Tuning;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What a shard's executor sees when it locks its queue.
+struct ShardQueue {
+    pending: VecDeque<PendingRequest>,
+    /// Once set, no further submissions are accepted; the executor drains
+    /// what is queued and exits.
+    shutdown: bool,
+}
+
+/// One shard's shared half: the queue producers push into and the counters
+/// its executor maintains.
+struct Shard {
+    queue: Mutex<ShardQueue>,
+    /// Signalled on every enqueue and on shutdown.
+    wake: Condvar,
+    /// Compiled plan steps enqueued-or-executing on this shard; the
+    /// size-balanced router picks the shard minimizing this.
+    outstanding_steps: AtomicU64,
+    /// Passes this shard's executor ran.
+    passes: AtomicU64,
+    /// Requests this shard executed (resolved or poisoned).
+    requests: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(ShardQueue {
+                pending: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            outstanding_steps: AtomicU64::new(0),
+            passes: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        }
+    }
+}
+
+/// State shared between the engine, its clients and its executor threads.
+pub(crate) struct EngineShared {
+    p: usize,
+    tuning: Tuning,
+    policy: BatchPolicy,
+    shards: Vec<Shard>,
+    /// Round-robin cursor.
+    next_shard: AtomicUsize,
+    /// Advisory fast-path flag; the per-shard `ShardQueue::shutdown` (under
+    /// the queue lock) stays the authoritative word on whether an enqueue
+    /// is accepted.
+    shutting_down: std::sync::atomic::AtomicBool,
+    enqueued: AtomicU64,
+    rejected: AtomicU64,
+    poisoned: AtomicU64,
+}
+
+impl EngineShared {
+    pub(crate) fn p(&self) -> usize {
+        self.p
+    }
+
+    pub(crate) fn tuning(&self) -> &Tuning {
+        &self.tuning
+    }
+
+    /// Advisory: has shutdown begun?  Lets `Client::submit` skip compiling
+    /// a request whose enqueue would be rejected anyway; a stale `false` is
+    /// harmless (the locked per-shard check still rejects).
+    pub(crate) fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::Relaxed)
+    }
+
+    /// Count one rejected submission and resolve its slot accordingly.
+    pub(crate) fn reject(&self, slot: &crate::ticket::Slot) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        ticket::resolve(slot, SlotState::Rejected);
+    }
+
+    /// Route a compiled request to a shard and enqueue it, or reject it if
+    /// the engine is shutting down (the slot is resolved either way, so the
+    /// ticket never dangles).
+    pub(crate) fn enqueue(&self, request: PendingRequest) {
+        let steps = request.steps() as u64;
+        let shard_id = match self.policy.routing {
+            Routing::RoundRobin => {
+                self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+            }
+            Routing::SizeBalanced => self
+                .shards
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.outstanding_steps.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+        };
+        let shard = &self.shards[shard_id];
+        let mut queue = shard.queue.lock();
+        if queue.shutdown {
+            drop(queue);
+            self.reject(&request.slot);
+            return;
+        }
+        shard.outstanding_steps.fetch_add(steps, Ordering::Relaxed);
+        queue.pending.push_back(request);
+        // Count while still holding the queue lock: an executor cannot drain
+        // this request (and record its pass) before the enqueue is visible,
+        // so observers never see `executed > enqueued`.
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        ingress::record_enqueued();
+        drop(queue);
+        shard.wake.notify_one();
+    }
+}
+
+/// A snapshot of one shard's occupancy and work so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Executor passes this shard ran.
+    pub passes: u64,
+    /// Requests this shard executed (resolved or poisoned).
+    pub requests: u64,
+    /// Requests currently queued on this shard (not yet drained by a pass).
+    pub queued: usize,
+    /// Compiled plan steps currently enqueued-or-executing on this shard —
+    /// the load measure size-balanced routing works from.
+    pub outstanding_steps: u64,
+}
+
+/// A snapshot of an engine's ingress counters (per-engine; the process-wide
+/// twins live in [`paco_core::metrics::sched::ingress`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests accepted into a shard queue.
+    pub enqueued: u64,
+    /// Requests refused because the engine was shutting down.
+    pub rejected: u64,
+    /// Requests lost to panicking passes.
+    pub poisoned: u64,
+    /// Per-shard occupancy and work.
+    pub shards: Vec<ShardStats>,
+}
+
+impl EngineStats {
+    /// Total executor passes across all shards.
+    pub fn passes(&self) -> u64 {
+        self.shards.iter().map(|s| s.passes).sum()
+    }
+
+    /// Total requests executed across all shards.
+    pub fn executed(&self) -> u64 {
+        self.shards.iter().map(|s| s.requests).sum()
+    }
+
+    /// Mean requests per pass — the coalescing win (1.0 means no request
+    /// ever shared a pass).
+    pub fn coalesce_ratio(&self) -> f64 {
+        let passes = self.passes();
+        if passes == 0 {
+            1.0
+        } else {
+            self.executed() as f64 / passes as f64
+        }
+    }
+}
+
+/// The concurrent front door: a set of executor shards (each owning its own
+/// pinned worker pool) serving a multi-producer submission queue under a
+/// [`BatchPolicy`].
+///
+/// Construction spawns the executor threads; [`Engine::client`] hands out
+/// `Clone + Send` [`Client`]s whose `submit` can be called from any thread at
+/// any time.  [`Engine::shutdown`] (or dropping the engine) stops intake,
+/// drains every queued request through final passes, and joins the executors
+/// and their pools — no submitted work is silently dropped.
+///
+/// ```
+/// use paco_service::{Engine, Sort};
+///
+/// let engine = Engine::builder().procs(2).build();
+/// let client = engine.client();
+/// let ticket = client.submit(Sort { keys: vec![3.0, 1.0, 2.0] });
+/// assert_eq!(ticket.wait().unwrap(), vec![1.0, 2.0, 3.0]);
+/// engine.shutdown();
+/// ```
+pub struct Engine {
+    shared: Arc<EngineShared>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Engine(p={}, shards={})",
+            self.shared.p,
+            self.shared.shards.len()
+        )
+    }
+}
+
+impl Engine {
+    /// Start configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// An engine with `p` processors per shard and an otherwise default
+    /// configuration ([`Tuning::from_env`], [`BatchPolicy::default`]).
+    pub fn new(p: usize) -> Self {
+        Self::builder().procs(p).build()
+    }
+
+    /// The processor count of each shard's pool — every request is compiled
+    /// for this `p`.
+    pub fn p(&self) -> usize {
+        self.shared.p
+    }
+
+    /// The tuning config every request is compiled with.
+    pub fn tuning(&self) -> &Tuning {
+        &self.shared.tuning
+    }
+
+    /// The coalescing policy the executors run under.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.shared.policy
+    }
+
+    /// A cheap, `Clone + Send` submission handle.  Clients outlive the
+    /// engine gracefully: submissions after shutdown resolve to
+    /// [`TicketError::Rejected`](crate::TicketError::Rejected) instead of
+    /// blocking forever.
+    pub fn client(&self) -> Client {
+        Client::new(Arc::clone(&self.shared))
+    }
+
+    /// This engine's ingress counters (exact for this engine, unlike the
+    /// process-wide [`sched::ingress`](paco_core::metrics::sched::ingress)
+    /// counters which aggregate every engine in the process).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            enqueued: self.shared.enqueued.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            poisoned: self.shared.poisoned.load(Ordering::Relaxed),
+            shards: self
+                .shared
+                .shards
+                .iter()
+                .map(|s| ShardStats {
+                    passes: s.passes.load(Ordering::Relaxed),
+                    requests: s.requests.load(Ordering::Relaxed),
+                    queued: s.queue.lock().pending.len(),
+                    outstanding_steps: s.outstanding_steps.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Stop intake, drain, and tear down.
+    ///
+    /// Every request enqueued before this call still executes (the
+    /// executors run final passes over their remaining queues — the
+    /// gathering window is cut short, not the work); requests submitted
+    /// *after* resolve to `Rejected`.  Returns the engine's final stats
+    /// once every executor thread and every worker pool has been joined —
+    /// unlike a mid-flight [`Engine::stats`] call, the returned counters
+    /// can no longer move.
+    pub fn shutdown(mut self) -> EngineStats {
+        // Executor threads catch pass panics themselves; a dead executor
+        // means the executor logic itself is broken.
+        assert!(self.shutdown_impl(), "engine executor thread panicked");
+        self.stats()
+    }
+
+    /// Returns whether every executor thread exited cleanly.
+    fn shutdown_impl(&mut self) -> bool {
+        self.shared
+            .shutting_down
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        for shard in &self.shared.shards {
+            shard.queue.lock().shutdown = true;
+            shard.wake.notify_all();
+        }
+        let mut clean = true;
+        for handle in self.executors.drain(..) {
+            clean &= handle.join().is_ok();
+        }
+        clean
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Unlike the explicit `shutdown()`, drop must not panic: the engine
+        // may be dropped while a test assertion is already unwinding the
+        // stack, and a double panic would abort and eat the real failure.
+        let _ = self.shutdown_impl();
+    }
+}
+
+/// Configures and builds an [`Engine`].
+#[derive(Debug, Default)]
+pub struct EngineBuilder {
+    procs: Option<usize>,
+    tuning: Option<Tuning>,
+    base: Option<usize>,
+    policy: Option<BatchPolicy>,
+    shards: Option<usize>,
+}
+
+impl EngineBuilder {
+    /// Pin each shard's pool to `p` processors (default: the machine's
+    /// available parallelism).
+    pub fn procs(mut self, p: usize) -> Self {
+        assert!(p >= 1, "an engine needs at least one processor per shard");
+        self.procs = Some(p);
+        self
+    }
+
+    /// Use an explicit tuning config (default: [`Tuning::from_env`], which
+    /// honours the `PACO_BASE` override).
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = Some(tuning);
+        self
+    }
+
+    /// Convenience: set every base/grain-size knob at once
+    /// ([`Tuning::with_base`]) on top of whatever tuning the builder ends up
+    /// with.
+    pub fn base(mut self, base: usize) -> Self {
+        self.base = Some(base);
+        self
+    }
+
+    /// Use an explicit coalescing policy (default: [`BatchPolicy::default`]).
+    pub fn policy(mut self, policy: BatchPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Convenience: set only the shard count on top of whatever policy the
+    /// builder ends up with — applied at [`EngineBuilder::build`], so it
+    /// composes with [`EngineBuilder::policy`] in either call order (like
+    /// [`EngineBuilder::base`] over the tuning).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Spawn the executor shard(s) and finish the engine.
+    pub fn build(self) -> Engine {
+        let mut tuning = self.tuning.unwrap_or_else(Tuning::from_env);
+        if let Some(base) = self.base {
+            tuning = tuning.with_base(base);
+        }
+        let p = self.procs.unwrap_or_else(available_processors);
+        let mut policy = self.policy.unwrap_or_default();
+        if let Some(shards) = self.shards {
+            policy.shards = shards;
+        }
+        policy.validate();
+
+        let shared = Arc::new(EngineShared {
+            p,
+            tuning: tuning.clone(),
+            policy,
+            shards: (0..policy.shards).map(|_| Shard::new()).collect(),
+            next_shard: AtomicUsize::new(0),
+            shutting_down: std::sync::atomic::AtomicBool::new(false),
+            enqueued: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+        });
+
+        let executors = (0..policy.shards)
+            .map(|shard_id| {
+                // The pool handoff: build each shard's pinned pool here and
+                // move it into the executor thread that will own it.
+                let core = PassCore::new(p, tuning.clone());
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("paco-engine-{shard_id}"))
+                    .spawn(move || executor_loop(shard_id, core, shared))
+                    .expect("failed to spawn engine executor thread")
+            })
+            .collect();
+
+        Engine { shared, executors }
+    }
+}
+
+/// One shard's executor: wait for work, gather a batch under the policy, run
+/// the pass, repeat; on shutdown, drain the queue then join the pool.
+fn executor_loop(shard_id: usize, core: PassCore, shared: Arc<EngineShared>) {
+    let policy = shared.policy;
+    let shard = &shared.shards[shard_id];
+    loop {
+        let mut batch = {
+            let mut queue = shard.queue.lock();
+            while queue.pending.is_empty() && !queue.shutdown {
+                shard.wake.wait(&mut queue);
+            }
+            if queue.pending.is_empty() {
+                // Shut down with nothing left to drain.
+                break;
+            }
+            // The gathering window: wait (bounded by max_wait) for the batch
+            // to fill before draining.  Shutdown closes the window early —
+            // drain now, don't dawdle.
+            if policy.max_batch > 1 && policy.max_wait > Duration::ZERO {
+                let deadline = Instant::now() + policy.max_wait;
+                while queue.pending.len() < policy.max_batch && !queue.shutdown {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    shard.wake.wait_for(&mut queue, deadline - now);
+                }
+            }
+            let take = queue.pending.len().min(policy.max_batch);
+            queue.pending.drain(..take).collect::<Vec<_>>()
+        };
+
+        let requests = batch.len() as u64;
+        let steps: u64 = batch.iter().map(|r| r.steps() as u64).sum();
+        // Count the pass before resolving its tickets, so a producer that
+        // observed its ticket resolve also observes the pass counted.
+        shard.passes.fetch_add(1, Ordering::Relaxed);
+        shard.requests.fetch_add(requests, Ordering::Relaxed);
+        ingress::record_pass(shard_id, requests);
+        if core.run_pass(&mut batch).is_err() {
+            // The pass's tickets are already poisoned; the engine itself
+            // survives and keeps serving subsequent submissions.
+            shared.poisoned.fetch_add(requests, Ordering::Relaxed);
+            ingress::record_poisoned(requests);
+        }
+        shard.outstanding_steps.fetch_sub(steps, Ordering::Relaxed);
+    }
+    core.shutdown();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_shards_composes_with_policy_in_either_order() {
+        let policy = BatchPolicy {
+            max_batch: 8,
+            ..BatchPolicy::default()
+        };
+        let shards_first = Engine::builder().procs(1).shards(2).policy(policy).build();
+        assert_eq!(shards_first.policy().shards, 2);
+        assert_eq!(shards_first.policy().max_batch, 8);
+        let policy_first = Engine::builder().procs(1).policy(policy).shards(2).build();
+        assert_eq!(policy_first.policy().shards, 2);
+        assert_eq!(policy_first.policy().max_batch, 8);
+        shards_first.shutdown();
+        policy_first.shutdown();
+    }
+}

@@ -29,6 +29,16 @@
 //!   workload types — into one pool pass and resolves them through
 //!   [`Ticket`]s).
 //!
+//! For **concurrent ingress** the same executor core is fronted by an
+//! [`Engine`]: `Engine::builder()` spawns one or more executor shards (each
+//! owning its own pinned pool), and [`Engine::client`] hands out
+//! `Clone + Send` [`Client`]s whose [`Client::submit`] can be called from
+//! any thread at any time — the executors gather whatever has arrived under
+//! a [`BatchPolicy`] (batch size cap, gathering window, shard count,
+//! routing), merge it through the same step-erased machinery, and resolve
+//! [`Ticket`]s as passes complete.  Producers block on [`Ticket::wait`]
+//! (condvar, no spin) or poll [`Ticket::try_wait`]; nobody calls `flush`.
+//!
 //! The old free functions survive as `#[deprecated]` shims delegating to the
 //! same per-workload `*Run` machinery this crate schedules; see the README's
 //! migration table.
@@ -60,11 +70,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod client;
+pub mod engine;
+mod exec;
+pub mod policy;
 pub mod requests;
 pub mod session;
 pub mod solve;
+pub mod ticket;
 
+pub use client::Client;
+pub use engine::{Engine, EngineBuilder, EngineStats, ShardStats};
 pub use paco_core::tuning::Tuning;
+pub use policy::{BatchPolicy, Routing};
 pub use requests::{Apsp, Closure, Gap, HeteroMatMul, Lcs, MatMul, OneD, Sort, Strassen};
-pub use session::{RunStats, Session, SessionBuilder, Ticket};
+pub use session::{RunStats, Session, SessionBuilder};
 pub use solve::{Compiled, Prepared, Solve};
+pub use ticket::{Ticket, TicketError};

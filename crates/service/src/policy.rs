@@ -1,0 +1,120 @@
+//! The [`BatchPolicy`]: how an [`Engine`](crate::Engine) coalesces and
+//! routes concurrent submissions.
+
+use std::time::Duration;
+
+/// How submissions are routed across an engine's shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Routing {
+    /// Deal submissions out in arrival order, one shard after the next.
+    /// Cheapest and fair for uniform request sizes.
+    #[default]
+    RoundRobin,
+    /// Route each submission to the shard with the smallest outstanding
+    /// work, measured in compiled plan steps.  Worth its extra bookkeeping
+    /// when request sizes are wildly mixed — it keeps one giant request from
+    /// queueing small ones behind it while other shards idle.
+    SizeBalanced,
+}
+
+/// The coalescing policy of an [`Engine`](crate::Engine): when an executor
+/// wakes to work, how greedily it gathers a batch, and how submissions are
+/// spread across shards.
+///
+/// An executor that finds its queue non-empty starts a *gathering window*:
+/// it drains the queue into a batch once [`max_batch`](Self::max_batch)
+/// requests are available **or** [`max_wait`](Self::max_wait) has elapsed
+/// since the window opened, whichever comes first (shutdown also closes the
+/// window immediately).  The batch then executes as one merged pool pass with
+/// max-of-waves barriers, so everything gathered into one window shares the
+/// schedule.
+///
+/// ```
+/// use paco_service::{BatchPolicy, Routing};
+/// use std::time::Duration;
+///
+/// // Low-latency ingress: never dawdle, take what's there.
+/// let greedy = BatchPolicy { max_wait: Duration::ZERO, ..BatchPolicy::default() };
+///
+/// // Throughput ingress: two pools, wait up to 1ms to fill big batches.
+/// let wide = BatchPolicy {
+///     max_batch: 128,
+///     max_wait: Duration::from_millis(1),
+///     shards: 2,
+///     routing: Routing::SizeBalanced,
+/// };
+/// assert!(greedy.max_batch == wide.max_batch / 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Most requests one executor pass may coalesce.  `1` disables
+    /// coalescing entirely: every request runs as its own pass.
+    pub max_batch: usize,
+    /// How long a gathering window stays open waiting for the batch to fill
+    /// after the first request arrives.  `Duration::ZERO` is the greedy
+    /// policy: drain whatever is queued right now and run it.
+    pub max_wait: Duration,
+    /// Number of executor shards; each owns its own worker pool (of the
+    /// engine's `p` processors) and its own queue, and runs passes
+    /// independently of — and concurrently with — its siblings.
+    pub shards: usize,
+    /// How submissions pick a shard.
+    pub routing: Routing,
+}
+
+impl Default for BatchPolicy {
+    /// One shard, round-robin (trivially), batches of up to 64, and a 200µs
+    /// gathering window — enough for a burst of producers to coalesce
+    /// without a human-visible latency cost.
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            shards: 1,
+            routing: Routing::RoundRobin,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Validate the policy at engine construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or `shards` is zero.
+    pub(crate) fn validate(&self) {
+        assert!(self.max_batch >= 1, "BatchPolicy::max_batch must be >= 1");
+        assert!(self.shards >= 1, "BatchPolicy::shards must be >= 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_valid() {
+        BatchPolicy::default().validate();
+        assert_eq!(BatchPolicy::default().routing, Routing::RoundRobin);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch")]
+    fn zero_max_batch_is_rejected() {
+        BatchPolicy {
+            max_batch: 0,
+            ..BatchPolicy::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shards")]
+    fn zero_shards_is_rejected() {
+        BatchPolicy {
+            shards: 0,
+            ..BatchPolicy::default()
+        }
+        .validate();
+    }
+}

@@ -1,15 +1,11 @@
 //! The [`Session`]: one worker pool, one tuning config, three verbs.
 
-use crate::solve::{Prepared, Solve};
+use crate::exec::{PassCore, PendingRequest};
+use crate::solve::Solve;
+use crate::ticket::{self, decode, Ticket};
 use paco_core::machine::available_processors;
-use paco_core::metrics::sched;
 use paco_core::tuning::Tuning;
-use paco_runtime::schedule::Plan;
-use paco_runtime::WorkerPool;
 use parking_lot::Mutex;
-use std::any::Any;
-use std::marker::PhantomData;
-use std::sync::Arc;
 
 /// Scheduling cost of the most recent [`Session::run`],
 /// [`Session::run_batch`] or [`Session::flush`], read off the
@@ -28,82 +24,18 @@ pub struct RunStats {
     pub pool_barriers: u64,
 }
 
-/// Lifecycle of a submitted request's output slot.
-enum SlotState {
-    /// Submitted, not yet flushed.
-    Pending,
-    /// Flushed successfully; the output is waiting.
-    Done(Box<dyn Any + Send>),
-    /// The output was taken.
-    Taken,
-    /// The flush panicked mid-pass: the request's shared state may be
-    /// half-written, so the output is unrecoverable.
-    Poisoned,
-}
-
-type Slot = Arc<Mutex<SlotState>>;
-
-struct PendingRequest {
-    prepared: Box<dyn Prepared>,
-    slot: Slot,
-}
-
-/// A handle to the output of a [`Session::submit`]ted request; resolved by
-/// the next [`Session::flush`].
-pub struct Ticket<O> {
-    slot: Slot,
-    _out: PhantomData<fn() -> O>,
-}
-
-impl<O: Send + 'static> Ticket<O> {
-    /// Whether the request has been flushed (and the output not yet taken).
-    pub fn ready(&self) -> bool {
-        matches!(*self.slot.lock(), SlotState::Done(_))
-    }
-
-    /// Take the output if the request has been flushed (and neither taken
-    /// before nor lost to a panicking flush).
-    pub fn try_take(&self) -> Option<O> {
-        let mut slot = self.slot.lock();
-        match std::mem::replace(&mut *slot, SlotState::Taken) {
-            SlotState::Done(out) => Some(decode(out)),
-            other => {
-                *slot = other;
-                None
-            }
-        }
-    }
-
-    /// Take the output.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the session has not been flushed since the submission, if
-    /// the output was already taken, or if the flush panicked (the request
-    /// was lost with it).
-    pub fn take(&self) -> O {
-        let mut slot = self.slot.lock();
-        match std::mem::replace(&mut *slot, SlotState::Taken) {
-            SlotState::Done(out) => decode(out),
-            SlotState::Pending => {
-                panic!("ticket not resolved: call Session::flush() before Ticket::take()")
-            }
-            SlotState::Taken => panic!("ticket output already taken"),
-            SlotState::Poisoned => {
-                panic!("ticket lost: the flush executing this request panicked")
-            }
-        }
-    }
-}
-
-fn decode<O: Send + 'static>(out: Box<dyn Any + Send>) -> O {
-    *out.downcast::<O>()
-        .expect("request output type mismatch — Solve::Output is wired to the wrong run type")
-}
-
-/// The front door: owns one pinned [`WorkerPool`] plus a [`Tuning`] config,
-/// and executes every PACO workload through three verbs — [`Session::run`],
+/// The synchronous front door: owns one pinned
+/// [`WorkerPool`](paco_runtime::WorkerPool) plus a [`Tuning`] config, and
+/// executes every PACO workload through three verbs — [`Session::run`],
 /// [`Session::run_batch`] and [`Session::submit`]/[`Session::flush`].
+///
+/// A session is the single-shard, caller-driven special case of the same
+/// executor core the concurrent [`Engine`](crate::Engine) shards run:
+/// `flush()` is exactly one engine pass, executed on the calling thread
+/// instead of a dedicated executor.  Reach for the engine when requests
+/// arrive from many threads or should execute without the owner calling
+/// back in; stay with the session when one thread drives everything and
+/// wants zero background threads.
 ///
 /// ```
 /// use paco_service::{Session, Sort};
@@ -113,10 +45,8 @@ fn decode<O: Send + 'static>(out: Box<dyn Any + Send>) -> O {
 /// assert_eq!(sorted, vec![1.0, 2.0, 3.0]);
 /// ```
 pub struct Session {
-    pool: WorkerPool,
-    tuning: Tuning,
+    core: PassCore,
     queue: Mutex<Vec<PendingRequest>>,
-    last: Mutex<RunStats>,
 }
 
 impl Session {
@@ -138,45 +68,41 @@ impl Session {
 
     /// The processor count every request is compiled for.
     pub fn p(&self) -> usize {
-        self.pool.p()
+        self.core.p()
     }
 
     /// The tuning config every request is compiled with.
     pub fn tuning(&self) -> &Tuning {
-        &self.tuning
+        self.core.tuning()
     }
 
     /// Scheduling counters of the most recent `run`/`run_batch`/`flush`
     /// (all-zero until one executed with [`Tuning::trace`] on).
     pub fn last_stats(&self) -> RunStats {
-        *self.last.lock()
+        self.core.last_stats()
     }
 
     /// Execute one request and return its output.
     pub fn run<R: Solve>(&self, req: R) -> R::Output {
-        let mut prepared = req.compile(self.p(), &self.tuning).inner;
-        self.record(1, || {
-            prepared
-                .skeleton()
-                .execute(&self.pool, |proc, &idx| prepared.run_step(proc, idx));
-        });
-        decode(prepared.take_output())
+        let mut prepared = req.compile(self.p(), self.tuning()).inner;
+        decode(self.core.run_one(&mut prepared))
     }
 
     /// Execute a homogeneous batch of requests through **one** pool pass.
     ///
     /// The compiled plans are merged wave-by-wave
-    /// ([`Plan::batch`]), so the pass costs as many
-    /// barriers as the *deepest* constituent — not the sum — across every
-    /// workload type, including the MM, Strassen and sort paths that had no
-    /// batched entry point before this crate.  Outputs come back in request
-    /// order.
+    /// ([`Plan::batch`](paco_runtime::schedule::Plan::batch)), so the pass
+    /// costs as many barriers as the *deepest* constituent — not the sum —
+    /// across every workload type, including the MM, Strassen and sort paths
+    /// that had no batched entry point before this crate.  Outputs come back
+    /// in request order.
     pub fn run_batch<R: Solve>(&self, reqs: impl IntoIterator<Item = R>) -> Vec<R::Output> {
-        let mut prepared: Vec<Box<dyn Prepared>> = reqs
+        let mut prepared: Vec<_> = reqs
             .into_iter()
-            .map(|r| r.compile(self.p(), &self.tuning).inner)
+            .map(|r| r.compile(self.p(), self.tuning()).inner)
             .collect();
-        self.execute_merged(&prepared);
+        let refs: Vec<&dyn crate::solve::Prepared> = prepared.iter().map(|p| &**p).collect();
+        self.core.execute_merged(&refs);
         prepared
             .iter_mut()
             .map(|p| decode(p.take_output()))
@@ -187,16 +113,13 @@ impl Session {
     /// compiled now (under the current tuning) and executed later.  Queued
     /// submissions may mix workload types freely.
     pub fn submit<R: Solve>(&self, req: R) -> Ticket<R::Output> {
-        let prepared = req.compile(self.p(), &self.tuning).inner;
-        let slot = Arc::new(Mutex::new(SlotState::Pending));
+        let prepared = req.compile(self.p(), self.tuning()).inner;
+        let slot = ticket::new_slot();
         self.queue.lock().push(PendingRequest {
             prepared,
             slot: slot.clone(),
         });
-        Ticket {
-            slot,
-            _out: PhantomData,
-        }
+        Ticket::new(slot)
     }
 
     /// Number of submissions waiting for a flush.
@@ -212,58 +135,15 @@ impl Session {
     /// *poisoned* (their shared state may be half-written, so no output can
     /// be salvaged): the tickets report the loss explicitly instead of
     /// pretending the flush never happened, and the panic is re-thrown.
+    /// This is the same pass the concurrent [`Engine`](crate::Engine) runs —
+    /// the only difference is that an engine executor swallows the re-throw
+    /// and keeps serving.
     pub fn flush(&self) -> usize {
         let mut pending = std::mem::take(&mut *self.queue.lock());
-        if pending.is_empty() {
-            return 0;
+        match self.core.run_pass(&mut pending) {
+            Ok(n) => n,
+            Err(payload) => std::panic::resume_unwind(payload),
         }
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let prepared: Vec<&dyn Prepared> = pending.iter().map(|p| &*p.prepared).collect();
-            self.execute_merged_refs(&prepared);
-        }));
-        if let Err(payload) = outcome {
-            for p in &pending {
-                *p.slot.lock() = SlotState::Poisoned;
-            }
-            std::panic::resume_unwind(payload);
-        }
-        for p in &mut pending {
-            *p.slot.lock() = SlotState::Done(p.prepared.take_output());
-        }
-        pending.len()
-    }
-
-    fn execute_merged(&self, prepared: &[Box<dyn Prepared>]) {
-        let refs: Vec<&dyn Prepared> = prepared.iter().map(|p| &**p).collect();
-        self.execute_merged_refs(&refs);
-    }
-
-    /// One pool pass over many compiled requests: zip their skeletons
-    /// wave-by-wave and tag every step with its request index.
-    fn execute_merged_refs(&self, prepared: &[&dyn Prepared]) {
-        let plans: Vec<Plan<usize>> = prepared.iter().map(|p| p.skeleton().clone()).collect();
-        let merged = Plan::batch(plans);
-        self.record(prepared.len() as u64, || {
-            merged.execute(&self.pool, |proc, &(inst, idx)| {
-                prepared[inst].run_step(proc, idx);
-            });
-        });
-    }
-
-    fn record(&self, requests: u64, execute: impl FnOnce()) {
-        if !self.tuning.trace {
-            execute();
-            return;
-        }
-        let before = sched::snapshot();
-        execute();
-        let delta = sched::snapshot().since(&before);
-        *self.last.lock() = RunStats {
-            requests,
-            plan_waves: delta.plan_waves,
-            plan_steps: delta.plan_steps,
-            pool_barriers: delta.pool_barriers,
-        };
     }
 }
 
@@ -307,10 +187,8 @@ impl SessionBuilder {
         }
         let p = self.procs.unwrap_or_else(available_processors);
         Session {
-            pool: WorkerPool::new(p),
-            tuning,
+            core: PassCore::new(p, tuning),
             queue: Mutex::new(Vec::new()),
-            last: Mutex::new(RunStats::default()),
         }
     }
 }
@@ -318,9 +196,11 @@ impl SessionBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solve::Compiled;
+    use crate::solve::{Compiled, Prepared};
+    use crate::ticket::TicketError;
     use crate::Lcs;
     use paco_runtime::schedule::{Plan, Step};
+    use std::any::Any;
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     /// A request whose single step panics, for exercising the flush
@@ -341,7 +221,7 @@ mod tests {
         }
     }
 
-    struct ExplodingReq;
+    pub(crate) struct ExplodingReq;
 
     impl Solve for ExplodingReq {
         type Output = ();
@@ -368,18 +248,18 @@ mod tests {
         assert_eq!(session.pending(), 0);
         // ...and both tickets report the loss instead of "flush me first".
         assert!(!good.ready());
-        assert_eq!(good.try_take(), None);
+        assert_eq!(good.try_wait(), Err(TicketError::Poisoned));
+        assert_eq!(good.wait(), Err(TicketError::Poisoned));
         let take = catch_unwind(AssertUnwindSafe(|| good.take()));
         let payload = take.expect_err("poisoned take must panic");
         let msg = payload
             .downcast_ref::<&str>()
             .expect("panic message is a str literal");
         assert!(
-            msg.contains("flush executing this request panicked"),
+            msg.contains("pass executing this request panicked"),
             "{msg}"
         );
-        let take = catch_unwind(AssertUnwindSafe(|| bad.take()));
-        assert!(take.is_err());
+        assert_eq!(bad.try_wait(), Err(TicketError::Poisoned));
 
         // The session stays usable for new work.
         assert_eq!(

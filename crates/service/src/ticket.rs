@@ -1,0 +1,246 @@
+//! [`Ticket`]s: typed handles to the deferred output of a submitted request.
+//!
+//! A ticket is the producer half of a one-shot slot shared with whichever
+//! executor runs the request — [`Session::flush`](crate::Session::flush) on
+//! the caller's thread, or an [`Engine`](crate::Engine) shard's executor
+//! thread.  Resolution wakes blocked [`Ticket::wait`]ers through a condvar
+//! (no spinning), and the error surface is explicit: [`TicketError`]
+//! distinguishes *not yet resolved* from *already taken* from *lost to a
+//! panicking pass* from *rejected by a shut-down engine*.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Why a [`Ticket`] could not produce its output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TicketError {
+    /// The request has not been executed yet ([`Ticket::try_wait`] only;
+    /// [`Ticket::wait`] blocks instead of returning this).
+    Pending,
+    /// The output was already taken out of this ticket.
+    Taken,
+    /// The pass executing this request panicked; its shared state may be
+    /// half-written, so the output is unrecoverable.
+    Poisoned,
+    /// The request was submitted after the engine began shutting down and
+    /// was never executed.
+    Rejected,
+}
+
+impl std::fmt::Display for TicketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TicketError::Pending => write!(f, "request not executed yet"),
+            TicketError::Taken => write!(f, "ticket output already taken"),
+            TicketError::Poisoned => write!(f, "the pass executing this request panicked"),
+            TicketError::Rejected => write!(f, "request submitted after engine shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for TicketError {}
+
+/// Lifecycle of a submitted request's output slot.
+pub(crate) enum SlotState {
+    /// Submitted, not yet executed.
+    Pending,
+    /// Executed successfully; the output is waiting.
+    Done(Box<dyn Any + Send>),
+    /// The output was taken.
+    Taken,
+    /// The pass executing the request panicked: the request's shared state
+    /// may be half-written, so the output is unrecoverable.
+    Poisoned,
+    /// Submitted after engine shutdown; never executed.
+    Rejected,
+}
+
+/// The shared one-shot slot: state plus the condvar that resolution signals.
+pub(crate) struct SlotInner {
+    state: Mutex<SlotState>,
+    resolved: Condvar,
+}
+
+pub(crate) type Slot = Arc<SlotInner>;
+
+/// A fresh, pending slot.
+pub(crate) fn new_slot() -> Slot {
+    Arc::new(SlotInner {
+        state: Mutex::new(SlotState::Pending),
+        resolved: Condvar::new(),
+    })
+}
+
+/// Transition a slot out of `Pending` and wake every waiter.  Used by the
+/// executors to deliver `Done`, `Poisoned` or `Rejected`.
+pub(crate) fn resolve(slot: &Slot, state: SlotState) {
+    *slot.state.lock() = state;
+    slot.resolved.notify_all();
+}
+
+/// A typed handle to the output of a submitted request; resolved by the next
+/// [`Session::flush`](crate::Session::flush) (synchronous path) or by an
+/// [`Engine`](crate::Engine) executor pass (concurrent path).
+///
+/// Dropping a ticket abandons the output (the request still executes); the
+/// `#[must_use]` lint flags the accidental version of that.
+#[must_use = "a Ticket is the only handle to the request's output — wait on it or the result is lost"]
+pub struct Ticket<O> {
+    slot: Slot,
+    _out: PhantomData<fn() -> O>,
+}
+
+impl<O> std::fmt::Debug for Ticket<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = match *self.slot.state.lock() {
+            SlotState::Pending => "pending",
+            SlotState::Done(_) => "done",
+            SlotState::Taken => "taken",
+            SlotState::Poisoned => "poisoned",
+            SlotState::Rejected => "rejected",
+        };
+        write!(f, "Ticket({state})")
+    }
+}
+
+impl<O: Send + 'static> Ticket<O> {
+    pub(crate) fn new(slot: Slot) -> Self {
+        Self {
+            slot,
+            _out: PhantomData,
+        }
+    }
+
+    /// Whether the request has executed (and the output not yet taken).
+    pub fn ready(&self) -> bool {
+        matches!(*self.slot.state.lock(), SlotState::Done(_))
+    }
+
+    /// Take the output if it is available *now*, without blocking.
+    ///
+    /// [`TicketError::Pending`] means "not yet": on the synchronous
+    /// [`Session`](crate::Session) path call
+    /// [`flush`](crate::Session::flush) first; on the concurrent
+    /// [`Engine`](crate::Engine) path either poll again or block with
+    /// [`Ticket::wait`].
+    pub fn try_wait(&self) -> Result<O, TicketError> {
+        Self::take_state(&mut self.slot.state.lock())
+    }
+
+    /// Block until the request resolves, then take the output.
+    ///
+    /// Blocking is condvar-based (the waiter parks; resolution notifies) —
+    /// no spinning.  Never returns [`TicketError::Pending`]; it does return
+    /// [`TicketError::Taken`], [`TicketError::Poisoned`] or
+    /// [`TicketError::Rejected`] when the output is unrecoverable.
+    ///
+    /// On the synchronous [`Session`](crate::Session) path nothing resolves
+    /// tickets until `flush()` runs on the owning thread, so `wait`ing there
+    /// *before* flushing would deadlock; `wait` is meant for
+    /// [`Client`](crate::Client) submissions, which an engine executor
+    /// resolves without any further call from the producer.
+    pub fn wait(&self) -> Result<O, TicketError> {
+        let mut state = self.slot.state.lock();
+        while matches!(*state, SlotState::Pending) {
+            self.slot.resolved.wait(&mut state);
+        }
+        Self::take_state(&mut state)
+    }
+
+    /// Take the output, panicking on any error — the convenience wrapper
+    /// over [`Ticket::try_wait`] for code that has already synchronized (it
+    /// called [`Session::flush`](crate::Session::flush), or `wait`ed a
+    /// sibling ticket of the same pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request has not executed yet, if the output was already
+    /// taken, if the pass executing it panicked, or if the engine rejected
+    /// the submission during shutdown.
+    pub fn take(&self) -> O {
+        match self.try_wait() {
+            Ok(out) => out,
+            Err(TicketError::Pending) => {
+                panic!("ticket not resolved: call Session::flush() (or Ticket::wait()) before Ticket::take()")
+            }
+            Err(TicketError::Taken) => panic!("ticket output already taken"),
+            Err(TicketError::Poisoned) => {
+                panic!("ticket lost: the pass executing this request panicked")
+            }
+            Err(TicketError::Rejected) => {
+                panic!("ticket rejected: the request was submitted after engine shutdown")
+            }
+        }
+    }
+
+    fn take_state(state: &mut SlotState) -> Result<O, TicketError> {
+        match std::mem::replace(state, SlotState::Taken) {
+            SlotState::Done(out) => Ok(decode(out)),
+            SlotState::Pending => {
+                *state = SlotState::Pending;
+                Err(TicketError::Pending)
+            }
+            SlotState::Taken => Err(TicketError::Taken),
+            SlotState::Poisoned => {
+                *state = SlotState::Poisoned;
+                Err(TicketError::Poisoned)
+            }
+            SlotState::Rejected => {
+                *state = SlotState::Rejected;
+                Err(TicketError::Rejected)
+            }
+        }
+    }
+}
+
+/// Unbox a type-erased output back to its typed form.
+pub(crate) fn decode<O: Send + 'static>(out: Box<dyn Any + Send>) -> O {
+    *out.downcast::<O>()
+        .expect("request output type mismatch — Solve::Output is wired to the wrong run type")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_wait_distinguishes_every_terminal_state() {
+        let slot = new_slot();
+        let ticket: Ticket<u32> = Ticket::new(slot.clone());
+        assert_eq!(ticket.try_wait(), Err(TicketError::Pending));
+        // Pending is not sticky: asking again still reports Pending.
+        assert_eq!(ticket.try_wait(), Err(TicketError::Pending));
+
+        resolve(&slot, SlotState::Done(Box::new(7u32)));
+        assert!(ticket.ready());
+        assert_eq!(ticket.try_wait(), Ok(7));
+        assert_eq!(ticket.try_wait(), Err(TicketError::Taken));
+
+        let slot = new_slot();
+        let ticket: Ticket<u32> = Ticket::new(slot.clone());
+        resolve(&slot, SlotState::Poisoned);
+        assert_eq!(ticket.try_wait(), Err(TicketError::Poisoned));
+        // Poisoned is sticky.
+        assert_eq!(ticket.try_wait(), Err(TicketError::Poisoned));
+
+        let slot = new_slot();
+        let ticket: Ticket<u32> = Ticket::new(slot.clone());
+        resolve(&slot, SlotState::Rejected);
+        assert_eq!(ticket.try_wait(), Err(TicketError::Rejected));
+        assert_eq!(ticket.try_wait(), Err(TicketError::Rejected));
+    }
+
+    #[test]
+    fn wait_blocks_until_resolution() {
+        let slot = new_slot();
+        let ticket: Ticket<String> = Ticket::new(slot.clone());
+        let resolver = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            resolve(&slot, SlotState::Done(Box::new("late".to_string())));
+        });
+        assert_eq!(ticket.wait().as_deref(), Ok("late"));
+        resolver.join().unwrap();
+    }
+}

@@ -64,6 +64,18 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 #[derive(Debug, Default)]
 pub struct Condvar(std::sync::Condvar);
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed
+/// (rather than a notification), like `parking_lot::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 impl Condvar {
     /// Create a new condition variable.
     pub const fn new() -> Self {
@@ -76,6 +88,27 @@ impl Condvar {
         let std_guard = guard.inner.take().expect("guard taken during wait");
         let reacquired = self.0.wait(std_guard).unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(reacquired);
+    }
+
+    /// Block until notified or until `timeout` elapses; the guard is
+    /// released while parked and re-acquired before returning.  Like every
+    /// condvar wait, this may also wake spuriously — callers must re-check
+    /// their predicate (and their deadline) in a loop.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken during wait");
+        let (reacquired, result) = match self.0.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(reacquired);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wake every waiting thread.
@@ -117,6 +150,35 @@ mod tests {
         let mut done = lock.lock();
         while !*done {
             cvar.wait(&mut done);
+        }
+        drop(done);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out_without_a_notification() {
+        let pair = (Mutex::new(false), Condvar::new());
+        let (lock, cvar) = &pair;
+        let mut done = lock.lock();
+        let result = cvar.wait_for(&mut done, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+        assert!(!*done);
+    }
+
+    #[test]
+    fn wait_for_wakes_on_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            *lock.lock() = true;
+            cvar.notify_all();
+        });
+        let (lock, cvar) = &*pair;
+        let mut done = lock.lock();
+        while !*done {
+            // Generous timeout: the wait should end via notification.
+            cvar.wait_for(&mut done, std::time::Duration::from_secs(10));
         }
         drop(done);
         handle.join().unwrap();

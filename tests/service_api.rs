@@ -13,7 +13,7 @@ use paco_core::workload::{
     random_digraph, random_keys, random_matrix_wrapping, random_sequence, GapCosts, ParagraphWeight,
 };
 use paco_graph::plan_fw;
-use paco_service::{Apsp, Gap, Lcs, MatMul, OneD, Session, Sort, Strassen, Tuning};
+use paco_service::{Apsp, Gap, Lcs, MatMul, OneD, Session, Sort, Strassen, TicketError, Tuning};
 use proptest::prelude::*;
 
 /// A deterministic session (tuning pinned, independent of `PACO_BASE`).
@@ -260,10 +260,10 @@ fn tickets_resolve_only_after_flush() {
         b: vec![2, 4],
     });
     assert!(!ticket.ready());
-    assert_eq!(ticket.try_take(), None);
+    assert_eq!(ticket.try_wait(), Err(TicketError::Pending));
     assert_eq!(session.flush(), 1);
     assert!(ticket.ready());
     assert_eq!(ticket.take(), 2);
-    // Taking twice is an error surfaced as None from try_take.
-    assert_eq!(ticket.try_take(), None);
+    // Taking twice is an explicit error, not a panic or a silent None.
+    assert_eq!(ticket.try_wait(), Err(TicketError::Taken));
 }
