@@ -1,0 +1,232 @@
+//! Open-loop load generator proving the `Engine`'s admission control.
+//!
+//! Closed-loop drivers (every bench so far) wait for each completion before
+//! submitting again, so they can never overload the engine — the very regime
+//! admission control exists for.  This bench generates arrivals on a clock,
+//! *independent* of completions, and records what the ingress counters say:
+//!
+//! * `service/p50-latency`, `service/p99-latency` — submission-to-completion
+//!   latency percentiles (seconds, log₂-bucket upper bounds) of the bounded
+//!   overload run;
+//! * `service/reject-ratio` — fraction of admissions the bounded engine shed
+//!   (`try_submit` → `Overloaded`); nonzero under overload **by design**;
+//! * `service/queue-depth` — the bounded run's queue-depth watermark; never
+//!   exceeds the configured capacity;
+//! * `service/unbounded-depth-mid`, `service/unbounded-depth-end` — the same
+//!   watermark on a legacy unbounded engine under the same offered load,
+//!   sampled mid-run and at the end: it grows without bound instead;
+//! * `service/coalesce-static-best`, `service/coalesce-adaptive` — mean
+//!   requests per pass under the best hand-tuned static gathering window
+//!   vs. the adaptive (arrival-rate-driven) window at the same offered load.
+//!
+//! Latency percentiles and depth watermarks come from counters, not
+//! wall-clock statistics of individual runs, because this container has one
+//! core: timings are noisy there, counters are exact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paco_bench::bench_scale;
+use paco_core::metrics::Stopwatch;
+use paco_service::{BatchPolicy, Client, Engine, Session, Sort, Ticket};
+use std::time::Duration;
+
+/// The unit of offered load: a small sort, cheap to compile on the generator
+/// thread and cheap to serve, so the arrival clock — not the request body —
+/// dominates the experiment.
+fn request(seed: u64) -> Sort<f64> {
+    Sort {
+        keys: paco_core::workload::random_keys(64, seed),
+    }
+}
+
+/// Closed-loop calibration of the service rate μ (requests/second a serial
+/// `Session` sustains, compile included): the yardstick the open-loop
+/// arrival rates are set against.
+fn calibrate_service_rate() -> f64 {
+    let session = Session::new(1);
+    // Warm up allocators and the pool.
+    for seed in 0..16 {
+        std::hint::black_box(session.run(request(seed)));
+    }
+    let sw = Stopwatch::start();
+    let mut served = 0u64;
+    while sw.elapsed_secs() < 0.25 {
+        std::hint::black_box(session.run(request(1000 + served)));
+        served += 1;
+    }
+    served as f64 / sw.elapsed_secs()
+}
+
+/// What one open-loop run observed.
+struct LoadgenOutcome {
+    /// Requests offered to the engine (accepted + shed).
+    offered: u64,
+    /// `try_submit` admissions refused with `Overloaded`.
+    shed: u64,
+}
+
+/// Drive `engine` open-loop at `rate` arrivals/second for `duration`:
+/// arrivals follow the clock — a completion is never waited on before the
+/// next submission.  Pacing sleeps in ~1ms ticks and submits whatever the
+/// clock says is due (burst catch-up), because on a single core a spinning
+/// generator would starve the executor it is trying to overload.  Accepted
+/// tickets are awaited only after the offered-load window closes.
+fn drive_open_loop(
+    engine: &Engine,
+    rate: f64,
+    duration: Duration,
+    mut mid_run: impl FnMut(&Engine),
+) -> LoadgenOutcome {
+    let client: Client = engine.client();
+    let mut accepted: Vec<Ticket<Vec<f64>>> = Vec::new();
+    let mut shed = 0u64;
+    let mut offered = 0u64;
+    let mut sampled_mid = false;
+    let sw = Stopwatch::start();
+    loop {
+        let elapsed = sw.elapsed_secs();
+        if elapsed >= duration.as_secs_f64() {
+            break;
+        }
+        if !sampled_mid && elapsed >= duration.as_secs_f64() / 2.0 {
+            sampled_mid = true;
+            mid_run(engine);
+        }
+        // Everything the arrival clock says is due by now.
+        let due = (elapsed * rate) as u64;
+        while offered < due {
+            match client.try_submit(request(offered)) {
+                Ok(ticket) => accepted.push(ticket),
+                Err(_) => shed += 1,
+            }
+            offered += 1;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Close the loop only after the offered-load window: drain what was
+    // admitted so the latency histogram covers every accepted request.
+    for ticket in accepted {
+        std::hint::black_box(ticket.wait().expect("admitted request resolves"));
+    }
+    LoadgenOutcome { offered, shed }
+}
+
+/// One coalescing measurement: offered load at `rate` against the given
+/// gathering-window policy; returns the mean requests per pass.
+fn coalesce_at(rate: f64, duration: Duration, max_wait: Duration, adaptive: bool) -> f64 {
+    let engine = Engine::builder()
+        .procs(1)
+        .policy(BatchPolicy {
+            max_batch: 32,
+            max_wait,
+            adaptive,
+            ..BatchPolicy::default()
+        })
+        .build();
+    let outcome = drive_open_loop(&engine, rate, duration, |_| {});
+    let stats = engine.shutdown();
+    assert_eq!(outcome.shed, 0, "unbounded engines never shed");
+    stats.coalesce_ratio()
+}
+
+fn bench_loadgen(c: &mut Criterion) {
+    let scale = bench_scale() as f64;
+    let run_for = Duration::from_secs_f64(0.5 * scale);
+    let mu = calibrate_service_rate();
+    println!("loadgen: calibrated service rate mu = {mu:.0} req/s");
+
+    // --- Overload against a bounded engine: λ ≈ 3μ. ---------------------
+    const CAPACITY: usize = 32;
+    let overload_rate = 3.0 * mu;
+    let bounded = Engine::builder()
+        .procs(1)
+        .policy(BatchPolicy {
+            max_batch: 16,
+            max_wait: Duration::from_micros(200),
+            capacity: Some(CAPACITY),
+            ..BatchPolicy::default()
+        })
+        .build();
+    let outcome = drive_open_loop(&bounded, overload_rate, run_for, |_| {});
+    let stats = bounded.shutdown();
+    assert_eq!(
+        stats.overloaded, outcome.shed,
+        "engine and generator agree on what was shed"
+    );
+    assert!(
+        stats.max_queue_depth() <= CAPACITY,
+        "bounded watermark {} exceeded capacity {CAPACITY}",
+        stats.max_queue_depth()
+    );
+    println!(
+        "loadgen: bounded overload offered {} shed {} (ratio {:.3}), depth watermark {}",
+        outcome.offered,
+        outcome.shed,
+        stats.reject_ratio(),
+        stats.max_queue_depth()
+    );
+    let p50 = stats.latency.percentile(0.50).unwrap_or_default();
+    let p99 = stats.latency.percentile(0.99).unwrap_or_default();
+    criterion::record_metric("service/p50-latency", p50.as_secs_f64());
+    criterion::record_metric("service/p99-latency", p99.as_secs_f64());
+    criterion::record_metric("service/reject-ratio", stats.reject_ratio());
+    criterion::record_metric("service/queue-depth", stats.max_queue_depth() as f64);
+
+    // --- The same offered load against the legacy unbounded default. -----
+    let unbounded = Engine::builder()
+        .procs(1)
+        .policy(BatchPolicy {
+            max_batch: 16,
+            max_wait: Duration::from_micros(200),
+            capacity: None,
+            ..BatchPolicy::default()
+        })
+        .build();
+    let mut depth_mid = 0usize;
+    let outcome = drive_open_loop(&unbounded, overload_rate, run_for, |engine| {
+        depth_mid = engine.stats().max_queue_depth();
+    });
+    let stats = unbounded.shutdown();
+    assert_eq!(outcome.shed, 0, "the unbounded engine admits everything");
+    let depth_end = stats.max_queue_depth();
+    println!("loadgen: unbounded depth watermark grew {depth_mid} (mid) -> {depth_end} (end)");
+    criterion::record_metric("service/unbounded-depth-mid", depth_mid as f64);
+    criterion::record_metric("service/unbounded-depth-end", depth_end as f64);
+
+    // --- Adaptive vs. hand-tuned static gathering windows at λ ≈ 0.8μ. ---
+    let moderate_rate = 0.8 * mu;
+    let statics = [
+        Duration::ZERO,
+        Duration::from_micros(200),
+        Duration::from_millis(1),
+        Duration::from_millis(5),
+    ];
+    let mut best_static = 1.0f64;
+    for max_wait in statics {
+        let ratio = coalesce_at(moderate_rate, run_for, max_wait, false);
+        println!("loadgen: static max_wait {max_wait:?} coalesce ratio {ratio:.2}");
+        best_static = best_static.max(ratio);
+    }
+    let adaptive = coalesce_at(moderate_rate, run_for, Duration::from_millis(5), true);
+    println!(
+        "loadgen: adaptive (5ms ceiling) coalesce ratio {adaptive:.2} vs best static {best_static:.2}"
+    );
+    criterion::record_metric("service/coalesce-static-best", best_static);
+    criterion::record_metric("service/coalesce-adaptive", adaptive);
+
+    // Keep a token timing group so the bench shows up in criterion output;
+    // the real payload of this bench is the gauges above.
+    let mut group = c.benchmark_group("loadgen");
+    group.sample_size(10);
+    group.bench_function("calibrate-mu", |bench| {
+        let session = Session::new(1);
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            std::hint::black_box(session.run(request(seed)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loadgen);
+criterion_main!(benches);

@@ -114,6 +114,7 @@ fn drive_engine() -> (f64, u64, EngineStats) {
             max_wait: Duration::from_millis(5),
             shards: 1,
             routing: Routing::RoundRobin,
+            ..BatchPolicy::default()
         })
         .build();
     let (apsps, lcss, mms, sorts) = mixed_bag();

@@ -129,9 +129,14 @@ pub mod sched {
         static COALESCED: AtomicU64 = AtomicU64::new(0);
         static POISONED: AtomicU64 = AtomicU64::new(0);
         static MAX_PASS: AtomicU64 = AtomicU64::new(0);
+        static REJECTED: AtomicU64 = AtomicU64::new(0);
+        static OVERLOADED: AtomicU64 = AtomicU64::new(0);
+        static EXPIRED: AtomicU64 = AtomicU64::new(0);
+        static MAX_QUEUE_DEPTH: AtomicU64 = AtomicU64::new(0);
         #[allow(clippy::declare_interior_mutable_const)]
         const ZERO: AtomicU64 = AtomicU64::new(0);
         static SHARD_REQUESTS: [AtomicU64; MAX_SHARD_SLOTS] = [ZERO; MAX_SHARD_SLOTS];
+        static LATENCY: LatencyHistogram = LatencyHistogram::new();
 
         /// A point-in-time copy of the ingress counters.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -150,6 +155,18 @@ pub mod sched {
             /// Largest single pass observed (a high-watermark, not a delta:
             /// `since` keeps the later snapshot's value).
             pub max_pass: u64,
+            /// Requests refused because an engine was shutting down.
+            pub rejected: u64,
+            /// Requests refused at admission because a bounded shard queue
+            /// was full (`try_submit -> Err(Overloaded)`).
+            pub overloaded: u64,
+            /// Requests whose deadline had passed when an executor dequeued
+            /// them; they resolved `Expired` without occupying a pass.
+            pub expired: u64,
+            /// Deepest shard queue observed at any admission (a
+            /// high-watermark like `max_pass`: `since` keeps the later
+            /// snapshot's value).
+            pub max_queue_depth: u64,
         }
 
         impl IngressSnapshot {
@@ -163,6 +180,10 @@ pub mod sched {
                     coalesced: self.coalesced - earlier.coalesced,
                     poisoned: self.poisoned - earlier.poisoned,
                     max_pass: self.max_pass,
+                    rejected: self.rejected - earlier.rejected,
+                    overloaded: self.overloaded - earlier.overloaded,
+                    expired: self.expired - earlier.expired,
+                    max_queue_depth: self.max_queue_depth,
                 }
             }
         }
@@ -192,6 +213,44 @@ pub mod sched {
             POISONED.fetch_add(requests, Ordering::Relaxed);
         }
 
+        /// Record one request refused because an engine was shutting down.
+        #[inline]
+        pub fn record_rejected() {
+            REJECTED.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Record one request refused at admission because a bounded shard
+        /// queue was full.
+        #[inline]
+        pub fn record_overloaded() {
+            OVERLOADED.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Record `requests` requests that expired in a queue (their
+        /// deadlines passed before an executor could run them).
+        pub fn record_expired(requests: u64) {
+            EXPIRED.fetch_add(requests, Ordering::Relaxed);
+        }
+
+        /// Record the depth a shard queue reached right after an admission
+        /// (a process-wide high-watermark).
+        #[inline]
+        pub fn record_queue_depth(depth: usize) {
+            MAX_QUEUE_DEPTH.fetch_max(depth as u64, Ordering::Relaxed);
+        }
+
+        /// Record one submission-to-resolution latency into the
+        /// process-wide latency histogram.
+        #[inline]
+        pub fn record_latency(latency: core::time::Duration) {
+            LATENCY.record(latency);
+        }
+
+        /// Read the process-wide submission-to-resolution latency histogram.
+        pub fn latency_snapshot() -> LatencySnapshot {
+            LATENCY.snapshot()
+        }
+
         /// Read the current process-wide ingress counters at once.
         pub fn snapshot() -> IngressSnapshot {
             IngressSnapshot {
@@ -201,6 +260,120 @@ pub mod sched {
                 coalesced: COALESCED.load(Ordering::Relaxed),
                 poisoned: POISONED.load(Ordering::Relaxed),
                 max_pass: MAX_PASS.load(Ordering::Relaxed),
+                rejected: REJECTED.load(Ordering::Relaxed),
+                overloaded: OVERLOADED.load(Ordering::Relaxed),
+                expired: EXPIRED.load(Ordering::Relaxed),
+                max_queue_depth: MAX_QUEUE_DEPTH.load(Ordering::Relaxed),
+            }
+        }
+
+        /// Number of power-of-two latency buckets tracked by
+        /// [`LatencyHistogram`]; bucket `i` covers `[2^i, 2^(i+1))`
+        /// nanoseconds, so 64 buckets span from 1 ns to ~584 years.
+        pub const LATENCY_BUCKETS: usize = 64;
+
+        /// A lock-free log₂-bucketed latency histogram.
+        ///
+        /// Wall-clock means and single observations are untrustworthy on a
+        /// shared 1-core container, but *percentiles over thousands of
+        /// requests* are a stable signal — and a fixed array of atomic
+        /// bucket counters lets producers and executors record without a
+        /// lock.  The resolution cost is a factor-of-two bucket width: a
+        /// reported percentile is the upper bound of the bucket holding
+        /// that observation.
+        #[derive(Debug)]
+        pub struct LatencyHistogram {
+            buckets: [AtomicU64; LATENCY_BUCKETS],
+        }
+
+        impl Default for LatencyHistogram {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl LatencyHistogram {
+            /// An empty histogram (usable in `static` position).
+            pub const fn new() -> Self {
+                #[allow(clippy::declare_interior_mutable_const)]
+                const ZERO: AtomicU64 = AtomicU64::new(0);
+                Self {
+                    buckets: [ZERO; LATENCY_BUCKETS],
+                }
+            }
+
+            /// Record one observed latency.
+            #[inline]
+            pub fn record(&self, latency: core::time::Duration) {
+                let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+                // floor(log2(ns)) with 0 → bucket 0.
+                let bucket = (63 - ns.max(1).leading_zeros()) as usize;
+                self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+            }
+
+            /// A point-in-time copy of the bucket counts.
+            pub fn snapshot(&self) -> LatencySnapshot {
+                let mut buckets = [0u64; LATENCY_BUCKETS];
+                for (out, counter) in buckets.iter_mut().zip(self.buckets.iter()) {
+                    *out = counter.load(Ordering::Relaxed);
+                }
+                LatencySnapshot { buckets }
+            }
+        }
+
+        /// A point-in-time copy of a [`LatencyHistogram`]'s bucket counts.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct LatencySnapshot {
+            /// Observation counts per power-of-two bucket; bucket `i`
+            /// covers `[2^i, 2^(i+1))` nanoseconds.
+            pub buckets: [u64; LATENCY_BUCKETS],
+        }
+
+        impl Default for LatencySnapshot {
+            fn default() -> Self {
+                Self {
+                    buckets: [0; LATENCY_BUCKETS],
+                }
+            }
+        }
+
+        impl LatencySnapshot {
+            /// Total observations recorded.
+            pub fn count(&self) -> u64 {
+                self.buckets.iter().sum()
+            }
+
+            /// The `q`-quantile latency (`0.0 < q <= 1.0`), as the upper
+            /// bound of the bucket holding that observation; `None` if the
+            /// histogram is empty.
+            pub fn percentile(&self, q: f64) -> Option<core::time::Duration> {
+                let count = self.count();
+                if count == 0 {
+                    return None;
+                }
+                let q = q.clamp(0.0, 1.0);
+                // Rank of the wanted observation, 1-based, at least 1.
+                let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+                let mut seen = 0u64;
+                for (i, &c) in self.buckets.iter().enumerate() {
+                    seen += c;
+                    if seen >= rank {
+                        let upper_ns = 1u128 << (i + 1);
+                        return Some(core::time::Duration::from_nanos(
+                            upper_ns.min(u64::MAX as u128) as u64,
+                        ));
+                    }
+                }
+                unreachable!("rank <= count, so some bucket reaches it")
+            }
+
+            /// Bucket-count deltas since an earlier snapshot.
+            pub fn since(&self, earlier: &LatencySnapshot) -> LatencySnapshot {
+                let mut buckets = [0u64; LATENCY_BUCKETS];
+                for (i, out) in buckets.iter_mut().enumerate() {
+                    *out = self.buckets[i] - earlier.buckets[i];
+                }
+                LatencySnapshot { buckets }
             }
         }
 
@@ -240,6 +413,48 @@ pub mod sched {
                 let occ = shard_occupancy();
                 assert!(occ.len() >= 2);
                 assert!(occ[0] >= 2 && occ[1] >= 1);
+            }
+
+            #[test]
+            fn admission_counters_accumulate_and_diff() {
+                let before = snapshot();
+                record_rejected();
+                record_overloaded();
+                record_overloaded();
+                record_expired(3);
+                record_queue_depth(17);
+                let delta = snapshot().since(&before);
+                assert_eq!(delta.rejected, 1);
+                assert_eq!(delta.overloaded, 2);
+                assert_eq!(delta.expired, 3);
+                assert!(delta.max_queue_depth >= 17);
+            }
+
+            #[test]
+            fn latency_histogram_percentiles() {
+                use core::time::Duration;
+                let h = LatencyHistogram::new();
+                assert_eq!(h.snapshot().percentile(0.5), None);
+                // 99 fast observations in [1µs, 2µs), one slow in [1ms, 2ms).
+                for _ in 0..99 {
+                    h.record(Duration::from_nanos(1_500));
+                }
+                h.record(Duration::from_nanos(1_500_000));
+                let snap = h.snapshot();
+                assert_eq!(snap.count(), 100);
+                // p50 and p99 land in the fast bucket (upper bound 2^11 ns),
+                // p100 in the slow one (upper bound 2^21 ns).
+                assert_eq!(snap.percentile(0.5), Some(Duration::from_nanos(1 << 11)));
+                assert_eq!(snap.percentile(0.99), Some(Duration::from_nanos(1 << 11)));
+                assert_eq!(snap.percentile(1.0), Some(Duration::from_nanos(1 << 21)));
+                // Deltas subtract bucket-wise.
+                let empty = snap.since(&snap);
+                assert_eq!(empty.count(), 0);
+                // Zero-duration observations land in bucket 0 and report the
+                // smallest upper bound rather than panicking.
+                let h = LatencyHistogram::new();
+                h.record(Duration::ZERO);
+                assert_eq!(h.snapshot().percentile(0.5), Some(Duration::from_nanos(2)));
             }
         }
     }

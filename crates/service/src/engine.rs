@@ -1,4 +1,5 @@
-//! The [`Engine`]: concurrent ingress over the PACO executor core.
+//! The [`Engine`]: concurrent, admission-controlled ingress over the PACO
+//! executor core.
 //!
 //! Where a [`Session`](crate::Session) queues submissions on its owner's
 //! thread and executes nothing until that same thread calls `flush()`, an
@@ -12,35 +13,109 @@
 //! [`Plan::batch`](paco_runtime::schedule::Plan::batch) (max-of-waves
 //! barriers), and resolves tickets as passes complete — producers never call
 //! `flush`; they [`Ticket::wait`](crate::Ticket::wait).
+//!
+//! Admission control is the engine's open-loop story: with
+//! [`BatchPolicy::capacity`] set, each shard's queue is bounded —
+//! [`Client::try_submit`] sheds load
+//! ([`Overloaded`](crate::Overloaded)) while [`Client::submit`] applies
+//! backpressure (blocks for space).  Queues hold one FIFO lane per
+//! [`Priority`] class and drain strictly by class; requests whose
+//! deadline passed while queued resolve to
+//! [`TicketError::Expired`](crate::TicketError::Expired) instead of
+//! occupying a slot in the pass.
 
 use crate::client::Client;
 use crate::exec::{PassCore, PendingRequest};
-use crate::policy::{BatchPolicy, Routing};
+use crate::policy::{BatchPolicy, Priority, Routing};
 use crate::ticket::{self, SlotState};
 use paco_core::machine::available_processors;
-use paco_core::metrics::sched::ingress;
+use paco_core::metrics::sched::ingress::{self, LatencyHistogram, LatencySnapshot};
 use paco_core::tuning::Tuning;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// What a shard's executor sees when it locks its queue.
+/// What a shard's executor sees when it locks its queue: one FIFO lane per
+/// [`Priority`] class, drained strictly by class.
 struct ShardQueue {
-    pending: VecDeque<PendingRequest>,
+    lanes: [VecDeque<PendingRequest>; Priority::CLASSES],
     /// Once set, no further submissions are accepted; the executor drains
     /// what is queued and exits.
     shutdown: bool,
+}
+
+impl ShardQueue {
+    fn new() -> Self {
+        Self {
+            lanes: Default::default(),
+            shutdown: false,
+        }
+    }
+
+    /// Requests queued across every lane — the depth the capacity bound
+    /// applies to.
+    fn len(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lanes.iter().all(VecDeque::is_empty)
+    }
+
+    fn push(&mut self, request: PendingRequest) {
+        self.lanes[request.priority.lane()].push_back(request);
+    }
+
+    /// Dequeue up to `max_batch` live requests — higher classes first, FIFO
+    /// within a class.  Requests whose deadline has passed are diverted into
+    /// the second vector instead; they do not count against `max_batch`
+    /// (an expired request never costs a live one its slot in the pass).
+    fn drain_batch(
+        &mut self,
+        max_batch: usize,
+        now: Instant,
+    ) -> (Vec<PendingRequest>, Vec<PendingRequest>) {
+        let mut batch = Vec::new();
+        let mut expired = Vec::new();
+        'lanes: for lane in &mut self.lanes {
+            while let Some(request) = lane.pop_front() {
+                if request.expired(now) {
+                    expired.push(request);
+                } else {
+                    batch.push(request);
+                    if batch.len() == max_batch {
+                        break 'lanes;
+                    }
+                }
+            }
+        }
+        (batch, expired)
+    }
 }
 
 /// One shard's shared half: the queue producers push into and the counters
 /// its executor maintains.
 struct Shard {
     queue: Mutex<ShardQueue>,
-    /// Signalled on every enqueue and on shutdown.
+    /// Signalled on every enqueue and on shutdown — wakes the executor.
     wake: Condvar,
+    /// Signalled when a drain frees queue space and on shutdown — wakes
+    /// producers blocked in [`Client::submit`] backpressure.
+    space: Condvar,
+    /// Mirror of the queue's current length, maintained under the queue
+    /// lock but readable without it — the advisory signal capacity-aware
+    /// routing peeks at.  The authoritative bound check happens under the
+    /// lock.
+    depth: AtomicUsize,
+    /// High-water mark of `depth` over the shard's lifetime: the proof the
+    /// capacity bound held.
+    max_depth: AtomicUsize,
+    /// Submissions admitted to this shard, ever — the arrival counter the
+    /// adaptive gathering window estimates its rate from.
+    arrivals: AtomicU64,
     /// Compiled plan steps enqueued-or-executing on this shard; the
     /// size-balanced router picks the shard minimizing this.
     outstanding_steps: AtomicU64,
@@ -53,11 +128,12 @@ struct Shard {
 impl Shard {
     fn new() -> Self {
         Self {
-            queue: Mutex::new(ShardQueue {
-                pending: VecDeque::new(),
-                shutdown: false,
-            }),
+            queue: Mutex::new(ShardQueue::new()),
             wake: Condvar::new(),
+            space: Condvar::new(),
+            depth: AtomicUsize::new(0),
+            max_depth: AtomicUsize::new(0),
+            arrivals: AtomicU64::new(0),
             outstanding_steps: AtomicU64::new(0),
             passes: AtomicU64::new(0),
             requests: AtomicU64::new(0),
@@ -79,7 +155,13 @@ pub(crate) struct EngineShared {
     shutting_down: std::sync::atomic::AtomicBool,
     enqueued: AtomicU64,
     rejected: AtomicU64,
+    overloaded: AtomicU64,
+    expired: AtomicU64,
     poisoned: AtomicU64,
+    /// Queueing + execution latency of every request this engine completed
+    /// (resolved `Done`; rejected/expired/poisoned requests are not mixed
+    /// in).
+    latency: LatencyHistogram,
 }
 
 impl EngineShared {
@@ -101,40 +183,107 @@ impl EngineShared {
     /// Count one rejected submission and resolve its slot accordingly.
     pub(crate) fn reject(&self, slot: &crate::ticket::Slot) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+        ingress::record_rejected();
         ticket::resolve(slot, SlotState::Rejected);
     }
 
-    /// Route a compiled request to a shard and enqueue it, or reject it if
-    /// the engine is shutting down (the slot is resolved either way, so the
-    /// ticket never dangles).
-    pub(crate) fn enqueue(&self, request: PendingRequest) {
-        let steps = request.steps() as u64;
-        let shard_id = match self.policy.routing {
+    /// Pick the shard a new submission goes to.
+    fn route(&self) -> usize {
+        match self.policy.routing {
             Routing::RoundRobin => {
                 self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len()
             }
-            Routing::SizeBalanced => self
-                .shards
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.outstanding_steps.load(Ordering::Relaxed))
-                .map(|(i, _)| i)
-                .unwrap_or(0),
-        };
-        let shard = &self.shards[shard_id];
+            Routing::SizeBalanced => {
+                // Prefer the least-loaded shard *with queue space*; only
+                // when every queue is at capacity fall back to the global
+                // minimum (and let admission block or shed there).  The
+                // depth reads are advisory — a racing admit can still fill
+                // the chosen shard first — but the capacity bound itself is
+                // enforced under that shard's lock, never here.
+                let least_loaded = |shards: &mut dyn Iterator<Item = (usize, &Shard)>| {
+                    shards
+                        .min_by_key(|(_, s)| s.outstanding_steps.load(Ordering::Relaxed))
+                        .map(|(i, _)| i)
+                };
+                let mut with_space = self.shards.iter().enumerate().filter(|(_, s)| {
+                    self.policy
+                        .capacity
+                        .is_none_or(|cap| s.depth.load(Ordering::Relaxed) < cap)
+                });
+                least_loaded(&mut with_space)
+                    .or_else(|| least_loaded(&mut self.shards.iter().enumerate()))
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Finish an admission whose capacity/shutdown checks already passed:
+    /// queue the request and maintain every counter, all under the shard's
+    /// queue lock an executor cannot drain past — so observers never see
+    /// `executed > enqueued` and the depth gauges never overshoot the
+    /// bound.
+    fn admit(
+        &self,
+        shard: &Shard,
+        queue: &mut MutexGuard<'_, ShardQueue>,
+        request: PendingRequest,
+    ) {
+        shard
+            .outstanding_steps
+            .fetch_add(request.steps() as u64, Ordering::Relaxed);
+        queue.push(request);
+        let depth = queue.len();
+        shard.depth.store(depth, Ordering::Relaxed);
+        shard.max_depth.fetch_max(depth, Ordering::Relaxed);
+        shard.arrivals.fetch_add(1, Ordering::Relaxed);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        ingress::record_enqueued();
+        ingress::record_queue_depth(depth);
+    }
+
+    /// Fail-fast admission ([`Client::try_submit`]): admit the request
+    /// unless the routed shard is at capacity, in which case count the
+    /// overload and return `false` with nothing queued.  A shut-down engine
+    /// resolves the slot `Rejected` and returns `true` — shutdown is the
+    /// ticket's verdict, not an overload.
+    pub(crate) fn try_enqueue(&self, request: PendingRequest) -> bool {
+        let shard = &self.shards[self.route()];
         let mut queue = shard.queue.lock();
+        if queue.shutdown {
+            drop(queue);
+            self.reject(&request.slot);
+            return true;
+        }
+        if self.policy.capacity.is_some_and(|cap| queue.len() >= cap) {
+            drop(queue);
+            self.overloaded.fetch_add(1, Ordering::Relaxed);
+            ingress::record_overloaded();
+            return false;
+        }
+        self.admit(shard, &mut queue, request);
+        drop(queue);
+        shard.wake.notify_one();
+        true
+    }
+
+    /// Backpressure admission ([`Client::submit`]): if the routed shard is
+    /// at capacity, park until an executor drains below the bound or
+    /// shutdown begins — then admit (or resolve the slot `Rejected`).  On
+    /// an unbounded engine this never waits.
+    pub(crate) fn enqueue_blocking(&self, request: PendingRequest) {
+        let shard = &self.shards[self.route()];
+        let mut queue = shard.queue.lock();
+        if let Some(cap) = self.policy.capacity {
+            shard
+                .space
+                .wait_while(&mut queue, |q| !q.shutdown && q.len() >= cap);
+        }
         if queue.shutdown {
             drop(queue);
             self.reject(&request.slot);
             return;
         }
-        shard.outstanding_steps.fetch_add(steps, Ordering::Relaxed);
-        queue.pending.push_back(request);
-        // Count while still holding the queue lock: an executor cannot drain
-        // this request (and record its pass) before the enqueue is visible,
-        // so observers never see `executed > enqueued`.
-        self.enqueued.fetch_add(1, Ordering::Relaxed);
-        ingress::record_enqueued();
+        self.admit(shard, &mut queue, request);
         drop(queue);
         shard.wake.notify_one();
     }
@@ -149,6 +298,11 @@ pub struct ShardStats {
     pub requests: u64,
     /// Requests currently queued on this shard (not yet drained by a pass).
     pub queued: usize,
+    /// High-water mark of `queued` over the shard's lifetime.  On a
+    /// [`capacity`](BatchPolicy::capacity)-bounded engine this never
+    /// exceeds the bound — the invariant `tests/engine_admission.rs` holds
+    /// the engine to.
+    pub max_depth: usize,
     /// Compiled plan steps currently enqueued-or-executing on this shard —
     /// the load measure size-balanced routing works from.
     pub outstanding_steps: u64,
@@ -162,8 +316,17 @@ pub struct EngineStats {
     pub enqueued: u64,
     /// Requests refused because the engine was shutting down.
     pub rejected: u64,
+    /// Fail-fast submissions refused because the routed shard was at
+    /// capacity ([`Client::try_submit`](crate::Client::try_submit) returned
+    /// [`Overloaded`](crate::Overloaded)); nothing was queued for these.
+    pub overloaded: u64,
+    /// Requests whose deadline passed while queued; resolved
+    /// [`Expired`](crate::TicketError::Expired) without executing.
+    pub expired: u64,
     /// Requests lost to panicking passes.
     pub poisoned: u64,
+    /// Queueing + execution latency of completed requests, log₂-bucketed.
+    pub latency: LatencySnapshot,
     /// Per-shard occupancy and work.
     pub shards: Vec<ShardStats>,
 }
@@ -189,6 +352,27 @@ impl EngineStats {
             self.executed() as f64 / passes as f64
         }
     }
+
+    /// Highest queue depth any shard ever reached.  On a
+    /// [`capacity`](BatchPolicy::capacity)-bounded engine this is `<=` the
+    /// bound; unbounded, it is the "memory hoarding" gauge the load
+    /// generator watches grow.
+    pub fn max_queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.max_depth).max().unwrap_or(0)
+    }
+
+    /// Fraction of admission attempts refused (shutdown `rejected` plus
+    /// capacity `overloaded`) out of all attempts that reached admission.
+    /// `0.0` when nothing was attempted.
+    pub fn reject_ratio(&self) -> f64 {
+        let refused = self.rejected + self.overloaded;
+        let attempts = self.enqueued + refused;
+        if attempts == 0 {
+            0.0
+        } else {
+            refused as f64 / attempts as f64
+        }
+    }
 }
 
 /// The concurrent front door: a set of executor shards (each owning its own
@@ -196,10 +380,10 @@ impl EngineStats {
 /// [`BatchPolicy`].
 ///
 /// Construction spawns the executor threads; [`Engine::client`] hands out
-/// `Clone + Send` [`Client`]s whose `submit` can be called from any thread at
-/// any time.  [`Engine::shutdown`] (or dropping the engine) stops intake,
-/// drains every queued request through final passes, and joins the executors
-/// and their pools — no submitted work is silently dropped.
+/// `Clone + Send` [`Client`]s whose `submit`/`try_submit` can be called from
+/// any thread at any time.  [`Engine::shutdown`] (or dropping the engine)
+/// stops intake, drains every queued request through final passes, and joins
+/// the executors and their pools — no admitted work is silently dropped.
 ///
 /// ```
 /// use paco_service::{Engine, Sort};
@@ -249,7 +433,7 @@ impl Engine {
         &self.shared.tuning
     }
 
-    /// The coalescing policy the executors run under.
+    /// The admission and coalescing policy the executors run under.
     pub fn policy(&self) -> &BatchPolicy {
         &self.shared.policy
     }
@@ -269,7 +453,10 @@ impl Engine {
         EngineStats {
             enqueued: self.shared.enqueued.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
+            overloaded: self.shared.overloaded.load(Ordering::Relaxed),
+            expired: self.shared.expired.load(Ordering::Relaxed),
             poisoned: self.shared.poisoned.load(Ordering::Relaxed),
+            latency: self.shared.latency.snapshot(),
             shards: self
                 .shared
                 .shards
@@ -277,7 +464,8 @@ impl Engine {
                 .map(|s| ShardStats {
                     passes: s.passes.load(Ordering::Relaxed),
                     requests: s.requests.load(Ordering::Relaxed),
-                    queued: s.queue.lock().pending.len(),
+                    queued: s.queue.lock().len(),
+                    max_depth: s.max_depth.load(Ordering::Relaxed),
                     outstanding_steps: s.outstanding_steps.load(Ordering::Relaxed),
                 })
                 .collect(),
@@ -286,13 +474,17 @@ impl Engine {
 
     /// Stop intake, drain, and tear down.
     ///
-    /// Every request enqueued before this call still executes (the
+    /// Every request admitted before this call still executes (the
     /// executors run final passes over their remaining queues — the
-    /// gathering window is cut short, not the work); requests submitted
-    /// *after* resolve to `Rejected`.  Returns the engine's final stats
-    /// once every executor thread and every worker pool has been joined —
-    /// unlike a mid-flight [`Engine::stats`] call, the returned counters
-    /// can no longer move.
+    /// gathering window is cut short, not the work; deadlines are still
+    /// honoured, so an already-expired request resolves `Expired` rather
+    /// than running).  Producers blocked in [`Client::submit`]
+    /// backpressure wake up and their tickets resolve to
+    /// [`TicketError::Rejected`](crate::TicketError::Rejected), as do
+    /// requests submitted after this call.  Returns the engine's final
+    /// stats once every executor thread and every worker pool has been
+    /// joined — unlike a mid-flight [`Engine::stats`] call, the returned
+    /// counters can no longer move.
     pub fn shutdown(mut self) -> EngineStats {
         // Executor threads catch pass panics themselves; a dead executor
         // means the executor logic itself is broken.
@@ -308,6 +500,9 @@ impl Engine {
         for shard in &self.shared.shards {
             shard.queue.lock().shutdown = true;
             shard.wake.notify_all();
+            // Producers parked in backpressure must wake to learn the
+            // engine is gone — their requests resolve Rejected, not hang.
+            shard.space.notify_all();
         }
         let mut clean = true;
         for handle in self.executors.drain(..) {
@@ -360,7 +555,8 @@ impl EngineBuilder {
         self
     }
 
-    /// Use an explicit coalescing policy (default: [`BatchPolicy::default`]).
+    /// Use an explicit admission/coalescing policy (default:
+    /// [`BatchPolicy::default`]).
     pub fn policy(mut self, policy: BatchPolicy) -> Self {
         self.policy = Some(policy);
         self
@@ -376,6 +572,11 @@ impl EngineBuilder {
     }
 
     /// Spawn the executor shard(s) and finish the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid — see [`BatchPolicy`]'s validation
+    /// rules (`max_batch >= 1`, `shards >= 1`, `capacity != Some(0)`).
     pub fn build(self) -> Engine {
         let mut tuning = self.tuning.unwrap_or_else(Tuning::from_env);
         if let Some(base) = self.base {
@@ -397,7 +598,10 @@ impl EngineBuilder {
             shutting_down: std::sync::atomic::AtomicBool::new(false),
             enqueued: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             poisoned: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
         });
 
         let executors = (0..policy.shards)
@@ -417,27 +621,88 @@ impl EngineBuilder {
     }
 }
 
-/// One shard's executor: wait for work, gather a batch under the policy, run
-/// the pass, repeat; on shutdown, drain the queue then join the pool.
+/// EWMA estimate of a shard's arrival rate, feeding the
+/// [`adaptive`](BatchPolicy::adaptive) gathering window.
+struct RateEstimator {
+    last_count: u64,
+    last_at: Instant,
+    /// Smoothed arrivals per second; `0.0` until the first sample.
+    lambda: f64,
+}
+
+impl RateEstimator {
+    /// Smoothing factor: ~0.4 weight on the newest sample reacts to a load
+    /// shift within a few passes without chasing single-pass noise.
+    const ALPHA: f64 = 0.4;
+
+    fn new(now: Instant) -> Self {
+        Self {
+            last_count: 0,
+            last_at: now,
+            lambda: 0.0,
+        }
+    }
+
+    /// Fold the shard's cumulative arrival count into the rate estimate.
+    fn observe(&mut self, count: u64) {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last_at).as_secs_f64();
+        if dt < 1e-5 {
+            // Too little wall clock since the last sample for the quotient
+            // to mean anything; fold these arrivals into the next one.
+            return;
+        }
+        let instantaneous = (count - self.last_count) as f64 / dt;
+        self.lambda = if self.lambda == 0.0 {
+            instantaneous
+        } else {
+            Self::ALPHA * instantaneous + (1.0 - Self::ALPHA) * self.lambda
+        };
+        self.last_count = count;
+        self.last_at = now;
+    }
+
+    /// The Little's-law gathering window: at `lambda` arrivals/s, a full
+    /// batch takes `max_batch / lambda` seconds to accumulate — waiting any
+    /// longer buys nothing, waiting much less forfeits coalescing.  Capped
+    /// at the policy `ceiling` (`max_wait`); before the first sample the
+    /// ceiling itself is used.
+    fn window(&self, max_batch: usize, ceiling: Duration) -> Duration {
+        if self.lambda <= 0.0 {
+            return ceiling;
+        }
+        ceiling.min(Duration::from_secs_f64(max_batch as f64 / self.lambda))
+    }
+}
+
+/// One shard's executor: wait for work, gather a batch under the policy,
+/// settle expired requests, run the pass, repeat; on shutdown, drain the
+/// queue then join the pool.
 fn executor_loop(shard_id: usize, core: PassCore, shared: Arc<EngineShared>) {
     let policy = shared.policy;
     let shard = &shared.shards[shard_id];
+    let mut rate = RateEstimator::new(Instant::now());
     loop {
-        let mut batch = {
+        let (mut batch, expired) = {
             let mut queue = shard.queue.lock();
-            while queue.pending.is_empty() && !queue.shutdown {
+            while queue.is_empty() && !queue.shutdown {
                 shard.wake.wait(&mut queue);
             }
-            if queue.pending.is_empty() {
+            if queue.is_empty() {
                 // Shut down with nothing left to drain.
                 break;
             }
-            // The gathering window: wait (bounded by max_wait) for the batch
-            // to fill before draining.  Shutdown closes the window early —
-            // drain now, don't dawdle.
-            if policy.max_batch > 1 && policy.max_wait > Duration::ZERO {
-                let deadline = Instant::now() + policy.max_wait;
-                while queue.pending.len() < policy.max_batch && !queue.shutdown {
+            // The gathering window: wait (bounded by the window length) for
+            // the batch to fill before draining.  Shutdown closes the
+            // window early — drain now, don't dawdle.
+            let window = if policy.adaptive {
+                rate.window(policy.max_batch, policy.max_wait)
+            } else {
+                policy.max_wait
+            };
+            if policy.max_batch > 1 && window > Duration::ZERO {
+                let deadline = Instant::now() + window;
+                while queue.len() < policy.max_batch && !queue.shutdown {
                     let now = Instant::now();
                     if now >= deadline {
                         break;
@@ -445,9 +710,29 @@ fn executor_loop(shard_id: usize, core: PassCore, shared: Arc<EngineShared>) {
                     shard.wake.wait_for(&mut queue, deadline - now);
                 }
             }
-            let take = queue.pending.len().min(policy.max_batch);
-            queue.pending.drain(..take).collect::<Vec<_>>()
+            let drained = queue.drain_batch(policy.max_batch, Instant::now());
+            shard.depth.store(queue.len(), Ordering::Relaxed);
+            drained
         };
+        // The drain freed queue space; producers parked in backpressure can
+        // re-fill while this pass runs.
+        shard.space.notify_all();
+        rate.observe(shard.arrivals.load(Ordering::Relaxed));
+
+        if !expired.is_empty() {
+            let steps: u64 = expired.iter().map(|r| r.steps() as u64).sum();
+            for request in &expired {
+                ticket::resolve(&request.slot, SlotState::Expired);
+            }
+            shard.outstanding_steps.fetch_sub(steps, Ordering::Relaxed);
+            shared
+                .expired
+                .fetch_add(expired.len() as u64, Ordering::Relaxed);
+            ingress::record_expired(expired.len() as u64);
+        }
+        if batch.is_empty() {
+            continue;
+        }
 
         let requests = batch.len() as u64;
         let steps: u64 = batch.iter().map(|r| r.steps() as u64).sum();
@@ -461,6 +746,13 @@ fn executor_loop(shard_id: usize, core: PassCore, shared: Arc<EngineShared>) {
             // survives and keeps serving subsequent submissions.
             shared.poisoned.fetch_add(requests, Ordering::Relaxed);
             ingress::record_poisoned(requests);
+        } else {
+            let now = Instant::now();
+            for request in &batch {
+                let latency = now.duration_since(request.submitted_at);
+                shared.latency.record(latency);
+                ingress::record_latency(latency);
+            }
         }
         shard.outstanding_steps.fetch_sub(steps, Ordering::Relaxed);
     }
@@ -470,6 +762,11 @@ fn executor_loop(shard_id: usize, core: PassCore, shared: Arc<EngineShared>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::client::SubmitOptions;
+    use crate::solve::Prepared;
+    use paco_runtime::schedule::{Plan, Step};
+    use proptest::prelude::*;
+    use std::any::Any;
 
     #[test]
     fn builder_shards_composes_with_policy_in_either_order() {
@@ -485,5 +782,129 @@ mod tests {
         assert_eq!(policy_first.policy().max_batch, 8);
         shards_first.shutdown();
         policy_first.shutdown();
+    }
+
+    #[test]
+    fn rate_estimator_window_is_capped_and_tracks_rate() {
+        let mut rate = RateEstimator::new(Instant::now() - Duration::from_secs(1));
+        // No sample yet: the ceiling is the window.
+        assert_eq!(
+            rate.window(64, Duration::from_millis(5)),
+            Duration::from_millis(5)
+        );
+        // ~1000 arrivals over ~1s → λ ≈ 1000/s → a 64-batch gathers in
+        // ~64ms, far above a 5ms ceiling → still the ceiling...
+        rate.observe(1000);
+        assert_eq!(
+            rate.window(64, Duration::from_millis(5)),
+            Duration::from_millis(5)
+        );
+        // ...but a 4-batch gathers in ~4ms, inside the ceiling.
+        let window = rate.window(4, Duration::from_millis(5));
+        assert!(window < Duration::from_millis(5), "window = {window:?}");
+        assert!(window > Duration::ZERO);
+    }
+
+    /// A no-op compiled request carrying an id as its output, for driving
+    /// `ShardQueue` directly.
+    struct Tagged {
+        id: usize,
+        skeleton: Plan<usize>,
+    }
+
+    impl Prepared for Tagged {
+        fn skeleton(&self) -> &Plan<usize> {
+            &self.skeleton
+        }
+        fn run_step(&self, _proc: usize, _idx: usize) {}
+        fn take_output(&mut self) -> Box<dyn Any + Send> {
+            Box::new(self.id)
+        }
+    }
+
+    fn tagged(id: usize, priority: Priority, expired: bool) -> PendingRequest {
+        let opts = SubmitOptions {
+            priority,
+            // An already-elapsed deadline: guaranteed expired at any
+            // subsequent drain.
+            deadline: expired.then(|| Instant::now() - Duration::from_millis(1)),
+        };
+        PendingRequest::new(
+            Box::new(Tagged {
+                id,
+                skeleton: Plan::single_wave(1, vec![Step { proc: 0, job: 0 }]),
+            }),
+            ticket::new_slot(),
+            opts,
+        )
+    }
+
+    fn id_of(request: &mut PendingRequest) -> usize {
+        *request
+            .prepared
+            .take_output()
+            .downcast::<usize>()
+            .expect("Tagged outputs usize")
+    }
+
+    const LANES: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Model check of the drain: strictly-by-class ordering, FIFO
+        /// within a class, expired requests diverted without consuming
+        /// batch slots, and nothing lost or duplicated.
+        #[test]
+        fn drain_batch_orders_by_class_and_diverts_expired(
+            shape in proptest::collection::vec((0usize..3, any::<bool>()), 1..40),
+            max_batch in 1usize..8,
+        ) {
+            let mut queue = ShardQueue::new();
+            for (id, &(lane, expired)) in shape.iter().enumerate() {
+                queue.push(tagged(id, LANES[lane], expired));
+            }
+            let total = shape.len();
+            prop_assert_eq!(queue.len(), total);
+
+            let mut drained = Vec::new();
+            while !queue.is_empty() {
+                let before = queue.len();
+                let (mut batch, mut expired) = queue.drain_batch(max_batch, Instant::now());
+                // Expired requests never consume a live request's slot.
+                prop_assert!(batch.len() <= max_batch);
+                prop_assert!(!batch.is_empty() || !expired.is_empty());
+                prop_assert_eq!(before, queue.len() + batch.len() + expired.len());
+
+                // Within one batch: priorities never invert.
+                for pair in batch.windows(2) {
+                    prop_assert!(pair[0].priority >= pair[1].priority);
+                }
+                for request in batch.iter_mut().chain(expired.iter_mut()) {
+                    let id = id_of(request);
+                    prop_assert_eq!(request.expired(Instant::now()), shape[id].1);
+                    drained.push((id, request.priority));
+                }
+            }
+
+            // Nothing lost, nothing duplicated.
+            prop_assert_eq!(drained.len(), total);
+            let mut seen: Vec<usize> = drained.iter().map(|&(id, _)| id).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..total).collect::<Vec<_>>());
+
+            // FIFO within each class across the whole drain sequence: the
+            // live ids of one lane come out in push order.
+            for lane in LANES {
+                let order: Vec<usize> = drained
+                    .iter()
+                    .filter(|&&(id, p)| p == lane && !shape[id].1)
+                    .map(|&(id, _)| id)
+                    .collect();
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(order, sorted);
+            }
+        }
     }
 }

@@ -10,6 +10,8 @@
 //! such pass on the caller's thread; an `Engine` shard is the same core
 //! driven by its own executor thread under a coalescing policy.
 
+use crate::client::SubmitOptions;
+use crate::policy::Priority;
 use crate::session::RunStats;
 use crate::solve::Prepared;
 use crate::ticket::{self, Slot, SlotState};
@@ -19,19 +21,42 @@ use paco_runtime::schedule::Plan;
 use paco_runtime::WorkerPool;
 use parking_lot::Mutex;
 use std::any::Any;
+use std::time::Instant;
 
 /// A compiled request waiting for a pass, paired with the slot its output
-/// will be delivered through.
+/// will be delivered through and the admission metadata the engine's
+/// queues honour (priority class, optional deadline, submission time for
+/// the latency gauges).
 pub(crate) struct PendingRequest {
     pub(crate) prepared: Box<dyn Prepared>,
     pub(crate) slot: Slot,
+    pub(crate) priority: Priority,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) submitted_at: Instant,
 }
 
 impl PendingRequest {
+    pub(crate) fn new(prepared: Box<dyn Prepared>, slot: Slot, opts: SubmitOptions) -> Self {
+        Self {
+            prepared,
+            slot,
+            priority: opts.priority,
+            deadline: opts.deadline,
+            submitted_at: Instant::now(),
+        }
+    }
+
     /// The compiled request's step count — the size measure the
     /// size-balanced router weighs shards by.
     pub(crate) fn steps(&self) -> usize {
         self.prepared.skeleton().steps()
+    }
+
+    /// Whether the request's deadline has passed as of `now`.  Checked when
+    /// an executor dequeues the request — the one place every queued request
+    /// flows through — never mid-pass.
+    pub(crate) fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|deadline| now >= deadline)
     }
 }
 

@@ -34,10 +34,20 @@
 //! owning its own pinned pool), and [`Engine::client`] hands out
 //! `Clone + Send` [`Client`]s whose [`Client::submit`] can be called from
 //! any thread at any time — the executors gather whatever has arrived under
-//! a [`BatchPolicy`] (batch size cap, gathering window, shard count,
-//! routing), merge it through the same step-erased machinery, and resolve
-//! [`Ticket`]s as passes complete.  Producers block on [`Ticket::wait`]
-//! (condvar, no spin) or poll [`Ticket::try_wait`]; nobody calls `flush`.
+//! a [`BatchPolicy`] (batch size cap, gathering window — optionally
+//! [`adaptive`](BatchPolicy::adaptive) to the arrival rate — queue
+//! capacity, shard count, routing), merge it through the same step-erased
+//! machinery, and resolve [`Ticket`]s as passes complete.  Producers block
+//! on [`Ticket::wait`] (condvar, no spin) or poll [`Ticket::try_wait`];
+//! nobody calls `flush`.
+//!
+//! The engine is **admission-controlled** for open-loop traffic: bound the
+//! shard queues with [`BatchPolicy::capacity`] and [`Client::submit`]
+//! becomes backpressure (blocks for space) while [`Client::try_submit`]
+//! sheds load ([`Overloaded`]).  Requests carry [`SubmitOptions`] — a
+//! [`Priority`] class the queues drain strictly by, and an optional
+//! deadline after which a still-queued request resolves
+//! [`TicketError::Expired`] instead of occupying a pass slot.
 //!
 //! The old free functions survive as `#[deprecated]` shims delegating to the
 //! same per-workload `*Run` machinery this crate schedules; see the README's
@@ -79,10 +89,10 @@ pub mod session;
 pub mod solve;
 pub mod ticket;
 
-pub use client::Client;
+pub use client::{Client, Overloaded, SubmitOptions};
 pub use engine::{Engine, EngineBuilder, EngineStats, ShardStats};
 pub use paco_core::tuning::Tuning;
-pub use policy::{BatchPolicy, Routing};
+pub use policy::{BatchPolicy, Priority, Routing};
 pub use requests::{Apsp, Closure, Gap, HeteroMatMul, Lcs, MatMul, OneD, Sort, Strassen};
 pub use session::{RunStats, Session, SessionBuilder};
 pub use solve::{Compiled, Prepared, Solve};

@@ -115,10 +115,14 @@ impl Session {
     pub fn submit<R: Solve>(&self, req: R) -> Ticket<R::Output> {
         let prepared = req.compile(self.p(), self.tuning()).inner;
         let slot = ticket::new_slot();
-        self.queue.lock().push(PendingRequest {
+        // Session submissions carry default admission metadata: `flush`
+        // executes everything queued, so deadlines and priorities (engine
+        // concepts) never apply here.
+        self.queue.lock().push(PendingRequest::new(
             prepared,
-            slot: slot.clone(),
-        });
+            slot.clone(),
+            crate::client::SubmitOptions::default(),
+        ));
         Ticket::new(slot)
     }
 

@@ -6,7 +6,8 @@
 //! thread.  Resolution wakes blocked [`Ticket::wait`]ers through a condvar
 //! (no spinning), and the error surface is explicit: [`TicketError`]
 //! distinguishes *not yet resolved* from *already taken* from *lost to a
-//! panicking pass* from *rejected by a shut-down engine*.
+//! panicking pass* from *rejected by a shut-down engine* from *expired in a
+//! queue* (its deadline passed before an executor reached it).
 
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
@@ -27,6 +28,9 @@ pub enum TicketError {
     /// The request was submitted after the engine began shutting down and
     /// was never executed.
     Rejected,
+    /// The request's deadline passed while it was queued; it was dequeued
+    /// and discarded without occupying a pass.
+    Expired,
 }
 
 impl std::fmt::Display for TicketError {
@@ -36,6 +40,7 @@ impl std::fmt::Display for TicketError {
             TicketError::Taken => write!(f, "ticket output already taken"),
             TicketError::Poisoned => write!(f, "the pass executing this request panicked"),
             TicketError::Rejected => write!(f, "request submitted after engine shutdown"),
+            TicketError::Expired => write!(f, "request deadline passed before execution"),
         }
     }
 }
@@ -55,6 +60,8 @@ pub(crate) enum SlotState {
     Poisoned,
     /// Submitted after engine shutdown; never executed.
     Rejected,
+    /// Deadline passed while queued; dequeued without executing.
+    Expired,
 }
 
 /// The shared one-shot slot: state plus the condvar that resolution signals.
@@ -100,6 +107,7 @@ impl<O> std::fmt::Debug for Ticket<O> {
             SlotState::Taken => "taken",
             SlotState::Poisoned => "poisoned",
             SlotState::Rejected => "rejected",
+            SlotState::Expired => "expired",
         };
         write!(f, "Ticket({state})")
     }
@@ -172,6 +180,9 @@ impl<O: Send + 'static> Ticket<O> {
             Err(TicketError::Rejected) => {
                 panic!("ticket rejected: the request was submitted after engine shutdown")
             }
+            Err(TicketError::Expired) => {
+                panic!("ticket expired: the request's deadline passed before it executed")
+            }
         }
     }
 
@@ -190,6 +201,10 @@ impl<O: Send + 'static> Ticket<O> {
             SlotState::Rejected => {
                 *state = SlotState::Rejected;
                 Err(TicketError::Rejected)
+            }
+            SlotState::Expired => {
+                *state = SlotState::Expired;
+                Err(TicketError::Expired)
             }
         }
     }
@@ -230,6 +245,14 @@ mod tests {
         resolve(&slot, SlotState::Rejected);
         assert_eq!(ticket.try_wait(), Err(TicketError::Rejected));
         assert_eq!(ticket.try_wait(), Err(TicketError::Rejected));
+
+        let slot = new_slot();
+        let ticket: Ticket<u32> = Ticket::new(slot.clone());
+        resolve(&slot, SlotState::Expired);
+        assert_eq!(ticket.try_wait(), Err(TicketError::Expired));
+        // Expired is sticky, like Rejected and Poisoned.
+        assert_eq!(ticket.try_wait(), Err(TicketError::Expired));
+        assert_eq!(ticket.wait(), Err(TicketError::Expired));
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn main() {
             max_wait: Duration::from_millis(20),
             shards: 2,
             routing: Routing::SizeBalanced,
+            ..BatchPolicy::default()
         })
         .build();
     println!(

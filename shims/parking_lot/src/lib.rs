@@ -90,6 +90,18 @@ impl Condvar {
         guard.inner = Some(reacquired);
     }
 
+    /// Block until `condition` returns `false`, re-checking on every wake
+    /// (notification or spurious); the guard is released while parked and
+    /// re-acquired before returning, like `parking_lot::Condvar::wait_while`.
+    pub fn wait_while<T, F>(&self, guard: &mut MutexGuard<'_, T>, mut condition: F)
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        while condition(guard.deref_mut()) {
+            self.wait(guard);
+        }
+    }
+
     /// Block until notified or until `timeout` elapses; the guard is
     /// released while parked and re-acquired before returning.  Like every
     /// condvar wait, this may also wake spuriously — callers must re-check
@@ -181,6 +193,25 @@ mod tests {
             cvar.wait_for(&mut done, std::time::Duration::from_secs(10));
         }
         drop(done);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn wait_while_returns_once_condition_clears() {
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            for _ in 0..3 {
+                *lock.lock() += 1;
+                cvar.notify_all();
+            }
+        });
+        let (lock, cvar) = &*pair;
+        let mut count = lock.lock();
+        cvar.wait_while(&mut count, |c| *c < 3);
+        assert_eq!(*count, 3);
+        drop(count);
         handle.join().unwrap();
     }
 

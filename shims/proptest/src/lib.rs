@@ -1,7 +1,7 @@
 //! Offline stand-in for the subset of
 //! [`proptest`](https://crates.io/crates/proptest) that the PACO workspace
 //! uses: the [`proptest!`] macro with a `proptest_config` attribute,
-//! range and [`any`] strategies, [`collection::vec`], and the
+//! range, tuple and [`any`] strategies, [`collection::vec`], and the
 //! [`prop_assert!`] / [`prop_assert_eq!`] assertion macros.
 //!
 //! Cases are generated from a fixed seed, so failures reproduce exactly
@@ -78,6 +78,19 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
@@ -238,6 +251,14 @@ mod tests {
         #[test]
         fn vectors_respect_length(keys in crate::collection::vec(any::<i32>(), 0..100)) {
             prop_assert!(keys.len() < 100);
+        }
+
+        #[test]
+        fn tuples_compose_strategies(pairs in crate::collection::vec((0usize..4, any::<bool>()), 1..10)) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 10);
+            for (lane, _flag) in pairs {
+                prop_assert!(lane < 4);
+            }
         }
     }
 

@@ -122,6 +122,7 @@ fn concurrent_producers_match_serial_session_bit_for_bit() {
             max_wait: Duration::from_millis(200),
             shards: 2,
             routing: Routing::RoundRobin,
+            ..BatchPolicy::default()
         })
         .build();
 
@@ -221,6 +222,7 @@ proptest! {
                 max_wait: Duration::from_millis(50),
                 shards: 1,
                 routing: Routing::RoundRobin,
+                ..BatchPolicy::default()
             })
             .build();
         let client = engine.client();
@@ -265,6 +267,7 @@ proptest! {
                 max_wait: Duration::from_millis(5),
                 shards: 2,
                 routing: Routing::SizeBalanced,
+                ..BatchPolicy::default()
             })
             .build();
         let client = engine.client();
@@ -335,6 +338,7 @@ fn panicking_pass_poisons_its_tickets_and_the_engine_survives() {
             max_wait: Duration::from_millis(300),
             shards: 1,
             routing: Routing::RoundRobin,
+            ..BatchPolicy::default()
         })
         .build();
     let client = engine.client();
@@ -370,6 +374,7 @@ fn panicking_pass_with_max_batch_one_poisons_exactly_one_ticket() {
             max_wait: Duration::ZERO,
             shards: 1,
             routing: Routing::RoundRobin,
+            ..BatchPolicy::default()
         })
         .build();
     let client = engine.client();
@@ -406,6 +411,7 @@ fn shutdown_drains_queued_work_and_rejects_later_submissions() {
             max_wait: Duration::from_secs(10),
             shards: 1,
             routing: Routing::RoundRobin,
+            ..BatchPolicy::default()
         })
         .build();
     let client = engine.client();

@@ -1,0 +1,492 @@
+//! Admission-control semantics of the concurrent [`Engine`]:
+//!
+//! * bounded-queue overload stress: many blocking producers against a
+//!   capacity-bounded engine — the queue-depth watermark never exceeds the
+//!   bound, nothing is refused, and every output is identical to a serial
+//!   [`Session::run`] of the same request;
+//! * deterministic fail-fast admission: with the executor held mid-pass,
+//!   [`Client::try_submit`] accepts exactly `capacity` requests and then
+//!   returns [`Overloaded`], while blocked [`Client::submit`] calls complete
+//!   once the executor drains;
+//! * a proptest of deadline/priority semantics: expired requests resolve
+//!   [`TicketError::Expired`] and never a wrong answer, no live ticket is
+//!   ever lost, and within any one pass a higher class never executes
+//!   behind a strictly lower one;
+//! * shutdown under backpressure: producers parked on a full queue resolve
+//!   (drained or `Rejected`) when the engine shuts down — never a deadlock
+//!   (watchdog-timed);
+//! * policy validation: `capacity: Some(0)` is refused at engine build.
+
+use paco_runtime::schedule::{Plan, Step};
+use paco_service::{
+    BatchPolicy, Compiled, Engine, Lcs, Overloaded, Prepared, Priority, Session, Solve, Sort,
+    SubmitOptions, TicketError,
+};
+use parking_lot::{Condvar, Mutex};
+use proptest::prelude::*;
+use std::any::Any;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A latch a test holds an executor on: the gate request's single step
+/// signals `started` and then parks until [`Gate::open`].  While the step is
+/// parked the submitting shard's executor is mid-pass with an empty queue,
+/// so subsequent submissions queue up deterministically.
+struct Gate {
+    open: Mutex<bool>,
+    opened: Condvar,
+    started: Mutex<bool>,
+    started_cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            open: Mutex::new(false),
+            opened: Condvar::new(),
+            started: Mutex::new(false),
+            started_cv: Condvar::new(),
+        })
+    }
+
+    /// Release the executor.
+    fn open(&self) {
+        *self.open.lock() = true;
+        self.opened.notify_all();
+    }
+
+    /// Block until the gate request's pass has started executing.
+    fn wait_started(&self) {
+        let mut started = self.started.lock();
+        while !*started {
+            self.started_cv.wait(&mut started);
+        }
+    }
+
+    fn step(&self) {
+        {
+            let mut started = self.started.lock();
+            *started = true;
+            self.started_cv.notify_all();
+        }
+        let mut open = self.open.lock();
+        while !*open {
+            self.opened.wait(&mut open);
+        }
+    }
+}
+
+/// The request driving a [`Gate`]: one step that parks its pool.
+struct GateReq {
+    gate: Arc<Gate>,
+}
+
+struct GateStep {
+    gate: Arc<Gate>,
+    skeleton: Plan<usize>,
+}
+
+impl Prepared for GateStep {
+    fn skeleton(&self) -> &Plan<usize> {
+        &self.skeleton
+    }
+    fn run_step(&self, _proc: usize, _idx: usize) {
+        self.gate.step();
+    }
+    fn take_output(&mut self) -> Box<dyn Any + Send> {
+        Box::new(())
+    }
+}
+
+impl Solve for GateReq {
+    type Output = ();
+    fn compile(self, p: usize, _tuning: &paco_service::Tuning) -> Compiled<()> {
+        Compiled::from_prepared(Box::new(GateStep {
+            gate: self.gate,
+            skeleton: Plan::single_wave(p, vec![Step { proc: 0, job: 0 }]),
+        }))
+    }
+}
+
+/// A single-step request that appends its id to a shared log when executed
+/// and returns the id — lets tests reconstruct execution order.
+struct LogReq {
+    id: usize,
+    log: Arc<Mutex<Vec<usize>>>,
+}
+
+struct LogStep {
+    id: usize,
+    log: Arc<Mutex<Vec<usize>>>,
+    skeleton: Plan<usize>,
+}
+
+impl Prepared for LogStep {
+    fn skeleton(&self) -> &Plan<usize> {
+        &self.skeleton
+    }
+    fn run_step(&self, _proc: usize, _idx: usize) {
+        self.log.lock().push(self.id);
+    }
+    fn take_output(&mut self) -> Box<dyn Any + Send> {
+        Box::new(self.id)
+    }
+}
+
+impl Solve for LogReq {
+    type Output = usize;
+    fn compile(self, p: usize, _tuning: &paco_service::Tuning) -> Compiled<usize> {
+        Compiled::from_prepared(Box::new(LogStep {
+            id: self.id,
+            log: self.log,
+            skeleton: Plan::single_wave(p, vec![Step { proc: 0, job: 0 }]),
+        }))
+    }
+}
+
+/// A single-shard engine held by a fresh gate: the gate request is already
+/// mid-pass (executor parked, queue empty) when this returns.
+fn gated_engine(policy: BatchPolicy) -> (Engine, Arc<Gate>) {
+    let engine = Engine::builder().procs(1).policy(policy).build();
+    let gate = Gate::new();
+    let _gate_ticket = engine.client().submit(GateReq {
+        gate: Arc::clone(&gate),
+    });
+    gate.wait_started();
+    (engine, gate)
+}
+
+/// Tentpole invariant under closed-loop overload: 4 producers × 25 blocking
+/// submits against `capacity: Some(4)` — the watermark respects the bound,
+/// nothing is shed on the blocking path, and every output matches a serial
+/// `Session::run` of the same request bit for bit.
+#[test]
+fn blocking_submits_respect_capacity_and_match_serial_results() {
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: usize = 25;
+    const CAPACITY: usize = 4;
+
+    let engine = Engine::builder()
+        .procs(1)
+        .policy(BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+            capacity: Some(CAPACITY),
+            ..BatchPolicy::default()
+        })
+        .build();
+    let serial = Session::new(1);
+
+    let sort_keys = |t: usize, i: usize| -> Vec<f64> {
+        (0..24)
+            .map(|k| (((t * 31 + i * 7 + k * 13) % 101) as f64) - 50.0)
+            .collect()
+    };
+    let lcs_seqs = |t: usize, i: usize| -> (Vec<u32>, Vec<u32>) {
+        let a = (0..20).map(|k| ((t + i + k) % 5) as u32).collect();
+        let b = (0..20).map(|k| ((t * 2 + k) % 5) as u32).collect();
+        (a, b)
+    };
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|t| {
+                let client = engine.client();
+                let sort_keys = &sort_keys;
+                let lcs_seqs = &lcs_seqs;
+                scope.spawn(move || {
+                    let mut outputs = Vec::new();
+                    for i in 0..PER_PRODUCER {
+                        if (t + i) % 2 == 0 {
+                            let keys = sort_keys(t, i);
+                            outputs.push((t, i, Ok(client.submit(Sort { keys }).wait())));
+                        } else {
+                            let (a, b) = lcs_seqs(t, i);
+                            outputs.push((t, i, Err(client.submit(Lcs { a, b }).wait())));
+                        }
+                    }
+                    outputs
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (t, i, out) in handle.join().expect("producer panicked") {
+                match out {
+                    Ok(sorted) => {
+                        let expect = serial.run(Sort {
+                            keys: sort_keys(t, i),
+                        });
+                        assert_eq!(sorted.expect("sort ticket resolves"), expect);
+                    }
+                    Err(len) => {
+                        let (a, b) = lcs_seqs(t, i);
+                        let expect = serial.run(Lcs { a, b });
+                        assert_eq!(len.expect("lcs ticket resolves"), expect);
+                    }
+                }
+            }
+        }
+    });
+
+    let stats = engine.shutdown();
+    let total = (PRODUCERS * PER_PRODUCER) as u64;
+    assert_eq!(stats.enqueued, total);
+    assert_eq!(stats.executed(), total);
+    assert_eq!(stats.rejected, 0, "blocking submits are never shed");
+    assert_eq!(stats.overloaded, 0, "no try_submit was used");
+    assert!(
+        stats.max_queue_depth() <= CAPACITY,
+        "queue watermark {} exceeded the capacity bound {CAPACITY}",
+        stats.max_queue_depth()
+    );
+    assert_eq!(stats.reject_ratio(), 0.0);
+}
+
+/// Deterministic admission boundary: with the executor held mid-pass,
+/// `try_submit` accepts exactly `capacity` requests, the next one is
+/// `Overloaded`, and producers blocked in `submit` backpressure complete
+/// once the executor drains.
+#[test]
+fn try_submit_rejects_exactly_when_full_and_blocked_submits_drain() {
+    const CAPACITY: usize = 3;
+    let (engine, gate) = gated_engine(BatchPolicy {
+        max_batch: 8,
+        max_wait: Duration::ZERO,
+        capacity: Some(CAPACITY),
+        ..BatchPolicy::default()
+    });
+    let client = engine.client();
+    let log = Arc::new(Mutex::new(Vec::new()));
+
+    // Fill the queue to the brim...
+    let queued: Vec<_> = (0..CAPACITY)
+        .map(|id| {
+            client
+                .try_submit(LogReq {
+                    id,
+                    log: Arc::clone(&log),
+                })
+                .expect("queue below capacity")
+        })
+        .collect();
+    // ...and the next fail-fast admission is refused with nothing queued.
+    assert_eq!(
+        client
+            .try_submit(LogReq {
+                id: 99,
+                log: Arc::clone(&log),
+            })
+            .err(),
+        Some(Overloaded)
+    );
+
+    // Blocking submits park in backpressure instead of failing.
+    let entered = Arc::new(AtomicUsize::new(0));
+    let blocked: Vec<_> = (0..2)
+        .map(|i| {
+            let client = client.clone();
+            let log = Arc::clone(&log);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                let ticket = client.submit(LogReq { id: 100 + i, log });
+                entered.fetch_add(1, Ordering::SeqCst);
+                ticket.wait()
+            })
+        })
+        .collect();
+    // The queue is full, so neither blocked submit can have been admitted.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(
+        entered.load(Ordering::SeqCst),
+        0,
+        "submit must backpressure"
+    );
+
+    gate.open();
+    for ticket in queued {
+        ticket.wait().expect("queued request executes");
+    }
+    for handle in blocked {
+        let id = handle
+            .join()
+            .expect("blocked producer panicked")
+            .expect("blocked submit completes after drain");
+        assert!(id >= 100);
+    }
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.overloaded, 1, "exactly one admission was refused");
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.max_queue_depth(), CAPACITY);
+    assert_eq!(stats.executed(), 1 + CAPACITY as u64 + 2);
+    let executed = log.lock().clone();
+    assert_eq!(executed.len(), CAPACITY + 2);
+}
+
+const LANES: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Deadline/priority semantics under a held executor: every request is
+    /// queued before the gate opens, then drained in passes of exactly
+    /// `max_batch` live requests.  Expired requests resolve `Expired` (never
+    /// a wrong answer, never a pass slot), no live ticket is lost, classes
+    /// never invert across passes, and FIFO order holds within a class.
+    #[test]
+    fn deadlines_expire_and_priorities_never_invert(
+        shape in proptest::collection::vec((0usize..3, any::<bool>()), 1..12),
+        max_batch in 2usize..5,
+    ) {
+        let (engine, gate) = gated_engine(BatchPolicy {
+            max_batch,
+            max_wait: Duration::ZERO,
+            ..BatchPolicy::default()
+        });
+        let client = engine.client();
+        let log = Arc::new(Mutex::new(Vec::new()));
+
+        let tickets: Vec<_> = shape
+            .iter()
+            .enumerate()
+            .map(|(id, &(lane, expired))| {
+                let opts = SubmitOptions {
+                    priority: LANES[lane],
+                    // A deadline of "now": guaranteed in the past by the
+                    // time the gated executor drains.
+                    deadline: expired.then(Instant::now),
+                };
+                client.submit_with(
+                    LogReq { id, log: Arc::clone(&log) },
+                    opts,
+                )
+            })
+            .collect();
+        gate.open();
+
+        for (id, (ticket, &(_, expired))) in tickets.into_iter().zip(&shape).enumerate() {
+            if expired {
+                prop_assert_eq!(ticket.wait(), Err(TicketError::Expired));
+            } else {
+                prop_assert_eq!(ticket.wait(), Ok(id));
+            }
+        }
+        let stats = engine.shutdown();
+        let expired_count = shape.iter().filter(|&&(_, e)| e).count();
+        let live_count = shape.len() - expired_count;
+        prop_assert_eq!(stats.expired, expired_count as u64);
+        // The gate request plus every live request executed; nothing more.
+        prop_assert_eq!(stats.executed(), 1 + live_count as u64);
+
+        // All requests were queued before the executor drained, so passes
+        // take exactly `max_batch` live requests (expired ones don't count):
+        // the log splits into per-pass chunks at multiples of `max_batch`.
+        let executed = log.lock().clone();
+        prop_assert_eq!(executed.len(), live_count);
+        let chunks: Vec<&[usize]> = executed.chunks(max_batch).collect();
+        for pair in chunks.windows(2) {
+            let min_earlier = pair[0].iter().map(|&id| LANES[shape[id].0]).min().unwrap();
+            let max_later = pair[1].iter().map(|&id| LANES[shape[id].0]).max().unwrap();
+            prop_assert!(
+                min_earlier >= max_later,
+                "priority inversion across passes: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // FIFO within a class: same-priority live ids execute in submit order.
+        for lane in LANES {
+            let order: Vec<usize> = executed
+                .iter()
+                .copied()
+                .filter(|&id| LANES[shape[id].0] == lane)
+                .collect();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(order, sorted);
+        }
+    }
+}
+
+/// Regression: shutting down while producers are parked in backpressure
+/// must resolve every one of them — drained or `Rejected` — never deadlock.
+/// The whole scenario runs under a watchdog timeout.
+#[test]
+fn shutdown_under_backpressure_resolves_blocked_submits() {
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let scenario = std::thread::spawn(move || {
+        const CAPACITY: usize = 2;
+        let (engine, gate) = gated_engine(BatchPolicy {
+            max_batch: 2,
+            max_wait: Duration::ZERO,
+            capacity: Some(CAPACITY),
+            ..BatchPolicy::default()
+        });
+        let client = engine.client();
+        let log = Arc::new(Mutex::new(Vec::new()));
+
+        // Fill the queue to capacity (these admissions don't block)...
+        let queued: Vec<_> = (0..CAPACITY)
+            .map(|id| {
+                client.submit(LogReq {
+                    id,
+                    log: Arc::clone(&log),
+                })
+            })
+            .collect();
+        // ...then park three producers in backpressure.
+        let blocked: Vec<_> = (0..3)
+            .map(|i| {
+                let client = client.clone();
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || client.submit(LogReq { id: 10 + i, log }).wait())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Shut down while they are parked; open the gate a beat later so
+        // the executor can run its final drain.
+        let shutdown = std::thread::spawn(move || engine.shutdown());
+        std::thread::sleep(Duration::from_millis(50));
+        gate.open();
+
+        // Every parked producer resolves: `Rejected` when shutdown won the
+        // race, a normal completion if a drain admitted it first.
+        for handle in blocked {
+            match handle.join().expect("blocked producer panicked") {
+                Ok(id) => assert!(id >= 10),
+                Err(err) => assert_eq!(err, TicketError::Rejected),
+            }
+        }
+        // Work admitted before shutdown still executed.
+        for (id, ticket) in queued.into_iter().enumerate() {
+            assert_eq!(ticket.wait(), Ok(id));
+        }
+        let stats = shutdown.join().expect("shutdown panicked");
+        assert!(stats.max_queue_depth() <= CAPACITY);
+        // Everything admitted (gate, pre-filled, and any producer that won
+        // the race) executed; admission and execution balance exactly.
+        assert_eq!(stats.enqueued, stats.executed());
+        done_tx.send(()).ok();
+    });
+
+    done_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("deadlock: shutdown under backpressure did not resolve");
+    scenario.join().expect("scenario thread panicked");
+}
+
+/// `capacity: Some(0)` is a queue nothing can enter; the engine refuses to
+/// build rather than deadlocking the first blocking submit.
+#[test]
+#[should_panic(expected = "capacity")]
+fn zero_capacity_engine_is_refused_at_build() {
+    let _ = Engine::builder()
+        .procs(1)
+        .policy(BatchPolicy {
+            capacity: Some(0),
+            ..BatchPolicy::default()
+        })
+        .build();
+}
