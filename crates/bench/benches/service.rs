@@ -177,6 +177,23 @@ fn bench_service(c: &mut Criterion) {
     let (secs, requests, stats) = drive_engine();
     criterion::record_metric("service/ingress-throughput", requests as f64 / secs);
     criterion::record_metric("service/coalesce-ratio", stats.coalesce_ratio());
+
+    // Plan-cache gauges: skeletons are cached per shape, so repeat planning
+    // is free.  Run the bag once to populate the cache, then count the
+    // *misses* three more full passes cost (the amortised planning overhead
+    // — 0 when every shape hits) and the resulting hit ratio.
+    let cached = Session::with_available_parallelism();
+    std::hint::black_box(run_bag_individually(&cached));
+    let warm = cached.cache_stats();
+    for _ in 0..3 {
+        std::hint::black_box(run_bag_individually(&cached));
+    }
+    let after = cached.cache_stats();
+    criterion::record_metric(
+        "service/run-overhead-cached",
+        after.misses.saturating_sub(warm.misses) as f64,
+    );
+    criterion::record_metric("service/plan-cache-hit-ratio", after.hit_ratio());
 }
 
 criterion_group!(benches, bench_service);

@@ -102,6 +102,106 @@ pub mod sched {
         PLAN_STEPS.with(|c| c.set(0));
     }
 
+    pub mod plan_cache {
+        //! Process-wide plan-skeleton cache counters.
+        //!
+        //! The service layer caches compiled plan skeletons keyed on request
+        //! shape + tuning epoch (the paper's workload-independence claim made
+        //! operational: the pruned-BFS assignment depends only on
+        //! `(shape, p, tuning)`).  Caches live per `Session` and per engine
+        //! shard, and engine shards are driven from executor threads, so —
+        //! like [`super::ingress`] — these are global atomics: exact for the
+        //! *process*, aggregated across every cache instance.  Tests that
+        //! need per-cache determinism read the per-instance counters the
+        //! service layer exposes instead.
+
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static HITS: AtomicU64 = AtomicU64::new(0);
+        static MISSES: AtomicU64 = AtomicU64::new(0);
+        static EVICTIONS: AtomicU64 = AtomicU64::new(0);
+
+        /// A point-in-time copy of the plan-cache counters.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct PlanCacheSnapshot {
+            /// Lookups served from a cached skeleton (no plan compiled).
+            pub hits: u64,
+            /// Lookups that compiled a fresh skeleton and inserted it.
+            pub misses: u64,
+            /// Cached skeletons dropped to respect a cache's capacity bound.
+            pub evictions: u64,
+        }
+
+        impl PlanCacheSnapshot {
+            /// Counter deltas since an earlier snapshot.
+            pub fn since(&self, earlier: &PlanCacheSnapshot) -> PlanCacheSnapshot {
+                PlanCacheSnapshot {
+                    hits: self.hits - earlier.hits,
+                    misses: self.misses - earlier.misses,
+                    evictions: self.evictions - earlier.evictions,
+                }
+            }
+
+            /// `hits / (hits + misses)`, or 0.0 before any lookup.
+            pub fn hit_ratio(&self) -> f64 {
+                let total = self.hits + self.misses;
+                if total == 0 {
+                    0.0
+                } else {
+                    self.hits as f64 / total as f64
+                }
+            }
+        }
+
+        /// Record one cache hit (a lookup served without compiling).
+        #[inline]
+        pub fn record_hit() {
+            HITS.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Record one cache miss (a lookup that compiled a fresh skeleton).
+        #[inline]
+        pub fn record_miss() {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Record one capacity eviction.
+        #[inline]
+        pub fn record_eviction() {
+            EVICTIONS.fetch_add(1, Ordering::Relaxed);
+        }
+
+        /// Read the current process-wide plan-cache counters at once.
+        pub fn snapshot() -> PlanCacheSnapshot {
+            PlanCacheSnapshot {
+                hits: HITS.load(Ordering::Relaxed),
+                misses: MISSES.load(Ordering::Relaxed),
+                evictions: EVICTIONS.load(Ordering::Relaxed),
+            }
+        }
+
+        #[cfg(test)]
+        mod tests {
+            use super::*;
+
+            #[test]
+            fn plan_cache_counters_accumulate_and_diff() {
+                let before = snapshot();
+                record_miss();
+                record_hit();
+                record_hit();
+                record_hit();
+                record_eviction();
+                let delta = snapshot().since(&before);
+                assert_eq!(delta.misses, 1);
+                assert_eq!(delta.hits, 3);
+                assert_eq!(delta.evictions, 1);
+                assert!((delta.hit_ratio() - 0.75).abs() < 1e-12);
+                assert_eq!(PlanCacheSnapshot::default().hit_ratio(), 0.0);
+            }
+        }
+    }
+
     pub mod ingress {
         //! Process-wide concurrent-ingress counters.
         //!

@@ -67,6 +67,17 @@ pub struct Tuning {
     /// Record scheduling counters (`paco_core::metrics::sched`) around every
     /// service run so callers can inspect wave/barrier costs.
     pub trace: bool,
+    /// Monotonic invalidation counter for plan-skeleton caches.
+    ///
+    /// Compiled plan skeletons depend only on (shape, `p`, tuning) — the
+    /// paper's workload-independence claim — so the service layer caches them
+    /// keyed on the request shape *plus this epoch*.  Any holder that mutates
+    /// a knob after skeletons may have been cached must call
+    /// [`Tuning::bump_epoch`] so stale schedules can never be replayed
+    /// (`paco_service::Session::update_tuning` does this automatically).
+    /// Comparing two `Tuning`s for knob equality should ignore the epoch;
+    /// use [`Tuning::same_knobs`].
+    pub epoch: u64,
 }
 
 impl Default for Tuning {
@@ -82,6 +93,7 @@ impl Default for Tuning {
             gap_blocks: None,
             sort_oversampling: None,
             trace: true,
+            epoch: 0,
         }
     }
 }
@@ -135,6 +147,28 @@ impl Tuning {
     pub fn gap_grid(&self, p: usize) -> usize {
         self.gap_blocks.unwrap_or(2 * next_power_of_two(p))
     }
+
+    /// Advance the plan-cache invalidation [`epoch`](Tuning::epoch).  Call
+    /// after mutating any knob once skeletons may have been cached against
+    /// this tuning; every cached schedule keyed to the old epoch becomes
+    /// unreachable.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Whether every *knob* matches `other`, ignoring the cache-invalidation
+    /// [`epoch`](Tuning::epoch) (plain `==` compares the epoch too).
+    pub fn same_knobs(&self, other: &Tuning) -> bool {
+        let a = Tuning {
+            epoch: 0,
+            ..self.clone()
+        };
+        let b = Tuning {
+            epoch: 0,
+            ..other.clone()
+        };
+        a == b
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +216,21 @@ mod tests {
         assert_eq!(t.gap_grid(1), 2);
         assert_eq!(t.gap_grid(3), 8);
         assert_eq!(t.gap_grid(4), 8);
+    }
+
+    #[test]
+    fn epoch_bumps_and_knob_comparison_ignores_it() {
+        let mut t = Tuning::default();
+        assert_eq!(t.epoch, 0);
+        t.bump_epoch();
+        t.bump_epoch();
+        assert_eq!(t.epoch, 2);
+        // Same knobs, different epochs: != but same_knobs.
+        let fresh = Tuning::default();
+        assert_ne!(t, fresh);
+        assert!(t.same_knobs(&fresh));
+        // Different knobs are caught regardless of epoch.
+        let coarser = Tuning::default().with_base(128);
+        assert!(!t.same_knobs(&coarser));
     }
 }

@@ -25,11 +25,12 @@
 //!   parallel variants share);
 //! * [`parallel::gap_po`] — blocks of an anti-diagonal scheduled by rayon
 //!   (processor-oblivious);
-//! * [`parallel::gap_paco`] — the block grid is sized from `p` and every block
-//!   is pre-assigned to a processor (round-robin within its anti-diagonal),
-//!   executed on the processor-aware pool; each processor therefore updates a
-//!   disjoint output slab of every wavefront step, which is the shape of the
-//!   paper's cuboid partitioning.
+//! * [`parallel::GapRun`] — PACO: the block grid is sized from `p` and every
+//!   block is pre-assigned to a processor (round-robin within its
+//!   anti-diagonal), executed on the processor-aware pool; each processor
+//!   therefore updates a disjoint output slab of every wavefront step, which
+//!   is the shape of the paper's cuboid partitioning.  Run it through
+//!   `paco_service::Session` with the `Gap` request.
 //!
 //! The full Chowdhury–Ramachandran recursive decomposition of GAP (separate
 //! self-updating and external-updating functions on sub-cubes) is *not*
@@ -39,8 +40,7 @@
 
 pub mod parallel;
 
-#[allow(deprecated)]
-pub use parallel::{gap_paco, gap_paco_with_blocks, gap_po, plan_gap, GapRun};
+pub use parallel::{gap_po, plan_gap, GapRun};
 
 use crate::shared::SharedGrid;
 

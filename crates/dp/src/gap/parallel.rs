@@ -9,8 +9,8 @@ use super::{block_bounds, gap_block, GapCost};
 use crate::shared::SharedGrid;
 use paco_core::proc_list::ProcList;
 use paco_runtime::schedule::{Plan, Step};
-use paco_runtime::WorkerPool;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Processor-oblivious parallel GAP: the blocks of each anti-diagonal are
 /// handed to rayon's work-stealing scheduler with no processor assignment.
@@ -65,12 +65,13 @@ pub fn plan_gap(n: usize, p: usize, blocks: usize) -> Plan<(usize, usize)> {
 
 /// A prepared PACO GAP instance: the block-wavefront plan plus the shared
 /// table its tile jobs fill.  This is the unit the service layer's `Session`
-/// schedules — alone, in batches, or mixed with other workloads — and the
-/// deprecated free functions below are thin wrappers over it.
+/// schedules — alone, in batches, or mixed with other workloads.  The plan
+/// depends only on `(n, p, blocks)`, so [`GapRun::from_plan`] can bind fresh
+/// costs to a shared, possibly cached schedule.
 pub struct GapRun<C> {
     costs: C,
     d: SharedGrid<f64>,
-    plan: Plan<(usize, usize)>,
+    plan: Arc<Plan<(usize, usize)>>,
     n: usize,
     blocks: usize,
 }
@@ -80,12 +81,20 @@ impl<C: GapCost> GapRun<C> {
     /// (clamped to `[1, n + 1]`).
     pub fn prepare(n: usize, costs: C, p: usize, blocks: usize) -> Self {
         let blocks = blocks.clamp(1, n + 1);
+        Self::from_plan(n, costs, Arc::new(plan_gap(n, p, blocks)), blocks)
+    }
+
+    /// Bind an instance to an already-compiled (typically cached) plan.  The
+    /// plan must have been produced by [`plan_gap`] for exactly this `n` and
+    /// the same (clamped) `blocks`.
+    pub fn from_plan(n: usize, costs: C, plan: Arc<Plan<(usize, usize)>>, blocks: usize) -> Self {
+        let blocks = blocks.clamp(1, n + 1);
         let d = SharedGrid::new(n + 1, n + 1, f64::INFINITY);
         d.set(0, 0, 0.0);
         Self {
             costs,
             d,
-            plan: plan_gap(n, p, blocks),
+            plan,
             n,
             blocks,
         }
@@ -109,40 +118,30 @@ impl<C: GapCost> GapRun<C> {
     }
 }
 
-/// PACO GAP on `pool.p()` processors: the block grid is derived from `p`
-/// (`2·2^⌈log₂ p⌉` tiles per side so that most anti-diagonals offer at least
-/// `p` independent output slabs), and every block is pre-assigned to a
-/// processor round-robin within its anti-diagonal.  Each wavefront step thus
-/// partitions the external-update work into disjoint output regions, one per
-/// processor, which is the cuboid partitioning of Theorem 7.
-#[deprecated(note = "run the `Gap` request through a `paco_service::Session` instead")]
-pub fn gap_paco<C: GapCost + Clone>(n: usize, costs: &C, pool: &WorkerPool) -> Vec<f64> {
-    let blocks = paco_core::tuning::Tuning::default().gap_grid(pool.p());
-    #[allow(deprecated)]
-    gap_paco_with_blocks(n, costs, pool, blocks)
-}
-
-/// [`gap_paco`] with an explicit tile-grid size (used by the ablation bench).
-#[deprecated(
-    note = "run the `Gap` request through a `paco_service::Session` (set `Tuning::gap_blocks` for the knob) instead"
-)]
-pub fn gap_paco_with_blocks<C: GapCost + Clone>(
-    n: usize,
-    costs: &C,
-    pool: &WorkerPool,
-    blocks: usize,
-) -> Vec<f64> {
-    let run = GapRun::prepare(n, costs.clone(), pool.p(), blocks);
-    run.plan.execute(pool, |proc, job| run.step(proc, job));
-    run.finish()
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::gap::gap_reference;
     use paco_core::workload::GapCosts;
+    use paco_runtime::WorkerPool;
+
+    /// Prepare-and-run helpers standing in for the removed pool-threading
+    /// wrappers; real callers go through `paco_service::Session`.
+    fn gap_paco<C: GapCost + Clone>(n: usize, costs: &C, pool: &WorkerPool) -> Vec<f64> {
+        let blocks = paco_core::tuning::Tuning::default().gap_grid(pool.p());
+        gap_paco_with_blocks(n, costs, pool, blocks)
+    }
+
+    fn gap_paco_with_blocks<C: GapCost + Clone>(
+        n: usize,
+        costs: &C,
+        pool: &WorkerPool,
+        blocks: usize,
+    ) -> Vec<f64> {
+        let run = GapRun::prepare(n, costs.clone(), pool.p(), blocks);
+        run.plan().execute(pool, |proc, job| run.step(proc, job));
+        run.finish()
+    }
 
     fn assert_close(a: &[f64], b: &[f64], ctx: &str) {
         assert_eq!(a.len(), b.len());

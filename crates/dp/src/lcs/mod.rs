@@ -11,7 +11,7 @@
 //! | [`lcs_sequential_co`] | CO | sequential cache-oblivious 2-way divide-and-conquer (Lemma 1) |
 //! | [`lcs_po`] | PO | recursive quadrant parallelism on rayon (randomized work stealing), base-case 256 in the paper |
 //! | [`lcs_pa`] | PA | Chowdhury–Ramachandran p-way top-level division, block wavefront |
-//! | [`lcs_paco`] | PACO | the paper's two-phase algorithm: pruned divide-and-assign partitioning + wavefront execution (Theorem 2) |
+//! | [`LcsRun`] | PACO | the paper's two-phase algorithm: pruned divide-and-assign partitioning + wavefront execution (Theorem 2); run it through `paco_service::Session` with the `Lcs` request |
 //!
 //! The `*_traced` variants replay the identical schedules through the ideal
 //! distributed cache model to measure `Q^Σ_p` / `Q^max_p`.
@@ -27,15 +27,11 @@ pub use kernel::{
     DEFAULT_BASE,
 };
 pub use pa::{lcs_pa, lcs_pa_traced};
-#[allow(deprecated)]
-pub use paco::{
-    execute_plan, lcs_paco, lcs_paco_batch, lcs_paco_traced, lcs_paco_with_base, LcsRun,
-};
+pub use paco::{execute_plan, lcs_paco_traced, LcsRun};
 pub use partition::{plan_paco_lcs, PacoLcsPlan, Region};
 pub use po::lcs_po;
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use paco_core::workload::related_sequences;
@@ -50,6 +46,8 @@ mod tests {
         assert_eq!(lcs_po(&a, &b, 64), expect);
         let pool = WorkerPool::new(3);
         assert_eq!(lcs_pa(&a, &b, &pool), expect);
-        assert_eq!(lcs_paco(&a, &b, &pool), expect);
+        let paco = LcsRun::prepare(a.clone(), b.clone(), pool.p(), DEFAULT_BASE);
+        paco.plan().execute(&pool, |proc, idx| paco.step(proc, idx));
+        assert_eq!(paco.finish(), expect);
     }
 }

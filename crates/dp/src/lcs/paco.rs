@@ -14,16 +14,18 @@
 //! Entry points:
 //!
 //! * [`LcsRun`] — the prepared instance (plan + shared state) the service
-//!   layer's `Session` schedules; everything else is sugar over it.
-//! * [`lcs_paco`] / [`lcs_paco_with_base`] / [`lcs_paco_batch`] — deprecated
-//!   pool-threading wrappers kept for migration; prefer
-//!   `paco_service::Session` with the `Lcs` request.
+//!   layer's `Session` schedules; everything else is sugar over it.  The
+//!   schedule skeleton is workload-independent — it depends only on
+//!   `(n, m, p, base)` — so [`LcsRun::from_plan`] binds fresh inputs to a
+//!   shared, possibly cached [`PacoLcsPlan`] without re-partitioning.
 //! * [`lcs_paco_traced`] — the identical plan replayed sequentially through
 //!   the ideal distributed cache simulator, which yields the paper's
 //!   `Q^Σ_p` / `Q^max_p` for the Table I experiments.
 
-use super::kernel::{co_block, LcsAddr, LcsTable, DEFAULT_BASE};
-use super::partition::{plan_paco_lcs, PacoLcsPlan, Region};
+use std::sync::Arc;
+
+use super::kernel::{co_block, LcsAddr, LcsTable};
+use super::partition::{plan_paco_lcs, PacoLcsPlan};
 use paco_cache_sim::{DistCacheSim, NullTracker, SimTracker, Tracker};
 use paco_core::machine::CacheParams;
 use paco_core::proc_list::ProcId;
@@ -33,13 +35,11 @@ use paco_runtime::WorkerPool;
 /// A prepared PACO LCS instance: the compiled wave plan plus the shared state
 /// (DP table, inputs) its steps interpret.  This is the unit the service
 /// layer's `Session` schedules — alone, in homogeneous batches, or mixed with
-/// other workloads — and the deprecated free functions below are thin
-/// wrappers over it.
+/// other workloads.
 pub struct LcsRun {
     a: Vec<u32>,
     b: Vec<u32>,
-    plan: Plan<usize>,
-    regions: Vec<Region>,
+    compiled: Arc<PacoLcsPlan>,
     table: LcsTable,
     addr: LcsAddr,
     base: usize,
@@ -48,32 +48,33 @@ pub struct LcsRun {
 impl LcsRun {
     /// Partition an instance for `p` processors with base-case side `base`.
     pub fn prepare(a: Vec<u32>, b: Vec<u32>, p: usize, base: usize) -> Self {
+        let compiled = Arc::new(plan_paco_lcs(a.len(), b.len(), p.max(1), base));
+        Self::from_plan(a, b, compiled, base)
+    }
+
+    /// Bind inputs to an already-compiled (typically cached) plan.  The plan
+    /// must have been produced by [`plan_paco_lcs`] for exactly
+    /// `(a.len(), b.len())` and the same `base`.
+    pub fn from_plan(a: Vec<u32>, b: Vec<u32>, compiled: Arc<PacoLcsPlan>, base: usize) -> Self {
         let (n, m) = (a.len(), b.len());
-        let (plan, regions) = if n == 0 || m == 0 {
-            (Plan::empty(p.max(1)), Vec::new())
-        } else {
-            let compiled = plan_paco_lcs(n, m, p, base);
-            (compiled.plan, compiled.regions)
-        };
         Self {
             table: LcsTable::new(n, m),
             addr: LcsAddr::new(n, m),
             a,
             b,
-            plan,
-            regions,
+            compiled,
             base,
         }
     }
 
     /// The compiled wave schedule (jobs are region indices).
     pub fn plan(&self) -> &Plan<usize> {
-        &self.plan
+        &self.compiled.plan
     }
 
     /// Compute region `idx` with the sequential cache-oblivious kernel.
     pub fn step(&self, _proc: ProcId, idx: &usize) {
-        let region = &self.regions[*idx];
+        let region = &self.compiled.regions[*idx];
         co_block(
             &self.table,
             &self.a,
@@ -94,23 +95,6 @@ impl LcsRun {
             self.table.lcs_length()
         }
     }
-}
-
-/// PACO LCS on `pool.p()` processors with the default partition base size.
-#[deprecated(note = "run the `Lcs` request through a `paco_service::Session` instead")]
-pub fn lcs_paco(a: &[u32], b: &[u32], pool: &WorkerPool) -> u32 {
-    #[allow(deprecated)]
-    lcs_paco_with_base(a, b, pool, DEFAULT_BASE)
-}
-
-/// PACO LCS with an explicit base-case side for the partitioning and kernel.
-#[deprecated(
-    note = "run the `Lcs` request through a `paco_service::Session` (set `Tuning::lcs_base` for the knob) instead"
-)]
-pub fn lcs_paco_with_base(a: &[u32], b: &[u32], pool: &WorkerPool, base: usize) -> u32 {
-    let run = LcsRun::prepare(a.to_vec(), b.to_vec(), pool.p(), base);
-    run.plan.execute(pool, |proc, idx| run.step(proc, idx));
-    run.finish()
 }
 
 /// Execute a pre-computed plan (exposed so benches can separate partitioning
@@ -143,23 +127,6 @@ pub fn execute_plan(
         );
     });
     table.lcs_length()
-}
-
-/// Solve many independent LCS instances through **one** pool pass: the
-/// per-instance plans are merged wave-by-wave, so small instances — whose
-/// individual runs are dominated by spawn/join round-trips — share their
-/// barriers.  Returns the LCS lengths in input order.
-#[deprecated(
-    note = "run `Lcs` requests through `paco_service::Session::run_batch` (or `submit`/`flush`) instead"
-)]
-pub fn lcs_paco_batch(inputs: &[(Vec<u32>, Vec<u32>)], pool: &WorkerPool, base: usize) -> Vec<u32> {
-    let runs: Vec<LcsRun> = inputs
-        .iter()
-        .map(|(a, b)| LcsRun::prepare(a.clone(), b.clone(), pool.p(), base))
-        .collect();
-    let batched = Plan::batch(runs.iter().map(|r| r.plan.clone()).collect());
-    batched.execute(pool, |proc, &(inst, idx)| runs[inst].step(proc, &idx));
-    runs.into_iter().map(LcsRun::finish).collect()
 }
 
 /// PACO LCS replayed through the ideal distributed cache simulator: the same
@@ -198,11 +165,18 @@ pub fn lcs_paco_traced(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::lcs::kernel::{lcs_reference, lcs_sequential_traced};
     use paco_core::workload::{random_sequence, related_sequences};
+
+    /// Prepare-and-run helper standing in for the removed pool-threading
+    /// wrappers; real callers go through `paco_service::Session`.
+    fn run_paco(a: &[u32], b: &[u32], pool: &WorkerPool, base: usize) -> u32 {
+        let run = LcsRun::prepare(a.to_vec(), b.to_vec(), pool.p(), base);
+        run.plan().execute(pool, |proc, idx| run.step(proc, idx));
+        run.finish()
+    }
 
     #[test]
     fn matches_reference_for_various_p_and_sizes() {
@@ -212,11 +186,7 @@ mod tests {
             let expect = lcs_reference(&a, &b);
             for p in [1usize, 2, 3, 5, 7] {
                 let pool = WorkerPool::new(p);
-                assert_eq!(
-                    lcs_paco_with_base(&a, &b, &pool, 16),
-                    expect,
-                    "n={n} m={m} p={p}"
-                );
+                assert_eq!(run_paco(&a, &b, &pool, 16), expect, "n={n} m={m} p={p}");
             }
         }
     }
@@ -225,14 +195,33 @@ mod tests {
     fn related_sequences_large_instance() {
         let (a, b) = related_sequences(1000, 8, 0.15, 77);
         let pool = WorkerPool::new(4);
-        assert_eq!(lcs_paco(&a, &b, &pool), lcs_reference(&a, &b));
+        assert_eq!(
+            run_paco(&a, &b, &pool, crate::lcs::kernel::DEFAULT_BASE),
+            lcs_reference(&a, &b)
+        );
     }
 
     #[test]
     fn empty_inputs() {
         let pool = WorkerPool::new(4);
-        assert_eq!(lcs_paco(&[], &[1, 2, 3], &pool), 0);
-        assert_eq!(lcs_paco(&[1], &[], &pool), 0);
+        assert_eq!(run_paco(&[], &[1, 2, 3], &pool, 64), 0);
+        assert_eq!(run_paco(&[1], &[], &pool, 64), 0);
+    }
+
+    #[test]
+    fn bound_runs_share_one_compiled_plan() {
+        // The skeleton depends only on (n, m, p, base): binding two different
+        // inputs to one Arc'd plan must give the same answers as fresh
+        // prepares.
+        let pool = WorkerPool::new(3);
+        let compiled = Arc::new(plan_paco_lcs(120, 90, pool.p(), 16));
+        for seed in 0..3u64 {
+            let a = random_sequence(120, 4, seed);
+            let b = random_sequence(90, 4, 100 + seed);
+            let run = LcsRun::from_plan(a.clone(), b.clone(), Arc::clone(&compiled), 16);
+            run.plan().execute(&pool, |proc, idx| run.step(proc, idx));
+            assert_eq!(run.finish(), lcs_reference(&a, &b), "seed={seed}");
+        }
     }
 
     #[test]
@@ -247,7 +236,15 @@ mod tests {
             })
             .collect();
         let expect: Vec<u32> = inputs.iter().map(|(a, b)| lcs_reference(a, b)).collect();
-        assert_eq!(lcs_paco_batch(&inputs, &pool, 16), expect);
+        let runs: Vec<LcsRun> = inputs
+            .iter()
+            .map(|(a, b)| LcsRun::prepare(a.clone(), b.clone(), pool.p(), 16))
+            .collect();
+        let plan_refs: Vec<&Plan<usize>> = runs.iter().map(|r| r.plan()).collect();
+        let batched = Plan::batch_refs(&plan_refs);
+        batched.execute(&pool, |proc, &(inst, idx)| runs[inst].step(proc, &idx));
+        let got: Vec<u32> = runs.into_iter().map(LcsRun::finish).collect();
+        assert_eq!(got, expect);
 
         // Barrier sharing: the batched plan is as deep as the deepest
         // constituent, not as deep as all of them stacked.

@@ -21,7 +21,7 @@
 //! | [`one_d_reference`] | — | doubly nested loop, ground truth |
 //! | [`one_d_sequential_co`] | CO | recursive triangle/square decomposition (Lemma 5) |
 //! | [`one_d_po`] | PO | same recursion with rayon-parallel external updates (output-dimension splits only), the Chowdhury–Ramachandran / Blelloch–Gu style baseline |
-//! | [`one_d_paco`] | PACO | Fig. 6: processor lists split ⌊p/2⌋:⌈p/2⌉, x-cuts split the output, y-cuts split the input and merge through a temporary, sequential kernel at single-processor leaves (Theorem 6) |
+//! | [`OneDRun`] | PACO | Fig. 6: processor lists split ⌊p/2⌋:⌈p/2⌉, x-cuts split the output, y-cuts split the input and merge through a temporary, sequential kernel at single-processor leaves (Theorem 6); run it through `paco_service::Session` with the `OneD` request |
 
 pub mod kernel;
 pub mod paco;
@@ -30,12 +30,10 @@ pub mod po;
 pub use kernel::{
     one_d_reference, one_d_sequential_co, square_update, triangle_co, Weight, DEFAULT_BASE_1D,
 };
-#[allow(deprecated)]
-pub use paco::{one_d_paco, plan_one_d, Buf, OneDJob, OneDPlan, OneDRun};
+pub use paco::{plan_one_d, Buf, OneDJob, OneDPlan, OneDRun};
 pub use po::one_d_po;
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use paco_core::workload::ParagraphWeight;
@@ -49,7 +47,9 @@ mod tests {
         let co = one_d_sequential_co(n, &w, 0.0, 16);
         let po = one_d_po(n, &w, 0.0, 16);
         let pool = WorkerPool::new(3);
-        let paco = one_d_paco(n, &w, 0.0, &pool, 16);
+        let run = OneDRun::prepare(n, w, 0.0, pool.p(), 16);
+        run.plan().execute(&pool, |proc, job| run.step(proc, job));
+        let paco = run.finish();
         for j in 0..=n {
             assert!((expect[j] - co[j]).abs() < 1e-9, "co mismatch at {j}");
             assert!((expect[j] - po[j]).abs() < 1e-9, "po mismatch at {j}");

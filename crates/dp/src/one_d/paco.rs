@@ -27,8 +27,8 @@ use super::kernel::{square_update, triangle_co, Weight};
 use crate::shared::SharedSlice;
 use paco_core::proc_list::ProcList;
 use paco_runtime::schedule::{Front, Plan, PlanBuilder};
-use paco_runtime::WorkerPool;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Which array a [`OneDJob`] reads or writes: the main `D` array or one of the
 /// temporaries allocated for y-cuts.
@@ -234,13 +234,14 @@ impl OneDPlanner {
 /// A prepared PACO 1D instance: the compiled wave plan plus the shared `D`
 /// array and temporary arena its jobs interpret.  This is the unit the
 /// service layer's `Session` schedules — alone, in batches, or mixed with
-/// other workloads — and the deprecated [`one_d_paco`] is a thin wrapper
-/// over it.
+/// other workloads.  The schedule depends only on `(n, p, base)`, so
+/// [`OneDRun::from_plan`] can bind fresh weights to a shared, possibly
+/// cached [`OneDPlan`].
 pub struct OneDRun<W> {
     w: W,
     d: SharedSlice<f64>,
     tmps: Vec<SharedSlice<f64>>,
-    plan: Plan<OneDJob>,
+    compiled: Arc<OneDPlan>,
     base: usize,
 }
 
@@ -248,7 +249,14 @@ impl<W: Weight> OneDRun<W> {
     /// Compile an instance for `p` processors with base-case length `base`.
     pub fn prepare(n: usize, w: W, d0: f64, p: usize, base: usize) -> Self {
         let base = base.max(2);
-        let compiled = plan_one_d(n, p, base);
+        Self::from_plan(n, w, d0, Arc::new(plan_one_d(n, p, base)), base)
+    }
+
+    /// Bind an instance to an already-compiled (typically cached) plan.  The
+    /// plan must have been produced by [`plan_one_d`] for exactly this `n`
+    /// and the same `base`.
+    pub fn from_plan(n: usize, w: W, d0: f64, compiled: Arc<OneDPlan>, base: usize) -> Self {
+        let base = base.max(2);
         let d = SharedSlice::new(n + 1, f64::INFINITY);
         d.set(0, d0);
         let tmps = compiled
@@ -260,14 +268,14 @@ impl<W: Weight> OneDRun<W> {
             w,
             d,
             tmps,
-            plan: compiled.plan,
+            compiled,
             base,
         }
     }
 
     /// The compiled wave schedule.
     pub fn plan(&self) -> &Plan<OneDJob> {
-        &self.plan
+        &self.compiled.plan
     }
 
     fn buf(&self, b: &Buf) -> &SharedSlice<f64> {
@@ -319,28 +327,26 @@ impl<W: Weight> OneDRun<W> {
     }
 }
 
-/// PACO 1D on `pool.p()` processors: returns the full `D[0..=n]` array.
-#[deprecated(
-    note = "run the `OneD` request through a `paco_service::Session` (set `Tuning::one_d_base` for the knob) instead"
-)]
-pub fn one_d_paco<W: Weight + Clone>(
-    n: usize,
-    w: &W,
-    d0: f64,
-    pool: &WorkerPool,
-    base: usize,
-) -> Vec<f64> {
-    let run = OneDRun::prepare(n, w.clone(), d0, pool.p(), base);
-    run.plan.execute(pool, |proc, job| run.step(proc, job));
-    run.finish()
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::one_d::kernel::{one_d_reference, FnWeight};
     use paco_core::workload::ParagraphWeight;
+    use paco_runtime::WorkerPool;
+
+    /// Prepare-and-run helper standing in for the removed pool-threading
+    /// wrapper; real callers go through `paco_service::Session`.
+    fn one_d_paco<W: Weight + Clone>(
+        n: usize,
+        w: &W,
+        d0: f64,
+        pool: &WorkerPool,
+        base: usize,
+    ) -> Vec<f64> {
+        let run = OneDRun::prepare(n, w.clone(), d0, pool.p(), base);
+        run.plan().execute(pool, |proc, job| run.step(proc, job));
+        run.finish()
+    }
 
     fn assert_close(a: &[f64], b: &[f64], ctx: &str) {
         assert_eq!(a.len(), b.len());

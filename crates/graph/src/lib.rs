@@ -8,19 +8,21 @@
 //! that *needs* it — the in-place all-pairs closure
 //! `D[i][j] ← D[i][j] ⊕ (D[i][k] ⊗ D[k][j])`:
 //!
-//! * over [`MinPlus`] (the tropical semiring) it computes **all-pairs
-//!   shortest paths** ([`apsp`]);
-//! * over [`BoolSemiring`] it computes the **transitive closure** of a
-//!   directed graph ([`transitive_closure`]);
+//! * over [`MinPlus`](paco_core::semiring::MinPlus) (the tropical semiring)
+//!   it computes **all-pairs shortest paths** (the `Apsp` request of
+//!   `paco_service`);
+//! * over [`BoolSemiring`](paco_core::semiring::BoolSemiring) it computes the
+//!   **transitive closure** of a directed graph;
 //! * over any other semiring with **idempotent `⊕`** (`a ⊕ a = a`) it
-//!   computes the corresponding path closure ([`semiring_closure`]).  The
-//!   idempotency requirement is inherent to the in-place Floyd–Warshall
+//!   computes the corresponding path closure (the generic `Closure` request).
+//!   The idempotency requirement is inherent to the in-place Floyd–Warshall
 //!   update (entries are relaxed repeatedly, so duplicate contributions must
 //!   be absorbing); it is enforced at compile time — every entry point bounds
-//!   its element type on [`IdempotentSemiring`], so a
-//!   non-idempotent semiring such as
-//!   [`WrappingRing`](paco_core::semiring::WrappingRing) is rejected instead
-//!   of silently producing a meaningless result.
+//!   its element type on
+//!   [`IdempotentSemiring`](paco_core::semiring::IdempotentSemiring), so a
+//!   non-idempotent semiring
+//!   such as [`WrappingRing`](paco_core::semiring::WrappingRing) is rejected
+//!   instead of silently producing a meaningless result.
 //!
 //! Mirroring the workspace taxonomy (see the README), the problem ships in
 //! three variants that all execute the identical sequential leaf kernel:
@@ -29,7 +31,7 @@
 //! |---|---|---|
 //! | sequential CO | [`fw_seq`] | — (the A/B/C/D recursion of [`seq`]) |
 //! | PO | [`fw_po`] | randomized work stealing (`rayon::join`) |
-//! | PACO | [`fw_paco`] | 1-PIECE processor lists on a pinned [`WorkerPool`] |
+//! | PACO | [`FwRun`] via `paco_service::Session` | 1-PIECE processor lists on a pinned `WorkerPool` |
 //!
 //! The kernels are generic over [`paco_cache_sim::Tracker`], and the
 //! sequential and PACO variants have `*_traced` twins ([`fw_seq_traced`],
@@ -45,64 +47,27 @@ pub mod paco;
 pub mod po;
 pub mod seq;
 
-use paco_core::matrix::Matrix;
-use paco_core::semiring::{BoolSemiring, IdempotentSemiring, MinPlus};
-use paco_runtime::WorkerPool;
-
 pub use kernel::{fw_reference, relax, FwAddr, FwTable, DEFAULT_BASE};
-#[allow(deprecated)]
-pub use paco::{
-    fw_paco, fw_paco_batch, fw_paco_traced, fw_paco_with_base, plan_fw, FwPlan, FwRun, LeafCall,
-};
+pub use paco::{fw_paco_traced, plan_fw, FwPlan, FwRun, LeafCall};
 pub use po::fw_po;
 pub use seq::{fw_seq, fw_seq_traced};
 
-/// All-pairs shortest paths: close a `(min, +)` adjacency matrix (diagonal
-/// `0`, non-edges `+∞`) with the PACO Floyd–Warshall on `pool.p()`
-/// processors.
-///
-/// Entry `(i, j)` of the result is the weight of the shortest directed path
-/// from `i` to `j` (`+∞` if `j` is unreachable).  Weights should be
-/// non-negative (the one-pass closure does not detect negative cycles).
-#[deprecated(note = "run the `Apsp` request through a `paco_service::Session` instead")]
-pub fn apsp(adj: &Matrix<MinPlus>, pool: &WorkerPool) -> Matrix<MinPlus> {
-    #[allow(deprecated)]
-    fw_paco(adj, pool)
-}
-
-/// Transitive closure: close a boolean adjacency matrix with the PACO
-/// Floyd–Warshall on `pool.p()` processors.  Entry `(i, j)` of the result is
-/// `true` iff `j` is reachable from `i` (including `i` itself when the
-/// diagonal is reflexive, as [`paco_core::workload::random_adjacency`]
-/// produces).
-#[deprecated(
-    note = "run the `Closure` request over `BoolSemiring` through a `paco_service::Session` instead"
-)]
-pub fn transitive_closure(adj: &Matrix<BoolSemiring>, pool: &WorkerPool) -> Matrix<BoolSemiring> {
-    #[allow(deprecated)]
-    fw_paco(adj, pool)
-}
-
-/// Closure of a square matrix over a closed semiring with the PACO variant —
-/// the generic entry point behind [`apsp`] and [`transitive_closure`].
-///
-/// The [`IdempotentSemiring`] bound is load-bearing: the in-place
-/// Floyd–Warshall update relaxes entries repeatedly, so a non-idempotent
-/// addition (e.g. the `WrappingRing`) would double-count contributions and
-/// produce neither the algebraic closure nor the triple-loop result — which
-/// is why such semirings do not carry the marker and fail to compile here.
-#[deprecated(note = "run the `Closure` request through a `paco_service::Session` instead")]
-pub fn semiring_closure<S: IdempotentSemiring>(adj: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
-    #[allow(deprecated)]
-    fw_paco(adj, pool)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
-    use paco_core::semiring::Semiring;
+    use paco_core::matrix::Matrix;
+    use paco_core::semiring::{BoolSemiring, IdempotentSemiring, MinPlus, Semiring};
     use paco_core::workload::{random_adjacency, random_digraph};
+    use paco_runtime::WorkerPool;
+
+    /// Close a matrix with the PACO Floyd–Warshall on `pool.p()` processors —
+    /// what the retired `apsp`/`transitive_closure`/`semiring_closure`
+    /// wrappers did before the service layer took over scheduling.
+    fn closure<S: IdempotentSemiring>(adj: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
+        let run = FwRun::prepare(adj, pool.p(), DEFAULT_BASE);
+        run.plan().execute(pool, |proc, call| run.step(proc, call));
+        run.finish()
+    }
 
     #[test]
     fn apsp_finds_the_short_way_around() {
@@ -116,7 +81,7 @@ mod tests {
         }
         adj.set(0, 3, MinPlus(10.0)); // chord is worse than 1+1+1
         let pool = WorkerPool::new(3);
-        let d = apsp(&adj, &pool);
+        let d = closure(&adj, &pool);
         assert_eq!(d.get(0, 3), MinPlus(3.0));
         assert_eq!(d.get(3, 0), MinPlus(2.0));
         assert_eq!(d.get(2, 2), MinPlus::one());
@@ -135,7 +100,7 @@ mod tests {
         adj.set(4, 5, BoolSemiring(true));
         adj.set(5, 3, BoolSemiring(true));
         let pool = WorkerPool::new(2);
-        let c = transitive_closure(&adj, &pool);
+        let c = closure(&adj, &pool);
         assert!(c.get(0, 2).0 && !c.get(2, 0).0, "path is one-way");
         assert!(
             c.get(3, 5).0 && c.get(5, 4).0,
@@ -145,11 +110,11 @@ mod tests {
     }
 
     #[test]
-    fn generic_closure_agrees_with_the_named_wrappers() {
+    fn generic_closure_agrees_with_the_reference() {
         let pool = WorkerPool::new(4);
         let g = random_digraph(40, 0.2, 25, 3);
-        assert_eq!(semiring_closure(&g, &pool), apsp(&g, &pool));
+        assert_eq!(closure(&g, &pool), fw_reference(&g));
         let a = random_adjacency(40, 0.1, 4);
-        assert_eq!(semiring_closure(&a, &pool), transitive_closure(&a, &pool));
+        assert_eq!(closure(&a, &pool), fw_reference(&a));
     }
 }

@@ -13,68 +13,82 @@
 //! [`Plan`]`<`[`LeafCall`]`>` (see [`paco_runtime::schedule`]).  The old
 //! executor paid one full pool barrier per `fork2` and per off-processor leaf
 //! spawn — linear in the recursion depth per phase (the PR 2 ROADMAP item).
-//! The plan builder's [`Front`] only advances the wave clock on true
-//! cross-processor hand-offs, so the B/C forks and the following D phase of
-//! each A-phase collapse into a constant number of waves: sequential
-//! compositions on the *same* processor (e.g. the ordered via-cut halves of a
-//! D block) ride the pool's per-worker FIFO inside one wave for free.
-//! [`FwPlan::fork_barriers`] preserves the old executor's barrier count so the
-//! flattening is regression-testable.
+//!
+//! The wave assignment is **dependency-exact** (PR 7; modelled on
+//! `build_waves` in the LCS partitioner): the replay records every leaf in
+//! program order together with its read and write footprint on the closure
+//! table, coordinate-compresses the rectangle boundaries into a grid, and
+//! places each leaf in the earliest wave consistent with the actual data flow
+//! — a read must follow the footprint's last writer (same wave only when both
+//! run on the same worker, whose in-wave FIFO preserves program order), and a
+//! write must follow every read since the previous write.  Earlier revisions
+//! instead advanced a per-processor wave clock on every cross-processor
+//! hand-off, which serialized independent blocks that merely *met* at a front
+//! join.  [`FwPlan::fork_barriers`] still preserves the pre-plan executor's
+//! barrier count so the flattening is regression-testable.
 //!
 //! Entry points:
 //!
 //! * [`FwRun`] — the prepared instance (plan + shared closure table) the
 //!   service layer's `Session` schedules; leaves dispatch through the
 //!   data-carrying [`LeafCall`] with a concrete [`NullTracker`], so the hot
-//!   kernels stay fully monomorphized.
-//! * [`fw_paco`] / [`fw_paco_with_base`] / [`fw_paco_batch`] — deprecated
-//!   pool-threading wrappers kept for migration; prefer
-//!   `paco_service::Session` with the `Apsp`/`Closure` request.
+//!   kernels stay fully monomorphized.  [`FwRun::from_plan`] binds a fresh
+//!   adjacency matrix to an already-compiled (cached) [`FwPlan`] without
+//!   replaying the recursion.
 //! * [`fw_paco_traced`] — the *identical* plan replayed sequentially through
 //!   the ideal distributed cache simulator, charging every leaf to the private
 //!   cache of the processor the plan assigned it (task-boundary flush per
 //!   leaf, the paper's accounting convention).
 
-use crate::kernel::{FwAddr, FwTable, DEFAULT_BASE};
+use crate::kernel::{FwAddr, FwTable};
 use crate::seq::{a_co, b_co, c_co, d_co, halves};
 use paco_cache_sim::{CacheParams, DistCacheSim, NullTracker, SimTracker, Tracker};
 use paco_core::matrix::Matrix;
 use paco_core::proc_list::{ProcId, ProcList};
 use paco_core::semiring::IdempotentSemiring;
-use paco_runtime::schedule::{Front, Plan, PlanBuilder};
-use paco_runtime::WorkerPool;
+use paco_runtime::schedule::{Plan, Step};
 use std::ops::Range;
+use std::sync::Arc;
 
 /// A prepared PACO Floyd–Warshall instance: the wave-flattened plan plus the
 /// shared closure table its leaves relax.  This is the unit the service
 /// layer's `Session` schedules — alone, in homogeneous batches, or mixed with
-/// other workloads — and the deprecated free functions below are thin
-/// wrappers over it.
+/// other workloads.
 pub struct FwRun<S: IdempotentSemiring> {
     table: FwTable<S>,
     addr: FwAddr,
-    plan: Plan<LeafCall>,
+    compiled: Arc<FwPlan>,
     base: usize,
 }
 
 impl<S: IdempotentSemiring> FwRun<S> {
     /// Compile an instance for `p` processors with base-case side `base`.
     pub fn prepare(adj: &Matrix<S>, p: usize, base: usize) -> Self {
+        let compiled = Arc::new(plan_fw(adj.rows(), p.max(1), base));
+        Self::from_plan(adj, compiled, base)
+    }
+
+    /// Bind an adjacency matrix to an already-compiled plan.
+    ///
+    /// The plan must have been produced by [`plan_fw`] for this matrix's side
+    /// `n` and the same `base` (the schedule is independent of the entries, so
+    /// one compiled plan serves every `n × n` instance — this is what the
+    /// service layer's skeleton cache shares across requests).
+    pub fn from_plan(adj: &Matrix<S>, compiled: Arc<FwPlan>, base: usize) -> Self {
         assert!(base >= 1);
         let table = FwTable::from_matrix(adj);
         let addr = FwAddr::new(table.n());
-        let plan = plan_fw(table.n(), p, base).plan;
         Self {
             table,
             addr,
-            plan,
+            compiled,
             base,
         }
     }
 
     /// The compiled wave schedule.
     pub fn plan(&self) -> &Plan<LeafCall> {
-        &self.plan
+        &self.compiled.plan
     }
 
     /// Run one leaf with the sequential cache-oblivious kernels.
@@ -86,28 +100,6 @@ impl<S: IdempotentSemiring> FwRun<S> {
     pub fn finish(self) -> Matrix<S> {
         self.table.to_matrix()
     }
-}
-
-/// PACO Floyd–Warshall on `pool.p()` processors with the default base size.
-#[deprecated(note = "run the `Apsp`/`Closure` request through a `paco_service::Session` instead")]
-pub fn fw_paco<S: IdempotentSemiring>(adj: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
-    #[allow(deprecated)]
-    fw_paco_with_base(adj, pool, DEFAULT_BASE)
-}
-
-/// PACO Floyd–Warshall with an explicit base-case side for the partitioning
-/// and the sequential leaf kernels.
-#[deprecated(
-    note = "run the `Apsp`/`Closure` request through a `paco_service::Session` (set `Tuning::fw_base` for the knob) instead"
-)]
-pub fn fw_paco_with_base<S: IdempotentSemiring>(
-    adj: &Matrix<S>,
-    pool: &WorkerPool,
-    base: usize,
-) -> Matrix<S> {
-    let run = FwRun::prepare(adj, pool.p(), base);
-    run.plan.execute(pool, |proc, call| run.step(proc, call));
-    run.finish()
 }
 
 /// PACO Floyd–Warshall replayed through the ideal distributed cache simulator:
@@ -131,27 +123,6 @@ pub fn fw_paco_traced<S: IdempotentSemiring>(
         call.run(&table, base, &mut tracker, &addr);
     });
     (table.to_matrix(), tracker.into_sim())
-}
-
-/// Close many independent instances through **one** pool pass: the
-/// per-instance plans are merged wave-by-wave with [`Plan::batch`], so small
-/// graphs — whose individual runs are dominated by spawn/join round-trips —
-/// share their barriers.  Returns the closed matrices in input order.
-#[deprecated(
-    note = "run `Apsp`/`Closure` requests through `paco_service::Session::run_batch` (or `submit`/`flush`) instead"
-)]
-pub fn fw_paco_batch<S: IdempotentSemiring>(
-    adjs: &[Matrix<S>],
-    pool: &WorkerPool,
-    base: usize,
-) -> Vec<Matrix<S>> {
-    let runs: Vec<FwRun<S>> = adjs
-        .iter()
-        .map(|adj| FwRun::prepare(adj, pool.p(), base))
-        .collect();
-    let batched = Plan::batch(runs.iter().map(|r| r.plan.clone()).collect());
-    batched.execute(pool, |proc, (inst, call)| runs[*inst].step(proc, call));
-    runs.into_iter().map(FwRun::finish).collect()
 }
 
 /// A pending leaf: which of the four A/B/C/D roles to run on which block.
@@ -218,6 +189,31 @@ impl LeafCall {
             ),
         }
     }
+
+    /// The rectangles of the closure table this leaf reads (a superset of the
+    /// cells it writes — every role is an in-place `⊕=` update).
+    fn read_rects(&self) -> Vec<(Range<usize>, Range<usize>)> {
+        match self {
+            LeafCall::A { r } => vec![(r.clone(), r.clone())],
+            LeafCall::B { v, cols } => vec![(v.clone(), v.clone()), (v.clone(), cols.clone())],
+            LeafCall::C { v, rows } => vec![(rows.clone(), v.clone()), (v.clone(), v.clone())],
+            LeafCall::D { rows, cols, via } => vec![
+                (rows.clone(), via.clone()),
+                (via.clone(), cols.clone()),
+                (rows.clone(), cols.clone()),
+            ],
+        }
+    }
+
+    /// The single rectangle this leaf writes.
+    fn write_rect(&self) -> (Range<usize>, Range<usize>) {
+        match self {
+            LeafCall::A { r } => (r.clone(), r.clone()),
+            LeafCall::B { v, cols } => (v.clone(), cols.clone()),
+            LeafCall::C { v, rows } => (rows.clone(), v.clone()),
+            LeafCall::D { rows, cols, via: _ } => (rows.clone(), cols.clone()),
+        }
+    }
 }
 
 /// The compiled Floyd–Warshall schedule plus the barrier count of the
@@ -234,266 +230,352 @@ pub struct FwPlan {
 
 /// Compile the PACO Floyd–Warshall recursion for an `n × n` instance on `p`
 /// processors into a wave-flattened [`Plan`].
+///
+/// The recursion is replayed symbolically to a program-ordered leaf list
+/// (preserving the 1-PIECE processor assignment), then each leaf is layered
+/// into the earliest wave its exact read/write footprint allows — see the
+/// module docs.  The schedule depends only on `(n, p, base)`, never on the
+/// matrix entries.
 pub fn plan_fw(n: usize, p: usize, base: usize) -> FwPlan {
     assert!(p >= 1);
     assert!(base >= 1);
-    let mut planner = Planner {
-        b: PlanBuilder::new(p),
+    let mut rec = Recorder {
+        leaves: Vec::new(),
         base,
         fork_barriers: 0,
     };
-    let front = planner.b.root();
-    planner.a(&front, None, ProcList::all(p), 0..n);
+    rec.a(None, ProcList::all(p), 0..n);
     FwPlan {
-        plan: planner.b.finish(),
-        fork_barriers: planner.fork_barriers,
+        plan: layer(p, rec.leaves),
+        fork_barriers: rec.fork_barriers,
     }
 }
 
-/// Symbolic replay of the A/B/C/D recursion into a [`PlanBuilder`].
+/// Dependency-exact wave assignment for a program-ordered leaf list.
+///
+/// Every rectangle boundary is coordinate-compressed into grid lines, so each
+/// footprint is an exact union of grid cells.  Per cell we track the last
+/// write `(wave, proc)` and the reads since it `(max wave, proc, mixed)`;
+/// a leaf on worker `q` lands at
+///
+/// * `≥ wave(writer) + 1` for every read cell whose writer ran elsewhere
+///   (`+ 0` on the same worker: in-wave FIFO keeps program order), covering
+///   RAW and — since writes are a subset of reads — WAW, and
+/// * `≥ wave(reader) + 1` for every written cell read elsewhere since its
+///   last write (WAR; `mixed` readers conservatively cost the `+ 1`).
+///
+/// Waves are emitted in program order, so same-worker steps inside one wave
+/// replay the recursion's sequential order.
+fn layer(p: usize, leaves: Vec<(ProcId, LeafCall)>) -> Plan<LeafCall> {
+    if leaves.is_empty() {
+        return Plan::empty(p);
+    }
+    let mut bounds: Vec<usize> = Vec::new();
+    for (_, call) in &leaves {
+        for (rows, cols) in call.read_rects() {
+            bounds.extend([rows.start, rows.end, cols.start, cols.end]);
+        }
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+    let m = bounds.len() - 1;
+    let span = |r: &Range<usize>| -> Range<usize> {
+        let lo = bounds
+            .binary_search(&r.start)
+            .expect("endpoint is a grid line");
+        let hi = bounds
+            .binary_search(&r.end)
+            .expect("endpoint is a grid line");
+        lo..hi
+    };
+    #[derive(Clone, Copy, Default)]
+    struct Cell {
+        /// `(wave, proc)` of the last write to this cell.
+        writer: Option<(usize, ProcId)>,
+        /// `(max wave, proc, mixed)` of the reads since the last write.
+        readers: Option<(usize, ProcId, bool)>,
+    }
+    let mut grid: Vec<Cell> = vec![Cell::default(); m * m];
+    let mut depths = Vec::with_capacity(leaves.len());
+    for (q, call) in &leaves {
+        let reads = call.read_rects();
+        let (w_rows, w_cols) = call.write_rect();
+        let mut d = 0usize;
+        for (rows, cols) in &reads {
+            for ri in span(rows) {
+                for ci in span(cols) {
+                    if let Some((wd, wp)) = grid[ri * m + ci].writer {
+                        d = d.max(wd + usize::from(wp != *q));
+                    }
+                }
+            }
+        }
+        for ri in span(&w_rows) {
+            for ci in span(&w_cols) {
+                if let Some((rd, rp, mixed)) = grid[ri * m + ci].readers {
+                    d = d.max(rd + usize::from(mixed || rp != *q));
+                }
+            }
+        }
+        for (rows, cols) in &reads {
+            for ri in span(rows) {
+                for ci in span(cols) {
+                    let cell = &mut grid[ri * m + ci];
+                    cell.readers = Some(match cell.readers {
+                        None => (d, *q, false),
+                        Some((rd, rp, mixed)) => (rd.max(d), rp, mixed || rp != *q),
+                    });
+                }
+            }
+        }
+        for ri in span(&w_rows) {
+            for ci in span(&w_cols) {
+                grid[ri * m + ci] = Cell {
+                    writer: Some((d, *q)),
+                    readers: None,
+                };
+            }
+        }
+        depths.push(d);
+    }
+    let max_d = *depths.iter().max().unwrap();
+    let mut waves: Vec<Vec<Step<LeafCall>>> = vec![Vec::new(); max_d + 1];
+    for ((proc, job), d) in leaves.into_iter().zip(depths) {
+        waves[d].push(Step { proc, job });
+    }
+    Plan::from_waves(p, waves)
+}
+
+/// Symbolic replay of the A/B/C/D recursion to a program-ordered leaf list.
 ///
 /// `cur` tracks which processor the old executor would have been running on
 /// (the 1-PIECE "own branch runs inline" rule) — it no longer influences the
-/// schedule, only the [`FwPlan::fork_barriers`] accounting.
-struct Planner {
-    b: PlanBuilder<LeafCall>,
+/// schedule, only the [`FwPlan::fork_barriers`] accounting.  Program order is
+/// a valid serialization of the recursion (it is exactly the order `fw_seq`
+/// relaxes in), so the layering above can use it as its topological baseline.
+struct Recorder {
+    leaves: Vec<(ProcId, LeafCall)>,
     base: usize,
     fork_barriers: usize,
 }
 
-impl Planner {
-    fn leaf(&mut self, front: &Front, cur: Option<ProcId>, proc: ProcId, call: LeafCall) -> Front {
+impl Recorder {
+    fn leaf(&mut self, cur: Option<ProcId>, proc: ProcId, call: LeafCall) {
         if cur != Some(proc) {
             // The old executor opened a scope to spawn a leaf it was not
             // already running on.
             self.fork_barriers += 1;
         }
-        self.b.step(front, proc, call)
+        self.leaves.push((proc, call));
     }
 
     /// Two parallel branches on the two halves of the processor list; the old
     /// executor's `fork2` was one barrier regardless of `cur`.
     fn fork(
         &mut self,
-        front: &Front,
         p1: ProcList,
-        f1: impl FnOnce(&mut Self, &Front, Option<ProcId>) -> Front,
+        f1: impl FnOnce(&mut Self, Option<ProcId>),
         p2: ProcList,
-        f2: impl FnOnce(&mut Self, &Front, Option<ProcId>) -> Front,
-    ) -> Front {
+        f2: impl FnOnce(&mut Self, Option<ProcId>),
+    ) {
         self.fork_barriers += 1;
-        let left = f1(self, front, Some(p1.first()));
-        let right = f2(self, front, Some(p2.first()));
-        left.join(&right)
+        f1(self, Some(p1.first()));
+        f2(self, Some(p2.first()));
     }
 
     /// The A role: close the diagonal block `r × r`.
-    fn a(&mut self, front: &Front, cur: Option<ProcId>, procs: ProcList, r: Range<usize>) -> Front {
+    fn a(&mut self, cur: Option<ProcId>, procs: ProcList, r: Range<usize>) {
         if r.is_empty() {
-            return front.clone();
+            return;
         }
         if procs.len() == 1 || r.len() <= self.base {
-            return self.leaf(front, cur, procs.first(), LeafCall::A { r });
+            return self.leaf(cur, procs.first(), LeafCall::A { r });
         }
         let (r1, r2) = halves(&r);
         let (p1, p2) = procs.split_even();
         // Phase 1: via ∈ r1.  B and C write disjoint off-diagonal blocks.
-        let f = self.a(front, cur, procs, r1.clone());
-        let f = {
+        self.a(cur, procs, r1.clone());
+        {
             let (r1b, r2b) = (r1.clone(), r2.clone());
             let (r1c, r2c) = (r1.clone(), r2.clone());
             self.fork(
-                &f,
                 p1,
-                |s, f, c| s.b_role(f, c, p1, r1b, r2b),
+                |s, c| s.b_role(c, p1, r1b, r2b),
                 p2,
-                |s, f, c| s.c_role(f, c, p2, r1c, r2c),
-            )
-        };
-        let f = self.d(&f, cur, procs, r2.clone(), r2.clone(), r1.clone());
+                |s, c| s.c_role(c, p2, r1c, r2c),
+            );
+        }
+        self.d(cur, procs, r2.clone(), r2.clone(), r1.clone());
         // Phase 2: via ∈ r2.
-        let f = self.a(&f, cur, procs, r2.clone());
-        let f = {
+        self.a(cur, procs, r2.clone());
+        {
             let (r2b, r1b) = (r2.clone(), r1.clone());
             let (r2c, r1c) = (r2.clone(), r1.clone());
             self.fork(
-                &f,
                 p1,
-                |s, f, c| s.b_role(f, c, p1, r2b, r1b),
+                |s, c| s.b_role(c, p1, r2b, r1b),
                 p2,
-                |s, f, c| s.c_role(f, c, p2, r2c, r1c),
-            )
-        };
-        self.d(&f, cur, procs, r1.clone(), r1, r2)
+                |s, c| s.c_role(c, p2, r2c, r1c),
+            );
+        }
+        self.d(cur, procs, r1.clone(), r1, r2);
     }
 
     /// The B role: close the row-aligned block `v × cols`.
     fn b_role(
         &mut self,
-        front: &Front,
         cur: Option<ProcId>,
         procs: ProcList,
         v: Range<usize>,
         cols: Range<usize>,
-    ) -> Front {
+    ) {
         if v.is_empty() || cols.is_empty() {
-            return front.clone();
+            return;
         }
         if procs.len() == 1 || (v.len() <= self.base && cols.len() <= self.base) {
-            return self.leaf(front, cur, procs.first(), LeafCall::B { v, cols });
+            return self.leaf(cur, procs.first(), LeafCall::B { v, cols });
         }
         if v.len() <= self.base {
             let (c1, c2) = halves(&cols);
             let (p1, p2) = procs.split_even();
             let (va, vb) = (v.clone(), v);
             return self.fork(
-                front,
                 p1,
-                |s, f, c| s.b_role(f, c, p1, va, c1),
+                |s, c| s.b_role(c, p1, va, c1),
                 p2,
-                |s, f, c| s.b_role(f, c, p2, vb, c2),
+                |s, c| s.b_role(c, p2, vb, c2),
             );
         }
         let (v1, v2) = halves(&v);
         if cols.len() <= self.base {
-            let f = self.b_role(front, cur, procs, v1.clone(), cols.clone());
-            let f = self.d(&f, cur, procs, v2.clone(), cols.clone(), v1.clone());
-            let f = self.b_role(&f, cur, procs, v2.clone(), cols.clone());
-            return self.d(&f, cur, procs, v1, cols, v2);
+            self.b_role(cur, procs, v1.clone(), cols.clone());
+            self.d(cur, procs, v2.clone(), cols.clone(), v1.clone());
+            self.b_role(cur, procs, v2.clone(), cols.clone());
+            return self.d(cur, procs, v1, cols, v2);
         }
         let (c1, c2) = halves(&cols);
         let (p1, p2) = procs.split_even();
         // Phase 1: via ∈ v1.
-        let f = {
+        {
             let (va, vb) = (v1.clone(), v1.clone());
             let (ca, cb) = (c1.clone(), c2.clone());
             self.fork(
-                front,
                 p1,
-                |s, f, c| s.b_role(f, c, p1, va, ca),
+                |s, c| s.b_role(c, p1, va, ca),
                 p2,
-                |s, f, c| s.b_role(f, c, p2, vb, cb),
-            )
-        };
-        let f = {
+                |s, c| s.b_role(c, p2, vb, cb),
+            );
+        }
+        {
             let (ra, rb) = (v2.clone(), v2.clone());
             let (ca, cb) = (c1.clone(), c2.clone());
             let (wa, wb) = (v1.clone(), v1.clone());
             self.fork(
-                &f,
                 p1,
-                |s, f, c| s.d(f, c, p1, ra, ca, wa),
+                |s, c| s.d(c, p1, ra, ca, wa),
                 p2,
-                |s, f, c| s.d(f, c, p2, rb, cb, wb),
-            )
-        };
+                |s, c| s.d(c, p2, rb, cb, wb),
+            );
+        }
         // Phase 2: via ∈ v2.
-        let f = {
+        {
             let (va, vb) = (v2.clone(), v2.clone());
             let (ca, cb) = (c1.clone(), c2.clone());
             self.fork(
-                &f,
                 p1,
-                |s, f, c| s.b_role(f, c, p1, va, ca),
+                |s, c| s.b_role(c, p1, va, ca),
                 p2,
-                |s, f, c| s.b_role(f, c, p2, vb, cb),
-            )
-        };
+                |s, c| s.b_role(c, p2, vb, cb),
+            );
+        }
         {
             let (ra, rb) = (v1.clone(), v1);
             let (wa, wb) = (v2.clone(), v2);
             self.fork(
-                &f,
                 p1,
-                |s, f, c| s.d(f, c, p1, ra, c1, wa),
+                |s, c| s.d(c, p1, ra, c1, wa),
                 p2,
-                |s, f, c| s.d(f, c, p2, rb, c2, wb),
-            )
+                |s, c| s.d(c, p2, rb, c2, wb),
+            );
         }
     }
 
     /// The C role: close the column-aligned block `rows × v`.
     fn c_role(
         &mut self,
-        front: &Front,
         cur: Option<ProcId>,
         procs: ProcList,
         v: Range<usize>,
         rows: Range<usize>,
-    ) -> Front {
+    ) {
         if v.is_empty() || rows.is_empty() {
-            return front.clone();
+            return;
         }
         if procs.len() == 1 || (v.len() <= self.base && rows.len() <= self.base) {
-            return self.leaf(front, cur, procs.first(), LeafCall::C { v, rows });
+            return self.leaf(cur, procs.first(), LeafCall::C { v, rows });
         }
         if v.len() <= self.base {
             let (r1, r2) = halves(&rows);
             let (p1, p2) = procs.split_even();
             let (va, vb) = (v.clone(), v);
             return self.fork(
-                front,
                 p1,
-                |s, f, c| s.c_role(f, c, p1, va, r1),
+                |s, c| s.c_role(c, p1, va, r1),
                 p2,
-                |s, f, c| s.c_role(f, c, p2, vb, r2),
+                |s, c| s.c_role(c, p2, vb, r2),
             );
         }
         let (v1, v2) = halves(&v);
         if rows.len() <= self.base {
-            let f = self.c_role(front, cur, procs, v1.clone(), rows.clone());
-            let f = self.d(&f, cur, procs, rows.clone(), v2.clone(), v1.clone());
-            let f = self.c_role(&f, cur, procs, v2.clone(), rows.clone());
-            return self.d(&f, cur, procs, rows, v1, v2);
+            self.c_role(cur, procs, v1.clone(), rows.clone());
+            self.d(cur, procs, rows.clone(), v2.clone(), v1.clone());
+            self.c_role(cur, procs, v2.clone(), rows.clone());
+            return self.d(cur, procs, rows, v1, v2);
         }
         let (r1, r2) = halves(&rows);
         let (p1, p2) = procs.split_even();
         // Phase 1: via ∈ v1.
-        let f = {
+        {
             let (va, vb) = (v1.clone(), v1.clone());
             let (ra, rb) = (r1.clone(), r2.clone());
             self.fork(
-                front,
                 p1,
-                |s, f, c| s.c_role(f, c, p1, va, ra),
+                |s, c| s.c_role(c, p1, va, ra),
                 p2,
-                |s, f, c| s.c_role(f, c, p2, vb, rb),
-            )
-        };
-        let f = {
+                |s, c| s.c_role(c, p2, vb, rb),
+            );
+        }
+        {
             let (ra, rb) = (r1.clone(), r2.clone());
             let (ca, cb) = (v2.clone(), v2.clone());
             let (wa, wb) = (v1.clone(), v1.clone());
             self.fork(
-                &f,
                 p1,
-                |s, f, c| s.d(f, c, p1, ra, ca, wa),
+                |s, c| s.d(c, p1, ra, ca, wa),
                 p2,
-                |s, f, c| s.d(f, c, p2, rb, cb, wb),
-            )
-        };
+                |s, c| s.d(c, p2, rb, cb, wb),
+            );
+        }
         // Phase 2: via ∈ v2.
-        let f = {
+        {
             let (va, vb) = (v2.clone(), v2.clone());
             let (ra, rb) = (r1.clone(), r2.clone());
             self.fork(
-                &f,
                 p1,
-                |s, f, c| s.c_role(f, c, p1, va, ra),
+                |s, c| s.c_role(c, p1, va, ra),
                 p2,
-                |s, f, c| s.c_role(f, c, p2, vb, rb),
-            )
-        };
+                |s, c| s.c_role(c, p2, vb, rb),
+            );
+        }
         {
             let (ca, cb) = (v1.clone(), v1);
             let (wa, wb) = (v2.clone(), v2);
             self.fork(
-                &f,
                 p1,
-                |s, f, c| s.d(f, c, p1, r1, ca, wa),
+                |s, c| s.d(c, p1, r1, ca, wa),
                 p2,
-                |s, f, c| s.d(f, c, p2, r2, cb, wb),
-            )
+                |s, c| s.d(c, p2, r2, cb, wb),
+            );
         }
     }
 
@@ -501,23 +583,21 @@ impl Planner {
     /// (row/column cuts fork; via cuts stay ordered — and, because both via
     /// halves keep the same processor list, the ordered halves land on the
     /// same workers and share waves through the per-worker FIFO).
-    #[allow(clippy::too_many_arguments)] // mirrors the recursion's pseudo-code signature
     fn d(
         &mut self,
-        front: &Front,
         cur: Option<ProcId>,
         procs: ProcList,
         rows: Range<usize>,
         cols: Range<usize>,
         via: Range<usize>,
-    ) -> Front {
+    ) {
         if rows.is_empty() || cols.is_empty() || via.is_empty() {
-            return front.clone();
+            return;
         }
         if procs.len() == 1
             || (rows.len() <= self.base && cols.len() <= self.base && via.len() <= self.base)
         {
-            return self.leaf(front, cur, procs.first(), LeafCall::D { rows, cols, via });
+            return self.leaf(cur, procs.first(), LeafCall::D { rows, cols, via });
         }
         if rows.len() >= cols.len() && rows.len() >= via.len() {
             let (r1, r2) = halves(&rows);
@@ -525,41 +605,51 @@ impl Planner {
             let (ca, cb) = (cols.clone(), cols);
             let (wa, wb) = (via.clone(), via);
             self.fork(
-                front,
                 p1,
-                |s, f, c| s.d(f, c, p1, r1, ca, wa),
+                |s, c| s.d(c, p1, r1, ca, wa),
                 p2,
-                |s, f, c| s.d(f, c, p2, r2, cb, wb),
-            )
+                |s, c| s.d(c, p2, r2, cb, wb),
+            );
         } else if cols.len() >= via.len() {
             let (c1, c2) = halves(&cols);
             let (p1, p2) = procs.split_even();
             let (ra, rb) = (rows.clone(), rows);
             let (wa, wb) = (via.clone(), via);
             self.fork(
-                front,
                 p1,
-                |s, f, c| s.d(f, c, p1, ra, c1, wa),
+                |s, c| s.d(c, p1, ra, c1, wa),
                 p2,
-                |s, f, c| s.d(f, c, p2, rb, c2, wb),
-            )
+                |s, c| s.d(c, p2, rb, c2, wb),
+            );
         } else {
             // A via cut accumulates into the same cells: the halves stay
             // ordered (same procs ⇒ same leaves ⇒ in-wave FIFO ordering).
             let (v1, v2) = halves(&via);
-            let f = self.d(front, cur, procs, rows.clone(), cols.clone(), v1);
-            self.d(&f, cur, procs, rows, cols, v2)
+            self.d(cur, procs, rows.clone(), cols.clone(), v1);
+            self.d(cur, procs, rows, cols, v2);
         }
     }
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::kernel::fw_reference;
     use crate::seq::{fw_seq, fw_seq_traced};
     use paco_core::workload::{random_adjacency, random_digraph};
+    use paco_runtime::WorkerPool;
+
+    /// Prepare-bind-execute helper replicating the retired `fw_paco_with_base`
+    /// free function over [`FwRun`].
+    fn fw_paco_with_base<S: IdempotentSemiring>(
+        adj: &Matrix<S>,
+        pool: &WorkerPool,
+        base: usize,
+    ) -> Matrix<S> {
+        let run = FwRun::prepare(adj, pool.p(), base);
+        run.plan().execute(pool, |proc, call| run.step(proc, call));
+        run.finish()
+    }
 
     #[test]
     fn matches_reference_for_various_p_and_sizes() {
@@ -592,7 +682,10 @@ mod tests {
         let adj: Matrix<paco_core::semiring::MinPlus> =
             Matrix::from_fn(0, 0, |_, _| unreachable!());
         let pool = WorkerPool::new(3);
-        assert_eq!(fw_paco(&adj, &pool).rows(), 0);
+        assert_eq!(
+            fw_paco_with_base(&adj, &pool, crate::kernel::DEFAULT_BASE).rows(),
+            0
+        );
     }
 
     #[test]
@@ -649,6 +742,49 @@ mod tests {
     }
 
     #[test]
+    fn exact_layering_beats_the_front_clock_ceilings() {
+        // PR 3's conservative per-processor wave clock produced 110 waves at
+        // p = 4 and 152 at p = 8 for n = 128, base = 8.  The dependency-exact
+        // layering must never regress past those ceilings.
+        let b4 = plan_fw(128, 4, 8).plan.barriers();
+        let b8 = plan_fw(128, 8, 8).plan.barriers();
+        println!("n=128 base=8: p=4 -> {b4} waves (was 110), p=8 -> {b8} waves (was 152)");
+        assert!(b4 <= 110, "p=4: {b4} waves, front-clock ceiling was 110");
+        assert!(b8 <= 152, "p=8: {b8} waves, front-clock ceiling was 152");
+    }
+
+    #[test]
+    fn layered_waves_never_overlap_read_write_footprints_across_procs() {
+        // Structural check of the exact layering: inside one wave, a cell
+        // written by one processor must not be read or written by any other.
+        for &(n, p, base) in &[(96usize, 4usize, 8usize), (128, 7, 16)] {
+            let fw = plan_fw(n, p, base);
+            for wave in fw.plan.waves() {
+                for (i, a) in wave.iter().enumerate() {
+                    let (wr, wc) = a.job.write_rect();
+                    for b in &wave[i + 1..] {
+                        if a.proc == b.proc {
+                            continue; // same worker: FIFO order applies
+                        }
+                        for (rr, rc) in b.job.read_rects() {
+                            let disjoint = wr.end <= rr.start
+                                || rr.end <= wr.start
+                                || wc.end <= rc.start
+                                || rc.end <= wc.start;
+                            assert!(
+                                disjoint,
+                                "n={n} p={p}: write {wr:?}×{wc:?} on proc {} overlaps \
+                                 read {rr:?}×{rc:?} on proc {} in one wave",
+                                a.proc, b.proc
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn plan_barriers_grow_linearly_with_n_not_faster() {
         // Per A-phase the wave count is bounded by a constant in n (it only
         // depends on p): doubling n doubles the A-chain, so barriers at most
@@ -671,6 +807,21 @@ mod tests {
     }
 
     #[test]
+    fn bound_runs_share_one_compiled_plan() {
+        // One compiled plan, many bound instances: from_plan must reproduce
+        // prepare() exactly (the skeleton-cache contract).
+        let compiled = Arc::new(plan_fw(48, 3, 8));
+        let pool = WorkerPool::new(3);
+        for seed in [5u64, 6, 7] {
+            let adj = random_digraph(48, 0.25, 30, seed);
+            let run = FwRun::from_plan(&adj, Arc::clone(&compiled), 8);
+            run.plan().execute(&pool, |proc, call| run.step(proc, call));
+            assert_eq!(run.finish(), fw_reference(&adj), "seed={seed}");
+        }
+        assert_eq!(Arc::strong_count(&compiled), 1);
+    }
+
+    #[test]
     fn batch_matches_individual_runs_and_shares_barriers() {
         let pool = WorkerPool::new(3);
         let base = 8;
@@ -678,7 +829,14 @@ mod tests {
             .map(|i| random_digraph(24 + 8 * i, 0.25, 30, 100 + i as u64))
             .collect();
         let expect: Vec<_> = adjs.iter().map(fw_reference).collect();
-        let got = fw_paco_batch(&adjs, &pool, base);
+        let runs: Vec<FwRun<_>> = adjs
+            .iter()
+            .map(|adj| FwRun::prepare(adj, pool.p(), base))
+            .collect();
+        let plan_refs: Vec<&Plan<LeafCall>> = runs.iter().map(|r| r.plan()).collect();
+        let batched = Plan::batch_refs(&plan_refs);
+        batched.execute(&pool, |proc, (inst, call)| runs[*inst].step(proc, call));
+        let got: Vec<_> = runs.into_iter().map(FwRun::finish).collect();
         assert_eq!(got, expect);
 
         // The batched plan's barrier count is the max of the constituents',

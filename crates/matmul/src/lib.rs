@@ -15,13 +15,13 @@
 //! | [`co_mm::co_mm`] | CO | sequential cache-oblivious MM, Lemma 8 (Frigo et al.) |
 //! | [`po::co2_mm`] | PO | depth-n 2-way divide-and-conquer on rayon, the "CO2" competitor of Fig. 11b |
 //! | [`baseline::blocked_parallel_mm`] | vendor | statically tiled, rayon-parallel MM standing in for Intel MKL `dgemm` (Fig. 9/10/11a) |
-//! | [`paco_mm::paco_mm_1piece`] | PACO | MM-1-PIECE: one cuboid per processor, ⌊p/2⌋:⌈p/2⌉ processor-list splits (Corollary 10) |
+//! | [`paco_mm::MmRun`] | PACO | MM-1-PIECE: one cuboid per processor, ⌊p/2⌋:⌈p/2⌉ processor-list splits (Corollary 10); run via `paco_service::Session` |
 //! | [`paco_mm::plan_paco_mm`] | PACO | the general pruned-BFS cuboid partitioning of Theorem 9 (partition + balance analysis) |
 //! | [`general::paco_mm_general`] | PACO | the general multi-cuboid algorithm of Fig. 7 executed end-to-end (private partial products + parallel reduction) |
 //! | [`hetero::hetero_mm`] | PACO | throughput-proportional splitting for heterogeneous machines (Corollary 12 / Sect. IV-A) |
 //! | [`strassen::strassen_sequential`] | CO | sequential Strassen with cutoff to CO-MM |
 //! | [`strassen::strassen_po`] | PO | 7-way parallel recursion on rayon |
-//! | [`strassen::strassen_paco`] | PACO | pruned-BFS placement of the 7-ary tree, incl. the CONST-PIECES `γ` bound (Theorem 13, Corollary 14) |
+//! | [`strassen::StrassenRun`] | PACO | pruned-BFS placement of the 7-ary tree, incl. the CONST-PIECES `γ` bound (Theorem 13, Corollary 14); run via `paco_service::Session` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -39,10 +39,8 @@ pub use baseline::blocked_parallel_mm;
 pub use co_mm::{co_mm, mm_reference};
 pub use general::{paco_mm_general, plan_paco_mm_general, PlacedCuboid};
 pub use hetero::hetero_mm;
-#[allow(deprecated)]
-pub use paco_mm::{
-    paco_mm_1piece, plan_mm_1piece, plan_paco_mm, Cuboid, MmConfig, MmJob, MmPlan, MmRun,
-};
+pub use paco_mm::{plan_mm_1piece, plan_paco_mm, Cuboid, MmConfig, MmJob, MmPlan, MmRun};
 pub use po::co2_mm;
-#[allow(deprecated)]
-pub use strassen::{strassen_paco, strassen_po, strassen_sequential, StrassenOptions, StrassenRun};
+pub use strassen::{
+    plan_strassen, strassen_po, strassen_sequential, StrassenOptions, StrassenPlan, StrassenRun,
+};

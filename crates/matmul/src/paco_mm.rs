@@ -10,13 +10,14 @@
 //!   The function returns the assignment so tests, the scaling experiment and
 //!   the ablation bench can inspect the balance directly.
 //!
-//! * [`paco_mm_1piece`] — the executable MM-1-PIECE algorithm of Corollary 10
-//!   (Fig. 8), the variant the paper benchmarks against MKL: processor lists
-//!   are split `⌊p/2⌋ : ⌈p/2⌉` and the cuboid is split on its longest dimension
-//!   in the same ratio, until a single processor remains and runs the
-//!   sequential cache-oblivious kernel.  A height (`k`) cut allocates a
-//!   temporary output and merges with a parallel addition afterwards, exactly
-//!   as lines 27–37 of Fig. 7 / Fig. 8 describe.
+//! * [`MmRun`] / [`paco_mm_1piece_with`] — the executable MM-1-PIECE
+//!   algorithm of Corollary 10 (Fig. 8), the variant the paper benchmarks
+//!   against MKL: processor lists are split `⌊p/2⌋ : ⌈p/2⌉` and the cuboid is
+//!   split on its longest dimension in the same ratio, until a single
+//!   processor remains and runs the sequential cache-oblivious kernel.  A
+//!   height (`k`) cut allocates a temporary output and merges with a parallel
+//!   addition afterwards, exactly as lines 27–37 of Fig. 7 / Fig. 8 describe.
+//!   Run it through `paco_service::Session` with the `MatMul` request.
 //!
 //! Since PR 3 the 1-PIECE recursion is compiled by [`plan_mm_1piece`] into the
 //! runtime's wave-based [`Plan`] IR instead of driving the pool with `fork2`:
@@ -40,6 +41,7 @@ use paco_core::shared::SharedGrid;
 use paco_runtime::hetero::ThrottleSpec;
 use paco_runtime::schedule::{Front, Plan, PlanBuilder};
 use paco_runtime::{pruned_bfs, Assignment, DcNode, WorkerPool};
+use std::sync::Arc;
 
 /// A computation cuboid `n × m × k` (output `n × m`, inputs `n × k` and
 /// `k × m`); the node type of the pruned BFS partitioning.
@@ -374,12 +376,15 @@ impl MmPlanner<'_> {
 /// rebuilds its disjoint window views, and the plan's wave discipline
 /// provides the `SharedGrid` safety contract.  This is the unit the service
 /// layer's `Session` schedules — alone, in batches, or mixed with other
-/// workloads — and the free functions below are thin wrappers over it.
+/// workloads — and [`paco_mm_1piece_with`] is the borrowing variant over the
+/// same interpreter.  Only [`MmConfig::fractions`] shapes the schedule, so
+/// [`MmRun::from_plan`] can bind fresh operands to a shared, possibly cached
+/// [`MmPlan`].
 pub struct MmRun<S: Semiring> {
     a: Matrix<S>,
     b: Matrix<S>,
     cfg: MmConfig,
-    compiled: MmPlan,
+    compiled: Arc<MmPlan>,
     buffers: MmBuffers<S>,
 }
 
@@ -486,7 +491,16 @@ impl<S: Semiring> MmRun<S> {
     pub fn prepare(a: Matrix<S>, b: Matrix<S>, p: usize, cfg: MmConfig) -> Self {
         check_mm_config(a.cols(), b.rows(), p, &cfg);
         let (n, m, k) = (a.rows(), b.cols(), a.cols());
-        let compiled = plan_mm_1piece(n, m, k, p, &cfg);
+        let compiled = Arc::new(plan_mm_1piece(n, m, k, p, &cfg));
+        Self::from_plan(a, b, compiled, cfg)
+    }
+
+    /// Bind operands to an already-compiled (typically cached) plan.  The
+    /// plan must have been produced by [`plan_mm_1piece`] for exactly these
+    /// operand shapes and the same [`MmConfig::fractions`] (the cutoff and
+    /// throttle are execution-time knobs and may differ).
+    pub fn from_plan(a: Matrix<S>, b: Matrix<S>, compiled: Arc<MmPlan>, cfg: MmConfig) -> Self {
+        let (n, m) = (a.rows(), b.cols());
         let buffers = MmBuffers::new(n, m, &compiled);
         Self {
             a,
@@ -512,12 +526,6 @@ impl<S: Semiring> MmRun<S> {
     pub fn finish(self) -> Matrix<S> {
         self.buffers.into_output()
     }
-}
-
-/// PACO MM-1-PIECE (Corollary 10): `C = A ⊗ B` on `pool.p()` processors.
-#[deprecated(note = "run the `MatMul` request through a `paco_service::Session` instead")]
-pub fn paco_mm_1piece<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
-    paco_mm_1piece_with(a, b, pool, &MmConfig::default())
 }
 
 /// PACO MM-1-PIECE with an explicit configuration (fractions / throttle /
@@ -567,12 +575,17 @@ fn run_leaf<S: Semiring>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::co_mm::mm_reference;
     use paco_core::semiring::WrappingRing;
     use paco_core::workload::{random_matrix_f64, random_matrix_wrapping};
+
+    /// Default-config wrapper standing in for the removed shim; real callers
+    /// go through `paco_service::Session` with the `MatMul` request.
+    fn paco_mm_1piece<S: Semiring>(a: &Matrix<S>, b: &Matrix<S>, pool: &WorkerPool) -> Matrix<S> {
+        paco_mm_1piece_with(a, b, pool, &MmConfig::default())
+    }
 
     #[test]
     fn matches_reference_for_various_p_exact() {

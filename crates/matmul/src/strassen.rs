@@ -24,9 +24,9 @@ use paco_core::matrix::{MatRef, Matrix};
 use paco_core::proc_list::ProcList;
 use paco_core::semiring::Ring;
 use paco_runtime::schedule::{Plan, Step};
-use paco_runtime::WorkerPool;
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Default side length below which Strassen falls back to the classical
 /// cache-oblivious kernel (an alias of the hoisted workspace default in
@@ -190,15 +190,29 @@ pub fn strassen_po<R: Ring>(a: &Matrix<R>, b: &Matrix<R>) -> Matrix<R> {
 // PACO Strassen
 // ---------------------------------------------------------------------------
 
-/// One node of the 7-ary multiplication tree during the pruned BFS expansion.
-struct TreeNode<R: Ring> {
-    /// Operands; taken (set to `None`) when the node is expanded, since an
-    /// internal node only needs its children's products for the combine step.
-    operands: Option<(Matrix<R>, Matrix<R>)>,
-    /// Child node indices (empty for leaves).
-    children: Vec<usize>,
+/// One node of the structural 7-ary multiplication tree: which children a
+/// node expanded into (empty for leaves) and its side length.  Pure shape —
+/// the operand matrices live in the bound [`StrassenRun`].
+#[derive(Debug, Clone)]
+pub struct StrassenNode {
+    /// Child node indices (empty for leaves).  Children always have larger
+    /// indices than their parent, so an in-order sweep can derive operands
+    /// top-down and a reverse sweep can combine products bottom-up.
+    pub children: Vec<usize>,
     /// Problem side length at this node.
-    size: usize,
+    pub size: usize,
+}
+
+/// The compiled PACO Strassen schedule: the structural 7-ary tree plus the
+/// single-wave leaf plan.  Depends only on `(n, p, opts)` — the pruned BFS
+/// expands and assigns by node *size* alone — so it can be cached and bound
+/// to fresh operands via [`StrassenRun::from_plan`].
+#[derive(Debug, Clone)]
+pub struct StrassenPlan {
+    /// The tree shape, root at index 0.
+    pub nodes: Vec<StrassenNode>,
+    /// The executable single-wave schedule; jobs are leaf node indices.
+    pub plan: Plan<usize>,
 }
 
 /// Tuning parameters of PACO Strassen.
@@ -225,18 +239,106 @@ impl Default for StrassenOptions {
     }
 }
 
-/// A prepared PACO Strassen instance: the 7-ary tree already expanded and
-/// assigned by the pruned BFS traversal (phase 1), the leaf products compiled
-/// into a single-wave plan (phase 2, the only parallel part), and the
-/// bottom-up combine (phase 3) deferred to [`StrassenRun::finish`].  This is
-/// the unit the service layer's `Session` schedules — alone, in batches, or
-/// mixed with other workloads — and the deprecated free functions below are
-/// thin wrappers over it.  Degenerate instances (`p == 1`, small or odd `n`)
-/// compile to a one-step plan running the sequential algorithm.
+/// Compile the structural PACO Strassen schedule: phase 1's pruned BFS
+/// expansion and assignment of the 7-ary tree, driven purely by node sizes.
+/// Degenerate instances (`p == 1`, small or odd `n`) compile to a one-step
+/// plan running the sequential algorithm on the root.
+pub fn plan_strassen(n: usize, p: usize, opts: StrassenOptions) -> StrassenPlan {
+    let mut nodes = vec![StrassenNode {
+        children: Vec::new(),
+        size: n,
+    }];
+    if p == 1 || n <= opts.parallel_base || !n.is_multiple_of(2) {
+        return StrassenPlan {
+            nodes,
+            plan: Plan::single_wave(p.max(1), vec![Step { proc: 0, job: 0 }]),
+        };
+    }
+
+    // ---- Phase 1: pruned BFS expansion of the 7-ary tree. ----
+    let procs = ProcList::all(p);
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); p]; // node indices per proc
+    let mut frontier: Vec<usize> = vec![0];
+    let mut rr = 0usize;
+    let mut super_rounds = 0usize;
+
+    while !frontier.is_empty() {
+        let all_base = frontier
+            .iter()
+            .all(|&i| nodes[i].size <= opts.parallel_base || !nodes[i].size.is_multiple_of(2));
+        let gamma_reached = opts.gamma.is_some_and(|g| super_rounds >= g);
+
+        if frontier.len() >= p || all_base || gamma_reached {
+            let take = if !all_base && !gamma_reached && frontier.len() >= p {
+                p
+            } else {
+                frontier.len()
+            };
+            let rest = frontier.split_off(take);
+            for idx in frontier {
+                assignment[procs.round_robin(rr)].push(idx);
+                rr += 1;
+            }
+            super_rounds += 1;
+            frontier = rest;
+            if all_base || gamma_reached {
+                for idx in frontier.drain(..) {
+                    assignment[procs.round_robin(rr)].push(idx);
+                    rr += 1;
+                }
+            }
+            continue;
+        }
+
+        // Expand every frontier node one Strassen level.
+        let mut next = Vec::with_capacity(frontier.len() * 7);
+        for idx in frontier {
+            if nodes[idx].size <= opts.parallel_base || !nodes[idx].size.is_multiple_of(2) {
+                next.push(idx);
+                continue;
+            }
+            let child_size = nodes[idx].size / 2;
+            for _ in 0..7 {
+                let child_idx = nodes.len();
+                nodes.push(StrassenNode {
+                    children: Vec::new(),
+                    size: child_size,
+                });
+                nodes[idx].children.push(child_idx);
+            }
+            // Only the (unexpanded) children are schedulable work; the
+            // parent waits for them in the combine phase.
+            next.extend(nodes[idx].children.iter().copied());
+        }
+        frontier = next;
+    }
+
+    // ---- Phase 2 compiles to a single-wave plan (the leaves are mutually
+    // independent; per-processor order rides the pool FIFO). ----
+    let steps: Vec<Step<usize>> = assignment
+        .iter()
+        .enumerate()
+        .flat_map(|(proc, leaf_ids)| leaf_ids.iter().map(move |&idx| Step { proc, job: idx }))
+        .collect();
+    StrassenPlan {
+        nodes,
+        plan: Plan::single_wave(p, steps),
+    }
+}
+
+/// A prepared PACO Strassen instance: a structural [`StrassenPlan`] bound to
+/// concrete operands.  Binding replays the tree top-down to materialise every
+/// node's `(Sᵣ, Tᵣ)` operand pair (internal nodes drop theirs once expanded),
+/// the single-wave plan multiplies the leaves in parallel, and the bottom-up
+/// combine (phase 3) is deferred to [`StrassenRun::finish`].  This is the
+/// unit the service layer's `Session` schedules — alone, in batches, or mixed
+/// with other workloads.
 pub struct StrassenRun<R: Ring> {
-    nodes: Vec<TreeNode<R>>,
+    compiled: Arc<StrassenPlan>,
+    /// `operands[idx]`: the node's `(Sᵣ, Tᵣ)` pair; `None` for expanded
+    /// internal nodes (their products come from their children).
+    operands: Vec<Option<(Matrix<R>, Matrix<R>)>>,
     results: Vec<Mutex<Option<Matrix<R>>>>,
-    plan: Plan<usize>,
     cutoff: usize,
 }
 
@@ -244,109 +346,58 @@ impl<R: Ring> StrassenRun<R> {
     /// Expand and assign `C = A ⊗ B` for `p` processors.
     pub fn prepare(a: Matrix<R>, b: Matrix<R>, p: usize, opts: StrassenOptions) -> Self {
         check_square(&a, &b);
-        let n = a.rows();
-        let mut nodes: Vec<TreeNode<R>> = vec![TreeNode {
-            operands: Some((a, b)),
-            children: Vec::new(),
-            size: n,
-        }];
-        if p == 1 || n <= opts.parallel_base || !n.is_multiple_of(2) {
-            // Degenerate: the root is the single leaf, run sequentially.
-            return Self {
-                results: vec![Mutex::new(None)],
-                nodes,
-                plan: Plan::single_wave(p.max(1), vec![Step { proc: 0, job: 0 }]),
-                cutoff: opts.cutoff,
-            };
-        }
+        let compiled = Arc::new(plan_strassen(a.rows(), p, opts));
+        Self::from_plan(a, b, compiled, opts.cutoff)
+    }
 
-        // ---- Phase 1: pruned BFS expansion of the 7-ary tree. ----
-        let procs = ProcList::all(p);
-        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); p]; // node indices per proc
-        let mut frontier: Vec<usize> = vec![0];
-        let mut rr = 0usize;
-        let mut super_rounds = 0usize;
-
-        while !frontier.is_empty() {
-            let all_base = frontier
-                .iter()
-                .all(|&i| nodes[i].size <= opts.parallel_base || !nodes[i].size.is_multiple_of(2));
-            let gamma_reached = opts.gamma.is_some_and(|g| super_rounds >= g);
-
-            if frontier.len() >= p || all_base || gamma_reached {
-                let take = if !all_base && !gamma_reached && frontier.len() >= p {
-                    p
-                } else {
-                    frontier.len()
-                };
-                let rest = frontier.split_off(take);
-                for idx in frontier {
-                    assignment[procs.round_robin(rr)].push(idx);
-                    rr += 1;
-                }
-                super_rounds += 1;
-                frontier = rest;
-                if all_base || gamma_reached {
-                    for idx in frontier.drain(..) {
-                        assignment[procs.round_robin(rr)].push(idx);
-                        rr += 1;
-                    }
-                }
+    /// Bind operands to an already-compiled (typically cached) structural
+    /// plan.  The plan must have been produced by [`plan_strassen`] for
+    /// exactly this operand size; the tree is replayed in index order (a
+    /// parent always precedes its children) to derive every node's operands.
+    pub fn from_plan(
+        a: Matrix<R>,
+        b: Matrix<R>,
+        compiled: Arc<StrassenPlan>,
+        cutoff: usize,
+    ) -> Self {
+        check_square(&a, &b);
+        let mut operands: Vec<Option<(Matrix<R>, Matrix<R>)>> =
+            Vec::with_capacity(compiled.nodes.len());
+        operands.push(Some((a, b)));
+        operands.resize_with(compiled.nodes.len(), || None);
+        for idx in 0..compiled.nodes.len() {
+            if compiled.nodes[idx].children.is_empty() {
                 continue;
             }
-
-            // Expand every frontier node one Strassen level.
-            let mut next = Vec::with_capacity(frontier.len() * 7);
-            for idx in frontier {
-                if nodes[idx].size <= opts.parallel_base || !nodes[idx].size.is_multiple_of(2) {
-                    next.push(idx);
-                    continue;
-                }
-                let (na, nb) = nodes[idx]
-                    .operands
-                    .take()
-                    .expect("unexpanded node must still hold its operands");
-                let child_size = nodes[idx].size / 2;
-                for (s, t) in strassen_operands(&na, &nb) {
-                    let child_idx = nodes.len();
-                    nodes.push(TreeNode {
-                        operands: Some((s, t)),
-                        children: Vec::new(),
-                        size: child_size,
-                    });
-                    nodes[idx].children.push(child_idx);
-                }
-                // Only the (unexpanded) children are schedulable work; the
-                // parent waits for them in the combine phase.
-                next.extend(nodes[idx].children.iter().copied());
+            let (na, nb) = operands[idx]
+                .take()
+                .expect("a parent's operands are derived before its children's");
+            for (&child, pair) in compiled.nodes[idx]
+                .children
+                .iter()
+                .zip(strassen_operands(&na, &nb))
+            {
+                operands[child] = Some(pair);
             }
-            frontier = next;
         }
-
-        // ---- Phase 2 compiles to a single-wave plan (the leaves are
-        // mutually independent; per-processor order rides the pool FIFO). ----
-        let steps: Vec<Step<usize>> = assignment
-            .iter()
-            .enumerate()
-            .flat_map(|(proc, leaf_ids)| leaf_ids.iter().map(move |&idx| Step { proc, job: idx }))
-            .collect();
         Self {
-            results: (0..nodes.len()).map(|_| Mutex::new(None)).collect(),
-            nodes,
-            plan: Plan::single_wave(p, steps),
-            cutoff: opts.cutoff,
+            results: (0..compiled.nodes.len())
+                .map(|_| Mutex::new(None))
+                .collect(),
+            operands,
+            compiled,
+            cutoff,
         }
     }
 
     /// The compiled (single-wave) schedule; jobs are leaf node indices.
     pub fn plan(&self) -> &Plan<usize> {
-        &self.plan
+        &self.compiled.plan
     }
 
     /// Multiply leaf `idx` with the sequential Strassen kernel.
     pub fn step(&self, _proc: paco_core::proc_list::ProcId, idx: &usize) {
-        let (la, lb) = self.nodes[*idx]
-            .operands
+        let (la, lb) = self.operands[*idx]
             .as_ref()
             .expect("assigned leaves keep their operands");
         let product = strassen_sequential_with_cutoff(la, lb, self.cutoff);
@@ -357,11 +408,11 @@ impl<R: Ring> StrassenRun<R> {
     /// their parent, so a reverse index sweep combines every internal node
     /// after all of its children are ready.
     pub fn finish(self) -> Matrix<R> {
-        for idx in (0..self.nodes.len()).rev() {
-            if self.nodes[idx].children.is_empty() {
+        for idx in (0..self.compiled.nodes.len()).rev() {
+            if self.compiled.nodes[idx].children.is_empty() {
                 continue;
             }
-            let ms: Vec<Matrix<R>> = self.nodes[idx]
+            let ms: Vec<Matrix<R>> = self.compiled.nodes[idx]
                 .children
                 .iter()
                 .map(|&c| {
@@ -380,57 +431,25 @@ impl<R: Ring> StrassenRun<R> {
     }
 }
 
-/// PACO Strassen (Theorem 13) with default options.
-#[deprecated(note = "run the `Strassen` request through a `paco_service::Session` instead")]
-pub fn strassen_paco<R: Ring>(a: &Matrix<R>, b: &Matrix<R>, pool: &WorkerPool) -> Matrix<R> {
-    #[allow(deprecated)]
-    strassen_paco_with(a, b, pool, StrassenOptions::default())
-}
-
-/// PACO STRASSEN-CONST-PIECES (Corollary 14): at most `gamma` assignment
-/// super-rounds, hence a constant number of pieces per processor.
-#[deprecated(
-    note = "run the `Strassen` request through a `paco_service::Session` (set `Tuning::strassen_gamma` for the knob) instead"
-)]
-pub fn strassen_const_pieces<R: Ring>(
-    a: &Matrix<R>,
-    b: &Matrix<R>,
-    pool: &WorkerPool,
-    gamma: usize,
-) -> Matrix<R> {
-    #[allow(deprecated)]
-    strassen_paco_with(
-        a,
-        b,
-        pool,
-        StrassenOptions {
-            gamma: Some(gamma),
-            ..StrassenOptions::default()
-        },
-    )
-}
-
-/// PACO Strassen with explicit options.
-#[deprecated(
-    note = "run the `Strassen` request through a `paco_service::Session` (the `Tuning` strassen knobs replace `StrassenOptions`) instead"
-)]
-pub fn strassen_paco_with<R: Ring>(
-    a: &Matrix<R>,
-    b: &Matrix<R>,
-    pool: &WorkerPool,
-    opts: StrassenOptions,
-) -> Matrix<R> {
-    let run = StrassenRun::prepare(a.clone(), b.clone(), pool.p(), opts);
-    run.plan().execute(pool, |proc, idx| run.step(proc, idx));
-    run.finish()
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use crate::co_mm::mm_reference;
     use paco_core::workload::{random_matrix_f64, random_matrix_wrapping};
+    use paco_runtime::WorkerPool;
+
+    /// Prepare-and-run helper standing in for the removed pool-threading
+    /// wrappers; real callers go through `paco_service::Session`.
+    fn strassen_paco_with<R: Ring>(
+        a: &Matrix<R>,
+        b: &Matrix<R>,
+        pool: &WorkerPool,
+        opts: StrassenOptions,
+    ) -> Matrix<R> {
+        let run = StrassenRun::prepare(a.clone(), b.clone(), pool.p(), opts);
+        run.plan().execute(pool, |proc, idx| run.step(proc, idx));
+        run.finish()
+    }
 
     #[test]
     fn sequential_matches_reference_exact_ring() {
@@ -491,7 +510,11 @@ mod tests {
         let expect = mm_reference(&a, &b);
         let pool = WorkerPool::new(5);
         for gamma in [1usize, 2, 8] {
-            let got = strassen_const_pieces(&a, &b, &pool, gamma);
+            let opts = StrassenOptions {
+                gamma: Some(gamma),
+                ..StrassenOptions::default()
+            };
+            let got = strassen_paco_with(&a, &b, &pool, opts);
             assert_eq!(expect, got, "gamma={gamma}");
         }
     }
@@ -528,7 +551,7 @@ mod tests {
         let b = random_matrix_f64(n, n, 22);
         let expect = mm_reference(&a, &b);
         let pool = WorkerPool::new(4);
-        let got = strassen_paco(&a, &b, &pool);
+        let got = strassen_paco_with(&a, &b, &pool, StrassenOptions::default());
         assert!(
             expect.approx_eq(&got, 1e-8),
             "max diff {}",

@@ -187,6 +187,29 @@ impl<J> Plan<J> {
         Plan { waves, p }
     }
 
+    /// [`Plan::batch`] over *borrowed* plans: merge without consuming (or
+    /// deep-cloning) the constituents, cloning only the jobs actually placed.
+    /// This is the executor path for cached plan skeletons — the same `Arc`ed
+    /// skeleton can appear in any number of concurrent batches, so the merge
+    /// must not take ownership.
+    pub fn batch_refs(plans: &[&Plan<J>]) -> Plan<(usize, J)>
+    where
+        J: Clone,
+    {
+        let p = plans.iter().map(|pl| pl.p).max().unwrap_or(1);
+        let depth = plans.iter().map(|pl| pl.waves.len()).max().unwrap_or(0);
+        let mut waves: Vec<Vec<Step<(usize, J)>>> = (0..depth).map(|_| Vec::new()).collect();
+        for (idx, plan) in plans.iter().enumerate() {
+            for (w, wave) in plan.waves.iter().enumerate() {
+                waves[w].extend(wave.iter().map(|s| Step {
+                    proc: s.proc,
+                    job: (idx, s.job.clone()),
+                }));
+            }
+        }
+        Plan { waves, p }
+    }
+
     /// Transform every job, preserving the schedule.
     pub fn map<K>(self, mut f: impl FnMut(J) -> K) -> Plan<K> {
         Plan {
@@ -532,6 +555,29 @@ mod tests {
             hits.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(hits.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn batch_refs_agrees_with_batch_without_consuming() {
+        let mk = |n_waves: usize, proc: ProcId| {
+            Plan::from_waves(
+                2,
+                (0..n_waves).map(|w| vec![Step { proc, job: w }]).collect(),
+            )
+        };
+        let (a, b, c) = (mk(3, 0), mk(1, 1), mk(2, 1));
+        let merged = Plan::batch_refs(&[&a, &b, &c]);
+        let owned = Plan::batch(vec![a.clone(), b.clone(), c.clone()]);
+        assert_eq!(merged.barriers(), owned.barriers());
+        assert_eq!(merged.steps(), owned.steps());
+        for (wa, wb) in merged.waves().iter().zip(owned.waves()) {
+            assert_eq!(wa, wb);
+        }
+        // The constituents survive the merge untouched.
+        assert_eq!(a.steps(), 3);
+        assert_eq!(c.barriers(), 2);
+        let empty = Plan::<usize>::batch_refs(&[]);
+        assert_eq!(empty.steps(), 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 /// Per-request admission metadata: the priority class the shard queues
 /// drain by and an optional deadline after which executing the request is
-/// pointless.
+/// pointless.  Built fluently from [`SubmitOptions::new`].
 ///
 /// An expired request is *not* executed — when the executor dequeues it
 /// past its deadline, its ticket resolves to
@@ -26,18 +26,17 @@ use std::time::{Duration, Instant};
 /// use paco_service::{Priority, SubmitOptions};
 /// use std::time::Duration;
 ///
-/// let urgent = SubmitOptions::priority(Priority::High)
-///     .with_deadline_in(Duration::from_millis(5));
-/// assert_eq!(urgent.priority, Priority::High);
-/// assert!(urgent.deadline.is_some());
+/// let urgent = SubmitOptions::new()
+///     .priority(Priority::High)
+///     .deadline_in(Duration::from_millis(5));
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SubmitOptions {
     /// Urgency class ([`Priority::Normal`] by default).
-    pub priority: Priority,
+    pub(crate) priority: Priority,
     /// Latest instant at which starting the request's pass is still useful
     /// (`None`, the default, never expires).
-    pub deadline: Option<Instant>,
+    pub(crate) deadline: Option<Instant>,
 }
 
 impl SubmitOptions {
@@ -46,30 +45,22 @@ impl SubmitOptions {
         Self::default()
     }
 
-    /// Options with the given priority and no deadline.
-    pub fn priority(priority: Priority) -> Self {
-        Self {
-            priority,
-            deadline: None,
-        }
-    }
-
-    /// Replace the priority class.
-    pub fn with_priority(mut self, priority: Priority) -> Self {
+    /// Set the priority class.
+    pub fn priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
         self
     }
 
     /// Expire the request if it has not started executing by `deadline`.
-    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+    pub fn deadline(mut self, deadline: Instant) -> Self {
         self.deadline = Some(deadline);
         self
     }
 
     /// Expire the request if it has not started executing within `budget`
     /// from now.
-    pub fn with_deadline_in(self, budget: Duration) -> Self {
-        self.with_deadline(Instant::now() + budget)
+    pub fn deadline_in(self, budget: Duration) -> Self {
+        self.deadline(Instant::now() + budget)
     }
 }
 
@@ -97,11 +88,12 @@ impl std::error::Error for Overloaded {}
 /// [`Engine`](crate::Engine) from any thread at any time — including while a
 /// pass is in flight.
 ///
-/// Submission compiles the request on the *calling* thread (partitioning,
-/// pivot selection, plan building — everything except touching a pool), so
-/// producers pay their own compilation cost and the executor threads spend
-/// their time purely on passes.  The returned [`Ticket`] resolves when an
-/// executor pass completes the request; block on it with
+/// Submission routes the request to a shard first, then compiles it on the
+/// *calling* thread **through that shard's plan cache**: same-shaped
+/// requests reuse the shard's cached skeleton and only bind their buffers,
+/// so producers pay (at most) their own compilation cost and the executor
+/// threads spend their time purely on passes.  The returned [`Ticket`]
+/// resolves when an executor pass completes the request; block on it with
 /// [`Ticket::wait`] or poll with [`Ticket::try_wait`] — no `flush` call
 /// exists or is needed on this path.
 ///
@@ -152,9 +144,9 @@ impl Client {
         self.shared.p()
     }
 
-    /// Submit a request with default [`SubmitOptions`]: compile it here,
-    /// route it to a shard under the engine's
-    /// [`BatchPolicy`](crate::BatchPolicy), and hand back the ticket its
+    /// Submit a request with default [`SubmitOptions`]: route it to a shard
+    /// under the engine's [`BatchPolicy`](crate::BatchPolicy), compile it
+    /// here through that shard's plan cache, and hand back the ticket its
     /// output will arrive through.
     ///
     /// On a [`capacity`](crate::BatchPolicy::capacity)-bounded engine this
@@ -181,14 +173,58 @@ impl Client {
             self.shared.reject(&slot);
             return Ticket::new(slot);
         }
-        let prepared = req.compile(self.shared.p(), self.shared.tuning()).inner;
+        let shard = self.shared.route();
+        let prepared = self.shared.compile_on(shard, req);
         self.shared
-            .enqueue_blocking(PendingRequest::new(prepared, slot.clone(), opts));
+            .enqueue_blocking(shard, PendingRequest::new(prepared, slot.clone(), opts));
         Ticket::new(slot)
     }
 
-    /// Submit without ever waiting for queue space: compile the request,
-    /// route it, and admit it **only if** the routed shard is below its
+    /// Submit a batch of same-typed requests with default options — the
+    /// engine-side mirror of
+    /// [`Session::run_batch`](crate::Session::run_batch).  Tickets come
+    /// back in request order.
+    pub fn submit_batch<R: Solve>(
+        &self,
+        reqs: impl IntoIterator<Item = R>,
+    ) -> Vec<Ticket<R::Output>> {
+        self.submit_batch_with(reqs, SubmitOptions::default())
+    }
+
+    /// [`Client::submit_batch`] with explicit priority/deadline options
+    /// (applied to every request of the batch).
+    ///
+    /// The whole batch is routed to **one** shard, so requests that arrive
+    /// together coalesce into the same passes instead of being scattered
+    /// round-robin — and same-shaped requests compile once against that
+    /// shard's plan cache.  Each request still admits individually:
+    /// on a bounded engine a batch larger than the remaining capacity
+    /// simply backpressures partway through, exactly as the equivalent
+    /// `submit` loop would.
+    pub fn submit_batch_with<R: Solve>(
+        &self,
+        reqs: impl IntoIterator<Item = R>,
+        opts: SubmitOptions,
+    ) -> Vec<Ticket<R::Output>> {
+        let shard = self.shared.route();
+        reqs.into_iter()
+            .map(|req| {
+                let slot = ticket::new_slot();
+                if self.shared.is_shutting_down() {
+                    self.shared.reject(&slot);
+                    return Ticket::new(slot);
+                }
+                let prepared = self.shared.compile_on(shard, req);
+                self.shared
+                    .enqueue_blocking(shard, PendingRequest::new(prepared, slot.clone(), opts));
+                Ticket::new(slot)
+            })
+            .collect()
+    }
+
+    /// Submit without ever waiting for queue space: route the request,
+    /// compile it through the routed shard's plan cache, and admit it
+    /// **only if** that shard is below its
     /// [`capacity`](crate::BatchPolicy::capacity) bound — otherwise fail
     /// fast with [`Overloaded`], having queued nothing.
     ///
@@ -212,10 +248,11 @@ impl Client {
             self.shared.reject(&slot);
             return Ok(Ticket::new(slot));
         }
-        let prepared = req.compile(self.shared.p(), self.shared.tuning()).inner;
+        let shard = self.shared.route();
+        let prepared = self.shared.compile_on(shard, req);
         if self
             .shared
-            .try_enqueue(PendingRequest::new(prepared, slot.clone(), opts))
+            .try_enqueue(shard, PendingRequest::new(prepared, slot.clone(), opts))
         {
             Ok(Ticket::new(slot))
         } else {

@@ -14,6 +14,12 @@
 //! barriers), and resolves tickets as passes complete — producers never call
 //! `flush`; they [`Ticket::wait`](crate::Ticket::wait).
 //!
+//! Submissions are routed to a shard *first* and then compiled through
+//! that shard's `SkeletonCache`: same-shaped requests pay the pruned-BFS
+//! planning once and only re-bind their buffers, and the size-balanced
+//! router's load measure (outstanding plan steps) reads off the cached
+//! skeleton instead of a fresh compile.
+//!
 //! Admission control is the engine's open-loop story: with
 //! [`BatchPolicy::capacity`] set, each shard's queue is bounded —
 //! [`Client::try_submit`] sheds load
@@ -24,9 +30,11 @@
 //! [`TicketError::Expired`](crate::TicketError::Expired) instead of
 //! occupying a slot in the pass.
 
+use crate::cache::{PlanCacheStats, SkeletonCache};
 use crate::client::Client;
 use crate::exec::{PassCore, PendingRequest};
 use crate::policy::{BatchPolicy, Priority, Routing};
+use crate::solve::{Prepared, Solve};
 use crate::ticket::{self, SlotState};
 use paco_core::machine::available_processors;
 use paco_core::metrics::sched::ingress::{self, LatencyHistogram, LatencySnapshot};
@@ -147,6 +155,10 @@ pub(crate) struct EngineShared {
     tuning: Tuning,
     policy: BatchPolicy,
     shards: Vec<Shard>,
+    /// One plan cache per shard (same indexing as `shards`): a shard's
+    /// executor and the producers routed to it share skeletons without
+    /// contending with the other shards' caches.
+    caches: Vec<SkeletonCache>,
     /// Round-robin cursor.
     next_shard: AtomicUsize,
     /// Advisory fast-path flag; the per-shard `ShardQueue::shutdown` (under
@@ -169,10 +181,6 @@ impl EngineShared {
         self.p
     }
 
-    pub(crate) fn tuning(&self) -> &Tuning {
-        &self.tuning
-    }
-
     /// Advisory: has shutdown begun?  Lets `Client::submit` skip compiling
     /// a request whose enqueue would be rejected anyway; a stale `false` is
     /// harmless (the locked per-shard check still rejects).
@@ -187,8 +195,24 @@ impl EngineShared {
         ticket::resolve(slot, SlotState::Rejected);
     }
 
-    /// Pick the shard a new submission goes to.
-    fn route(&self) -> usize {
+    /// Compile `req` for shard `shard`, reusing that shard's cached
+    /// skeleton for the request's shape when one exists (the
+    /// [`Routing::SizeBalanced`] load measure — outstanding plan steps —
+    /// then comes off the cache too, via
+    /// [`Skeleton::steps`](crate::Skeleton::steps), instead of a fresh
+    /// compile).  Runs on the producer's thread: executors never compile.
+    pub(crate) fn compile_on<R: Solve>(&self, shard: usize, req: R) -> Box<dyn Prepared> {
+        let skeleton =
+            self.caches[shard].get_or_compile(req.shape_key(), self.p, self.tuning.epoch, || {
+                req.skeleton(&self.tuning, self.p)
+            });
+        req.bind(&skeleton, &self.tuning, self.p).inner
+    }
+
+    /// Pick the shard a new submission goes to.  Routing happens *before*
+    /// compilation so the submission can compile against the routed
+    /// shard's plan cache.
+    pub(crate) fn route(&self) -> usize {
         match self.policy.routing {
             Routing::RoundRobin => {
                 self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len()
@@ -246,8 +270,8 @@ impl EngineShared {
     /// overload and return `false` with nothing queued.  A shut-down engine
     /// resolves the slot `Rejected` and returns `true` — shutdown is the
     /// ticket's verdict, not an overload.
-    pub(crate) fn try_enqueue(&self, request: PendingRequest) -> bool {
-        let shard = &self.shards[self.route()];
+    pub(crate) fn try_enqueue(&self, shard: usize, request: PendingRequest) -> bool {
+        let shard = &self.shards[shard];
         let mut queue = shard.queue.lock();
         if queue.shutdown {
             drop(queue);
@@ -270,8 +294,8 @@ impl EngineShared {
     /// at capacity, park until an executor drains below the bound or
     /// shutdown begins — then admit (or resolve the slot `Rejected`).  On
     /// an unbounded engine this never waits.
-    pub(crate) fn enqueue_blocking(&self, request: PendingRequest) {
-        let shard = &self.shards[self.route()];
+    pub(crate) fn enqueue_blocking(&self, shard: usize, request: PendingRequest) {
+        let shard = &self.shards[shard];
         let mut queue = shard.queue.lock();
         if let Some(cap) = self.policy.capacity {
             shard
@@ -306,6 +330,8 @@ pub struct ShardStats {
     /// Compiled plan steps currently enqueued-or-executing on this shard —
     /// the load measure size-balanced routing works from.
     pub outstanding_steps: u64,
+    /// This shard's plan-cache counters (skeleton hits/misses/evictions).
+    pub plan_cache: PlanCacheStats,
 }
 
 /// A snapshot of an engine's ingress counters (per-engine; the process-wide
@@ -359,6 +385,14 @@ impl EngineStats {
     /// generator watches grow.
     pub fn max_queue_depth(&self) -> usize {
         self.shards.iter().map(|s| s.max_depth).max().unwrap_or(0)
+    }
+
+    /// Plan-cache counters aggregated across every shard's cache.
+    pub fn plan_cache(&self) -> PlanCacheStats {
+        self.shards
+            .iter()
+            .map(|s| s.plan_cache)
+            .fold(PlanCacheStats::default(), PlanCacheStats::merge)
     }
 
     /// Fraction of admission attempts refused (shutdown `rejected` plus
@@ -461,12 +495,14 @@ impl Engine {
                 .shared
                 .shards
                 .iter()
-                .map(|s| ShardStats {
+                .zip(&self.shared.caches)
+                .map(|(s, cache)| ShardStats {
                     passes: s.passes.load(Ordering::Relaxed),
                     requests: s.requests.load(Ordering::Relaxed),
                     queued: s.queue.lock().len(),
                     max_depth: s.max_depth.load(Ordering::Relaxed),
                     outstanding_steps: s.outstanding_steps.load(Ordering::Relaxed),
+                    plan_cache: cache.stats(),
                 })
                 .collect(),
         }
@@ -594,6 +630,9 @@ impl EngineBuilder {
             tuning: tuning.clone(),
             policy,
             shards: (0..policy.shards).map(|_| Shard::new()).collect(),
+            caches: (0..policy.shards)
+                .map(|_| SkeletonCache::new(SkeletonCache::DEFAULT_CAP))
+                .collect(),
             next_shard: AtomicUsize::new(0),
             shutting_down: std::sync::atomic::AtomicBool::new(false),
             enqueued: AtomicU64::new(0),
@@ -763,7 +802,6 @@ fn executor_loop(shard_id: usize, core: PassCore, shared: Arc<EngineShared>) {
 mod tests {
     use super::*;
     use crate::client::SubmitOptions;
-    use crate::solve::Prepared;
     use paco_runtime::schedule::{Plan, Step};
     use proptest::prelude::*;
     use std::any::Any;

@@ -84,6 +84,13 @@ impl PassCore {
         &self.tuning
     }
 
+    /// Mutate the tuning and bump its [`Tuning::epoch`] so skeletons cached
+    /// under the old knobs can never be replayed.
+    pub(crate) fn update_tuning(&mut self, mutate: impl FnOnce(&mut Tuning)) {
+        mutate(&mut self.tuning);
+        self.tuning.bump_epoch();
+    }
+
     pub(crate) fn last_stats(&self) -> RunStats {
         *self.last.lock()
     }
@@ -106,10 +113,13 @@ impl PassCore {
     }
 
     /// One pool pass over many compiled requests: zip their skeletons
-    /// wave-by-wave and tag every step with its request index.
+    /// wave-by-wave and tag every step with its request index.  The merge
+    /// borrows the skeletons ([`Plan::batch_refs`]) — they are usually
+    /// shared with the plan cache, and a coalesced pass must not deep-copy
+    /// what caching just avoided compiling.
     pub(crate) fn execute_merged(&self, prepared: &[&dyn Prepared]) {
-        let plans: Vec<Plan<usize>> = prepared.iter().map(|p| p.skeleton().clone()).collect();
-        let merged = Plan::batch(plans);
+        let plans: Vec<&Plan<usize>> = prepared.iter().map(|p| p.skeleton()).collect();
+        let merged = Plan::batch_refs(&plans);
         self.record(prepared.len() as u64, || {
             merged.execute(&self.pool, |proc, &(inst, idx)| {
                 prepared[inst].run_step(proc, idx);

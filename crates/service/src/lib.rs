@@ -7,17 +7,18 @@
 //! processor-oblivious ones *when the runtime knows `p` up front*.  Before
 //! this crate that knowledge was scattered across five per-crate function
 //! families, each hand-threading a `WorkerPool` and its own magic tuning
-//! knob (`lcs_paco_with_base`, `fw_paco_batch`, `paco_sort_with_oversampling`,
-//! `gap_paco_with_blocks`, `one_d_paco`, …).  Here the same capability is one
-//! surface:
+//! knob.  Here the same capability is one surface:
 //!
 //! * a [`Session`] owns the [`WorkerPool`](paco_runtime::WorkerPool) and a
 //!   [`Tuning`] config (processor count, base/grain sizes, oversampling,
 //!   trace mode) — construct it once, reuse it for every request;
-//! * a [`Solve`] trait is implemented by typed request structs — [`Lcs`],
-//!   [`Apsp`]/[`Closure`], [`MatMul`], [`Strassen`], [`Sort`], [`OneD`],
-//!   [`Gap`] — each compiling itself into the runtime's wave-based
-//!   [`Plan`](paco_runtime::schedule::Plan) IR;
+//! * a two-phase [`Solve`] trait is implemented by typed request structs —
+//!   [`Lcs`], [`Apsp`]/[`Closure`], [`MatMul`], [`Strassen`], [`Sort`],
+//!   [`OneD`], [`Gap`] — each compiling a shape-only [`Skeleton`] of the
+//!   runtime's wave-based [`Plan`](paco_runtime::schedule::Plan) IR and then
+//!   *binding* its buffers to it.  Skeletons are cached per session (and per
+//!   engine shard) keyed on [`ShapeKey`] + processor count +
+//!   [`Tuning::epoch`], so repeated same-shaped requests plan once;
 //! * three verbs run everything:
 //!   [`Session::run`] (one request),
 //!   [`Session::run_batch`] (a homogeneous batch through **one** pool pass via
@@ -49,9 +50,11 @@
 //! deadline after which a still-queued request resolves
 //! [`TicketError::Expired`] instead of occupying a pass slot.
 //!
-//! The old free functions survive as `#[deprecated]` shims delegating to the
-//! same per-workload `*Run` machinery this crate schedules; see the README's
-//! migration table.
+//! The pre-service free functions (`lcs_paco_with_base`, `fw_paco_batch`,
+//! `paco_sort_with_oversampling`, …) are gone: the per-workload `*Run`
+//! machinery they delegated to is what this crate schedules, and the
+//! README's migration table maps each retired entry point to its request
+//! type.
 //!
 //! ```
 //! use paco_service::{Lcs, MatMul, Session, Sort};
@@ -80,6 +83,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod client;
 pub mod engine;
 mod exec;
@@ -89,11 +93,12 @@ pub mod session;
 pub mod solve;
 pub mod ticket;
 
+pub use cache::PlanCacheStats;
 pub use client::{Client, Overloaded, SubmitOptions};
 pub use engine::{Engine, EngineBuilder, EngineStats, ShardStats};
 pub use paco_core::tuning::Tuning;
 pub use policy::{BatchPolicy, Priority, Routing};
 pub use requests::{Apsp, Closure, Gap, HeteroMatMul, Lcs, MatMul, OneD, Sort, Strassen};
 pub use session::{RunStats, Session, SessionBuilder};
-pub use solve::{Compiled, Prepared, Solve};
+pub use solve::{Compiled, Prepared, ShapeKey, Skeleton, Solve};
 pub use ticket::{Ticket, TicketError};

@@ -1,19 +1,31 @@
-//! The typed request structs — one per workload — and their [`Solve`]
-//! wiring onto the workload crates' prepared-run machinery.
+//! The typed request structs — one per workload — and their two-phase
+//! [`Solve`] wiring onto the workload crates' prepared-run machinery.
+//!
+//! Every impl follows the same split: [`Solve::shape_key`] lists the
+//! request-derived dimensions the plan depends on, [`Solve::skeleton`]
+//! compiles the workload's shape-only plan (`plan_paco_lcs`, `plan_fw`,
+//! `plan_mm_1piece`, …) and wraps it in a [`Skeleton`], and [`Solve::bind`]
+//! recovers that plan from the skeleton's payload and attaches the
+//! request's buffers through the workload's `from_plan` constructor.
+//! Tuning knobs are read in both phases but never keyed — the skeleton
+//! cache covers them with [`Tuning::epoch`].
 
-use crate::solve::{Compiled, Solve, WorkloadRun};
+use crate::solve::{Compiled, ShapeKey, Skeleton, Solve, WorkloadRun};
 use paco_core::matrix::Matrix;
 use paco_core::proc_list::ProcId;
 use paco_core::semiring::{IdempotentSemiring, MinPlus, Ring, Semiring};
 use paco_core::tuning::Tuning;
-use paco_dp::gap::{GapCost, GapRun};
-use paco_dp::lcs::LcsRun;
-use paco_dp::one_d::{OneDJob, OneDRun, Weight};
-use paco_graph::{FwRun, LeafCall};
-use paco_matmul::{MmConfig, MmJob, MmRun, StrassenOptions, StrassenRun};
+use paco_dp::gap::{plan_gap, GapCost, GapRun};
+use paco_dp::lcs::{plan_paco_lcs, LcsRun};
+use paco_dp::one_d::{plan_one_d, OneDJob, OneDRun, Weight};
+use paco_graph::{plan_fw, FwRun, LeafCall};
+use paco_matmul::{
+    plan_mm_1piece, plan_strassen, MmConfig, MmJob, MmRun, StrassenOptions, StrassenRun,
+};
 use paco_runtime::hetero::ThrottleSpec;
 use paco_runtime::schedule::Plan;
-use paco_sort::{SortJob, SortKey, SortRun};
+use paco_sort::{plan_sort, SortJob, SortKey, SortRun};
+use std::sync::Arc;
 
 /// Longest common subsequence of two sequences (Sect. III-B); resolves to
 /// the LCS length.
@@ -41,8 +53,24 @@ impl WorkloadRun for LcsRun {
 
 impl Solve for Lcs {
     type Output = u32;
-    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
-        Compiled::new(LcsRun::prepare(self.a, self.b, p, tuning.lcs_base))
+    fn shape_key(&self) -> ShapeKey {
+        ShapeKey::new("lcs", [self.a.len() as u64, self.b.len() as u64])
+    }
+    fn skeleton(&self, tuning: &Tuning, p: usize) -> Skeleton {
+        let compiled = Arc::new(plan_paco_lcs(
+            self.a.len(),
+            self.b.len(),
+            p.max(1),
+            tuning.lcs_base,
+        ));
+        Skeleton::new(Arc::clone(&compiled), &compiled.plan)
+    }
+    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<u32> {
+        let compiled = skeleton.payload().expect("skeleton compiled by Lcs");
+        Compiled::bound(
+            skeleton,
+            LcsRun::from_plan(self.a, self.b, compiled, tuning.lcs_base),
+        )
     }
 }
 
@@ -77,8 +105,21 @@ impl<S: IdempotentSemiring> WorkloadRun for FwRun<S> {
 
 impl<S: IdempotentSemiring> Solve for Closure<S> {
     type Output = Matrix<S>;
-    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
-        Compiled::new(FwRun::prepare(&self.adj, p, tuning.fw_base))
+    fn shape_key(&self) -> ShapeKey {
+        // The FW schedule is semiring-independent, so closures over
+        // different element types deliberately share cache entries.
+        ShapeKey::new("closure", [self.adj.rows() as u64])
+    }
+    fn skeleton(&self, tuning: &Tuning, p: usize) -> Skeleton {
+        let compiled = Arc::new(plan_fw(self.adj.rows(), p.max(1), tuning.fw_base));
+        Skeleton::new(Arc::clone(&compiled), &compiled.plan)
+    }
+    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<Matrix<S>> {
+        let compiled = skeleton.payload().expect("skeleton compiled by Closure");
+        Compiled::bound(
+            skeleton,
+            FwRun::from_plan(&self.adj, compiled, tuning.fw_base),
+        )
     }
 }
 
@@ -108,12 +149,33 @@ impl<S: Semiring> WorkloadRun for MmRun<S> {
 
 impl<S: Semiring> Solve for MatMul<S> {
     type Output = Matrix<S>;
-    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
+    fn shape_key(&self) -> ShapeKey {
+        ShapeKey::new(
+            "mm",
+            [
+                self.a.rows() as u64,
+                self.a.cols() as u64,
+                self.b.cols() as u64,
+            ],
+        )
+    }
+    fn skeleton(&self, tuning: &Tuning, p: usize) -> Skeleton {
+        assert_eq!(self.a.cols(), self.b.rows(), "inner dimensions must agree");
         let cfg = MmConfig {
             cutoff: tuning.mm_cutoff,
             ..MmConfig::default()
         };
-        Compiled::new(MmRun::prepare(self.a, self.b, p, cfg))
+        let (n, m, k) = (self.a.rows(), self.b.cols(), self.a.cols());
+        let compiled = Arc::new(plan_mm_1piece(n, m, k, p, &cfg));
+        Skeleton::new(Arc::clone(&compiled), &compiled.plan)
+    }
+    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<Matrix<S>> {
+        let compiled = skeleton.payload().expect("skeleton compiled by MatMul");
+        let cfg = MmConfig {
+            cutoff: tuning.mm_cutoff,
+            ..MmConfig::default()
+        };
+        Compiled::bound(skeleton, MmRun::from_plan(self.a, self.b, compiled, cfg))
     }
 }
 
@@ -136,15 +198,54 @@ pub struct HeteroMatMul<S: Semiring> {
     pub aware: bool,
 }
 
+impl<S: Semiring> HeteroMatMul<S> {
+    /// The cuboid-splitting fractions the schedule depends on: the
+    /// throttle's throughput shares when `aware`, `None` (even split)
+    /// otherwise.  The throttle's *slowdowns* are an execution-time knob
+    /// and never shape the plan.
+    fn plan_fractions(&self) -> Option<Vec<f64>> {
+        self.aware.then(|| self.throttle.spec().fractions())
+    }
+}
+
 impl<S: Semiring> Solve for HeteroMatMul<S> {
     type Output = Matrix<S>;
-    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
+    fn shape_key(&self) -> ShapeKey {
+        let mut dims = vec![
+            self.a.rows() as u64,
+            self.a.cols() as u64,
+            self.b.cols() as u64,
+        ];
+        // The split fractions shape the plan, so they are part of the
+        // request's shape — as exact bit patterns, because `f64` is not
+        // `Eq`/`Hash` and two requests only share a skeleton when their
+        // splits are *identical*.
+        if let Some(fractions) = self.plan_fractions() {
+            dims.extend(fractions.iter().map(|f| f.to_bits()));
+        }
+        ShapeKey::new("hetero-mm", dims)
+    }
+    fn skeleton(&self, tuning: &Tuning, p: usize) -> Skeleton {
+        assert_eq!(self.a.cols(), self.b.rows(), "inner dimensions must agree");
         let cfg = MmConfig {
-            fractions: self.aware.then(|| self.throttle.spec().fractions()),
+            fractions: self.plan_fractions(),
+            throttle: None,
+            cutoff: tuning.mm_cutoff,
+        };
+        let (n, m, k) = (self.a.rows(), self.b.cols(), self.a.cols());
+        let compiled = Arc::new(plan_mm_1piece(n, m, k, p, &cfg));
+        Skeleton::new(Arc::clone(&compiled), &compiled.plan)
+    }
+    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<Matrix<S>> {
+        let compiled = skeleton
+            .payload()
+            .expect("skeleton compiled by HeteroMatMul");
+        let cfg = MmConfig {
+            fractions: self.plan_fractions(),
             throttle: Some(self.throttle),
             cutoff: tuning.mm_cutoff,
         };
-        Compiled::new(MmRun::prepare(self.a, self.b, p, cfg))
+        Compiled::bound(skeleton, MmRun::from_plan(self.a, self.b, compiled, cfg))
     }
 }
 
@@ -173,15 +274,29 @@ impl<R: Ring> WorkloadRun for StrassenRun<R> {
     }
 }
 
+fn strassen_options(tuning: &Tuning) -> StrassenOptions {
+    StrassenOptions {
+        cutoff: tuning.strassen_cutoff,
+        parallel_base: tuning.strassen_parallel_base,
+        gamma: tuning.strassen_gamma,
+    }
+}
+
 impl<R: Ring> Solve for Strassen<R> {
     type Output = Matrix<R>;
-    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
-        let opts = StrassenOptions {
-            cutoff: tuning.strassen_cutoff,
-            parallel_base: tuning.strassen_parallel_base,
-            gamma: tuning.strassen_gamma,
-        };
-        Compiled::new(StrassenRun::prepare(self.a, self.b, p, opts))
+    fn shape_key(&self) -> ShapeKey {
+        ShapeKey::new("strassen", [self.a.rows() as u64])
+    }
+    fn skeleton(&self, tuning: &Tuning, p: usize) -> Skeleton {
+        let compiled = Arc::new(plan_strassen(self.a.rows(), p, strassen_options(tuning)));
+        Skeleton::new(Arc::clone(&compiled), &compiled.plan)
+    }
+    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<Matrix<R>> {
+        let compiled = skeleton.payload().expect("skeleton compiled by Strassen");
+        Compiled::bound(
+            skeleton,
+            StrassenRun::from_plan(self.a, self.b, compiled, tuning.strassen_cutoff),
+        )
     }
 }
 
@@ -209,9 +324,20 @@ impl<T: SortKey + 'static> WorkloadRun for SortRun<T> {
 
 impl<T: SortKey + 'static> Solve for Sort<T> {
     type Output = Vec<T>;
-    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
+    fn shape_key(&self) -> ShapeKey {
+        // Like the FW closure, the sort schedule is element-type
+        // independent (pivot *selection* is data-dependent but happens at
+        // bind time), so sorts of different key types share entries.
+        ShapeKey::new("sort", [self.keys.len() as u64])
+    }
+    fn skeleton(&self, _tuning: &Tuning, p: usize) -> Skeleton {
+        let plan = Arc::new(plan_sort(self.keys.len(), p));
+        Skeleton::new(Arc::clone(&plan), &plan)
+    }
+    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, p: usize) -> Compiled<Vec<T>> {
+        let plan = skeleton.payload().expect("skeleton compiled by Sort");
         let k = tuning.sort_k(self.keys.len());
-        Compiled::new(SortRun::prepare(self.keys, p, k))
+        Compiled::bound(skeleton, SortRun::from_plan(self.keys, plan, p, k))
     }
 }
 
@@ -244,14 +370,19 @@ impl<W: Weight + Send + 'static> WorkloadRun for OneDRun<W> {
 
 impl<W: Weight + Send + 'static> Solve for OneD<W> {
     type Output = Vec<f64>;
-    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
-        Compiled::new(OneDRun::prepare(
-            self.n,
-            self.weight,
-            self.d0,
-            p,
-            tuning.one_d_base,
-        ))
+    fn shape_key(&self) -> ShapeKey {
+        ShapeKey::new("one-d", [self.n as u64])
+    }
+    fn skeleton(&self, tuning: &Tuning, p: usize) -> Skeleton {
+        let compiled = Arc::new(plan_one_d(self.n, p, tuning.one_d_base.max(2)));
+        Skeleton::new(Arc::clone(&compiled), &compiled.plan)
+    }
+    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<Vec<f64>> {
+        let compiled = skeleton.payload().expect("skeleton compiled by OneD");
+        Compiled::bound(
+            skeleton,
+            OneDRun::from_plan(self.n, self.weight, self.d0, compiled, tuning.one_d_base),
+        )
     }
 }
 
@@ -281,9 +412,21 @@ impl<C: GapCost + Send + 'static> WorkloadRun for GapRun<C> {
 
 impl<C: GapCost + Send + 'static> Solve for Gap<C> {
     type Output = Vec<f64>;
-    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output> {
-        let blocks = tuning.gap_grid(p);
-        Compiled::new(GapRun::prepare(self.n, self.costs, p, blocks))
+    fn shape_key(&self) -> ShapeKey {
+        ShapeKey::new("gap", [self.n as u64])
+    }
+    fn skeleton(&self, tuning: &Tuning, p: usize) -> Skeleton {
+        let blocks = tuning.gap_grid(p).clamp(1, self.n + 1);
+        let plan = Arc::new(plan_gap(self.n, p, blocks));
+        Skeleton::new(Arc::clone(&plan), &plan)
+    }
+    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, p: usize) -> Compiled<Vec<f64>> {
+        let plan = skeleton.payload().expect("skeleton compiled by Gap");
+        let blocks = tuning.gap_grid(p).clamp(1, self.n + 1);
+        Compiled::bound(
+            skeleton,
+            GapRun::from_plan(self.n, self.costs, plan, blocks),
+        )
     }
 }
 
@@ -370,5 +513,48 @@ mod tests {
         assert_eq!(session.run(Sort::<f64> { keys: vec![] }), Vec::<f64>::new());
         let empty: Matrix<MinPlus> = Matrix::from_fn(0, 0, |_, _| unreachable!());
         assert_eq!(session.run(Apsp { adj: empty }).rows(), 0);
+    }
+
+    #[test]
+    fn shape_keys_separate_workloads_and_dimensions() {
+        let lcs = Lcs {
+            a: vec![1, 2],
+            b: vec![3],
+        };
+        assert_eq!(lcs.shape_key(), lcs.clone().shape_key());
+        assert_ne!(
+            lcs.shape_key(),
+            Lcs {
+                a: vec![1],
+                b: vec![3]
+            }
+            .shape_key()
+        );
+        // Same dims, different workload kind: distinct keys.
+        assert_ne!(
+            Sort::<f64> { keys: vec![1.0] }.shape_key(),
+            OneD {
+                n: 1,
+                weight: ParagraphWeight { ideal: 1.0 },
+                d0: 0.0
+            }
+            .shape_key()
+        );
+        // Hetero MM: the split fractions are part of the shape.
+        let ma = random_matrix_wrapping(8, 8, 1);
+        let throttle = ThrottleSpec::homogeneous(2);
+        let aware = HeteroMatMul {
+            a: ma.clone(),
+            b: ma.clone(),
+            throttle: throttle.clone(),
+            aware: true,
+        };
+        let unaware = HeteroMatMul {
+            a: ma.clone(),
+            b: ma,
+            throttle,
+            aware: false,
+        };
+        assert_ne!(aware.shape_key(), unaware.shape_key());
     }
 }

@@ -1,7 +1,8 @@
 //! The [`Session`]: one worker pool, one tuning config, three verbs.
 
+use crate::cache::{PlanCacheStats, SkeletonCache};
 use crate::exec::{PassCore, PendingRequest};
-use crate::solve::Solve;
+use crate::solve::{Prepared, Solve};
 use crate::ticket::{self, decode, Ticket};
 use paco_core::machine::available_processors;
 use paco_core::tuning::Tuning;
@@ -29,6 +30,14 @@ pub struct RunStats {
 /// executes every PACO workload through three verbs — [`Session::run`],
 /// [`Session::run_batch`] and [`Session::submit`]/[`Session::flush`].
 ///
+/// Every verb compiles through the session's **plan cache**: the shape-only
+/// [`Skeleton`](crate::Skeleton) phase of [`Solve`] is cached keyed on
+/// `(shape_key, p, tuning epoch)`, so repeated same-shaped requests pay the
+/// pruned-BFS planning cost once and only re-bind their buffers
+/// ([`Session::cache_stats`] shows the hits).  Mutating knobs through
+/// [`Session::update_tuning`] bumps the epoch and invalidates every cached
+/// skeleton.
+///
 /// A session is the single-shard, caller-driven special case of the same
 /// executor core the concurrent [`Engine`](crate::Engine) shards run:
 /// `flush()` is exactly one engine pass, executed on the calling thread
@@ -46,6 +55,7 @@ pub struct RunStats {
 /// ```
 pub struct Session {
     core: PassCore,
+    cache: SkeletonCache,
     queue: Mutex<Vec<PendingRequest>>,
 }
 
@@ -76,15 +86,39 @@ impl Session {
         self.core.tuning()
     }
 
+    /// Mutate the tuning knobs for subsequent requests.  Bumps the
+    /// [`Tuning::epoch`], so every skeleton cached under the old knobs is
+    /// invalidated — the next request of each shape recompiles.
+    pub fn update_tuning(&mut self, mutate: impl FnOnce(&mut Tuning)) {
+        self.core.update_tuning(mutate);
+    }
+
     /// Scheduling counters of the most recent `run`/`run_batch`/`flush`
     /// (all-zero until one executed with [`Tuning::trace`] on).
     pub fn last_stats(&self) -> RunStats {
         self.core.last_stats()
     }
 
+    /// This session's plan-cache counters: skeleton hits, misses and
+    /// evictions, plus the current entry count.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.stats()
+    }
+
+    /// Compile `req` through the plan cache: reuse the cached skeleton for
+    /// its shape (or compile and insert one), then bind the request's data.
+    fn compile_cached<R: Solve>(&self, req: R) -> Box<dyn Prepared> {
+        let p = self.p();
+        let tuning = self.core.tuning();
+        let skeleton = self
+            .cache
+            .get_or_compile(req.shape_key(), p, tuning.epoch, || req.skeleton(tuning, p));
+        req.bind(&skeleton, tuning, p).inner
+    }
+
     /// Execute one request and return its output.
     pub fn run<R: Solve>(&self, req: R) -> R::Output {
-        let mut prepared = req.compile(self.p(), self.tuning()).inner;
+        let mut prepared = self.compile_cached(req);
         decode(self.core.run_one(&mut prepared))
     }
 
@@ -94,14 +128,12 @@ impl Session {
     /// ([`Plan::batch`](paco_runtime::schedule::Plan::batch)), so the pass
     /// costs as many barriers as the *deepest* constituent — not the sum —
     /// across every workload type, including the MM, Strassen and sort paths
-    /// that had no batched entry point before this crate.  Outputs come back
-    /// in request order.
+    /// that had no batched entry point before this crate.  Same-shaped
+    /// requests share one cached skeleton: the batch compiles the plan once
+    /// and binds it `N` times.  Outputs come back in request order.
     pub fn run_batch<R: Solve>(&self, reqs: impl IntoIterator<Item = R>) -> Vec<R::Output> {
-        let mut prepared: Vec<_> = reqs
-            .into_iter()
-            .map(|r| r.compile(self.p(), self.tuning()).inner)
-            .collect();
-        let refs: Vec<&dyn crate::solve::Prepared> = prepared.iter().map(|p| &**p).collect();
+        let mut prepared: Vec<_> = reqs.into_iter().map(|r| self.compile_cached(r)).collect();
+        let refs: Vec<&dyn Prepared> = prepared.iter().map(|p| &**p).collect();
         self.core.execute_merged(&refs);
         prepared
             .iter_mut()
@@ -110,10 +142,10 @@ impl Session {
     }
 
     /// Queue a request for the next [`Session::flush`]; the request is
-    /// compiled now (under the current tuning) and executed later.  Queued
-    /// submissions may mix workload types freely.
+    /// compiled now (under the current tuning, through the plan cache) and
+    /// executed later.  Queued submissions may mix workload types freely.
     pub fn submit<R: Solve>(&self, req: R) -> Ticket<R::Output> {
-        let prepared = req.compile(self.p(), self.tuning()).inner;
+        let prepared = self.compile_cached(req);
         let slot = ticket::new_slot();
         // Session submissions carry default admission metadata: `flush`
         // executes everything queued, so deadlines and priorities (engine
@@ -192,6 +224,7 @@ impl SessionBuilder {
         let p = self.procs.unwrap_or_else(available_processors);
         Session {
             core: PassCore::new(p, tuning),
+            cache: SkeletonCache::new(SkeletonCache::DEFAULT_CAP),
             queue: Mutex::new(Vec::new()),
         }
     }
@@ -200,17 +233,18 @@ impl SessionBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solve::{Compiled, Prepared};
+    use crate::solve::{Compiled, Prepared, ShapeKey, Skeleton};
     use crate::ticket::TicketError;
     use crate::Lcs;
     use paco_runtime::schedule::{Plan, Step};
     use std::any::Any;
     use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
 
     /// A request whose single step panics, for exercising the flush
     /// poisoning path.
     struct Exploding {
-        skeleton: Plan<usize>,
+        skeleton: Arc<Plan<usize>>,
     }
 
     impl Prepared for Exploding {
@@ -229,9 +263,16 @@ mod tests {
 
     impl Solve for ExplodingReq {
         type Output = ();
-        fn compile(self, p: usize, _tuning: &Tuning) -> Compiled<()> {
+        fn shape_key(&self) -> ShapeKey {
+            ShapeKey::new("test-exploding", std::iter::empty())
+        }
+        fn skeleton(&self, _tuning: &Tuning, p: usize) -> Skeleton {
+            let plan = Arc::new(Plan::single_wave(p, vec![Step { proc: 0, job: 0 }]));
+            Skeleton::new(Arc::clone(&plan), &plan)
+        }
+        fn bind(self, skeleton: &Skeleton, _tuning: &Tuning, _p: usize) -> Compiled<()> {
             Compiled::from_prepared(Box::new(Exploding {
-                skeleton: Plan::single_wave(p, vec![Step { proc: 0, job: 0 }]),
+                skeleton: Arc::clone(skeleton.index()),
             }))
         }
     }
@@ -273,5 +314,25 @@ mod tests {
             }),
             1
         );
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache_and_update_tuning_invalidates() {
+        let mut session = Session::new(2);
+        let req = || Lcs {
+            a: vec![1, 2, 3, 4],
+            b: vec![2, 3, 4, 5],
+        };
+        for _ in 0..4 {
+            assert_eq!(session.run(req()), 3);
+        }
+        let stats = session.cache_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 3));
+
+        // A knob change must recompile: the old skeleton is unreachable.
+        session.update_tuning(|t| t.lcs_base = 2);
+        assert_eq!(session.run(req()), 3);
+        let stats = session.cache_stats();
+        assert_eq!((stats.misses, stats.hits), (2, 3));
     }
 }

@@ -1,32 +1,196 @@
-//! The [`Solve`] trait and the type-erased compiled form the session
-//! schedules.
+//! The two-phase [`Solve`] contract and the type-erased compiled form the
+//! session schedules.
 //!
-//! A request compiles into a [`Compiled`] value: an *index skeleton* (the
-//! workload's wave plan with every job replaced by its position in schedule
-//! order) plus the shared state the steps interpret.  Erasing the job type at
-//! the step level — rather than forcing every workload into one giant job
-//! enum — lets the session batch arbitrary mixes of workloads with the stock
-//! [`Plan::batch`] wave-zip while each workload keeps its own typed plan and
-//! fully monomorphized kernels.
+//! Compilation is split along the paper's workload-independence claim: the
+//! pruned-BFS assignment depends only on `(shape, p, tuning)`, never on the
+//! request's data.  So a request first compiles a [`Skeleton`] — the
+//! index-level wave plan plus the workload's shape-only plan payload — and
+//! then *binds* its actual buffers to that skeleton to produce the runnable
+//! [`Compiled`] value.  Skeletons are immutable and cheaply clonable
+//! (`Arc`s all the way down), which is what makes the service layer's
+//! keyed skeleton cache possible: `N` same-shaped requests compile once and
+//! bind `N` times.
+//!
+//! A [`Compiled`] value pairs an *index skeleton* (the workload's wave plan
+//! with every job replaced by its position in schedule order) with the
+//! shared state the steps interpret.  Erasing the job type at the step
+//! level — rather than forcing every workload into one giant job enum —
+//! lets the session batch arbitrary mixes of workloads with the stock
+//! [`Plan::batch`] wave-zip while each workload keeps its own typed plan
+//! and fully monomorphized kernels.
 
 use paco_core::proc_list::ProcId;
 use paco_core::tuning::Tuning;
 use paco_runtime::schedule::{Plan, Step};
 use std::any::Any;
 use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// The cacheable identity of a request's schedule: which workload it is
+/// plus every data-independent dimension its plan depends on.
+///
+/// Two requests with equal shape keys compile to identical skeletons under
+/// the same `(p, tuning)` — that is the contract [`Solve::shape_key`]
+/// implementations must uphold, and the reason the service layer may serve
+/// one request's [`Skeleton`] to another.  Tuning knobs are deliberately
+/// *not* part of the key; the cache covers them with the
+/// [`Tuning::epoch`] counter instead, so mutating a knob (which bumps the
+/// epoch) invalidates every cached skeleton at once.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    kind: &'static str,
+    dims: Vec<u64>,
+}
+
+impl ShapeKey {
+    /// A key for workload `kind` with the given data-independent
+    /// dimensions.  `kind` must be unique per workload type (the request
+    /// structs use their own names); `dims` must capture **every**
+    /// request-derived value the plan depends on — lengths, matrix sides,
+    /// and for heterogeneous MM the throughput fractions (as `f64` bits).
+    pub fn new(kind: &'static str, dims: impl IntoIterator<Item = u64>) -> Self {
+        Self {
+            kind,
+            dims: dims.into_iter().collect(),
+        }
+    }
+}
+
+/// A compiled, data-free schedule: the shape-only phase of a request.
+///
+/// Holds the index-level wave plan (jobs are flat step indices), the table
+/// mapping each flat index back to `(wave, position)` of the workload's
+/// typed plan, and the workload's own compiled plan (`PacoLcsPlan`,
+/// `FwPlan`, `MmPlan`, …) as a type-erased payload.  Everything is behind
+/// an `Arc`: cloning a skeleton is O(1), and binding never copies the
+/// plan — which is exactly what lets a cached skeleton serve any number of
+/// concurrent requests.
+#[derive(Clone)]
+pub struct Skeleton {
+    index: Arc<Plan<usize>>,
+    /// `lookup[flat] = (wave, position)` into the payload's typed plan.
+    lookup: Arc<Vec<(usize, usize)>>,
+    payload: Arc<dyn Any + Send + Sync>,
+}
+
+impl std::fmt::Debug for Skeleton {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Skeleton(steps={}, waves={})",
+            self.steps(),
+            self.waves()
+        )
+    }
+}
+
+impl Skeleton {
+    /// Build a skeleton from a workload's typed plan, flattening the waves
+    /// into schedule-order step indices once.  `payload` is the workload's
+    /// compiled plan; [`Solve::bind`] gets it back via
+    /// [`Skeleton::payload`] to construct the bound run.
+    pub fn new<J, P: Send + Sync + 'static>(payload: Arc<P>, plan: &Plan<J>) -> Self {
+        let mut lookup = Vec::with_capacity(plan.steps());
+        let waves = plan
+            .waves()
+            .iter()
+            .enumerate()
+            .map(|(w, wave)| {
+                wave.iter()
+                    .enumerate()
+                    .map(|(i, step)| {
+                        let flat = lookup.len();
+                        lookup.push((w, i));
+                        Step {
+                            proc: step.proc,
+                            job: flat,
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            index: Arc::new(Plan::from_waves(plan.p(), waves)),
+            lookup: Arc::new(lookup),
+            payload,
+        }
+    }
+
+    /// The index-level wave plan (jobs are flat step indices).  Custom
+    /// [`Prepared`] implementations built through
+    /// [`Compiled::from_prepared`] can serve this as their skeleton.
+    pub fn index(&self) -> &Arc<Plan<usize>> {
+        &self.index
+    }
+
+    /// Total placed steps of the schedule — the size measure the engine's
+    /// size-balanced router weighs shards by, read off the cache instead of
+    /// compiling.
+    pub fn steps(&self) -> usize {
+        self.index.steps()
+    }
+
+    /// Wave (barrier) count of the schedule.
+    pub fn waves(&self) -> usize {
+        self.index.waves().len()
+    }
+
+    /// Recover the typed plan payload stashed by [`Skeleton::new`], or
+    /// `None` if `P` is not the payload's type.  The request impls in this
+    /// crate `expect` this — a mismatch means a [`Solve::bind`] was handed
+    /// a skeleton compiled by a different workload, which the cache keying
+    /// rules out.
+    pub fn payload<P: Send + Sync + 'static>(&self) -> Option<Arc<P>> {
+        Arc::downcast(Arc::clone(&self.payload)).ok()
+    }
+}
 
 /// A typed request the [`Session`](crate::Session) can execute.
 ///
-/// Implementations compile the request (partitioning, pivot selection, plan
-/// building — everything except touching the pool) into a
-/// [`Compiled<Self::Output>`]; the session then executes the skeleton alone
-/// or batched with others and hands the output back as [`Solve::Output`].
+/// Compilation is two-phase:
+///
+/// 1. **Skeleton** ([`Solve::skeleton`]) — partitioning, pivot-free plan
+///    building, pruned-BFS placement: everything that depends only on the
+///    request's *shape* ([`Solve::shape_key`]), the processor count and the
+///    tuning.  Expensive, and cached by the service layer keyed on
+///    `(shape_key, p, tuning.epoch)`.
+/// 2. **Bind** ([`Solve::bind`]) — attach the request's actual buffers
+///    (sequences, matrices, keys) to the skeleton, producing the runnable
+///    [`Compiled<Self::Output>`].  Cheap: allocates the output/table state
+///    and clones `Arc`s, never re-plans.
+///
+/// The session then executes the compiled value alone or batched with
+/// others and hands the output back as [`Solve::Output`].  Callers that
+/// don't care about caching use the provided [`Solve::compile`], which is
+/// exactly skeleton + bind.
 pub trait Solve {
     /// The result type of the request.
     type Output: Send + 'static;
 
-    /// Compile for `p` processors under the session's tuning.
-    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output>;
+    /// The cache key: workload kind + every data-independent dimension the
+    /// plan depends on.  Equal keys must yield identical skeletons under
+    /// equal `(p, tuning)`.
+    fn shape_key(&self) -> ShapeKey;
+
+    /// Compile the shape-only skeleton for `p` processors under `tuning`
+    /// (phase 1 — expensive, cacheable).
+    fn skeleton(&self, tuning: &Tuning, p: usize) -> Skeleton;
+
+    /// Bind this request's data to an already-compiled skeleton (phase 2 —
+    /// cheap).  `skeleton` must have been produced by [`Solve::skeleton`]
+    /// on a request with the same [`Solve::shape_key`] under the same
+    /// `(p, tuning)` knobs — the skeleton cache's keying guarantees this.
+    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, p: usize) -> Compiled<Self::Output>;
+
+    /// Compile for `p` processors under `tuning`: skeleton + bind, without
+    /// a cache.
+    fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output>
+    where
+        Self: Sized,
+    {
+        let skeleton = self.skeleton(tuning, p);
+        self.bind(&skeleton, tuning, p)
+    }
 }
 
 /// A compiled request: schedule skeleton + step interpreter + deferred
@@ -54,10 +218,14 @@ pub struct Compiled<O> {
 }
 
 impl<O: Send + 'static> Compiled<O> {
-    /// Wrap a workload run; the `Out = O` bound is the compile-time tie
-    /// between the request's output type and the run's.
-    pub(crate) fn new<R: WorkloadRun<Out = O>>(run: R) -> Self {
-        Self::from_prepared(PreparedRun::boxed(run))
+    /// Bind a workload run to its skeleton; the `Out = O` bound is the
+    /// compile-time tie between the request's output type and the run's.
+    pub(crate) fn bound<R: WorkloadRun<Out = O>>(skeleton: &Skeleton, run: R) -> Self {
+        Self::from_prepared(Box::new(PreparedRun {
+            skeleton: Arc::clone(&skeleton.index),
+            index: Arc::clone(&skeleton.lookup),
+            run: Some(run),
+        }))
     }
 
     /// Wrap an already-erased prepared request.
@@ -92,42 +260,13 @@ pub(crate) trait WorkloadRun: Send + Sync + 'static {
 /// The generic [`Prepared`] adapter over any [`WorkloadRun`]: the skeleton
 /// mirrors the typed plan with flat step indices, and a small index table
 /// maps each flat index back to its `(wave, position)` in the run's own plan
-/// — jobs are interpreted in place, never copied.
+/// — jobs are interpreted in place, never copied.  Both tables are shared
+/// with (and usually cached through) the [`Skeleton`] they came from.
 pub(crate) struct PreparedRun<R: WorkloadRun> {
-    skeleton: Plan<usize>,
+    skeleton: Arc<Plan<usize>>,
     /// `index[flat] = (wave, position)` into the run's typed plan.
-    index: Vec<(usize, usize)>,
+    index: Arc<Vec<(usize, usize)>>,
     run: Option<R>,
-}
-
-impl<R: WorkloadRun> PreparedRun<R> {
-    pub(crate) fn boxed(run: R) -> Box<dyn Prepared> {
-        let plan = run.typed_plan();
-        let mut index = Vec::with_capacity(plan.steps());
-        let waves = plan
-            .waves()
-            .iter()
-            .enumerate()
-            .map(|(w, wave)| {
-                wave.iter()
-                    .enumerate()
-                    .map(|(i, step)| {
-                        let flat = index.len();
-                        index.push((w, i));
-                        Step {
-                            proc: step.proc,
-                            job: flat,
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        Box::new(Self {
-            skeleton: Plan::from_waves(plan.p(), waves),
-            index,
-            run: Some(run),
-        })
-    }
 }
 
 impl<R: WorkloadRun> Prepared for PreparedRun<R> {
@@ -156,7 +295,7 @@ mod tests {
     use super::*;
 
     struct Dummy {
-        plan: Plan<char>,
+        plan: Arc<Plan<char>>,
         seen: parking_lot::Mutex<Vec<char>>,
     }
 
@@ -176,17 +315,24 @@ mod tests {
 
     #[test]
     fn skeleton_indices_line_up_with_the_typed_plan() {
-        let plan = Plan::from_waves(
+        let plan = Arc::new(Plan::from_waves(
             2,
             vec![
                 vec![Step { proc: 0, job: 'a' }, Step { proc: 1, job: 'b' }],
                 vec![Step { proc: 1, job: 'c' }],
             ],
-        );
-        let mut prepared = PreparedRun::boxed(Dummy {
-            plan,
-            seen: parking_lot::Mutex::new(Vec::new()),
-        });
+        ));
+        let skeleton = Skeleton::new(Arc::clone(&plan), &plan);
+        assert_eq!(skeleton.steps(), 3);
+        assert_eq!(skeleton.waves(), 2);
+        let mut prepared = Compiled::<Vec<char>>::bound(
+            &skeleton,
+            Dummy {
+                plan,
+                seen: parking_lot::Mutex::new(Vec::new()),
+            },
+        )
+        .inner;
         assert_eq!(prepared.skeleton().barriers(), 2);
         assert_eq!(prepared.skeleton().steps(), 3);
         // Replay the skeleton sequentially: index i must map back to step i.
@@ -198,5 +344,17 @@ mod tests {
         }
         let out = prepared.take_output();
         assert_eq!(*out.downcast::<Vec<char>>().unwrap(), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn skeleton_payload_downcasts_to_the_stashed_plan_only() {
+        let plan = Arc::new(Plan::single_wave(1, vec![Step { proc: 0, job: 7u8 }]));
+        let skeleton = Skeleton::new(Arc::clone(&plan), &plan);
+        // Binding clones Arcs, never the plan.
+        let again = skeleton.clone();
+        assert!(Arc::ptr_eq(again.index(), skeleton.index()));
+        let payload: Arc<Plan<u8>> = skeleton.payload().expect("payload round-trips");
+        assert!(Arc::ptr_eq(&payload, &plan));
+        assert!(skeleton.payload::<Plan<char>>().is_none());
     }
 }

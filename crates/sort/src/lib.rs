@@ -9,11 +9,12 @@
 //!   sample sort: `√n`-ish buckets, block-local counting, scatter, parallel
 //!   bucket sorts, all scheduled by rayon with no processor knowledge.  This is
 //!   the competitor of Fig. 12b.
-//! * [`paco::paco_sort`] — the PACO SORT algorithm (Theorem 16): `p − 1` pivots
+//! * [`paco::SortRun`] — the PACO SORT algorithm (Theorem 16): `p − 1` pivots
 //!   chosen by oversampling with ratio `k = Θ(ln n)`, per-processor
 //!   partitioning of an `n/p` chunk, a `p × p` count matrix with column prefix
 //!   sums, an all-to-all redistribution, and a final *sequential* sample sort
-//!   per processor — executed on the processor-aware worker pool.
+//!   per processor — executed on the processor-aware worker pool.  Run it
+//!   through `paco_service::Session` with the `Sort` request.
 //!
 //! All variants are generic over `Copy + Send + Sync` keys with a total order
 //! given by `PartialOrd` (ties allowed, NaNs rejected by debug assertions).
@@ -25,8 +26,7 @@ pub mod paco;
 pub mod po;
 pub mod seq;
 
-#[allow(deprecated)]
-pub use paco::{paco_sort, paco_sort_with_oversampling, SortJob, SortRun};
+pub use paco::{plan_sort, SortJob, SortRun};
 pub use po::po_sample_sort;
 pub use seq::seq_sample_sort;
 
@@ -46,7 +46,6 @@ pub(crate) fn cmp_keys<T: PartialOrd>(a: &T, b: &T) -> std::cmp::Ordering {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use paco_core::workload::random_keys;
@@ -67,8 +66,8 @@ mod tests {
         assert_eq!(b, expect);
 
         let pool = WorkerPool::new(4);
-        let mut c = input;
-        paco_sort(&mut c, &pool);
-        assert_eq!(c, expect);
+        let run = SortRun::prepare(input, pool.p(), 16);
+        run.plan().execute(&pool, |proc, job| run.step(proc, job));
+        assert_eq!(run.finish(), expect);
     }
 }

@@ -38,9 +38,9 @@ use crate::{cmp_keys, SortKey};
 use paco_core::proc_list::ProcId;
 use paco_core::shared::SharedSlice;
 use paco_runtime::schedule::{Plan, Step};
-use paco_runtime::WorkerPool;
 use parking_lot::Mutex;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Below this size the parallel machinery is pure overhead.
 const SMALL_SORT: usize = 1 << 14;
@@ -85,8 +85,8 @@ pub enum SortJob {
 /// code, and the only read-side sharing (every scatter step reads every
 /// `grouped[i]`) is staggered so the wave stays parallel.  This is the unit
 /// the service layer's `Session` schedules — alone, in batches, or mixed with
-/// other workloads — and the deprecated free functions below are thin
-/// wrappers over it.
+/// other workloads.  The schedule itself depends only on `(n, p)` — see
+/// [`plan_sort`] and [`SortRun::from_plan`].
 pub struct SortRun<T> {
     input: Vec<T>,
     pivots: Vec<T>,
@@ -98,26 +98,79 @@ pub struct SortRun<T> {
     /// The redistribution target; scatter/local-sort steps own disjoint
     /// ranges of it.
     scratch: SharedSlice<T>,
-    plan: Plan<SortJob>,
+    plan: Arc<Plan<SortJob>>,
     p: usize,
+}
+
+/// Compile the structural sort schedule for `n` keys on `p` processors.
+///
+/// The schedule is workload-independent: it depends only on `(n, p)` (the
+/// pivots are bind-time data selected from the actual keys).  Degenerate
+/// instances compile too — an empty input is an empty plan, and a tiny input
+/// (or `p == 1`) is a single sequential-sort step — so a cached plan can be
+/// bound to any same-length input via [`SortRun::from_plan`].
+pub fn plan_sort(n: usize, p: usize) -> Plan<SortJob> {
+    if n == 0 {
+        return Plan::empty(p.max(1));
+    }
+    if n <= SMALL_SORT || p == 1 {
+        return Plan::single_wave(
+            p.max(1),
+            vec![Step {
+                proc: 0,
+                job: SortJob::Seq,
+            }],
+        );
+    }
+    // Steps 2–5 as one four-wave plan.
+    Plan::from_waves(
+        p,
+        vec![
+            (0..p)
+                .map(|i| Step {
+                    proc: i,
+                    job: SortJob::Partition {
+                        i,
+                        lo: i * n / p,
+                        hi: (i + 1) * n / p,
+                    },
+                })
+                .collect(),
+            vec![Step {
+                proc: 0,
+                job: SortJob::Offsets,
+            }],
+            (0..p)
+                .map(|j| Step {
+                    proc: j,
+                    job: SortJob::Scatter { j },
+                })
+                .collect(),
+            (0..p)
+                .map(|j| Step {
+                    proc: j,
+                    job: SortJob::LocalSort { j },
+                })
+                .collect(),
+        ],
+    )
 }
 
 impl<T: SortKey> SortRun<T> {
     /// Select pivots and compile the four-wave schedule for `p` processors
     /// with oversampling ratio `k`.
     pub fn prepare(data: Vec<T>, p: usize, k: usize) -> Self {
+        let plan = Arc::new(plan_sort(data.len(), p));
+        Self::from_plan(data, plan, p, k)
+    }
+
+    /// Bind keys to an already-compiled (typically cached) plan.  The plan
+    /// must have been produced by [`plan_sort`] for exactly `data.len()` keys
+    /// and this `p`; pivot selection (step 1, the only data-dependent part)
+    /// happens here.
+    pub fn from_plan(data: Vec<T>, plan: Arc<Plan<SortJob>>, p: usize, k: usize) -> Self {
         let n = data.len();
-        if n == 0 {
-            return Self::degenerate(data, p, Plan::empty(p.max(1)));
-        }
-        if n <= SMALL_SORT || p == 1 {
-            let plan = Plan::single_wave(
-                p.max(1),
-                vec![Step {
-                    proc: 0,
-                    job: SortJob::Seq,
-                }],
-            );
+        if n == 0 || n <= SMALL_SORT || p == 1 {
             return Self::degenerate(data, p, plan);
         }
 
@@ -131,39 +184,6 @@ impl<T: SortKey> SortRun<T> {
         let pivots: Vec<T> = (1..p)
             .map(|i| sample[(i * sample_size / p).min(sample_size - 1)])
             .collect();
-
-        // ---- Steps 2–5 as one four-wave plan.
-        let plan = Plan::from_waves(
-            p,
-            vec![
-                (0..p)
-                    .map(|i| Step {
-                        proc: i,
-                        job: SortJob::Partition {
-                            i,
-                            lo: i * n / p,
-                            hi: (i + 1) * n / p,
-                        },
-                    })
-                    .collect(),
-                vec![Step {
-                    proc: 0,
-                    job: SortJob::Offsets,
-                }],
-                (0..p)
-                    .map(|j| Step {
-                        proc: j,
-                        job: SortJob::Scatter { j },
-                    })
-                    .collect(),
-                (0..p)
-                    .map(|j| Step {
-                        proc: j,
-                        job: SortJob::LocalSort { j },
-                    })
-                    .collect(),
-            ],
-        );
 
         let scratch = SharedSlice::new(n, data[0]);
         Self {
@@ -179,7 +199,7 @@ impl<T: SortKey> SortRun<T> {
 
     /// A run whose plan needs no partition/scatter state: the input moves
     /// straight into the scratch buffer and is sorted there (or is empty).
-    fn degenerate(data: Vec<T>, p: usize, plan: Plan<SortJob>) -> Self {
+    fn degenerate(data: Vec<T>, p: usize, plan: Arc<Plan<SortJob>>) -> Self {
         Self {
             input: Vec::new(),
             pivots: Vec::new(),
@@ -272,31 +292,6 @@ impl<T: SortKey> SortRun<T> {
     }
 }
 
-/// Sort `data` in place on `pool.p()` processors with the default
-/// oversampling ratio `k = max(16, ⌈2·ln n⌉)`.
-#[deprecated(note = "run the `Sort` request through a `paco_service::Session` instead")]
-pub fn paco_sort<T: SortKey>(data: &mut [T], pool: &WorkerPool) {
-    let k = paco_core::tuning::Tuning::default().sort_k(data.len());
-    #[allow(deprecated)]
-    paco_sort_with_oversampling(data, pool, k);
-}
-
-/// [`paco_sort`] with an explicit oversampling ratio `k`.
-#[deprecated(
-    note = "run the `Sort` request through a `paco_service::Session` (set `Tuning::sort_oversampling` for the knob) instead"
-)]
-pub fn paco_sort_with_oversampling<T: SortKey>(data: &mut [T], pool: &WorkerPool, k: usize) {
-    // Keep the old shim's zero-copy path: tiny inputs never touched the pool
-    // or any scratch buffer.
-    if data.len() <= SMALL_SORT || pool.p() == 1 {
-        seq_sample_sort(data);
-        return;
-    }
-    let run = SortRun::prepare(data.to_vec(), pool.p(), k);
-    run.plan.execute(pool, |proc, job| run.step(proc, job));
-    data.copy_from_slice(&run.finish());
-}
-
 fn bucket_of<T: SortKey>(x: &T, pivots: &[T]) -> usize {
     let mut lo = 0usize;
     let mut hi = pivots.len();
@@ -312,16 +307,25 @@ fn bucket_of<T: SortKey>(x: &T, pivots: &[T]) -> usize {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrappers stay covered until they are removed
 mod tests {
     use super::*;
     use paco_core::workload::{few_distinct_keys, random_keys, sorted_keys};
+    use paco_runtime::WorkerPool;
+
+    /// Prepare-and-run helper standing in for the removed pool-threading
+    /// wrappers; real callers go through `paco_service::Session`.
+    fn paco_sort_with_oversampling<T: SortKey>(data: &mut [T], pool: &WorkerPool, k: usize) {
+        let run = SortRun::prepare(data.to_vec(), pool.p(), k);
+        run.plan().execute(pool, |proc, job| run.step(proc, job));
+        data.copy_from_slice(&run.finish());
+    }
 
     fn check(mut data: Vec<f64>, p: usize) {
         let mut expect = data.clone();
         expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let pool = WorkerPool::new(p);
-        paco_sort(&mut data, &pool);
+        let k = paco_core::tuning::Tuning::default().sort_k(data.len());
+        paco_sort_with_oversampling(&mut data, &pool, k);
         assert_eq!(data, expect, "p={p}");
     }
 

@@ -294,11 +294,12 @@ proptest! {
 mod exploding {
     use paco_core::tuning::Tuning;
     use paco_runtime::schedule::{Plan, Step};
-    use paco_service::{Compiled, Prepared, Solve};
+    use paco_service::{Compiled, Prepared, ShapeKey, Skeleton, Solve};
     use std::any::Any;
+    use std::sync::Arc;
 
     struct Exploding {
-        skeleton: Plan<usize>,
+        skeleton: Arc<Plan<usize>>,
     }
 
     impl Prepared for Exploding {
@@ -317,9 +318,22 @@ mod exploding {
 
     impl Solve for ExplodingReq {
         type Output = ();
-        fn compile(self, p: usize, _tuning: &Tuning) -> Compiled<()> {
+        fn shape_key(&self) -> ShapeKey {
+            ShapeKey::new("test-exploding", std::iter::empty())
+        }
+        fn skeleton(&self, _tuning: &Tuning, p: usize) -> Skeleton {
+            let plan = Plan::single_wave(
+                p,
+                vec![Step {
+                    proc: 0,
+                    job: 0usize,
+                }],
+            );
+            Skeleton::new(Arc::new(()), &plan)
+        }
+        fn bind(self, skeleton: &Skeleton, _tuning: &Tuning, _p: usize) -> Compiled<()> {
             Compiled::from_prepared(Box::new(Exploding {
-                skeleton: Plan::single_wave(p, vec![Step { proc: 0, job: 0 }]),
+                skeleton: Arc::clone(skeleton.index()),
             }))
         }
     }

@@ -19,8 +19,8 @@
 
 use paco_runtime::schedule::{Plan, Step};
 use paco_service::{
-    BatchPolicy, Compiled, Engine, Lcs, Overloaded, Prepared, Priority, Session, Solve, Sort,
-    SubmitOptions, TicketError,
+    BatchPolicy, Compiled, Engine, Lcs, Overloaded, Prepared, Priority, Session, ShapeKey,
+    Skeleton, Solve, Sort, SubmitOptions, TicketError,
 };
 use parking_lot::{Condvar, Mutex};
 use proptest::prelude::*;
@@ -84,7 +84,7 @@ struct GateReq {
 
 struct GateStep {
     gate: Arc<Gate>,
-    skeleton: Plan<usize>,
+    skeleton: Arc<Plan<usize>>,
 }
 
 impl Prepared for GateStep {
@@ -101,10 +101,23 @@ impl Prepared for GateStep {
 
 impl Solve for GateReq {
     type Output = ();
-    fn compile(self, p: usize, _tuning: &paco_service::Tuning) -> Compiled<()> {
+    fn shape_key(&self) -> ShapeKey {
+        ShapeKey::new("test-gate", std::iter::empty())
+    }
+    fn skeleton(&self, _tuning: &paco_service::Tuning, p: usize) -> Skeleton {
+        let plan = Plan::single_wave(
+            p,
+            vec![Step {
+                proc: 0,
+                job: 0usize,
+            }],
+        );
+        Skeleton::new(Arc::new(()), &plan)
+    }
+    fn bind(self, skeleton: &Skeleton, _tuning: &paco_service::Tuning, _p: usize) -> Compiled<()> {
         Compiled::from_prepared(Box::new(GateStep {
             gate: self.gate,
-            skeleton: Plan::single_wave(p, vec![Step { proc: 0, job: 0 }]),
+            skeleton: Arc::clone(skeleton.index()),
         }))
     }
 }
@@ -119,7 +132,7 @@ struct LogReq {
 struct LogStep {
     id: usize,
     log: Arc<Mutex<Vec<usize>>>,
-    skeleton: Plan<usize>,
+    skeleton: Arc<Plan<usize>>,
 }
 
 impl Prepared for LogStep {
@@ -136,11 +149,29 @@ impl Prepared for LogStep {
 
 impl Solve for LogReq {
     type Output = usize;
-    fn compile(self, p: usize, _tuning: &paco_service::Tuning) -> Compiled<usize> {
+    fn shape_key(&self) -> ShapeKey {
+        ShapeKey::new("test-log", std::iter::empty())
+    }
+    fn skeleton(&self, _tuning: &paco_service::Tuning, p: usize) -> Skeleton {
+        let plan = Plan::single_wave(
+            p,
+            vec![Step {
+                proc: 0,
+                job: 0usize,
+            }],
+        );
+        Skeleton::new(Arc::new(()), &plan)
+    }
+    fn bind(
+        self,
+        skeleton: &Skeleton,
+        _tuning: &paco_service::Tuning,
+        _p: usize,
+    ) -> Compiled<usize> {
         Compiled::from_prepared(Box::new(LogStep {
             id: self.id,
             log: self.log,
-            skeleton: Plan::single_wave(p, vec![Step { proc: 0, job: 0 }]),
+            skeleton: Arc::clone(skeleton.index()),
         }))
     }
 }
@@ -351,12 +382,12 @@ proptest! {
             .iter()
             .enumerate()
             .map(|(id, &(lane, expired))| {
-                let opts = SubmitOptions {
-                    priority: LANES[lane],
+                let mut opts = SubmitOptions::new().priority(LANES[lane]);
+                if expired {
                     // A deadline of "now": guaranteed in the past by the
                     // time the gated executor drains.
-                    deadline: expired.then(Instant::now),
-                };
+                    opts = opts.deadline(Instant::now());
+                }
                 client.submit_with(
                     LogReq { id, log: Arc::clone(&log) },
                     opts,

@@ -1,0 +1,228 @@
+//! Tests of the service plan cache: skeletons are cached per `(shape key,
+//! processor count, tuning epoch)` and the cache must be invisible except in
+//! the counters.
+//!
+//! * a property test that a cache-*hit* compile (skeleton reused, buffers
+//!   re-bound) produces bit-identical output to a fresh cold-cache compile,
+//!   for every request type the service exposes;
+//! * counter arithmetic: `n` same-shaped runs cost exactly one miss and
+//!   `n - 1` hits, and [`Session::update_tuning`] bumps the epoch so the
+//!   next run recompiles — under the *new* knobs, still correctly;
+//! * the engine's per-shard caches: a round-robin pair of shards each
+//!   compiles a shared shape once, while [`Client::submit_batch`] routes a
+//!   whole batch to one shard so the batch pays exactly one miss.
+
+use paco_core::machine::HeteroSpec;
+use paco_core::workload::{
+    random_digraph, random_keys, random_matrix_wrapping, random_sequence, GapCosts, ParagraphWeight,
+};
+use paco_runtime::hetero::ThrottleSpec;
+use paco_service::{
+    Apsp, BatchPolicy, Engine, Gap, HeteroMatMul, Lcs, MatMul, OneD, Routing, Session, Solve, Sort,
+    Strassen, Tuning,
+};
+use proptest::prelude::*;
+
+/// A deterministic session (tuning pinned, independent of `PACO_BASE`).
+fn session(p: usize) -> Session {
+    Session::builder()
+        .procs(p)
+        .tuning(Tuning::default())
+        .build()
+}
+
+/// Run `req()` twice through one session (the second run re-binds the
+/// cached skeleton) and once through a cold session (fresh compile): all
+/// three outputs must be bit-identical, and the warm session's counters
+/// must show the reuse actually happened.
+fn assert_cached_matches_fresh<R, O>(p: usize, req: impl Fn() -> R, ctx: &str)
+where
+    R: Solve<Output = O>,
+    O: PartialEq + std::fmt::Debug,
+{
+    let warm = session(p);
+    let cold_in_warm = warm.run(req());
+    let via_hit = warm.run(req());
+    let stats = warm.cache_stats();
+    assert_eq!(stats.misses, 1, "{ctx}: first run must compile");
+    assert_eq!(stats.hits, 1, "{ctx}: second run must reuse the skeleton");
+    let fresh = session(p).run(req());
+    assert!(
+        via_hit == fresh,
+        "{ctx}: cache-hit output diverged from a fresh compile"
+    );
+    assert!(cold_in_warm == fresh, "{ctx}: cold output diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+
+    /// The tentpole invariant: for every request type, binding buffers to a
+    /// *cached* skeleton computes exactly what compiling from scratch does.
+    #[test]
+    fn cache_hits_are_bit_identical_to_fresh_compiles_for_every_workload(
+        p in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        assert_cached_matches_fresh(p, || Lcs {
+            a: random_sequence(60, 4, seed),
+            b: random_sequence(45, 4, seed + 1),
+        }, "lcs");
+        assert_cached_matches_fresh(p, || Apsp {
+            adj: random_digraph(14, 0.3, 25, seed),
+        }, "apsp");
+        assert_cached_matches_fresh(p, || MatMul {
+            a: random_matrix_wrapping(24, 18, seed),
+            b: random_matrix_wrapping(18, 20, seed + 1),
+        }, "mm");
+        assert_cached_matches_fresh(p, || HeteroMatMul {
+            a: random_matrix_wrapping(24, 16, seed),
+            b: random_matrix_wrapping(16, 20, seed + 1),
+            throttle: ThrottleSpec::from_spec(&HeteroSpec::one_fast_socket(p, 1, 2.0)),
+            aware: true,
+        }, "hetero-mm");
+        assert_cached_matches_fresh(p, || Strassen {
+            a: random_matrix_wrapping(32, 32, seed),
+            b: random_matrix_wrapping(32, 32, seed + 1),
+        }, "strassen");
+        assert_cached_matches_fresh(p, || Sort {
+            keys: random_keys(120, seed),
+        }, "sort");
+        assert_cached_matches_fresh(p, || OneD {
+            n: 80,
+            weight: ParagraphWeight { ideal: 6.0 },
+            d0: 0.0,
+        }, "one-d");
+        assert_cached_matches_fresh(p, || Gap {
+            n: 24,
+            costs: GapCosts::default(),
+        }, "gap");
+    }
+
+    /// `n` same-shaped runs plan once: exactly one miss, `n - 1` hits.
+    #[test]
+    fn n_same_shaped_runs_cost_one_miss_and_n_minus_one_hits(
+        n in 2usize..8,
+        p in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let session = session(p);
+        // Same shape, different contents — the cache must key on shape
+        // alone and still answer each request from its own buffers.
+        let expected: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut keys = random_keys(90, seed + i as u64);
+                keys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                keys
+            })
+            .collect();
+        for (i, want) in expected.iter().enumerate() {
+            let got = session.run(Sort { keys: random_keys(90, seed + i as u64) });
+            prop_assert_eq!(&got, want);
+        }
+        let stats = session.cache_stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.hits, (n - 1) as u64);
+        prop_assert_eq!(stats.entries, 1);
+    }
+}
+
+/// A tuning change must invalidate: the epoch is part of the cache key, so
+/// the next same-shaped run recompiles under the new knobs — and is still
+/// correct.
+#[test]
+fn update_tuning_invalidates_cached_skeletons() {
+    let mut session = session(3);
+    let req = || Apsp {
+        adj: random_digraph(12, 0.35, 25, 7),
+    };
+    let reference = session.run(req());
+    assert_eq!(session.run(req()), reference);
+    let stats = session.cache_stats();
+    assert_eq!((stats.misses, stats.hits), (1, 1));
+
+    session.update_tuning(|t| t.fw_base = 4);
+    // Recompiled (miss count grows), same answer under the new base.
+    assert_eq!(session.run(req()), reference);
+    assert_eq!(session.run(req()), reference);
+    let stats = session.cache_stats();
+    assert_eq!((stats.misses, stats.hits), (2, 2));
+}
+
+/// Round-robin shards keep independent caches: two shards each compile the
+/// shared shape exactly once.
+#[test]
+fn engine_shards_cache_independently() {
+    let engine = Engine::builder()
+        .procs(2)
+        .tuning(Tuning::default())
+        .policy(BatchPolicy {
+            shards: 2,
+            routing: Routing::RoundRobin,
+            ..BatchPolicy::default()
+        })
+        .build();
+    let client = engine.client();
+    let tickets: Vec<_> = (0..4)
+        .map(|i| {
+            client.submit(Lcs {
+                a: random_sequence(40, 4, i),
+                b: random_sequence(30, 4, i + 100),
+            })
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("engine run succeeds");
+    }
+    let stats = engine.stats();
+    // Four same-shaped submissions alternate across two shards: each shard
+    // compiles once and re-binds once.
+    for shard in &stats.shards {
+        assert_eq!(shard.plan_cache.misses, 1);
+        assert_eq!(shard.plan_cache.hits, 1);
+    }
+    let merged = stats.plan_cache();
+    assert_eq!((merged.misses, merged.hits), (2, 2));
+    engine.shutdown();
+}
+
+/// `Client::submit_batch` routes the whole batch to one shard, so the batch
+/// compiles its shape exactly once — and every ticket still gets its own
+/// answer.
+#[test]
+fn submit_batch_shares_one_shard_and_one_skeleton() {
+    let engine = Engine::builder()
+        .procs(2)
+        .tuning(Tuning::default())
+        .policy(BatchPolicy {
+            shards: 2,
+            routing: Routing::RoundRobin,
+            ..BatchPolicy::default()
+        })
+        .build();
+    let client = engine.client();
+
+    let reqs: Vec<Lcs> = (0..4)
+        .map(|i| Lcs {
+            a: random_sequence(40, 4, 500 + i),
+            b: random_sequence(30, 4, 600 + i),
+        })
+        .collect();
+    let oracle = session(2);
+    let expected: Vec<u32> = reqs.iter().cloned().map(|r| oracle.run(r)).collect();
+
+    let tickets = client.submit_batch(reqs);
+    let got: Vec<u32> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("engine run succeeds"))
+        .collect();
+    assert_eq!(got, expected);
+
+    let merged = engine.stats().plan_cache();
+    assert_eq!(
+        (merged.misses, merged.hits),
+        (1, 3),
+        "a batch routed to one shard compiles its shape once"
+    );
+    engine.shutdown();
+}
