@@ -81,10 +81,20 @@ fn bench_fw(c: &mut Criterion) {
         format!("fw/recursive-fork-barriers-p{p_repr}"),
         fw.fork_barriers as f64,
     );
+    let before = paco_core::metrics::sched::kernel::snapshot();
     std::hint::black_box(session.run(Apsp { adj: apsp.clone() }));
     let stats = session.last_stats();
     criterion::record_metric("fw/executed-pool-barriers", stats.pool_barriers as f64);
     criterion::record_metric("fw/executed-plan-waves", stats.plan_waves as f64);
+
+    // Kernel-dispatch gauges: every relax leaf of that run should have taken
+    // the semiring-specialized row fast path (generic = 0).
+    let delta = paco_core::metrics::sched::kernel::snapshot().since(&before);
+    criterion::record_metric(
+        "kernel/fw-leaf-specialized",
+        delta.fw_leaf_specialized as f64,
+    );
+    criterion::record_metric("kernel/fw-leaf-generic", delta.fw_leaf_generic as f64);
 }
 
 criterion_group!(benches, bench_fw);

@@ -36,6 +36,20 @@ fn bench_lcs(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Kernel-dispatch gauges: every base block of one PACO run should have
+    // taken the branch-free sweep (generic = 0).
+    let before = paco_core::metrics::sched::kernel::snapshot();
+    std::hint::black_box(session.run(Lcs {
+        a: a.clone(),
+        b: b.clone(),
+    }));
+    let delta = paco_core::metrics::sched::kernel::snapshot().since(&before);
+    criterion::record_metric(
+        "kernel/lcs-leaf-specialized",
+        delta.lcs_leaf_specialized as f64,
+    );
+    criterion::record_metric("kernel/lcs-leaf-generic", delta.lcs_leaf_generic as f64);
 }
 
 criterion_group!(benches, bench_lcs);

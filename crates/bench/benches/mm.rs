@@ -42,6 +42,23 @@ fn bench_mm(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // Kernel-dispatch gauges: how many leaf multiplications of one PACO run
+    // took the runtime-selected `f64` microkernel vs. the generic loop, and
+    // which microkernel this process dispatched to (1 = avx2+fma).  One tick
+    // per leaf call, so the counts also show the leaf granularity.
+    let before = paco_core::metrics::sched::kernel::snapshot();
+    std::hint::black_box(session.run(MatMul {
+        a: a.clone(),
+        b: b.clone(),
+    }));
+    let delta = paco_core::metrics::sched::kernel::snapshot().since(&before);
+    criterion::record_metric("kernel/mm-leaf-simd", delta.mm_leaf_simd as f64);
+    criterion::record_metric("kernel/mm-leaf-generic", delta.mm_leaf_generic as f64);
+    criterion::record_metric(
+        "kernel/simd-avx2",
+        f64::from(u8::from(paco_core::simd::simd_mode() == "avx2+fma")),
+    );
 }
 
 criterion_group!(benches, bench_mm);

@@ -194,6 +194,14 @@ fn bench_service(c: &mut Criterion) {
         after.misses.saturating_sub(warm.misses) as f64,
     );
     criterion::record_metric("service/plan-cache-hit-ratio", after.hit_ratio());
+
+    // Arena gauge: across those warm passes the session's scratch arena
+    // should be serving pooled buffers — the reuse ratio is hits over all
+    // checkouts (0 would mean every bind hit the allocator).
+    criterion::record_metric(
+        "service/arena-reuse-ratio",
+        cached.arena_stats().reuse_ratio(),
+    );
 }
 
 criterion_group!(benches, bench_service);

@@ -1,0 +1,138 @@
+//! Compare a fresh `PACO_BENCH_JSON` run against the committed
+//! `BENCH_baseline.json` and print per-gauge percentage deltas.
+//!
+//! ```text
+//! cargo run -p paco_bench --release --bin bench_delta -- BENCH_baseline.json fresh.json
+//! ```
+//!
+//! Both inputs are the criterion shim's JSON Lines format: `bench` lines
+//! carry `mean_ns` (lower is better, reported as a signed % change) and
+//! `metric` lines carry `value` (reported as baseline → current).  Gauges
+//! present on only one side are listed as added/removed instead of silently
+//! dropped.  The tool never fails the build over a regression — timings in a
+//! shared 1-core container are advisory — so CI runs it non-blocking; it
+//! exits non-zero only when an input file is missing or unparseable.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed JSON-lines record: a timed bench (`mean_ns`) or a gauge
+/// (`value`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Record {
+    Bench { mean_ns: f64 },
+    Metric { value: f64 },
+}
+
+/// Pull `"key":<string>` out of a JSON-lines object without a JSON crate
+/// (labels never contain escaped quotes; the shim writes them).
+fn string_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Pull `"key":<number>` out of a JSON-lines object.
+fn number_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn parse(path: &str) -> Result<BTreeMap<String, Record>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("bench_delta: cannot read {path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let (Some(label), Some(mean_ns)) =
+            (string_field(line, "bench"), number_field(line, "mean_ns"))
+        {
+            out.insert(label, Record::Bench { mean_ns });
+        } else if let (Some(label), Some(value)) =
+            (string_field(line, "metric"), number_field(line, "value"))
+        {
+            out.insert(label, Record::Metric { value });
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("bench_delta: no records parsed from {path}"));
+    }
+    Ok(out)
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_baseline.json".into());
+    let Some(current_path) = args.next() else {
+        eprintln!("usage: bench_delta <baseline.json> <current.json>");
+        return ExitCode::FAILURE;
+    };
+
+    let (baseline, current) = match (parse(&baseline_path), parse(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("{err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("bench_delta: {current_path} vs {baseline_path}");
+    println!("{:-<78}", "");
+    let mut improved = 0usize;
+    let mut regressed = 0usize;
+    for (label, cur) in &current {
+        match (baseline.get(label), cur) {
+            (Some(Record::Bench { mean_ns: base }), Record::Bench { mean_ns }) => {
+                let pct = (mean_ns - base) / base * 100.0;
+                let arrow = if pct <= -1.0 {
+                    improved += 1;
+                    "faster"
+                } else if pct >= 1.0 {
+                    regressed += 1;
+                    "SLOWER"
+                } else {
+                    "~same"
+                };
+                println!(
+                    "{label:<48} {:>10} -> {:>10}  {pct:>+7.1}% {arrow}",
+                    human_ns(*base),
+                    human_ns(*mean_ns),
+                );
+            }
+            (Some(Record::Metric { value: base }), Record::Metric { value }) => {
+                println!("{label:<48} {base:>10.3} -> {value:>10.3}");
+            }
+            (Some(_), _) => {
+                println!("{label:<48} (kind changed between runs)");
+            }
+            (None, _) => println!("{label:<48} (new gauge, no baseline)"),
+        }
+    }
+    for label in baseline.keys().filter(|l| !current.contains_key(*l)) {
+        println!("{label:<48} (missing from current run)");
+    }
+    println!("{:-<78}", "");
+    println!("bench_delta: {improved} faster, {regressed} slower (advisory; non-blocking)");
+    ExitCode::SUCCESS
+}

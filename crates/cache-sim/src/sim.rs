@@ -19,6 +19,12 @@ use paco_core::metrics::Counters;
 ///
 /// All methods have empty default bodies so a no-op tracker compiles away.
 pub trait Tracker {
+    /// Whether this tracker observes accesses at all.  `true` for every real
+    /// tracker; [`NullTracker`] overrides it to `false`, which is the gate the
+    /// leaf fast paths check — a specialized kernel skips the per-element
+    /// `read`/`write` hooks, so it may only run when nothing is listening.
+    const TRACKING: bool = true;
+
     /// A read of one word at `addr`.
     #[inline]
     fn read(&mut self, addr: usize) {
@@ -47,7 +53,9 @@ pub trait Tracker {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullTracker;
 
-impl Tracker for NullTracker {}
+impl Tracker for NullTracker {
+    const TRACKING: bool = false;
+}
 
 /// `p` private ideal caches plus per-processor miss/access counters.
 #[derive(Debug, Clone)]

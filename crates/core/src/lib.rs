@@ -28,6 +28,11 @@
 //! * [`shared`] — `SharedGrid`/`SharedSlice`, the documented-unsafe shared
 //!   table wrappers the wavefront (`paco-dp`) and phase-recursive
 //!   (`paco-graph`) algorithms write from many processors at once.
+//! * [`kernel`] / [`simd`] — the sealed `SpecializedKernel` fast-path hook on
+//!   [`Semiring`] and the runtime-dispatched `f64` microkernel behind it
+//!   (AVX2+FMA when detected, portable otherwise, `PACO_SIMD=off` override).
+//! * [`arena`] — [`ScratchArena`], the typed cross-pass pool the service layer
+//!   uses to recycle workload scratch allocations between requests.
 //! * [`tuning`] — every base/grain-size knob of the workloads (LCS/FW/1D/MM
 //!   bases, Strassen cutoffs, GAP tile grid, sort oversampling) hoisted into
 //!   one [`Tuning`] struct with a `PACO_BASE` environment override.
@@ -43,17 +48,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
+pub mod kernel;
 pub mod machine;
 pub mod matrix;
 pub mod metrics;
 pub mod proc_list;
 pub mod semiring;
 pub mod shared;
+pub mod simd;
 pub mod table;
 pub mod tuning;
 pub mod util;
 pub mod workload;
 
+pub use arena::{ArenaStats, ScratchArena};
+pub use kernel::SpecializedKernel;
 pub use machine::{CacheParams, HeteroSpec, MachineConfig};
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use metrics::{Counters, Stopwatch};

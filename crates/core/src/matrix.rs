@@ -112,6 +112,12 @@ impl<T: Copy> Matrix<T> {
         &self.data
     }
 
+    /// Consume the matrix, returning its row-major data vector — the
+    /// reclamation half of arena reuse (`Matrix::from_vec` is the other).
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
     /// Raw mutable row-major data.
     pub fn data_mut(&mut self) -> &mut [T] {
         &mut self.data
@@ -270,6 +276,17 @@ impl<'a, T: Copy> MatRef<'a, T> {
         unsafe { *self.ptr.add(i * self.stride + j) }
     }
 
+    /// Row `i` of the window as a plain slice — what the row-sliced leaf
+    /// kernels iterate instead of per-element [`MatRef::at`] calls.
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [T] {
+        debug_assert!(i < self.rows, "MatRef row out of bounds");
+        // SAFETY: rows are contiguous runs of `cols` cells (the
+        // `cols <= stride || rows <= 1` construction invariant), all inside
+        // the parent allocation, and the window permits shared reads.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(i * self.stride), self.cols) }
+    }
+
     /// Sub-window of `nrows × ncols` starting at `(r0, c0)`.
     #[inline]
     pub fn submatrix(&self, r0: usize, c0: usize, nrows: usize, ncols: usize) -> MatRef<'a, T> {
@@ -395,6 +412,26 @@ impl<'a, T: Copy> MatMut<'a, T> {
         debug_assert!(i < self.rows && j < self.cols, "MatMut index out of bounds");
         // SAFETY: window invariant, exclusive access.
         unsafe { &mut *self.ptr.add(i * self.stride + j) }
+    }
+
+    /// Row `i` of the window as a shared slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        debug_assert!(i < self.rows, "MatMut row out of bounds");
+        // SAFETY: rows are contiguous runs of `cols` cells inside the
+        // window (construction invariant), and `&self` forbids concurrent
+        // writes through this window while the slice is live.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(i * self.stride), self.cols) }
+    }
+
+    /// Row `i` of the window as a mutable slice — the write half of the
+    /// row-sliced leaf kernels.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        debug_assert!(i < self.rows, "MatMut row out of bounds");
+        // SAFETY: as [`MatMut::row`], with exclusivity inherited from
+        // `&mut self` (one row slice at a time per window).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(i * self.stride), self.cols) }
     }
 
     /// Reborrow: a shorter-lived mutable window over the same cells.

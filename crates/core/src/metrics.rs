@@ -202,6 +202,123 @@ pub mod sched {
         }
     }
 
+    pub mod kernel {
+        //! Process-wide leaf-kernel dispatch counters.
+        //!
+        //! Wall-clock numbers are noisy on a shared 1-core container, so
+        //! every leaf fast path added by the kernel layer also proves it ran:
+        //! each leaf call increments exactly one counter — "specialized"
+        //! (SIMD microkernel, row-sliced semiring loop, branch-free LCS
+        //! block) or "generic" (the trait-dispatch fallback).  Like
+        //! [`super::plan_cache`], leaves run on pool worker threads, so these
+        //! are global atomics: exact per process, one tick per *leaf call*
+        //! (never per element — these sit under the hot loops).
+
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        static MM_LEAF_SIMD: AtomicU64 = AtomicU64::new(0);
+        static MM_LEAF_GENERIC: AtomicU64 = AtomicU64::new(0);
+        static FW_LEAF_SPECIALIZED: AtomicU64 = AtomicU64::new(0);
+        static FW_LEAF_GENERIC: AtomicU64 = AtomicU64::new(0);
+        static LCS_LEAF_SPECIALIZED: AtomicU64 = AtomicU64::new(0);
+        static LCS_LEAF_GENERIC: AtomicU64 = AtomicU64::new(0);
+
+        /// A point-in-time copy of the leaf-dispatch counters.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct KernelSnapshot {
+            /// MM leaf calls handled by the specialized (SIMD) microkernel.
+            pub mm_leaf_simd: u64,
+            /// MM leaf calls that ran the generic semiring loop.
+            pub mm_leaf_generic: u64,
+            /// FW relax calls handled by a row-sliced semiring fast path.
+            pub fw_leaf_specialized: u64,
+            /// FW relax calls that ran the generic per-element loop.
+            pub fw_leaf_generic: u64,
+            /// LCS base blocks run by the branch-free fast path.
+            pub lcs_leaf_specialized: u64,
+            /// LCS base blocks that ran the tracked generic loop.
+            pub lcs_leaf_generic: u64,
+        }
+
+        impl KernelSnapshot {
+            /// Counter deltas since an earlier snapshot.
+            pub fn since(&self, earlier: &KernelSnapshot) -> KernelSnapshot {
+                KernelSnapshot {
+                    mm_leaf_simd: self.mm_leaf_simd - earlier.mm_leaf_simd,
+                    mm_leaf_generic: self.mm_leaf_generic - earlier.mm_leaf_generic,
+                    fw_leaf_specialized: self.fw_leaf_specialized - earlier.fw_leaf_specialized,
+                    fw_leaf_generic: self.fw_leaf_generic - earlier.fw_leaf_generic,
+                    lcs_leaf_specialized: self.lcs_leaf_specialized - earlier.lcs_leaf_specialized,
+                    lcs_leaf_generic: self.lcs_leaf_generic - earlier.lcs_leaf_generic,
+                }
+            }
+        }
+
+        /// Record one MM leaf call (`simd`: handled by the microkernel).
+        #[inline]
+        pub fn record_mm_leaf(simd: bool) {
+            if simd {
+                MM_LEAF_SIMD.fetch_add(1, Ordering::Relaxed);
+            } else {
+                MM_LEAF_GENERIC.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        /// Record one FW relax call (`specialized`: row-sliced fast path).
+        #[inline]
+        pub fn record_fw_leaf(specialized: bool) {
+            if specialized {
+                FW_LEAF_SPECIALIZED.fetch_add(1, Ordering::Relaxed);
+            } else {
+                FW_LEAF_GENERIC.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        /// Record one LCS base block (`specialized`: branch-free fast path).
+        #[inline]
+        pub fn record_lcs_leaf(specialized: bool) {
+            if specialized {
+                LCS_LEAF_SPECIALIZED.fetch_add(1, Ordering::Relaxed);
+            } else {
+                LCS_LEAF_GENERIC.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        /// Read the current process-wide leaf-dispatch counters at once.
+        pub fn snapshot() -> KernelSnapshot {
+            KernelSnapshot {
+                mm_leaf_simd: MM_LEAF_SIMD.load(Ordering::Relaxed),
+                mm_leaf_generic: MM_LEAF_GENERIC.load(Ordering::Relaxed),
+                fw_leaf_specialized: FW_LEAF_SPECIALIZED.load(Ordering::Relaxed),
+                fw_leaf_generic: FW_LEAF_GENERIC.load(Ordering::Relaxed),
+                lcs_leaf_specialized: LCS_LEAF_SPECIALIZED.load(Ordering::Relaxed),
+                lcs_leaf_generic: LCS_LEAF_GENERIC.load(Ordering::Relaxed),
+            }
+        }
+
+        #[cfg(test)]
+        mod tests {
+            use super::*;
+
+            #[test]
+            fn kernel_counters_accumulate_and_diff() {
+                let before = snapshot();
+                record_mm_leaf(true);
+                record_mm_leaf(true);
+                record_mm_leaf(false);
+                record_fw_leaf(true);
+                record_lcs_leaf(false);
+                let delta = snapshot().since(&before);
+                assert_eq!(delta.mm_leaf_simd, 2);
+                assert_eq!(delta.mm_leaf_generic, 1);
+                assert_eq!(delta.fw_leaf_specialized, 1);
+                assert_eq!(delta.fw_leaf_generic, 0);
+                assert_eq!(delta.lcs_leaf_specialized, 0);
+                assert_eq!(delta.lcs_leaf_generic, 1);
+            }
+        }
+    }
+
     pub mod ingress {
         //! Process-wide concurrent-ingress counters.
         //!

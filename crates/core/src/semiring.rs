@@ -29,7 +29,13 @@ use std::fmt::Debug;
 /// `add` is associative and commutative with identity `zero`;
 /// `mul` is associative with identity `one` and annihilator `zero`;
 /// `mul` distributes over `add`.
-pub trait Semiring: Copy + Send + Sync + PartialEq + Debug + 'static {
+///
+/// The [`SpecializedKernel`](crate::kernel::SpecializedKernel) supertrait is
+/// the (sealed) leaf fast-path hook: the matmul/graph leaf kernels consult it
+/// before falling back to the generic `mul_add` loops.
+pub trait Semiring:
+    crate::kernel::SpecializedKernel + Copy + Send + Sync + PartialEq + Debug + 'static
+{
     /// Additive identity (`0`).
     fn zero() -> Self;
     /// Multiplicative identity (`1`).
@@ -224,6 +230,12 @@ impl Semiring for MinPlus {
     fn mul(self, rhs: Self) -> Self {
         MinPlus(self.0 + rhs.0)
     }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        // Fused min-of-sum: one branch-free `min` instead of a constructed
+        // intermediate — the form the FW leaf loops compile down to.
+        MinPlus(self.0.min(a.0 + b.0))
+    }
 }
 
 /// Tropical (max, +) semiring over `f64`: `⊕ = max`, `⊗ = +`, `0 = −∞`, `1 = 0`.
@@ -246,6 +258,10 @@ impl Semiring for MaxPlus {
     #[inline]
     fn mul(self, rhs: Self) -> Self {
         MaxPlus(self.0 + rhs.0)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        MaxPlus(self.0.max(a.0 + b.0))
     }
 }
 

@@ -30,7 +30,28 @@
 //! needed.
 
 use std::cell::UnsafeCell;
+use std::mem::ManuallyDrop;
 use std::ops::Range;
+
+/// Reinterpret a `Vec<T>` as `Vec<UnsafeCell<T>>` without copying.
+///
+/// Sound because `UnsafeCell<T>` is `repr(transparent)` over `T`, so the two
+/// vectors have identical layout, alignment and allocation metadata.
+fn wrap_cells<T>(v: Vec<T>) -> Vec<UnsafeCell<T>> {
+    let mut v = ManuallyDrop::new(v);
+    let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+    // SAFETY: same allocation, identical layout (`repr(transparent)`), and the
+    // original vector is not dropped.
+    unsafe { Vec::from_raw_parts(ptr.cast::<UnsafeCell<T>>(), len, cap) }
+}
+
+/// Inverse of [`wrap_cells`]: recover the plain `Vec<T>`.
+fn unwrap_cells<T>(v: Vec<UnsafeCell<T>>) -> Vec<T> {
+    let mut v = ManuallyDrop::new(v);
+    let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+    // SAFETY: as [`wrap_cells`], in reverse.
+    unsafe { Vec::from_raw_parts(ptr.cast::<T>(), len, cap) }
+}
 
 /// A 2D grid of `Copy` cells that can be shared across worker threads under the
 /// wavefront discipline documented at the module level.
@@ -53,6 +74,27 @@ impl<T: Copy> SharedGrid<T> {
             rows,
             cols,
         }
+    }
+
+    /// A `rows × cols` grid over an existing row-major vector (e.g. one
+    /// checked out of a [`crate::arena::ScratchArena`]); no copy is made.
+    ///
+    /// # Panics
+    ///
+    /// If `v.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, v: Vec<T>) -> Self {
+        assert_eq!(v.len(), rows * cols, "SharedGrid::from_vec shape mismatch");
+        Self {
+            cells: wrap_cells(v),
+            rows,
+            cols,
+        }
+    }
+
+    /// Consume the grid, returning its row-major storage without copying —
+    /// how run state returns grid buffers to the arena after a pass.
+    pub fn into_vec(self) -> Vec<T> {
+        unwrap_cells(self.cells)
     }
 
     /// A `rows × cols` grid initialised from a generator function `f(i, j)`.
@@ -146,11 +188,18 @@ impl<T: Copy> SharedSlice<T> {
         }
     }
 
-    /// Build from an existing vector.
+    /// Build from an existing vector; no copy is made.
     pub fn from_vec(v: Vec<T>) -> Self {
         Self {
-            cells: v.into_iter().map(UnsafeCell::new).collect(),
+            cells: wrap_cells(v),
         }
+    }
+
+    /// Consume the array, returning its storage without copying — how run
+    /// state returns scratch buffers to a [`crate::arena::ScratchArena`]
+    /// (and how the sort run hands its scratch out as the output).
+    pub fn into_vec(self) -> Vec<T> {
+        unwrap_cells(self.cells)
     }
 
     /// Number of elements.
@@ -263,6 +312,30 @@ mod tests {
     fn from_vec_preserves_contents() {
         let s = SharedSlice::from_vec(vec![1u32, 2, 3]);
         assert_eq!(s.snapshot(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn vec_round_trips_preserve_contents_and_capacity() {
+        let mut v = Vec::with_capacity(32);
+        v.extend([1u64, 2, 3, 4, 5, 6]);
+        let s = SharedSlice::from_vec(v);
+        s.set(0, 9);
+        let back = s.into_vec();
+        assert_eq!(back, vec![9, 2, 3, 4, 5, 6]);
+        assert_eq!(back.capacity(), 32);
+
+        let g = SharedGrid::from_vec(2, 3, back);
+        assert_eq!(g.get(0, 0), 9);
+        g.set(1, 2, 77);
+        let back = g.into_vec();
+        assert_eq!(back, vec![9, 2, 3, 4, 5, 77]);
+        assert_eq!(back.capacity(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn grid_from_vec_rejects_wrong_length() {
+        let _ = SharedGrid::from_vec(2, 3, vec![0u8; 5]);
     }
 
     #[test]

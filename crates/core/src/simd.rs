@@ -1,0 +1,320 @@
+//! Runtime-dispatched `f64` microkernels for the matrix-multiply leaves.
+//!
+//! The generic `mm_base` loop calls [`Semiring::mul_add`] per element, which
+//! for `f64` is `f64::mul_add` — and *outside* an FMA-enabled function that
+//! lowers to a libm call, not an instruction, because the baseline `x86_64`
+//! target does not assume FMA hardware.  This module fixes that without any
+//! external SIMD crate (the offline shims rule them out) and without
+//! changing results:
+//!
+//! * [`mm_f64`] dispatches **once per process** ([`std::sync::OnceLock`])
+//!   between an AVX2+FMA register-blocked kernel (4×8 accumulator tiles of
+//!   `__m256d`, `vfmadd` inner loop) and a portable row-sliced loop.  The
+//!   fast path is taken only when `is_x86_feature_detected!` confirms both
+//!   features; setting [`PACO_SIMD=off`](crate::tuning::SIMD_ENV_VAR)
+//!   forces the portable path (the bench ablation dial).
+//! * Every path — vectorized, the vector kernel's scalar remainder, and the
+//!   portable fallback — accumulates each output element over `l` in the
+//!   same ascending order with a fused multiply-add (`vfmaddpd` is IEEE-754
+//!   fused, exactly `f64::mul_add`), so all three produce **bit-identical**
+//!   results, and identical to the generic `Semiring` loop they replace.
+//!   `tests/kernel_agreement.rs` holds them to that.
+//!
+//! [`Semiring::mul_add`]: crate::semiring::Semiring::mul_add
+
+use crate::matrix::{MatMut, MatRef};
+use std::sync::OnceLock;
+
+/// Which microkernel [`mm_f64`] resolved to for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// AVX2 + FMA register-blocked kernel (x86-64 with both features).
+    #[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
+    Avx2Fma,
+    /// Portable row-sliced `f64::mul_add` loop.
+    Portable,
+}
+
+fn mode() -> Mode {
+    static MODE: OnceLock<Mode> = OnceLock::new();
+    *MODE.get_or_init(detect)
+}
+
+fn detect() -> Mode {
+    if std::env::var(crate::tuning::SIMD_ENV_VAR)
+        .map(|v| v.trim().eq_ignore_ascii_case("off"))
+        .unwrap_or(false)
+    {
+        return Mode::Portable;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        return Mode::Avx2Fma;
+    }
+    Mode::Portable
+}
+
+/// The microkernel this process dispatched to: `"avx2+fma"` or
+/// `"portable"`.  Resolved once on first use; exposed for gauges and tests.
+pub fn simd_mode() -> &'static str {
+    match mode() {
+        Mode::Avx2Fma => "avx2+fma",
+        Mode::Portable => "portable",
+    }
+}
+
+/// Leaf multiply-accumulate `C += A · B` over row-major `f64` windows
+/// (`c`: `m×n`, `a`: `m×k`, `b`: `k×n`), through the per-process dispatch.
+///
+/// Bit-identical to the generic `Semiring::mul_add` triple loop in `i-l-j`
+/// order regardless of which path is taken.
+pub fn mm_f64(c: &mut MatMut<'_, f64>, a: &MatRef<'_, f64>, b: &MatRef<'_, f64>) {
+    debug_assert_eq!(c.rows(), a.rows());
+    debug_assert_eq!(c.cols(), b.cols());
+    debug_assert_eq!(a.cols(), b.rows());
+    match mode() {
+        Mode::Avx2Fma => {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Avx2Fma` is only ever selected by `detect` after
+            // `is_x86_feature_detected!` confirmed avx2 and fma.
+            unsafe {
+                mm_f64_avx2(c, a, b);
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            mm_f64_portable(c, a, b);
+        }
+        Mode::Portable => mm_f64_portable(c, a, b),
+    }
+}
+
+/// The portable microkernel: row-sliced `i-l-j` loop with `f64::mul_add`.
+///
+/// Public so the agreement tests can compare it against whatever [`mm_f64`]
+/// dispatched to in this process.
+pub fn mm_f64_portable(c: &mut MatMut<'_, f64>, a: &MatRef<'_, f64>, b: &MatRef<'_, f64>) {
+    let m = c.rows();
+    let kk = a.cols();
+    for i in 0..m {
+        let ar = a.row(i);
+        for (l, &ail) in ar.iter().enumerate().take(kk) {
+            let br = b.row(l);
+            let cr = c.row_mut(i);
+            for (cj, &bj) in cr.iter_mut().zip(br) {
+                *cj = ail.mul_add(bj, *cj);
+            }
+        }
+    }
+}
+
+/// Register-blocked AVX2+FMA kernel: 4-row × 8-column accumulator tiles
+/// (eight `__m256d` registers), one broadcast-FMA per `(row, l)` pair, with
+/// scalar `f64::mul_add` edges compiled under the same target features (so
+/// the remainder also lowers to `vfmadd`, not libm).
+///
+/// # Safety
+///
+/// The caller must have verified that the running CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn mm_f64_avx2(c: &mut MatMut<'_, f64>, a: &MatRef<'_, f64>, b: &MatRef<'_, f64>) {
+    use std::arch::x86_64::*;
+    const MR: usize = 4;
+    const NR: usize = 8;
+    let m = c.rows();
+    let n = c.cols();
+    let kk = a.cols();
+    let full_m = m - m % MR;
+    let full_n = n - n % NR;
+
+    let mut i = 0;
+    while i < full_m {
+        // The four A rows of this row band, hoisted as shared slices.
+        let a0 = a.row(i);
+        let a1 = a.row(i + 1);
+        let a2 = a.row(i + 2);
+        let a3 = a.row(i + 3);
+        let mut j = 0;
+        while j < full_n {
+            // Load the 4×8 C tile into registers, one row at a time.
+            let (mut c00, mut c01);
+            let (mut c10, mut c11);
+            let (mut c20, mut c21);
+            let (mut c30, mut c31);
+            {
+                let r = c.row(i);
+                c00 = _mm256_loadu_pd(r.as_ptr().add(j));
+                c01 = _mm256_loadu_pd(r.as_ptr().add(j + 4));
+                let r = c.row(i + 1);
+                c10 = _mm256_loadu_pd(r.as_ptr().add(j));
+                c11 = _mm256_loadu_pd(r.as_ptr().add(j + 4));
+                let r = c.row(i + 2);
+                c20 = _mm256_loadu_pd(r.as_ptr().add(j));
+                c21 = _mm256_loadu_pd(r.as_ptr().add(j + 4));
+                let r = c.row(i + 3);
+                c30 = _mm256_loadu_pd(r.as_ptr().add(j));
+                c31 = _mm256_loadu_pd(r.as_ptr().add(j + 4));
+            }
+            for l in 0..kk {
+                let br = b.row(l);
+                let b0 = _mm256_loadu_pd(br.as_ptr().add(j));
+                let b1 = _mm256_loadu_pd(br.as_ptr().add(j + 4));
+                let av = _mm256_set1_pd(*a0.get_unchecked(l));
+                c00 = _mm256_fmadd_pd(av, b0, c00);
+                c01 = _mm256_fmadd_pd(av, b1, c01);
+                let av = _mm256_set1_pd(*a1.get_unchecked(l));
+                c10 = _mm256_fmadd_pd(av, b0, c10);
+                c11 = _mm256_fmadd_pd(av, b1, c11);
+                let av = _mm256_set1_pd(*a2.get_unchecked(l));
+                c20 = _mm256_fmadd_pd(av, b0, c20);
+                c21 = _mm256_fmadd_pd(av, b1, c21);
+                let av = _mm256_set1_pd(*a3.get_unchecked(l));
+                c30 = _mm256_fmadd_pd(av, b0, c30);
+                c31 = _mm256_fmadd_pd(av, b1, c31);
+            }
+            // Store the tile back, again one row borrow at a time.
+            let r = c.row_mut(i);
+            _mm256_storeu_pd(r.as_mut_ptr().add(j), c00);
+            _mm256_storeu_pd(r.as_mut_ptr().add(j + 4), c01);
+            let r = c.row_mut(i + 1);
+            _mm256_storeu_pd(r.as_mut_ptr().add(j), c10);
+            _mm256_storeu_pd(r.as_mut_ptr().add(j + 4), c11);
+            let r = c.row_mut(i + 2);
+            _mm256_storeu_pd(r.as_mut_ptr().add(j), c20);
+            _mm256_storeu_pd(r.as_mut_ptr().add(j + 4), c21);
+            let r = c.row_mut(i + 3);
+            _mm256_storeu_pd(r.as_mut_ptr().add(j), c30);
+            _mm256_storeu_pd(r.as_mut_ptr().add(j + 4), c31);
+            j += NR;
+        }
+        // Column remainder of this row band (scalar, still under FMA).
+        if full_n < n {
+            for r in i..i + MR {
+                scalar_edge(c, a, b, r, full_n, n, kk);
+            }
+        }
+        i += MR;
+    }
+    // Row remainder: full-width scalar rows.
+    for r in full_m..m {
+        scalar_edge(c, a, b, r, 0, n, kk);
+    }
+}
+
+/// Scalar edge of the AVX2 kernel: row `i`, columns `j0..j1`, compiled under
+/// the same `avx2,fma` features so `f64::mul_add` stays a single `vfmadd`.
+///
+/// # Safety
+///
+/// Same contract as [`mm_f64_avx2`] (caller verified the target features).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn scalar_edge(
+    c: &mut MatMut<'_, f64>,
+    a: &MatRef<'_, f64>,
+    b: &MatRef<'_, f64>,
+    i: usize,
+    j0: usize,
+    j1: usize,
+    kk: usize,
+) {
+    let ar = a.row(i);
+    for j in j0..j1 {
+        let mut acc = c.at(i, j);
+        for (l, &ail) in ar.iter().enumerate().take(kk) {
+            acc = ail.mul_add(b.at(l, j), acc);
+        }
+        c.set(i, j, acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn generic_reference(c: &mut Matrix<f64>, a: &Matrix<f64>, b: &Matrix<f64>) {
+        for i in 0..c.rows() {
+            for l in 0..a.cols() {
+                let ail = a.get(i, l);
+                for j in 0..c.cols() {
+                    c.set(i, j, ail.mul_add(b.get(l, j), c.get(i, j)));
+                }
+            }
+        }
+    }
+
+    fn inputs(m: usize, k: usize, n: usize) -> (Matrix<f64>, Matrix<f64>, Matrix<f64>) {
+        let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 7) % 13) as f64 - 5.5);
+        let b = Matrix::from_fn(k, n, |i, j| ((i * 17 + j * 3) % 11) as f64 * 0.25);
+        let c = Matrix::from_fn(m, n, |i, j| ((i + j) % 5) as f64 - 2.0);
+        (a, b, c)
+    }
+
+    #[test]
+    fn dispatched_kernel_is_bit_identical_to_portable_and_generic() {
+        // Shapes exercising full tiles, column edges, row edges, and both.
+        for &(m, k, n) in &[
+            (8usize, 8usize, 16usize),
+            (4, 3, 8),
+            (5, 7, 9),
+            (3, 5, 6),
+            (13, 1, 17),
+            (1, 4, 1),
+            (6, 0, 6),
+        ] {
+            let (a, b, seed) = inputs(m, k, n);
+            let mut dispatched = seed.clone();
+            mm_f64(&mut dispatched.as_mut(), &a.as_ref(), &b.as_ref());
+            let mut portable = seed.clone();
+            mm_f64_portable(&mut portable.as_mut(), &a.as_ref(), &b.as_ref());
+            let mut generic = seed.clone();
+            generic_reference(&mut generic, &a, &b);
+            assert!(
+                dispatched == portable && portable == generic,
+                "{m}x{k}x{n} disagreement under mode {}",
+                simd_mode()
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_mode_is_stable_and_named() {
+        let mode = simd_mode();
+        assert!(mode == "avx2+fma" || mode == "portable");
+        assert_eq!(simd_mode(), mode, "dispatch must resolve once");
+    }
+
+    #[test]
+    fn kernel_works_on_strided_windows() {
+        // Multiply into a sub-window of a larger matrix: rows are strided,
+        // which is exactly how the recursive splits hand leaves down.
+        let (a, b, _) = inputs(4, 4, 4);
+        let mut big = Matrix::filled(8, 8, 1.0f64);
+        let mut expect = big.clone();
+        mm_f64(
+            &mut big.as_mut().submatrix_mut(2, 3, 4, 4),
+            &a.as_ref(),
+            &b.as_ref(),
+        );
+        generic_reference_window(&mut expect, 2, 3, &a, &b);
+        assert_eq!(big, expect);
+    }
+
+    fn generic_reference_window(
+        c: &mut Matrix<f64>,
+        r0: usize,
+        c0: usize,
+        a: &Matrix<f64>,
+        b: &Matrix<f64>,
+    ) {
+        for i in 0..a.rows() {
+            for l in 0..a.cols() {
+                let ail = a.get(i, l);
+                for j in 0..b.cols() {
+                    let cur = c.get(r0 + i, c0 + j);
+                    c.set(r0 + i, c0 + j, ail.mul_add(b.get(l, j), cur));
+                }
+            }
+        }
+    }
+}

@@ -35,6 +35,11 @@ pub const STRASSEN_CUTOFF: usize = 64;
 /// (`PACO_BASE=<n>`), used by the ablation bench sweeps.
 pub const BASE_ENV_VAR: &str = "PACO_BASE";
 
+/// Environment variable controlling the SIMD microkernel dispatch
+/// (`PACO_SIMD=off` forces the portable path); read once per process by
+/// [`crate::simd`].
+pub const SIMD_ENV_VAR: &str = "PACO_SIMD";
+
 /// Every tuning knob of the PACO workloads, in one struct.
 ///
 /// `None` for the optional knobs means "derive the paper's default from the

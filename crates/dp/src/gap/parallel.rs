@@ -7,6 +7,7 @@
 
 use super::{block_bounds, gap_block, GapCost};
 use crate::shared::SharedGrid;
+use paco_core::arena::ScratchArena;
 use paco_core::proc_list::ProcList;
 use paco_runtime::schedule::{Plan, Step};
 use rayon::prelude::*;
@@ -77,6 +78,35 @@ pub struct GapRun<C> {
 }
 
 impl<C: GapCost> GapRun<C> {
+    /// As [`GapRun::from_plan`], but checking the table storage out of
+    /// `arena` instead of allocating fresh.  The filled table *is* the
+    /// output, so nothing returns to the pool at finish — the checkout still
+    /// reuses buffers other runs (1D temps, earlier tables) put back.
+    pub fn from_plan_in(
+        n: usize,
+        costs: C,
+        plan: Arc<Plan<(usize, usize)>>,
+        blocks: usize,
+        arena: &ScratchArena,
+    ) -> Self {
+        let blocks = blocks.clamp(1, n + 1);
+        let d = SharedGrid::from_vec(
+            n + 1,
+            n + 1,
+            arena.take_vec((n + 1) * (n + 1), f64::INFINITY),
+        );
+        d.set(0, 0, 0.0);
+        Self {
+            costs,
+            d,
+            plan,
+            n,
+            blocks,
+        }
+    }
+}
+
+impl<C: GapCost> GapRun<C> {
     /// Compile an instance for `p` processors with an explicit tile-grid side
     /// (clamped to `[1, n + 1]`).
     pub fn prepare(n: usize, costs: C, p: usize, blocks: usize) -> Self {
@@ -112,9 +142,10 @@ impl<C: GapCost> GapRun<C> {
         gap_block(&self.d, r0, r1, c0, c1, &self.costs);
     }
 
-    /// Read the completed table in row-major order.
+    /// Read the completed table in row-major order (the table's own
+    /// storage, no copy).
     pub fn finish(self) -> Vec<f64> {
-        self.d.snapshot()
+        self.d.into_vec()
     }
 }
 

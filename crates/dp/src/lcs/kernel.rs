@@ -28,6 +28,7 @@
 use crate::shared::SharedGrid;
 use paco_cache_sim::layout::{AddressSpace, Layout1D, Layout2D};
 use paco_cache_sim::Tracker;
+use paco_core::metrics::sched::kernel as kernel_metrics;
 use std::ops::Range;
 
 /// Default base-case side of the cache-oblivious recursion (an alias of the
@@ -76,6 +77,23 @@ impl LcsTable {
         }
     }
 
+    /// A table over caller-provided storage (e.g. a pooled buffer); `v` must
+    /// hold `(n + 1) * (m + 1)` zeros.
+    pub fn with_storage(n: usize, m: usize, v: Vec<u32>) -> Self {
+        debug_assert!(v.iter().all(|&x| x == 0), "table storage must be zeroed");
+        Self {
+            grid: SharedGrid::from_vec(n + 1, m + 1, v),
+            n,
+            m,
+        }
+    }
+
+    /// Consume the table, returning its row-major storage (the inverse of
+    /// [`LcsTable::with_storage`]) so it can go back to a pool.
+    pub fn into_storage(self) -> Vec<u32> {
+        self.grid.into_vec()
+    }
+
     /// Length of the first sequence.
     pub fn n(&self) -> usize {
         self.n
@@ -119,6 +137,11 @@ pub fn lcs_reference(a: &[u32], b: &[u32]) -> u32 {
 /// Fill the table cells in `rows × cols` (1-based table coordinates) with a
 /// plain row-major sweep.  Requires row `rows.start - 1` and column
 /// `cols.start - 1` to be final.
+///
+/// When nothing observes the per-cell accesses (`T::TRACKING` is false, i.e.
+/// the production `NullTracker`), the sweep runs `base_block_fast` — a
+/// row-sliced, branch-free form of the same recurrence with bit-identical
+/// results (see its docs for the argument).
 #[inline]
 pub fn base_block<T: Tracker>(
     table: &LcsTable,
@@ -129,6 +152,11 @@ pub fn base_block<T: Tracker>(
     tracker: &mut T,
     addr: &LcsAddr,
 ) {
+    if !T::TRACKING && !rows.is_empty() && !cols.is_empty() {
+        base_block_fast(table, a, b, rows, cols);
+        kernel_metrics::record_lcs_leaf(true);
+        return;
+    }
     let grid = &table.grid;
     for i in rows {
         let ai = a[i - 1];
@@ -145,6 +173,54 @@ pub fn base_block<T: Tracker>(
             };
             grid.set(i, j, val);
             tracker.write(addr.table.addr(i, j));
+        }
+    }
+    kernel_metrics::record_lcs_leaf(false);
+}
+
+/// Branch-free row-sliced form of the [`base_block`] sweep.
+///
+/// Per cell it computes `max(up, left, diag + [a_i == b_j])` over row slices
+/// instead of branching on the match.  This is *bit-identical* to the branchy
+/// recurrence: adjacent LCS table cells differ by at most 1, so
+/// `diag <= up <= diag + 1` and `diag <= left <= diag + 1`; on a match the
+/// three-way max is exactly `diag + 1`, and on a mismatch the `diag` term can
+/// never exceed `max(up, left)`.  (`tests/kernel_agreement.rs` cross-checks
+/// against the tracked branchy sweep.)
+fn base_block_fast(table: &LcsTable, a: &[u32], b: &[u32], rows: Range<usize>, cols: Range<usize>) {
+    let grid = &table.grid;
+    let len = cols.len();
+    let bs = &b[cols.start - 1..cols.end - 1];
+    for i in rows {
+        let ai = a[i - 1];
+        // SAFETY: rows of the grid are contiguous and both slices are in
+        // bounds (`cols.end <= m + 1`); `prev` covers row `i - 1`, which is
+        // final by the kernel's contract (the boundary row for
+        // `i == rows.start`, the row this loop just wrote otherwise), while
+        // `cur` covers the disjoint row `i` this task owns exclusively under
+        // the wavefront discipline — the boundary cell `(i, cols.start - 1)`
+        // is read into `left` and deliberately left outside the mut slice.
+        let prev = unsafe {
+            std::slice::from_raw_parts(grid.cell_ptr(i - 1, cols.start - 1).cast_const(), len + 1)
+        };
+        let cur = unsafe { std::slice::from_raw_parts_mut(grid.cell_ptr(i, cols.start), len) };
+        // Two passes so the expensive part vectorizes.  Pass 1 has no
+        // loop-carried dependency: `cur[j] = max(up, diag + [a_i == b_j])`
+        // is 8 lanes of compare/add/max per AVX2 vector.  Pass 2 folds in
+        // the `left` neighbour as a running prefix max — the serial chain —
+        // but is down to one `max` and one store per cell.  The composition
+        // computes exactly `max(up, left, diag + eq)` cell by cell, because
+        // the prefix max over pass-1 values equals the branchy recurrence's
+        // `left` (max is associative and every cell's final value is the
+        // prefix max of its own pass-1 value and all pass-1 values to its
+        // left, seeded with the boundary cell).
+        for (jj, (cj, &bj)) in cur.iter_mut().zip(bs).enumerate() {
+            *cj = prev[jj + 1].max(prev[jj] + u32::from(ai == bj));
+        }
+        let mut left = grid.get(i, cols.start - 1);
+        for cj in cur.iter_mut() {
+            left = left.max(*cj);
+            *cj = left;
         }
     }
 }

@@ -27,6 +27,7 @@ use std::sync::Arc;
 use super::kernel::{co_block, LcsAddr, LcsTable};
 use super::partition::{plan_paco_lcs, PacoLcsPlan};
 use paco_cache_sim::{DistCacheSim, NullTracker, SimTracker, Tracker};
+use paco_core::arena::ScratchArena;
 use paco_core::machine::CacheParams;
 use paco_core::proc_list::ProcId;
 use paco_runtime::schedule::Plan;
@@ -43,6 +44,8 @@ pub struct LcsRun {
     table: LcsTable,
     addr: LcsAddr,
     base: usize,
+    /// Pool the table storage returns to at finish (`from_plan_in` runs only).
+    arena: Option<Arc<ScratchArena>>,
 }
 
 impl LcsRun {
@@ -64,6 +67,30 @@ impl LcsRun {
             b,
             compiled,
             base,
+            arena: None,
+        }
+    }
+
+    /// As [`LcsRun::from_plan`], but checking the `(n+1) × (m+1)` table
+    /// storage out of `arena`; the whole table returns to the pool at
+    /// [`LcsRun::finish`] (the output is just the LCS length).
+    pub fn from_plan_in(
+        a: Vec<u32>,
+        b: Vec<u32>,
+        compiled: Arc<PacoLcsPlan>,
+        base: usize,
+        arena: Arc<ScratchArena>,
+    ) -> Self {
+        let (n, m) = (a.len(), b.len());
+        let storage = arena.take_vec((n + 1) * (m + 1), 0u32);
+        Self {
+            table: LcsTable::with_storage(n, m, storage),
+            addr: LcsAddr::new(n, m),
+            a,
+            b,
+            compiled,
+            base,
+            arena: Some(arena),
         }
     }
 
@@ -87,13 +114,18 @@ impl LcsRun {
         );
     }
 
-    /// Read the LCS length off the completed table.
+    /// Read the LCS length off the completed table; the table storage goes
+    /// back to the arena when the run was built with [`LcsRun::from_plan_in`].
     pub fn finish(self) -> u32 {
-        if self.a.is_empty() || self.b.is_empty() {
+        let len = if self.a.is_empty() || self.b.is_empty() {
             0
         } else {
             self.table.lcs_length()
+        };
+        if let Some(arena) = &self.arena {
+            arena.put_vec(self.table.into_storage());
         }
+        len
     }
 }
 

@@ -25,6 +25,7 @@
 
 use super::kernel::{square_update, triangle_co, Weight};
 use crate::shared::SharedSlice;
+use paco_core::arena::ScratchArena;
 use paco_core::proc_list::ProcList;
 use paco_runtime::schedule::{Front, Plan, PlanBuilder};
 use std::ops::Range;
@@ -243,6 +244,8 @@ pub struct OneDRun<W> {
     tmps: Vec<SharedSlice<f64>>,
     compiled: Arc<OneDPlan>,
     base: usize,
+    /// Pool the temp arenas return to at finish (`from_plan_in` runs only).
+    arena: Option<Arc<ScratchArena>>,
 }
 
 impl<W: Weight> OneDRun<W> {
@@ -256,7 +259,6 @@ impl<W: Weight> OneDRun<W> {
     /// plan must have been produced by [`plan_one_d`] for exactly this `n`
     /// and the same `base`.
     pub fn from_plan(n: usize, w: W, d0: f64, compiled: Arc<OneDPlan>, base: usize) -> Self {
-        let base = base.max(2);
         let d = SharedSlice::new(n + 1, f64::INFINITY);
         d.set(0, d0);
         let tmps = compiled
@@ -269,7 +271,37 @@ impl<W: Weight> OneDRun<W> {
             d,
             tmps,
             compiled,
-            base,
+            base: base.max(2),
+            arena: None,
+        }
+    }
+
+    /// As [`OneDRun::from_plan`], but checking the `D` array and every
+    /// square-phase temp arena out of `arena` instead of allocating; the
+    /// temps go back into the pool at [`OneDRun::finish`] (the `D` array is
+    /// the output and leaves with the caller).
+    pub fn from_plan_in(
+        n: usize,
+        w: W,
+        d0: f64,
+        compiled: Arc<OneDPlan>,
+        base: usize,
+        arena: Arc<ScratchArena>,
+    ) -> Self {
+        let d = SharedSlice::from_vec(arena.take_vec(n + 1, f64::INFINITY));
+        d.set(0, d0);
+        let tmps = compiled
+            .tmp_len
+            .iter()
+            .map(|&len| SharedSlice::from_vec(arena.take_vec(len, f64::INFINITY)))
+            .collect();
+        Self {
+            w,
+            d,
+            tmps,
+            compiled,
+            base: base.max(2),
+            arena: Some(arena),
         }
     }
 
@@ -321,9 +353,16 @@ impl<W: Weight> OneDRun<W> {
         }
     }
 
-    /// Read the full `D[0..=n]` array off the completed run.
+    /// Read the full `D[0..=n]` array off the completed run.  The array's
+    /// storage is handed out directly (no copy); pure temporaries return to
+    /// the arena when the run was built with [`OneDRun::from_plan_in`].
     pub fn finish(self) -> Vec<f64> {
-        self.d.snapshot()
+        if let Some(arena) = &self.arena {
+            for t in self.tmps {
+                arena.put_vec(t.into_vec());
+            }
+        }
+        self.d.into_vec()
     }
 }
 

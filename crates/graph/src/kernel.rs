@@ -26,6 +26,7 @@
 use paco_cache_sim::layout::{AddressSpace, Layout2D};
 use paco_cache_sim::Tracker;
 use paco_core::matrix::Matrix;
+use paco_core::metrics::sched::kernel as kernel_metrics;
 use paco_core::semiring::{IdempotentSemiring, Semiring};
 use paco_core::shared::SharedGrid;
 use std::ops::Range;
@@ -141,6 +142,49 @@ pub fn relax<S: IdempotentSemiring, T: Tracker + ?Sized>(
     addr: &FwAddr,
 ) {
     let grid = table.grid();
+    // Fast path: when nothing observes the per-element accesses
+    // (`T::TRACKING` is false, i.e. the production `NullTracker`), relax whole
+    // rows through the semiring's `SpecializedKernel` hooks.  Same `k`-then-
+    // `i`-then-`j` order and the same hoisted `d_ik`, so results are
+    // bit-identical to the generic loop below (`tests/kernel_agreement.rs`
+    // runs both and compares).  The `i == k` row aliases source and
+    // destination and gets the dedicated aliased hook.
+    if !T::TRACKING && !cols.is_empty() {
+        let len = cols.len();
+        for k in via {
+            for i in rows.clone() {
+                let d_ik = grid.get(i, k);
+                // SAFETY: `cell_ptr` is in bounds (`cols.end <= n`, checked by
+                // the grid's debug asserts), rows are contiguous with stride
+                // `n`, and the wavefront discipline of `paco_core::shared`
+                // gives this task exclusive write access to its block; the
+                // source row `k` is only read concurrently, never written
+                // (the aliased `i == k` case never builds `src`).
+                let handled = if i == k {
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(grid.cell_ptr(i, cols.start), len)
+                    };
+                    S::relax_row_aliased(dst, d_ik)
+                } else {
+                    let dst = unsafe {
+                        std::slice::from_raw_parts_mut(grid.cell_ptr(i, cols.start), len)
+                    };
+                    let src = unsafe {
+                        std::slice::from_raw_parts(grid.cell_ptr(k, cols.start).cast_const(), len)
+                    };
+                    S::relax_row(dst, d_ik, src)
+                };
+                if !handled {
+                    for j in cols.clone() {
+                        let relaxed = grid.get(i, j).add(d_ik.mul(grid.get(k, j)));
+                        grid.set(i, j, relaxed);
+                    }
+                }
+            }
+        }
+        kernel_metrics::record_fw_leaf(S::SPECIALIZED);
+        return;
+    }
     for k in via {
         for i in rows.clone() {
             tracker.read(addr.dist.addr(i, k));
@@ -154,6 +198,7 @@ pub fn relax<S: IdempotentSemiring, T: Tracker + ?Sized>(
             }
         }
     }
+    kernel_metrics::record_fw_leaf(false);
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! calibrate per-core peak throughput for the `Rmax/Rpeak` experiment.
 
 use paco_core::matrix::{MatMut, MatRef};
+use paco_core::metrics::sched::kernel as kernel_metrics;
 use paco_core::semiring::{Ring, Semiring};
 
 /// Base-case threshold: recursions stop splitting a dimension once it is at
@@ -14,9 +15,18 @@ use paco_core::semiring::{Ring, Semiring};
 /// alias of the hoisted workspace default in [`paco_core::tuning`].
 pub const MM_BASE: usize = paco_core::tuning::MM_BASE;
 
-/// `C += A ⊗ B` with a straightforward i-k-j loop nest (good spatial locality
-/// on row-major data).  This is the only place element arithmetic happens for
-/// the classic-MM family.
+/// `C += A ⊗ B` with an i-k-j loop nest (good spatial locality on row-major
+/// data).  This is the only place element arithmetic happens for the
+/// classic-MM family.
+///
+/// Dispatch: a semiring with a
+/// [`SpecializedKernel::mm_block`](paco_core::kernel::SpecializedKernel::mm_block)
+/// override (only
+/// `f64`, which routes to the runtime-selected [`paco_core::simd`]
+/// microkernel) handles the whole leaf; everything else runs the generic
+/// row-sliced loop.  Both paths produce bit-identical results to the
+/// historical per-element loop — same i-k-j reduction order, same fused
+/// `mul_add` — which `tests/kernel_agreement.rs` checks.
 pub fn mm_base<S: Semiring>(c: &mut MatMut<'_, S>, a: &MatRef<'_, S>, b: &MatRef<'_, S>) {
     let n = c.rows();
     let m = c.cols();
@@ -24,25 +34,34 @@ pub fn mm_base<S: Semiring>(c: &mut MatMut<'_, S>, a: &MatRef<'_, S>, b: &MatRef
     debug_assert_eq!(a.rows(), n);
     debug_assert_eq!(b.rows(), k);
     debug_assert_eq!(b.cols(), m);
+    if S::mm_block(c, a, b) {
+        kernel_metrics::record_mm_leaf(true);
+        return;
+    }
     for i in 0..n {
-        for l in 0..k {
-            let ail = a.at(i, l);
-            for j in 0..m {
-                let cur = c.at(i, j);
-                c.set(i, j, Semiring::mul_add(cur, ail, b.at(l, j)));
+        let ar = a.row(i);
+        let cr = c.row_mut(i);
+        for (l, &ail) in ar.iter().enumerate() {
+            let br = b.row(l);
+            for (cj, &blj) in cr.iter_mut().zip(br) {
+                *cj = Semiring::mul_add(*cj, ail, blj);
             }
         }
     }
+    kernel_metrics::record_mm_leaf(false);
 }
 
 /// `C += D` element-wise (the reduction step after a height/Z cut).
+///
+/// Row-sliced: one bounds computation per row instead of per element, and a
+/// slice loop the compiler can unroll/vectorize.
 pub fn mat_add_assign<S: Semiring>(c: &mut MatMut<'_, S>, d: &MatRef<'_, S>) {
     debug_assert_eq!(c.rows(), d.rows());
     debug_assert_eq!(c.cols(), d.cols());
     for i in 0..c.rows() {
-        for j in 0..c.cols() {
-            let cur = c.at(i, j);
-            c.set(i, j, cur.add(d.at(i, j)));
+        let cr = c.row_mut(i);
+        for (cj, &dj) in cr.iter_mut().zip(d.row(i)) {
+            *cj = cj.add(dj);
         }
     }
 }
@@ -54,8 +73,9 @@ pub fn mat_add_into<S: Semiring>(out: &mut MatMut<'_, S>, a: &MatRef<'_, S>, b: 
     debug_assert_eq!(out.rows(), a.rows());
     debug_assert_eq!(out.cols(), a.cols());
     for i in 0..a.rows() {
-        for j in 0..a.cols() {
-            out.set(i, j, a.at(i, j).add(b.at(i, j)));
+        let or = out.row_mut(i);
+        for ((oj, &aj), &bj) in or.iter_mut().zip(a.row(i)).zip(b.row(i)) {
+            *oj = aj.add(bj);
         }
     }
 }
@@ -65,8 +85,9 @@ pub fn mat_sub_into<R: Ring>(out: &mut MatMut<'_, R>, a: &MatRef<'_, R>, b: &Mat
     debug_assert_eq!(a.rows(), b.rows());
     debug_assert_eq!(a.cols(), b.cols());
     for i in 0..a.rows() {
-        for j in 0..a.cols() {
-            out.set(i, j, a.at(i, j).sub(b.at(i, j)));
+        let or = out.row_mut(i);
+        for ((oj, &aj), &bj) in or.iter_mut().zip(a.row(i)).zip(b.row(i)) {
+            *oj = aj.sub(bj);
         }
     }
 }

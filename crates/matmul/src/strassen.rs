@@ -20,6 +20,7 @@
 
 use crate::co_mm::co_mm_alloc;
 use crate::kernel::{mat_add_into, mat_copy_into, mat_sub_into};
+use paco_core::arena::ScratchArena;
 use paco_core::matrix::{MatRef, Matrix};
 use paco_core::proc_list::ProcList;
 use paco_core::semiring::Ring;
@@ -45,8 +46,21 @@ fn quadrants<'a, R: Ring>(
     )
 }
 
+/// Allocate an `h × h` zero matrix, checking the backing buffer out of the
+/// arena when one is supplied.
+fn alloc_square<R: Ring>(h: usize, arena: Option<&ScratchArena>) -> Matrix<R> {
+    match arena {
+        Some(arena) => Matrix::from_vec(h, h, arena.take_vec(h * h, R::zero())),
+        None => Matrix::zeros(h, h),
+    }
+}
+
 /// The seven Strassen operand pairs `(Sᵣ, Tᵣ)` of one split.
-fn strassen_operands<R: Ring>(a: &Matrix<R>, b: &Matrix<R>) -> Vec<(Matrix<R>, Matrix<R>)> {
+fn strassen_operands<R: Ring>(
+    a: &Matrix<R>,
+    b: &Matrix<R>,
+    arena: Option<&ScratchArena>,
+) -> Vec<(Matrix<R>, Matrix<R>)> {
     let n = a.rows();
     debug_assert_eq!(n % 2, 0);
     let h = n / 2;
@@ -57,8 +71,8 @@ fn strassen_operands<R: Ring>(a: &Matrix<R>, b: &Matrix<R>) -> Vec<(Matrix<R>, M
 
     let mut out = Vec::with_capacity(7);
     let pair = |fill: &dyn Fn(&mut Matrix<R>, &mut Matrix<R>)| {
-        let mut s = Matrix::zeros(h, h);
-        let mut t = Matrix::zeros(h, h);
+        let mut s = alloc_square(h, arena);
+        let mut t = alloc_square(h, arena);
         fill(&mut s, &mut t);
         (s, t)
     };
@@ -104,11 +118,11 @@ fn strassen_operands<R: Ring>(a: &Matrix<R>, b: &Matrix<R>) -> Vec<(Matrix<R>, M
 /// Combine the seven products `M₁..M₇` into the `2h × 2h` result:
 /// `C00 = M1 ⊕ M4 ⊖ M5 ⊕ M7`, `C01 = M3 ⊕ M5`, `C10 = M2 ⊕ M4`,
 /// `C11 = M1 ⊖ M2 ⊕ M3 ⊕ M6`.
-fn strassen_combine<R: Ring>(ms: &[Matrix<R>]) -> Matrix<R> {
+fn strassen_combine<R: Ring>(ms: &[Matrix<R>], arena: Option<&ScratchArena>) -> Matrix<R> {
     debug_assert_eq!(ms.len(), 7);
     let h = ms[0].rows();
     let n = 2 * h;
-    let mut c = Matrix::zeros(n, n);
+    let mut c = alloc_square(n, arena);
     let (m1, m2, m3, m4, m5, m6, m7) = (&ms[0], &ms[1], &ms[2], &ms[3], &ms[4], &ms[5], &ms[6]);
     for i in 0..h {
         for j in 0..h {
@@ -153,11 +167,11 @@ pub fn strassen_sequential_with_cutoff<R: Ring>(
     if n <= cutoff.max(1) || !n.is_multiple_of(2) {
         return co_mm_alloc(a, b);
     }
-    let products: Vec<Matrix<R>> = strassen_operands(a, b)
+    let products: Vec<Matrix<R>> = strassen_operands(a, b, None)
         .iter()
         .map(|(s, t)| strassen_sequential_with_cutoff(s, t, cutoff))
         .collect();
-    strassen_combine(&products)
+    strassen_combine(&products, None)
 }
 
 /// Sequential Strassen with the default cutoff.
@@ -173,12 +187,12 @@ pub fn strassen_po_with_cutoff<R: Ring>(a: &Matrix<R>, b: &Matrix<R>, cutoff: us
     if n <= cutoff.max(1) || !n.is_multiple_of(2) {
         return co_mm_alloc(a, b);
     }
-    let operands = strassen_operands(a, b);
+    let operands = strassen_operands(a, b, None);
     let products: Vec<Matrix<R>> = operands
         .par_iter()
         .map(|(s, t)| strassen_po_with_cutoff(s, t, cutoff))
         .collect();
-    strassen_combine(&products)
+    strassen_combine(&products, None)
 }
 
 /// [`strassen_po_with_cutoff`] with the default cutoff.
@@ -340,6 +354,9 @@ pub struct StrassenRun<R: Ring> {
     operands: Vec<Option<(Matrix<R>, Matrix<R>)>>,
     results: Vec<Mutex<Option<Matrix<R>>>>,
     cutoff: usize,
+    /// Pool the operand/combine temporaries cycle through (`from_plan_in`
+    /// runs only).
+    arena: Option<Arc<ScratchArena>>,
 }
 
 impl<R: Ring> StrassenRun<R> {
@@ -360,6 +377,31 @@ impl<R: Ring> StrassenRun<R> {
         compiled: Arc<StrassenPlan>,
         cutoff: usize,
     ) -> Self {
+        Self::from_plan_inner(a, b, compiled, cutoff, None)
+    }
+
+    /// [`Self::from_plan`], but every `(Sᵣ, Tᵣ)` operand pair and combine
+    /// output is checked out of `arena`, and spent buffers (expanded parents'
+    /// operands at bind, child products at [`Self::finish`]) are returned to
+    /// it — repeated multiplications through the same arena recycle the whole
+    /// temporary tree.
+    pub fn from_plan_in(
+        a: Matrix<R>,
+        b: Matrix<R>,
+        compiled: Arc<StrassenPlan>,
+        cutoff: usize,
+        arena: Arc<ScratchArena>,
+    ) -> Self {
+        Self::from_plan_inner(a, b, compiled, cutoff, Some(arena))
+    }
+
+    fn from_plan_inner(
+        a: Matrix<R>,
+        b: Matrix<R>,
+        compiled: Arc<StrassenPlan>,
+        cutoff: usize,
+        arena: Option<Arc<ScratchArena>>,
+    ) -> Self {
         check_square(&a, &b);
         let mut operands: Vec<Option<(Matrix<R>, Matrix<R>)>> =
             Vec::with_capacity(compiled.nodes.len());
@@ -372,12 +414,18 @@ impl<R: Ring> StrassenRun<R> {
             let (na, nb) = operands[idx]
                 .take()
                 .expect("a parent's operands are derived before its children's");
-            for (&child, pair) in compiled.nodes[idx]
-                .children
-                .iter()
-                .zip(strassen_operands(&na, &nb))
-            {
+            for (&child, pair) in compiled.nodes[idx].children.iter().zip(strassen_operands(
+                &na,
+                &nb,
+                arena.as_deref(),
+            )) {
                 operands[child] = Some(pair);
+            }
+            // The parent's operands are fully consumed once its children are
+            // materialised; recycle them for the next level's pairs.
+            if let Some(arena) = &arena {
+                arena.put_vec(na.into_vec());
+                arena.put_vec(nb.into_vec());
             }
         }
         Self {
@@ -387,6 +435,7 @@ impl<R: Ring> StrassenRun<R> {
             operands,
             compiled,
             cutoff,
+            arena,
         }
     }
 
@@ -408,6 +457,15 @@ impl<R: Ring> StrassenRun<R> {
     /// their parent, so a reverse index sweep combines every internal node
     /// after all of its children are ready.
     pub fn finish(self) -> Matrix<R> {
+        let arena = self.arena.as_deref();
+        if let Some(arena) = arena {
+            // The leaves' operands were only needed by `step`; recycle them
+            // before the combine sweep starts allocating.
+            for (s, t) in self.operands.into_iter().flatten() {
+                arena.put_vec(s.into_vec());
+                arena.put_vec(t.into_vec());
+            }
+        }
         for idx in (0..self.compiled.nodes.len()).rev() {
             if self.compiled.nodes[idx].children.is_empty() {
                 continue;
@@ -422,7 +480,13 @@ impl<R: Ring> StrassenRun<R> {
                         .expect("child product must be available before combining")
                 })
                 .collect();
-            *self.results[idx].lock() = Some(strassen_combine(&ms));
+            let combined = strassen_combine(&ms, arena);
+            if let Some(arena) = arena {
+                for m in ms {
+                    arena.put_vec(m.into_vec());
+                }
+            }
+            *self.results[idx].lock() = Some(combined);
         }
         self.results[0]
             .lock()

@@ -36,6 +36,7 @@ use crate::exec::{PassCore, PendingRequest};
 use crate::policy::{BatchPolicy, Priority, Routing};
 use crate::solve::{Prepared, Solve};
 use crate::ticket::{self, SlotState};
+use paco_core::arena::{ArenaStats, ScratchArena};
 use paco_core::machine::available_processors;
 use paco_core::metrics::sched::ingress::{self, LatencyHistogram, LatencySnapshot};
 use paco_core::tuning::Tuning;
@@ -159,6 +160,11 @@ pub(crate) struct EngineShared {
     /// executor and the producers routed to it share skeletons without
     /// contending with the other shards' caches.
     caches: Vec<SkeletonCache>,
+    /// One scratch arena per shard (same indexing): binds routed to a shard
+    /// check their temporary buffers out of its pool and return them at
+    /// finish, so a shard's steady-state traffic recycles allocations
+    /// without contending with the other shards' pools.
+    arenas: Vec<Arc<ScratchArena>>,
     /// Round-robin cursor.
     next_shard: AtomicUsize,
     /// Advisory fast-path flag; the per-shard `ShardQueue::shutdown` (under
@@ -206,7 +212,8 @@ impl EngineShared {
             self.caches[shard].get_or_compile(req.shape_key(), self.p, self.tuning.epoch, || {
                 req.skeleton(&self.tuning, self.p)
             });
-        req.bind(&skeleton, &self.tuning, self.p).inner
+        req.bind(&skeleton, &self.tuning, self.p, &self.arenas[shard])
+            .inner
     }
 
     /// Pick the shard a new submission goes to.  Routing happens *before*
@@ -332,6 +339,8 @@ pub struct ShardStats {
     pub outstanding_steps: u64,
     /// This shard's plan-cache counters (skeleton hits/misses/evictions).
     pub plan_cache: PlanCacheStats,
+    /// This shard's scratch-arena counters (pooled-buffer hits/misses).
+    pub arena: ArenaStats,
 }
 
 /// A snapshot of an engine's ingress counters (per-engine; the process-wide
@@ -393,6 +402,15 @@ impl EngineStats {
             .iter()
             .map(|s| s.plan_cache)
             .fold(PlanCacheStats::default(), PlanCacheStats::merge)
+    }
+
+    /// Scratch-arena counters aggregated across every shard's pool; feed
+    /// [`ArenaStats::reuse_ratio`] for the engine-wide reuse gauge.
+    pub fn arena(&self) -> ArenaStats {
+        self.shards
+            .iter()
+            .map(|s| s.arena)
+            .fold(ArenaStats::default(), ArenaStats::merge)
     }
 
     /// Fraction of admission attempts refused (shutdown `rejected` plus
@@ -495,14 +513,15 @@ impl Engine {
                 .shared
                 .shards
                 .iter()
-                .zip(&self.shared.caches)
-                .map(|(s, cache)| ShardStats {
+                .zip(self.shared.caches.iter().zip(&self.shared.arenas))
+                .map(|(s, (cache, arena))| ShardStats {
                     passes: s.passes.load(Ordering::Relaxed),
                     requests: s.requests.load(Ordering::Relaxed),
                     queued: s.queue.lock().len(),
                     max_depth: s.max_depth.load(Ordering::Relaxed),
                     outstanding_steps: s.outstanding_steps.load(Ordering::Relaxed),
                     plan_cache: cache.stats(),
+                    arena: arena.stats(),
                 })
                 .collect(),
         }
@@ -632,6 +651,9 @@ impl EngineBuilder {
             shards: (0..policy.shards).map(|_| Shard::new()).collect(),
             caches: (0..policy.shards)
                 .map(|_| SkeletonCache::new(SkeletonCache::DEFAULT_CAP))
+                .collect(),
+            arenas: (0..policy.shards)
+                .map(|_| Arc::new(ScratchArena::new()))
                 .collect(),
             next_shard: AtomicUsize::new(0),
             shutting_down: std::sync::atomic::AtomicBool::new(false),

@@ -11,6 +11,7 @@
 //! cache covers them with [`Tuning::epoch`].
 
 use crate::solve::{Compiled, ShapeKey, Skeleton, Solve, WorkloadRun};
+use paco_core::arena::ScratchArena;
 use paco_core::matrix::Matrix;
 use paco_core::proc_list::ProcId;
 use paco_core::semiring::{IdempotentSemiring, MinPlus, Ring, Semiring};
@@ -65,11 +66,17 @@ impl Solve for Lcs {
         ));
         Skeleton::new(Arc::clone(&compiled), &compiled.plan)
     }
-    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<u32> {
+    fn bind(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        _p: usize,
+        arena: &Arc<ScratchArena>,
+    ) -> Compiled<u32> {
         let compiled = skeleton.payload().expect("skeleton compiled by Lcs");
         Compiled::bound(
             skeleton,
-            LcsRun::from_plan(self.a, self.b, compiled, tuning.lcs_base),
+            LcsRun::from_plan_in(self.a, self.b, compiled, tuning.lcs_base, Arc::clone(arena)),
         )
     }
 }
@@ -114,7 +121,13 @@ impl<S: IdempotentSemiring> Solve for Closure<S> {
         let compiled = Arc::new(plan_fw(self.adj.rows(), p.max(1), tuning.fw_base));
         Skeleton::new(Arc::clone(&compiled), &compiled.plan)
     }
-    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<Matrix<S>> {
+    fn bind(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        _p: usize,
+        _arena: &Arc<ScratchArena>,
+    ) -> Compiled<Matrix<S>> {
         let compiled = skeleton.payload().expect("skeleton compiled by Closure");
         Compiled::bound(
             skeleton,
@@ -169,7 +182,13 @@ impl<S: Semiring> Solve for MatMul<S> {
         let compiled = Arc::new(plan_mm_1piece(n, m, k, p, &cfg));
         Skeleton::new(Arc::clone(&compiled), &compiled.plan)
     }
-    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<Matrix<S>> {
+    fn bind(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        _p: usize,
+        _arena: &Arc<ScratchArena>,
+    ) -> Compiled<Matrix<S>> {
         let compiled = skeleton.payload().expect("skeleton compiled by MatMul");
         let cfg = MmConfig {
             cutoff: tuning.mm_cutoff,
@@ -236,7 +255,13 @@ impl<S: Semiring> Solve for HeteroMatMul<S> {
         let compiled = Arc::new(plan_mm_1piece(n, m, k, p, &cfg));
         Skeleton::new(Arc::clone(&compiled), &compiled.plan)
     }
-    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<Matrix<S>> {
+    fn bind(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        _p: usize,
+        _arena: &Arc<ScratchArena>,
+    ) -> Compiled<Matrix<S>> {
         let compiled = skeleton
             .payload()
             .expect("skeleton compiled by HeteroMatMul");
@@ -291,11 +316,23 @@ impl<R: Ring> Solve for Strassen<R> {
         let compiled = Arc::new(plan_strassen(self.a.rows(), p, strassen_options(tuning)));
         Skeleton::new(Arc::clone(&compiled), &compiled.plan)
     }
-    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<Matrix<R>> {
+    fn bind(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        _p: usize,
+        arena: &Arc<ScratchArena>,
+    ) -> Compiled<Matrix<R>> {
         let compiled = skeleton.payload().expect("skeleton compiled by Strassen");
         Compiled::bound(
             skeleton,
-            StrassenRun::from_plan(self.a, self.b, compiled, tuning.strassen_cutoff),
+            StrassenRun::from_plan_in(
+                self.a,
+                self.b,
+                compiled,
+                tuning.strassen_cutoff,
+                Arc::clone(arena),
+            ),
         )
     }
 }
@@ -334,10 +371,19 @@ impl<T: SortKey + 'static> Solve for Sort<T> {
         let plan = Arc::new(plan_sort(self.keys.len(), p));
         Skeleton::new(Arc::clone(&plan), &plan)
     }
-    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, p: usize) -> Compiled<Vec<T>> {
+    fn bind(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        p: usize,
+        arena: &Arc<ScratchArena>,
+    ) -> Compiled<Vec<T>> {
         let plan = skeleton.payload().expect("skeleton compiled by Sort");
         let k = tuning.sort_k(self.keys.len());
-        Compiled::bound(skeleton, SortRun::from_plan(self.keys, plan, p, k))
+        Compiled::bound(
+            skeleton,
+            SortRun::from_plan_in(self.keys, plan, p, k, Arc::clone(arena)),
+        )
     }
 }
 
@@ -377,11 +423,24 @@ impl<W: Weight + Send + 'static> Solve for OneD<W> {
         let compiled = Arc::new(plan_one_d(self.n, p, tuning.one_d_base.max(2)));
         Skeleton::new(Arc::clone(&compiled), &compiled.plan)
     }
-    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, _p: usize) -> Compiled<Vec<f64>> {
+    fn bind(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        _p: usize,
+        arena: &Arc<ScratchArena>,
+    ) -> Compiled<Vec<f64>> {
         let compiled = skeleton.payload().expect("skeleton compiled by OneD");
         Compiled::bound(
             skeleton,
-            OneDRun::from_plan(self.n, self.weight, self.d0, compiled, tuning.one_d_base),
+            OneDRun::from_plan_in(
+                self.n,
+                self.weight,
+                self.d0,
+                compiled,
+                tuning.one_d_base,
+                Arc::clone(arena),
+            ),
         )
     }
 }
@@ -420,12 +479,18 @@ impl<C: GapCost + Send + 'static> Solve for Gap<C> {
         let plan = Arc::new(plan_gap(self.n, p, blocks));
         Skeleton::new(Arc::clone(&plan), &plan)
     }
-    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, p: usize) -> Compiled<Vec<f64>> {
+    fn bind(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        p: usize,
+        arena: &Arc<ScratchArena>,
+    ) -> Compiled<Vec<f64>> {
         let plan = skeleton.payload().expect("skeleton compiled by Gap");
         let blocks = tuning.gap_grid(p).clamp(1, self.n + 1);
         Compiled::bound(
             skeleton,
-            GapRun::from_plan(self.n, self.costs, plan, blocks),
+            GapRun::from_plan_in(self.n, self.costs, plan, blocks, arena),
         )
     }
 }

@@ -4,9 +4,11 @@ use crate::cache::{PlanCacheStats, SkeletonCache};
 use crate::exec::{PassCore, PendingRequest};
 use crate::solve::{Prepared, Solve};
 use crate::ticket::{self, decode, Ticket};
+use paco_core::arena::{ArenaStats, ScratchArena};
 use paco_core::machine::available_processors;
 use paco_core::tuning::Tuning;
 use parking_lot::Mutex;
+use std::sync::Arc;
 
 /// Scheduling cost of the most recent [`Session::run`],
 /// [`Session::run_batch`] or [`Session::flush`], read off the
@@ -57,6 +59,10 @@ pub struct Session {
     core: PassCore,
     cache: SkeletonCache,
     queue: Mutex<Vec<PendingRequest>>,
+    /// The scratch pool every bind checks its temporary buffers out of;
+    /// buffers return at finish, so warm same-shaped passes recycle their
+    /// tables/temps instead of hitting the allocator.
+    arena: Arc<ScratchArena>,
 }
 
 impl Session {
@@ -105,6 +111,15 @@ impl Session {
         self.cache.stats()
     }
 
+    /// This session's scratch-arena counters: buffer checkouts served from
+    /// the pool (hits) vs. fresh allocations (misses).  The first pass of a
+    /// shape is all misses; warm re-runs should show hits — the
+    /// `service/arena-reuse-ratio` gauge in the bench harness tracks
+    /// [`ArenaStats::reuse_ratio`] of exactly these counters.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
     /// Compile `req` through the plan cache: reuse the cached skeleton for
     /// its shape (or compile and insert one), then bind the request's data.
     fn compile_cached<R: Solve>(&self, req: R) -> Box<dyn Prepared> {
@@ -113,7 +128,7 @@ impl Session {
         let skeleton = self
             .cache
             .get_or_compile(req.shape_key(), p, tuning.epoch, || req.skeleton(tuning, p));
-        req.bind(&skeleton, tuning, p).inner
+        req.bind(&skeleton, tuning, p, &self.arena).inner
     }
 
     /// Execute one request and return its output.
@@ -226,6 +241,7 @@ impl SessionBuilder {
             core: PassCore::new(p, tuning),
             cache: SkeletonCache::new(SkeletonCache::DEFAULT_CAP),
             queue: Mutex::new(Vec::new()),
+            arena: Arc::new(ScratchArena::new()),
         }
     }
 }
@@ -270,7 +286,13 @@ mod tests {
             let plan = Arc::new(Plan::single_wave(p, vec![Step { proc: 0, job: 0 }]));
             Skeleton::new(Arc::clone(&plan), &plan)
         }
-        fn bind(self, skeleton: &Skeleton, _tuning: &Tuning, _p: usize) -> Compiled<()> {
+        fn bind(
+            self,
+            skeleton: &Skeleton,
+            _tuning: &Tuning,
+            _p: usize,
+            _arena: &Arc<ScratchArena>,
+        ) -> Compiled<()> {
             Compiled::from_prepared(Box::new(Exploding {
                 skeleton: Arc::clone(skeleton.index()),
             }))

@@ -19,6 +19,7 @@
 //! [`Plan::batch`] wave-zip while each workload keeps its own typed plan
 //! and fully monomorphized kernels.
 
+use paco_core::arena::ScratchArena;
 use paco_core::proc_list::ProcId;
 use paco_core::tuning::Tuning;
 use paco_runtime::schedule::{Plan, Step};
@@ -180,16 +181,26 @@ pub trait Solve {
     /// cheap).  `skeleton` must have been produced by [`Solve::skeleton`]
     /// on a request with the same [`Solve::shape_key`] under the same
     /// `(p, tuning)` knobs — the skeleton cache's keying guarantees this.
-    fn bind(self, skeleton: &Skeleton, tuning: &Tuning, p: usize) -> Compiled<Self::Output>;
+    /// `arena` is the caller's scratch pool: binds are free to check their
+    /// temporary buffers out of it (and return them at finish), so repeated
+    /// binds through the same session/shard recycle allocations across
+    /// passes.  Implementations may also ignore it entirely.
+    fn bind(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        p: usize,
+        arena: &Arc<ScratchArena>,
+    ) -> Compiled<Self::Output>;
 
     /// Compile for `p` processors under `tuning`: skeleton + bind, without
-    /// a cache.
+    /// a cache (and with a private single-use scratch arena).
     fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output>
     where
         Self: Sized,
     {
         let skeleton = self.skeleton(tuning, p);
-        self.bind(&skeleton, tuning, p)
+        self.bind(&skeleton, tuning, p, &Arc::new(ScratchArena::new()))
     }
 }
 

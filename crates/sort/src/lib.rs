@@ -30,9 +30,11 @@ pub use paco::{plan_sort, SortJob, SortRun};
 pub use po::po_sample_sort;
 pub use seq::seq_sample_sort;
 
-/// The key bound shared by every sorting routine in this crate.
-pub trait SortKey: Copy + Send + Sync + PartialOrd {}
-impl<T: Copy + Send + Sync + PartialOrd> SortKey for T {}
+/// The key bound shared by every sorting routine in this crate.  (`'static`
+/// lets runs pool their scratch buffers in a type-erased
+/// [`paco_core::arena::ScratchArena`].)
+pub trait SortKey: Copy + Send + Sync + PartialOrd + 'static {}
+impl<T: Copy + Send + Sync + PartialOrd + 'static> SortKey for T {}
 
 /// Compare two keys, treating incomparable pairs (NaN) as equal after a debug
 /// assertion; sorting is only meaningful on totally ordered inputs.

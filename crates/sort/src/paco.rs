@@ -35,6 +35,7 @@
 
 use crate::seq::{seq_sample_sort, small_sort};
 use crate::{cmp_keys, SortKey};
+use paco_core::arena::ScratchArena;
 use paco_core::proc_list::ProcId;
 use paco_core::shared::SharedSlice;
 use paco_runtime::schedule::{Plan, Step};
@@ -100,6 +101,8 @@ pub struct SortRun<T> {
     scratch: SharedSlice<T>,
     plan: Arc<Plan<SortJob>>,
     p: usize,
+    /// Pool the input buffer returns to at finish (`from_plan_in` runs only).
+    arena: Option<Arc<ScratchArena>>,
 }
 
 /// Compile the structural sort schedule for `n` keys on `p` processors.
@@ -173,18 +176,7 @@ impl<T: SortKey> SortRun<T> {
         if n == 0 || n <= SMALL_SORT || p == 1 {
             return Self::degenerate(data, p, plan);
         }
-
-        // ---- Step 1 (host side): pivots from an oversampled random sample.
-        let mut rng = paco_core::workload::rng(0xc0de_5eed ^ n as u64);
-        let sample_size = (k.max(1) * p).min(n);
-        let mut sample: Vec<T> = (0..sample_size)
-            .map(|_| data[rng.gen_range(0..n)])
-            .collect();
-        small_sort(&mut sample);
-        let pivots: Vec<T> = (1..p)
-            .map(|i| sample[(i * sample_size / p).min(sample_size - 1)])
-            .collect();
-
+        let pivots = Self::select_pivots(&data, p, k);
         let scratch = SharedSlice::new(n, data[0]);
         Self {
             input: data,
@@ -194,7 +186,53 @@ impl<T: SortKey> SortRun<T> {
             scratch,
             plan,
             p,
+            arena: None,
         }
+    }
+
+    /// [`Self::from_plan`], but with the redistribution scratch checked out of
+    /// `arena` and the input buffer returned to it at [`Self::finish`] — warm
+    /// passes through the same arena then sort without touching the global
+    /// allocator for their O(n) buffers.
+    pub fn from_plan_in(
+        data: Vec<T>,
+        plan: Arc<Plan<SortJob>>,
+        p: usize,
+        k: usize,
+        arena: Arc<ScratchArena>,
+    ) -> Self {
+        let n = data.len();
+        if n == 0 || n <= SMALL_SORT || p == 1 {
+            let mut run = Self::degenerate(data, p, plan);
+            run.arena = Some(arena);
+            return run;
+        }
+        let pivots = Self::select_pivots(&data, p, k);
+        let scratch = SharedSlice::from_vec(arena.take_vec(n, data[0]));
+        Self {
+            input: data,
+            pivots,
+            grouped: (0..p).map(|_| Mutex::new(Vec::new())).collect(),
+            layout: Mutex::new((Vec::new(), Vec::new())),
+            scratch,
+            plan,
+            p,
+            arena: Some(arena),
+        }
+    }
+
+    /// Step 1 (host side): pivots from an oversampled random sample.
+    fn select_pivots(data: &[T], p: usize, k: usize) -> Vec<T> {
+        let n = data.len();
+        let mut rng = paco_core::workload::rng(0xc0de_5eed ^ n as u64);
+        let sample_size = (k.max(1) * p).min(n);
+        let mut sample: Vec<T> = (0..sample_size)
+            .map(|_| data[rng.gen_range(0..n)])
+            .collect();
+        small_sort(&mut sample);
+        (1..p)
+            .map(|i| sample[(i * sample_size / p).min(sample_size - 1)])
+            .collect()
     }
 
     /// A run whose plan needs no partition/scatter state: the input moves
@@ -208,6 +246,7 @@ impl<T: SortKey> SortRun<T> {
             scratch: SharedSlice::from_vec(data),
             plan,
             p: p.max(1),
+            arena: None,
         }
     }
 
@@ -286,9 +325,16 @@ impl<T: SortKey> SortRun<T> {
         }
     }
 
-    /// Read the sorted keys off the completed run.
+    /// Read the sorted keys off the completed run.  The scratch buffer *is*
+    /// the result (moved out, not copied); an arena-bound run recycles its
+    /// spent input buffer.
     pub fn finish(self) -> Vec<T> {
-        self.scratch.snapshot()
+        if let Some(arena) = &self.arena {
+            if !self.input.is_empty() {
+                arena.put_vec(self.input);
+            }
+        }
+        self.scratch.into_vec()
     }
 }
 

@@ -331,7 +331,13 @@ mod exploding {
             );
             Skeleton::new(Arc::new(()), &plan)
         }
-        fn bind(self, skeleton: &Skeleton, _tuning: &Tuning, _p: usize) -> Compiled<()> {
+        fn bind(
+            self,
+            skeleton: &Skeleton,
+            _tuning: &Tuning,
+            _p: usize,
+            _arena: &Arc<paco_core::arena::ScratchArena>,
+        ) -> Compiled<()> {
             Compiled::from_prepared(Box::new(Exploding {
                 skeleton: Arc::clone(skeleton.index()),
             }))

@@ -114,7 +114,13 @@ impl Solve for GateReq {
         );
         Skeleton::new(Arc::new(()), &plan)
     }
-    fn bind(self, skeleton: &Skeleton, _tuning: &paco_service::Tuning, _p: usize) -> Compiled<()> {
+    fn bind(
+        self,
+        skeleton: &Skeleton,
+        _tuning: &paco_service::Tuning,
+        _p: usize,
+        _arena: &Arc<paco_core::arena::ScratchArena>,
+    ) -> Compiled<()> {
         Compiled::from_prepared(Box::new(GateStep {
             gate: self.gate,
             skeleton: Arc::clone(skeleton.index()),
@@ -167,6 +173,7 @@ impl Solve for LogReq {
         skeleton: &Skeleton,
         _tuning: &paco_service::Tuning,
         _p: usize,
+        _arena: &Arc<paco_core::arena::ScratchArena>,
     ) -> Compiled<usize> {
         Compiled::from_prepared(Box::new(LogStep {
             id: self.id,

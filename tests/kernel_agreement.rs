@@ -1,0 +1,222 @@
+//! Agreement suite for the leaf-kernel fast paths (PR 8).
+//!
+//! The SIMD microkernel, the semiring-specialized Floyd–Warshall rows, the
+//! branch-free LCS base block and the arena-pooled binds are all *pure
+//! optimisations*: every one must produce **bit-identical** output to the
+//! generic loop it replaces.  This file holds them to that:
+//!
+//! * `mm_base` over `f64` (which dispatches to the runtime-selected
+//!   [`paco_core::simd`] microkernel) against a hand-written per-element
+//!   reference in the same `i`-`l`-`j` fused-accumulation order, and the
+//!   dispatched kernel against the portable one.
+//! * `mm_base` over [`WrappingRing`] — exact integer arithmetic, so the
+//!   row-sliced refactor of the generic loop is checked with no tolerance.
+//! * The Floyd–Warshall [`relax`] kernel over `MinPlus` and `BoolSemiring`:
+//!   the `NullTracker` run takes the specialized row fast path, the
+//!   `SimTracker` run (tracking enabled) takes the historical generic loop —
+//!   both in one process, compared cell by cell.
+//! * The LCS [`base_block`] the same way: `NullTracker` runs the branch-free
+//!   sweep, `SimTracker` the generic one.
+//! * Arena reuse: warm same-shaped passes through one [`Session`] must
+//!   return identical outputs while `arena_stats` reports a strictly
+//!   positive reuse ratio.
+
+use paco_cache_sim::{NullTracker, SimTracker};
+use paco_core::machine::CacheParams;
+use paco_core::matrix::Matrix;
+use paco_core::semiring::Semiring;
+use paco_core::simd::{mm_f64, mm_f64_portable, simd_mode};
+use paco_core::workload::{
+    random_adjacency, random_digraph, random_keys, random_matrix_f64, random_matrix_wrapping,
+    related_sequences,
+};
+use paco_dp::lcs::kernel::{base_block, lcs_reference, LcsAddr, LcsTable};
+use paco_graph::{fw_reference, relax, FwAddr, FwTable};
+use paco_matmul::kernel::mm_base;
+use paco_service::{Lcs, Session, Sort};
+use proptest::prelude::*;
+
+/// The per-element generic loop `mm_base` historically ran: same
+/// `i`-`l`-`j` order, same fused [`Semiring::mul_add`] per element.
+fn mm_generic_reference<S: Semiring>(c: &mut Matrix<S>, a: &Matrix<S>, b: &Matrix<S>) {
+    for i in 0..c.rows() {
+        for l in 0..a.cols() {
+            let ail = a.get(i, l);
+            for j in 0..c.cols() {
+                c.set(i, j, c.get(i, j).mul_add(ail, b.get(l, j)));
+            }
+        }
+    }
+}
+
+fn sim_tracker() -> SimTracker {
+    SimTracker::new(1, CacheParams::new(1 << 14, 8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// `f64` leaves route through the dispatched microkernel; results must
+    /// be bit-identical to the per-element generic loop (both fuse with
+    /// `mul_add` in the same accumulation order).
+    #[test]
+    fn f64_mm_base_is_bit_identical_to_the_generic_loop(
+        n in 1usize..33,
+        m in 1usize..33,
+        k in 1usize..33,
+        seed in 0u64..1000,
+    ) {
+        let a = random_matrix_f64(n, k, seed);
+        let b = random_matrix_f64(k, m, seed ^ 0x9e37);
+        let seed_c = random_matrix_f64(n, m, seed ^ 0x79b9);
+        let mut fast = seed_c.clone();
+        mm_base(&mut fast.as_mut(), &a.as_ref(), &b.as_ref());
+        let mut generic = seed_c;
+        mm_generic_reference(&mut generic, &a, &b);
+        for i in 0..n {
+            for j in 0..m {
+                prop_assert_eq!(
+                    fast.get(i, j).to_bits(),
+                    generic.get(i, j).to_bits(),
+                    "({}, {}) under mode {}", i, j, simd_mode()
+                );
+            }
+        }
+    }
+
+    /// The dispatched kernel (AVX2+FMA where detected) agrees bit-for-bit
+    /// with the portable kernel it replaces.
+    #[test]
+    fn dispatched_and_portable_f64_kernels_agree(
+        n in 1usize..40,
+        m in 1usize..40,
+        k in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let a = random_matrix_f64(n, k, seed);
+        let b = random_matrix_f64(k, m, seed ^ 0xabcd);
+        let seed_c = random_matrix_f64(n, m, seed ^ 0x1234);
+        let mut dispatched = seed_c.clone();
+        mm_f64(&mut dispatched.as_mut(), &a.as_ref(), &b.as_ref());
+        let mut portable = seed_c;
+        mm_f64_portable(&mut portable.as_mut(), &a.as_ref(), &b.as_ref());
+        for i in 0..n {
+            for j in 0..m {
+                prop_assert_eq!(
+                    dispatched.get(i, j).to_bits(),
+                    portable.get(i, j).to_bits(),
+                    "({}, {}) under mode {}", i, j, simd_mode()
+                );
+            }
+        }
+    }
+
+    /// Exact integer semiring: the row-sliced generic loop must match the
+    /// per-element reference with no tolerance.
+    #[test]
+    fn wrapping_ring_mm_base_is_exact(
+        n in 1usize..24,
+        m in 1usize..24,
+        k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let a = random_matrix_wrapping(n, k, seed);
+        let b = random_matrix_wrapping(k, m, seed ^ 0x55);
+        let seed_c = random_matrix_wrapping(n, m, seed ^ 0xaa);
+        let mut fast = seed_c.clone();
+        mm_base(&mut fast.as_mut(), &a.as_ref(), &b.as_ref());
+        let mut generic = seed_c;
+        mm_generic_reference(&mut generic, &a, &b);
+        prop_assert_eq!(fast, generic);
+    }
+
+    /// `MinPlus` leaves take the annihilator-skipping row fast path under
+    /// `NullTracker`; the `SimTracker` replay runs the generic loop.  Both
+    /// must close the graph identically (and match the triple-loop
+    /// reference).
+    #[test]
+    fn min_plus_relax_fast_path_matches_generic(
+        n in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let adj = random_digraph(n, 0.2, 50, seed);
+        let fast = FwTable::from_matrix(&adj);
+        let addr = FwAddr::new(n);
+        relax(&fast, 0..n, 0..n, 0..n, &mut NullTracker, &addr);
+        let generic = FwTable::from_matrix(&adj);
+        relax(&generic, 0..n, 0..n, 0..n, &mut sim_tracker(), &addr);
+        prop_assert_eq!(fast.to_matrix(), generic.to_matrix());
+        prop_assert_eq!(fast.to_matrix(), fw_reference(&adj));
+    }
+
+    /// Same agreement for boolean transitive closure (the `|=`-row fast
+    /// path with its always-no-op aliased hook).
+    #[test]
+    fn bool_relax_fast_path_matches_generic(
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let adj = random_adjacency(n, 0.12, seed);
+        let fast = FwTable::from_matrix(&adj);
+        let addr = FwAddr::new(n);
+        relax(&fast, 0..n, 0..n, 0..n, &mut NullTracker, &addr);
+        let generic = FwTable::from_matrix(&adj);
+        relax(&generic, 0..n, 0..n, 0..n, &mut sim_tracker(), &addr);
+        prop_assert_eq!(fast.to_matrix(), generic.to_matrix());
+        prop_assert_eq!(fast.to_matrix(), fw_reference(&adj));
+    }
+
+    /// The branch-free LCS base block (NullTracker) fills the table exactly
+    /// like the generic sweep (SimTracker) and the textbook reference.
+    #[test]
+    fn lcs_base_block_fast_path_matches_generic(
+        n in 1usize..60,
+        m in 1usize..60,
+        seed in 0u64..1000,
+    ) {
+        let (a, b) = related_sequences(n.max(m), 4, 0.3, seed);
+        let (a, b) = (&a[..n], &b[..m]);
+        let addr = LcsAddr::new(n, m);
+        let fast = LcsTable::new(n, m);
+        base_block(&fast, a, b, 1..n + 1, 1..m + 1, &mut NullTracker, &addr);
+        let generic = LcsTable::new(n, m);
+        base_block(&generic, a, b, 1..n + 1, 1..m + 1, &mut sim_tracker(), &addr);
+        prop_assert_eq!(fast.grid().snapshot(), generic.grid().snapshot());
+        prop_assert_eq!(fast.lcs_length(), lcs_reference(a, b));
+    }
+}
+
+/// Warm passes through one session recycle their scratch buffers: the
+/// outputs stay identical run over run while the arena reports hits.
+#[test]
+fn arena_reuse_keeps_outputs_identical_across_warm_passes() {
+    let session = Session::new(2);
+    let (a, b) = related_sequences(600, 4, 0.25, 17);
+    let expect = lcs_reference(&a, &b);
+    let keys = random_keys(4000, 23);
+    let mut sorted = keys.clone();
+    sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+
+    let cold = session.arena_stats();
+    assert_eq!(cold.hits, 0, "fresh session has no pooled buffers");
+
+    for pass in 0..4 {
+        let got = session.run(Lcs {
+            a: a.clone(),
+            b: b.clone(),
+        });
+        assert_eq!(got, expect, "pass {pass}");
+        let got = session.run(Sort { keys: keys.clone() });
+        assert_eq!(got, sorted, "pass {pass}");
+    }
+
+    let warm = session.arena_stats();
+    assert!(
+        warm.hits > 0,
+        "warm passes must check buffers out of the pool: {warm:?}"
+    );
+    assert!(
+        warm.reuse_ratio() > 0.0,
+        "service/arena-reuse-ratio gauge must be positive: {warm:?}"
+    );
+}
