@@ -9,9 +9,16 @@
 //! carry `mean_ns` (lower is better, reported as a signed % change) and
 //! `metric` lines carry `value` (reported as baseline → current).  Gauges
 //! present on only one side are listed as added/removed instead of silently
-//! dropped.  The tool never fails the build over a regression — timings in a
-//! shared 1-core container are advisory — so CI runs it non-blocking; it
-//! exits non-zero only when an input file is missing or unparseable.
+//! dropped.
+//!
+//! The tool is a **soft gate**: wall-clock timings in a shared 1-core
+//! container are noise and never fail the build, but *counter* gauges —
+//! structural counts like plan waves, pool barriers, messages, words
+//! shipped, dispatch-fallback counts — are deterministic, so a counter that
+//! regresses by more than [`COUNTER_GATE`]× against the committed baseline
+//! (or a fallback counter that moves off zero) exits non-zero.  Everything
+//! else stays advisory.  It also exits non-zero when an input file is
+//! missing or unparseable.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -22,6 +29,36 @@ use std::process::ExitCode;
 enum Record {
     Bench { mean_ns: f64 },
     Metric { value: f64 },
+}
+
+/// A counter gauge may grow to at most this multiple of its baseline before
+/// the gate fails the build.  3× leaves room for intentional plan-shape
+/// changes (which should update `BENCH_baseline.json` anyway) while catching
+/// the pathological ones: a barrier per leaf instead of per wave, a
+/// full-matrix exchange instead of a block one.
+const COUNTER_GATE: f64 = 3.0;
+
+/// Label substrings that mark a gauge as a *counter*: a deterministic
+/// structural count where more is strictly worse.  Ratios, latencies,
+/// throughputs and queue depths are load- or clock-dependent and stay
+/// advisory; specialization counters (`*-leaf-specialized`, `simd-avx2`)
+/// are higher-is-better and are guarded instead by their `*-leaf-generic`
+/// twins, which sit at 0 in the baseline and trip the off-zero rule on any
+/// fallback.
+const COUNTER_MARKERS: &[&str] = &[
+    "waves",
+    "barrier",
+    "steps", // plan-steps and supersteps
+    "messages",
+    "words",
+    "overhead",
+    "critical-path",
+    "leaf-generic",
+];
+
+/// True for gauges the soft gate enforces (see [`COUNTER_MARKERS`]).
+fn is_counter(label: &str) -> bool {
+    COUNTER_MARKERS.iter().any(|m| label.contains(m))
 }
 
 /// Pull `"key":<string>` out of a JSON-lines object without a JSON crate
@@ -101,6 +138,7 @@ fn main() -> ExitCode {
     println!("{:-<78}", "");
     let mut improved = 0usize;
     let mut regressed = 0usize;
+    let mut gated: Vec<String> = Vec::new();
     for (label, cur) in &current {
         match (baseline.get(label), cur) {
             (Some(Record::Bench { mean_ns: base }), Record::Bench { mean_ns }) => {
@@ -121,7 +159,22 @@ fn main() -> ExitCode {
                 );
             }
             (Some(Record::Metric { value: base }), Record::Metric { value }) => {
-                println!("{label:<48} {base:>10.3} -> {value:>10.3}");
+                let gate = is_counter(label)
+                    && if *base > 0.0 {
+                        *value > COUNTER_GATE * base
+                    } else {
+                        // A fallback counter moving off zero (e.g. a
+                        // `*-leaf-generic` dispatch) is an infinite-ratio
+                        // regression.
+                        *value > 0.0
+                    };
+                let tag = if gate {
+                    gated.push(label.clone());
+                    "  COUNTER REGRESSION"
+                } else {
+                    ""
+                };
+                println!("{label:<48} {base:>10.3} -> {value:>10.3}{tag}");
             }
             (Some(_), _) => {
                 println!("{label:<48} (kind changed between runs)");
@@ -133,6 +186,23 @@ fn main() -> ExitCode {
         println!("{label:<48} (missing from current run)");
     }
     println!("{:-<78}", "");
-    println!("bench_delta: {improved} faster, {regressed} slower (advisory; non-blocking)");
-    ExitCode::SUCCESS
+    println!(
+        "bench_delta: {improved} faster, {regressed} slower (timings advisory; \
+         counter gauges gated at {COUNTER_GATE}x)"
+    );
+    if gated.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for label in &gated {
+            eprintln!(
+                "bench_delta: counter gauge {label} regressed more than \
+                 {COUNTER_GATE}x against {baseline_path}"
+            );
+        }
+        eprintln!(
+            "bench_delta: if the new counts are intended, update {baseline_path} \
+             from this run's PACO_BENCH_JSON output"
+        );
+        ExitCode::FAILURE
+    }
 }

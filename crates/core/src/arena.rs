@@ -180,6 +180,52 @@ mod tests {
     }
 
     #[test]
+    fn eviction_cap_is_observable_through_takes() {
+        // Return more buffers than the quota, then drain with takes: the
+        // pool serves exactly `MAX_POOLED` hits before it runs dry — the
+        // 17th (and every later) return was evicted, not stashed.
+        let arena = ScratchArena::new();
+        for _ in 0..ScratchArena::MAX_POOLED + 9 {
+            arena.put_vec(vec![0u64; 32]);
+        }
+        for _ in 0..ScratchArena::MAX_POOLED {
+            arena.take_vec(32, 1u64);
+        }
+        assert_eq!(
+            arena.stats(),
+            ArenaStats {
+                hits: ScratchArena::MAX_POOLED as u64,
+                misses: 0
+            }
+        );
+        arena.take_vec(32, 1u64);
+        assert_eq!(
+            arena.stats(),
+            ArenaStats {
+                hits: ScratchArena::MAX_POOLED as u64,
+                misses: 1
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_cap_is_per_type() {
+        // Over-filling one type's pool must not consume another type's
+        // quota: both pools independently hold `MAX_POOLED` buffers.
+        let arena = ScratchArena::new();
+        for _ in 0..ScratchArena::MAX_POOLED + 5 {
+            arena.put_vec(vec![0u32; 8]);
+            arena.put_vec(vec![0.0f32; 8]);
+        }
+        for _ in 0..ScratchArena::MAX_POOLED {
+            arena.take_vec(8, 1u32);
+            arena.take_vec(8, 1.0f32);
+        }
+        assert_eq!(arena.stats().hits, 2 * ScratchArena::MAX_POOLED as u64);
+        assert_eq!(arena.stats().misses, 0);
+    }
+
+    #[test]
     fn stats_merge_sums_fieldwise() {
         let a = ArenaStats { hits: 3, misses: 1 };
         let b = ArenaStats { hits: 1, misses: 5 };
@@ -205,5 +251,43 @@ mod tests {
         let stats = arena.stats();
         assert_eq!(stats.hits + stats.misses, 200);
         assert!(stats.hits > 0, "warm reuse must occur: {stats:?}");
+    }
+
+    #[test]
+    fn concurrent_mixed_type_checkout_keeps_stats_exact() {
+        // 4 threads × 2 element types × 25 take/put rounds: every checkout
+        // is either a hit or a miss (never both, never dropped), pools never
+        // cross types, and no pool exceeds its quota afterwards.
+        const THREADS: usize = 4;
+        const ROUNDS: usize = 25;
+        let arena = std::sync::Arc::new(ScratchArena::new());
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let arena = std::sync::Arc::clone(&arena);
+                s.spawn(move || {
+                    for i in 0..ROUNDS {
+                        let v = arena.take_vec(48, (t * ROUNDS + i) as u64);
+                        let f = arena.take_vec(48, (t * ROUNDS + i) as f64);
+                        assert!(v.iter().all(|&x| x == (t * ROUNDS + i) as u64));
+                        assert!(f.iter().all(|&x| x == (t * ROUNDS + i) as f64));
+                        arena.put_vec(v);
+                        arena.put_vec(f);
+                    }
+                });
+            }
+        });
+        let stats = arena.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            (2 * THREADS * ROUNDS) as u64,
+            "every checkout accounted exactly once: {stats:?}"
+        );
+        // At most `THREADS` concurrent buffers circulated per type, so cold
+        // misses are bounded by one per thread per type.
+        assert!(stats.misses <= (2 * THREADS) as u64, "{stats:?}");
+        let pools = arena.pools.lock().unwrap();
+        for stack in pools.values() {
+            assert!(stack.len() <= ScratchArena::MAX_POOLED);
+        }
     }
 }

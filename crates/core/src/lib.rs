@@ -64,7 +64,7 @@ pub mod workload;
 
 pub use arena::{ArenaStats, ScratchArena};
 pub use kernel::SpecializedKernel;
-pub use machine::{CacheParams, HeteroSpec, MachineConfig};
+pub use machine::{CacheParams, HeteroSpec, MachineConfig, Placement};
 pub use matrix::{MatMut, MatRef, Matrix};
 pub use metrics::{Counters, Stopwatch};
 pub use proc_list::{ProcId, ProcList};

@@ -235,6 +235,78 @@ impl fmt::Display for MachineConfig {
     }
 }
 
+/// A 2D block-cyclic ownership map for the shared-nothing (Sect. III-E-1 /
+/// Sect. V) emulation: which of `p` ranks *owns* each element of a matrix.
+///
+/// Ranks form a `pr × pc` process grid (`pr·pc = p`, with `pr` the largest
+/// divisor of `p` not exceeding `√p`, so prime rank counts degrade to a
+/// 1 × p column-cyclic layout instead of being rejected).  Elements are
+/// grouped into `block × block` tiles and tiles are dealt out cyclically:
+///
+/// ```text
+/// owner(r, c) = ((r / block) mod pr) · pc  +  ((c / block) mod pc)
+/// ```
+///
+/// Ownership is what makes the superstep emulation *shared-nothing*: every
+/// word lives on exactly one rank, a wave's exchange phase ships only words
+/// a rank reads but does not own, and its writeback phase returns words a
+/// rank wrote but does not own — so the owner's copy is authoritative at
+/// every wave boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Placement {
+    pr: usize,
+    pc: usize,
+    block: usize,
+}
+
+impl Placement {
+    /// The default tile side used by the distributed backend.
+    pub const DEFAULT_BLOCK: usize = 16;
+
+    /// A block-cyclic placement of `ranks` ranks with `block × block` tiles.
+    ///
+    /// Panics if `ranks` or `block` is zero.
+    pub fn new(ranks: usize, block: usize) -> Self {
+        assert!(ranks > 0, "placement needs at least one rank");
+        assert!(block > 0, "placement tile side must be positive");
+        let mut pr = 1;
+        for d in 1..=ranks {
+            if d * d > ranks {
+                break;
+            }
+            if ranks.is_multiple_of(d) {
+                pr = d;
+            }
+        }
+        Self {
+            pr,
+            pc: ranks / pr,
+            block,
+        }
+    }
+
+    /// The rank owning element `(row, col)` of any matrix under this map.
+    #[inline]
+    pub fn owner(&self, row: usize, col: usize) -> usize {
+        ((row / self.block) % self.pr) * self.pc + (col / self.block) % self.pc
+    }
+
+    /// Total number of ranks (`pr · pc`).
+    pub fn ranks(&self) -> usize {
+        self.pr * self.pc
+    }
+
+    /// The tile side in elements.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// The process-grid shape `(pr, pc)`.
+    pub fn grid(&self) -> (usize, usize) {
+        (self.pr, self.pc)
+    }
+}
+
 /// Number of hardware threads available to this process (at least 1).
 pub fn available_processors() -> usize {
     std::thread::available_parallelism()
@@ -307,5 +379,46 @@ mod tests {
     #[test]
     fn available_processors_positive() {
         assert!(available_processors() >= 1);
+    }
+
+    #[test]
+    fn placement_grid_covers_all_ranks_and_respects_blocks() {
+        for ranks in [1usize, 2, 3, 4, 5, 6, 7, 8, 12, 16] {
+            let pl = Placement::new(ranks, 4);
+            let (pr, pc) = pl.grid();
+            assert_eq!(pr * pc, ranks);
+            assert!(pr <= pc, "pr is the divisor at or below sqrt");
+            // Every rank owns at least one tile of a big-enough matrix, and
+            // every owner is in range.
+            let n = 4 * ranks.max(4);
+            let mut seen = vec![false; ranks];
+            for r in 0..n {
+                for c in 0..n {
+                    let o = pl.owner(r, c);
+                    assert!(o < ranks);
+                    seen[o] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "ranks={ranks}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn placement_is_constant_within_a_tile() {
+        let pl = Placement::new(6, 8);
+        let o = pl.owner(8, 16);
+        for dr in 0..8 {
+            for dc in 0..8 {
+                assert_eq!(pl.owner(8 + dr, 16 + dc), o);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_prime_ranks_fall_back_to_column_cyclic() {
+        let pl = Placement::new(7, 2);
+        assert_eq!(pl.grid(), (1, 7));
+        assert_eq!(pl.owner(100, 0), pl.owner(0, 0));
+        assert_ne!(pl.owner(0, 0), pl.owner(0, 2));
     }
 }

@@ -695,6 +695,251 @@ pub mod sched {
     }
 }
 
+pub mod comm {
+    //! Process-wide communication counters for the shared-nothing emulation.
+    //!
+    //! The distributed backend (`paco_dist`) executes a plan as supersteps of
+    //! message-passing ranks, and — like the barrier counters of
+    //! [`super::sched`] — what makes that emulation *scientific* on a 1-core
+    //! container is exact counting, not wall-clock: every word and every
+    //! message a run ships is tallied here, so benches can compare measured
+    //! traffic against the analytic bounds in `cache-sim::distributed`
+    //! (Sect. III-E-1 / Sect. V of the paper).
+    //!
+    //! Ranks are threads, so these are global atomics in the style of
+    //! [`super::sched::ingress`]: exact for the process, aggregated over
+    //! every distributed run.  The executor computes a run's totals
+    //! deterministically on the host thread and mirrors them here with one
+    //! [`record_run`] call, which keeps snapshot deltas exact per run even
+    //! though sends happen on rank threads.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Number of rank slots tracked by the per-rank tallies; ranks beyond
+    /// this fold onto slot `rank % MAX_RANK_SLOTS`.
+    pub const MAX_RANK_SLOTS: usize = 64;
+
+    static RUNS: AtomicU64 = AtomicU64::new(0);
+    static SUPERSTEPS: AtomicU64 = AtomicU64::new(0);
+    static DATA_MESSAGES: AtomicU64 = AtomicU64::new(0);
+    static DATA_WORDS: AtomicU64 = AtomicU64::new(0);
+    static SCATTER_WORDS: AtomicU64 = AtomicU64::new(0);
+    static EXCHANGE_WORDS: AtomicU64 = AtomicU64::new(0);
+    static WRITEBACK_WORDS: AtomicU64 = AtomicU64::new(0);
+    static GATHER_WORDS: AtomicU64 = AtomicU64::new(0);
+    static BARRIER_MESSAGES: AtomicU64 = AtomicU64::new(0);
+    static CRITICAL_PATH_MESSAGES: AtomicU64 = AtomicU64::new(0);
+    static MAX_RANK_WORDS: AtomicU64 = AtomicU64::new(0);
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: AtomicU64 = AtomicU64::new(0);
+    static RANK_WORDS: [AtomicU64; MAX_RANK_SLOTS] = [ZERO; MAX_RANK_SLOTS];
+    static RANK_MESSAGES: [AtomicU64; MAX_RANK_SLOTS] = [ZERO; MAX_RANK_SLOTS];
+
+    /// One distributed run's communication totals, as computed by the
+    /// executor on its host thread and mirrored into the process counters.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct RunComm {
+        /// Supersteps (plan waves) executed.
+        pub supersteps: u64,
+        /// Point-to-point data messages (scatter + exchange + writeback +
+        /// gather), excluding barrier traffic.
+        pub data_messages: u64,
+        /// Words carried by those data messages.
+        pub data_words: u64,
+        /// Words shipped host → ranks to install initial operands.
+        pub scatter_words: u64,
+        /// Words shipped rank → rank in exchange phases (operands a rank
+        /// reads but does not own).
+        pub exchange_words: u64,
+        /// Words shipped rank → rank in writeback phases (results a rank
+        /// wrote but does not own).
+        pub writeback_words: u64,
+        /// Words shipped ranks → host to assemble the output.
+        pub gather_words: u64,
+        /// Tree-barrier control messages (2·(p−1) per superstep).
+        pub barrier_messages: u64,
+        /// Messages on the critical path: the latency term, which the paper
+        /// bounds by `O(log p)` per superstep.
+        pub critical_path_messages: u64,
+        /// Words sent + received per rank (scatter counted at the receiver,
+        /// gather at the sender).
+        pub rank_words: Vec<u64>,
+        /// Data messages sent + received per rank.
+        pub rank_messages: Vec<u64>,
+    }
+
+    impl RunComm {
+        /// Largest per-rank word total (the bandwidth critical path).
+        pub fn max_rank_words(&self) -> u64 {
+            self.rank_words.iter().copied().max().unwrap_or(0)
+        }
+
+        /// Mean per-rank word total.
+        pub fn mean_rank_words(&self) -> f64 {
+            if self.rank_words.is_empty() {
+                0.0
+            } else {
+                self.data_words as f64 / self.rank_words.len() as f64
+            }
+        }
+    }
+
+    /// A point-in-time copy of the process-wide communication counters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct CommSnapshot {
+        /// Distributed runs recorded.
+        pub runs: u64,
+        /// Supersteps executed across all runs.
+        pub supersteps: u64,
+        /// Point-to-point data messages across all runs.
+        pub data_messages: u64,
+        /// Words carried by data messages across all runs.
+        pub data_words: u64,
+        /// Scatter words across all runs.
+        pub scatter_words: u64,
+        /// Exchange words across all runs.
+        pub exchange_words: u64,
+        /// Writeback words across all runs.
+        pub writeback_words: u64,
+        /// Gather words across all runs.
+        pub gather_words: u64,
+        /// Barrier control messages across all runs.
+        pub barrier_messages: u64,
+        /// Critical-path messages summed over runs.
+        pub critical_path_messages: u64,
+        /// Largest per-rank word total any single run observed (a
+        /// high-watermark: `since` keeps the later snapshot's value).
+        pub max_rank_words: u64,
+    }
+
+    impl CommSnapshot {
+        /// Counter deltas since an earlier snapshot (`max_rank_words` is a
+        /// high-watermark and is carried over, not subtracted).
+        pub fn since(&self, earlier: &CommSnapshot) -> CommSnapshot {
+            CommSnapshot {
+                runs: self.runs - earlier.runs,
+                supersteps: self.supersteps - earlier.supersteps,
+                data_messages: self.data_messages - earlier.data_messages,
+                data_words: self.data_words - earlier.data_words,
+                scatter_words: self.scatter_words - earlier.scatter_words,
+                exchange_words: self.exchange_words - earlier.exchange_words,
+                writeback_words: self.writeback_words - earlier.writeback_words,
+                gather_words: self.gather_words - earlier.gather_words,
+                barrier_messages: self.barrier_messages - earlier.barrier_messages,
+                critical_path_messages: self.critical_path_messages
+                    - earlier.critical_path_messages,
+                max_rank_words: self.max_rank_words,
+            }
+        }
+    }
+
+    /// Mirror one distributed run's totals into the process counters.
+    pub fn record_run(run: &RunComm) {
+        RUNS.fetch_add(1, Ordering::Relaxed);
+        SUPERSTEPS.fetch_add(run.supersteps, Ordering::Relaxed);
+        DATA_MESSAGES.fetch_add(run.data_messages, Ordering::Relaxed);
+        DATA_WORDS.fetch_add(run.data_words, Ordering::Relaxed);
+        SCATTER_WORDS.fetch_add(run.scatter_words, Ordering::Relaxed);
+        EXCHANGE_WORDS.fetch_add(run.exchange_words, Ordering::Relaxed);
+        WRITEBACK_WORDS.fetch_add(run.writeback_words, Ordering::Relaxed);
+        GATHER_WORDS.fetch_add(run.gather_words, Ordering::Relaxed);
+        BARRIER_MESSAGES.fetch_add(run.barrier_messages, Ordering::Relaxed);
+        CRITICAL_PATH_MESSAGES.fetch_add(run.critical_path_messages, Ordering::Relaxed);
+        MAX_RANK_WORDS.fetch_max(run.max_rank_words(), Ordering::Relaxed);
+        for (rank, &w) in run.rank_words.iter().enumerate() {
+            RANK_WORDS[rank % MAX_RANK_SLOTS].fetch_add(w, Ordering::Relaxed);
+        }
+        for (rank, &m) in run.rank_messages.iter().enumerate() {
+            RANK_MESSAGES[rank % MAX_RANK_SLOTS].fetch_add(m, Ordering::Relaxed);
+        }
+    }
+
+    /// Read the current process-wide communication counters at once.
+    pub fn snapshot() -> CommSnapshot {
+        CommSnapshot {
+            runs: RUNS.load(Ordering::Relaxed),
+            supersteps: SUPERSTEPS.load(Ordering::Relaxed),
+            data_messages: DATA_MESSAGES.load(Ordering::Relaxed),
+            data_words: DATA_WORDS.load(Ordering::Relaxed),
+            scatter_words: SCATTER_WORDS.load(Ordering::Relaxed),
+            exchange_words: EXCHANGE_WORDS.load(Ordering::Relaxed),
+            writeback_words: WRITEBACK_WORDS.load(Ordering::Relaxed),
+            gather_words: GATHER_WORDS.load(Ordering::Relaxed),
+            barrier_messages: BARRIER_MESSAGES.load(Ordering::Relaxed),
+            critical_path_messages: CRITICAL_PATH_MESSAGES.load(Ordering::Relaxed),
+            max_rank_words: MAX_RANK_WORDS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Words sent + received per rank slot, trailing zeros trimmed.
+    pub fn rank_words() -> Vec<u64> {
+        let mut v: Vec<u64> = RANK_WORDS
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    }
+
+    /// Data messages sent + received per rank slot, trailing zeros trimmed.
+    pub fn rank_messages() -> Vec<u64> {
+        let mut v: Vec<u64> = RANK_MESSAGES
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn comm_counters_accumulate_and_diff() {
+            let before = snapshot();
+            let run = RunComm {
+                supersteps: 3,
+                data_messages: 10,
+                data_words: 100,
+                scatter_words: 40,
+                exchange_words: 30,
+                writeback_words: 20,
+                gather_words: 10,
+                barrier_messages: 12,
+                critical_path_messages: 9,
+                rank_words: vec![60, 40],
+                rank_messages: vec![6, 4],
+            };
+            assert_eq!(run.max_rank_words(), 60);
+            assert!((run.mean_rank_words() - 50.0).abs() < 1e-12);
+            record_run(&run);
+            let delta = snapshot().since(&before);
+            assert_eq!(delta.runs, 1);
+            assert_eq!(delta.supersteps, 3);
+            assert_eq!(delta.data_messages, 10);
+            assert_eq!(delta.data_words, 100);
+            assert_eq!(
+                delta.scatter_words
+                    + delta.exchange_words
+                    + delta.writeback_words
+                    + delta.gather_words,
+                100
+            );
+            assert_eq!(delta.barrier_messages, 12);
+            assert_eq!(delta.critical_path_messages, 9);
+            assert!(delta.max_rank_words >= 60);
+            let rw = rank_words();
+            assert!(rw.len() >= 2 && rw[0] >= 60 && rw[1] >= 40);
+            assert!(rank_messages().len() >= 2);
+        }
+    }
+}
+
 /// Per-processor tallies of an arbitrary additive quantity (work, cache misses,
 /// bytes moved, tasks executed, ...).
 #[derive(Clone, Debug, Default, PartialEq)]

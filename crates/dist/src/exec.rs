@@ -1,0 +1,414 @@
+//! The shared-nothing superstep executor.
+//!
+//! [`run_lowered`] spawns one thread per rank.  Each rank owns *private*
+//! state (a full workload run state — no `SharedGrid` is aliased across
+//! ranks) and a single inbound channel; per wave it (1) packs and sends its
+//! owned exchange transfers, (2) receives the exact number of inbound
+//! exchanges the lowered schedule promises and unpacks them into its ghost
+//! regions, (3) runs its steps of the wave in FIFO order through the
+//! workload's leaf kernels, (4) sends/receives writebacks the same way, and
+//! (5) joins a binary-tree barrier (`2(p−1)` messages, `2⌈log₂ p⌉` deep).
+//! Messages from different peers interleave arbitrarily across phase
+//! boundaries, so the mailbox stashes anything that is not the message the
+//! protocol currently expects — counts are deterministic on both sides, so
+//! no sentinel or flush message is ever needed.
+//!
+//! The host thread scatters rank inputs, gathers rank outputs, assembles
+//! the run's [`DistStats`] *deterministically from the lowered schedule*
+//! (no rank self-reporting) and mirrors them into
+//! [`paco_core::metrics::comm`].
+
+use crate::lower::SuperstepPlan;
+use crate::Region;
+use paco_core::machine::Placement;
+use paco_core::metrics::comm::{self, RunComm};
+use paco_runtime::schedule::Plan;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// A workload that can run on the shared-nothing executor.
+///
+/// The four implementations in [`crate::workloads`] adapt the existing
+/// shared-memory run states (`FwRun`, `MmRun`, `LcsRun`, `StrassenRun`) —
+/// each rank simply owns a private instance and the adapter tells the
+/// executor which `(buffer, region)` footprints each job touches, how to
+/// move initial operands in (`scatter`), ghost blocks across (`pack` /
+/// `unpack`) and results out (`gather`).
+pub trait DistWorkload: Sync {
+    /// The plan's job type.
+    type Job: Clone + Send + Sync;
+    /// The element type carried by exchange/writeback messages.
+    type Elem: Send;
+    /// Per-rank initial operands, shipped host → rank before wave 0.
+    type RankInput: Send;
+    /// A rank's private run state (never crosses threads).
+    type RankState;
+    /// Per-rank result fragment, shipped rank → host after the last wave.
+    type Gather: Send;
+    /// The assembled output.
+    type Output;
+
+    /// The `(buffer, region)` footprints job `job` reads.
+    fn reads(&self, job: &Self::Job) -> Vec<(usize, Region)>;
+    /// The `(buffer, region)` footprints job `job` writes.
+    fn writes(&self, job: &Self::Job) -> Vec<(usize, Region)>;
+    /// Build rank `rank`'s initial operands given all jobs assigned to it,
+    /// returning the input and the words it ships.
+    fn scatter(
+        &self,
+        placement: &Placement,
+        rank: usize,
+        jobs: &[Self::Job],
+    ) -> (Self::RankInput, u64);
+    /// Materialise rank `rank`'s private state from its scattered input.
+    fn init_state(
+        &self,
+        placement: &Placement,
+        rank: usize,
+        input: Self::RankInput,
+    ) -> Self::RankState;
+    /// Run one job against the rank's private state.
+    fn run_step(&self, rank: usize, state: &mut Self::RankState, job: &Self::Job);
+    /// Append `region` of buffer `buf` (row-major) to `out`.
+    fn pack(&self, state: &Self::RankState, buf: usize, region: Region, out: &mut Vec<Self::Elem>);
+    /// Install `data` (row-major, `region.area()` elements) into `region` of
+    /// buffer `buf`.
+    fn unpack(&self, state: &mut Self::RankState, buf: usize, region: Region, data: &[Self::Elem]);
+    /// Extract rank `rank`'s result fragment, returning it and the words it
+    /// ships back to the host.
+    fn gather(
+        &self,
+        placement: &Placement,
+        rank: usize,
+        state: Self::RankState,
+    ) -> (Self::Gather, u64);
+    /// Assemble the output from every rank's fragment (index = rank).
+    fn finish(&self, placement: &Placement, gathers: Vec<Self::Gather>) -> Self::Output;
+}
+
+/// Exact communication totals of one distributed run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DistStats {
+    /// Number of ranks the run used.
+    pub ranks: usize,
+    /// The run's word/message totals (also mirrored into
+    /// [`paco_core::metrics::comm`]).
+    pub comm: RunComm,
+}
+
+impl DistStats {
+    /// Largest per-rank word total (the bandwidth critical path).
+    pub fn max_rank_words(&self) -> u64 {
+        self.comm.max_rank_words()
+    }
+
+    /// Mean per-rank word total.
+    pub fn mean_rank_words(&self) -> f64 {
+        self.comm.mean_rank_words()
+    }
+}
+
+/// `⌈log₂ p⌉` (0 for `p <= 1`): the depth of the binary message tree, i.e.
+/// the latency the paper charges per collective (Sect. III-E-1).
+pub fn ceil_log2(p: usize) -> u64 {
+    if p <= 1 {
+        0
+    } else {
+        p.next_power_of_two().trailing_zeros() as u64
+    }
+}
+
+enum RankMsg<E, I> {
+    Input(I),
+    Data {
+        wave: u32,
+        writeback: bool,
+        parts: Vec<(usize, Region, Vec<E>)>,
+    },
+    BarrierUp {
+        wave: u32,
+    },
+    BarrierDown {
+        wave: u32,
+    },
+}
+
+/// A rank's single inbound queue plus a stash for messages that arrive
+/// ahead of the phase that consumes them (a fast peer's writeback can land
+/// while this rank still awaits exchanges; a next-wave exchange can land
+/// while it awaits this wave's barrier release).
+struct Mailbox<E, I> {
+    rx: Receiver<RankMsg<E, I>>,
+    stash: Vec<RankMsg<E, I>>,
+}
+
+impl<E, I> Mailbox<E, I> {
+    fn recv_match(&mut self, mut want: impl FnMut(&RankMsg<E, I>) -> bool) -> RankMsg<E, I> {
+        if let Some(pos) = self.stash.iter().position(&mut want) {
+            return self.stash.swap_remove(pos);
+        }
+        loop {
+            let msg = self
+                .rx
+                .recv()
+                .expect("a peer rank disconnected mid-superstep");
+            if want(&msg) {
+                return msg;
+            }
+            self.stash.push(msg);
+        }
+    }
+
+    fn recv_input(&mut self) -> I {
+        match self.recv_match(|m| matches!(m, RankMsg::Input(_))) {
+            RankMsg::Input(input) => input,
+            _ => unreachable!(),
+        }
+    }
+
+    fn recv_data(&mut self, at: u32, wb: bool) -> Vec<(usize, Region, Vec<E>)> {
+        match self.recv_match(
+            |m| matches!(m, RankMsg::Data { wave, writeback, .. } if *wave == at && *writeback == wb),
+        ) {
+            RankMsg::Data { parts, .. } => parts,
+            _ => unreachable!(),
+        }
+    }
+
+    fn recv_barrier(&mut self, at: u32, up: bool) {
+        self.recv_match(|m| match m {
+            RankMsg::BarrierUp { wave } => up && *wave == at,
+            RankMsg::BarrierDown { wave } => !up && *wave == at,
+            _ => false,
+        });
+    }
+}
+
+/// Execute `plan` on `sp.ranks` message-passing rank threads and return the
+/// assembled output plus the run's exact communication totals.
+///
+/// `sp` must be the lowering of exactly this `plan` under `placement`
+/// ([`crate::lower::lower`] or a [`crate::LowerCache`] hit).
+pub fn run_lowered<W: DistWorkload>(
+    w: &W,
+    plan: &Plan<W::Job>,
+    placement: &Placement,
+    sp: &SuperstepPlan,
+) -> (W::Output, DistStats) {
+    let p = placement.ranks();
+    assert_eq!(sp.ranks, p, "schedule lowered for a different rank count");
+    assert_eq!(sp.waves.len(), plan.waves().len(), "schedule/plan mismatch");
+
+    // One inbound channel per rank; every rank (and the host, for scatter)
+    // holds senders to all of them.
+    let mut txs: Vec<Sender<RankMsg<W::Elem, W::RankInput>>> = Vec::with_capacity(p);
+    let mut rxs: Vec<Mailbox<W::Elem, W::RankInput>> = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(Mailbox {
+            rx,
+            stash: Vec::new(),
+        });
+    }
+    let (gather_tx, gather_rx) = channel::<(usize, W::Gather, u64)>();
+
+    // Scatter inputs (and meter them) before the ranks start.
+    let mut scatter_words = vec![0u64; p];
+    let mut inputs = Vec::with_capacity(p);
+    for (rank, slot) in scatter_words.iter_mut().enumerate() {
+        let jobs: Vec<W::Job> = plan
+            .waves()
+            .iter()
+            .flatten()
+            .filter(|s| s.proc == rank)
+            .map(|s| s.job.clone())
+            .collect();
+        let (input, words) = w.scatter(placement, rank, &jobs);
+        *slot = words;
+        inputs.push(input);
+    }
+
+    let mut gathers: Vec<Option<W::Gather>> = (0..p).map(|_| None).collect();
+    let mut gather_words = vec![0u64; p];
+    std::thread::scope(|scope| {
+        for (rank, mut mailbox) in rxs.into_iter().enumerate() {
+            let txs = txs.clone();
+            let gather_tx = gather_tx.clone();
+            scope.spawn(move || {
+                let input = mailbox.recv_input();
+                let mut state = w.init_state(placement, rank, input);
+                for (wi, wave) in plan.waves().iter().enumerate() {
+                    let wv = wi as u32;
+                    for (wb, transfers) in [
+                        (false, &sp.waves[wi].exchange),
+                        (true, &sp.waves[wi].writeback),
+                    ] {
+                        if wb {
+                            // Compute sits between the exchange and
+                            // writeback rounds of the superstep.
+                            for step in wave.iter().filter(|s| s.proc == rank) {
+                                w.run_step(rank, &mut state, &step.job);
+                            }
+                        }
+                        for t in transfers.iter().filter(|t| t.src == rank) {
+                            let parts = t
+                                .parts
+                                .iter()
+                                .map(|&(buf, region)| {
+                                    let mut data = Vec::with_capacity(region.area());
+                                    w.pack(&state, buf, region, &mut data);
+                                    (buf, region, data)
+                                })
+                                .collect();
+                            txs[t.dst]
+                                .send(RankMsg::Data {
+                                    wave: wv,
+                                    writeback: wb,
+                                    parts,
+                                })
+                                .expect("receiving rank hung up");
+                        }
+                        let expected = transfers.iter().filter(|t| t.dst == rank).count();
+                        for _ in 0..expected {
+                            for (buf, region, data) in mailbox.recv_data(wv, wb) {
+                                w.unpack(&mut state, buf, region, &data);
+                            }
+                        }
+                    }
+                    // Binary-tree barrier: ups funnel to rank 0, downs fan
+                    // back out; 2(p−1) messages, 2⌈log₂ p⌉ critical depth.
+                    let children = [2 * rank + 1, 2 * rank + 2];
+                    for _ in children.iter().filter(|&&c| c < p) {
+                        mailbox.recv_barrier(wv, true);
+                    }
+                    if rank > 0 {
+                        let parent = (rank - 1) / 2;
+                        txs[parent]
+                            .send(RankMsg::BarrierUp { wave: wv })
+                            .expect("parent rank hung up");
+                        mailbox.recv_barrier(wv, false);
+                    }
+                    for &c in children.iter().filter(|&&c| c < p) {
+                        txs[c]
+                            .send(RankMsg::BarrierDown { wave: wv })
+                            .expect("child rank hung up");
+                    }
+                }
+                let (g, words) = w.gather(placement, rank, state);
+                gather_tx
+                    .send((rank, g, words))
+                    .expect("host hung up before gather");
+            });
+        }
+        drop(gather_tx);
+        for (rank, input) in inputs.into_iter().enumerate() {
+            txs[rank]
+                .send(RankMsg::Input(input))
+                .expect("rank hung up before its input arrived");
+        }
+        for _ in 0..p {
+            let (rank, g, words) = gather_rx.recv().expect("a rank died before gathering");
+            gather_words[rank] = words;
+            gathers[rank] = Some(g);
+        }
+    });
+
+    let stats = assemble_stats(p, sp, &scatter_words, &gather_words);
+    comm::record_run(&stats.comm);
+    let output = w.finish(
+        placement,
+        gathers
+            .into_iter()
+            .map(|g| g.expect("every rank gathered"))
+            .collect(),
+    );
+    (output, stats)
+}
+
+/// Derive the run's exact traffic totals from the lowered schedule and the
+/// measured scatter/gather volumes — deterministic, no rank self-reporting.
+fn assemble_stats(
+    p: usize,
+    sp: &SuperstepPlan,
+    scatter_words: &[u64],
+    gather_words: &[u64],
+) -> DistStats {
+    let mut comm = RunComm {
+        supersteps: sp.waves.len() as u64,
+        rank_words: vec![0; p],
+        rank_messages: vec![0; p],
+        ..RunComm::default()
+    };
+    for (rank, (&sw, &gw)) in scatter_words.iter().zip(gather_words).enumerate() {
+        comm.scatter_words += sw;
+        comm.gather_words += gw;
+        comm.rank_words[rank] += sw + gw;
+        // One scatter message in, one gather message out, per rank.
+        comm.rank_messages[rank] += 2;
+        comm.data_messages += 2;
+    }
+    let depth = ceil_log2(p);
+    comm.critical_path_messages = 2 * depth; // scatter in, gather out
+    for wave in &sp.waves {
+        for (wb, transfers) in [(false, &wave.exchange), (true, &wave.writeback)] {
+            for t in transfers.iter() {
+                let words = t.words();
+                if wb {
+                    comm.writeback_words += words;
+                } else {
+                    comm.exchange_words += words;
+                }
+                comm.rank_words[t.src] += words;
+                comm.rank_words[t.dst] += words;
+                comm.rank_messages[t.src] += 1;
+                comm.rank_messages[t.dst] += 1;
+                comm.data_messages += 1;
+            }
+            if !transfers.is_empty() {
+                // Transfers of one phase fly pairwise in parallel: one
+                // message of latency on the critical path.
+                comm.critical_path_messages += 1;
+            }
+        }
+        comm.barrier_messages += 2 * (p as u64 - 1);
+        comm.critical_path_messages += 2 * depth;
+    }
+    comm.data_words =
+        comm.scatter_words + comm.exchange_words + comm.writeback_words + comm.gather_words;
+    DistStats { ranks: p, comm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_matches_tree_depth() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(16), 4);
+    }
+
+    #[test]
+    fn stats_meter_scatter_gather_and_barriers() {
+        let sp = SuperstepPlan {
+            ranks: 4,
+            waves: vec![Default::default(), Default::default()],
+        };
+        let stats = assemble_stats(4, &sp, &[10, 0, 0, 0], &[1, 2, 3, 4]);
+        assert_eq!(stats.comm.supersteps, 2);
+        assert_eq!(stats.comm.scatter_words, 10);
+        assert_eq!(stats.comm.gather_words, 10);
+        assert_eq!(stats.comm.data_words, 20);
+        assert_eq!(stats.comm.data_messages, 8);
+        assert_eq!(stats.comm.barrier_messages, 2 * 2 * 3);
+        // Empty waves still cost two tree traversals each, plus the
+        // scatter/gather hops.
+        assert_eq!(stats.comm.critical_path_messages, 2 * 2 + 2 * (2 * 2));
+        assert_eq!(stats.comm.rank_words, vec![11, 2, 3, 4]);
+        assert_eq!(stats.max_rank_words(), 11);
+    }
+}

@@ -1,0 +1,295 @@
+//! Lowering a wave-flattened [`Plan`] into a deterministic communication
+//! schedule.
+//!
+//! The schedule is derived once per (skeleton, placement) pair and shared by
+//! every run: for each wave, every step's read footprint is sharded per
+//! block-cyclic tile onto its owning rank, and each piece a step's rank does
+//! not own becomes part of an **exchange** transfer from the owner; write
+//! footprints symmetrically become **writeback** transfers to the owner.
+//! Transfers are deduplicated (two steps of a rank reading the same tile
+//! piece ship it once — footprints are recursion-aligned, so equal-or-
+//! disjoint in practice) and emitted in sorted order, so sender and receiver
+//! agree on exact message counts without any out-of-band negotiation.
+
+use crate::exec::DistWorkload;
+use crate::Region;
+use paco_core::machine::Placement;
+use paco_runtime::schedule::Plan;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One point-to-point message of a superstep: every part of `parts` is
+/// packed (in order) into a single send from `src` to `dst`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transfer {
+    /// Sending rank.
+    pub src: usize,
+    /// Receiving rank.
+    pub dst: usize,
+    /// The `(buffer, region)` pieces this message carries.
+    pub parts: Vec<(usize, Region)>,
+}
+
+impl Transfer {
+    /// Words this message carries (the sum of its parts' areas).
+    pub fn words(&self) -> u64 {
+        self.parts.iter().map(|(_, r)| r.area() as u64).sum()
+    }
+}
+
+/// The communication schedule of one wave: exchanges before compute,
+/// writebacks after.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WaveComm {
+    /// Owner → reader transfers delivering ghost operands for this wave.
+    pub exchange: Vec<Transfer>,
+    /// Writer → owner transfers returning non-owned results of this wave.
+    pub writeback: Vec<Transfer>,
+}
+
+impl WaveComm {
+    /// Words shipped by this wave's exchange phase.
+    pub fn exchange_words(&self) -> u64 {
+        self.exchange.iter().map(Transfer::words).sum()
+    }
+
+    /// Words shipped by this wave's writeback phase.
+    pub fn writeback_words(&self) -> u64 {
+        self.writeback.iter().map(Transfer::words).sum()
+    }
+}
+
+/// The complete lowered communication schedule of a plan: one [`WaveComm`]
+/// per wave, for a fixed rank count and placement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SuperstepPlan {
+    /// Number of ranks the schedule was lowered for.
+    pub ranks: usize,
+    /// Per-wave transfers, aligned with the plan's waves.
+    pub waves: Vec<WaveComm>,
+}
+
+impl SuperstepPlan {
+    /// Messages rank `rank` must receive in wave `wave`'s exchange phase.
+    pub fn incoming_exchange(&self, wave: usize, rank: usize) -> usize {
+        self.waves[wave]
+            .exchange
+            .iter()
+            .filter(|t| t.dst == rank)
+            .count()
+    }
+
+    /// Messages rank `rank` must receive in wave `wave`'s writeback phase.
+    pub fn incoming_writeback(&self, wave: usize, rank: usize) -> usize {
+        self.waves[wave]
+            .writeback
+            .iter()
+            .filter(|t| t.dst == rank)
+            .count()
+    }
+
+    /// Total exchange words across all waves.
+    pub fn exchange_words(&self) -> u64 {
+        self.waves.iter().map(WaveComm::exchange_words).sum()
+    }
+
+    /// Total writeback words across all waves.
+    pub fn writeback_words(&self) -> u64 {
+        self.waves.iter().map(WaveComm::writeback_words).sum()
+    }
+
+    /// Total point-to-point transfers (exchange + writeback) across waves.
+    pub fn transfers(&self) -> usize {
+        self.waves
+            .iter()
+            .map(|w| w.exchange.len() + w.writeback.len())
+            .sum()
+    }
+}
+
+/// Split `region` into per-tile pieces labelled with their owning rank.
+///
+/// Pieces are intersections with the placement's `block × block` tiles, so
+/// identical regions always shard into identical pieces — the canonical form
+/// the transfer dedup relies on.
+pub fn shards(placement: &Placement, region: Region) -> Vec<(usize, Region)> {
+    if region.is_empty() {
+        return Vec::new();
+    }
+    let b = placement.block();
+    let mut out = Vec::new();
+    let (tr0, tr1) = (region.r0 / b, (region.r1 - 1) / b);
+    let (tc0, tc1) = (region.c0 / b, (region.c1 - 1) / b);
+    for tr in tr0..=tr1 {
+        for tc in tc0..=tc1 {
+            let piece = Region {
+                r0: region.r0.max(tr * b),
+                r1: region.r1.min((tr + 1) * b),
+                c0: region.c0.max(tc * b),
+                c1: region.c1.min((tc + 1) * b),
+            };
+            out.push((placement.owner(tr * b, tc * b), piece));
+        }
+    }
+    out
+}
+
+/// Lower a plan's waves into a [`SuperstepPlan`] under `placement`, using
+/// the workload's per-job read/write footprints.
+pub fn lower<W: DistWorkload + ?Sized>(
+    w: &W,
+    plan: &Plan<W::Job>,
+    placement: &Placement,
+) -> SuperstepPlan {
+    let mut waves = Vec::with_capacity(plan.waves().len());
+    for wave in plan.waves() {
+        let mut exchange: BTreeMap<(usize, usize), BTreeSet<(usize, Region)>> = BTreeMap::new();
+        let mut writeback: BTreeMap<(usize, usize), BTreeSet<(usize, Region)>> = BTreeMap::new();
+        for step in wave {
+            for (buf, region) in w.reads(&step.job) {
+                for (owner, piece) in shards(placement, region) {
+                    if owner != step.proc {
+                        exchange
+                            .entry((owner, step.proc))
+                            .or_default()
+                            .insert((buf, piece));
+                    }
+                }
+            }
+            for (buf, region) in w.writes(&step.job) {
+                for (owner, piece) in shards(placement, region) {
+                    if owner != step.proc {
+                        writeback
+                            .entry((step.proc, owner))
+                            .or_default()
+                            .insert((buf, piece));
+                    }
+                }
+            }
+        }
+        let to_transfers = |map: BTreeMap<(usize, usize), BTreeSet<(usize, Region)>>| {
+            map.into_iter()
+                .map(|((src, dst), parts)| Transfer {
+                    src,
+                    dst,
+                    parts: parts.into_iter().collect(),
+                })
+                .collect()
+        };
+        waves.push(WaveComm {
+            exchange: to_transfers(exchange),
+            writeback: to_transfers(writeback),
+        });
+    }
+    SuperstepPlan {
+        ranks: placement.ranks(),
+        waves,
+    }
+}
+
+/// A point-in-time copy of a [`LowerCache`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LowerStats {
+    /// Lookups served from a cached lowered schedule.
+    pub hits: u64,
+    /// Lookups that lowered a fresh schedule and inserted it.
+    pub misses: u64,
+}
+
+/// A cache of lowered [`SuperstepPlan`]s, keyed on the skeleton payload's
+/// identity plus the placement — "skeleton lowering cached like any other
+/// skeleton": the service lowers each (shape, ranks) pair once and every
+/// later request reuses the schedule.
+///
+/// The key is the payload `Arc`'s pointer; the cache pins a clone of that
+/// `Arc` in the entry so the pointer can never be recycled while the entry
+/// lives (no ABA).
+#[derive(Default)]
+pub struct LowerCache {
+    #[allow(clippy::type_complexity)]
+    entries:
+        Mutex<HashMap<(usize, usize, usize), (Arc<dyn Any + Send + Sync>, Arc<SuperstepPlan>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for LowerCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        write!(
+            f,
+            "LowerCache(hits={}, misses={})",
+            stats.hits, stats.misses
+        )
+    }
+}
+
+impl LowerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch the lowered schedule for (`payload`, `placement`), lowering and
+    /// inserting it on first sight.  `payload` is the compiled skeleton the
+    /// plan came from; it is pinned by the entry.
+    pub fn get_or_lower<W: DistWorkload>(
+        &self,
+        payload: Arc<dyn Any + Send + Sync>,
+        w: &W,
+        plan: &Plan<W::Job>,
+        placement: &Placement,
+    ) -> Arc<SuperstepPlan> {
+        let key = (
+            Arc::as_ptr(&payload) as *const () as usize,
+            placement.ranks(),
+            placement.block(),
+        );
+        if let Some((_, sp)) = self.entries.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(sp);
+        }
+        // Lower outside the lock: lowering only reads the immutable plan, so
+        // a racing duplicate insert is merely redundant work, never wrong.
+        let sp = Arc::new(lower(w, plan, placement));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().insert(key, (payload, Arc::clone(&sp)));
+        sp
+    }
+
+    /// The cache's hit/miss counters so far.
+    pub fn stats(&self) -> LowerStats {
+        LowerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_split_per_tile_and_cover_the_region() {
+        let pl = Placement::new(4, 4);
+        let region = Region::new(2..10, 3..5);
+        let pieces = shards(&pl, region);
+        // Rows 2..10 cross tiles [0,4) and [4,8) and [8,12); cols stay in
+        // tile [0,4) and [4,8).
+        let area: usize = pieces.iter().map(|(_, p)| p.area()).sum();
+        assert_eq!(area, region.area());
+        for (owner, p) in &pieces {
+            assert!(*owner < 4);
+            assert!(!p.is_empty());
+            assert!(p.r0 >= region.r0 && p.r1 <= region.r1);
+            // A piece never crosses a tile boundary.
+            assert_eq!(p.r0 / 4, (p.r1 - 1) / 4);
+            assert_eq!(p.c0 / 4, (p.c1 - 1) / 4);
+        }
+        assert!(shards(&pl, Region::new(5..5, 0..9)).is_empty());
+    }
+}

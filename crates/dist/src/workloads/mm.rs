@@ -1,0 +1,168 @@
+//! MM-1-PIECE on the shared-nothing executor.
+//!
+//! `A` and `B` are read-only, so they ship once at scatter time: each rank
+//! receives exactly the deduplicated `A`/`B` panels its leaves multiply
+//! (the `surface/p + extra` term of `paco_mm_distributed`) installed into
+//! full-shape zero matrices.  Output and temporary blocks are owned
+//! block-cyclically; a leaf's accumulation `c += a ⊗ b` exchanges the
+//! current `c` block in, adds its contribution locally, and writes the
+//! block back to its owner — additions therefore happen in plan wave order,
+//! exactly as the shared-memory executor orders them, so sums are
+//! bit-identical even over `f64`.
+
+use super::owned_cells;
+use crate::exec::DistWorkload;
+use crate::Region;
+use paco_core::machine::Placement;
+use paco_core::matrix::Matrix;
+use paco_core::semiring::Semiring;
+use paco_matmul::{MmConfig, MmJob, MmPlan, MmRun};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn rect_region(r: paco_matmul::Rect) -> Region {
+    Region {
+        r0: r.r0,
+        r1: r.r0 + r.rows,
+        c0: r.c0,
+        c1: r.c0 + r.cols,
+    }
+}
+
+/// The MM request bound for distributed execution: both operands plus the
+/// compiled (cached) MM-1-PIECE plan.
+pub struct MmDist<S: Semiring> {
+    a: Matrix<S>,
+    b: Matrix<S>,
+    compiled: Arc<MmPlan>,
+    cfg: MmConfig,
+}
+
+impl<S: Semiring> MmDist<S> {
+    /// Bind `a ⊗ b` to an already-compiled plan (the same payload the local
+    /// backend binds through `MmRun::from_plan`).
+    pub fn new(a: Matrix<S>, b: Matrix<S>, compiled: Arc<MmPlan>, cfg: MmConfig) -> Self {
+        assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+        Self {
+            a,
+            b,
+            compiled,
+            cfg,
+        }
+    }
+}
+
+impl<S: Semiring> DistWorkload for MmDist<S> {
+    type Job = MmJob;
+    type Elem = S;
+    type RankInput = (Matrix<S>, Matrix<S>);
+    type RankState = MmRun<S>;
+    type Gather = Vec<S>;
+    type Output = Matrix<S>;
+
+    fn reads(&self, job: &MmJob) -> Vec<(usize, Region)> {
+        match job {
+            // A leaf accumulates into its output block, so the current block
+            // value is part of its read footprint; the a/b panels are local
+            // from scatter time and never exchanged.
+            MmJob::Leaf { c, .. } => vec![(c.buf, rect_region(c.rect))],
+            MmJob::Add { c, d } => vec![(c.buf, rect_region(c.rect)), (d.buf, rect_region(d.rect))],
+        }
+    }
+
+    fn writes(&self, job: &MmJob) -> Vec<(usize, Region)> {
+        match job {
+            MmJob::Leaf { c, .. } | MmJob::Add { c, .. } => vec![(c.buf, rect_region(c.rect))],
+        }
+    }
+
+    fn scatter(
+        &self,
+        _placement: &Placement,
+        _rank: usize,
+        jobs: &[MmJob],
+    ) -> ((Matrix<S>, Matrix<S>), u64) {
+        // Dedup the rank's operand panels; footprints are recursion-aligned,
+        // so equal-or-disjoint, and the word count is exact.
+        let mut a_rects: BTreeSet<Region> = BTreeSet::new();
+        let mut b_rects: BTreeSet<Region> = BTreeSet::new();
+        for job in jobs {
+            if let MmJob::Leaf { a, b, .. } = job {
+                a_rects.insert(rect_region(*a));
+                b_rects.insert(rect_region(*b));
+            }
+        }
+        let mut local_a = Matrix::filled(self.a.rows(), self.a.cols(), S::zero());
+        let mut local_b = Matrix::filled(self.b.rows(), self.b.cols(), S::zero());
+        let mut words = 0u64;
+        for (rects, src, dst) in [
+            (&a_rects, &self.a, &mut local_a),
+            (&b_rects, &self.b, &mut local_b),
+        ] {
+            for r in rects {
+                words += r.area() as u64;
+                for i in r.r0..r.r1 {
+                    for j in r.c0..r.c1 {
+                        dst.set(i, j, src.get(i, j));
+                    }
+                }
+            }
+        }
+        ((local_a, local_b), words)
+    }
+
+    fn init_state(
+        &self,
+        _placement: &Placement,
+        _rank: usize,
+        input: (Matrix<S>, Matrix<S>),
+    ) -> MmRun<S> {
+        let (local_a, local_b) = input;
+        MmRun::from_plan(
+            local_a,
+            local_b,
+            Arc::clone(&self.compiled),
+            self.cfg.clone(),
+        )
+    }
+
+    fn run_step(&self, rank: usize, state: &mut MmRun<S>, job: &MmJob) {
+        state.step(rank, job);
+    }
+
+    fn pack(&self, state: &MmRun<S>, buf: usize, region: Region, out: &mut Vec<S>) {
+        for i in region.r0..region.r1 {
+            for j in region.c0..region.c1 {
+                out.push(state.buffer_get(buf, i, j));
+            }
+        }
+    }
+
+    fn unpack(&self, state: &mut MmRun<S>, buf: usize, region: Region, data: &[S]) {
+        let mut data = data.iter();
+        for i in region.r0..region.r1 {
+            for j in region.c0..region.c1 {
+                state.buffer_set(buf, i, j, *data.next().expect("part carries its region"));
+            }
+        }
+    }
+
+    fn gather(&self, placement: &Placement, rank: usize, state: MmRun<S>) -> (Vec<S>, u64) {
+        let (n, m) = (self.a.rows(), self.b.cols());
+        let cells: Vec<S> = owned_cells(placement, rank, n, m)
+            .map(|(i, j)| state.buffer_get(0, i, j))
+            .collect();
+        let words = cells.len() as u64;
+        (cells, words)
+    }
+
+    fn finish(&self, placement: &Placement, gathers: Vec<Vec<S>>) -> Matrix<S> {
+        let (n, m) = (self.a.rows(), self.b.cols());
+        let mut fragments: Vec<_> = gathers.into_iter().map(Vec::into_iter).collect();
+        Matrix::from_fn(n, m, |i, j| {
+            fragments[placement.owner(i, j)]
+                .next()
+                .expect("gather covers every owned cell")
+        })
+    }
+}

@@ -1,0 +1,36 @@
+//! [`DistWorkload`](crate::DistWorkload) adapters over the existing
+//! shared-memory run states.
+//!
+//! Each adapter answers four questions for the executor: what `(buffer,
+//! region)` footprints a job touches (driving the lowering), how a rank's
+//! initial operands are built (`scatter`/`init_state`), how ghost regions
+//! move across ranks (`pack`/`unpack` against the rank's private tables),
+//! and how the output is assembled (`gather`/`finish`).  Compute is always
+//! the workload crate's own leaf kernel — bit-identical results come from
+//! identical kernels over identical data in identical order, not from new
+//! numerics.
+
+mod fw;
+mod lcs;
+mod mm;
+mod strassen;
+
+pub use fw::FwDist;
+pub use lcs::LcsDist;
+pub use mm::MmDist;
+pub use strassen::StrassenDist;
+
+use paco_core::machine::Placement;
+
+/// Row-major scan of the cells of an `rows × cols` buffer owned by `rank`,
+/// the canonical order scatter/gather fragments are packed in.
+pub(crate) fn owned_cells(
+    placement: &Placement,
+    rank: usize,
+    rows: usize,
+    cols: usize,
+) -> impl Iterator<Item = (usize, usize)> + '_ {
+    (0..rows)
+        .flat_map(move |i| (0..cols).map(move |j| (i, j)))
+        .filter(move |&(i, j)| placement.owner(i, j) == rank)
+}

@@ -1,0 +1,141 @@
+//! Strassen CONST-PIECES on the shared-nothing executor.
+//!
+//! The pruned-BFS tree expansion and the bottom-up combine are host-side
+//! phases of [`StrassenRun`]; what the paper distributes is the leaf
+//! multiplications.  The adapter scatters each leaf's `(Sᵣ, Tᵣ)` operand
+//! pair (2·size² words) to its assigned rank, the rank multiplies with the
+//! same sequential Strassen kernel the shared-memory executor uses, and the
+//! host gathers the size²-word products back and combines — no buffer is
+//! ever shared, and there is no exchange/writeback traffic because leaves
+//! are independent (the plan is a single wave).
+
+use crate::exec::DistWorkload;
+use crate::Region;
+use paco_core::machine::Placement;
+use paco_core::matrix::Matrix;
+use paco_core::semiring::Ring;
+use paco_matmul::{strassen_sequential_with_cutoff, StrassenRun};
+use parking_lot::Mutex;
+
+/// The Strassen request bound for distributed execution, wrapping the
+/// host-side [`StrassenRun`] whose expansion provides leaf operands and
+/// whose combine consumes the gathered products.
+pub struct StrassenDist<R: Ring> {
+    run: Mutex<Option<StrassenRun<R>>>,
+    cutoff: usize,
+}
+
+impl<R: Ring> StrassenDist<R> {
+    /// Wrap an already-bound run (`StrassenRun::from_plan*`); `cutoff` must
+    /// be the run's own base-case threshold so rank-side leaves are
+    /// bit-identical to [`StrassenRun::step`].
+    pub fn new(run: StrassenRun<R>, cutoff: usize) -> Self {
+        Self {
+            run: Mutex::new(Some(run)),
+            cutoff,
+        }
+    }
+}
+
+impl<R: Ring> DistWorkload for StrassenDist<R> {
+    type Job = usize;
+    type Elem = R;
+    type RankInput = Vec<(usize, Matrix<R>, Matrix<R>)>;
+    type RankState = Vec<(usize, Matrix<R>)>;
+    type Gather = Vec<(usize, Matrix<R>)>;
+    type Output = Matrix<R>;
+
+    fn reads(&self, _job: &usize) -> Vec<(usize, Region)> {
+        // Leaves touch only their scattered private operands.
+        Vec::new()
+    }
+
+    fn writes(&self, _job: &usize) -> Vec<(usize, Region)> {
+        Vec::new()
+    }
+
+    fn scatter(
+        &self,
+        _placement: &Placement,
+        _rank: usize,
+        jobs: &[usize],
+    ) -> (Vec<(usize, Matrix<R>, Matrix<R>)>, u64) {
+        let run = self.run.lock();
+        let run = run.as_ref().expect("scatter precedes finish");
+        let mut words = 0u64;
+        let operands = jobs
+            .iter()
+            .map(|&idx| {
+                let (a, b) = run
+                    .leaf_operands(idx)
+                    .expect("assigned leaves keep their operands");
+                words += (a.rows() * a.cols() + b.rows() * b.cols()) as u64;
+                (idx, a.clone(), b.clone())
+            })
+            .collect();
+        (operands, words)
+    }
+
+    fn init_state(
+        &self,
+        _placement: &Placement,
+        _rank: usize,
+        input: Vec<(usize, Matrix<R>, Matrix<R>)>,
+    ) -> Vec<(usize, Matrix<R>)> {
+        input
+            .into_iter()
+            .map(|(idx, a, b)| (idx, strassen_sequential_with_cutoff(&a, &b, self.cutoff)))
+            .collect()
+    }
+
+    fn run_step(&self, _rank: usize, _state: &mut Vec<(usize, Matrix<R>)>, _job: &usize) {
+        // Products are computed eagerly in `init_state` (the plan is a
+        // single wave of independent leaves, so compute order within the
+        // rank is immaterial); steps have nothing left to do.
+    }
+
+    fn pack(
+        &self,
+        _state: &Vec<(usize, Matrix<R>)>,
+        _buf: usize,
+        _region: Region,
+        _out: &mut Vec<R>,
+    ) {
+        unreachable!("strassen leaves have no cross-rank footprints")
+    }
+
+    fn unpack(
+        &self,
+        _state: &mut Vec<(usize, Matrix<R>)>,
+        _buf: usize,
+        _region: Region,
+        _data: &[R],
+    ) {
+        unreachable!("strassen leaves have no cross-rank footprints")
+    }
+
+    fn gather(
+        &self,
+        _placement: &Placement,
+        _rank: usize,
+        state: Vec<(usize, Matrix<R>)>,
+    ) -> (Vec<(usize, Matrix<R>)>, u64) {
+        let words = state
+            .iter()
+            .map(|(_, m)| (m.rows() * m.cols()) as u64)
+            .sum();
+        (state, words)
+    }
+
+    fn finish(&self, _placement: &Placement, gathers: Vec<Vec<(usize, Matrix<R>)>>) -> Matrix<R> {
+        let run = self
+            .run
+            .lock()
+            .take()
+            .expect("finish consumes the host-side run exactly once");
+        for (idx, product) in gathers.into_iter().flatten() {
+            run.install_result(idx, product);
+        }
+        run.finish()
+    }
+}

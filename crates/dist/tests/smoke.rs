@@ -1,0 +1,160 @@
+//! End-to-end agreement smoke: every workload adapter, run through the full
+//! scatter → superstep → gather pipeline, must be bit-identical to the
+//! shared-memory executor replaying the *same* plan.
+
+use paco_core::machine::Placement;
+use paco_core::matrix::Matrix;
+use paco_core::semiring::BoolSemiring;
+use paco_core::workload;
+use paco_dist::{lower, run_lowered, FwDist, LcsDist, MmDist, StrassenDist};
+use paco_dp::lcs::{plan_paco_lcs, LcsRun};
+use paco_graph::{plan_fw, FwRun};
+use paco_matmul::{plan_mm_1piece, plan_strassen, MmConfig, MmRun, StrassenOptions, StrassenRun};
+use std::sync::Arc;
+
+const RANKS: &[usize] = &[1, 2, 3, 4, 5, 8];
+
+fn placement(ranks: usize) -> Placement {
+    Placement::new(ranks, Placement::DEFAULT_BLOCK)
+}
+
+#[test]
+fn mm_distributed_matches_local_bitwise() {
+    let (n, m, k) = (48, 40, 56);
+    let a = workload::random_matrix_f64(n, k, 11);
+    let b = workload::random_matrix_f64(k, m, 12);
+    let cfg = MmConfig::default();
+
+    for &p in RANKS {
+        let compiled = Arc::new(plan_mm_1piece(n, m, k, p, &cfg));
+
+        let local = MmRun::from_plan(a.clone(), b.clone(), Arc::clone(&compiled), cfg.clone());
+        for wave in compiled.plan.waves() {
+            for step in wave {
+                local.step(step.proc, &step.job);
+            }
+        }
+        let want = local.finish();
+
+        let pl = placement(p);
+        let w = MmDist::new(a.clone(), b.clone(), Arc::clone(&compiled), cfg.clone());
+        let sp = lower(&w, &compiled.plan, &pl);
+        let (got, stats) = run_lowered(&w, &compiled.plan, &pl, &sp);
+
+        assert_eq!(stats.ranks, p);
+        assert_eq!(stats.comm.supersteps as usize, compiled.plan.waves().len());
+        for i in 0..n {
+            for j in 0..m {
+                assert!(
+                    want.get(i, j).to_bits() == got.get(i, j).to_bits(),
+                    "mm mismatch at ({i},{j}) for p={p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fw_closure_distributed_matches_local_minplus_and_bool() {
+    let n = 40;
+    for &p in RANKS {
+        let adj = workload::random_digraph(n, 0.3, 100, 21);
+        let compiled = Arc::new(plan_fw(n, p, 8));
+        let local = FwRun::from_plan(&adj, Arc::clone(&compiled), 8);
+        for wave in compiled.plan.waves() {
+            for step in wave {
+                local.step(step.proc, &step.job);
+            }
+        }
+        let want = local.finish();
+
+        let pl = placement(p);
+        let w = FwDist::new(adj.clone(), Arc::clone(&compiled), 8);
+        let sp = lower(&w, &compiled.plan, &pl);
+        let (got, _) = run_lowered(&w, &compiled.plan, &pl, &sp);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(want.get(i, j), got.get(i, j), "fw minplus ({i},{j}) p={p}");
+            }
+        }
+
+        let reach: Matrix<BoolSemiring> = workload::random_adjacency(n, 0.15, 22);
+        let localb = FwRun::from_plan(&reach, Arc::clone(&compiled), 8);
+        for wave in compiled.plan.waves() {
+            for step in wave {
+                localb.step(step.proc, &step.job);
+            }
+        }
+        let wantb = localb.finish();
+        let wb = FwDist::new(reach.clone(), Arc::clone(&compiled), 8);
+        let spb = lower(&wb, &compiled.plan, &pl);
+        let (gotb, _) = run_lowered(&wb, &compiled.plan, &pl, &spb);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(wantb.get(i, j), gotb.get(i, j), "fw bool ({i},{j}) p={p}");
+            }
+        }
+    }
+}
+
+#[test]
+fn lcs_distributed_matches_local() {
+    let a = workload::random_sequence(150, 4, 31);
+    let b = workload::random_sequence(130, 4, 32);
+    for &p in RANKS {
+        let compiled = Arc::new(plan_paco_lcs(a.len(), b.len(), p, 16));
+        let local = LcsRun::from_plan(a.clone(), b.clone(), Arc::clone(&compiled), 16);
+        for wave in compiled.plan.waves() {
+            for step in wave {
+                local.step(step.proc, &step.job);
+            }
+        }
+        let want = local.finish();
+
+        let pl = placement(p);
+        let w = LcsDist::new(a.clone(), b.clone(), Arc::clone(&compiled), 16);
+        let sp = lower(&w, &compiled.plan, &pl);
+        let (got, stats) = run_lowered(&w, &compiled.plan, &pl, &sp);
+        assert_eq!(want, got, "lcs length p={p}");
+        // Exactly one word comes back at gather: the answer.
+        assert_eq!(stats.comm.gather_words, 1);
+    }
+}
+
+#[test]
+fn strassen_distributed_matches_local_bitwise() {
+    let n = 64;
+    let a = workload::random_matrix_f64(n, n, 41);
+    let b = workload::random_matrix_f64(n, n, 42);
+    let opts = StrassenOptions {
+        cutoff: 16,
+        ..Default::default()
+    };
+    for &p in RANKS {
+        let compiled = Arc::new(plan_strassen(n, p, opts));
+        let local = StrassenRun::from_plan(a.clone(), b.clone(), Arc::clone(&compiled), 16);
+        for wave in compiled.plan.waves() {
+            for step in wave {
+                local.step(step.proc, &step.job);
+            }
+        }
+        let want = local.finish();
+
+        let pl = placement(p);
+        let run = StrassenRun::from_plan(a.clone(), b.clone(), Arc::clone(&compiled), 16);
+        let w = StrassenDist::new(run, 16);
+        let sp = lower(&w, &compiled.plan, &pl);
+        let (got, stats) = run_lowered(&w, &compiled.plan, &pl, &sp);
+        // Leaves are independent: the whole run is scatter/compute/gather.
+        assert_eq!(stats.comm.exchange_words, 0);
+        assert_eq!(stats.comm.writeback_words, 0);
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    want.get(i, j).to_bits() == got.get(i, j).to_bits(),
+                    "strassen mismatch at ({i},{j}) for p={p}"
+                );
+            }
+        }
+    }
+}

@@ -114,6 +114,12 @@ impl LcsRun {
         );
     }
 
+    /// The LCS table being filled.  The distributed backend packs and
+    /// unpacks halo rows/columns straight off this table on each rank.
+    pub fn table(&self) -> &LcsTable {
+        &self.table
+    }
+
     /// Read the LCS length off the completed table; the table storage goes
     /// back to the arena when the run was built with [`LcsRun::from_plan_in`].
     pub fn finish(self) -> u32 {

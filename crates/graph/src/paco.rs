@@ -96,6 +96,12 @@ impl<S: IdempotentSemiring> FwRun<S> {
         call.run(&self.table, self.base, &mut NullTracker, &self.addr);
     }
 
+    /// The closure table being relaxed.  The distributed backend packs and
+    /// unpacks ghost blocks straight off this table on each rank.
+    pub fn table(&self) -> &FwTable<S> {
+        &self.table
+    }
+
     /// Read the closed matrix off the completed table.
     pub fn finish(self) -> Matrix<S> {
         self.table.to_matrix()
@@ -192,7 +198,10 @@ impl LeafCall {
 
     /// The rectangles of the closure table this leaf reads (a superset of the
     /// cells it writes — every role is an in-place `⊕=` update).
-    fn read_rects(&self) -> Vec<(Range<usize>, Range<usize>)> {
+    ///
+    /// Public because the distributed backend derives each superstep's
+    /// exchange set from exactly these footprints.
+    pub fn read_rects(&self) -> Vec<(Range<usize>, Range<usize>)> {
         match self {
             LeafCall::A { r } => vec![(r.clone(), r.clone())],
             LeafCall::B { v, cols } => vec![(v.clone(), v.clone()), (v.clone(), cols.clone())],
@@ -205,8 +214,9 @@ impl LeafCall {
         }
     }
 
-    /// The single rectangle this leaf writes.
-    fn write_rect(&self) -> (Range<usize>, Range<usize>) {
+    /// The single rectangle this leaf writes (the distributed backend's
+    /// writeback set).
+    pub fn write_rect(&self) -> (Range<usize>, Range<usize>) {
         match self {
             LeafCall::A { r } => (r.clone(), r.clone()),
             LeafCall::B { v, cols } => (v.clone(), cols.clone()),

@@ -39,8 +39,11 @@ pub use baseline::blocked_parallel_mm;
 pub use co_mm::{co_mm, mm_reference};
 pub use general::{paco_mm_general, plan_paco_mm_general, PlacedCuboid};
 pub use hetero::hetero_mm;
-pub use paco_mm::{plan_mm_1piece, plan_paco_mm, Cuboid, MmConfig, MmJob, MmPlan, MmRun};
+pub use paco_mm::{
+    plan_mm_1piece, plan_paco_mm, BlockRef, Cuboid, MmConfig, MmJob, MmPlan, MmRun, Rect,
+};
 pub use po::co2_mm;
 pub use strassen::{
-    plan_strassen, strassen_po, strassen_sequential, StrassenOptions, StrassenPlan, StrassenRun,
+    plan_strassen, strassen_po, strassen_sequential, strassen_sequential_with_cutoff,
+    StrassenOptions, StrassenPlan, StrassenRun,
 };

@@ -526,6 +526,20 @@ impl<S: Semiring> MmRun<S> {
     pub fn finish(self) -> Matrix<S> {
         self.buffers.into_output()
     }
+
+    /// Read one element of buffer `buf` (0 = the output `C`, `i+1` = temp
+    /// buffer `i`).  Used by the distributed backend to pack exchange and
+    /// gather messages out of a rank's private run state.
+    pub fn buffer_get(&self, buf: usize, r: usize, c: usize) -> S {
+        self.buffers.grid_of(buf).get(r, c)
+    }
+
+    /// Write one element of buffer `buf` (same numbering as
+    /// [`MmRun::buffer_get`]).  Used by the distributed backend to unpack
+    /// received ghost blocks into a rank's private run state.
+    pub fn buffer_set(&self, buf: usize, r: usize, c: usize, v: S) {
+        self.buffers.grid_of(buf).set(r, c, v);
+    }
 }
 
 /// PACO MM-1-PIECE with an explicit configuration (fractions / throttle /

@@ -444,6 +444,23 @@ impl<R: Ring> StrassenRun<R> {
         &self.compiled.plan
     }
 
+    /// The `(Sᵣ, Tᵣ)` operand pair bound to node `idx`, if that node kept
+    /// its operands (assigned leaves do; expanded internal nodes do not).
+    ///
+    /// Used by the distributed backend to scatter each leaf's operands to
+    /// the rank that multiplies it.
+    pub fn leaf_operands(&self, idx: usize) -> Option<&(Matrix<R>, Matrix<R>)> {
+        self.operands[idx].as_ref()
+    }
+
+    /// Install an externally-computed product for node `idx`, as if
+    /// [`StrassenRun::step`] had run it.  The distributed backend gathers
+    /// leaf products from the ranks and installs them here before
+    /// [`StrassenRun::finish`] combines the tree.
+    pub fn install_result(&self, idx: usize, product: Matrix<R>) {
+        *self.results[idx].lock() = Some(product);
+    }
+
     /// Multiply leaf `idx` with the sequential Strassen kernel.
     pub fn step(&self, _proc: paco_core::proc_list::ProcId, idx: &usize) {
         let (la, lb) = self.operands[*idx]

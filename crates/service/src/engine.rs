@@ -30,6 +30,7 @@
 //! [`TicketError::Expired`](crate::TicketError::Expired) instead of
 //! occupying a slot in the pass.
 
+use crate::backend::Backend;
 use crate::cache::{PlanCacheStats, SkeletonCache};
 use crate::client::Client;
 use crate::exec::{PassCore, PendingRequest};
@@ -40,6 +41,7 @@ use paco_core::arena::{ArenaStats, ScratchArena};
 use paco_core::machine::available_processors;
 use paco_core::metrics::sched::ingress::{self, LatencyHistogram, LatencySnapshot};
 use paco_core::tuning::Tuning;
+use paco_dist::LowerCache;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -155,6 +157,11 @@ pub(crate) struct EngineShared {
     p: usize,
     tuning: Tuning,
     policy: BatchPolicy,
+    backend: Backend,
+    /// Lowered communication schedules for [`Backend::Distributed`], shared
+    /// across shards: lowering depends only on the (payload, placement)
+    /// pair, so one cache serves every shard without re-lowering.
+    lower: LowerCache,
     shards: Vec<Shard>,
     /// One plan cache per shard (same indexing as `shards`): a shard's
     /// executor and the producers routed to it share skeletons without
@@ -208,6 +215,30 @@ impl EngineShared {
     /// [`Skeleton::steps`](crate::Skeleton::steps), instead of a fresh
     /// compile).  Runs on the producer's thread: executors never compile.
     pub(crate) fn compile_on<R: Solve>(&self, shard: usize, req: R) -> Box<dyn Prepared> {
+        let req = match self.backend {
+            Backend::Local => req,
+            Backend::Distributed { ranks } => {
+                let skeleton = self.caches[shard].get_or_compile(
+                    req.shape_key(),
+                    ranks,
+                    self.tuning.epoch,
+                    || req.skeleton(&self.tuning, ranks),
+                );
+                match req.bind_dist(
+                    &skeleton,
+                    &self.tuning,
+                    ranks,
+                    &self.arenas[shard],
+                    &self.lower,
+                ) {
+                    Ok(compiled) => return compiled.inner,
+                    // No distributed binding for this request: fall back to
+                    // a local skeleton (cached separately — the processor
+                    // counts differ).
+                    Err(req) => req,
+                }
+            }
+        };
         let skeleton =
             self.caches[shard].get_or_compile(req.shape_key(), self.p, self.tuning.epoch, || {
                 req.skeleton(&self.tuning, self.p)
@@ -584,6 +615,7 @@ pub struct EngineBuilder {
     base: Option<usize>,
     policy: Option<BatchPolicy>,
     shards: Option<usize>,
+    backend: Backend,
 }
 
 impl EngineBuilder {
@@ -626,6 +658,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Execute requests on `backend` (default: [`Backend::Local`]) — same
+    /// semantics as
+    /// [`SessionBuilder::backend`](crate::SessionBuilder::backend), applied
+    /// to every shard.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        if let Backend::Distributed { ranks } = backend {
+            assert!(ranks >= 1, "a distributed engine needs at least one rank");
+        }
+        self.backend = backend;
+        self
+    }
+
     /// Spawn the executor shard(s) and finish the engine.
     ///
     /// # Panics
@@ -648,6 +692,8 @@ impl EngineBuilder {
             p,
             tuning: tuning.clone(),
             policy,
+            backend: self.backend,
+            lower: LowerCache::new(),
             shards: (0..policy.shards).map(|_| Shard::new()).collect(),
             caches: (0..policy.shards)
                 .map(|_| SkeletonCache::new(SkeletonCache::DEFAULT_CAP))

@@ -83,6 +83,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
 pub mod cache;
 pub mod client;
 pub mod engine;
@@ -93,6 +94,7 @@ pub mod session;
 pub mod solve;
 pub mod ticket;
 
+pub use backend::Backend;
 pub use cache::PlanCacheStats;
 pub use client::{Client, Overloaded, SubmitOptions};
 pub use engine::{Engine, EngineBuilder, EngineStats, ShardStats};

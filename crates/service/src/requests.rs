@@ -10,12 +10,14 @@
 //! Tuning knobs are read in both phases but never keyed — the skeleton
 //! cache covers them with [`Tuning::epoch`].
 
+use crate::backend::compile_dist;
 use crate::solve::{Compiled, ShapeKey, Skeleton, Solve, WorkloadRun};
 use paco_core::arena::ScratchArena;
 use paco_core::matrix::Matrix;
 use paco_core::proc_list::ProcId;
 use paco_core::semiring::{IdempotentSemiring, MinPlus, Ring, Semiring};
 use paco_core::tuning::Tuning;
+use paco_dist::{FwDist, LcsDist, LowerCache, MmDist, StrassenDist};
 use paco_dp::gap::{plan_gap, GapCost, GapRun};
 use paco_dp::lcs::{plan_paco_lcs, LcsRun};
 use paco_dp::one_d::{plan_one_d, OneDJob, OneDRun, Weight};
@@ -79,6 +81,21 @@ impl Solve for Lcs {
             LcsRun::from_plan_in(self.a, self.b, compiled, tuning.lcs_base, Arc::clone(arena)),
         )
     }
+    fn bind_dist(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        ranks: usize,
+        _arena: &Arc<ScratchArena>,
+        lower: &LowerCache,
+    ) -> Result<Compiled<u32>, Self> {
+        if self.a.is_empty() || self.b.is_empty() {
+            return Err(self);
+        }
+        let compiled = skeleton.payload().expect("skeleton compiled by Lcs");
+        let w = LcsDist::new(self.a, self.b, Arc::clone(&compiled), tuning.lcs_base);
+        Ok(compile_dist(w, compiled, |p| &p.plan, ranks, lower))
+    }
 }
 
 /// Path closure of a square matrix over a closed semiring with idempotent
@@ -133,6 +150,21 @@ impl<S: IdempotentSemiring> Solve for Closure<S> {
             skeleton,
             FwRun::from_plan(&self.adj, compiled, tuning.fw_base),
         )
+    }
+    fn bind_dist(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        ranks: usize,
+        _arena: &Arc<ScratchArena>,
+        lower: &LowerCache,
+    ) -> Result<Compiled<Matrix<S>>, Self> {
+        if self.adj.rows() == 0 {
+            return Err(self);
+        }
+        let compiled = skeleton.payload().expect("skeleton compiled by Closure");
+        let w = FwDist::new(self.adj, Arc::clone(&compiled), tuning.fw_base);
+        Ok(compile_dist(w, compiled, |p| &p.plan, ranks, lower))
     }
 }
 
@@ -195,6 +227,25 @@ impl<S: Semiring> Solve for MatMul<S> {
             ..MmConfig::default()
         };
         Compiled::bound(skeleton, MmRun::from_plan(self.a, self.b, compiled, cfg))
+    }
+    fn bind_dist(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        ranks: usize,
+        _arena: &Arc<ScratchArena>,
+        lower: &LowerCache,
+    ) -> Result<Compiled<Matrix<S>>, Self> {
+        if self.a.rows() == 0 || self.a.cols() == 0 || self.b.cols() == 0 {
+            return Err(self);
+        }
+        let compiled = skeleton.payload().expect("skeleton compiled by MatMul");
+        let cfg = MmConfig {
+            cutoff: tuning.mm_cutoff,
+            ..MmConfig::default()
+        };
+        let w = MmDist::new(self.a, self.b, Arc::clone(&compiled), cfg);
+        Ok(compile_dist(w, compiled, |p| &p.plan, ranks, lower))
     }
 }
 
@@ -334,6 +385,29 @@ impl<R: Ring> Solve for Strassen<R> {
                 Arc::clone(arena),
             ),
         )
+    }
+    fn bind_dist(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        ranks: usize,
+        arena: &Arc<ScratchArena>,
+        lower: &LowerCache,
+    ) -> Result<Compiled<Matrix<R>>, Self> {
+        if self.a.rows() == 0 {
+            return Err(self);
+        }
+        let compiled: Arc<paco_matmul::StrassenPlan> =
+            skeleton.payload().expect("skeleton compiled by Strassen");
+        let run = StrassenRun::from_plan_in(
+            self.a,
+            self.b,
+            Arc::clone(&compiled),
+            tuning.strassen_cutoff,
+            Arc::clone(arena),
+        );
+        let w = StrassenDist::new(run, tuning.strassen_cutoff);
+        Ok(compile_dist(w, compiled, |p| &p.plan, ranks, lower))
     }
 }
 

@@ -1,5 +1,6 @@
 //! The [`Session`]: one worker pool, one tuning config, three verbs.
 
+use crate::backend::Backend;
 use crate::cache::{PlanCacheStats, SkeletonCache};
 use crate::exec::{PassCore, PendingRequest};
 use crate::solve::{Prepared, Solve};
@@ -7,6 +8,7 @@ use crate::ticket::{self, decode, Ticket};
 use paco_core::arena::{ArenaStats, ScratchArena};
 use paco_core::machine::available_processors;
 use paco_core::tuning::Tuning;
+use paco_dist::{LowerCache, LowerStats};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -63,6 +65,10 @@ pub struct Session {
     /// buffers return at finish, so warm same-shaped passes recycle their
     /// tables/temps instead of hitting the allocator.
     arena: Arc<ScratchArena>,
+    backend: Backend,
+    /// Lowered communication schedules, keyed per (skeleton payload,
+    /// placement) — the distributed analogue of the skeleton cache.
+    lower: LowerCache,
 }
 
 impl Session {
@@ -111,6 +117,20 @@ impl Session {
         self.cache.stats()
     }
 
+    /// The backend this session executes on.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// This session's lowering-cache counters: communication schedules
+    /// served from cache vs. lowered fresh.  Always zero on
+    /// [`Backend::Local`].  Per-run traffic itself is on the global
+    /// [`paco_core::metrics::comm`] counters — snapshot them around a run
+    /// to see words/messages per rank.
+    pub fn lower_stats(&self) -> LowerStats {
+        self.lower.stats()
+    }
+
     /// This session's scratch-arena counters: buffer checkouts served from
     /// the pool (hits) vs. fresh allocations (misses).  The first pass of a
     /// shape is all misses; warm re-runs should show hits — the
@@ -122,9 +142,28 @@ impl Session {
 
     /// Compile `req` through the plan cache: reuse the cached skeleton for
     /// its shape (or compile and insert one), then bind the request's data.
+    ///
+    /// On [`Backend::Distributed`] the skeleton is compiled for `ranks`
+    /// processors and bound through [`Solve::bind_dist`]; requests without
+    /// a distributed binding fall back to a local skeleton and bind (the
+    /// cache keys the two by their differing processor counts).
     fn compile_cached<R: Solve>(&self, req: R) -> Box<dyn Prepared> {
-        let p = self.p();
         let tuning = self.core.tuning();
+        let req = match self.backend {
+            Backend::Local => req,
+            Backend::Distributed { ranks } => {
+                let skeleton =
+                    self.cache
+                        .get_or_compile(req.shape_key(), ranks, tuning.epoch, || {
+                            req.skeleton(tuning, ranks)
+                        });
+                match req.bind_dist(&skeleton, tuning, ranks, &self.arena, &self.lower) {
+                    Ok(compiled) => return compiled.inner,
+                    Err(req) => req,
+                }
+            }
+        };
+        let p = self.p();
         let skeleton = self
             .cache
             .get_or_compile(req.shape_key(), p, tuning.epoch, || req.skeleton(tuning, p));
@@ -204,6 +243,7 @@ pub struct SessionBuilder {
     procs: Option<usize>,
     tuning: Option<Tuning>,
     base: Option<usize>,
+    backend: Backend,
 }
 
 impl SessionBuilder {
@@ -230,6 +270,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Execute requests on `backend` (default: [`Backend::Local`]).  With
+    /// [`Backend::Distributed`], eligible requests (LCS, closure/APSP, MM,
+    /// Strassen) run as `ranks` shared-nothing message-passing ranks with
+    /// exact communication metering; everything else falls back to the
+    /// local pool transparently.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        if let Backend::Distributed { ranks } = backend {
+            assert!(ranks >= 1, "a distributed session needs at least one rank");
+        }
+        self.backend = backend;
+        self
+    }
+
     /// Spin up the worker pool and finish the session.
     pub fn build(self) -> Session {
         let mut tuning = self.tuning.unwrap_or_else(Tuning::from_env);
@@ -242,6 +295,8 @@ impl SessionBuilder {
             cache: SkeletonCache::new(SkeletonCache::DEFAULT_CAP),
             queue: Mutex::new(Vec::new()),
             arena: Arc::new(ScratchArena::new()),
+            backend: self.backend,
+            lower: LowerCache::new(),
         }
     }
 }

@@ -193,6 +193,34 @@ pub trait Solve {
         arena: &Arc<ScratchArena>,
     ) -> Compiled<Self::Output>;
 
+    /// Bind this request's data to an already-compiled skeleton for
+    /// execution on the shared-nothing distributed backend
+    /// ([`Backend::Distributed`](crate::Backend)) over `ranks` ranks.
+    ///
+    /// Returns `Err(self)` — the request back, untouched — when the
+    /// workload has no distributed lowering (sort, 1-D DP, GAP,
+    /// heterogeneous MM) or the instance is degenerate (empty sequences,
+    /// zero-sized matrices); the session/engine then binds it on the local
+    /// pool instead, so a distributed session never rejects a request.
+    /// `skeleton` must have been compiled by [`Solve::skeleton`] with
+    /// `p = ranks`.  `lower` caches the communication schedule per
+    /// (skeleton payload, placement), exactly as the skeleton cache covers
+    /// the plan.
+    fn bind_dist(
+        self,
+        skeleton: &Skeleton,
+        tuning: &Tuning,
+        ranks: usize,
+        arena: &Arc<ScratchArena>,
+        lower: &paco_dist::LowerCache,
+    ) -> Result<Compiled<Self::Output>, Self>
+    where
+        Self: Sized,
+    {
+        let _ = (skeleton, tuning, ranks, arena, lower);
+        Err(self)
+    }
+
     /// Compile for `p` processors under `tuning`: skeleton + bind, without
     /// a cache (and with a private single-use scratch arena).
     fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output>

@@ -1,0 +1,87 @@
+//! All-pairs shortest paths on the **distributed backend**: the same digraph
+//! closed on `Backend::Local` and on `Backend::Distributed { ranks: 4 }`,
+//! asserting the two closures are *bit-identical* — the superstep emulation
+//! replays the exact same plan through the exact same leaf kernels, so even
+//! the `f64` tropical weights match to the last bit — and printing the
+//! per-rank words/messages table from the `paco_core::metrics::comm`
+//! ledgers that every send is metered into.
+//!
+//! Run with `cargo run -p paco_examples --release --example distributed_apsp`.
+
+use paco_core::metrics::comm;
+use paco_core::workload::random_digraph;
+use paco_examples::section;
+use paco_service::{Apsp, Backend, Session};
+
+const RANKS: usize = 4;
+
+fn main() {
+    let n = 96;
+    let graph = random_digraph(n, 0.15, 100, 9);
+    println!("Distributed APSP emulation: n = {n}, ranks = {RANKS}");
+
+    section("Shared-memory run (Backend::Local)");
+    // The local twin uses the same processor count the distributed session
+    // uses ranks, so both compile the *same* plan — the precondition for
+    // bit-identity (same kernels over same data in same order).
+    let local = Session::builder().procs(RANKS).build();
+    let expect = local.run(Apsp { adj: graph.clone() });
+    println!("closed {n}x{n} digraph on {RANKS} shared-memory processors");
+
+    section("Shared-nothing run (Backend::Distributed)");
+    let words_before = comm::rank_words();
+    let messages_before = comm::rank_messages();
+    let before = comm::snapshot();
+    let dist = Session::builder()
+        .procs(1)
+        .backend(Backend::Distributed { ranks: RANKS })
+        .build();
+    let got = dist.run(Apsp { adj: graph });
+    let delta = comm::snapshot().since(&before);
+    let words = comm::rank_words();
+    let messages = comm::rank_messages();
+
+    let identical = expect
+        .data()
+        .iter()
+        .zip(got.data().iter())
+        .all(|(a, b)| a.0.to_bits() == b.0.to_bits());
+    assert!(identical, "distributed closure diverged from local");
+    println!("distributed closure is bit-identical to the local run: {identical}");
+
+    section("Communication (exact, from the comm ledgers)");
+    println!(
+        "{} supersteps, {} data messages, {} data words \
+         (scatter {} / exchange {} / writeback {} / gather {})",
+        delta.supersteps,
+        delta.data_messages,
+        delta.data_words,
+        delta.scatter_words,
+        delta.exchange_words,
+        delta.writeback_words,
+        delta.gather_words,
+    );
+    println!(
+        "{} barrier messages, {} messages on the critical path",
+        delta.barrier_messages, delta.critical_path_messages
+    );
+    println!("\n  rank       words    messages");
+    let mut total_words = 0u64;
+    let mut total_messages = 0u64;
+    for rank in 0..RANKS {
+        let w =
+            words.get(rank).copied().unwrap_or(0) - words_before.get(rank).copied().unwrap_or(0);
+        let m = messages.get(rank).copied().unwrap_or(0)
+            - messages_before.get(rank).copied().unwrap_or(0);
+        total_words += w;
+        total_messages += m;
+        println!("  {rank:>4}  {w:>10}  {m:>10}");
+    }
+    println!("   sum  {total_words:>10}  {total_messages:>10}");
+    assert!(total_words > 0, "a distributed run must ship words");
+    assert_eq!(
+        delta.runs, 1,
+        "exactly one distributed run should have been recorded"
+    );
+    println!("\nok: bit-identical output, {total_words} words across {RANKS} ranks");
+}

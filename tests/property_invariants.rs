@@ -18,6 +18,7 @@ use paco_dp::one_d::one_d_reference;
 use paco_matmul::mm_reference;
 use paco_matmul::paco_mm::plan_paco_mm_with_base;
 use paco_matmul::strassen::strassen_sequential_with_cutoff;
+use paco_runtime::schedule::{Plan, Step};
 use paco_service::{Lcs, MatMul, OneD, Session, Sort, Tuning};
 use paco_sort::{po_sample_sort, seq_sample_sort};
 use proptest::prelude::*;
@@ -213,5 +214,67 @@ proptest! {
         let session = Session::new(3);
         prop_assert_eq!(session.run(MatMul { a: a.clone(), b: id }), a.clone());
         prop_assert_eq!(session.run(MatMul { a, b: zero.clone() }), zero);
+    }
+}
+
+/// Build one arbitrary wave-flattened plan from a SplitMix64 stream:
+/// `p ∈ [1, 6]` processors, up to 5 waves of up to 8 steps each, every step
+/// pinned to a random in-range processor with a random job payload.
+fn arb_plan(state: &mut u64) -> Plan<u32> {
+    let mut next = move || {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let p = (next() as usize % 6) + 1;
+    let depth = next() as usize % 5;
+    let waves = (0..depth)
+        .map(|_| {
+            let steps = next() as usize % 8;
+            (0..steps)
+                .map(|_| Step {
+                    proc: next() as usize % p,
+                    job: next() as u32,
+                })
+                .collect()
+        })
+        .collect();
+    Plan::from_waves(p, waves)
+}
+
+/// Wave count plus, per processor, the FIFO order of
+/// `(wave, plan-index, job)` assignments across all waves.
+type ProcOrder = (usize, Vec<Vec<(usize, usize, u32)>>);
+
+/// Flatten a batched plan into what the worker pool actually observes.
+fn per_proc_order(plan: &Plan<(usize, u32)>) -> ProcOrder {
+    let mut by_proc: Vec<Vec<(usize, usize, u32)>> = vec![Vec::new(); plan.p()];
+    for (w, wave) in plan.waves().iter().enumerate() {
+        for step in wave {
+            by_proc[step.proc].push((w, step.job.0, step.job.1));
+        }
+    }
+    (plan.waves().len(), by_proc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// `Plan::batch` (owning) and `Plan::batch_refs` (borrowing) are the
+    /// same merge: identical wave counts and identical per-processor step
+    /// order for arbitrary mixes of plans with mismatched processor counts
+    /// and depths.  The service layer relies on this when it batches cached
+    /// (`Arc`ed, hence borrowed) skeletons alongside freshly built ones.
+    #[test]
+    fn batch_and_batch_refs_agree(seed in any::<u64>(), count in 0usize..6) {
+        let mut state = seed;
+        let plans: Vec<Plan<u32>> = (0..count).map(|_| arb_plan(&mut state)).collect();
+        let refs: Vec<&Plan<u32>> = plans.iter().collect();
+        let by_ref = Plan::batch_refs(&refs);
+        let by_move = Plan::batch(plans);
+        prop_assert_eq!(by_move.p(), by_ref.p());
+        prop_assert_eq!(per_proc_order(&by_move), per_proc_order(&by_ref));
     }
 }
