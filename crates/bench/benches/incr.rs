@@ -1,0 +1,127 @@
+//! Gauges (and one micro-bench) of the incremental subsystem (`paco_incr`):
+//! how much of the closure a single-edge update actually re-touches, and
+//! what the Hirschberg traceback costs over the length-only LCS.
+//!
+//! Wall-clock on the 1-core container is noise, so the committed signal is
+//! exact counters (the `incr/*` family of `paco_core::metrics`):
+//!
+//! * `incr/blocks-repropagated-ratio` — blocks swept and changed per update
+//!   over the full `⌈n/b⌉²` grid a from-scratch re-closure touches, for 32
+//!   improving single-edge updates on an `n = 256` `MinPlus` closure
+//!   (`b = 32`).  The incremental path only earns its keep while this stays
+//!   **well under 0.5**;
+//! * `incr/blocks-probed-ratio` — the same numerator before the
+//!   changed-block filter (dirty-rectangle probes), an upper bound on the
+//!   sweep work;
+//! * `incr/frontier-rows-mean`, `incr/frontier-cols-mean` — mean dirty
+//!   rows/columns per update (of `n = 256`), the raw frontier sparsity the
+//!   block ratio derives from;
+//! * `incr/updates-incremental`, `incr/full-fallbacks` — how the 32-update
+//!   stream split between the two paths (all-incremental expected: 32 / 0);
+//! * `incr/traceback-overhead` — DP cells the full `LcsTrace` recovery
+//!   visits over the cells of the length-only reference on the same
+//!   `n = 2048` related pair (Hirschberg's bound: ≈ 2);
+//! * `incr/traceback-bytes` — bytes of edit script the traceback returns
+//!   (the linear-space point of Hirschberg: O(n + m), not O(n·m)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paco_core::metrics;
+use paco_core::semiring::MinPlus;
+use paco_core::tuning::{INCR_BLOCK, INCR_FALLBACK_PERCENT};
+use paco_core::workload::{random_digraph, related_sequences};
+use paco_dp::lcs::hirschberg;
+use paco_service::{ClosedState, EdgeUpdate};
+
+const N: usize = 256;
+const FW_BASE: usize = 64;
+const UPDATES: usize = 32;
+
+/// Draw the next single-edge update against the *current* closure: a
+/// shortcut edge `(u, v)` of weight `d(u, v) − 1`, i.e. the ordinary "a
+/// link got slightly faster" event.  Modest improvements are what the
+/// dirty-frontier path is for — a drastically cheaper edge reroutes half
+/// the graph and correctly takes the full-re-closure fallback instead.
+fn next_update(
+    state: &ClosedState<MinPlus>,
+    next: &mut impl FnMut() -> u64,
+) -> EdgeUpdate<MinPlus> {
+    let n = state.n();
+    loop {
+        let u = next() as usize % n;
+        let v = (u + 1 + next() as usize % (n - 1)) % n;
+        let d = state.closed()[(u, v)].0;
+        if d.is_finite() && d > 1.0 {
+            return EdgeUpdate::new(u, v, MinPlus(d - 1.0));
+        }
+    }
+}
+
+fn bench_incr(c: &mut Criterion) {
+    // One timed point so `cargo bench -- incr` still produces a wall-clock
+    // row: close + one single-edge update batch at a small size.
+    let mut group = c.benchmark_group("incr");
+    group.sample_size(10);
+    let small = random_digraph(96, 0.15, 50, 5);
+    group.bench_function("close-plus-single-update", |bench| {
+        bench.iter(|| {
+            let mut state = ClosedState::close(small.clone(), FW_BASE);
+            state.apply_batch(
+                &[EdgeUpdate::new(3, 77, MinPlus(1.0))],
+                INCR_BLOCK,
+                INCR_FALLBACK_PERCENT,
+                FW_BASE,
+            )
+        })
+    });
+    group.finish();
+
+    // The committed gauges: 32 improving single-edge updates on n = 256,
+    // applied one at a time (the online arrival pattern), block = 32.
+    let adj = random_digraph(N, 0.15, 50, 17);
+    let mut state = ClosedState::close(adj, FW_BASE);
+    let mut seed = 23u64;
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let before = metrics::incr::snapshot();
+    for _ in 0..UPDATES {
+        let update = next_update(&state, &mut next);
+        state.apply_batch(&[update], INCR_BLOCK, INCR_FALLBACK_PERCENT, FW_BASE);
+    }
+    let delta = metrics::incr::snapshot().since(&before);
+    criterion::record_metric("incr/blocks-repropagated-ratio", delta.repropagated_ratio());
+    criterion::record_metric(
+        "incr/blocks-probed-ratio",
+        delta.blocks_probed as f64 / delta.blocks_total as f64,
+    );
+    criterion::record_metric(
+        "incr/frontier-rows-mean",
+        delta.frontier_rows as f64 / delta.updates_incremental.max(1) as f64,
+    );
+    criterion::record_metric(
+        "incr/frontier-cols-mean",
+        delta.frontier_cols as f64 / delta.updates_incremental.max(1) as f64,
+    );
+    criterion::record_metric("incr/updates-incremental", delta.updates_incremental as f64);
+    criterion::record_metric("incr/full-fallbacks", delta.full_fallbacks as f64);
+
+    // Traceback cost vs. the length-only DP on one n = 2048 related pair.
+    let (a, b) = related_sequences(2048, 4, 0.2, 7);
+    let before = metrics::incr::snapshot();
+    let script = hirschberg(&a, &b);
+    let delta = metrics::incr::snapshot().since(&before);
+    let plain_cells = (a.len() * b.len()) as f64;
+    criterion::record_metric(
+        "incr/traceback-overhead",
+        delta.trace_cells as f64 / plain_cells,
+    );
+    criterion::record_metric("incr/traceback-bytes", delta.trace_bytes as f64);
+    assert!(!script.is_empty());
+}
+
+criterion_group!(benches, bench_incr);
+criterion_main!(benches);

@@ -54,6 +54,8 @@ const COUNTER_MARKERS: &[&str] = &[
     "overhead",
     "critical-path",
     "leaf-generic",
+    "fallbacks",    // incr/full-fallbacks
+    "repropagated", // incr/blocks-repropagated-ratio
 ];
 
 /// True for gauges the soft gate enforces (see [`COUNTER_MARKERS`]).

@@ -27,7 +27,9 @@
 //!   contract, as they are for `f64::min`/`max` themselves).
 
 use crate::matrix::{MatMut, MatRef};
-use crate::semiring::{BoolSemiring, MaxPlus, MinPlus, WrappingRing};
+use crate::semiring::{
+    BoolSemiring, Bottleneck, CountMod, MaxPlus, MinPlus, Viterbi, WrappingRing,
+};
 
 mod sealed {
     pub trait Sealed {}
@@ -37,6 +39,9 @@ mod sealed {
     impl Sealed for crate::semiring::MinPlus {}
     impl Sealed for crate::semiring::MaxPlus {}
     impl Sealed for crate::semiring::BoolSemiring {}
+    impl Sealed for crate::semiring::Viterbi {}
+    impl Sealed for crate::semiring::Bottleneck {}
+    impl<const M: u64> Sealed for crate::semiring::CountMod<M> {}
 }
 
 /// Per-instance fast-path hooks the leaf kernels consult before running
@@ -178,6 +183,69 @@ impl SpecializedKernel for BoolSemiring {
     }
 }
 
+impl SpecializedKernel for Viterbi {
+    const SPECIALIZED: bool = true;
+
+    #[inline]
+    fn relax_row(dst: &mut [Viterbi], w: Viterbi, src: &[Viterbi]) -> bool {
+        debug_assert_eq!(dst.len(), src.len());
+        if w.0 == 0.0 {
+            // w is the annihilator (likelihoods are non-negative, so
+            // d ⊕ (0 ⊗ s) = max(d, 0) = d): a no-op row.
+            return true;
+        }
+        for (d, s) in dst.iter_mut().zip(src) {
+            // Compare-select = x86 `maxpd`; see the `MinPlus` hook.
+            let c = w.0 * s.0;
+            d.0 = if c > d.0 { c } else { d.0 };
+        }
+        true
+    }
+
+    #[inline]
+    fn relax_row_aliased(dst: &mut [Viterbi], w: Viterbi) -> bool {
+        if w.0 == 0.0 {
+            return true;
+        }
+        for d in dst.iter_mut() {
+            let c = w.0 * d.0;
+            d.0 = if c > d.0 { c } else { d.0 };
+        }
+        true
+    }
+}
+
+impl SpecializedKernel for Bottleneck {
+    const SPECIALIZED: bool = true;
+
+    #[inline]
+    fn relax_row(dst: &mut [Bottleneck], w: Bottleneck, src: &[Bottleneck]) -> bool {
+        debug_assert_eq!(dst.len(), src.len());
+        if w.0 == f64::NEG_INFINITY {
+            // min(−∞, s) = −∞ and d ⊕ −∞ = d: a no-op row.
+            return true;
+        }
+        for (d, s) in dst.iter_mut().zip(src) {
+            // min then max compare-select (`minpd` + `maxpd`).
+            let c = if w.0 < s.0 { w.0 } else { s.0 };
+            d.0 = if c > d.0 { c } else { d.0 };
+        }
+        true
+    }
+
+    #[inline]
+    fn relax_row_aliased(_dst: &mut [Bottleneck], _w: Bottleneck) -> bool {
+        // max(d, min(w, d)) = d for every w: the aliased row is always a
+        // no-op, like the boolean semiring's.
+        true
+    }
+}
+
+// `CountMod` keeps the generic defaults: modular reduction in the inner loop
+// has no branch-free compare-select form, and the closure paths reject it
+// anyway (not idempotent).
+impl<const M: u64> SpecializedKernel for CountMod<M> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,11 +295,54 @@ mod tests {
     }
 
     #[test]
+    fn viterbi_and_bottleneck_relax_match_generic() {
+        let v_src: Vec<Viterbi> = [0.5, 1.0, 0.0, 0.25].iter().map(|&v| Viterbi(v)).collect();
+        for w in [Viterbi(0.0), Viterbi(0.5), Viterbi(1.0)] {
+            let mut spec: Vec<Viterbi> =
+                [0.125, 0.0, 1.0, 0.5].iter().map(|&v| Viterbi(v)).collect();
+            let mut gen = spec.clone();
+            assert!(Viterbi::relax_row(&mut spec, w, &v_src));
+            generic_relax(&mut gen, w, &v_src);
+            assert_eq!(spec, gen, "w = {w:?}");
+        }
+
+        let b_src: Vec<Bottleneck> = [3.0, f64::INFINITY, -1.0, f64::NEG_INFINITY]
+            .iter()
+            .map(|&v| Bottleneck(v))
+            .collect();
+        for w in [
+            Bottleneck(f64::NEG_INFINITY),
+            Bottleneck(2.0),
+            Bottleneck(f64::INFINITY),
+        ] {
+            let mut spec: Vec<Bottleneck> = [0.0, -5.0, 4.0, f64::NEG_INFINITY]
+                .iter()
+                .map(|&v| Bottleneck(v))
+                .collect();
+            let mut gen = spec.clone();
+            assert!(Bottleneck::relax_row(&mut spec, w, &b_src));
+            generic_relax(&mut gen, w, &b_src);
+            assert_eq!(spec, gen, "w = {w:?}");
+            // The aliased row must be the no-op the hook claims it is.
+            let before = spec.clone();
+            assert!(Bottleneck::relax_row_aliased(&mut spec, w));
+            assert_eq!(spec, before);
+        }
+    }
+
+    #[test]
     fn unspecialized_instances_report_defaults() {
         // Dispatch counters must report these as generic (compile-time
         // constants, checked via the runtime hooks below to keep clippy's
         // constant-assertion lint quiet).
-        assert_eq!([f32::SPECIALIZED, WrappingRing::SPECIALIZED], [false; 2]);
+        assert_eq!(
+            [
+                f32::SPECIALIZED,
+                WrappingRing::SPECIALIZED,
+                CountMod::<7>::SPECIALIZED
+            ],
+            [false; 3]
+        );
         let mut dst = [WrappingRing(1), WrappingRing(2)];
         let src = [WrappingRing(3), WrappingRing(4)];
         assert!(!WrappingRing::relax_row(&mut dst, WrappingRing(5), &src));

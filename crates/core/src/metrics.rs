@@ -940,6 +940,181 @@ pub mod comm {
     }
 }
 
+pub mod incr {
+    //! Process-wide counters of the incremental subsystem (`paco_incr`).
+    //!
+    //! What makes incrementality *measurable* on a 1-core container is exact
+    //! counting, not wall-clock (the same argument as [`super::comm`]): an
+    //! edge update that re-propagates 3 of 64 dirty blocks is incremental
+    //! whatever the clock says.  Every incremental closure and traceback
+    //! tallies here — global atomics in the [`super::comm`] style, exact for
+    //! the process, snapshot-diffed per run by the benches.
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static CLOSES: AtomicU64 = AtomicU64::new(0);
+    static UPDATE_BATCHES: AtomicU64 = AtomicU64::new(0);
+    static UPDATES_INCREMENTAL: AtomicU64 = AtomicU64::new(0);
+    static UPDATES_FULL: AtomicU64 = AtomicU64::new(0);
+    static FULL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+    static BLOCKS_PROBED: AtomicU64 = AtomicU64::new(0);
+    static BLOCKS_REPROPAGATED: AtomicU64 = AtomicU64::new(0);
+    static BLOCKS_TOTAL: AtomicU64 = AtomicU64::new(0);
+    static FRONTIER_ROWS: AtomicU64 = AtomicU64::new(0);
+    static FRONTIER_COLS: AtomicU64 = AtomicU64::new(0);
+    static TRACE_RUNS: AtomicU64 = AtomicU64::new(0);
+    static TRACE_CELLS: AtomicU64 = AtomicU64::new(0);
+    static TRACE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// A point-in-time copy of the incremental-subsystem counters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct IncrSnapshot {
+        /// Closed-graph handles materialized (full initial closures).
+        pub closes: u64,
+        /// Edge-update batches applied.
+        pub update_batches: u64,
+        /// Updates served by dirty-block re-propagation.
+        pub updates_incremental: u64,
+        /// Updates absorbed by a full re-closure fallback.
+        pub updates_full: u64,
+        /// Full re-closures triggered (ineligible update or dirty frontier
+        /// over the [`Tuning`](crate::tuning::Tuning) threshold).
+        pub full_fallbacks: u64,
+        /// Dirty blocks examined by re-propagation sweeps.
+        pub blocks_probed: u64,
+        /// Probed blocks in which at least one entry actually changed.
+        pub blocks_repropagated: u64,
+        /// Total grid blocks a full re-closure of each incremental update
+        /// would have rewritten — the denominator of the
+        /// `incr/blocks-repropagated-ratio` gauge.
+        pub blocks_total: u64,
+        /// Dirty frontier rows summed over incremental updates.
+        pub frontier_rows: u64,
+        /// Dirty frontier columns summed over incremental updates.
+        pub frontier_cols: u64,
+        /// Hirschberg traceback runs.
+        pub trace_runs: u64,
+        /// DP cells evaluated by tracebacks (≈ 2·n·m per run; plain LCS
+        /// evaluates n·m, the linear-space recovery pays the rest).
+        pub trace_cells: u64,
+        /// Bytes of edit script produced by tracebacks.
+        pub trace_bytes: u64,
+    }
+
+    impl IncrSnapshot {
+        /// Counter deltas since an earlier snapshot.
+        pub fn since(&self, earlier: &IncrSnapshot) -> IncrSnapshot {
+            IncrSnapshot {
+                closes: self.closes - earlier.closes,
+                update_batches: self.update_batches - earlier.update_batches,
+                updates_incremental: self.updates_incremental - earlier.updates_incremental,
+                updates_full: self.updates_full - earlier.updates_full,
+                full_fallbacks: self.full_fallbacks - earlier.full_fallbacks,
+                blocks_probed: self.blocks_probed - earlier.blocks_probed,
+                blocks_repropagated: self.blocks_repropagated - earlier.blocks_repropagated,
+                blocks_total: self.blocks_total - earlier.blocks_total,
+                frontier_rows: self.frontier_rows - earlier.frontier_rows,
+                frontier_cols: self.frontier_cols - earlier.frontier_cols,
+                trace_runs: self.trace_runs - earlier.trace_runs,
+                trace_cells: self.trace_cells - earlier.trace_cells,
+                trace_bytes: self.trace_bytes - earlier.trace_bytes,
+            }
+        }
+
+        /// Blocks actually rewritten as a fraction of what full re-closures
+        /// would have rewritten (0 when nothing incremental ran).
+        pub fn repropagated_ratio(&self) -> f64 {
+            if self.blocks_total == 0 {
+                0.0
+            } else {
+                self.blocks_repropagated as f64 / self.blocks_total as f64
+            }
+        }
+    }
+
+    /// Record one full initial closure (handle materialization).
+    pub fn record_close() {
+        CLOSES.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one applied edge-update batch's totals.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_batch(
+        incremental: u64,
+        full: u64,
+        fallbacks: u64,
+        probed: u64,
+        repropagated: u64,
+        total: u64,
+        frontier_rows: u64,
+        frontier_cols: u64,
+    ) {
+        UPDATE_BATCHES.fetch_add(1, Ordering::Relaxed);
+        UPDATES_INCREMENTAL.fetch_add(incremental, Ordering::Relaxed);
+        UPDATES_FULL.fetch_add(full, Ordering::Relaxed);
+        FULL_FALLBACKS.fetch_add(fallbacks, Ordering::Relaxed);
+        BLOCKS_PROBED.fetch_add(probed, Ordering::Relaxed);
+        BLOCKS_REPROPAGATED.fetch_add(repropagated, Ordering::Relaxed);
+        BLOCKS_TOTAL.fetch_add(total, Ordering::Relaxed);
+        FRONTIER_ROWS.fetch_add(frontier_rows, Ordering::Relaxed);
+        FRONTIER_COLS.fetch_add(frontier_cols, Ordering::Relaxed);
+    }
+
+    /// Record one Hirschberg traceback's DP cells and script bytes.
+    pub fn record_trace(cells: u64, bytes: u64) {
+        TRACE_RUNS.fetch_add(1, Ordering::Relaxed);
+        TRACE_CELLS.fetch_add(cells, Ordering::Relaxed);
+        TRACE_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Read the current process-wide incremental counters at once.
+    pub fn snapshot() -> IncrSnapshot {
+        IncrSnapshot {
+            closes: CLOSES.load(Ordering::Relaxed),
+            update_batches: UPDATE_BATCHES.load(Ordering::Relaxed),
+            updates_incremental: UPDATES_INCREMENTAL.load(Ordering::Relaxed),
+            updates_full: UPDATES_FULL.load(Ordering::Relaxed),
+            full_fallbacks: FULL_FALLBACKS.load(Ordering::Relaxed),
+            blocks_probed: BLOCKS_PROBED.load(Ordering::Relaxed),
+            blocks_repropagated: BLOCKS_REPROPAGATED.load(Ordering::Relaxed),
+            blocks_total: BLOCKS_TOTAL.load(Ordering::Relaxed),
+            frontier_rows: FRONTIER_ROWS.load(Ordering::Relaxed),
+            frontier_cols: FRONTIER_COLS.load(Ordering::Relaxed),
+            trace_runs: TRACE_RUNS.load(Ordering::Relaxed),
+            trace_cells: TRACE_CELLS.load(Ordering::Relaxed),
+            trace_bytes: TRACE_BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn incr_counters_accumulate_and_diff() {
+            let before = snapshot();
+            record_close();
+            record_batch(3, 1, 1, 12, 4, 192, 9, 7);
+            record_trace(2048, 96);
+            let delta = snapshot().since(&before);
+            assert_eq!(delta.closes, 1);
+            assert_eq!(delta.update_batches, 1);
+            assert_eq!(delta.updates_incremental, 3);
+            assert_eq!(delta.updates_full, 1);
+            assert_eq!(delta.full_fallbacks, 1);
+            assert_eq!(delta.blocks_probed, 12);
+            assert_eq!(delta.blocks_repropagated, 4);
+            assert_eq!(delta.blocks_total, 192);
+            assert!((delta.repropagated_ratio() - 4.0 / 192.0).abs() < 1e-12);
+            assert_eq!((delta.frontier_rows, delta.frontier_cols), (9, 7));
+            assert_eq!(
+                (delta.trace_runs, delta.trace_cells, delta.trace_bytes),
+                (1, 2048, 96)
+            );
+        }
+    }
+}
+
 /// Per-processor tallies of an arbitrary additive quantity (work, cache misses,
 /// bytes moved, tasks executed, ...).
 #[derive(Clone, Debug, Default, PartialEq)]

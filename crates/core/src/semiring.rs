@@ -20,6 +20,12 @@
 //! * [`MinPlus`] / [`MaxPlus`] — tropical semirings (shortest/longest paths,
 //!   dynamic programming on a semiring).
 //! * [`BoolSemiring`] — the boolean (∨, ∧) semiring (transitive closure).
+//! * [`Viterbi`] — the (max, ×) semiring over non-negative likelihoods
+//!   (most-probable paths).
+//! * [`Bottleneck`] — the (max, min) semiring (widest-path / capacity
+//!   closure).
+//! * [`CountMod`] — path counting (+, ×) over ℤ/Mℤ; *not* idempotent, but an
+//!   exact [`Ring`], so it runs through the classic-MM and Strassen paths.
 
 use std::fmt::Debug;
 
@@ -68,6 +74,10 @@ pub trait IdempotentSemiring: Semiring {}
 impl IdempotentSemiring for MinPlus {}
 impl IdempotentSemiring for MaxPlus {}
 impl IdempotentSemiring for BoolSemiring {}
+impl IdempotentSemiring for Viterbi {}
+impl IdempotentSemiring for Bottleneck {}
+// `CountMod` is deliberately *not* idempotent: `a + a = 2a mod M ≠ a` in
+// general, so the in-place closure algorithms reject it at compile time.
 
 /// A semiring with additive inverses (a ring), as required by Strassen.
 pub trait Ring: Semiring {
@@ -288,6 +298,125 @@ impl Semiring for BoolSemiring {
     }
 }
 
+/// The Viterbi (max, ×) semiring over **non-negative** likelihoods:
+/// `⊕ = max`, `⊗ = ×`, `0 = 0.0`, `1 = 1.0`.
+///
+/// Matrix closure over [`Viterbi`] computes most-probable paths (each edge
+/// carries a transition likelihood, a path's likelihood is the product of
+/// its edges).  Distributivity `a ⊗ max(b, c) = max(a⊗b, a⊗c)` needs `⊗` to
+/// be monotone, which multiplication only is on non-negative operands — the
+/// laws (and the kernels) therefore assume elements in `[0, ∞)`; keeping
+/// likelihoods in `[0, 1]` additionally makes every cycle non-improving, so
+/// closures converge.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Viterbi(pub f64);
+
+impl Semiring for Viterbi {
+    #[inline]
+    fn zero() -> Self {
+        Viterbi(0.0)
+    }
+    #[inline]
+    fn one() -> Self {
+        Viterbi(1.0)
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Viterbi(self.0.max(rhs.0))
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Viterbi(self.0 * rhs.0)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Viterbi(self.0.max(a.0 * b.0))
+    }
+}
+
+/// The bottleneck (max, min) semiring: `⊕ = max`, `⊗ = min`, `0 = −∞`,
+/// `1 = +∞`.
+///
+/// Matrix closure over [`Bottleneck`] computes widest paths: a path's value
+/// is its narrowest edge (the capacity bottleneck) and `⊕` keeps the widest
+/// alternative.  Both operations are selections over a total order, so every
+/// algorithm variant is bit-exact — no floating-point slack anywhere.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Bottleneck(pub f64);
+
+impl Semiring for Bottleneck {
+    #[inline]
+    fn zero() -> Self {
+        Bottleneck(f64::NEG_INFINITY)
+    }
+    #[inline]
+    fn one() -> Self {
+        Bottleneck(f64::INFINITY)
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Bottleneck(self.0.max(rhs.0))
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Bottleneck(self.0.min(rhs.0))
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        Bottleneck(self.0.max(a.0.min(b.0)))
+    }
+}
+
+/// Path counting over ℤ/Mℤ: `⊕ = + mod M`, `⊗ = × mod M`, for a compile-time
+/// modulus `M ≥ 1`.
+///
+/// Matrix powers over [`CountMod`] count walks by length modulo `M` — the
+/// classic "number of paths" scenario kept exact by reducing eagerly.  It is
+/// a full (commutative) [`Ring`], so it also runs through Strassen, and it is
+/// **not** idempotent (`a ⊕ a = 2a`), so the closure entry points reject it
+/// at compile time via the missing [`IdempotentSemiring`] marker.
+///
+/// The stored value is kept reduced (`< M`) by every constructor and
+/// operation; build values with [`CountMod::new`] rather than the raw tuple
+/// constructor to preserve that invariant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct CountMod<const M: u64>(pub u64);
+
+impl<const M: u64> CountMod<M> {
+    /// A reduced element of ℤ/Mℤ.
+    #[inline]
+    pub fn new(v: u64) -> Self {
+        CountMod(v % M)
+    }
+}
+
+impl<const M: u64> Semiring for CountMod<M> {
+    #[inline]
+    fn zero() -> Self {
+        CountMod(0)
+    }
+    #[inline]
+    fn one() -> Self {
+        CountMod(1 % M)
+    }
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        // Operands are reduced, so the widened sum cannot overflow.
+        CountMod(((self.0 as u128 + rhs.0 as u128) % M as u128) as u64)
+    }
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        CountMod(((self.0 as u128 * rhs.0 as u128) % M as u128) as u64)
+    }
+}
+
+impl<const M: u64> Ring for CountMod<M> {
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        CountMod(((M as u128 + self.0 as u128 - rhs.0 as u128) % M as u128) as u64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +474,47 @@ mod tests {
         check(&[MinPlus(0.0), MinPlus(3.5), MinPlus(-1.0), MinPlus::zero()]);
         check(&[MaxPlus(-2.0), MaxPlus(7.0), MaxPlus::zero()]);
         check(&[BoolSemiring(false), BoolSemiring(true)]);
+        check(&[Viterbi(0.25), Viterbi(1.0), Viterbi::zero(), Viterbi::one()]);
+        check(&[
+            Bottleneck(3.0),
+            Bottleneck(-1.0),
+            Bottleneck::zero(),
+            Bottleneck::one(),
+        ]);
+    }
+
+    #[test]
+    fn viterbi_axioms_on_nonnegative_values() {
+        let vals: Vec<Viterbi> = [0.0, 0.125, 0.5, 1.0, 2.0]
+            .iter()
+            .map(|&v| Viterbi(v))
+            .collect();
+        // Power-of-two likelihoods: products are exact, so the full axiom
+        // battery (incl. distributivity) holds bit-for-bit.
+        semiring_axioms(&vals);
+    }
+
+    #[test]
+    fn bottleneck_axioms() {
+        let vals: Vec<Bottleneck> = [f64::NEG_INFINITY, -2.0, 0.0, 5.5, f64::INFINITY]
+            .iter()
+            .map(|&v| Bottleneck(v))
+            .collect();
+        semiring_axioms(&vals);
+    }
+
+    #[test]
+    fn count_mod_axioms_and_ring_laws() {
+        let vals: Vec<CountMod<7>> = (0..7).map(CountMod::<7>::new).collect();
+        semiring_axioms(&vals);
+        for &a in &vals {
+            assert_eq!(a.sub(a), CountMod::zero());
+            assert_eq!(a.add(a.neg()), CountMod::zero());
+            assert!(a.0 < 7, "values stay reduced");
+        }
+        // Degenerate modulus: ℤ/1ℤ collapses to the zero ring.
+        assert_eq!(CountMod::<1>::one(), CountMod::<1>::zero());
+        assert_eq!(CountMod::<1>::new(42), CountMod::<1>::zero());
     }
 
     #[test]

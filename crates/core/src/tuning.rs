@@ -31,6 +31,17 @@ pub const MM_BASE: usize = 64;
 /// cache-oblivious kernel.
 pub const STRASSEN_CUTOFF: usize = 64;
 
+/// Default side of the dirty-block accounting grid used by the incremental
+/// closure (`paco_incr`): frontier bookkeeping and the `incr/*` counters are
+/// tracked per `INCR_BLOCK × INCR_BLOCK` tile.
+pub const INCR_BLOCK: usize = 32;
+
+/// Default dirty-frontier threshold of the incremental closure, in percent
+/// of the total block grid: when one update's dirty rectangle probes more
+/// than this fraction of all blocks, `paco_incr` re-closes the adjacency
+/// from scratch instead of re-propagating.
+pub const INCR_FALLBACK_PERCENT: usize = 60;
+
 /// Environment variable overriding every base/grain size at once
 /// (`PACO_BASE=<n>`), used by the ablation bench sweeps.
 pub const BASE_ENV_VAR: &str = "PACO_BASE";
@@ -69,6 +80,16 @@ pub struct Tuning {
     /// Sort oversampling ratio `k`; `None` derives `max(16, ⌈2·ln n⌉)` from
     /// the input length ([`Tuning::sort_k`]).
     pub sort_oversampling: Option<usize>,
+    /// Side of the dirty-block accounting grid of the incremental closure
+    /// (`paco_incr`): re-propagation work and the `incr/*` counters are
+    /// tracked per `incr_block × incr_block` tile.
+    pub incr_block: usize,
+    /// Dirty-frontier fallback threshold of the incremental closure, in
+    /// percent of the total block grid (0 = always re-close from scratch,
+    /// 100 = re-propagate whatever the frontier; both paths produce
+    /// bit-identical closures, this knob only trades bookkeeping for bulk
+    /// recompute).  Kept as an integer percentage so [`Tuning`] stays `Eq`.
+    pub incr_fallback_percent: usize,
     /// Record scheduling counters (`paco_core::metrics::sched`) around every
     /// service run so callers can inspect wave/barrier costs.
     pub trace: bool,
@@ -97,6 +118,8 @@ impl Default for Tuning {
             strassen_gamma: None,
             gap_blocks: None,
             sort_oversampling: None,
+            incr_block: INCR_BLOCK,
+            incr_fallback_percent: INCR_FALLBACK_PERCENT,
             trace: true,
             epoch: 0,
         }
@@ -189,6 +212,8 @@ mod tests {
         assert_eq!(t.mm_cutoff, 64);
         assert_eq!(t.strassen_cutoff, 64);
         assert_eq!(t.strassen_parallel_base, 128);
+        assert_eq!(t.incr_block, 32);
+        assert_eq!(t.incr_fallback_percent, 60);
     }
 
     #[test]

@@ -15,12 +15,17 @@
 //!
 //! The `*_traced` variants replay the identical schedules through the ideal
 //! distributed cache model to measure `Q^Σ_p` / `Q^max_p`.
+//!
+//! [`trace::hirschberg`] recovers the actual alignment (an [`EditOp`] script)
+//! in linear space — the `LcsTrace` service request of the incremental
+//! subsystem builds on it.
 
 pub mod kernel;
 pub mod pa;
 pub mod paco;
 pub mod partition;
 pub mod po;
+pub mod trace;
 
 pub use kernel::{
     co_block, lcs_reference, lcs_sequential_co, lcs_sequential_traced, LcsAddr, LcsTable,
@@ -30,6 +35,7 @@ pub use pa::{lcs_pa, lcs_pa_traced};
 pub use paco::{execute_plan, lcs_paco_traced, LcsRun};
 pub use partition::{plan_paco_lcs, PacoLcsPlan, Region};
 pub use po::lcs_po;
+pub use trace::{hirschberg, lcs_of_script, replay, EditOp};
 
 #[cfg(test)]
 mod tests {

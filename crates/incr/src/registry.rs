@@ -1,0 +1,173 @@
+//! Type-erased storage of closed-graph state behind small `Copy` handles.
+//!
+//! A [`ClosedState`] can be megabytes of matrix; requests flowing through
+//! `paco_service` must stay cheap to clone and `Send`.  The registry keeps
+//! each state behind an `Arc<Mutex<...>>`, hands out a [`ClosedGraph`]
+//! handle (an id plus a phantom semiring type), and recovers the concrete
+//! state by downcasting — so one registry serves every semiring
+//! instantiation at once.  The handle id doubles as the Engine's routing
+//! affinity (`id % shards`): updates for one graph land on one shard, but
+//! correctness never depends on routing — the mutex serializes access
+//! wherever the request runs.
+
+use crate::closed::ClosedState;
+use paco_core::semiring::IdempotentSemiring;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A cheap, copyable reference to a [`ClosedState`] living in a
+/// [`HandleRegistry`].  The phantom parameter pins the semiring at the type
+/// level so a `ClosedGraph<MinPlus>` cannot be used to fetch a boolean
+/// closure.
+pub struct ClosedGraph<S> {
+    id: u64,
+    _semiring: PhantomData<fn() -> S>,
+}
+
+// Manual impls: `derive` would wrongly bound `S: Clone`/`S: Copy` even
+// though only the phantom mentions it.
+impl<S> Clone for ClosedGraph<S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S> Copy for ClosedGraph<S> {}
+impl<S> PartialEq for ClosedGraph<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl<S> Eq for ClosedGraph<S> {}
+impl<S> fmt::Debug for ClosedGraph<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClosedGraph").field("id", &self.id).finish()
+    }
+}
+
+impl<S> ClosedGraph<S> {
+    /// The registry id; also the Engine routing affinity of this graph.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// A concurrent id → closed-state map shared by every shard of an Engine
+/// (or by every clone of a `Session`).
+#[derive(Default)]
+pub struct HandleRegistry {
+    next_id: AtomicU64,
+    entries: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl HandleRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a closed state, returning its handle.  Ids start at 1 and are
+    /// never reused within a registry.
+    pub fn insert<S: IdempotentSemiring>(&self, state: ClosedState<S>) -> ClosedGraph<S> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry: Arc<dyn Any + Send + Sync> = Arc::new(Mutex::new(state));
+        self.entries.lock().insert(id, entry);
+        ClosedGraph {
+            id,
+            _semiring: PhantomData,
+        }
+    }
+
+    /// Fetch the state behind `handle`.  `None` if the handle was dropped
+    /// (or never belonged to this registry); the semiring is guaranteed to
+    /// match by the handle's type, but a forged id pointing at a different
+    /// instantiation also comes back `None` rather than panicking.
+    pub fn get<S: IdempotentSemiring>(
+        &self,
+        handle: ClosedGraph<S>,
+    ) -> Option<Arc<Mutex<ClosedState<S>>>> {
+        let entry = self.entries.lock().get(&handle.id)?.clone();
+        entry.downcast::<Mutex<ClosedState<S>>>().ok()
+    }
+
+    /// Drop the state with the given id; `true` if something was removed.
+    /// In-flight [`Self::get`] holders keep their `Arc` alive until they
+    /// finish.
+    pub fn remove(&self, id: u64) -> bool {
+        self.entries.lock().remove(&id).is_some()
+    }
+
+    /// Number of live handles.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether no handles are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Debug for HandleRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HandleRegistry")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed::EdgeUpdate;
+    use paco_core::semiring::{BoolSemiring, MinPlus};
+    use paco_core::workload::{random_adjacency, random_digraph};
+
+    #[test]
+    fn insert_get_update_remove_roundtrip() {
+        let reg = HandleRegistry::new();
+        let h = reg.insert(ClosedState::close(random_digraph(12, 0.2, 9, 1), 4));
+        assert_eq!(h.id(), 1);
+        assert_eq!(reg.len(), 1);
+
+        let state = reg.get(h).expect("live handle");
+        let stats = state
+            .lock()
+            .apply_batch(&[EdgeUpdate::new(0, 7, MinPlus(1.0))], 4, 100, 4);
+        assert_eq!(stats.updates, 1);
+
+        assert!(reg.remove(h.id()));
+        assert!(!reg.remove(h.id()));
+        assert!(reg.get(h).is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn one_registry_serves_mixed_semirings() {
+        let reg = HandleRegistry::new();
+        let hm = reg.insert(ClosedState::close(random_digraph(8, 0.3, 5, 2), 4));
+        let hb = reg.insert(ClosedState::close(random_adjacency(9, 0.2, 3), 4));
+        assert_ne!(hm.id(), hb.id());
+        assert!(reg.get(hm).is_some());
+        assert!(reg.get(hb).is_some());
+        // A forged handle of the wrong semiring type fails safely.
+        let forged = ClosedGraph::<BoolSemiring> {
+            id: hm.id(),
+            _semiring: PhantomData,
+        };
+        assert!(reg.get(forged).is_none());
+    }
+
+    #[test]
+    fn handles_are_copy_and_comparable() {
+        let reg = HandleRegistry::new();
+        let h = reg.insert(ClosedState::close(random_digraph(4, 0.5, 3, 4), 2));
+        let h2 = h; // Copy
+        assert_eq!(h, h2);
+        assert_eq!(format!("{h:?}"), "ClosedGraph { id: 1 }");
+    }
+}

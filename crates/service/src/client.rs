@@ -173,7 +173,7 @@ impl Client {
             self.shared.reject(&slot);
             return Ticket::new(slot);
         }
-        let shard = self.shared.route();
+        let shard = self.shared.route_for(req.route_hint());
         let prepared = self.shared.compile_on(shard, req);
         self.shared
             .enqueue_blocking(shard, PendingRequest::new(prepared, slot.clone(), opts));
@@ -248,7 +248,7 @@ impl Client {
             self.shared.reject(&slot);
             return Ok(Ticket::new(slot));
         }
-        let shard = self.shared.route();
+        let shard = self.shared.route_for(req.route_hint());
         let prepared = self.shared.compile_on(shard, req);
         if self
             .shared

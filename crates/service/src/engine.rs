@@ -42,6 +42,7 @@ use paco_core::machine::available_processors;
 use paco_core::metrics::sched::ingress::{self, LatencyHistogram, LatencySnapshot};
 use paco_core::tuning::Tuning;
 use paco_dist::LowerCache;
+use paco_incr::HandleRegistry;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -172,6 +173,10 @@ pub(crate) struct EngineShared {
     /// finish, so a shard's steady-state traffic recycles allocations
     /// without contending with the other shards' pools.
     arenas: Vec<Arc<ScratchArena>>,
+    /// Closed-graph handles of the incremental subsystem, shared by every
+    /// shard: routing gives each graph's traffic *affinity* to one shard,
+    /// but the state is reachable (behind its mutex) from all of them.
+    registry: Arc<HandleRegistry>,
     /// Round-robin cursor.
     next_shard: AtomicUsize,
     /// Advisory fast-path flag; the per-shard `ShardQueue::shutdown` (under
@@ -245,6 +250,22 @@ impl EngineShared {
             });
         req.bind(&skeleton, &self.tuning, self.p, &self.arenas[shard])
             .inner
+    }
+
+    pub(crate) fn registry(&self) -> Arc<HandleRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Route a submission that may carry a [`Solve::route_hint`]: a hinted
+    /// request goes to `hint % shards` — a *stable* mapping, so every
+    /// update/snapshot of one closed graph shares a shard queue, plan cache
+    /// and arena — while unhinted requests fall through to the policy
+    /// routing.
+    pub(crate) fn route_for(&self, hint: Option<u64>) -> usize {
+        match hint {
+            Some(h) => (h % self.shards.len() as u64) as usize,
+            None => self.route(),
+        }
     }
 
     /// Pick the shard a new submission goes to.  Routing happens *before*
@@ -529,6 +550,15 @@ impl Engine {
         Client::new(Arc::clone(&self.shared))
     }
 
+    /// The engine's closed-graph handle registry, shared across shards.
+    /// Construct the incremental requests ([`IncClose`](crate::IncClose),
+    /// [`IncUpdate`](crate::IncUpdate), …) against this registry; their
+    /// [`Solve::route_hint`] then pins each
+    /// graph's traffic to the shard owning its state.
+    pub fn registry(&self) -> Arc<HandleRegistry> {
+        self.shared.registry()
+    }
+
     /// This engine's ingress counters (exact for this engine, unlike the
     /// process-wide [`sched::ingress`](paco_core::metrics::sched::ingress)
     /// counters which aggregate every engine in the process).
@@ -701,6 +731,7 @@ impl EngineBuilder {
             arenas: (0..policy.shards)
                 .map(|_| Arc::new(ScratchArena::new()))
                 .collect(),
+            registry: Arc::new(HandleRegistry::new()),
             next_shard: AtomicUsize::new(0),
             shutting_down: std::sync::atomic::AtomicBool::new(false),
             enqueued: AtomicU64::new(0),

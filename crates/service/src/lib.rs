@@ -50,6 +50,17 @@
 //! deadline after which a still-queued request resolves
 //! [`TicketError::Expired`] instead of occupying a pass slot.
 //!
+//! **Stateful, incremental** workloads ride the same two verbs through the
+//! [`incr_requests`] family: [`IncClose`] closes a graph once and registers
+//! it in a [`HandleRegistry`] as a `Copy` [`ClosedGraph`] handle,
+//! [`IncUpdate`] re-propagates [`EdgeUpdate`] batches through only the
+//! dirty blocks (full re-closure fallback past
+//! [`Tuning::incr_fallback_percent`]), [`IncSnapshot`]/[`IncDrop`] read and
+//! retire the state, and [`LcsTrace`] recovers an actual [`EditOp`]
+//! alignment script in linear space.  Handle-carrying requests hint their
+//! engine shard via [`Solve::route_hint`], so one graph's updates keep
+//! their cache/queue affinity on a multi-shard [`Engine`].
+//!
 //! The pre-service free functions (`lcs_paco_with_base`, `fw_paco_batch`,
 //! `paco_sort_with_oversampling`, …) are gone: the per-workload `*Run`
 //! machinery they delegated to is what this crate schedules, and the
@@ -88,6 +99,7 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 mod exec;
+pub mod incr_requests;
 pub mod policy;
 pub mod requests;
 pub mod session;
@@ -98,7 +110,11 @@ pub use backend::Backend;
 pub use cache::PlanCacheStats;
 pub use client::{Client, Overloaded, SubmitOptions};
 pub use engine::{Engine, EngineBuilder, EngineStats, ShardStats};
+pub use incr_requests::{IncClose, IncDrop, IncSnapshot, IncUpdate, LcsTrace};
+pub use paco_core::semiring::{Bottleneck, CountMod, Viterbi};
 pub use paco_core::tuning::Tuning;
+pub use paco_dp::lcs::EditOp;
+pub use paco_incr::{ClosedGraph, ClosedState, EdgeUpdate, HandleRegistry, UpdateStats};
 pub use policy::{BatchPolicy, Priority, Routing};
 pub use requests::{Apsp, Closure, Gap, HeteroMatMul, Lcs, MatMul, OneD, Sort, Strassen};
 pub use session::{RunStats, Session, SessionBuilder};

@@ -9,6 +9,7 @@ use paco_core::arena::{ArenaStats, ScratchArena};
 use paco_core::machine::available_processors;
 use paco_core::tuning::Tuning;
 use paco_dist::{LowerCache, LowerStats};
+use paco_incr::HandleRegistry;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -69,6 +70,9 @@ pub struct Session {
     /// Lowered communication schedules, keyed per (skeleton payload,
     /// placement) — the distributed analogue of the skeleton cache.
     lower: LowerCache,
+    /// Closed-graph handles of the incremental subsystem: `IncClose`
+    /// registers state here, `IncUpdate`/`IncSnapshot`/`IncDrop` look it up.
+    registry: Arc<HandleRegistry>,
 }
 
 impl Session {
@@ -120,6 +124,14 @@ impl Session {
     /// The backend this session executes on.
     pub fn backend(&self) -> Backend {
         self.backend
+    }
+
+    /// The session's closed-graph handle registry.  Construct the
+    /// incremental requests ([`IncClose`](crate::IncClose),
+    /// [`IncUpdate`](crate::IncUpdate), …) against this registry so their
+    /// handles resolve when the session executes them.
+    pub fn registry(&self) -> Arc<HandleRegistry> {
+        Arc::clone(&self.registry)
     }
 
     /// This session's lowering-cache counters: communication schedules
@@ -297,6 +309,7 @@ impl SessionBuilder {
             arena: Arc::new(ScratchArena::new()),
             backend: self.backend,
             lower: LowerCache::new(),
+            registry: Arc::new(HandleRegistry::new()),
         }
     }
 }

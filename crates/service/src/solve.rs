@@ -221,6 +221,19 @@ pub trait Solve {
         Err(self)
     }
 
+    /// Routing affinity for multi-shard [`Engine`](crate::Engine)s: requests
+    /// returning the same `Some(hint)` land on the same shard (`hint %
+    /// shards`), so state-carrying requests (the incremental-closure
+    /// family, which hints with its handle id) keep one graph's traffic on
+    /// one shard's queue, cache and arena.  `None` — the default, and right
+    /// for every stateless workload — defers to the engine's configured
+    /// [`Routing`](crate::Routing) policy.  This is an *affinity*, not a
+    /// correctness mechanism: shared state must stay safe wherever the
+    /// request executes.
+    fn route_hint(&self) -> Option<u64> {
+        None
+    }
+
     /// Compile for `p` processors under `tuning`: skeleton + bind, without
     /// a cache (and with a private single-use scratch arena).
     fn compile(self, p: usize, tuning: &Tuning) -> Compiled<Self::Output>

@@ -5,11 +5,16 @@
 //! [`prop_assert!`] / [`prop_assert_eq!`] assertion macros.
 //!
 //! Cases are generated from a fixed seed, so failures reproduce exactly
-//! across runs.  There is **no shrinking**: a failing case panics with the
-//! plain assertion message.  For the regression-style invariants tested in
-//! this workspace that trade-off is acceptable; if a richer checker is ever
-//! needed the shim can be swapped for the real crate without touching the
-//! tests.
+//! across runs.  Failing cases are **shrunk**: every [`Strategy`] exposes a
+//! [`Strategy::shrink`] candidate list (integers walk toward the range
+//! start, vectors truncate toward their minimum length and shrink
+//! element-wise, tuples shrink one component at a time), and the macro
+//! greedily re-runs the property on candidates — bounded by
+//! [`ProptestConfig::max_shrink_iters`] — before printing the minimal
+//! failing input and resuming the original panic.  The shrinker is
+//! deliberately simple (greedy, first-failing-candidate descent); if a
+//! richer checker is ever needed the shim can be swapped for the real crate
+//! without touching the tests.
 
 use std::ops::Range;
 
@@ -18,7 +23,8 @@ use std::ops::Range;
 pub struct ProptestConfig {
     /// Number of random cases to run per property.
     pub cases: u32,
-    /// Accepted for compatibility; the shim never shrinks.
+    /// Bound on property re-runs while shrinking a failing case
+    /// (`0` means the shim default of 1024).
     pub max_shrink_iters: u32,
 }
 
@@ -62,6 +68,13 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    /// Candidate simplifications of a failing `value`, simplest first.
+    /// Every candidate must itself be a value this strategy could have
+    /// produced.  The default is no candidates (no shrinking).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -73,6 +86,20 @@ macro_rules! impl_range_strategy {
                 let span = (self.end as u128).wrapping_sub(self.start as u128);
                 self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Walk toward the range start: the start itself, the
+                // midpoint, and one step down.  (i128 holds every value of
+                // every supported integer type.)
+                let start = self.start as i128;
+                let v = *value as i128;
+                let mut out = Vec::new();
+                for c in [start, start + (v - start) / 2, v - 1] {
+                    if c >= start && c < v && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out.into_iter().map(|c| c as $t).collect()
+            }
         }
     )*};
 }
@@ -81,21 +108,48 @@ impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+)),*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut shrunk = value.clone();
+                        shrunk.$idx = candidate;
+                        out.push(shrunk);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
-impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
     /// Draw an arbitrary value of this type.
     fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Candidate simplifications of `self`, simplest first (used by
+    /// [`any`]'s shrinker).  Defaults to none.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -103,6 +157,16 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.next_u64() as $t
+            }
+            fn shrink(&self) -> Vec<Self> {
+                // Toward zero: zero itself, then the halfway point.
+                let mut out = Vec::new();
+                for c in [0, self / 2] {
+                    if c != *self && !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
             }
         }
     )*};
@@ -114,12 +178,28 @@ impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.next_u64() & 1 == 1
     }
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
 }
 
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut TestRng) -> Self {
         // Finite values only, spread over a wide but well-behaved range.
         ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) - 0.5) * 2e6
+    }
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        for c in [0.0, self / 2.0] {
+            if c.abs() < self.abs() && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
     }
 }
 
@@ -131,6 +211,9 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink()
     }
 }
 
@@ -157,13 +240,89 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = Strategy::generate(&self.len, rng);
             (0..n).map(|_| self.element.generate(rng)).collect()
         }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Truncations first (the big wins), never below the strategy's
+            // minimum length: shortest allowed, halfway there, one shorter.
+            let min = self.len.start;
+            if value.len() > min {
+                out.push(value[..min].to_vec());
+                let half = min + (value.len() - min) / 2;
+                if half > min && half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                if value.len() - 1 > min {
+                    out.push(value[..value.len() - 1].to_vec());
+                }
+            }
+            // Then element-wise shrinks, one position at a time.
+            for (i, item) in value.iter().enumerate() {
+                for candidate in self.element.shrink(item) {
+                    let mut shrunk = value.clone();
+                    shrunk[i] = candidate;
+                    out.push(shrunk);
+                }
+            }
+            out
+        }
     }
+}
+
+/// Greedily minimize a failing input: repeatedly take the first
+/// [`Strategy::shrink`] candidate that still fails, until no candidate
+/// fails or the re-run budget (`max_shrink_iters`, `0` = 1024) is spent.
+/// Returns the smallest failing value found (possibly the original).
+///
+/// Exposed for the [`proptest!`] macro expansion; not part of the real
+/// proptest API.
+pub fn __shrink_failing<S, F>(
+    strategy: &S,
+    failing: S::Value,
+    max_shrink_iters: u32,
+    mut still_fails: F,
+) -> S::Value
+where
+    S: Strategy,
+    F: FnMut(&S::Value) -> bool,
+{
+    let budget = if max_shrink_iters == 0 {
+        1024
+    } else {
+        max_shrink_iters
+    };
+    let mut current = failing;
+    let mut spent = 0u32;
+    'descend: while spent < budget {
+        for candidate in strategy.shrink(&current) {
+            spent += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                continue 'descend;
+            }
+            if spent >= budget {
+                break 'descend;
+            }
+        }
+        // No candidate still fails: `current` is (locally) minimal.
+        break;
+    }
+    current
+}
+
+/// Tie a property-body closure's argument type to its strategy's `Value`
+/// (the [`proptest!`] expansion needs the anchor for inference).  Exposed
+/// for the macro; not part of the real proptest API.
+pub fn __typed_runner<S: Strategy, F: Fn(S::Value)>(_strategy: &S, body: F) -> F {
+    body
 }
 
 /// Assert a condition inside a property, mirroring `prop_assert!`.
@@ -185,7 +344,9 @@ macro_rules! prop_assert_ne {
 }
 
 /// Define property tests: every `fn name(arg in strategy, ..) { body }` item
-/// becomes a `#[test]` that runs `cases` deterministic random cases.
+/// becomes a `#[test]` that runs `cases` deterministic random cases,
+/// shrinking any failure to a minimal input before re-panicking with the
+/// original payload.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -199,14 +360,52 @@ macro_rules! proptest {
             $(#[$attr])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                // One tuple strategy over all arguments: generation draws
+                // in declaration order (the historical rng sequence), and
+                // shrinking sees the whole input at once.
+                let strategy = ($(($strat),)+);
+                let run = $crate::__typed_runner(&strategy, |__input| {
+                    let ($($arg,)+) = __input;
+                    $body
+                });
                 for case in 0..config.cases {
                     let mut rng = $crate::TestRng::new(
                         0xC0FF_EE00u64
                             .wrapping_mul(1 + case as u64)
                             .wrapping_add(line!() as u64),
                     );
-                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
-                    $body
+                    let input = $crate::Strategy::generate(&strategy, &mut rng);
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| run(input.clone())),
+                    );
+                    if let Err(payload) = outcome {
+                        // Silence the per-candidate panic spam while the
+                        // shrinker re-runs the body, then restore the hook.
+                        let hook = ::std::panic::take_hook();
+                        ::std::panic::set_hook(Box::new(|_| {}));
+                        let minimal = $crate::__shrink_failing(
+                            &strategy,
+                            input,
+                            config.max_shrink_iters,
+                            |candidate| {
+                                ::std::panic::catch_unwind(
+                                    ::std::panic::AssertUnwindSafe(|| run(candidate.clone())),
+                                )
+                                .is_err()
+                            },
+                        );
+                        ::std::panic::set_hook(hook);
+                        let ($($arg,)+) = &minimal;
+                        eprintln!(
+                            concat!(
+                                "proptest shim: case ", "{}", " of `", stringify!($name),
+                                "` failed; minimal failing input:",
+                                $("\n  ", stringify!($arg), " = {:?}",)+
+                            ),
+                            case, $($arg,)+
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
                 }
             }
         )*
@@ -260,6 +459,12 @@ mod tests {
                 prop_assert!(lane < 4);
             }
         }
+
+        #[test]
+        #[should_panic]
+        fn failing_properties_shrink_then_resume_the_panic(n in 0usize..1000) {
+            prop_assert!(n >= 1000); // always fails; exercises the shrink path
+        }
     }
 
     proptest! {
@@ -267,5 +472,49 @@ mod tests {
         fn default_config_form_works(a in 0u64..10) {
             prop_assert!(a < 10);
         }
+    }
+
+    #[test]
+    fn range_shrink_walks_toward_the_start() {
+        let strategy = 3usize..100;
+        let candidates = strategy.shrink(&63);
+        assert_eq!(candidates, vec![3, 33, 62]);
+        assert!(strategy.shrink(&3).is_empty(), "the start is minimal");
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_minimum_length() {
+        let strategy = crate::collection::vec(0u32..10, 2..20);
+        for shrunk in strategy.shrink(&vec![5, 6, 7, 8]) {
+            assert!(
+                shrunk.len() >= 2,
+                "shrunk below the length floor: {shrunk:?}"
+            );
+        }
+        // Element-wise shrinks survive at the floor length.
+        assert!(strategy
+            .shrink(&vec![5, 6])
+            .iter()
+            .all(|s| s.len() == 2 && s != &vec![5, 6]));
+    }
+
+    #[test]
+    fn greedy_shrink_finds_the_boundary_counterexample() {
+        // Property: "n < 7" — the minimal counterexample is exactly 7.
+        let strategy = (0usize..1000, crate::collection::vec(0u32..5, 0..8));
+        let failing = (803, vec![4, 1, 3]);
+        let minimal = crate::__shrink_failing(&strategy, failing, 0, |(n, _)| *n >= 7);
+        assert_eq!(minimal, (7, vec![]));
+    }
+
+    #[test]
+    fn shrink_budget_is_respected() {
+        let strategy = 0u64..u64::MAX;
+        let mut runs = 0;
+        let _ = crate::__shrink_failing(&strategy, u64::MAX - 1, 5, |_| {
+            runs += 1;
+            true
+        });
+        assert!(runs <= 5, "budget of 5 exceeded: {runs} re-runs");
     }
 }

@@ -11,7 +11,10 @@
 
 use paco_core::matrix::Matrix;
 use paco_core::proc_list::ProcList;
-use paco_core::semiring::{BoolSemiring, MaxPlus, MinPlus, Semiring, WrappingRing};
+use paco_core::semiring::{
+    BoolSemiring, Bottleneck, CountMod, IdempotentSemiring, MaxPlus, MinPlus, Semiring, Viterbi,
+    WrappingRing,
+};
 use paco_dp::lcs::{lcs_po, lcs_reference};
 use paco_dp::one_d::kernel::FnWeight;
 use paco_dp::one_d::one_d_reference;
@@ -59,6 +62,31 @@ fn max_plus_from(raw: i32) -> MaxPlus {
     } else {
         MaxPlus(f64::from(raw % 10_000))
     }
+}
+
+/// Map a raw integer to a `Viterbi` likelihood: a dyadic fraction `k/64`
+/// with `k ∈ [0, 64]`, so every product of drawn elements is exact in `f64`
+/// (power-of-two denominators) and the `×`-associativity law can be checked
+/// with `==`.
+fn viterbi_from(raw: i32) -> Viterbi {
+    Viterbi(f64::from(raw.rem_euclid(65)) / 64.0)
+}
+
+/// Map a raw integer to a `Bottleneck` capacity: ordinary finite values plus
+/// both identities (`±∞`).  `(max, min)` only ever *selects* an operand, so
+/// any `f64` is exact.
+fn bottleneck_from(raw: i32) -> Bottleneck {
+    match raw % 17 {
+        0 => Bottleneck::zero(),
+        1 => Bottleneck::one(),
+        _ => Bottleneck(f64::from(raw % 1_000) / 4.0),
+    }
+}
+
+/// Assert `⊕`-idempotency — the law the incremental-closure path (and FW
+/// itself) rides on — for one drawn element of a marked semiring.
+fn check_add_idempotent<S: IdempotentSemiring>(a: S) {
+    assert_eq!(a.add(a), a);
 }
 
 proptest! {
@@ -203,6 +231,32 @@ proptest! {
     }
 
     #[test]
+    fn viterbi_semiring_laws_hold(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
+        check_semiring_laws(viterbi_from(a), viterbi_from(b), viterbi_from(c));
+        check_add_idempotent(viterbi_from(a));
+    }
+
+    #[test]
+    fn bottleneck_semiring_laws_hold(a in any::<i32>(), b in any::<i32>(), c in any::<i32>()) {
+        check_semiring_laws(bottleneck_from(a), bottleneck_from(b), bottleneck_from(c));
+        check_add_idempotent(bottleneck_from(a));
+    }
+
+    #[test]
+    fn count_mod_semiring_laws_hold(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        check_semiring_laws(
+            CountMod::<97>::new(a),
+            CountMod::<97>::new(b),
+            CountMod::<97>::new(c),
+        );
+        check_semiring_laws(
+            CountMod::<256>::new(a),
+            CountMod::<256>::new(b),
+            CountMod::<256>::new(c),
+        );
+    }
+
+    #[test]
     fn semiring_matrix_identities_hold(
         n in 1usize..30,
         seed in 0u64..1000,
@@ -215,6 +269,16 @@ proptest! {
         prop_assert_eq!(session.run(MatMul { a: a.clone(), b: id }), a.clone());
         prop_assert_eq!(session.run(MatMul { a, b: zero.clone() }), zero);
     }
+}
+
+/// `CountMod` satisfies every *semiring* law (checked above) but is
+/// deliberately **not** marked `IdempotentSemiring`: `a ⊕ a = 2a mod M ≠ a`
+/// in general, so closure-style algorithms (and the incremental-closure
+/// path) must not accept it.
+#[test]
+fn count_mod_is_not_add_idempotent() {
+    let one = CountMod::<97>::one();
+    assert_ne!(one.add(one), one);
 }
 
 /// Build one arbitrary wave-flattened plan from a SplitMix64 stream:
